@@ -1,0 +1,94 @@
+//! Microbenchmarks of the §6 extensions: sliding-window expiry and the
+//! n-ary join.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pjoin::{run_nary, NaryConfig, NaryPJoin, PJoinBuilder};
+use pjoin_bench::paper_workload;
+use punct_types::{Punctuation, StreamElement, Timestamp, Timestamped, Tuple};
+use stream_sim::{BinaryStreamOp, CostModel, Driver, DriverConfig};
+
+fn bench_window_vs_punctuation(c: &mut Criterion) {
+    // The same workload, state-bounding by window, by punctuations, and
+    // by both: real CPU cost of each bounding mechanism.
+    let w = paper_workload(4_000, 20.0, 20.0, 5);
+    let mut g = c.benchmark_group("state_bounding");
+    g.sample_size(10);
+    let run = |op: &mut dyn BinaryStreamOp| {
+        let driver = Driver::new(DriverConfig {
+            cost: CostModel::free(),
+            sample_every_micros: 10_000_000,
+            collect_outputs: false,
+        });
+        driver.run(op, &w.left, &w.right).total_out_tuples
+    };
+    g.bench_function("punctuation_purge", |b| {
+        b.iter(|| {
+            let mut op = PJoinBuilder::new(2, 2).eager_purge().no_propagation().build();
+            black_box(run(&mut op))
+        })
+    });
+    g.bench_function("window_only", |b| {
+        b.iter(|| {
+            let mut op = PJoinBuilder::new(2, 2)
+                .never_purge()
+                .no_propagation()
+                .window_micros(50_000)
+                .build();
+            black_box(run(&mut op))
+        })
+    });
+    g.bench_function("window_plus_punctuation", |b| {
+        b.iter(|| {
+            let mut op = PJoinBuilder::new(2, 2)
+                .eager_purge()
+                .no_propagation()
+                .window_micros(50_000)
+                .build();
+            black_box(run(&mut op))
+        })
+    });
+    g.finish();
+}
+
+fn nary_inputs(streams: usize, per_stream: usize) -> Vec<Vec<Timestamped<StreamElement>>> {
+    (0..streams)
+        .map(|s| {
+            let mut v = Vec::new();
+            let mut closed = 0i64;
+            for i in 0..per_stream {
+                let ts = (i * streams + s) as u64 * 100;
+                let key = closed + (i % 7) as i64;
+                v.push(Timestamped::new(
+                    Timestamp(ts),
+                    StreamElement::Tuple(Tuple::of((key, i as i64))),
+                ));
+                if i % 10 == 9 {
+                    v.push(Timestamped::new(
+                        Timestamp(ts),
+                        StreamElement::Punctuation(Punctuation::close_value(2, 0, closed)),
+                    ));
+                    closed += 1;
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+fn bench_nary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nary_join");
+    g.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let inputs = nary_inputs(n, 2_000);
+        g.bench_with_input(BenchmarkId::new("streams", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut op = NaryPJoin::new(NaryConfig::symmetric(n, 2));
+                black_box(run_nary(&mut op, &inputs).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_window_vs_punctuation, bench_nary);
+criterion_main!(benches);

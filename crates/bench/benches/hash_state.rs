@@ -1,0 +1,100 @@
+//! Microbenchmarks of the spillable hash state: insert/probe throughput
+//! at increasing occupancies, and the spill / read-back path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use punct_types::{Tuple, Value};
+use spillstore::{PartitionedStore, SimDisk, StoreConfig};
+
+fn store(buckets: usize) -> PartitionedStore<Tuple> {
+    PartitionedStore::new(
+        StoreConfig { buckets, page_tuples: 64, ..StoreConfig::default() },
+        Box::new(SimDisk::new()),
+    )
+}
+
+fn filled(buckets: usize, tuples: usize) -> PartitionedStore<Tuple> {
+    let mut s = store(buckets);
+    for k in 0..tuples {
+        s.insert(Tuple::of(((k % 1000) as i64, k as i64)));
+    }
+    s
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_insert");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert", |b| {
+        let mut s = store(64);
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            s.insert(black_box(Tuple::of((k % 1000, k))));
+        });
+    });
+    g.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_probe");
+    for occupancy in [1_000usize, 10_000, 100_000] {
+        let s = filled(64, occupancy);
+        let key = Value::Int(500);
+        g.bench_with_input(BenchmarkId::new("scan_bucket", occupancy), &occupancy, |b, _| {
+            b.iter(|| {
+                let bucket = s.probe_memory(black_box(&key));
+                let mut hits = 0u32;
+                for r in bucket {
+                    if r.get(0).is_some_and(|v| v.join_eq(&key)) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spill_and_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_spill");
+    g.bench_function("spill_bucket_1000", |b| {
+        b.iter_batched(
+            || filled(1, 1_000),
+            |mut s| {
+                let report = s.spill_bucket(0);
+                black_box(report)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("read_disk_1000", |b| {
+        let mut s = filled(1, 1_000);
+        s.spill_bucket(0);
+        b.iter(|| {
+            let (records, pages) = s.read_disk(0);
+            black_box((records.len(), pages))
+        })
+    });
+    g.finish();
+}
+
+fn bench_purge_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_retain");
+    for occupancy in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("retain_all", occupancy), &occupancy, |b, &n| {
+            b.iter_batched(
+                || filled(64, n),
+                |mut s| {
+                    let (scanned, removed) =
+                        s.retain_memory(|r| r.get(0).unwrap().as_int().unwrap() % 10 != 0);
+                    black_box((scanned, removed))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_probe, bench_spill_and_read, bench_purge_scan);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation (DESIGN.md §8): the on-the-fly drop of §4.3.
+//!
+//! Under asymmetric punctuation rates, most B tuples are covered by an A
+//! punctuation the moment they arrive. With the drop enabled they never
+//! enter the state; with it disabled they are stored and only removed by
+//! the next purge scan — more memory *and* more purge work.
+
+use pjoin::PJoinBuilder;
+use pjoin_bench::*;
+use stream_metrics::Recorder;
+
+fn main() {
+    let tuples = default_tuples();
+    // A punctuates 10x as often as B: the Fig. 10 regime.
+    let workload = paper_workload(tuples, 5.0, 50.0, default_seed());
+
+    let mut r = Recorder::new();
+    let mut rows = Vec::new();
+    for (name, enabled) in [("drop-on", true), ("drop-off", false)] {
+        let mut op = PJoinBuilder::new(2, 2)
+            .buckets(BUCKETS)
+            .eager_purge()
+            .no_propagation()
+            .on_the_fly_drop(enabled)
+            .build();
+        let stats = run_operator(&mut op, &workload);
+        let series = state_series(name, &stats);
+        rows.push((
+            name,
+            series.mean_over_x(),
+            stats.peak_state(),
+            op.stats().dropped_on_fly,
+            stats.total_work.purge_scanned,
+            stats.total_out_tuples,
+        ));
+        r.insert(series);
+    }
+
+    report(
+        "ablation_otf",
+        "Ablation — on-the-fly drop on/off (A=5, B=50 tuples/punctuation)",
+        "virtual seconds",
+        "tuples in state",
+        &r,
+    );
+
+    println!("\nvariant    mean state   peak state   otf drops   purge-scan work   results");
+    for (name, mean, peak, drops, scans, outs) in &rows {
+        println!("{name:<10} {mean:>10.0} {peak:>12} {drops:>11} {scans:>17} {outs:>9}");
+    }
+    let on = &rows[0];
+    let off = &rows[1];
+    assert_eq!(on.5, off.5, "the drop must not change results");
+    assert!(on.1 < off.1, "dropping on the fly must shrink the state");
+    assert!(on.4 <= off.4, "fewer stored tuples, no more purge-scan work");
+}

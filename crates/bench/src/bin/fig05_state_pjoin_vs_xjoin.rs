@@ -1,0 +1,34 @@
+//! Figure 5: PJoin (eager purge) vs XJoin — number of tuples in the join
+//! state over time. Punctuation inter-arrival: Poisson, mean 40
+//! tuples/punctuation on both inputs.
+//!
+//! Expected shape: XJoin's state grows without bound (it never discards);
+//! PJoin's state is "almost insignificant" in comparison.
+
+use pjoin_bench::*;
+use stream_metrics::Recorder;
+
+fn main() {
+    let tuples = default_tuples();
+    let workload = paper_workload(tuples, 40.0, 40.0, default_seed());
+
+    let mut pjoin = pjoin_n(1);
+    let sp = run_operator(&mut pjoin, &workload);
+    let mut xjoin = xjoin_baseline();
+    let sx = run_operator(&mut xjoin, &workload);
+
+    let mut r = Recorder::new();
+    r.insert(state_series("PJoin-1", &sp));
+    r.insert(state_series("XJoin", &sx));
+    report(
+        "fig05",
+        "Fig. 5 — join state size, PJoin-1 vs XJoin (punct inter-arrival 40)",
+        "virtual seconds",
+        "tuples in state",
+        &r,
+    );
+
+    let ratio = sx.peak_state() as f64 / sp.peak_state().max(1) as f64;
+    println!("\npeak state  PJoin-1: {:>8}   XJoin: {:>8}   ratio: {ratio:.1}x", sp.peak_state(), sx.peak_state());
+    assert!(ratio > 5.0, "PJoin state must be dramatically smaller than XJoin's");
+}

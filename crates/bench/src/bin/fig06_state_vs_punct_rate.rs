@@ -1,0 +1,40 @@
+//! Figure 6: PJoin state size for punctuation inter-arrivals of 10, 20
+//! and 30 tuples/punctuation.
+//!
+//! Expected shape: the slower punctuations arrive, the larger the
+//! average state.
+
+use pjoin_bench::*;
+use stream_metrics::Recorder;
+
+fn main() {
+    let tuples = default_tuples();
+    let mut r = Recorder::new();
+    let mut means = Vec::new();
+
+    for rate in [10.0, 20.0, 30.0] {
+        let workload = paper_workload(tuples, rate, rate, default_seed());
+        let mut op = pjoin_n(1);
+        let stats = run_operator(&mut op, &workload);
+        let series = state_series(&format!("punct-interarrival-{rate}"), &stats);
+        means.push((rate, series.summary().mean));
+        r.insert(series);
+    }
+
+    report(
+        "fig06",
+        "Fig. 6 — PJoin state size vs punctuation inter-arrival (10/20/30)",
+        "virtual seconds",
+        "tuples in state",
+        &r,
+    );
+
+    println!();
+    for (rate, mean) in &means {
+        println!("inter-arrival {rate:>4}: mean state {mean:>10.1}");
+    }
+    assert!(
+        means.windows(2).all(|w| w[0].1 < w[1].1),
+        "state must grow with punctuation inter-arrival"
+    );
+}

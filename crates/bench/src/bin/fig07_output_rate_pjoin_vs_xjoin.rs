@@ -1,0 +1,50 @@
+//! Figure 7: tuple output over time, PJoin vs XJoin (punctuation
+//! inter-arrival 40 tuples/punctuation).
+//!
+//! Expected shape: PJoin sustains a near-steady output rate; XJoin's
+//! rate decays because its ever-growing state makes every probe more
+//! expensive.
+
+use pjoin_bench::*;
+use stream_metrics::Recorder;
+
+fn main() {
+    let tuples = default_tuples();
+    let workload = paper_workload(tuples, 40.0, 40.0, default_seed());
+
+    let mut pjoin = pjoin_n(1);
+    let sp = run_operator(&mut pjoin, &workload);
+    let mut xjoin = xjoin_baseline();
+    let sx = run_operator(&mut xjoin, &workload);
+
+    let mut r = Recorder::new();
+    let p_out = output_series("PJoin-1", &sp);
+    let x_out = output_series("XJoin", &sx);
+    r.insert(p_out.clone());
+    r.insert(x_out.clone());
+    report(
+        "fig07",
+        "Fig. 7 — cumulative output tuples, PJoin-1 vs XJoin (punct inter-arrival 40)",
+        "virtual seconds",
+        "output tuples",
+        &r,
+    );
+
+    // Rate comparison over the first vs last third of the run: XJoin
+    // must decay, PJoin must stay roughly steady.
+    let decay = |s: &stream_metrics::Series| -> (f64, f64) {
+        let pts = s.points();
+        let t_end = pts.last().unwrap().0;
+        let y = |t: f64| s.interpolate(t).unwrap();
+        let early = y(t_end / 3.0) / (t_end / 3.0);
+        let late = (y(t_end) - y(2.0 * t_end / 3.0)) / (t_end / 3.0);
+        (early, late)
+    };
+    let (pe, pl) = decay(&p_out);
+    let (xe, xl) = decay(&x_out);
+    println!("\noutput rate (tuples/s)   early      late");
+    println!("PJoin-1               {pe:>8.0}  {pl:>8.0}");
+    println!("XJoin                 {xe:>8.0}  {xl:>8.0}");
+    assert!(xl < xe * 0.8, "XJoin output rate must decay over time");
+    assert!(pl > pe * 0.8, "PJoin output rate must stay roughly steady");
+}

@@ -1,0 +1,41 @@
+//! Figure 8: eager vs lazy purge — memory overhead. Punctuation
+//! inter-arrival 10 tuples/punctuation; purge thresholds 1 (eager) and
+//! 10 (lazy).
+//!
+//! Expected shape: eager purge minimizes the state; PJoin-10 needs more
+//! memory (and shows the batching sawtooth).
+
+use pjoin_bench::*;
+use stream_metrics::Recorder;
+
+fn main() {
+    let tuples = default_tuples();
+    let workload = paper_workload(tuples, 10.0, 10.0, default_seed());
+
+    let mut r = Recorder::new();
+    let mut means = Vec::new();
+    for threshold in [1u64, 10u64] {
+        let mut op = pjoin_n(threshold);
+        let stats = run_operator(&mut op, &workload);
+        // Compare state at equal *progress*: the two configurations run
+        // at different speeds, so a wall-clock x-axis would skew the
+        // comparison.
+        let series = state_vs_consumed_series(&format!("PJoin-{threshold}"), &stats);
+        means.push((threshold, series.mean_over_x(), stats.peak_state()));
+        r.insert(series);
+    }
+
+    report(
+        "fig08",
+        "Fig. 8 — eager vs lazy purge, memory overhead (punct inter-arrival 10)",
+        "input elements consumed",
+        "tuples in state",
+        &r,
+    );
+
+    println!();
+    for (threshold, mean, peak) in &means {
+        println!("PJoin-{threshold:<4} mean state {mean:>9.1}   peak {peak:>7}");
+    }
+    assert!(means[0].1 < means[1].1, "eager purge must use less memory than lazy");
+}

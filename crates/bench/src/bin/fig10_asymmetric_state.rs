@@ -1,0 +1,53 @@
+//! Figure 10: asymmetric punctuation inter-arrival — state size of
+//! PJoin-1 with stream A fixed at 10 tuples/punctuation and stream B at
+//! 10, 20, 40 and 80.
+//!
+//! Expected shape: the larger the rate difference, the larger the total
+//! state (A's tuples wait for B's slower punctuations); the B state
+//! itself stays tiny because fast A punctuations drop most B tuples on
+//! the fly.
+
+use pjoin_bench::*;
+use stream_metrics::Recorder;
+
+fn main() {
+    let tuples = default_tuples();
+    let mut r = Recorder::new();
+    let mut rows = Vec::new();
+
+    for punct_b in [10.0, 20.0, 40.0, 80.0] {
+        let workload = paper_workload(tuples, 10.0, punct_b, default_seed());
+        let mut op = pjoin_n(1);
+        let stats = run_operator(&mut op, &workload);
+        let series = state_series(&format!("B-interarrival-{punct_b}"), &stats);
+        let (sa, sb) = side_state_series(&format!("B-{punct_b}"), &stats);
+        rows.push((
+            punct_b,
+            series.summary().mean,
+            sa.summary().mean,
+            sb.summary().mean,
+            op.stats().dropped_on_fly,
+        ));
+        r.insert(series);
+    }
+
+    report(
+        "fig10",
+        "Fig. 10 — asymmetric punctuation rates, state size (A fixed at 10)",
+        "virtual seconds",
+        "tuples in state",
+        &r,
+    );
+
+    println!("\nB inter-arrival   mean state   mean A-state   mean B-state   on-the-fly drops");
+    for (b, mean, ma, mb, drops) in &rows {
+        println!("{b:>15}   {mean:>10.1}   {ma:>12.1}   {mb:>12.1}   {drops:>16}");
+    }
+    assert!(
+        rows.windows(2).all(|w| w[0].1 < w[1].1),
+        "state must grow with the punctuation-rate asymmetry"
+    );
+    // §4.3's second observation: the B state is insignificant next to A's.
+    let worst = rows.last().unwrap();
+    assert!(worst.3 * 5.0 < worst.2, "B state must stay tiny (on-the-fly drops)");
+}

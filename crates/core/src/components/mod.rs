@@ -1,0 +1,11 @@
+//! The executable components of PJoin (paper §3.2–§3.5), implemented as
+//! free functions over split-borrowed [`JoinState`](crate::JoinState)s so
+//! the operator can wire them through the event-listener registry.
+
+pub mod disk_join;
+pub mod propagation;
+pub mod purge;
+
+pub use disk_join::{resolve_bucket, ResolutionMark};
+pub use propagation::{propagate_side, translate_punctuation};
+pub use purge::{purge_state, PurgeReport};

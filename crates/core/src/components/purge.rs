@@ -1,0 +1,179 @@
+//! The state purge component (paper §3.4).
+//!
+//! Applies the purge rule of §2.2 (eq. 1): every tuple of the target
+//! state matching the opposite stream's punctuation set will never join a
+//! future tuple and is removed. Tuples whose bucket still has a
+//! disk-resident portion *on the opposite side* may yet join that portion
+//! and are moved to the purge buffer instead (§3.1); the disk join drops
+//! them when it resolves the bucket.
+//!
+//! The scan covers the whole memory-resident state (the scan cost the
+//! paper's eager-vs-lazy trade-off is about), but only evaluates the
+//! punctuations that arrived since the last purge — older punctuations
+//! already removed their matches, and the on-the-fly drop keeps covered
+//! tuples from entering the state afterwards.
+
+use punct_types::Pattern;
+use stream_sim::Work;
+
+use crate::record::Instant;
+use crate::state::JoinState;
+
+/// Outcome of one purge pass over one state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// Memory tuples scanned.
+    pub scanned: usize,
+    /// Tuples removed outright.
+    pub removed: usize,
+    /// Tuples moved to the purge buffer (await a disk join).
+    pub buffered: usize,
+}
+
+/// Purges `target` using `new_patterns` — the join-attribute patterns of
+/// the opposite stream's punctuations that arrived since the last purge.
+/// `opposite_disk[bucket]` tells whether the opposite state has a
+/// disk-resident portion for that bucket.
+/// `departure` is the logical instant to stamp on extracted records —
+/// callers pass the next unallocated instant, so already-performed probes
+/// count as overlapping and future ones do not.
+pub fn purge_state(
+    target: &mut JoinState,
+    new_patterns: &[Pattern],
+    opposite_disk: &[bool],
+    departure: Instant,
+    work: &mut Work,
+) -> PurgeReport {
+    let mut report = PurgeReport::default();
+    if new_patterns.is_empty() {
+        return report;
+    }
+    let join_attr = target.join_attr;
+    let buckets = target.store.bucket_count();
+    let mut evals = 0u64;
+
+    debug_assert_eq!(opposite_disk.len(), buckets, "per-bucket disk flags");
+    #[allow(clippy::needless_range_loop)]
+    for bucket in 0..buckets {
+        report.scanned += target.store.bucket(bucket).memory_len();
+        let extracted = target.store.extract_memory_bucket(bucket, |r| {
+            match r.tuple.get(join_attr) {
+                Some(v) => new_patterns.iter().any(|p| {
+                    evals += 1;
+                    p.matches(v)
+                }),
+                None => false,
+            }
+        });
+        for mut rec in extracted {
+            rec.dts = departure;
+            if opposite_disk[bucket] {
+                target.buffer_record(bucket, rec, work);
+                report.buffered += 1;
+            } else {
+                if let Some(pid) = rec.pid {
+                    target.index.decrement(pid);
+                }
+                report.removed += 1;
+            }
+        }
+    }
+
+    work.purge_scanned += report.scanned as u64;
+    work.index_evals += evals;
+    work.purged += report.removed as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::{Punctuation, Tuple, Value};
+    use crate::record::PRecord;
+
+    fn state_with_keys(keys: &[i64]) -> JoinState {
+        let mut s = JoinState::new(2, 0, 4, 4);
+        for (i, &k) in keys.iter().enumerate() {
+            s.store.insert(PRecord::arriving(Tuple::of((k, 0i64)), i as u64));
+        }
+        s
+    }
+
+    fn constant(v: i64) -> Pattern {
+        Pattern::Constant(Value::Int(v))
+    }
+
+    #[test]
+    fn purges_matching_tuples() {
+        let mut s = state_with_keys(&[1, 2, 3, 2]);
+        let mut w = Work::ZERO;
+        let report = purge_state(&mut s, &[constant(2)], &[false; 4], 100, &mut w);
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.removed, 2);
+        assert_eq!(report.buffered, 0);
+        assert_eq!(s.total_tuples(), 2);
+        assert_eq!(w.purged, 2);
+        assert!(w.purge_scanned >= 4);
+    }
+
+    #[test]
+    fn empty_patterns_is_noop() {
+        let mut s = state_with_keys(&[1, 2]);
+        let mut w = Work::ZERO;
+        let report = purge_state(&mut s, &[], &[false; 4], 100, &mut w);
+        assert_eq!(report, PurgeReport::default());
+        assert_eq!(s.total_tuples(), 2);
+        assert!(w.is_zero());
+    }
+
+    #[test]
+    fn range_pattern_purges_span() {
+        let mut s = state_with_keys(&[1, 5, 9, 15]);
+        let mut w = Work::ZERO;
+        let report =
+            purge_state(&mut s, &[Pattern::int_range(0, 9)], &[false; 4], 100, &mut w);
+        assert_eq!(report.removed, 3);
+        assert_eq!(s.total_tuples(), 1);
+    }
+
+    #[test]
+    fn buffers_when_opposite_disk_exists() {
+        let mut s = state_with_keys(&[7, 8]);
+        let bucket7 = s.store.bucket_index(&Value::Int(7));
+        let mut opposite_disk = vec![false; 4];
+        opposite_disk[bucket7] = true;
+        let mut w = Work::ZERO;
+        let report = purge_state(&mut s, &[constant(7)], &opposite_disk, 100, &mut w);
+        assert_eq!(report.buffered, 1);
+        assert_eq!(report.removed, 0);
+        // Still part of the state (purge buffer), no longer probe-able.
+        assert_eq!(s.total_tuples(), 2);
+        assert_eq!(s.purge_buffer_len, 1);
+        assert_eq!(s.store.memory_tuples(), 1);
+        // Departure instant stamped.
+        assert_eq!(s.purge_buffer[bucket7][0].dts, 100);
+    }
+
+    #[test]
+    fn purge_decrements_index_counts() {
+        let mut s = state_with_keys(&[3]);
+        let id = s.index.insert(Punctuation::close_value(2, 0, 3i64));
+        let mut w = Work::ZERO;
+        s.index_build(&mut w);
+        assert_eq!(s.index.count(id), 1);
+        // Opposite punctuation closes key 3: the tuple is purged and the
+        // own-side count drops to zero (propagable).
+        purge_state(&mut s, &[constant(3)], &[false; 4], 100, &mut w);
+        assert_eq!(s.index.count(id), 0);
+    }
+
+    #[test]
+    fn multiple_patterns_any_match() {
+        let mut s = state_with_keys(&[1, 2, 3]);
+        let mut w = Work::ZERO;
+        let report =
+            purge_state(&mut s, &[constant(1), constant(3)], &[false; 4], 100, &mut w);
+        assert_eq!(report.removed, 2);
+        assert_eq!(s.total_tuples(), 1);
+    }
+}

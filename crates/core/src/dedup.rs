@@ -1,0 +1,106 @@
+//! Duplicate prevention for spill-resident state (inherited from XJoin,
+//! extended for PJoin's full-bucket disk-join resolution).
+//!
+//! PJoin adopts XJoin's memory-overflow machinery, so it inherits the
+//! same duplicate-result hazard: a pair of tuples may meet in the memory
+//! join *and* again when a disk-resident portion is read back. Every
+//! record carries a probe-ability interval `[ats, dts)` in **logical
+//! instants** (the operator bumps a counter per processed element and per
+//! disk-join run, so interval comparisons are never ambiguous):
+//!
+//! * pairs whose intervals overlap met in the memory join;
+//! * each disk-join run over a bucket is logged — once per side as
+//!   `(dts_last, probe_ts)` ("this side's disk, probed against opposite
+//!   residents"), and once per bucket as a [`DiskDiskMark`] ("disk × disk
+//!   pairs up to these departure instants are resolved").
+
+use crate::record::{Instant, PRecord};
+
+/// One logged disk-join probe of a side's disk portion against the
+/// opposite residents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeEntry {
+    /// All disk tuples with `dts <= dts_last` participated.
+    pub dts_last: Instant,
+    /// The logical instant of the probe.
+    pub probe_ts: Instant,
+}
+
+/// Per-bucket log of disk-vs-resident probes for one side.
+#[derive(Debug, Clone)]
+pub struct ProbeHistory {
+    entries: Vec<Vec<ProbeEntry>>,
+}
+
+impl ProbeHistory {
+    /// Creates an empty history for `buckets` buckets.
+    pub fn new(buckets: usize) -> ProbeHistory {
+        ProbeHistory { entries: vec![Vec::new(); buckets] }
+    }
+
+    /// Logs a run over `bucket`.
+    pub fn log(&mut self, bucket: usize, dts_last: Instant, probe_ts: Instant) {
+        self.entries[bucket].push(ProbeEntry { dts_last, probe_ts });
+    }
+
+    /// True if (disk-resident `a` of this side, opposite record `b`) was
+    /// already produced: `a` was on disk by a logged run and `b` was
+    /// probe-able at that run.
+    pub fn covers(&self, bucket: usize, a: &PRecord, b: &PRecord) -> bool {
+        self.entries[bucket]
+            .iter()
+            .any(|e| a.dts <= e.dts_last && b.ats <= e.probe_ts && b.dts > e.probe_ts)
+    }
+}
+
+/// Per-bucket watermark of resolved disk×disk combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskDiskMark {
+    /// Side-A disk tuples with `dts <= a_dts_last` are resolved …
+    pub a_dts_last: Instant,
+    /// … against side-B disk tuples with `dts <= b_dts_last`.
+    pub b_dts_last: Instant,
+}
+
+impl DiskDiskMark {
+    /// True if the disk×disk pair `(a, b)` is already resolved.
+    pub fn covers(&self, a: &PRecord, b: &PRecord) -> bool {
+        a.dts <= self.a_dts_last && b.dts <= self.b_dts_last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::Tuple;
+
+    fn rec(ats: u64, dts: u64) -> PRecord {
+        let mut r = PRecord::arriving(Tuple::of((1i64,)), ats);
+        r.dts = dts;
+        r
+    }
+
+    #[test]
+    fn probe_history_basics() {
+        let mut h = ProbeHistory::new(2);
+        h.log(0, 50, 100);
+        let a = rec(0, 40);
+        let b_mem = rec(60, u64::MAX);
+        assert!(h.covers(0, &a, &b_mem));
+        assert!(!h.covers(1, &a, &b_mem));
+        // b that departed before the probe was not probe-able.
+        assert!(!h.covers(0, &a, &rec(60, 99)));
+        // a spilled after the run is not covered.
+        assert!(!h.covers(0, &rec(0, 60), &b_mem));
+    }
+
+    #[test]
+    fn disk_disk_mark() {
+        let m = DiskDiskMark { a_dts_last: 100, b_dts_last: 200 };
+        assert!(m.covers(&rec(0, 100), &rec(0, 200)));
+        assert!(!m.covers(&rec(0, 101), &rec(0, 200)));
+        assert!(!m.covers(&rec(0, 100), &rec(0, 201)));
+        // Memory-resident records (dts = MAX) are never "on disk".
+        assert!(!m.covers(&rec(0, u64::MAX), &rec(0, 200)));
+    }
+}

@@ -1,0 +1,18 @@
+//! The event-driven framework of the paper's §3.6 (Fig. 4).
+//!
+//! A [`Monitor`] keeps track of runtime parameters (state size,
+//! punctuations since the last purge / propagation, pending propagation
+//! requests) and raises [`Event`]s when thresholds are reached. An
+//! event-listener [`Registry`] maps each event kind to the ordered list
+//! of [`Component`]s that handle it — the paper's Table 1. Both the
+//! monitor's thresholds and the registry entries can be changed at
+//! runtime, "initiated at the static query optimization phase \[and\]
+//! updated at runtime".
+
+pub mod events;
+pub mod monitor;
+pub mod registry;
+
+pub use events::{Component, Event, EventKind};
+pub use monitor::{Monitor, MonitorSnapshot};
+pub use registry::{Registry, RegistryEntry};

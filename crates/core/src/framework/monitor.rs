@@ -1,0 +1,275 @@
+//! The monitor: watches runtime parameters and raises events when
+//! thresholds are reached (paper §3.6). Thresholds are mutable at
+//! runtime.
+
+use punct_types::Timestamp;
+
+use crate::config::{PJoinConfig, PropagationTrigger};
+use crate::framework::events::{Event, EventKind};
+
+/// A snapshot of the runtime parameters the monitor evaluates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorSnapshot {
+    /// In-memory tuples across both states (stores + purge buffers).
+    pub memory_tuples: usize,
+    /// Whether any bucket's disk portion meets the activation threshold
+    /// or has purge-buffer entries waiting on it.
+    pub disk_join_ready: bool,
+    /// Current virtual time.
+    pub now: Timestamp,
+}
+
+/// The runtime-parameter monitor.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    /// Punctuations (across both inputs) since the last state purge.
+    puncts_since_purge: u64,
+    /// Punctuations since the last propagation.
+    puncts_since_propagation: u64,
+    /// Virtual time of the last propagation.
+    last_propagation: Timestamp,
+    /// Pending pull-mode propagation request.
+    propagation_requested: bool,
+    /// A matched punctuation pair arrived (matched-pair trigger).
+    matched_pair_seen: bool,
+    /// The purge threshold (None = never purge). Runtime-tunable.
+    pub purge_threshold: Option<u64>,
+    /// The memory threshold in tuples (0 = unlimited). Runtime-tunable.
+    pub memory_threshold: usize,
+    /// The count propagation threshold, if push-count mode.
+    pub propagate_count: Option<u64>,
+    /// The time propagation threshold in µs, if push-time mode.
+    pub propagate_time_us: Option<u64>,
+}
+
+impl Monitor {
+    /// Builds a monitor from the operator configuration.
+    pub fn from_config(config: &PJoinConfig) -> Monitor {
+        Monitor {
+            puncts_since_purge: 0,
+            puncts_since_propagation: 0,
+            last_propagation: Timestamp::ZERO,
+            propagation_requested: false,
+            matched_pair_seen: false,
+            purge_threshold: config.purge.threshold(),
+            memory_threshold: config.memory_max_tuples,
+            propagate_count: match config.propagation {
+                PropagationTrigger::PushCount { count } => Some(count.max(1)),
+                _ => None,
+            },
+            propagate_time_us: match config.propagation {
+                PropagationTrigger::PushTime { micros } => Some(micros.max(1)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Records a punctuation arrival; `matched_pair` reports whether it
+    /// completed an equivalent pair across the inputs.
+    pub fn punctuation_arrived(&mut self, matched_pair: bool) {
+        self.puncts_since_purge += 1;
+        self.puncts_since_propagation += 1;
+        if matched_pair {
+            self.matched_pair_seen = true;
+        }
+    }
+
+    /// Records a pull-mode propagation request.
+    pub fn request_propagation(&mut self) {
+        self.propagation_requested = true;
+    }
+
+    /// Number of punctuations since the last purge (for tests/metrics).
+    pub fn puncts_since_purge(&self) -> u64 {
+        self.puncts_since_purge
+    }
+
+    /// Evaluates the thresholds against `snapshot`, returning the raised
+    /// events (in a deterministic order) and resetting edge-triggered
+    /// counters.
+    pub fn poll(&mut self, snapshot: &MonitorSnapshot, matched_pair_mode: bool) -> Vec<Event> {
+        let mut events = Vec::new();
+
+        if let Some(threshold) = self.purge_threshold {
+            if self.puncts_since_purge >= threshold {
+                events.push(Event::new(EventKind::PurgeThresholdReach));
+                self.puncts_since_purge = 0;
+            }
+        }
+
+        if self.memory_threshold > 0 && snapshot.memory_tuples > self.memory_threshold {
+            events.push(Event::new(EventKind::StateFull));
+        }
+
+        if snapshot.disk_join_ready {
+            events.push(Event::new(EventKind::DiskJoinActivate));
+        }
+
+        if self.propagation_requested {
+            self.propagation_requested = false;
+            events.push(Event::new(EventKind::PropagateRequest));
+            self.note_propagated(snapshot.now);
+        } else if matched_pair_mode && self.matched_pair_seen {
+            self.matched_pair_seen = false;
+            events.push(Event::new(EventKind::PropagateRequest));
+            self.note_propagated(snapshot.now);
+        } else if let Some(count) = self.propagate_count {
+            if self.puncts_since_propagation >= count {
+                events.push(Event::new(EventKind::PropagateCountReach));
+                self.note_propagated(snapshot.now);
+            }
+        } else if let Some(us) = self.propagate_time_us {
+            if snapshot.now.micros_since(self.last_propagation) >= us {
+                events.push(Event::new(EventKind::PropagateTimeExpire));
+                self.note_propagated(snapshot.now);
+            }
+        }
+
+        events
+    }
+
+    fn note_propagated(&mut self, now: Timestamp) {
+        self.puncts_since_propagation = 0;
+        self.last_propagation = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IndexBuildStrategy, PurgeStrategy};
+
+    fn config(purge: PurgeStrategy, propagation: PropagationTrigger) -> PJoinConfig {
+        PJoinConfig {
+            purge,
+            propagation,
+            index_build: IndexBuildStrategy::Lazy,
+            ..PJoinConfig::new(2, 2)
+        }
+    }
+
+    fn snap(now: u64) -> MonitorSnapshot {
+        MonitorSnapshot { memory_tuples: 0, disk_join_ready: false, now: Timestamp(now) }
+    }
+
+    #[test]
+    fn purge_threshold_fires_and_resets() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Lazy { threshold: 3 },
+            PropagationTrigger::Disabled,
+        ));
+        m.punctuation_arrived(false);
+        m.punctuation_arrived(false);
+        assert!(m.poll(&snap(0), false).is_empty());
+        m.punctuation_arrived(false);
+        let events = m.poll(&snap(0), false);
+        assert_eq!(events, vec![Event::new(EventKind::PurgeThresholdReach)]);
+        // Counter reset.
+        assert!(m.poll(&snap(0), false).is_empty());
+    }
+
+    #[test]
+    fn eager_purge_fires_every_punctuation() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Eager,
+            PropagationTrigger::Disabled,
+        ));
+        for _ in 0..3 {
+            m.punctuation_arrived(false);
+            let events = m.poll(&snap(0), false);
+            assert!(events.contains(&Event::new(EventKind::PurgeThresholdReach)));
+        }
+    }
+
+    #[test]
+    fn never_purge_never_fires() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::Disabled,
+        ));
+        for _ in 0..100 {
+            m.punctuation_arrived(false);
+        }
+        assert!(m.poll(&snap(0), false).is_empty());
+    }
+
+    #[test]
+    fn state_full_when_over_threshold() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::Disabled,
+        ));
+        m.memory_threshold = 10;
+        let s = MonitorSnapshot { memory_tuples: 11, ..snap(0) };
+        assert_eq!(m.poll(&s, false), vec![Event::new(EventKind::StateFull)]);
+        let s = MonitorSnapshot { memory_tuples: 10, ..snap(0) };
+        assert!(m.poll(&s, false).is_empty());
+    }
+
+    #[test]
+    fn count_propagation_threshold() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::PushCount { count: 2 },
+        ));
+        m.punctuation_arrived(false);
+        assert!(m.poll(&snap(0), false).is_empty());
+        m.punctuation_arrived(false);
+        assert_eq!(
+            m.poll(&snap(0), false),
+            vec![Event::new(EventKind::PropagateCountReach)]
+        );
+        assert!(m.poll(&snap(0), false).is_empty());
+    }
+
+    #[test]
+    fn time_propagation_threshold() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::PushTime { micros: 100 },
+        ));
+        assert!(m.poll(&snap(50), false).is_empty());
+        assert_eq!(
+            m.poll(&snap(100), false),
+            vec![Event::new(EventKind::PropagateTimeExpire)]
+        );
+        // Clock resets to the firing time.
+        assert!(m.poll(&snap(150), false).is_empty());
+        assert!(!m.poll(&snap(200), false).is_empty());
+    }
+
+    #[test]
+    fn pull_request_fires_once() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::Pull,
+        ));
+        assert!(m.poll(&snap(0), false).is_empty());
+        m.request_propagation();
+        assert_eq!(m.poll(&snap(0), false), vec![Event::new(EventKind::PropagateRequest)]);
+        assert!(m.poll(&snap(0), false).is_empty());
+    }
+
+    #[test]
+    fn matched_pair_mode() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::MatchedPair,
+        ));
+        m.punctuation_arrived(false);
+        assert!(m.poll(&snap(0), true).is_empty());
+        m.punctuation_arrived(true);
+        assert_eq!(m.poll(&snap(0), true), vec![Event::new(EventKind::PropagateRequest)]);
+        assert!(m.poll(&snap(0), true).is_empty());
+    }
+
+    #[test]
+    fn disk_join_ready_raises_event() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::Disabled,
+        ));
+        let s = MonitorSnapshot { disk_join_ready: true, ..snap(0) };
+        assert_eq!(m.poll(&s, false), vec![Event::new(EventKind::DiskJoinActivate)]);
+    }
+}

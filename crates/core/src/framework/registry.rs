@@ -1,0 +1,232 @@
+//! The event-listener registry (paper §3.6, Table 1).
+//!
+//! "Each entry in the registry lists the event to be generated, the
+//! additional conditions to be checked and the listeners (components)
+//! which will be executed to handle the event. The registry while
+//! initiated at the static query optimization phase can be updated at
+//! runtime."
+
+use std::fmt;
+
+use crate::config::{IndexBuildStrategy, PJoinConfig, PropagationTrigger};
+use crate::framework::events::{Component, EventKind};
+
+/// One registry entry: an event and its ordered listeners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// The event handled by this entry.
+    pub event: EventKind,
+    /// Human-readable additional condition (documentation of the check
+    /// the monitor performs before raising the event).
+    pub condition: String,
+    /// Components executed, in order.
+    pub listeners: Vec<Component>,
+}
+
+/// The event-listener registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Builds the registry dictated by an operator configuration.
+    ///
+    /// With *lazy* index building, [`Component::IndexBuild`] is coupled in
+    /// front of every propagation listener; with *eager* building it is
+    /// bound to [`EventKind::PunctuationArrive`] instead — exactly the
+    /// coupling alternatives of §3.6.
+    pub fn from_config(config: &PJoinConfig) -> Registry {
+        let mut r = Registry::new();
+
+        r.register(
+            EventKind::PurgeThresholdReach,
+            "new punctuations since last purge >= purge threshold",
+            vec![Component::StatePurge],
+        );
+        r.register(
+            EventKind::StateFull,
+            "in-memory state size > memory threshold",
+            vec![Component::StateRelocation],
+        );
+        r.register(
+            EventKind::DiskJoinActivate,
+            "disk portion >= activation threshold, or purge buffer waiting",
+            vec![Component::DiskJoin],
+        );
+
+        let propagation_listeners = match config.index_build {
+            IndexBuildStrategy::Lazy => vec![Component::IndexBuild, Component::Propagation],
+            IndexBuildStrategy::Eager => vec![Component::Propagation],
+        };
+        if config.index_build == IndexBuildStrategy::Eager {
+            r.register(
+                EventKind::PunctuationArrive,
+                "always (eager index building)",
+                vec![Component::IndexBuild],
+            );
+        }
+        match config.propagation {
+            PropagationTrigger::Disabled => {}
+            PropagationTrigger::PushCount { count } => r.register(
+                EventKind::PropagateCountReach,
+                format!("punctuations since last propagation >= {count}"),
+                propagation_listeners.clone(),
+            ),
+            PropagationTrigger::PushTime { micros } => r.register(
+                EventKind::PropagateTimeExpire,
+                format!("time since last propagation >= {micros}us"),
+                propagation_listeners.clone(),
+            ),
+            PropagationTrigger::MatchedPair | PropagationTrigger::Pull => r.register(
+                EventKind::PropagateRequest,
+                "matched punctuation pair received or downstream request",
+                propagation_listeners.clone(),
+            ),
+        }
+
+        // Stream end: finish left-over disk joins, final purge (unless
+        // purging is disabled outright), then flush propagation.
+        let mut end = vec![Component::DiskJoin];
+        if config.purge != crate::config::PurgeStrategy::Never {
+            end.push(Component::StatePurge);
+        }
+        if config.propagation != PropagationTrigger::Disabled {
+            end.extend([Component::IndexBuild, Component::Propagation]);
+        }
+        r.register(EventKind::StreamEmpty, "both inputs exhausted", end);
+
+        r
+    }
+
+    /// The registry of the paper's **Table 1**: lazy purge, lazy index
+    /// building, push-mode count propagation.
+    pub fn table1(purge_threshold: u64, count_threshold: u64) -> Registry {
+        let config = PJoinConfig {
+            purge: crate::config::PurgeStrategy::Lazy { threshold: purge_threshold },
+            index_build: IndexBuildStrategy::Lazy,
+            propagation: PropagationTrigger::PushCount { count: count_threshold },
+            ..PJoinConfig::new(2, 2)
+        };
+        Registry::from_config(&config)
+    }
+
+    /// Registers (appends) an entry at runtime.
+    pub fn register(
+        &mut self,
+        event: EventKind,
+        condition: impl Into<String>,
+        listeners: Vec<Component>,
+    ) {
+        self.entries.push(RegistryEntry { event, condition: condition.into(), listeners });
+    }
+
+    /// Removes all entries for an event (runtime reconfiguration).
+    pub fn unregister(&mut self, event: EventKind) {
+        self.entries.retain(|e| e.event != event);
+    }
+
+    /// The ordered listeners for an event (concatenated across entries).
+    pub fn listeners(&self, event: EventKind) -> Vec<Component> {
+        self.entries
+            .iter()
+            .filter(|e| e.event == event)
+            .flat_map(|e| e.listeners.iter().copied())
+            .collect()
+    }
+
+    /// All entries, in registration order.
+    pub fn entries(&self) -> &[RegistryEntry] {
+        &self.entries
+    }
+}
+
+impl fmt::Display for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<28} {:<52} listeners", "event", "condition")?;
+        for e in &self.entries {
+            let listeners: Vec<String> = e.listeners.iter().map(|l| l.to_string()).collect();
+            writeln!(f, "{:<28} {:<52} {}", e.event.to_string(), e.condition, listeners.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PurgeStrategy;
+
+    #[test]
+    fn table1_wires_lazy_couplings() {
+        let r = Registry::table1(10, 5);
+        // Lazy purge on threshold.
+        assert_eq!(r.listeners(EventKind::PurgeThresholdReach), vec![Component::StatePurge]);
+        // Lazy index building coupled before propagation on the count event.
+        assert_eq!(
+            r.listeners(EventKind::PropagateCountReach),
+            vec![Component::IndexBuild, Component::Propagation]
+        );
+        // No eager index building on punctuation arrival.
+        assert!(r.listeners(EventKind::PunctuationArrive).is_empty());
+    }
+
+    #[test]
+    fn eager_index_binds_to_punctuation_arrival() {
+        let config = PJoinConfig {
+            index_build: IndexBuildStrategy::Eager,
+            propagation: PropagationTrigger::PushCount { count: 5 },
+            ..PJoinConfig::new(2, 2)
+        };
+        let r = Registry::from_config(&config);
+        assert_eq!(r.listeners(EventKind::PunctuationArrive), vec![Component::IndexBuild]);
+        // Propagation no longer needs the coupled build.
+        assert_eq!(r.listeners(EventKind::PropagateCountReach), vec![Component::Propagation]);
+    }
+
+    #[test]
+    fn disabled_propagation_registers_nothing() {
+        let config = PJoinConfig {
+            propagation: PropagationTrigger::Disabled,
+            ..PJoinConfig::new(2, 2)
+        };
+        let r = Registry::from_config(&config);
+        assert!(r.listeners(EventKind::PropagateCountReach).is_empty());
+        assert!(r.listeners(EventKind::PropagateRequest).is_empty());
+        // Stream-empty cleanup skips propagation too.
+        assert!(!r.listeners(EventKind::StreamEmpty).contains(&Component::Propagation));
+    }
+
+    #[test]
+    fn runtime_reconfiguration() {
+        let mut r = Registry::table1(10, 5);
+        r.unregister(EventKind::PurgeThresholdReach);
+        assert!(r.listeners(EventKind::PurgeThresholdReach).is_empty());
+        r.register(EventKind::PurgeThresholdReach, "custom", vec![Component::StatePurge]);
+        assert_eq!(r.listeners(EventKind::PurgeThresholdReach).len(), 1);
+    }
+
+    #[test]
+    fn never_purge_excludes_stream_empty_purge() {
+        let config = PJoinConfig { purge: PurgeStrategy::Never, ..PJoinConfig::new(2, 2) };
+        let r = Registry::from_config(&config);
+        assert!(!r.listeners(EventKind::StreamEmpty).contains(&Component::StatePurge));
+        // Ordinary configurations keep the final purge.
+        let r = Registry::table1(10, 5);
+        assert!(r.listeners(EventKind::StreamEmpty).contains(&Component::StatePurge));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = Registry::table1(10, 5);
+        let s = r.to_string();
+        assert!(s.contains("PurgeThresholdReachEvent"));
+        assert!(s.contains("state-purge"));
+        assert!(s.contains("index-build, propagation"));
+    }
+}

@@ -1,0 +1,531 @@
+//! The PJoin operator: wiring of the memory join, the event-driven
+//! framework, and the purge / relocation / disk-join / index-build /
+//! propagation components.
+
+use punct_types::{Pattern, StreamElement, Timestamp, Tuple};
+use stream_sim::{BinaryStreamOp, OpOutput, Side, Work};
+
+use crate::components::disk_join::{resolve_bucket, ResolutionMark};
+use crate::components::propagation::propagate_side;
+use crate::components::purge::purge_state;
+use crate::config::{PJoinConfig, PropagationTrigger};
+use crate::dedup::DiskDiskMark;
+use crate::framework::{Component, EventKind, Monitor, MonitorSnapshot, Registry};
+use crate::record::{Instant, PRecord};
+use crate::state::JoinState;
+
+/// Operational statistics of a PJoin run (complements the cost-model
+/// [`Work`] counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PJoinStats {
+    /// State purge invocations.
+    pub purge_runs: u64,
+    /// Tuples removed by purges (memory scans and disk rewrites).
+    pub tuples_purged: u64,
+    /// Tuples parked in a purge buffer.
+    pub tuples_buffered: u64,
+    /// Arriving tuples dropped on the fly (never stored).
+    pub dropped_on_fly: u64,
+    /// Tuples invalidated by the sliding window (§6 extension).
+    pub tuples_expired: u64,
+    /// Punctuation index build invocations.
+    pub index_builds: u64,
+    /// Propagation invocations.
+    pub propagation_runs: u64,
+    /// Punctuations released to the output.
+    pub puncts_propagated: u64,
+    /// Disk-join bucket resolutions.
+    pub disk_join_runs: u64,
+    /// State relocations (bucket spills).
+    pub relocations: u64,
+}
+
+/// End-of-stream processing phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EndPhase {
+    NotStarted,
+    DiskJoins,
+    Final,
+    Done,
+}
+
+/// The PJoin operator. See the crate docs for the high-level design and
+/// [`PJoinBuilder`](crate::PJoinBuilder) for ergonomic construction.
+pub struct PJoin {
+    config: PJoinConfig,
+    a: JoinState,
+    b: JoinState,
+    /// Per-bucket disk×disk resolution watermarks.
+    dd_marks: Vec<Option<DiskDiskMark>>,
+    /// Per-bucket snapshot of the last disk-join resolution.
+    resolution_marks: Vec<Option<ResolutionMark>>,
+    monitor: Monitor,
+    registry: Registry,
+    work: Work,
+    stats: PJoinStats,
+    /// Logical event clock (see `crate::dedup`).
+    instant: Instant,
+    /// Latest virtual time seen (for the monitor's time thresholds).
+    now: Timestamp,
+    end_phase: EndPhase,
+}
+
+impl PJoin {
+    /// Creates a PJoin from a configuration, with the registry derived
+    /// from it.
+    pub fn new(config: PJoinConfig) -> PJoin {
+        let registry = Registry::from_config(&config);
+        PJoin::with_registry(config, registry)
+    }
+
+    /// Creates a PJoin whose spill states live on explicit disk backends
+    /// (e.g. real [`spillstore::FileDisk`]s).
+    pub fn with_backends(
+        config: PJoinConfig,
+        backend_a: Box<dyn spillstore::DiskBackend>,
+        backend_b: Box<dyn spillstore::DiskBackend>,
+    ) -> PJoin {
+        let registry = Registry::from_config(&config);
+        let mut op = PJoin::with_registry(config, registry);
+        op.a = JoinState::with_backend(
+            op.config.width_a,
+            op.config.join_attr_a,
+            op.config.buckets,
+            op.config.page_tuples,
+            backend_a,
+        );
+        op.b = JoinState::with_backend(
+            op.config.width_b,
+            op.config.join_attr_b,
+            op.config.buckets,
+            op.config.page_tuples,
+            backend_b,
+        );
+        op
+    }
+
+    /// Creates a PJoin with an explicit event-listener registry (runtime
+    /// reconfiguration experiments).
+    pub fn with_registry(config: PJoinConfig, registry: Registry) -> PJoin {
+        PJoin {
+            a: JoinState::new(config.width_a, config.join_attr_a, config.buckets, config.page_tuples),
+            b: JoinState::new(config.width_b, config.join_attr_b, config.buckets, config.page_tuples),
+            dd_marks: vec![None; config.buckets],
+            resolution_marks: vec![None; config.buckets],
+            monitor: Monitor::from_config(&config),
+            registry,
+            work: Work::ZERO,
+            stats: PJoinStats::default(),
+            instant: 0,
+            now: Timestamp::ZERO,
+            end_phase: EndPhase::NotStarted,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PJoinConfig {
+        &self.config
+    }
+
+    /// Operational statistics.
+    pub fn stats(&self) -> &PJoinStats {
+        &self.stats
+    }
+
+    /// Side A's state (tests, metrics).
+    pub fn state_a(&self) -> &JoinState {
+        &self.a
+    }
+
+    /// Side B's state (tests, metrics).
+    pub fn state_b(&self) -> &JoinState {
+        &self.b
+    }
+
+    /// The event-listener registry (runtime-tunable).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The monitor (runtime-tunable thresholds).
+    pub fn monitor_mut(&mut self) -> &mut Monitor {
+        &mut self.monitor
+    }
+
+    /// Pull-mode propagation request from a downstream operator; handled
+    /// at the next processing step.
+    pub fn request_propagation(&mut self) {
+        self.monitor.request_propagation();
+    }
+
+    fn next_instant(&mut self) -> Instant {
+        let i = self.instant;
+        self.instant += 1;
+        i
+    }
+
+    /// Splits the two side states by arrival side: `(own, opposite)`.
+    fn split(&mut self, side: Side) -> (&mut JoinState, &mut JoinState) {
+        match side {
+            Side::Left => (&mut self.a, &mut self.b),
+            Side::Right => (&mut self.b, &mut self.a),
+        }
+    }
+
+    /// The memory join (paper §3.2): probe the opposite memory portion,
+    /// emit matches, then store the tuple — or drop/buffer it on the fly
+    /// when the opposite punctuation set already covers it (§4.3). With
+    /// the sliding-window extension (§6), tuple invalidation by window is
+    /// "performed in combination with the state probing": the expired
+    /// prefix of the probed (and insertion) bucket is dropped first.
+    fn handle_tuple(&mut self, side: Side, tuple: Tuple, out: &mut OpOutput) {
+        let t = self.next_instant();
+        let now_us = self.now.as_micros();
+        let on_the_fly = self.config.on_the_fly_drop;
+        let window_cutoff = self.config.window_us.map(|w| now_us.saturating_sub(w));
+        let work = &mut self.work;
+        let stats = &mut self.stats;
+        let (own, opp) = match side {
+            Side::Left => (&mut self.a, &mut self.b),
+            Side::Right => (&mut self.b, &mut self.a),
+        };
+        own.newest_ats = t;
+        let Some(key) = tuple.get(own.join_attr).cloned() else {
+            debug_assert!(false, "tuple without join attribute");
+            return;
+        };
+        work.hashes += 1;
+
+        // Window expiry in the buckets this element touches.
+        if let Some(cutoff) = window_cutoff {
+            let opp_bucket = opp.store.bucket_index(&key);
+            stats.tuples_expired += opp.expire_bucket_prefix(opp_bucket, cutoff, work) as u64;
+            let own_bucket = own.store.bucket_index(&key);
+            stats.tuples_expired += own.expire_bucket_prefix(own_bucket, cutoff, work) as u64;
+        }
+
+        // Probe.
+        let opp_attr = opp.join_attr;
+        for rec in opp.store.probe_memory(&key) {
+            work.probe_cmps += 1;
+            if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(&key)) {
+                work.outputs += 1;
+                match side {
+                    Side::Left => out.push(tuple.concat(&rec.tuple)),
+                    Side::Right => out.push(rec.tuple.concat(&tuple)),
+                }
+            }
+        }
+
+        // Store, unless covered by the opposite punctuation set.
+        if on_the_fly {
+            work.index_evals += 1;
+            if opp.index.covers_join_value(&key) {
+                let bucket = own.store.bucket_index(&key);
+                if opp.store.bucket(bucket).has_disk_portion() {
+                    // May still join the opposite disk portion: park it.
+                    let rec = PRecord { tuple, ats: t, dts: t + 1, pid: None, arrival_us: now_us };
+                    own.buffer_record(bucket, rec, work);
+                    stats.tuples_buffered += 1;
+                } else {
+                    stats.dropped_on_fly += 1;
+                }
+                return;
+            }
+        }
+        own.store.insert(PRecord::arriving_at(tuple, t, now_us));
+        work.inserts += 1;
+    }
+
+    /// Punctuation ingest: register in the owning side's index, run the
+    /// eager index build if so registered, and update the monitor.
+    fn handle_punctuation(&mut self, side: Side, p: punct_types::Punctuation, out: &mut OpOutput) {
+        let _ = self.next_instant();
+        self.work.puncts_processed += 1;
+        let matched_pair_mode = self.config.propagation == PropagationTrigger::MatchedPair;
+        let (own, opp) = self.split(side);
+        if p.width() != own.width {
+            debug_assert!(false, "punctuation width {} != stream width {}", p.width(), own.width);
+            return;
+        }
+        let matched = matched_pair_mode
+            && p.pattern(own.join_attr)
+                .is_some_and(|pat| opp.index.contains_join_pattern(pat));
+        own.index.insert(p);
+        self.monitor.punctuation_arrived(matched);
+
+        for comp in self.registry.listeners(EventKind::PunctuationArrive) {
+            self.run_component(comp, out);
+        }
+    }
+
+    fn snapshot(&self, disk_join_ready: bool) -> MonitorSnapshot {
+        MonitorSnapshot {
+            memory_tuples: self.a.memory_tuples() + self.b.memory_tuples(),
+            disk_join_ready,
+            now: self.now,
+        }
+    }
+
+    fn dispatch(&mut self, disk_join_ready: bool, out: &mut OpOutput) -> bool {
+        let snapshot = self.snapshot(disk_join_ready);
+        let matched_mode = self.config.propagation == PropagationTrigger::MatchedPair;
+        let events = self.monitor.poll(&snapshot, matched_mode);
+        let mut ran = false;
+        for event in events {
+            for comp in self.registry.listeners(event.kind) {
+                self.run_component(comp, out);
+                ran = true;
+            }
+        }
+        ran
+    }
+
+    fn run_component(&mut self, comp: Component, out: &mut OpOutput) {
+        match comp {
+            Component::StatePurge => self.component_purge(),
+            Component::StateRelocation => self.component_relocate(),
+            Component::DiskJoin => {
+                if let Some(bucket) = self.disk_join_candidate(false) {
+                    self.resolve(bucket, out);
+                }
+            }
+            Component::IndexBuild => self.component_index_build(),
+            Component::Propagation => self.component_propagate(out),
+        }
+    }
+
+    /// State purge (§3.4): apply each side's new punctuations to the
+    /// opposite state.
+    fn component_purge(&mut self) {
+        self.stats.purge_runs += 1;
+        let departure = self.instant;
+        let buckets = self.config.buckets;
+
+        // A's new punctuations purge B.
+        let patterns_a = self.a.index.join_patterns_since(self.a.applied_up_to);
+        self.a.applied_up_to = self.a.index.next_id();
+        if !patterns_a.is_empty() {
+            let disk_a: Vec<bool> =
+                (0..buckets).map(|i| self.a.store.bucket(i).has_disk_portion()).collect();
+            let report = purge_state(&mut self.b, &patterns_a, &disk_a, departure, &mut self.work);
+            self.stats.tuples_purged += report.removed as u64;
+            self.stats.tuples_buffered += report.buffered as u64;
+        }
+
+        // B's new punctuations purge A.
+        let patterns_b = self.b.index.join_patterns_since(self.b.applied_up_to);
+        self.b.applied_up_to = self.b.index.next_id();
+        if !patterns_b.is_empty() {
+            let disk_b: Vec<bool> =
+                (0..buckets).map(|i| self.b.store.bucket(i).has_disk_portion()).collect();
+            let report = purge_state(&mut self.a, &patterns_b, &disk_b, departure, &mut self.work);
+            self.stats.tuples_purged += report.removed as u64;
+            self.stats.tuples_buffered += report.buffered as u64;
+        }
+    }
+
+    /// State relocation (§3.3): spill the largest bucket of the larger
+    /// store until under the memory threshold.
+    fn component_relocate(&mut self) {
+        if self.config.memory_max_tuples == 0 {
+            return;
+        }
+        let departure = self.instant;
+        while self.a.memory_tuples() + self.b.memory_tuples() > self.config.memory_max_tuples {
+            let own = if self.a.store.memory_tuples() >= self.b.store.memory_tuples() {
+                &mut self.a
+            } else {
+                &mut self.b
+            };
+            let Some(victim) = own.store.peek_spill_victim() else { break };
+            if own.store.bucket(victim).memory_len() == 0 {
+                break;
+            }
+            own.spill_bucket(victim, departure, &mut self.work);
+            self.stats.relocations += 1;
+        }
+    }
+
+    /// Index build (§3.5): incremental build on both sides.
+    fn component_index_build(&mut self) {
+        self.stats.index_builds += 1;
+        self.a.index_build(&mut self.work);
+        self.b.index_build(&mut self.work);
+    }
+
+    /// Propagation (§3.5): release propagable punctuations of both sides
+    /// in output-schema form.
+    fn component_propagate(&mut self, out: &mut OpOutput) {
+        self.stats.propagation_runs += 1;
+        let out_width = self.config.output_width();
+        let n = propagate_side(&mut self.a, 0, out_width, out, &mut self.work).len()
+            + propagate_side(&mut self.b, self.config.width_a, out_width, out, &mut self.work)
+                .len();
+        self.stats.puncts_propagated += n as u64;
+    }
+
+    /// Picks the next bucket worth resolving. With `force`, activation
+    /// thresholds are ignored (end-of-stream cleanup).
+    fn disk_join_candidate(&self, force: bool) -> Option<usize> {
+        for bucket in 0..self.config.buckets {
+            let ab = self.a.store.bucket(bucket);
+            let bb = self.b.store.bucket(bucket);
+            let buffers = !self.a.purge_buffer[bucket].is_empty()
+                || !self.b.purge_buffer[bucket].is_empty();
+            let has_disk = ab.has_disk_portion() || bb.has_disk_portion();
+            if !has_disk && !buffers {
+                continue;
+            }
+            let pages = ab.disk_pages().len().max(bb.disk_pages().len()) as u64;
+            if !buffers && !force && pages < self.config.activation_pages {
+                continue;
+            }
+            match self.resolution_marks[bucket] {
+                Some(m)
+                    if !buffers
+                        && m.a_disk_len == ab.disk_len()
+                        && m.b_disk_len == bb.disk_len()
+                        && m.newest_ats_a == self.a.newest_ats
+                        && m.newest_ats_b == self.b.newest_ats =>
+                {
+                    continue
+                }
+                _ => return Some(bucket),
+            }
+        }
+        None
+    }
+
+    fn resolve(&mut self, bucket: usize, out: &mut OpOutput) {
+        let probe_instant = self.next_instant();
+        self.stats.disk_join_runs += 1;
+        let mark = resolve_bucket(
+            bucket,
+            &mut self.a,
+            &mut self.b,
+            &mut self.dd_marks[bucket],
+            probe_instant,
+            out,
+            &mut self.work,
+        );
+        self.resolution_marks[bucket] = Some(mark);
+    }
+}
+
+impl BinaryStreamOp for PJoin {
+    fn on_element(
+        &mut self,
+        side: Side,
+        element: StreamElement,
+        ts: Timestamp,
+        out: &mut OpOutput,
+    ) {
+        self.now = self.now.max(ts);
+        match element {
+            StreamElement::Tuple(t) => self.handle_tuple(side, t, out),
+            StreamElement::Punctuation(p) => self.handle_punctuation(side, p, out),
+        }
+        // Disk joins are not scheduled inline with arrivals — they run in
+        // idle slots (§3.2) or at stream end.
+        self.dispatch(false, out);
+    }
+
+    fn on_idle(&mut self, now: Timestamp, out: &mut OpOutput) -> bool {
+        self.now = self.now.max(now);
+        let ready = self.disk_join_candidate(false).is_some();
+        self.dispatch(ready, out)
+    }
+
+    fn on_end(&mut self, now: Timestamp, out: &mut OpOutput) -> bool {
+        self.now = self.now.max(now);
+        loop {
+            match self.end_phase {
+                EndPhase::NotStarted => {
+                    self.end_phase = EndPhase::DiskJoins;
+                }
+                EndPhase::DiskJoins => {
+                    // The StreamEmpty handling honours the registry: skip
+                    // phases whose component is not registered.
+                    let listeners = self.registry.listeners(EventKind::StreamEmpty);
+                    if listeners.contains(&Component::DiskJoin) {
+                        if let Some(bucket) = self.disk_join_candidate(true) {
+                            self.resolve(bucket, out);
+                            return true;
+                        }
+                    }
+                    self.end_phase = EndPhase::Final;
+                }
+                EndPhase::Final => {
+                    let listeners = self.registry.listeners(EventKind::StreamEmpty);
+                    if listeners.contains(&Component::StatePurge) {
+                        self.component_purge();
+                    }
+                    if listeners.contains(&Component::IndexBuild) {
+                        self.component_index_build();
+                    }
+                    if listeners.contains(&Component::Propagation) {
+                        self.component_propagate(out);
+                        // Final flush: the streams ended, so no further
+                        // result can match *any* punctuation — release
+                        // the remainder in arrival order.
+                        self.flush_all_punctuations(out);
+                    }
+                    self.end_phase = EndPhase::Done;
+                    return true;
+                }
+                EndPhase::Done => return false,
+            }
+        }
+    }
+
+    fn take_work(&mut self) -> Work {
+        std::mem::take(&mut self.work)
+    }
+
+    fn state_tuples(&self) -> usize {
+        self.a.total_tuples() + self.b.total_tuples()
+    }
+
+    fn state_memory_tuples(&self) -> usize {
+        self.a.memory_tuples() + self.b.memory_tuples()
+    }
+
+    fn state_tuples_per_side(&self) -> (usize, usize) {
+        (self.a.total_tuples(), self.b.total_tuples())
+    }
+}
+
+impl PJoin {
+    /// Releases every remaining live punctuation (end-of-stream flush —
+    /// valid because no further result will be produced).
+    fn flush_all_punctuations(&mut self, out: &mut OpOutput) {
+        let out_width = self.config.output_width();
+        for (state, offset) in [
+            (&mut self.a, 0usize),
+            (&mut self.b, self.config.width_a),
+        ] {
+            for id in state.index.live_ids() {
+                let p = state.index.get(id).expect("live ids resolve");
+                out.push(crate::components::propagation::translate_punctuation(
+                    p, offset, out_width,
+                ));
+                state.index.retire(id);
+                self.work.puncts_propagated += 1;
+                self.stats.puncts_propagated += 1;
+            }
+        }
+    }
+
+    /// True if `pattern` occurs as a live join-attribute pattern in the
+    /// given side's punctuation set — exposed for tests of the
+    /// matched-pair trigger.
+    pub fn side_has_join_pattern(&self, side: Side, pattern: &Pattern) -> bool {
+        let state = match side {
+            Side::Left => &self.a,
+            Side::Right => &self.b,
+        };
+        state.index.contains_join_pattern(pattern)
+    }
+}

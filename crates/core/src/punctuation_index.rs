@@ -1,0 +1,270 @@
+//! The incrementally-maintained punctuation index of the paper's §3.5
+//! (Fig. 2): each punctuation carries a unique `pid` and a **count** of
+//! matching tuples residing in the *same* stream's state; each stored
+//! tuple carries the `pid` of the first-arrived punctuation it matches.
+//! When a punctuation's count reaches zero, no tuple matching it remains
+//! in the state, so by Theorem 1 it can be propagated.
+//!
+//! Deviation from the paper, documented in DESIGN.md: the paper removes
+//! propagated punctuations from the punctuation set; we *retire* them
+//! instead (excluded from indexing and propagation, still consulted by
+//! the opposite side's on-the-fly drop and purge), so late opposite-side
+//! tuples covered by an already-propagated punctuation can still be
+//! dropped rather than lingering unpurgeably.
+
+use punct_types::{Pattern, PunctId, Punctuation, PunctuationSet, Tuple, Value};
+
+/// The punctuation index of one input stream.
+#[derive(Debug, Clone)]
+pub struct PunctuationIndex {
+    set: PunctuationSet,
+    /// Matching-tuple count per pid (dense by id).
+    counts: Vec<u64>,
+    /// Retired (already propagated) flags per pid.
+    retired: Vec<bool>,
+    /// Ids `< indexed_next` have been index-built against the state.
+    indexed_next: u64,
+}
+
+impl PunctuationIndex {
+    /// Creates an empty index; `join_attr` is this stream's join
+    /// attribute (used for the fast cross-stream cover check).
+    pub fn new(join_attr: usize) -> PunctuationIndex {
+        PunctuationIndex {
+            set: PunctuationSet::new(join_attr),
+            counts: Vec::new(),
+            retired: Vec::new(),
+            indexed_next: 0,
+        }
+    }
+
+    /// Inserts a newly-arrived punctuation, assigning its pid.
+    pub fn insert(&mut self, p: Punctuation) -> PunctId {
+        let id = self.set.insert(p);
+        debug_assert_eq!(id.0 as usize, self.counts.len(), "dense pid assignment");
+        self.counts.push(0);
+        self.retired.push(false);
+        id
+    }
+
+    /// The id the *next* inserted punctuation will get.
+    pub fn next_id(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// Number of punctuations not yet retired.
+    pub fn live(&self) -> usize {
+        self.retired.iter().filter(|r| !**r).count()
+    }
+
+    /// Number of punctuations received in total.
+    pub fn total(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The underlying punctuation set (includes retired punctuations —
+    /// see module docs).
+    pub fn set(&self) -> &PunctuationSet {
+        &self.set
+    }
+
+    /// Match count of a punctuation.
+    pub fn count(&self, id: PunctId) -> u64 {
+        self.counts[id.0 as usize]
+    }
+
+    /// Records that a tuple carrying `pid` entered the state.
+    pub fn increment(&mut self, id: PunctId) {
+        self.counts[id.0 as usize] += 1;
+    }
+
+    /// Records that a tuple carrying `pid` left the state (purged,
+    /// dropped from the purge buffer, …).
+    pub fn decrement(&mut self, id: PunctId) {
+        let c = &mut self.counts[id.0 as usize];
+        debug_assert!(*c > 0, "count underflow for {id}");
+        *c = c.saturating_sub(1);
+    }
+
+    /// pid assignment against the **full** set: the first-arrived
+    /// punctuation matching `t`, if any. Used when a tuple must be
+    /// force-indexed (spill, purge-buffer move).
+    pub fn assign_pid(&self, t: &Tuple) -> Option<PunctId> {
+        self.set.set_match(t)
+    }
+
+    /// pid assignment against punctuations **not yet index-built** —
+    /// the incremental step of the paper's Index-Build algorithm.
+    pub fn assign_pid_new(&self, t: &Tuple) -> Option<PunctId> {
+        if self.indexed_next == 0 {
+            self.set.set_match(t)
+        } else {
+            self.set.set_match_after(t, PunctId(self.indexed_next - 1))
+        }
+    }
+
+    /// Number of punctuations that arrived since the last index build.
+    pub fn unindexed_punctuations(&self) -> u64 {
+        self.next_id() - self.indexed_next
+    }
+
+    /// Marks every current punctuation as index-built.
+    pub fn mark_indexed(&mut self) {
+        self.indexed_next = self.next_id();
+    }
+
+    /// Ids `< watermark` have been index-built.
+    pub fn indexed_next(&self) -> u64 {
+        self.indexed_next
+    }
+
+    /// Live (unretired) punctuations with `count == 0`, in arrival order
+    /// — the propagable candidates of the Propagate algorithm (Fig. 3).
+    pub fn zero_count_ids(&self) -> Vec<PunctId> {
+        self.set
+            .iter()
+            .filter(|(id, _)| !self.retired[id.0 as usize] && self.counts[id.0 as usize] == 0)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Live (unretired) punctuations in arrival order.
+    pub fn live_ids(&self) -> Vec<PunctId> {
+        self.set
+            .iter()
+            .filter(|(id, _)| !self.retired[id.0 as usize])
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Looks up a punctuation by id.
+    pub fn get(&self, id: PunctId) -> Option<&Punctuation> {
+        self.set.get(id)
+    }
+
+    /// Retires a punctuation after propagation.
+    pub fn retire(&mut self, id: PunctId) {
+        self.retired[id.0 as usize] = true;
+    }
+
+    /// True if `id` has been retired.
+    pub fn is_retired(&self, id: PunctId) -> bool {
+        self.retired[id.0 as usize]
+    }
+
+    /// Cross-stream cover check (the paper's `setMatch(t_B, PS_A)` for
+    /// join-attribute punctuations): does any punctuation's join-attribute
+    /// pattern match `join_value`? Retired punctuations participate.
+    pub fn covers_join_value(&self, join_value: &Value) -> bool {
+        self.set.covers_value(join_value)
+    }
+
+    /// True if a live punctuation has exactly this join-attribute pattern
+    /// (the matched-pair propagation trigger of §4.4).
+    pub fn contains_join_pattern(&self, pattern: &Pattern) -> bool {
+        let attr = self.set.join_attr();
+        self.set
+            .iter()
+            .any(|(id, p)| !self.retired[id.0 as usize] && p.pattern(attr) == Some(pattern))
+    }
+
+    /// Join-attribute patterns of punctuations with `id >= since`, in
+    /// arrival order — the "new punctuations" a lazy purge applies.
+    pub fn join_patterns_since(&self, since: u64) -> Vec<Pattern> {
+        self.set
+            .iter()
+            .filter(|(id, _)| id.0 >= since)
+            .filter_map(|(_, p)| p.pattern(self.set.join_attr()).cloned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(v: i64) -> Punctuation {
+        Punctuation::close_value(2, 0, v)
+    }
+
+    #[test]
+    fn insert_assigns_dense_ids() {
+        let mut ix = PunctuationIndex::new(0);
+        let a = ix.insert(close(1));
+        let b = ix.insert(close(2));
+        assert_eq!(a, PunctId(0));
+        assert_eq!(b, PunctId(1));
+        assert_eq!(ix.next_id(), 2);
+        assert_eq!(ix.total(), 2);
+        assert_eq!(ix.live(), 2);
+    }
+
+    #[test]
+    fn counts_track_state_membership() {
+        let mut ix = PunctuationIndex::new(0);
+        let id = ix.insert(close(5));
+        assert_eq!(ix.count(id), 0);
+        ix.increment(id);
+        ix.increment(id);
+        assert_eq!(ix.count(id), 2);
+        ix.decrement(id);
+        assert_eq!(ix.count(id), 1);
+        assert!(ix.zero_count_ids().is_empty());
+        ix.decrement(id);
+        assert_eq!(ix.zero_count_ids(), vec![id]);
+    }
+
+    #[test]
+    fn incremental_assignment_skips_indexed() {
+        let mut ix = PunctuationIndex::new(0);
+        let a = ix.insert(close(5));
+        assert_eq!(ix.unindexed_punctuations(), 1);
+        ix.mark_indexed();
+        assert_eq!(ix.unindexed_punctuations(), 0);
+        // A tuple matching only the already-indexed punctuation is not
+        // re-assigned.
+        assert_eq!(ix.assign_pid_new(&Tuple::of((5i64, 0i64))), None);
+        // Full assignment still sees it (force-indexing paths).
+        assert_eq!(ix.assign_pid(&Tuple::of((5i64, 0i64))), Some(a));
+        // A new punctuation is seen by the incremental path.
+        let b = ix.insert(close(7));
+        assert_eq!(ix.assign_pid_new(&Tuple::of((7i64, 0i64))), Some(b));
+    }
+
+    #[test]
+    fn retirement_hides_from_propagation_not_from_cover() {
+        let mut ix = PunctuationIndex::new(0);
+        let id = ix.insert(close(9));
+        assert_eq!(ix.zero_count_ids(), vec![id]);
+        ix.retire(id);
+        assert!(ix.is_retired(id));
+        assert!(ix.zero_count_ids().is_empty());
+        assert!(ix.live_ids().is_empty());
+        assert_eq!(ix.live(), 0);
+        // Retired punctuations still cover arriving opposite tuples.
+        assert!(ix.covers_join_value(&Value::Int(9)));
+    }
+
+    #[test]
+    fn join_patterns_since_watermark() {
+        let mut ix = PunctuationIndex::new(0);
+        ix.insert(close(1));
+        ix.insert(close(2));
+        ix.insert(close(3));
+        let all = ix.join_patterns_since(0);
+        assert_eq!(all.len(), 3);
+        let late = ix.join_patterns_since(2);
+        assert_eq!(late, vec![Pattern::Constant(Value::Int(3))]);
+        assert!(ix.join_patterns_since(3).is_empty());
+    }
+
+    #[test]
+    fn zero_count_preserves_arrival_order() {
+        let mut ix = PunctuationIndex::new(0);
+        let a = ix.insert(close(1));
+        let b = ix.insert(close(2));
+        let c = ix.insert(close(3));
+        ix.increment(b);
+        assert_eq!(ix.zero_count_ids(), vec![a, c]);
+    }
+}

@@ -1,0 +1,137 @@
+//! PJoin's stored-tuple record (paper Fig. 2(b)): the tuple, its
+//! memory-residency interval for disk-join duplicate prevention, and the
+//! `pid` linking it to the punctuation index.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use punct_types::{PunctId, Tuple};
+use spillstore::{codec, CodecError, Record};
+
+/// A logical instant of the operator's event clock (see `crate::dedup`).
+pub type Instant = u64;
+
+/// Departure instant meaning "still probe-able in memory".
+pub const DTS_RESIDENT: Instant = Instant::MAX;
+
+/// Encoded `pid` meaning "not indexed yet".
+const PID_NULL: u64 = u64::MAX;
+
+/// A stored tuple with PJoin metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PRecord {
+    /// The data tuple.
+    pub tuple: Tuple,
+    /// Arrival instant.
+    pub ats: Instant,
+    /// Instant the tuple stopped being probe-able (relocated to disk or
+    /// moved to the purge buffer); [`DTS_RESIDENT`] while probe-able.
+    pub dts: Instant,
+    /// The punctuation (from the tuple's *own* stream) this tuple is
+    /// indexed under, or `None` while unindexed (paper: "the pid of this
+    /// tuple is null").
+    pub pid: Option<PunctId>,
+    /// Arrival *virtual time* in microseconds — used by the sliding-window
+    /// extension (§6) to expire tuples; unrelated to the logical `ats`.
+    pub arrival_us: u64,
+}
+
+impl PRecord {
+    /// A freshly-arrived, unindexed, memory-resident record.
+    pub fn arriving(tuple: Tuple, ats: Instant) -> PRecord {
+        PRecord { tuple, ats, dts: DTS_RESIDENT, pid: None, arrival_us: 0 }
+    }
+
+    /// Like [`arriving`](Self::arriving) with the arrival virtual time
+    /// recorded (sliding-window configurations).
+    pub fn arriving_at(tuple: Tuple, ats: Instant, arrival_us: u64) -> PRecord {
+        PRecord { tuple, ats, dts: DTS_RESIDENT, pid: None, arrival_us }
+    }
+
+    /// True while the record is probe-able in memory.
+    pub fn is_resident(&self) -> bool {
+        self.dts == DTS_RESIDENT
+    }
+
+    /// True if the probe-ability intervals of `self` and `other`
+    /// overlapped — i.e. the memory join already produced this pair.
+    pub fn residency_overlaps(&self, other: &PRecord) -> bool {
+        self.ats < other.dts && other.ats < self.dts
+    }
+}
+
+impl Record for PRecord {
+    fn tuple(&self) -> &Tuple {
+        &self.tuple
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.ats);
+        buf.put_u64_le(self.dts);
+        buf.put_u64_le(self.pid.map_or(PID_NULL, |p| p.0));
+        buf.put_u64_le(self.arrival_us);
+        codec::encode_tuple(&self.tuple, buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() < 32 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let ats = buf.get_u64_le();
+        let dts = buf.get_u64_le();
+        let pid = match buf.get_u64_le() {
+            PID_NULL => None,
+            id => Some(PunctId(id)),
+        };
+        let arrival_us = buf.get_u64_le();
+        let tuple = codec::decode_tuple(buf)?;
+        Ok(PRecord { tuple, ats, dts, pid, arrival_us })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arriving_defaults() {
+        let r = PRecord::arriving(Tuple::of((1i64,)), 5);
+        assert!(r.is_resident());
+        assert_eq!(r.pid, None);
+        assert_eq!(r.ats, 5);
+    }
+
+    #[test]
+    fn overlap_matches_xjoin_semantics() {
+        let a = PRecord::arriving(Tuple::of((1i64,)), 10);
+        let mut b = PRecord::arriving(Tuple::of((1i64,)), 5);
+        b.dts = 20;
+        assert!(a.residency_overlaps(&b));
+        let c = PRecord::arriving(Tuple::of((1i64,)), 20);
+        assert!(!b.residency_overlaps(&c));
+    }
+
+    #[test]
+    fn codec_round_trips_pid_states() {
+        for pid in [None, Some(PunctId(0)), Some(PunctId(12345))] {
+            let r = PRecord {
+                tuple: Tuple::of((7i64, "x")),
+                ats: 1,
+                dts: 2,
+                pid,
+                arrival_us: 777,
+            };
+            let mut buf = BytesMut::new();
+            r.encode(&mut buf);
+            assert_eq!(PRecord::decode(&mut buf.freeze()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn truncated_decode_errors() {
+        let r = PRecord::arriving(Tuple::of((1i64,)), 1);
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let full = buf.freeze();
+        let mut cut = full.slice(0..10);
+        assert!(PRecord::decode(&mut cut).is_err());
+    }
+}

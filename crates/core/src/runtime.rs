@@ -1,0 +1,235 @@
+//! A multi-threaded runtime mirroring the paper's execution model: the
+//! memory join runs as the main worker thread, consuming elements from
+//! the inputs, while the monitor's status is shared with the outside
+//! world — "the memory join runs as the main thread … the listeners of
+//! the event … will start running as a second thread" (§3.6).
+//!
+//! The deterministic experiments use the single-threaded
+//! [`Driver`](stream_sim::Driver); this runtime exists for live /
+//! interactive use (see `examples/auction.rs`) and demonstrates the
+//! operator behind a channel API: callers push timestamped elements and
+//! receive join output asynchronously.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use punct_types::{StreamElement, Timestamp, Timestamped};
+use std::sync::Arc;
+use stream_sim::{BinaryStreamOp, OpOutput, Side};
+
+use crate::config::PJoinConfig;
+use crate::operator::{PJoin, PJoinStats};
+
+/// Commands accepted by the worker.
+enum Input {
+    Element(Side, Timestamped<StreamElement>),
+    RequestPropagation,
+    Finish,
+}
+
+/// Live runtime metrics, updated by the worker after every element —
+/// the externally visible face of the paper's monitor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeMetrics {
+    /// Elements consumed so far.
+    pub consumed: u64,
+    /// Tuples currently in the join state.
+    pub state_tuples: usize,
+    /// Results emitted so far.
+    pub emitted: u64,
+}
+
+/// Handle to a running threaded PJoin.
+pub struct PJoinRuntime {
+    input_tx: Sender<Input>,
+    output_rx: Receiver<Timestamped<StreamElement>>,
+    metrics: Arc<Mutex<RuntimeMetrics>>,
+    handle: JoinHandle<PJoinStats>,
+}
+
+impl PJoinRuntime {
+    /// Spawns the worker thread.
+    pub fn spawn(config: PJoinConfig) -> PJoinRuntime {
+        let (input_tx, input_rx) = bounded::<Input>(1024);
+        // The output channel is unbounded: the feeding thread may push
+        // the entire input before draining any output (see `finish`), and
+        // a bounded output would deadlock it against the bounded input.
+        let (output_tx, output_rx) = unbounded::<Timestamped<StreamElement>>();
+        let metrics = Arc::new(Mutex::new(RuntimeMetrics::default()));
+        let metrics_worker = Arc::clone(&metrics);
+        let handle = std::thread::spawn(move || {
+            worker(config, input_rx, output_tx, metrics_worker)
+        });
+        PJoinRuntime { input_tx, output_rx, metrics, handle }
+    }
+
+    /// Feeds one element.
+    pub fn push(&self, side: Side, element: Timestamped<StreamElement>) {
+        self.input_tx
+            .send(Input::Element(side, element))
+            .expect("worker alive while runtime handle exists");
+    }
+
+    /// Pull-mode propagation request.
+    pub fn request_propagation(&self) {
+        let _ = self.input_tx.send(Input::RequestPropagation);
+    }
+
+    /// Non-blocking drain of currently available outputs.
+    pub fn poll_outputs(&self) -> Vec<Timestamped<StreamElement>> {
+        let mut out = Vec::new();
+        while let Ok(e) = self.output_rx.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Current runtime metrics snapshot.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        *self.metrics.lock()
+    }
+
+    /// Signals end-of-streams, drains all remaining outputs and returns
+    /// them together with the final operator statistics.
+    pub fn finish(self) -> (Vec<Timestamped<StreamElement>>, PJoinStats) {
+        let _ = self.input_tx.send(Input::Finish);
+        drop(self.input_tx);
+        let mut outputs = Vec::new();
+        // Drain until the worker closes the channel.
+        while let Ok(e) = self.output_rx.recv() {
+            outputs.push(e);
+        }
+        let stats = self.handle.join().expect("worker must not panic");
+        (outputs, stats)
+    }
+}
+
+fn worker(
+    config: PJoinConfig,
+    input_rx: Receiver<Input>,
+    output_tx: Sender<Timestamped<StreamElement>>,
+    metrics: Arc<Mutex<RuntimeMetrics>>,
+) -> PJoinStats {
+    let mut join = PJoin::new(config);
+    let mut out = OpOutput::new();
+    let mut last_ts = Timestamp::ZERO;
+    let mut emitted = 0u64;
+    let mut consumed = 0u64;
+    let idle_wait = std::time::Duration::from_millis(1);
+
+    loop {
+        match input_rx.recv_timeout(idle_wait) {
+            Ok(Input::Element(side, e)) => {
+                last_ts = last_ts.max(e.ts);
+                join.on_element(side, e.item, e.ts, &mut out);
+                consumed += 1;
+            }
+            Ok(Input::RequestPropagation) => {
+                join.request_propagation();
+                // Handled by the monitor at the next dispatch.
+                join.on_idle(last_ts, &mut out);
+            }
+            Ok(Input::Finish) => {
+                while join.on_end(last_ts, &mut out) {
+                    flush(&mut out, last_ts, &output_tx, &mut emitted);
+                }
+                flush(&mut out, last_ts, &output_tx, &mut emitted);
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle gap: offer background work (disk join, time-based
+                // propagation) exactly like the paper's second thread.
+                join.on_idle(last_ts, &mut out);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        flush(&mut out, last_ts, &output_tx, &mut emitted);
+        {
+            let mut m = metrics.lock();
+            m.consumed = consumed;
+            m.state_tuples = join.state_tuples();
+            m.emitted = emitted;
+        }
+    }
+    drop(output_tx);
+    *join.stats()
+}
+
+fn flush(
+    out: &mut OpOutput,
+    ts: Timestamp,
+    tx: &Sender<Timestamped<StreamElement>>,
+    emitted: &mut u64,
+) {
+    for e in out.drain() {
+        *emitted += 1;
+        if tx.send(Timestamped::new(ts, e)).is_err() {
+            return; // receiver gone; drop remaining output
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::{Punctuation, Tuple};
+
+    fn tup(ts: u64, k: i64, p: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(Timestamp(ts), StreamElement::Tuple(Tuple::of((k, p))))
+    }
+
+    fn punct(ts: u64, k: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(
+            Timestamp(ts),
+            StreamElement::Punctuation(Punctuation::close_value(2, 0, k)),
+        )
+    }
+
+    #[test]
+    fn joins_across_threads() {
+        let rt = PJoinRuntime::spawn(PJoinConfig::new(2, 2));
+        rt.push(Side::Left, tup(1, 7, 0));
+        rt.push(Side::Right, tup(2, 7, 1));
+        rt.push(Side::Left, tup(3, 8, 0));
+        let (outputs, _stats) = rt.finish();
+        let tuples: Vec<_> = outputs.iter().filter(|e| e.item.is_tuple()).collect();
+        assert_eq!(tuples.len(), 1);
+    }
+
+    #[test]
+    fn propagates_punctuations() {
+        let config = PJoinConfig {
+            purge: crate::config::PurgeStrategy::Eager,
+            index_build: crate::config::IndexBuildStrategy::Eager,
+            propagation: crate::config::PropagationTrigger::PushCount { count: 1 },
+            ..PJoinConfig::new(2, 2)
+        };
+        let rt = PJoinRuntime::spawn(config);
+        rt.push(Side::Left, tup(1, 7, 0));
+        rt.push(Side::Right, tup(2, 7, 1));
+        rt.push(Side::Left, punct(3, 7));
+        rt.push(Side::Right, punct(4, 7));
+        let (outputs, stats) = rt.finish();
+        let puncts = outputs.iter().filter(|e| e.item.is_punctuation()).count();
+        assert!(puncts >= 2, "both punctuations propagate, got {puncts}");
+        assert!(stats.puncts_propagated >= 2);
+    }
+
+    #[test]
+    fn metrics_are_visible() {
+        let rt = PJoinRuntime::spawn(PJoinConfig::new(2, 2));
+        rt.push(Side::Left, tup(1, 1, 0));
+        // Wait for the worker to process.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if rt.metrics().consumed >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "worker did not process in time");
+            std::thread::yield_now();
+        }
+        assert_eq!(rt.metrics().state_tuples, 1);
+        let _ = rt.finish();
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based equivalence: over randomized well-formed punctuated
+//! stream pairs and randomized PJoin configurations, the operator's
+//! output must equal the reference nested-loop join, the output stream
+//! must honour its own punctuations, and the operator must never
+//! under-count its state.
+
+use proptest::prelude::*;
+
+use pjoin::{IndexBuildStrategy, PJoin, PJoinConfig, PropagationTrigger, PurgeStrategy};
+use punct_types::{Punctuation, StreamElement, Timestamp, Timestamped, Tuple};
+use stream_sim::{CostModel, Driver, DriverConfig};
+use streamgen::validate_stream;
+
+/// One generated stream: a script of (gap, key-draw, punctuate?) steps,
+/// interpreted over a sliding key window so the stream is well-formed by
+/// construction.
+#[derive(Debug, Clone)]
+struct Script {
+    steps: Vec<(u8, u8, bool)>,
+}
+
+fn arb_script(max_len: usize) -> impl Strategy<Value = Script> {
+    proptest::collection::vec((0u8..5, any::<u8>(), proptest::bool::weighted(0.2)), 1..max_len)
+        .prop_map(|steps| Script { steps })
+}
+
+fn render(script: &Script, window: u64) -> Vec<Timestamped<StreamElement>> {
+    let mut out = Vec::new();
+    let mut low = 0u64;
+    let mut ts = 0u64;
+    for &(gap, draw, punct) in &script.steps {
+        ts += 1 + gap as u64;
+        let key = low + (draw as u64) % window;
+        out.push(Timestamped::new(
+            Timestamp(ts),
+            StreamElement::Tuple(Tuple::of((key as i64, ts as i64))),
+        ));
+        if punct {
+            out.push(Timestamped::new(
+                Timestamp(ts),
+                StreamElement::Punctuation(Punctuation::close_value(2, 0, low as i64)),
+            ));
+            low += 1;
+        }
+    }
+    out
+}
+
+fn arb_config() -> impl Strategy<Value = PJoinConfig> {
+    (
+        prop_oneof![
+            Just(PurgeStrategy::Eager),
+            (1u64..20).prop_map(|threshold| PurgeStrategy::Lazy { threshold }),
+            Just(PurgeStrategy::Never),
+        ],
+        prop_oneof![Just(IndexBuildStrategy::Eager), Just(IndexBuildStrategy::Lazy)],
+        prop_oneof![
+            Just(PropagationTrigger::Disabled),
+            (1u64..10).prop_map(|count| PropagationTrigger::PushCount { count }),
+            Just(PropagationTrigger::MatchedPair),
+        ],
+        any::<bool>(),
+        // memory budget: 0 (unlimited) or tiny (forces spills).
+        prop_oneof![Just(0usize), (4usize..32)],
+        1usize..8, // buckets
+    )
+        .prop_map(|(purge, index_build, propagation, otf, memory, buckets)| PJoinConfig {
+            purge,
+            index_build,
+            propagation,
+            on_the_fly_drop: otf,
+            memory_max_tuples: memory,
+            buckets,
+            page_tuples: 4,
+            ..PJoinConfig::new(2, 2)
+        })
+}
+
+fn reference_join(
+    left: &[Timestamped<StreamElement>],
+    right: &[Timestamped<StreamElement>],
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for l in left.iter().filter_map(|e| e.item.as_tuple()) {
+        for r in right.iter().filter_map(|e| e.item.as_tuple()) {
+            if l.get(0).zip(r.get(0)).is_some_and(|(a, b)| a.join_eq(b)) {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pjoin_equals_reference(
+        sa in arb_script(60),
+        sb in arb_script(60),
+        config in arb_config(),
+        window in 1u64..6,
+    ) {
+        let left = render(&sa, window);
+        let right = render(&sb, window);
+        prop_assume!(validate_stream(&left, 0).is_well_formed());
+        prop_assume!(validate_stream(&right, 0).is_well_formed());
+
+        let mut op = PJoin::new(config);
+        let driver = Driver::new(DriverConfig {
+            cost: CostModel::free(),
+            sample_every_micros: 1_000_000,
+            collect_outputs: true,
+        });
+        let stats = driver.run(&mut op, &left, &right);
+
+        let mut got: Vec<Tuple> =
+            stats.outputs.iter().filter_map(|o| o.item.as_tuple().cloned()).collect();
+        got.sort();
+        prop_assert_eq!(&got, &reference_join(&left, &right));
+
+        // Propagated punctuations are honoured by later results.
+        let report = validate_stream(&stats.outputs, 0);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn idle_slots_change_nothing(
+        sa in arb_script(40),
+        sb in arb_script(40),
+        config in arb_config(),
+    ) {
+        // Running with a cost model (which creates idle slots and thus
+        // disk-join scheduling differences) must not change the result
+        // multiset.
+        let left = render(&sa, 4);
+        let right = render(&sb, 4);
+        prop_assume!(validate_stream(&left, 0).is_well_formed());
+        prop_assume!(validate_stream(&right, 0).is_well_formed());
+
+        let collect = |cost: CostModel| {
+            let mut op = PJoin::new(config.clone());
+            let driver = Driver::new(DriverConfig {
+                cost,
+                sample_every_micros: 1_000_000,
+                collect_outputs: true,
+            });
+            let stats = driver.run(&mut op, &left, &right);
+            let mut got: Vec<Tuple> =
+                stats.outputs.iter().filter_map(|o| o.item.as_tuple().cloned()).collect();
+            got.sort();
+            got
+        };
+        prop_assert_eq!(collect(CostModel::free()), collect(CostModel::default()));
+    }
+}

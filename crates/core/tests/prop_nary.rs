@@ -1,0 +1,118 @@
+//! Property-based equivalence for the n-ary extension: over randomized
+//! stream scripts and arities, [`NaryPJoin`] must produce exactly the
+//! n-way nested-loop join, and its propagated punctuations must hold.
+
+use proptest::prelude::*;
+
+use pjoin::{run_nary, NaryConfig, NaryPJoin, PurgeStrategy};
+use punct_types::{Punctuation, StreamElement, Timestamp, Timestamped, Tuple, Value};
+
+#[derive(Debug, Clone)]
+struct Script {
+    steps: Vec<(u8, u8, bool)>,
+}
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), proptest::bool::weighted(0.25)), 0..30)
+        .prop_map(|steps| Script { steps })
+}
+
+fn render(script: &Script, window: u64, base_ts: u64) -> Vec<Timestamped<StreamElement>> {
+    let mut low = 0u64;
+    let mut ts = base_ts;
+    let mut out = Vec::new();
+    for &(draw, payload, punct) in &script.steps {
+        ts += 3;
+        let key = (low + (draw as u64) % window) as i64;
+        out.push(Timestamped::new(
+            Timestamp(ts),
+            StreamElement::Tuple(Tuple::of((key, payload as i64))),
+        ));
+        if punct {
+            out.push(Timestamped::new(
+                Timestamp(ts),
+                StreamElement::Punctuation(Punctuation::close_value(2, 0, low as i64)),
+            ));
+            low += 1;
+        }
+    }
+    out
+}
+
+fn reference(inputs: &[Vec<Timestamped<StreamElement>>]) -> Vec<Tuple> {
+    fn rec(
+        inputs: &[Vec<Timestamped<StreamElement>>],
+        i: usize,
+        key: Option<&Value>,
+        acc: &mut Vec<Value>,
+        out: &mut Vec<Tuple>,
+    ) {
+        if i == inputs.len() {
+            out.push(Tuple::new(acc.clone()));
+            return;
+        }
+        for e in &inputs[i] {
+            let Some(t) = e.item.as_tuple() else { continue };
+            let k = t.get(0).unwrap();
+            if key.is_none_or(|key| key.join_eq(k)) {
+                let len = acc.len();
+                acc.extend_from_slice(t.values());
+                rec(inputs, i + 1, Some(key.unwrap_or(k)), acc, out);
+                acc.truncate(len);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(inputs, 0, None, &mut Vec::new(), &mut out);
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn nary_equals_reference(
+        scripts in proptest::collection::vec(arb_script(), 2..5),
+        window in 1u64..5,
+        purge in prop_oneof![
+            Just(PurgeStrategy::Eager),
+            (1u64..8).prop_map(|threshold| PurgeStrategy::Lazy { threshold }),
+            Just(PurgeStrategy::Never),
+        ],
+        on_the_fly in any::<bool>(),
+    ) {
+        let inputs: Vec<Vec<Timestamped<StreamElement>>> = scripts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| render(s, window, i as u64))
+            .collect();
+        let config = NaryConfig {
+            purge,
+            on_the_fly_drop: on_the_fly,
+            propagate_every: Some(1),
+            ..NaryConfig::symmetric(inputs.len(), 2)
+        };
+        let mut op = NaryPJoin::new(config);
+        let out = run_nary(&mut op, &inputs);
+
+        let mut got: Vec<Tuple> =
+            out.iter().filter_map(StreamElement::as_tuple).cloned().collect();
+        got.sort();
+        prop_assert_eq!(&got, &reference(&inputs));
+
+        // Propagated punctuations are honoured by later results.
+        let mut seen: Vec<Punctuation> = Vec::new();
+        for e in &out {
+            match e {
+                StreamElement::Punctuation(p) => seen.push(p.clone()),
+                StreamElement::Tuple(t) => {
+                    prop_assert!(
+                        !seen.iter().any(|p| p.matches(t)),
+                        "result violates a propagated punctuation"
+                    );
+                }
+            }
+        }
+    }
+}

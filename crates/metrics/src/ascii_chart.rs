@@ -1,0 +1,180 @@
+//! Terminal line charts, so experiment binaries are readable without a
+//! plotting stack.
+//!
+//! Multiple series are overlaid with distinct glyphs and a legend; axes are
+//! labelled with min/max values.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Recorder;
+use crate::series::Series;
+
+/// Chart rendering options.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Plot area width in characters.
+    pub width: usize,
+    /// Plot area height in characters.
+    pub height: usize,
+    /// Chart title printed above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+impl Default for ChartOptions {
+    fn default() -> ChartOptions {
+        ChartOptions {
+            width: 72,
+            height: 18,
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+        }
+    }
+}
+
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Renders all series of `recorder` overlaid in one chart.
+pub fn render(recorder: &Recorder, opts: &ChartOptions) -> String {
+    let series: Vec<&Series> = recorder.iter().filter(|s| !s.is_empty()).collect();
+    render_series(&series, opts)
+}
+
+/// Renders the given series overlaid in one chart.
+pub fn render_series(series: &[&Series], opts: &ChartOptions) -> String {
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "== {} ==", opts.title);
+    }
+    if series.is_empty() || series.iter().all(|s| s.is_empty()) {
+        out.push_str("(no data)\n");
+        return out;
+    }
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in s.points() {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || !y_min.is_finite() {
+        out.push_str("(no finite data)\n");
+        return out;
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let w = opts.width.max(8);
+    let h = opts.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Sample each column at its x midpoint via interpolation so sparse
+        // and dense series render equally well.
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..w {
+            let x = x_min + (x_max - x_min) * (col as f64 + 0.5) / w as f64;
+            if x < s.points()[0].0 || x > s.points()[s.len() - 1].0 {
+                continue;
+            }
+            if let Some(y) = s.interpolate(x) {
+                let row_f = (y - y_min) / (y_max - y_min) * (h as f64 - 1.0);
+                let row = h - 1 - (row_f.round() as usize).min(h - 1);
+                grid[row][col] = glyph;
+            }
+        }
+    }
+
+    let y_top = format!("{y_max:.1}");
+    let y_bot = format!("{y_min:.1}");
+    let label_w = y_top.len().max(y_bot.len());
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            &y_top
+        } else if i == h - 1 {
+            &y_bot
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "{label:>label_w$} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:label_w$} +{}", "", "-".repeat(w));
+    let x_lo = format!("{x_min:.1}");
+    let x_hi = format!("{x_max:.1}");
+    let pad = w.saturating_sub(x_lo.len() + x_hi.len());
+    let _ = writeln!(out, "{:label_w$}  {x_lo}{}{x_hi}  ({})", "", " ".repeat(pad), opts.x_label);
+
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_empty() {
+        let r = Recorder::new();
+        let s = render(&r, &ChartOptions::default());
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn renders_single_series_with_legend() {
+        let mut r = Recorder::new();
+        for i in 0..20 {
+            r.record("growth", i as f64, (i * i) as f64);
+        }
+        let opts = ChartOptions { title: "Fig. X".into(), ..ChartOptions::default() };
+        let s = render(&r, &opts);
+        assert!(s.contains("== Fig. X =="));
+        assert!(s.contains("* growth"));
+        assert!(s.contains('*'));
+        // Axis labels present.
+        assert!(s.contains("361.0")); // y max = 19^2
+    }
+
+    #[test]
+    fn renders_two_series_with_distinct_glyphs() {
+        let mut r = Recorder::new();
+        for i in 0..10 {
+            r.record("a", i as f64, i as f64);
+            r.record("b", i as f64, (10 - i) as f64);
+        }
+        let s = render(&r, &ChartOptions::default());
+        assert!(s.contains("* a"));
+        assert!(s.contains("+ b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let mut r = Recorder::new();
+        r.record("flat", 0.0, 5.0);
+        r.record("flat", 10.0, 5.0);
+        let s = render(&r, &ChartOptions::default());
+        assert!(s.contains("flat"));
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let mut r = Recorder::new();
+        r.record("dot", 1.0, 1.0);
+        let _ = render(&r, &ChartOptions::default());
+    }
+}

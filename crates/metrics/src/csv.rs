@@ -1,0 +1,139 @@
+//! CSV export of recorded series.
+//!
+//! Two layouts are provided:
+//!
+//! * [`long_csv`] — tidy/long format: `series,x,y` rows; robust to series
+//!   with different x grids.
+//! * [`wide_csv`] — one `x` column plus one column per series, aligned by
+//!   linear interpolation onto the union grid; convenient for spreadsheets.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::recorder::Recorder;
+
+/// Renders the recorder in long format (`series,x,y`).
+pub fn long_csv(recorder: &Recorder) -> String {
+    let mut out = String::from("series,x,y\n");
+    for s in recorder.iter() {
+        for &(x, y) in s.points() {
+            let _ = writeln!(out, "{},{},{}", escape(&s.name), fmt_num(x), fmt_num(y));
+        }
+    }
+    out
+}
+
+/// Renders the recorder in wide format: union x grid, one column per series
+/// (linear interpolation, clamped at the edges). Cells for series with no
+/// points are empty.
+pub fn wide_csv(recorder: &Recorder) -> String {
+    let mut grid: Vec<f64> = recorder
+        .iter()
+        .flat_map(|s| s.points().iter().map(|&(x, _)| x))
+        .collect();
+    grid.sort_by(f64::total_cmp);
+    grid.dedup();
+
+    let mut out = String::from("x");
+    for s in recorder.iter() {
+        let _ = write!(out, ",{}", escape(&s.name));
+    }
+    out.push('\n');
+    for &x in &grid {
+        let _ = write!(out, "{}", fmt_num(x));
+        for s in recorder.iter() {
+            match s.interpolate(x) {
+                Some(y) => {
+                    let _ = write!(out, ",{}", fmt_num(y));
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes both layouts under `dir` as `<stem>_long.csv` and
+/// `<stem>_wide.csv`, creating `dir` if necessary.
+pub fn write_csv_files(recorder: &Recorder, dir: &Path, stem: &str) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{stem}_long.csv")), long_csv(recorder))?;
+    std::fs::write(dir.join(format!("{stem}_wide.csv")), wide_csv(recorder))?;
+    Ok(())
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new();
+        r.insert(Series::from_points("alpha", vec![(0.0, 1.0), (2.0, 3.0)]));
+        r.insert(Series::from_points("beta", vec![(1.0, 10.0)]));
+        r
+    }
+
+    #[test]
+    fn long_format() {
+        let csv = long_csv(&sample_recorder());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines[1], "alpha,0,1");
+        assert_eq!(lines[2], "alpha,2,3");
+        assert_eq!(lines[3], "beta,1,10");
+    }
+
+    #[test]
+    fn wide_format_unions_grid() {
+        let csv = wide_csv(&sample_recorder());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,alpha,beta");
+        // grid = {0, 1, 2}; alpha interpolates to 2 at x=1; beta clamps.
+        assert_eq!(lines[1], "0,1,10");
+        assert_eq!(lines[2], "1,2,10");
+        assert_eq!(lines[3], "2,3,10");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(0.5), "0.500000");
+        assert_eq!(fmt_num(-7.0), "-7");
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join("stream_metrics_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_csv_files(&sample_recorder(), &dir, "fig1").unwrap();
+        assert!(dir.join("fig1_long.csv").exists());
+        assert!(dir.join("fig1_wide.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

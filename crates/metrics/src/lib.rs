@@ -1,0 +1,24 @@
+//! # stream-metrics
+//!
+//! Time-series recording and reporting for the experiment harness.
+//!
+//! Every figure in the paper is a time series (state size over time,
+//! cumulative outputs over time, punctuations propagated over time).
+//! This crate provides:
+//!
+//! * [`Series`] — an `(x, y)` series with summary statistics.
+//! * [`Recorder`] — a named collection of series produced by one experiment.
+//! * [`csv`] — CSV export (one column per series, aligned on x).
+//! * [`ascii_chart`] — terminal line charts so experiments are readable
+//!   without any plotting stack.
+
+pub mod ascii_chart;
+pub mod csv;
+pub mod recorder;
+pub mod series;
+pub mod stats;
+
+pub use ascii_chart::ChartOptions;
+pub use recorder::Recorder;
+pub use series::Series;
+pub use stats::Summary;

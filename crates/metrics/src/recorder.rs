@@ -1,0 +1,92 @@
+//! A named collection of series produced by one experiment run.
+
+use std::collections::BTreeMap;
+
+use crate::series::Series;
+
+/// Collects the series of one experiment, keyed by name.
+///
+/// Names iterate in lexicographic order so CSV output and charts are
+/// stable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    series: BTreeMap<String, Series>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Appends a point to the series named `name`, creating it on first use.
+    pub fn record(&mut self, name: &str, x: f64, y: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(name))
+            .push(x, y);
+    }
+
+    /// Inserts (or replaces) a whole series.
+    pub fn insert(&mut self, series: Series) {
+        self.series.insert(series.name.clone(), series);
+    }
+
+    /// Looks up a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Iterates over all series in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Series> {
+        self.series.values()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if no series were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Series names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_creates_and_appends() {
+        let mut r = Recorder::new();
+        r.record("a", 0.0, 1.0);
+        r.record("a", 1.0, 2.0);
+        r.record("b", 0.0, 9.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("a").unwrap().len(), 2);
+        assert_eq!(r.get("b").unwrap().len(), 1);
+        assert!(r.get("c").is_none());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut r = Recorder::new();
+        r.record("zeta", 0.0, 0.0);
+        r.record("alpha", 0.0, 0.0);
+        assert_eq!(r.names(), vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut r = Recorder::new();
+        r.record("s", 0.0, 1.0);
+        r.insert(Series::from_points("s", vec![(5.0, 5.0)]));
+        assert_eq!(r.get("s").unwrap().points(), &[(5.0, 5.0)]);
+    }
+}

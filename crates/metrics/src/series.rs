@@ -1,0 +1,191 @@
+//! `(x, y)` time series.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Summary;
+
+/// A named series of `(x, y)` points, x non-decreasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name (used as CSV column header and chart legend).
+    pub name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Creates a series from points (must be x-sorted).
+    pub fn from_points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        debug_assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "series points must be x-sorted"
+        );
+        Series { name: name.into(), points }
+    }
+
+    /// Appends a point. `x` must be ≥ the last x.
+    pub fn push(&mut self, x: f64, y: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(px, _)| px <= x),
+            "x must be non-decreasing"
+        );
+        self.points.push((x, y));
+    }
+
+    /// The points, in x order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Summary statistics of the y values.
+    pub fn summary(&self) -> Summary {
+        Summary::of(self.points.iter().map(|&(_, y)| y))
+    }
+
+    /// Linearly interpolated y at `x`; clamps outside the domain.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if x <= self.points[0].0 {
+            return Some(self.points[0].1);
+        }
+        if x >= self.points[self.points.len() - 1].0 {
+            return Some(self.points[self.points.len() - 1].1);
+        }
+        let idx = self.points.partition_point(|&(px, _)| px < x);
+        let (x0, y0) = self.points[idx - 1];
+        let (x1, y1) = self.points[idx];
+        if x1 == x0 {
+            return Some(y1);
+        }
+        Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    }
+
+    /// The discrete derivative series: `(midpoint x, Δy/Δx)`. Useful for
+    /// turning cumulative output counts into output *rates*.
+    pub fn rate(&self) -> Series {
+        let mut out = Series::new(format!("{}_rate", self.name));
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x1 > x0 {
+                out.push((x0 + x1) / 2.0, (y1 - y0) / (x1 - x0));
+            }
+        }
+        out
+    }
+
+    /// Last y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// The x-weighted mean of y: the trapezoidal integral of `y dx`
+    /// divided by the x range. Unlike [`summary`](Series::summary)'s
+    /// arithmetic mean, this is robust to unevenly-spaced samples.
+    pub fn mean_over_x(&self) -> f64 {
+        if self.points.len() < 2 {
+            return self.points.first().map_or(0.0, |&(_, y)| y);
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            area += (y0 + y1) / 2.0 * (x1 - x0);
+        }
+        let range = self.points[self.points.len() - 1].0 - self.points[0].0;
+        if range == 0.0 {
+            self.points[0].1
+        } else {
+            area / range
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut s = Series::new("state");
+        s.push(0.0, 1.0);
+        s.push(1.0, 3.0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.last_y(), Some(3.0));
+        assert_eq!(s.points(), &[(0.0, 1.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = Series::from_points("s", vec![(0.0, 0.0), (10.0, 100.0)]);
+        assert_eq!(s.interpolate(5.0), Some(50.0));
+        assert_eq!(s.interpolate(-1.0), Some(0.0)); // clamp low
+        assert_eq!(s.interpolate(20.0), Some(100.0)); // clamp high
+        assert_eq!(Series::new("e").interpolate(1.0), None);
+    }
+
+    #[test]
+    fn interpolation_with_duplicate_x() {
+        let s = Series::from_points("s", vec![(0.0, 0.0), (5.0, 10.0), (5.0, 20.0), (10.0, 20.0)]);
+        // At the duplicated x, either step value is acceptable; it must not
+        // divide by zero.
+        let y = s.interpolate(5.0).unwrap();
+        assert!((10.0..=20.0).contains(&y));
+    }
+
+    #[test]
+    fn rate_differentiates() {
+        let s = Series::from_points("out", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 15.0)]);
+        let r = s.rate();
+        assert_eq!(r.name, "out_rate");
+        assert_eq!(r.points(), &[(0.5, 10.0), (1.5, 5.0)]);
+    }
+
+    #[test]
+    fn rate_skips_zero_dx() {
+        let s = Series::from_points("out", vec![(1.0, 0.0), (1.0, 5.0), (2.0, 10.0)]);
+        let r = s.rate();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn mean_over_x_weights_by_spacing() {
+        // y=10 for the first 9 units of x, y=0 at a dense cluster near
+        // the end: the arithmetic mean is dragged down, the x-weighted
+        // mean is not.
+        let s = Series::from_points(
+            "s",
+            vec![(0.0, 10.0), (9.0, 10.0), (9.5, 0.0), (9.6, 0.0), (9.7, 0.0), (10.0, 0.0)],
+        );
+        assert!(s.summary().mean < 5.0);
+        assert!(s.mean_over_x() > 8.5, "got {}", s.mean_over_x());
+        // Degenerate cases.
+        assert_eq!(Series::new("e").mean_over_x(), 0.0);
+        assert_eq!(Series::from_points("p", vec![(1.0, 7.0)]).mean_over_x(), 7.0);
+    }
+
+    #[test]
+    fn summary_over_y() {
+        let s = Series::from_points("s", vec![(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)]);
+        let sum = s.summary();
+        assert_eq!(sum.min, 2.0);
+        assert_eq!(sum.max, 6.0);
+        assert!((sum.mean - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Summary statistics over samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub stddev: f64,
+    /// Median (linear interpolation; 0 when empty).
+    pub p50: f64,
+    /// 95th percentile (linear interpolation; 0 when empty).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples`.
+    pub fn of(samples: impl IntoIterator<Item = f64>) -> Summary {
+        let mut xs: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        if xs.is_empty() {
+            return Summary { count: 0, min: 0.0, max: 0.0, mean: 0.0, stddev: 0.0, p50: 0.0, p95: 0.0 };
+        }
+        xs.sort_by(f64::total_cmp);
+        let count = xs.len();
+        let sum: f64 = xs.iter().sum();
+        let mean = sum / count as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min: xs[0],
+            max: xs[count - 1],
+            mean,
+            stddev: var.sqrt(),
+            p50: percentile(&xs, 0.50),
+            p95: percentile(&xs, 0.95),
+        }
+    }
+}
+
+/// Linear-interpolation percentile of a **sorted** slice; `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p95, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of([42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.p50, 42.0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::of([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.p50 - 3.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let s = Summary::of([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 40.0);
+        assert!((percentile(&xs, 0.5) - 25.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -0.5), 1.0);
+        assert_eq!(percentile(&xs, 1.5), 2.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Deriving punctuations from static constraints (paper §1.1):
+//!
+//! > "The query system itself can also derive punctuations based on the
+//! > semantics of the application or certain static constraints,
+//! > including the join between key and foreign key, clustered or
+//! > ordered arrival of certain attribute values."
+//!
+//! [`DerivePunctuations`] wraps a stream whose declared
+//! [`StaticConstraint`] licences punctuation insertion:
+//!
+//! * **Unique key** — every tuple's key value occurs once, so each tuple
+//!   is immediately followed by a punctuation closing its value (the
+//!   paper's Open-stream example).
+//! * **Clustered arrival** — equal values arrive contiguously; when the
+//!   value changes, the previous value is closed.
+//! * **Ordered arrival** — values are non-decreasing; when the value
+//!   increases, everything below it is closed with one range
+//!   punctuation.
+//!
+//! The operator trusts the declared constraint. In debug builds a
+//! violated constraint panics; in release it is silently tolerated
+//! (emitting punctuations a malformed source then violates — exactly the
+//! garbage-in case the validator in `streamgen::validate` exists for).
+
+use punct_types::{Bound, Pattern, Punctuation, StreamElement, Value};
+
+use crate::operator::UnaryOperator;
+
+/// A static arrival constraint on one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticConstraint {
+    /// Every value of the attribute occurs in at most one tuple.
+    UniqueKey,
+    /// Equal values arrive contiguously (clustered).
+    ClusteredArrival,
+    /// Values arrive in non-decreasing order.
+    OrderedArrival,
+}
+
+/// Inserts derived punctuations into a stream (see module docs).
+///
+/// ```
+/// use squery::{DerivePunctuations, StaticConstraint, UnaryOperator};
+/// use punct_types::Tuple;
+/// let mut d = DerivePunctuations::new(StaticConstraint::UniqueKey, 0, 2);
+/// let mut out = Vec::new();
+/// d.on_element(Tuple::of((42i64, 0i64)).into(), &mut out);
+/// assert_eq!(out.len(), 2); // the tuple, then <42, *>
+/// assert!(out[1].is_punctuation());
+/// ```
+pub struct DerivePunctuations {
+    constraint: StaticConstraint,
+    attr: usize,
+    width: usize,
+    /// Last value seen (clustered: current cluster; ordered: current max).
+    last: Option<Value>,
+    /// Punctuations inserted so far.
+    emitted: u64,
+}
+
+impl DerivePunctuations {
+    /// Derives punctuations on attribute `attr` of `width`-ary tuples
+    /// under `constraint`.
+    pub fn new(constraint: StaticConstraint, attr: usize, width: usize) -> DerivePunctuations {
+        DerivePunctuations { constraint, attr, width, last: None, emitted: 0 }
+    }
+
+    /// Number of punctuations derived so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn close_value(&mut self, v: Value, out: &mut Vec<StreamElement>) {
+        self.emitted += 1;
+        out.push(StreamElement::Punctuation(Punctuation::on_attr(
+            self.width,
+            self.attr,
+            Pattern::Constant(v),
+        )));
+    }
+
+    fn close_below(&mut self, v: Value, out: &mut Vec<StreamElement>) {
+        self.emitted += 1;
+        out.push(StreamElement::Punctuation(Punctuation::on_attr(
+            self.width,
+            self.attr,
+            Pattern::Range { lo: Bound::Unbounded, hi: Bound::Exclusive(v) },
+        )));
+    }
+}
+
+impl UnaryOperator for DerivePunctuations {
+    fn on_element(&mut self, element: StreamElement, out: &mut Vec<StreamElement>) {
+        let StreamElement::Tuple(t) = &element else {
+            // Punctuations already present pass through untouched.
+            out.push(element);
+            return;
+        };
+        let Some(v) = t.get(self.attr).cloned() else {
+            out.push(element);
+            return;
+        };
+        match self.constraint {
+            StaticConstraint::UniqueKey => {
+                out.push(element);
+                self.close_value(v, out);
+            }
+            StaticConstraint::ClusteredArrival => {
+                if let Some(prev) = self.last.take() {
+                    if prev != v {
+                        debug_assert!(
+                            !v.is_null(),
+                            "clustered stream should not interleave nulls"
+                        );
+                        self.close_value(prev.clone(), out);
+                        self.last = Some(v);
+                    } else {
+                        self.last = Some(prev);
+                    }
+                } else {
+                    self.last = Some(v);
+                }
+                out.push(element);
+            }
+            StaticConstraint::OrderedArrival => {
+                debug_assert!(
+                    self.last.as_ref().is_none_or(|prev| *prev <= v),
+                    "ordered-arrival constraint violated"
+                );
+                if self.last.as_ref().is_some_and(|prev| *prev < v) {
+                    self.close_below(v.clone(), out);
+                }
+                if self.last.as_ref().is_none_or(|prev| *prev < v) {
+                    self.last = Some(v);
+                }
+                out.push(element);
+            }
+        }
+    }
+
+    fn on_end(&mut self, out: &mut Vec<StreamElement>) {
+        // The stream is over: close whatever remained open.
+        match self.constraint {
+            StaticConstraint::UniqueKey => {}
+            StaticConstraint::ClusteredArrival => {
+                if let Some(prev) = self.last.take() {
+                    self.close_value(prev, out);
+                }
+            }
+            StaticConstraint::OrderedArrival => {
+                if self.last.take().is_some() {
+                    self.emitted += 1;
+                    out.push(StreamElement::Punctuation(Punctuation::on_attr(
+                        self.width,
+                        self.attr,
+                        Pattern::Wildcard,
+                    )));
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "derive-punctuations"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::Tuple;
+
+    fn tup(k: i64) -> StreamElement {
+        StreamElement::Tuple(Tuple::of((k, 0i64)))
+    }
+
+    fn run(
+        mut op: DerivePunctuations,
+        input: Vec<StreamElement>,
+    ) -> Vec<StreamElement> {
+        let mut out = Vec::new();
+        for e in input {
+            op.on_element(e, &mut out);
+        }
+        op.on_end(&mut out);
+        out
+    }
+
+    /// The derived stream must be well-formed: no tuple may follow a
+    /// punctuation it matches.
+    fn assert_well_formed(elements: &[StreamElement]) {
+        let mut seen: Vec<Punctuation> = Vec::new();
+        for e in elements {
+            match e {
+                StreamElement::Tuple(t) => {
+                    assert!(
+                        !seen.iter().any(|p| p.matches(t)),
+                        "tuple {t} violates an earlier derived punctuation"
+                    );
+                }
+                StreamElement::Punctuation(p) => seen.push(p.clone()),
+            }
+        }
+    }
+
+    #[test]
+    fn unique_key_punctuates_every_tuple() {
+        let op = DerivePunctuations::new(StaticConstraint::UniqueKey, 0, 2);
+        let out = run(op, vec![tup(3), tup(1), tup(7)]);
+        assert_eq!(out.len(), 6);
+        assert!(out[1].is_punctuation());
+        assert!(out[1].as_punctuation().unwrap().matches(&Tuple::of((3i64, 99i64))));
+        assert_well_formed(&out);
+    }
+
+    #[test]
+    fn clustered_closes_previous_cluster() {
+        let op = DerivePunctuations::new(StaticConstraint::ClusteredArrival, 0, 2);
+        let out = run(op, vec![tup(1), tup(1), tup(2), tup(2), tup(5)]);
+        let puncts: Vec<_> = out.iter().filter(|e| e.is_punctuation()).collect();
+        // Clusters 1 and 2 closed at transitions, 5 closed at end.
+        assert_eq!(puncts.len(), 3);
+        assert_well_formed(&out);
+        // Punctuation for cluster 1 arrives before the first 2-tuple.
+        let first_punct = out.iter().position(|e| e.is_punctuation()).unwrap();
+        assert!(out[first_punct].as_punctuation().unwrap().matches(&Tuple::of((1i64, 0i64))));
+    }
+
+    #[test]
+    fn ordered_closes_ranges_below() {
+        let op = DerivePunctuations::new(StaticConstraint::OrderedArrival, 0, 2);
+        let out = run(op, vec![tup(1), tup(1), tup(4), tup(9)]);
+        assert_well_formed(&out);
+        let puncts: Vec<_> = out
+            .iter()
+            .filter_map(StreamElement::as_punctuation)
+            .collect();
+        // Increase to 4 closes (..,4); to 9 closes (..,9); end closes all.
+        assert_eq!(puncts.len(), 3);
+        assert!(puncts[0].matches(&Tuple::of((3i64, 0i64))));
+        assert!(!puncts[0].matches(&Tuple::of((4i64, 0i64))));
+        assert!(puncts[1].matches(&Tuple::of((4i64, 0i64))));
+    }
+
+    #[test]
+    fn end_flush_closes_open_state() {
+        let op = DerivePunctuations::new(StaticConstraint::ClusteredArrival, 0, 2);
+        let out = run(op, vec![tup(1)]);
+        assert_eq!(out.iter().filter(|e| e.is_punctuation()).count(), 1);
+        // Empty stream: nothing to close.
+        let op = DerivePunctuations::new(StaticConstraint::OrderedArrival, 0, 2);
+        let out = run(op, vec![]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn existing_punctuations_pass_through() {
+        let mut op = DerivePunctuations::new(StaticConstraint::UniqueKey, 0, 2);
+        let mut out = Vec::new();
+        op.on_element(
+            StreamElement::Punctuation(Punctuation::close_value(2, 0, 42i64)),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(op.emitted(), 0);
+    }
+
+    #[test]
+    fn emitted_counter() {
+        let op = DerivePunctuations::new(StaticConstraint::UniqueKey, 0, 2);
+        let mut op2 = op;
+        let mut out = Vec::new();
+        for k in 0..5 {
+            op2.on_element(tup(k), &mut out);
+        }
+        assert_eq!(op2.emitted(), 5);
+    }
+}

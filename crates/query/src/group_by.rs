@@ -1,0 +1,304 @@
+//! Punctuation-aware grouped aggregation — the downstream beneficiary of
+//! PJoin's propagation in the paper's motivating query ("sum up
+//! bid_increase values for each item").
+//!
+//! Grouped aggregation over an unbounded stream is *blocking*: a group's
+//! aggregate is final only when no more tuples for the group can arrive.
+//! An input punctuation covering a group's key is exactly that guarantee,
+//! so the operator emits `(key, aggregate)` for every closed group and
+//! forwards a punctuation for it.
+
+use std::collections::HashMap;
+
+use punct_types::{Pattern, Punctuation, StreamElement, Tuple, Value};
+
+use crate::operator::UnaryOperator;
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of tuples in the group.
+    Count,
+    /// Sum of the value attribute.
+    Sum,
+    /// Minimum of the value attribute.
+    Min,
+    /// Maximum of the value attribute.
+    Max,
+    /// Arithmetic mean of the value attribute.
+    Avg,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    fn update(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn finish(&self, agg: Aggregate) -> Value {
+        match agg {
+            Aggregate::Count => Value::Int(self.count as i64),
+            Aggregate::Sum => Value::Float(self.sum),
+            Aggregate::Min => Value::Float(self.min),
+            Aggregate::Max => Value::Float(self.max),
+            Aggregate::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Grouped aggregation keyed on one attribute, unblocked by punctuations.
+///
+/// Output tuples have the shape `(group_key, aggregate)`. For every
+/// emitted group the operator also emits the punctuation
+/// `<group_key, *>`, so further downstream operators benefit in turn.
+///
+/// ```
+/// use squery::{Aggregate, GroupBy, UnaryOperator};
+/// use punct_types::{Punctuation, StreamElement, Tuple, Value};
+/// let mut g = GroupBy::new(0, 1, Aggregate::Sum);
+/// let mut out = Vec::new();
+/// g.on_element(Tuple::of((1i64, 2.5)).into(), &mut out);
+/// g.on_element(Tuple::of((1i64, 1.5)).into(), &mut out);
+/// assert!(out.is_empty()); // blocking until the group closes
+/// g.on_element(Punctuation::close_value(2, 0, 1i64).into(), &mut out);
+/// assert_eq!(out[0].as_tuple().unwrap().get(1), Some(&Value::Float(4.0)));
+/// ```
+pub struct GroupBy {
+    group_attr: usize,
+    value_attr: usize,
+    aggregate: Aggregate,
+    groups: HashMap<Value, Accumulator>,
+    /// Keys in first-seen order, for deterministic emission.
+    order: Vec<Value>,
+}
+
+impl GroupBy {
+    /// Creates a grouped aggregation: groups on `group_attr`, aggregates
+    /// `value_attr` with `aggregate`. (`value_attr` is ignored for
+    /// [`Aggregate::Count`].)
+    pub fn new(group_attr: usize, value_attr: usize, aggregate: Aggregate) -> GroupBy {
+        GroupBy {
+            group_attr,
+            value_attr,
+            aggregate,
+            groups: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Number of currently open (unemitted) groups.
+    pub fn open_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn emit_closed(&mut self, pattern: &Pattern, out: &mut Vec<StreamElement>) {
+        let mut emitted = Vec::new();
+        self.order.retain(|key| {
+            if pattern.matches(key) {
+                if let Some(acc) = self.groups.remove(key) {
+                    emitted.push((key.clone(), acc));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        for (key, acc) in emitted {
+            out.push(StreamElement::Tuple(Tuple::new(vec![
+                key.clone(),
+                acc.finish(self.aggregate),
+            ])));
+            out.push(StreamElement::Punctuation(Punctuation::new(vec![
+                Pattern::Constant(key),
+                Pattern::Wildcard,
+            ])));
+        }
+    }
+}
+
+impl UnaryOperator for GroupBy {
+    fn on_element(&mut self, element: StreamElement, out: &mut Vec<StreamElement>) {
+        match element {
+            StreamElement::Tuple(t) => {
+                let Some(key) = t.get(self.group_attr).cloned() else { return };
+                let value = if self.aggregate == Aggregate::Count {
+                    0.0
+                } else {
+                    match t.get(self.value_attr).and_then(Value::as_numeric) {
+                        Some(v) => v,
+                        None => return,
+                    }
+                };
+                let acc = self.groups.entry(key.clone()).or_insert_with(|| {
+                    self.order.push(key);
+                    Accumulator::default()
+                });
+                acc.update(value);
+            }
+            StreamElement::Punctuation(p) => {
+                // Only the group attribute's pattern closes groups; the
+                // punctuation must not constrain other attributes we
+                // cannot check (wildcards elsewhere are the sound case).
+                let informative = p.pattern(self.group_attr).cloned();
+                let others_wild = p
+                    .patterns()
+                    .iter()
+                    .enumerate()
+                    .all(|(i, pat)| i == self.group_attr || *pat == Pattern::Wildcard);
+                if let (Some(pattern), true) = (informative, others_wild) {
+                    self.emit_closed(&pattern, out);
+                }
+            }
+        }
+    }
+
+    fn on_end(&mut self, out: &mut Vec<StreamElement>) {
+        // Stream over: every remaining group is final.
+        self.emit_closed(&Pattern::Wildcard, out);
+    }
+
+    fn name(&self) -> &'static str {
+        "group-by"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(k: i64, v: f64) -> StreamElement {
+        StreamElement::Tuple(Tuple::new(vec![Value::Int(k), Value::Float(v)]))
+    }
+
+    fn close(k: i64) -> StreamElement {
+        StreamElement::Punctuation(Punctuation::close_value(2, 0, k))
+    }
+
+    #[test]
+    fn blocks_until_punctuation() {
+        let mut g = GroupBy::new(0, 1, Aggregate::Sum);
+        let mut out = Vec::new();
+        g.on_element(tup(1, 2.0), &mut out);
+        g.on_element(tup(1, 3.0), &mut out);
+        assert!(out.is_empty(), "group-by must block without punctuations");
+        assert_eq!(g.open_groups(), 1);
+        g.on_element(close(1), &mut out);
+        assert_eq!(out.len(), 2); // result + punctuation
+        let result = out[0].as_tuple().unwrap();
+        assert_eq!(result.get(0), Some(&Value::Int(1)));
+        assert_eq!(result.get(1), Some(&Value::Float(5.0)));
+        assert!(out[1].is_punctuation());
+        assert_eq!(g.open_groups(), 0);
+    }
+
+    #[test]
+    fn punctuation_closes_only_matching_groups() {
+        let mut g = GroupBy::new(0, 1, Aggregate::Count);
+        let mut out = Vec::new();
+        g.on_element(tup(1, 0.0), &mut out);
+        g.on_element(tup(2, 0.0), &mut out);
+        g.on_element(close(1), &mut out);
+        assert_eq!(g.open_groups(), 1);
+        assert_eq!(out[0].as_tuple().unwrap().get(1), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn range_punctuation_closes_span() {
+        let mut g = GroupBy::new(0, 1, Aggregate::Max);
+        let mut out = Vec::new();
+        for k in 0..5 {
+            g.on_element(tup(k, k as f64), &mut out);
+        }
+        g.on_element(
+            StreamElement::Punctuation(Punctuation::on_attr(2, 0, Pattern::int_range(0, 2))),
+            &mut out,
+        );
+        let results: Vec<_> = out.iter().filter(|e| e.is_tuple()).collect();
+        assert_eq!(results.len(), 3);
+        assert_eq!(g.open_groups(), 2);
+    }
+
+    #[test]
+    fn end_flushes_remaining_groups() {
+        let mut g = GroupBy::new(0, 1, Aggregate::Avg);
+        let mut out = Vec::new();
+        g.on_element(tup(7, 1.0), &mut out);
+        g.on_element(tup(7, 3.0), &mut out);
+        g.on_end(&mut out);
+        let result = out[0].as_tuple().unwrap();
+        assert_eq!(result.get(1), Some(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn aggregates_compute_correctly() {
+        for (agg, expect) in [
+            (Aggregate::Count, Value::Int(3)),
+            (Aggregate::Sum, Value::Float(6.0)),
+            (Aggregate::Min, Value::Float(1.0)),
+            (Aggregate::Max, Value::Float(3.0)),
+            (Aggregate::Avg, Value::Float(2.0)),
+        ] {
+            let mut g = GroupBy::new(0, 1, agg);
+            let mut out = Vec::new();
+            for v in [1.0, 2.0, 3.0] {
+                g.on_element(tup(1, v), &mut out);
+            }
+            g.on_element(close(1), &mut out);
+            assert_eq!(out[0].as_tuple().unwrap().get(1), Some(&expect), "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn ignores_punctuations_constraining_other_attrs() {
+        let mut g = GroupBy::new(0, 1, Aggregate::Sum);
+        let mut out = Vec::new();
+        g.on_element(tup(1, 2.0), &mut out);
+        // Constrains attribute 1 — not interpretable as a group closure.
+        g.on_element(
+            StreamElement::Punctuation(Punctuation::new(vec![
+                Pattern::Constant(Value::Int(1)),
+                Pattern::Constant(Value::Float(2.0)),
+            ])),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(g.open_groups(), 1);
+    }
+
+    #[test]
+    fn deterministic_emission_order() {
+        let mut g = GroupBy::new(0, 1, Aggregate::Count);
+        let mut out = Vec::new();
+        g.on_element(tup(3, 0.0), &mut out);
+        g.on_element(tup(1, 0.0), &mut out);
+        g.on_element(tup(2, 0.0), &mut out);
+        g.on_end(&mut out);
+        let keys: Vec<i64> = out
+            .iter()
+            .filter_map(|e| e.as_tuple())
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![3, 1, 2], "first-seen order");
+    }
+}

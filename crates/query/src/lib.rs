@@ -1,0 +1,41 @@
+//! # squery
+//!
+//! A small push-based continuous-query engine, just large enough to run
+//! the paper's motivating query (Fig. 1) end-to-end:
+//!
+//! ```text
+//! Open ─┐
+//!       ├─ PJoin(item_id) ── Out1 ── GroupBy(item_id, SUM(bid_increase))
+//! Bid ──┘
+//! ```
+//!
+//! The [`group_by::GroupBy`] operator is **blocking** over
+//! unbounded streams — it can only emit a group's aggregate once it knows
+//! the group is complete. Punctuations propagated by PJoin are exactly
+//! that signal, which is why the paper's propagation machinery matters:
+//! without it the group-by would never produce anything.
+//!
+//! Components:
+//!
+//! * [`operator::UnaryOperator`] — the push-based operator trait.
+//! * [`select`], [`project`], [`group_by`], [`sink`] — the operators.
+//! * [`plan`] — a pipeline of a binary join plus unary operators, with an
+//!   executor that merges the two inputs by timestamp.
+
+pub mod derive;
+pub mod group_by;
+pub mod operator;
+pub mod plan;
+pub mod project;
+pub mod select;
+pub mod sink;
+pub mod union;
+
+pub use derive::{DerivePunctuations, StaticConstraint};
+pub use group_by::{Aggregate, GroupBy};
+pub use operator::UnaryOperator;
+pub use plan::{Pipeline, PipelineReport};
+pub use project::Project;
+pub use select::Select;
+pub use sink::Sink;
+pub use union::{union_streams, Union};

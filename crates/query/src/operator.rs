@@ -1,0 +1,45 @@
+//! The push-based unary operator trait.
+
+use punct_types::StreamElement;
+
+/// A unary continuous-query operator: consumes one element at a time,
+/// pushes any number of output elements.
+///
+/// Operators must respect punctuation semantics on their *output*: once
+/// they emit a punctuation, no later output tuple may match it.
+pub trait UnaryOperator {
+    /// Processes one input element.
+    fn on_element(&mut self, element: StreamElement, out: &mut Vec<StreamElement>);
+
+    /// The input streams ended; flush any pending output.
+    fn on_end(&mut self, _out: &mut Vec<StreamElement>) {}
+
+    /// Operator name for plan display.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::Tuple;
+
+    struct Echo;
+    impl UnaryOperator for Echo {
+        fn on_element(&mut self, element: StreamElement, out: &mut Vec<StreamElement>) {
+            out.push(element);
+        }
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn trait_object_safety() {
+        let mut op: Box<dyn UnaryOperator> = Box::new(Echo);
+        let mut out = Vec::new();
+        op.on_element(StreamElement::Tuple(Tuple::of((1i64,))), &mut out);
+        op.on_end(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(op.name(), "echo");
+    }
+}

@@ -1,0 +1,106 @@
+//! Projection operator.
+
+use punct_types::{Pattern, Punctuation, StreamElement};
+
+use crate::operator::UnaryOperator;
+
+/// Projects tuples onto a subset (or reordering) of attributes.
+///
+/// Punctuations are projected onto the same attributes. A punctuation is
+/// only forwarded when every **dropped** attribute's pattern is a
+/// wildcard: otherwise the projected punctuation would assert the end of
+/// a *larger* value set than the original did, which is unsound.
+pub struct Project {
+    indices: Vec<usize>,
+}
+
+impl Project {
+    /// Creates a projection onto `indices` (in output order).
+    pub fn new(indices: Vec<usize>) -> Project {
+        Project { indices }
+    }
+}
+
+impl UnaryOperator for Project {
+    fn on_element(&mut self, element: StreamElement, out: &mut Vec<StreamElement>) {
+        match element {
+            StreamElement::Tuple(t) => {
+                if let Ok(p) = t.project(&self.indices) {
+                    out.push(StreamElement::Tuple(p));
+                }
+            }
+            StreamElement::Punctuation(p) => {
+                let dropped_all_wildcard = p
+                    .patterns()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !self.indices.contains(i))
+                    .all(|(_, pat)| *pat == Pattern::Wildcard);
+                if !dropped_all_wildcard {
+                    return;
+                }
+                let kept: Option<Vec<Pattern>> =
+                    self.indices.iter().map(|&i| p.pattern(i).cloned()).collect();
+                if let Some(patterns) = kept {
+                    out.push(StreamElement::Punctuation(Punctuation::new(patterns)));
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "project"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::{Tuple, Value};
+
+    #[test]
+    fn projects_tuples() {
+        let mut p = Project::new(vec![2, 0]);
+        let mut out = Vec::new();
+        p.on_element(StreamElement::Tuple(Tuple::of((1i64, 2i64, 3i64))), &mut out);
+        assert_eq!(
+            out[0].as_tuple().unwrap().values(),
+            &[Value::Int(3), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn forwards_punctuation_when_dropped_attrs_are_wildcards() {
+        let mut p = Project::new(vec![0]);
+        let mut out = Vec::new();
+        p.on_element(
+            StreamElement::Punctuation(Punctuation::close_value(3, 0, 9i64)),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        let punct = out[0].as_punctuation().unwrap();
+        assert_eq!(punct.width(), 1);
+        assert_eq!(punct.pattern(0), Some(&Pattern::Constant(Value::Int(9))));
+    }
+
+    #[test]
+    fn drops_punctuation_when_informative_attr_is_dropped() {
+        let mut p = Project::new(vec![1]);
+        let mut out = Vec::new();
+        // Pattern on attribute 0, which the projection drops: unsound to
+        // forward.
+        p.on_element(
+            StreamElement::Punctuation(Punctuation::close_value(3, 0, 9i64)),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_tuples_dropped() {
+        let mut p = Project::new(vec![5]);
+        let mut out = Vec::new();
+        p.on_element(StreamElement::Tuple(Tuple::of((1i64,))), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Selection (filter) operator.
+
+use punct_types::{StreamElement, Tuple};
+
+use crate::operator::UnaryOperator;
+
+/// Filters tuples by a predicate; punctuations pass through unchanged
+/// (a punctuation that held for the full stream holds for any subset).
+pub struct Select {
+    predicate: Box<dyn FnMut(&Tuple) -> bool>,
+}
+
+impl Select {
+    /// Creates a selection with the given predicate.
+    pub fn new(predicate: impl FnMut(&Tuple) -> bool + 'static) -> Select {
+        Select { predicate: Box::new(predicate) }
+    }
+}
+
+impl UnaryOperator for Select {
+    fn on_element(&mut self, element: StreamElement, out: &mut Vec<StreamElement>) {
+        match element {
+            StreamElement::Tuple(t) => {
+                if (self.predicate)(&t) {
+                    out.push(StreamElement::Tuple(t));
+                }
+            }
+            p @ StreamElement::Punctuation(_) => out.push(p),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "select"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::{Punctuation, Value};
+
+    #[test]
+    fn filters_tuples() {
+        let mut s = Select::new(|t| t.get(0).and_then(Value::as_int).is_some_and(|k| k > 5));
+        let mut out = Vec::new();
+        s.on_element(StreamElement::Tuple(Tuple::of((3i64,))), &mut out);
+        s.on_element(StreamElement::Tuple(Tuple::of((7i64,))), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].as_tuple().unwrap().get(0), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn punctuations_pass_through() {
+        let mut s = Select::new(|_| false);
+        let mut out = Vec::new();
+        s.on_element(StreamElement::Punctuation(Punctuation::close_value(1, 0, 1i64)), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_punctuation());
+    }
+}

@@ -1,0 +1,55 @@
+//! Output sink: collects the final stream of a pipeline.
+
+use punct_types::{StreamElement, Tuple};
+
+/// Collects a pipeline's output, separating tuples and punctuations.
+#[derive(Debug, Default, Clone)]
+pub struct Sink {
+    /// All elements in arrival order.
+    pub elements: Vec<StreamElement>,
+}
+
+impl Sink {
+    /// Creates an empty sink.
+    pub fn new() -> Sink {
+        Sink::default()
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, element: StreamElement) {
+        self.elements.push(element);
+    }
+
+    /// The collected data tuples, in order.
+    pub fn tuples(&self) -> Vec<&Tuple> {
+        self.elements.iter().filter_map(StreamElement::as_tuple).collect()
+    }
+
+    /// Number of tuples collected.
+    pub fn tuple_count(&self) -> usize {
+        self.elements.iter().filter(|e| e.is_tuple()).count()
+    }
+
+    /// Number of punctuations collected.
+    pub fn punctuation_count(&self) -> usize {
+        self.elements.iter().filter(|e| e.is_punctuation()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::Punctuation;
+
+    #[test]
+    fn separates_kinds() {
+        let mut s = Sink::new();
+        s.push(StreamElement::Tuple(Tuple::of((1i64,))));
+        s.push(StreamElement::Punctuation(Punctuation::close_value(1, 0, 1i64)));
+        s.push(StreamElement::Tuple(Tuple::of((2i64,))));
+        assert_eq!(s.tuple_count(), 2);
+        assert_eq!(s.punctuation_count(), 1);
+        assert_eq!(s.tuples().len(), 2);
+        assert_eq!(s.elements.len(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Punctuation-aware stream union.
+//!
+//! Tuples of both inputs pass straight through. Punctuations must not: a
+//! punctuation `p` of input A says nothing about input B, so the union
+//! may only assert `p` once **both** inputs have asserted it. Formally,
+//! the union's punctuation knowledge is the pairwise conjunction of the
+//! inputs' punctuation sets ("the *and* of any two punctuations is also
+//! a punctuation", §2.2): whenever `p_A ∧ p_B` is non-empty for a new
+//! pair, that conjunction is safe to emit.
+
+use std::collections::HashSet;
+
+use punct_types::{Punctuation, StreamElement, Timestamped};
+use stream_sim::Side;
+
+/// The punctuation-aware union operator over two inputs of one schema.
+///
+/// ```
+/// use squery::Union;
+/// use punct_types::{Punctuation, StreamElement};
+/// use stream_sim::Side;
+/// let mut u = Union::new(2);
+/// let mut out = Vec::new();
+/// let p = Punctuation::close_value(2, 0, 7i64);
+/// u.on_element(Side::Left, p.clone().into(), &mut out);
+/// assert!(out.is_empty()); // the right input may still produce 7s
+/// u.on_element(Side::Right, p.into(), &mut out);
+/// assert_eq!(out.len(), 1); // both sides agree: emit the conjunction
+/// ```
+pub struct Union {
+    width: usize,
+    ps: [Vec<Punctuation>; 2],
+    emitted: HashSet<Punctuation>,
+}
+
+impl Union {
+    /// Creates a union of two streams with `width`-ary tuples.
+    pub fn new(width: usize) -> Union {
+        Union { width, ps: [Vec::new(), Vec::new()], emitted: HashSet::new() }
+    }
+
+    /// Punctuations retained per side (diagnostics).
+    pub fn pending(&self) -> (usize, usize) {
+        (self.ps[0].len(), self.ps[1].len())
+    }
+
+    /// Processes one element from `side`, pushing outputs in order.
+    pub fn on_element(&mut self, side: Side, element: StreamElement, out: &mut Vec<StreamElement>) {
+        match element {
+            t @ StreamElement::Tuple(_) => out.push(t),
+            StreamElement::Punctuation(p) => {
+                if p.width() != self.width {
+                    debug_assert!(false, "punctuation width mismatch in union");
+                    return;
+                }
+                let (own, other) = match side {
+                    Side::Left => (0, 1),
+                    Side::Right => (1, 0),
+                };
+                // Conjoin with everything the other side has asserted;
+                // `emitted` dedups across *and within* batches.
+                let emitted = &mut self.emitted;
+                for q in &self.ps[other] {
+                    if let Ok(conj) = p.and(q) {
+                        if !conj.is_empty() && emitted.insert(conj.clone()) {
+                            out.push(StreamElement::Punctuation(conj));
+                        }
+                    }
+                }
+                self.ps[own].push(p);
+            }
+        }
+    }
+}
+
+/// Unions two timestamp-ordered streams into one, applying the
+/// punctuation conjunction rule. The output is timestamp-ordered.
+pub fn union_streams(
+    left: &[Timestamped<StreamElement>],
+    right: &[Timestamped<StreamElement>],
+    width: usize,
+) -> Vec<Timestamped<StreamElement>> {
+    let mut u = Union::new(width);
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut li, mut ri) = (0usize, 0usize);
+    let mut buf = Vec::new();
+    loop {
+        let pick_left = match (left.get(li), right.get(ri)) {
+            (Some(l), Some(r)) => l.ts <= r.ts,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let (side, e) = if pick_left {
+            li += 1;
+            (Side::Left, &left[li - 1])
+        } else {
+            ri += 1;
+            (Side::Right, &right[ri - 1])
+        };
+        u.on_element(side, e.item.clone(), &mut buf);
+        out.extend(buf.drain(..).map(|item| Timestamped::new(e.ts, item)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::{Pattern, Timestamp, Tuple};
+
+    fn tup(us: u64, k: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(Timestamp(us), StreamElement::Tuple(Tuple::of((k, 0i64))))
+    }
+
+    fn punct(us: u64, k: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(
+            Timestamp(us),
+            StreamElement::Punctuation(Punctuation::close_value(2, 0, k)),
+        )
+    }
+
+    #[test]
+    fn tuples_pass_through_in_order() {
+        let left = vec![tup(1, 1), tup(5, 2)];
+        let right = vec![tup(3, 3)];
+        let out = union_streams(&left, &right, 2);
+        let keys: Vec<i64> = out
+            .iter()
+            .filter_map(|e| e.item.as_tuple())
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn punctuation_requires_both_sides() {
+        // Only the left closes key 7: the union must stay silent (the
+        // right might still produce 7s).
+        let left = vec![tup(1, 7), punct(2, 7)];
+        let right = vec![tup(3, 7)];
+        let out = union_streams(&left, &right, 2);
+        assert_eq!(out.iter().filter(|e| e.item.is_punctuation()).count(), 0);
+
+        // Both sides close it: the conjunction is emitted once.
+        let right = vec![tup(3, 7), punct(4, 7)];
+        let out = union_streams(&left, &right, 2);
+        let puncts: Vec<_> =
+            out.iter().filter_map(|e| e.item.as_punctuation()).collect();
+        assert_eq!(puncts.len(), 1);
+        assert!(puncts[0].matches(&Tuple::of((7i64, 123i64))));
+    }
+
+    #[test]
+    fn output_is_well_formed() {
+        let left = vec![tup(1, 1), punct(2, 1), tup(3, 2), punct(8, 2)];
+        let right = vec![tup(4, 1), punct(5, 1), tup(6, 2), punct(9, 2)];
+        let out = union_streams(&left, &right, 2);
+        let report = streamgen::validate_stream(&out, 0);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(out.iter().filter(|e| e.item.is_punctuation()).count(), 2);
+    }
+
+    #[test]
+    fn range_and_constant_conjoin() {
+        // Left closes [0,10); right closes key 5: the union can assert 5.
+        let left = vec![Timestamped::new(
+            Timestamp(1),
+            StreamElement::Punctuation(Punctuation::on_attr(2, 0, Pattern::int_range(0, 9))),
+        )];
+        let right = vec![punct(2, 5)];
+        let out = union_streams(&left, &right, 2);
+        let puncts: Vec<_> =
+            out.iter().filter_map(|e| e.item.as_punctuation()).collect();
+        assert_eq!(puncts.len(), 1);
+        assert!(puncts[0].matches(&Tuple::of((5i64, 0i64))));
+        assert!(!puncts[0].matches(&Tuple::of((6i64, 0i64))), "only the conjunction holds");
+    }
+
+    #[test]
+    fn disjoint_punctuations_emit_nothing() {
+        let left = vec![punct(1, 1)];
+        let right = vec![punct(2, 2)];
+        let out = union_streams(&left, &right, 2);
+        assert_eq!(out.iter().filter(|e| e.item.is_punctuation()).count(), 0);
+    }
+
+    #[test]
+    fn no_duplicate_emissions() {
+        // The same conjunction reachable through two pairs is emitted once.
+        let left = vec![punct(1, 5), punct(2, 5)];
+        let right = vec![punct(3, 5)];
+        let out = union_streams(&left, &right, 2);
+        assert_eq!(out.iter().filter(|e| e.item.is_punctuation()).count(), 1);
+    }
+
+    #[test]
+    fn pending_tracks_unmatched() {
+        let mut u = Union::new(2);
+        let mut out = Vec::new();
+        u.on_element(
+            Side::Left,
+            StreamElement::Punctuation(Punctuation::close_value(2, 0, 1i64)),
+            &mut out,
+        );
+        assert_eq!(u.pending(), (1, 0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests of the query operators: grouped aggregation under
+//! randomized punctuation placement must equal the batch aggregate, and
+//! the union's punctuation conjunctions must never be violated.
+
+use proptest::prelude::*;
+use punct_types::{Punctuation, StreamElement, Timestamp, Timestamped, Tuple, Value};
+use squery::{union_streams, Aggregate, GroupBy, UnaryOperator};
+use std::collections::HashMap;
+
+/// A stream script: tuples (key, value) with interleaved punctuations
+/// closing keys in order — well-formed by construction.
+#[derive(Debug, Clone)]
+struct Script {
+    steps: Vec<(u8, i16, bool)>,
+}
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    proptest::collection::vec((any::<u8>(), any::<i16>(), proptest::bool::weighted(0.25)), 0..80)
+        .prop_map(|steps| Script { steps })
+}
+
+fn render(script: &Script, window: u64) -> Vec<StreamElement> {
+    let mut low = 0u64;
+    let mut out = Vec::new();
+    for &(draw, value, punct) in &script.steps {
+        let key = (low + (draw as u64) % window) as i64;
+        out.push(StreamElement::Tuple(Tuple::new(vec![
+            Value::Int(key),
+            Value::Float(value as f64),
+        ])));
+        if punct {
+            out.push(StreamElement::Punctuation(Punctuation::close_value(2, 0, low as i64)));
+            low += 1;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn group_by_equals_batch_aggregate(script in arb_script(), window in 1u64..6) {
+        let input = render(&script, window);
+
+        // Reference: batch sums per key.
+        let mut expect: HashMap<i64, (f64, i64)> = HashMap::new();
+        for e in &input {
+            if let Some(t) = e.as_tuple() {
+                let k = t.get(0).unwrap().as_int().unwrap();
+                let v = t.get(1).unwrap().as_numeric().unwrap();
+                let entry = expect.entry(k).or_insert((0.0, 0));
+                entry.0 += v;
+                entry.1 += 1;
+            }
+        }
+
+        for agg in [Aggregate::Sum, Aggregate::Count] {
+            let mut g = GroupBy::new(0, 1, agg);
+            let mut out = Vec::new();
+            for e in &input {
+                g.on_element(e.clone(), &mut out);
+            }
+            g.on_end(&mut out);
+            let mut got: HashMap<i64, Value> = HashMap::new();
+            for e in &out {
+                if let Some(t) = e.as_tuple() {
+                    let k = t.get(0).unwrap().as_int().unwrap();
+                    prop_assert!(
+                        got.insert(k, t.get(1).unwrap().clone()).is_none(),
+                        "group {k} emitted twice under {agg:?}"
+                    );
+                }
+            }
+            prop_assert_eq!(got.len(), expect.len());
+            for (k, (sum, count)) in &expect {
+                match agg {
+                    Aggregate::Sum => {
+                        let v = got[k].as_numeric().unwrap();
+                        prop_assert!((v - sum).abs() < 1e-9);
+                    }
+                    Aggregate::Count => {
+                        prop_assert_eq!(got[k].as_int().unwrap(), *count);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_emissions_respect_punctuations(script in arb_script(), window in 1u64..6) {
+        // Once a group's result is out, no later input tuple may belong
+        // to it (the operator must only close punctuated groups).
+        let input = render(&script, window);
+        let mut g = GroupBy::new(0, 1, Aggregate::Sum);
+        let mut closed: Vec<i64> = Vec::new();
+        for e in &input {
+            if let Some(t) = e.as_tuple() {
+                let k = t.get(0).unwrap().as_int().unwrap();
+                prop_assert!(!closed.contains(&k), "tuple for already-closed group {k}");
+            }
+            let mut out = Vec::new();
+            g.on_element(e.clone(), &mut out);
+            for o in &out {
+                if let Some(t) = o.as_tuple() {
+                    closed.push(t.get(0).unwrap().as_int().unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_output_is_well_formed(a in arb_script(), b in arb_script(), window in 1u64..6) {
+        let ts_wrap = |elements: Vec<StreamElement>| {
+            elements
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| Timestamped::new(Timestamp(i as u64 * 2), e))
+                .collect::<Vec<_>>()
+        };
+        let left = ts_wrap(render(&a, window));
+        let right = ts_wrap(render(&b, window));
+        let out = union_streams(&left, &right, 2);
+        // All tuples preserved.
+        let in_tuples =
+            left.iter().chain(&right).filter(|e| e.item.is_tuple()).count();
+        prop_assert_eq!(out.iter().filter(|e| e.item.is_tuple()).count(), in_tuples);
+        // No union output tuple violates a union punctuation.
+        let report = streamgen::validate_stream(&out, 0);
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    }
+}

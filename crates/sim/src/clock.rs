@@ -1,0 +1,75 @@
+//! The virtual clock: monotonically advancing simulated time.
+
+use punct_types::Timestamp;
+
+/// A monotonically non-decreasing virtual clock.
+///
+/// The clock only moves forward; attempts to move it backwards are clamped
+/// (this lets a driver write `advance_to(max(arrival, busy))` without
+/// branching).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: Timestamp,
+}
+
+impl VirtualClock {
+    /// A clock at the origin of time.
+    pub fn new() -> VirtualClock {
+        VirtualClock { now: Timestamp::ZERO }
+    }
+
+    /// A clock starting at `start`.
+    pub fn starting_at(start: Timestamp) -> VirtualClock {
+        VirtualClock { now: start }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Advances by `micros` microseconds and returns the new time.
+    pub fn advance(&mut self, micros: u64) -> Timestamp {
+        self.now = self.now.advance(micros);
+        self.now
+    }
+
+    /// Moves the clock to `t` if `t` is later; otherwise leaves it alone.
+    /// Returns the (possibly unchanged) current time.
+    pub fn advance_to(&mut self, t: Timestamp) -> Timestamp {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(VirtualClock::new().now(), Timestamp::ZERO);
+        assert_eq!(VirtualClock::starting_at(Timestamp(5)).now(), Timestamp(5));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = VirtualClock::new();
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), Timestamp(15));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut c = VirtualClock::new();
+        c.advance_to(Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance_to(Timestamp(50)); // ignored
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance_to(Timestamp(150));
+        assert_eq!(c.now(), Timestamp(150));
+    }
+}

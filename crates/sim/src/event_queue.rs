@@ -1,0 +1,137 @@
+//! A stable priority queue of timestamped events.
+//!
+//! Events with equal timestamps dequeue in insertion order (FIFO), which
+//! keeps simulations deterministic when many events share an instant.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use punct_types::Timestamp;
+
+/// A min-heap of `(Timestamp, E)` with FIFO tie-breaking.
+///
+/// ```
+/// use stream_sim::EventQueue;
+/// use punct_types::Timestamp;
+/// let mut q = EventQueue::new();
+/// q.push(Timestamp(20), "later");
+/// q.push(Timestamp(10), "sooner");
+/// assert_eq!(q.pop(), Some((Timestamp(10), "sooner")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Timestamp, u64, EventSlot<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper giving every payload a vacuous ordering so only `(ts, seq)`
+/// decide heap order.
+#[derive(Debug, Clone)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: Timestamp, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, seq, EventSlot(event))));
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        self.heap.pop().map(|Reverse((t, _, EventSlot(e)))| (t, e))
+    }
+
+    /// Removes and returns the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Timestamp) -> Option<(Timestamp, E)> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Timestamp(30), "c");
+        q.push(Timestamp(10), "a");
+        q.push(Timestamp(20), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Timestamp(10), "a")));
+        assert_eq!(q.pop(), Some((Timestamp(20), "b")));
+        assert_eq!(q.pop(), Some((Timestamp(30), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Timestamp(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Timestamp(7), i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_pop_due() {
+        let mut q = EventQueue::new();
+        q.push(Timestamp(50), "later");
+        q.push(Timestamp(5), "soon");
+        assert_eq!(q.peek_time(), Some(Timestamp(5)));
+        assert_eq!(q.pop_due(Timestamp(10)), Some((Timestamp(5), "soon")));
+        assert_eq!(q.pop_due(Timestamp(10)), None); // "later" not yet due
+        assert_eq!(q.pop_due(Timestamp(50)), Some((Timestamp(50), "later")));
+    }
+}

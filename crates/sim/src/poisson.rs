@@ -1,0 +1,119 @@
+//! Poisson-process sampling for arrival generation.
+//!
+//! The paper's benchmark system gives tuples "a Poisson inter-arrival time
+//! with a mean of 2 milliseconds" and punctuations "a Poisson inter-arrival
+//! with a mean of N tuples/punctuation". Both are exponential inter-arrival
+//! distributions — one measured in microseconds, one in tuple counts.
+
+use rand::Rng;
+
+/// Samples exponentially-distributed inter-arrival gaps with a given mean.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpSampler {
+    mean: f64,
+}
+
+impl ExpSampler {
+    /// Creates a sampler with the given mean gap (must be positive and
+    /// finite).
+    pub fn new(mean: f64) -> ExpSampler {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive and finite, got {mean}");
+        ExpSampler { mean }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one exponential gap (continuous, in the mean's unit).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // Inverse-CDF sampling; `1.0 - r` keeps the argument in (0, 1].
+        let r: f64 = rng.gen::<f64>();
+        -self.mean * (1.0 - r).ln()
+    }
+
+    /// Draws a gap rounded to a whole number of units, at least 1.
+    ///
+    /// Used for "every ~N tuples, one punctuation" style processes where a
+    /// zero gap is meaningless.
+    pub fn sample_count(&self, rng: &mut impl Rng) -> u64 {
+        (self.sample(rng).round() as u64).max(1)
+    }
+
+    /// Draws a gap in whole microseconds (at least 1).
+    pub fn sample_micros(&self, rng: &mut impl Rng) -> u64 {
+        (self.sample(rng).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_mean() {
+        ExpSampler::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nan_mean() {
+        ExpSampler::new(f64::NAN);
+    }
+
+    #[test]
+    fn samples_are_nonnegative() {
+        let s = ExpSampler::new(10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let s = ExpSampler::new(2000.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| s.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        // Exponential with mean 2000: sample mean of 200k draws should be
+        // within a few standard errors (~2000/sqrt(200k) ≈ 4.5).
+        assert!((mean - 2000.0).abs() < 25.0, "sample mean {mean} too far from 2000");
+    }
+
+    #[test]
+    fn count_samples_at_least_one() {
+        let s = ExpSampler::new(1.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(s.sample_count(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = ExpSampler::new(40.0);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| s.sample_count(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn exponential_is_memoryless_in_distribution() {
+        // P(X > 2m) should be about e^-2 ≈ 0.135 of draws.
+        let s = ExpSampler::new(100.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let over = (0..n).filter(|_| s.sample(&mut rng) > 200.0).count();
+        let frac = over as f64 / n as f64;
+        assert!((frac - (-2.0f64).exp()).abs() < 0.01, "tail fraction {frac}");
+    }
+}

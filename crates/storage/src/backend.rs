@@ -1,0 +1,44 @@
+//! The disk backend abstraction.
+
+use bytes::Bytes;
+
+/// Identifier of a stored page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// I/O statistics accumulated by a backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages written since creation.
+    pub pages_written: u64,
+    /// Pages read since creation.
+    pub pages_read: u64,
+    /// Bytes written since creation.
+    pub bytes_written: u64,
+    /// Bytes read since creation.
+    pub bytes_read: u64,
+}
+
+/// Page-granular storage for spilled join state.
+///
+/// Implementations: [`SimDisk`](crate::sim_disk::SimDisk) (in-memory,
+/// deterministic simulations) and [`FileDisk`](crate::file_disk::FileDisk)
+/// (real files).
+pub trait DiskBackend {
+    /// Persists a page, returning its id.
+    fn write_page(&mut self, data: Bytes) -> PageId;
+
+    /// Reads a page back. Panics if the id was never written or was freed
+    /// — operator logic owns page lifetimes, so a miss is a bug, not a
+    /// recoverable condition.
+    fn read_page(&mut self, id: PageId) -> Bytes;
+
+    /// Releases a page.
+    fn free_page(&mut self, id: PageId);
+
+    /// Cumulative I/O statistics.
+    fn stats(&self) -> IoStats;
+
+    /// Number of live (written, not freed) pages.
+    fn live_pages(&self) -> usize;
+}

@@ -1,0 +1,135 @@
+//! A hash bucket with an in-memory portion and an on-disk portion
+//! (paper §3.1: "each hash bucket has an in-memory portion and an on-disk
+//! portion").
+
+use crate::backend::PageId;
+
+/// One hash bucket of a [`PartitionedStore`](crate::PartitionedStore).
+#[derive(Debug, Clone)]
+pub struct Bucket<R> {
+    /// Records currently resident in memory.
+    memory: Vec<R>,
+    /// Pages holding the disk-resident portion, in spill order.
+    disk_pages: Vec<PageId>,
+    /// Number of records across `disk_pages`.
+    disk_tuples: usize,
+}
+
+impl<R> Bucket<R> {
+    /// Creates an empty bucket.
+    pub fn new() -> Bucket<R> {
+        Bucket { memory: Vec::new(), disk_pages: Vec::new(), disk_tuples: 0 }
+    }
+
+    /// The memory-resident records.
+    pub fn memory(&self) -> &[R] {
+        &self.memory
+    }
+
+    /// Mutable access to the memory-resident records (used by purge).
+    pub fn memory_mut(&mut self) -> &mut Vec<R> {
+        &mut self.memory
+    }
+
+    /// Appends a record to the memory portion.
+    pub fn push(&mut self, record: R) {
+        self.memory.push(record);
+    }
+
+    /// Number of memory-resident records.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Number of disk-resident records.
+    pub fn disk_len(&self) -> usize {
+        self.disk_tuples
+    }
+
+    /// Total records in the bucket.
+    pub fn len(&self) -> usize {
+        self.memory.len() + self.disk_tuples
+    }
+
+    /// True if the bucket holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if part of this bucket lives on disk.
+    pub fn has_disk_portion(&self) -> bool {
+        self.disk_tuples > 0
+    }
+
+    /// The page ids of the disk portion.
+    pub fn disk_pages(&self) -> &[PageId] {
+        &self.disk_pages
+    }
+
+    /// Takes the whole memory portion out (state relocation).
+    pub fn take_memory(&mut self) -> Vec<R> {
+        std::mem::take(&mut self.memory)
+    }
+
+    /// Registers pages written for this bucket's disk portion.
+    pub fn add_disk_pages(&mut self, pages: Vec<PageId>, tuples: usize) {
+        self.disk_pages.extend(pages);
+        self.disk_tuples += tuples;
+    }
+
+    /// Clears the disk-portion bookkeeping, returning the page ids so the
+    /// caller can free them. Used after a disk join fully processed the
+    /// bucket.
+    pub fn take_disk_pages(&mut self) -> Vec<PageId> {
+        self.disk_tuples = 0;
+        std::mem::take(&mut self.disk_pages)
+    }
+}
+
+impl<R> Default for Bucket<R> {
+    fn default() -> Self {
+        Bucket::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let b: Bucket<u32> = Bucket::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert!(!b.has_disk_portion());
+    }
+
+    #[test]
+    fn push_grows_memory() {
+        let mut b = Bucket::new();
+        b.push(1u32);
+        b.push(2);
+        assert_eq!(b.memory_len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.memory(), &[1, 2]);
+    }
+
+    #[test]
+    fn relocation_bookkeeping() {
+        let mut b = Bucket::new();
+        b.push(1u32);
+        b.push(2);
+        let taken = b.take_memory();
+        assert_eq!(taken, vec![1, 2]);
+        assert_eq!(b.memory_len(), 0);
+        b.add_disk_pages(vec![PageId(0), PageId(1)], 2);
+        assert_eq!(b.disk_len(), 2);
+        assert_eq!(b.len(), 2);
+        assert!(b.has_disk_portion());
+        assert_eq!(b.disk_pages(), &[PageId(0), PageId(1)]);
+        let pages = b.take_disk_pages();
+        assert_eq!(pages, vec![PageId(0), PageId(1)]);
+        assert!(!b.has_disk_portion());
+        assert!(b.is_empty());
+    }
+}

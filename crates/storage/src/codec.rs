@@ -1,0 +1,249 @@
+//! Compact binary encoding of stream values and tuples, and the
+//! [`Record`] trait join operators implement for their stored-tuple
+//! wrappers.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use punct_types::{Timestamp, Tuple, Value};
+
+/// Errors raised while decoding records from pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// An unknown type tag was encountered.
+    BadTag(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => f.write_str("unexpected end of buffer"),
+            CodecError::BadTag(t) => write!(f, "unknown type tag {t:#x}"),
+            CodecError::BadUtf8 => f.write_str("invalid UTF-8 in string value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+
+/// Encodes one value.
+pub fn encode_value(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*x);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decodes one value.
+pub fn decode_value(buf: &mut Bytes) -> Result<Value, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    match buf.get_u8() {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        TAG_STR => {
+            if buf.remaining() < 4 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::UnexpectedEof);
+            }
+            let raw = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&raw).map_err(|_| CodecError::BadUtf8)?;
+            Ok(Value::str(s))
+        }
+        tag => Err(CodecError::BadTag(tag)),
+    }
+}
+
+/// Encodes one tuple (width-prefixed).
+pub fn encode_tuple(t: &Tuple, buf: &mut BytesMut) {
+    buf.put_u16_le(t.width() as u16);
+    for v in t.values() {
+        encode_value(v, buf);
+    }
+}
+
+/// Decodes one tuple.
+pub fn decode_tuple(buf: &mut Bytes) -> Result<Tuple, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let width = buf.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(width);
+    for _ in 0..width {
+        values.push(decode_value(buf)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Encodes a timestamp.
+pub fn encode_timestamp(ts: Timestamp, buf: &mut BytesMut) {
+    buf.put_u64_le(ts.as_micros());
+}
+
+/// Decodes a timestamp.
+pub fn decode_timestamp(buf: &mut Bytes) -> Result<Timestamp, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(Timestamp(buf.get_u64_le()))
+}
+
+/// A stored-tuple wrapper that can live in a [`PartitionedStore`]
+/// (join operators attach metadata such as arrival timestamps or
+/// punctuation-index ids).
+///
+/// [`PartitionedStore`]: crate::partition::PartitionedStore
+pub trait Record: Clone {
+    /// The wrapped data tuple.
+    fn tuple(&self) -> &Tuple;
+    /// Serializes the record (tuple + metadata).
+    fn encode(&self, buf: &mut BytesMut);
+    /// Deserializes a record written by [`encode`](Record::encode).
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+}
+
+/// The trivial record: a bare tuple with no metadata (used by tests).
+impl Record for Tuple {
+    fn tuple(&self) -> &Tuple {
+        self
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        encode_tuple(self, buf);
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        decode_tuple(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_value(v: Value) {
+        let mut buf = BytesMut::new();
+        encode_value(&v, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_value(&mut bytes).unwrap(), v);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn values_round_trip() {
+        round_trip_value(Value::Null);
+        round_trip_value(Value::Bool(true));
+        round_trip_value(Value::Bool(false));
+        round_trip_value(Value::Int(-123456789));
+        round_trip_value(Value::Int(i64::MAX));
+        round_trip_value(Value::Float(3.25));
+        round_trip_value(Value::Float(f64::NEG_INFINITY));
+        round_trip_value(Value::str(""));
+        round_trip_value(Value::str("hello, 世界"));
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = Tuple::of((42i64, "widget", 9.5, true));
+        let mut buf = BytesMut::new();
+        encode_tuple(&t, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_tuple(&mut bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple_round_trips() {
+        let t = Tuple::new(vec![]);
+        let mut buf = BytesMut::new();
+        encode_tuple(&t, &mut buf);
+        assert_eq!(decode_tuple(&mut buf.freeze()).unwrap(), t);
+    }
+
+    #[test]
+    fn timestamps_round_trip() {
+        let mut buf = BytesMut::new();
+        encode_timestamp(Timestamp(987654321), &mut buf);
+        assert_eq!(decode_timestamp(&mut buf.freeze()).unwrap(), Timestamp(987654321));
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let mut buf = BytesMut::new();
+        encode_value(&Value::Int(5), &mut buf);
+        let full = buf.freeze();
+        for cut in 0..full.len() {
+            let mut part = full.slice(0..cut);
+            assert!(decode_value(&mut part).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut bytes = Bytes::from_static(&[0xFF]);
+        assert_eq!(decode_value(&mut bytes), Err(CodecError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn bad_utf8_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_STR);
+        buf.put_u32_le(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert_eq!(decode_value(&mut buf.freeze()), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn multiple_records_stream() {
+        let a = Tuple::of((1i64, "x"));
+        let b = Tuple::of((2i64, "y"));
+        let mut buf = BytesMut::new();
+        Record::encode(&a, &mut buf);
+        Record::encode(&b, &mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(<Tuple as Record>::decode(&mut bytes).unwrap(), a);
+        assert_eq!(<Tuple as Record>::decode(&mut bytes).unwrap(), b);
+        assert_eq!(bytes.remaining(), 0);
+    }
+}

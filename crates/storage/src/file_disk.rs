@@ -1,0 +1,169 @@
+//! A real file-backed disk, validating the page format end-to-end.
+//!
+//! Pages are appended to a single spill file; an in-memory index maps page
+//! ids to `(offset, length)`. Freeing forgets the index entry (space is
+//! reclaimed when the disk is dropped, which deletes the file). This
+//! mirrors how XJoin-era systems managed temp spill files.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+
+use crate::backend::{DiskBackend, IoStats, PageId};
+
+/// A file-backed page store.
+#[derive(Debug)]
+pub struct FileDisk {
+    file: File,
+    path: PathBuf,
+    delete_on_drop: bool,
+    index: std::collections::HashMap<PageId, (u64, u64)>,
+    next_id: u64,
+    end_offset: u64,
+    stats: IoStats,
+}
+
+impl FileDisk {
+    /// Opens (truncating) a spill file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileDisk> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(FileDisk {
+            file,
+            path,
+            delete_on_drop: false,
+            index: Default::default(),
+            next_id: 0,
+            end_offset: 0,
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Creates a spill file in the OS temp directory; it is deleted when
+    /// the disk is dropped.
+    pub fn temp(tag: &str) -> std::io::Result<FileDisk> {
+        let path = std::env::temp_dir().join(format!(
+            "spillstore-{tag}-{}-{}.pages",
+            std::process::id(),
+            // A per-process counter keeps concurrent disks distinct.
+            NEXT_TEMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        let mut disk = FileDisk::create(path)?;
+        disk.delete_on_drop = true;
+        Ok(disk)
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+static NEXT_TEMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl DiskBackend for FileDisk {
+    fn write_page(&mut self, data: Bytes) -> PageId {
+        let id = PageId(self.next_id);
+        self.next_id += 1;
+        self.file.seek(SeekFrom::Start(self.end_offset)).expect("seek spill file");
+        self.file.write_all(&data).expect("write spill page");
+        self.index.insert(id, (self.end_offset, data.len() as u64));
+        self.end_offset += data.len() as u64;
+        self.stats.pages_written += 1;
+        self.stats.bytes_written += data.len() as u64;
+        id
+    }
+
+    fn read_page(&mut self, id: PageId) -> Bytes {
+        let &(offset, len) =
+            self.index.get(&id).unwrap_or_else(|| panic!("read of unknown page {id:?}"));
+        let mut buf = vec![0u8; len as usize];
+        self.file.seek(SeekFrom::Start(offset)).expect("seek spill file");
+        self.file.read_exact(&mut buf).expect("read spill page");
+        self.stats.pages_read += 1;
+        self.stats.bytes_read += len;
+        Bytes::from(buf)
+    }
+
+    fn free_page(&mut self, id: PageId) {
+        self.index.remove(&id);
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn live_pages(&self) -> usize {
+        self.index.len()
+    }
+}
+
+impl Drop for FileDisk {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = FileDisk::temp("rt").unwrap();
+        let a = d.write_page(Bytes::from_static(b"first page"));
+        let b = d.write_page(Bytes::from_static(b"second"));
+        assert_eq!(&d.read_page(a)[..], b"first page");
+        assert_eq!(&d.read_page(b)[..], b"second");
+        // Interleaved re-reads work (seek correctness).
+        assert_eq!(&d.read_page(a)[..], b"first page");
+        assert_eq!(d.live_pages(), 2);
+    }
+
+    #[test]
+    fn temp_file_is_deleted_on_drop() {
+        let path;
+        {
+            let mut d = FileDisk::temp("drop").unwrap();
+            d.write_page(Bytes::from_static(b"x"));
+            path = d.path().to_path_buf();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stats_track_io() {
+        let mut d = FileDisk::temp("stats").unwrap();
+        let id = d.write_page(Bytes::from_static(b"abcd"));
+        d.read_page(id);
+        assert_eq!(d.stats().pages_written, 1);
+        assert_eq!(d.stats().pages_read, 1);
+        assert_eq!(d.stats().bytes_written, 4);
+    }
+
+    #[test]
+    fn free_forgets_page() {
+        let mut d = FileDisk::temp("free").unwrap();
+        let id = d.write_page(Bytes::from_static(b"x"));
+        d.free_page(id);
+        assert_eq!(d.live_pages(), 0);
+    }
+
+    #[test]
+    fn large_pages_round_trip() {
+        let mut d = FileDisk::temp("large").unwrap();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let id = d.write_page(Bytes::from(data.clone()));
+        assert_eq!(&d.read_page(id)[..], &data[..]);
+    }
+}

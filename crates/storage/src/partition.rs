@@ -1,0 +1,525 @@
+//! The partitioned hash store: fixed hash buckets over the join
+//! attribute, each with memory and disk portions, plus state relocation.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use punct_types::Value;
+
+use crate::backend::{DiskBackend, IoStats, PageId};
+use crate::bucket::Bucket;
+use crate::codec::Record;
+use crate::page::{paginate, Page};
+use crate::spill::{SpillPolicy, SpillState};
+
+/// Configuration of a [`PartitionedStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of hash buckets.
+    pub buckets: usize,
+    /// Index of the join attribute within stored tuples.
+    pub join_attr: usize,
+    /// Records per disk page.
+    pub page_tuples: usize,
+    /// Victim selection for state relocation.
+    pub spill_policy: SpillPolicy,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            buckets: 64,
+            join_attr: 0,
+            page_tuples: 64,
+            spill_policy: SpillPolicy::LargestMemory,
+        }
+    }
+}
+
+/// Report of one state-relocation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillReport {
+    /// The relocated bucket.
+    pub bucket: usize,
+    /// Pages written.
+    pub pages_written: u64,
+    /// Records moved to disk.
+    pub tuples_moved: usize,
+}
+
+/// One input stream's join state.
+pub struct PartitionedStore<R> {
+    config: StoreConfig,
+    buckets: Vec<Bucket<R>>,
+    backend: Box<dyn DiskBackend>,
+    spill_state: SpillState,
+    memory_tuples: usize,
+    disk_tuples: usize,
+}
+
+impl<R: Record> PartitionedStore<R> {
+    /// Creates an empty store over `backend`.
+    pub fn new(config: StoreConfig, backend: Box<dyn DiskBackend>) -> PartitionedStore<R> {
+        assert!(config.buckets > 0, "at least one bucket required");
+        let buckets = (0..config.buckets).map(|_| Bucket::new()).collect();
+        PartitionedStore {
+            config,
+            buckets,
+            backend,
+            spill_state: SpillState::default(),
+            memory_tuples: 0,
+            disk_tuples: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Deterministic bucket index for a join-key value.
+    pub fn bucket_index(&self, key: &Value) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.config.buckets as u64) as usize
+    }
+
+    /// Inserts a record (hashed on its join attribute). Returns the bucket
+    /// index. Records whose join attribute is missing or null land in
+    /// bucket 0 — they can never join, but operators may still need to
+    /// retain them for punctuation accounting.
+    pub fn insert(&mut self, record: R) -> usize {
+        let idx = record
+            .tuple()
+            .get(self.config.join_attr)
+            .map_or(0, |v| self.bucket_index(v));
+        self.buckets[idx].push(record);
+        self.memory_tuples += 1;
+        idx
+    }
+
+    /// The memory portion of the bucket a key hashes to (probe target).
+    pub fn probe_memory(&self, key: &Value) -> &[R] {
+        self.buckets[self.bucket_index(key)].memory()
+    }
+
+    /// Whether the bucket a key hashes to has a disk portion (the probe
+    /// cannot be completed in memory alone).
+    pub fn key_has_disk_portion(&self, key: &Value) -> bool {
+        self.buckets[self.bucket_index(key)].has_disk_portion()
+    }
+
+    /// Bucket accessor.
+    pub fn bucket(&self, idx: usize) -> &Bucket<R> {
+        &self.buckets[idx]
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates over all buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = &Bucket<R>> {
+        self.buckets.iter()
+    }
+
+    /// Records in memory across all buckets.
+    pub fn memory_tuples(&self) -> usize {
+        self.memory_tuples
+    }
+
+    /// Records on disk across all buckets.
+    pub fn disk_tuples(&self) -> usize {
+        self.disk_tuples
+    }
+
+    /// Total records (memory + disk).
+    pub fn total_tuples(&self) -> usize {
+        self.memory_tuples + self.disk_tuples
+    }
+
+    /// Backend I/O statistics.
+    pub fn io_stats(&self) -> IoStats {
+        self.backend.stats()
+    }
+
+    /// Relocates the policy-chosen victim bucket's memory portion to disk.
+    /// Returns `None` when nothing is left in memory to spill.
+    pub fn spill_one(&mut self) -> Option<SpillReport> {
+        let idx = self.config.spill_policy.pick(&self.buckets, &mut self.spill_state)?;
+        Some(self.spill_bucket(idx))
+    }
+
+    /// Relocates a specific bucket's memory portion to disk.
+    pub fn spill_bucket(&mut self, idx: usize) -> SpillReport {
+        let records = self.buckets[idx].take_memory();
+        let moved = records.len();
+        self.memory_tuples -= moved;
+        self.disk_tuples += moved;
+        let mut page_ids = Vec::new();
+        for page in paginate(records, self.config.page_tuples) {
+            page_ids.push(self.backend.write_page(page.encode()));
+        }
+        let pages_written = page_ids.len() as u64;
+        self.buckets[idx].add_disk_pages(page_ids, moved);
+        SpillReport { bucket: idx, pages_written, tuples_moved: moved }
+    }
+
+    /// Reads a bucket's entire disk portion back into memory (without
+    /// removing it from disk). Returns the records and pages read.
+    pub fn read_disk(&mut self, idx: usize) -> (Vec<R>, u64) {
+        let page_ids: Vec<PageId> = self.buckets[idx].disk_pages().to_vec();
+        let mut records = Vec::with_capacity(self.buckets[idx].disk_len());
+        for id in &page_ids {
+            let bytes = self.backend.read_page(*id);
+            let page: Page<R> = Page::decode(bytes).expect("pages we wrote must decode");
+            records.extend(page.into_records());
+        }
+        (records, page_ids.len() as u64)
+    }
+
+    /// Drops a bucket's disk portion (after a disk join has consumed it),
+    /// freeing its pages. Returns the number of records discarded.
+    pub fn clear_disk(&mut self, idx: usize) -> usize {
+        let dropped = self.buckets[idx].disk_len();
+        for id in self.buckets[idx].take_disk_pages() {
+            self.backend.free_page(id);
+        }
+        self.disk_tuples -= dropped;
+        dropped
+    }
+
+    /// Replaces a bucket's disk portion with `records` (e.g. disk-resident
+    /// survivors after a purge-aware disk join). Returns pages written.
+    pub fn rewrite_disk(&mut self, idx: usize, records: Vec<R>) -> u64 {
+        self.clear_disk(idx);
+        let moved = records.len();
+        if moved == 0 {
+            return 0;
+        }
+        let mut page_ids = Vec::new();
+        for page in paginate(records, self.config.page_tuples) {
+            page_ids.push(self.backend.write_page(page.encode()));
+        }
+        let written = page_ids.len() as u64;
+        self.buckets[idx].add_disk_pages(page_ids, moved);
+        self.disk_tuples += moved;
+        written
+    }
+
+    /// Removes and returns the records of one bucket's memory portion
+    /// matching `pred` (preserving order of both partitions). Used by
+    /// purge logic that must relocate victims (e.g. into a purge buffer)
+    /// rather than discard them.
+    pub fn extract_memory_bucket(
+        &mut self,
+        idx: usize,
+        mut pred: impl FnMut(&R) -> bool,
+    ) -> Vec<R> {
+        let mem = self.buckets[idx].memory_mut();
+        let mut extracted = Vec::new();
+        let mut kept = Vec::with_capacity(mem.len());
+        for r in mem.drain(..) {
+            if pred(&r) {
+                extracted.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        *mem = kept;
+        self.memory_tuples -= extracted.len();
+        extracted
+    }
+
+    /// Removes and returns the maximal *prefix* of one bucket's memory
+    /// portion whose records satisfy `pred`, stopping at the first
+    /// non-matching record. Used by sliding-window expiry: buckets are
+    /// append-ordered by arrival, so "drop every expired tuple" is a
+    /// prefix drain that can stop at the first still-valid tuple.
+    pub fn drain_memory_prefix(
+        &mut self,
+        idx: usize,
+        mut pred: impl FnMut(&R) -> bool,
+    ) -> Vec<R> {
+        let mem = self.buckets[idx].memory_mut();
+        let cut = mem.iter().take_while(|r| pred(r)).count();
+        let drained: Vec<R> = mem.drain(..cut).collect();
+        self.memory_tuples -= drained.len();
+        drained
+    }
+
+    /// Purge scan over one bucket's memory portion: keeps records
+    /// satisfying `keep`. Returns `(scanned, removed)`.
+    pub fn retain_memory_bucket(
+        &mut self,
+        idx: usize,
+        mut keep: impl FnMut(&R) -> bool,
+    ) -> (usize, usize) {
+        let mem = self.buckets[idx].memory_mut();
+        let scanned = mem.len();
+        let before = mem.len();
+        mem.retain(|r| keep(r));
+        let removed = before - mem.len();
+        self.memory_tuples -= removed;
+        (scanned, removed)
+    }
+
+    /// Purge scan over every bucket's memory portion. Returns
+    /// `(scanned, removed)` totals.
+    pub fn retain_memory(&mut self, mut keep: impl FnMut(&R) -> bool) -> (usize, usize) {
+        let (mut scanned, mut removed) = (0, 0);
+        for idx in 0..self.buckets.len() {
+            let (s, r) = self.retain_memory_bucket(idx, &mut keep);
+            scanned += s;
+            removed += r;
+        }
+        (scanned, removed)
+    }
+
+    /// Visits every memory-resident record.
+    pub fn for_each_memory(&self, mut f: impl FnMut(&R)) {
+        for b in &self.buckets {
+            for r in b.memory() {
+                f(r);
+            }
+        }
+    }
+
+    /// Mutably visits every memory-resident record (index building).
+    pub fn for_each_memory_mut(&mut self, mut f: impl FnMut(&mut R)) {
+        for b in &mut self.buckets {
+            for r in b.memory_mut() {
+                f(r);
+            }
+        }
+    }
+
+    /// Mutably visits one bucket's memory-resident records — used e.g. to
+    /// stamp departure timestamps immediately before relocating the bucket.
+    pub fn for_each_memory_bucket_mut(&mut self, idx: usize, mut f: impl FnMut(&mut R)) {
+        for r in self.buckets[idx].memory_mut() {
+            f(r);
+        }
+    }
+
+    /// The policy's current spill victim without performing the spill.
+    pub fn peek_spill_victim(&mut self) -> Option<usize> {
+        self.config.spill_policy.pick(&self.buckets, &mut self.spill_state)
+    }
+
+    /// Indices of buckets that currently have a disk portion.
+    pub fn buckets_with_disk(&self) -> Vec<usize> {
+        (0..self.buckets.len()).filter(|&i| self.buckets[i].has_disk_portion()).collect()
+    }
+}
+
+impl<R: Record> std::fmt::Debug for PartitionedStore<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedStore")
+            .field("buckets", &self.config.buckets)
+            .field("memory_tuples", &self.memory_tuples)
+            .field("disk_tuples", &self.disk_tuples)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_disk::SimDisk;
+    use punct_types::Tuple;
+
+    fn store(buckets: usize) -> PartitionedStore<Tuple> {
+        PartitionedStore::new(
+            StoreConfig { buckets, page_tuples: 4, ..StoreConfig::default() },
+            Box::new(SimDisk::new()),
+        )
+    }
+
+    fn tup(k: i64) -> Tuple {
+        Tuple::of((k, "payload"))
+    }
+
+    #[test]
+    fn insert_routes_by_hash() {
+        let mut s = store(8);
+        for k in 0..100 {
+            let idx = s.insert(tup(k));
+            assert_eq!(idx, s.bucket_index(&Value::Int(k)));
+        }
+        assert_eq!(s.memory_tuples(), 100);
+        assert_eq!(s.total_tuples(), 100);
+        // All records findable via probe.
+        for k in 0..100 {
+            let hits = s
+                .probe_memory(&Value::Int(k))
+                .iter()
+                .filter(|r| r.get(0) == Some(&Value::Int(k)))
+                .count();
+            assert_eq!(hits, 1, "key {k}");
+        }
+    }
+
+    #[test]
+    fn same_key_same_bucket() {
+        let s = store(16);
+        let a = s.bucket_index(&Value::Int(42));
+        let b = s.bucket_index(&Value::Int(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spill_moves_largest_bucket() {
+        let mut s = store(4);
+        for k in 0..40 {
+            s.insert(tup(k));
+        }
+        let mem_before = s.memory_tuples();
+        let report = s.spill_one().unwrap();
+        assert!(report.tuples_moved > 0);
+        assert!(report.pages_written >= 1);
+        assert_eq!(s.memory_tuples(), mem_before - report.tuples_moved);
+        assert_eq!(s.disk_tuples(), report.tuples_moved);
+        assert_eq!(s.total_tuples(), 40);
+        assert!(s.bucket(report.bucket).has_disk_portion());
+    }
+
+    #[test]
+    fn read_disk_round_trips() {
+        let mut s = store(1);
+        for k in 0..10 {
+            s.insert(tup(k));
+        }
+        let report = s.spill_bucket(0);
+        assert_eq!(report.tuples_moved, 10);
+        assert_eq!(report.pages_written, 3); // page_tuples = 4
+        let (records, pages_read) = s.read_disk(0);
+        assert_eq!(pages_read, 3);
+        assert_eq!(records.len(), 10);
+        let keys: Vec<i64> =
+            records.iter().map(|r| r.get(0).unwrap().as_int().unwrap()).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_disk_frees_pages() {
+        let mut s = store(1);
+        for k in 0..10 {
+            s.insert(tup(k));
+        }
+        s.spill_bucket(0);
+        assert_eq!(s.clear_disk(0), 10);
+        assert_eq!(s.disk_tuples(), 0);
+        assert_eq!(s.total_tuples(), 0);
+        assert!(!s.bucket(0).has_disk_portion());
+    }
+
+    #[test]
+    fn rewrite_disk_replaces_contents() {
+        let mut s = store(1);
+        for k in 0..8 {
+            s.insert(tup(k));
+        }
+        s.spill_bucket(0);
+        let survivors: Vec<Tuple> = (0..3).map(tup).collect();
+        let written = s.rewrite_disk(0, survivors);
+        assert!(written >= 1);
+        assert_eq!(s.disk_tuples(), 3);
+        let (records, _) = s.read_disk(0);
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn rewrite_disk_with_empty_clears() {
+        let mut s = store(1);
+        s.insert(tup(1));
+        s.spill_bucket(0);
+        assert_eq!(s.rewrite_disk(0, vec![]), 0);
+        assert_eq!(s.disk_tuples(), 0);
+    }
+
+    #[test]
+    fn retain_memory_purges() {
+        let mut s = store(4);
+        for k in 0..20 {
+            s.insert(tup(k));
+        }
+        let (scanned, removed) =
+            s.retain_memory(|r| r.get(0).unwrap().as_int().unwrap() >= 10);
+        assert_eq!(scanned, 20);
+        assert_eq!(removed, 10);
+        assert_eq!(s.memory_tuples(), 10);
+    }
+
+    #[test]
+    fn retain_single_bucket_only_touches_it() {
+        let mut s = store(4);
+        for k in 0..20 {
+            s.insert(tup(k));
+        }
+        let idx = s.bucket_index(&Value::Int(0));
+        let before_others: usize =
+            (0..4).filter(|&i| i != idx).map(|i| s.bucket(i).memory_len()).sum();
+        s.retain_memory_bucket(idx, |_| false);
+        let after_others: usize =
+            (0..4).filter(|&i| i != idx).map(|i| s.bucket(i).memory_len()).sum();
+        assert_eq!(before_others, after_others);
+        assert_eq!(s.bucket(idx).memory_len(), 0);
+    }
+
+    #[test]
+    fn null_keys_land_in_bucket_zero() {
+        let mut s = store(8);
+        let idx = s.insert(Tuple::new(vec![Value::Null, Value::Int(1)]));
+        // Null hashes like any value — consistent routing is all we need.
+        assert_eq!(idx, s.bucket_index(&Value::Null));
+    }
+
+    #[test]
+    fn buckets_with_disk_lists_spilled() {
+        let mut s = store(4);
+        for k in 0..40 {
+            s.insert(tup(k));
+        }
+        assert!(s.buckets_with_disk().is_empty());
+        let r = s.spill_one().unwrap();
+        assert_eq!(s.buckets_with_disk(), vec![r.bucket]);
+    }
+
+    #[test]
+    fn for_each_memory_visits_all() {
+        let mut s = store(4);
+        for k in 0..12 {
+            s.insert(tup(k));
+        }
+        let mut n = 0;
+        s.for_each_memory(|_| n += 1);
+        assert_eq!(n, 12);
+    }
+
+    #[test]
+    fn extract_memory_bucket_partitions() {
+        let mut s = store(1);
+        for k in 0..10 {
+            s.insert(tup(k));
+        }
+        let evens =
+            s.extract_memory_bucket(0, |r| r.get(0).unwrap().as_int().unwrap() % 2 == 0);
+        assert_eq!(evens.len(), 5);
+        assert_eq!(s.memory_tuples(), 5);
+        // Order preserved in both partitions.
+        let kept: Vec<i64> =
+            s.bucket(0).memory().iter().map(|r| r.get(0).unwrap().as_int().unwrap()).collect();
+        assert_eq!(kept, vec![1, 3, 5, 7, 9]);
+        let got: Vec<i64> =
+            evens.iter().map(|r| r.get(0).unwrap().as_int().unwrap()).collect();
+        assert_eq!(got, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _ = store(0);
+    }
+}

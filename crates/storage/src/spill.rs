@@ -1,0 +1,109 @@
+//! Victim selection for state relocation.
+
+use crate::bucket::Bucket;
+
+/// Which bucket to relocate to disk when memory fills up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillPolicy {
+    /// The bucket with the largest memory portion — XJoin's choice, which
+    /// frees the most memory per page-write burst.
+    #[default]
+    LargestMemory,
+    /// Round-robin over buckets (a simpler, fairness-oriented baseline
+    /// used by the ablation benches).
+    RoundRobin,
+}
+
+/// State carried between victim selections.
+#[derive(Debug, Clone, Default)]
+pub struct SpillState {
+    next_round_robin: usize,
+}
+
+impl SpillPolicy {
+    /// Picks the victim bucket index, or `None` when no bucket has a
+    /// non-empty memory portion.
+    pub fn pick<R>(&self, buckets: &[Bucket<R>], state: &mut SpillState) -> Option<usize> {
+        match self {
+            SpillPolicy::LargestMemory => buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.memory_len() > 0)
+                .max_by_key(|(_, b)| b.memory_len())
+                .map(|(i, _)| i),
+            SpillPolicy::RoundRobin => {
+                let n = buckets.len();
+                if n == 0 {
+                    return None;
+                }
+                for step in 0..n {
+                    let idx = (state.next_round_robin + step) % n;
+                    if buckets[idx].memory_len() > 0 {
+                        state.next_round_robin = (idx + 1) % n;
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buckets(sizes: &[usize]) -> Vec<Bucket<u32>> {
+        sizes
+            .iter()
+            .map(|&n| {
+                let mut b = Bucket::new();
+                for i in 0..n {
+                    b.push(i as u32);
+                }
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn largest_memory_picks_max() {
+        let bs = buckets(&[3, 9, 1]);
+        let mut st = SpillState::default();
+        assert_eq!(SpillPolicy::LargestMemory.pick(&bs, &mut st), Some(1));
+    }
+
+    #[test]
+    fn largest_memory_skips_empty() {
+        let bs = buckets(&[0, 0, 0]);
+        let mut st = SpillState::default();
+        assert_eq!(SpillPolicy::LargestMemory.pick(&bs, &mut st), None);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let bs = buckets(&[2, 2, 2]);
+        let mut st = SpillState::default();
+        let p = SpillPolicy::RoundRobin;
+        assert_eq!(p.pick(&bs, &mut st), Some(0));
+        assert_eq!(p.pick(&bs, &mut st), Some(1));
+        assert_eq!(p.pick(&bs, &mut st), Some(2));
+        assert_eq!(p.pick(&bs, &mut st), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_empty() {
+        let bs = buckets(&[0, 2, 0]);
+        let mut st = SpillState::default();
+        assert_eq!(SpillPolicy::RoundRobin.pick(&bs, &mut st), Some(1));
+        assert_eq!(SpillPolicy::RoundRobin.pick(&bs, &mut st), Some(1));
+    }
+
+    #[test]
+    fn empty_bucket_list() {
+        let bs: Vec<Bucket<u32>> = vec![];
+        let mut st = SpillState::default();
+        assert_eq!(SpillPolicy::RoundRobin.pick(&bs, &mut st), None);
+        assert_eq!(SpillPolicy::LargestMemory.pick(&bs, &mut st), None);
+    }
+}

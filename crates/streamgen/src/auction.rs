@@ -1,0 +1,247 @@
+//! The online auction workload from the paper's motivating example
+//! (§1.1 / §2.1).
+//!
+//! A sellers portal merges items for sale into an **Open** stream; a
+//! buyers portal merges bids into a **Bid** stream. Each item is open for
+//! bidding during a fixed auction period:
+//!
+//! * Every Open tuple carries a unique `item_id`, so the query system
+//!   derives a punctuation right after each tuple ("no more tuple
+//!   containing this specific item_id value will occur").
+//! * When an item's auction period expires, the auction system inserts a
+//!   punctuation into the Bid stream signalling the end of bids for it.
+
+use punct_types::{
+    Punctuation, Schema, StreamElement, Timestamp, Timestamped, Tuple, Value, ValueType,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stream_sim::ExpSampler;
+
+/// Auction workload parameters.
+#[derive(Debug, Clone)]
+pub struct AuctionConfig {
+    /// Number of items offered for sale.
+    pub items: usize,
+    /// Mean gap between item openings, µs (Poisson).
+    pub item_open_gap_us: f64,
+    /// Auction period: an item accepts bids for this long after opening.
+    pub auction_duration_us: u64,
+    /// Mean gap between bids, µs (Poisson).
+    pub bid_mean_gap_us: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AuctionConfig {
+    fn default() -> AuctionConfig {
+        AuctionConfig {
+            items: 200,
+            item_open_gap_us: 20_000.0,
+            auction_duration_us: 200_000,
+            bid_mean_gap_us: 2_000.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated auction workload.
+#[derive(Debug, Clone)]
+pub struct AuctionWorkload {
+    /// Open stream: `(item_id, seller_id, open_price)` plus per-item
+    /// punctuations.
+    pub open: Vec<Timestamped<StreamElement>>,
+    /// Bid stream: `(item_id, bidder_id, bid_increase)` plus
+    /// auction-closed punctuations.
+    pub bid: Vec<Timestamped<StreamElement>>,
+    /// Total bids generated.
+    pub bids: usize,
+}
+
+/// Schema of the Open stream.
+pub fn open_schema() -> Schema {
+    Schema::of(&[
+        ("item_id", ValueType::Int),
+        ("seller_id", ValueType::Str),
+        ("open_price", ValueType::Float),
+    ])
+}
+
+/// Schema of the Bid stream.
+pub fn bid_schema() -> Schema {
+    Schema::of(&[
+        ("item_id", ValueType::Int),
+        ("bidder_id", ValueType::Str),
+        ("bid_increase", ValueType::Float),
+    ])
+}
+
+/// Generates the auction workload.
+pub fn generate_auction(config: &AuctionConfig) -> AuctionWorkload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let open_gap = ExpSampler::new(config.item_open_gap_us);
+    let bid_gap = ExpSampler::new(config.bid_mean_gap_us);
+
+    // Item lifecycle: item i opens at open_at[i], closes at close_at[i].
+    let mut open_at = Vec::with_capacity(config.items);
+    let mut t = Timestamp::ZERO;
+    for i in 0..config.items {
+        if i > 0 {
+            t = t.advance(open_gap.sample_micros(&mut rng));
+        }
+        open_at.push(t);
+    }
+    let close_at: Vec<Timestamp> =
+        open_at.iter().map(|t| t.advance(config.auction_duration_us)).collect();
+
+    // Open stream: tuple at open time, punctuation immediately after
+    // (unique-key derivation).
+    let mut open = Vec::with_capacity(config.items * 2);
+    for (i, &ts) in open_at.iter().enumerate() {
+        let tuple = Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::str(format!("seller-{}", rng.gen_range(0..50))),
+            Value::Float((rng.gen_range(100..10_000) as f64) / 100.0),
+        ]);
+        open.push(Timestamped::new(ts, StreamElement::Tuple(tuple)));
+        open.push(Timestamped::new(
+            ts,
+            StreamElement::Punctuation(Punctuation::close_value(3, 0, i as i64)),
+        ));
+    }
+
+    // Bid stream: Poisson bids over currently-open items; punctuation at
+    // each item's close time.
+    let horizon = close_at[config.items - 1];
+    let mut bid = Vec::new();
+    let mut bids = 0usize;
+    let mut now = Timestamp::ZERO;
+    // Items close in open order (equal durations), so a cursor suffices.
+    let mut next_close = 0usize;
+    loop {
+        now = now.advance(bid_gap.sample_micros(&mut rng));
+        if now > horizon {
+            break;
+        }
+        // Emit punctuations for items that closed before this bid.
+        while next_close < config.items && close_at[next_close] <= now {
+            bid.push(Timestamped::new(
+                close_at[next_close],
+                StreamElement::Punctuation(Punctuation::close_value(3, 0, next_close as i64)),
+            ));
+            next_close += 1;
+        }
+        // Open items at `now`: opened (open_at <= now) and not closed.
+        let first_open = next_close;
+        let opened = open_at.partition_point(|&o| o <= now);
+        if first_open >= opened {
+            continue; // nothing open right now
+        }
+        let item = rng.gen_range(first_open..opened);
+        let tuple = Tuple::new(vec![
+            Value::Int(item as i64),
+            Value::str(format!("bidder-{}", rng.gen_range(0..200))),
+            Value::Float((rng.gen_range(1..500) as f64) / 10.0),
+        ]);
+        bid.push(Timestamped::new(now, StreamElement::Tuple(tuple)));
+        bids += 1;
+    }
+    // Close out the remaining items.
+    while next_close < config.items {
+        bid.push(Timestamped::new(
+            close_at[next_close],
+            StreamElement::Punctuation(Punctuation::close_value(3, 0, next_close as i64)),
+        ));
+        next_close += 1;
+    }
+
+    AuctionWorkload { open, bid, bids }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_stream;
+
+    fn small() -> AuctionConfig {
+        AuctionConfig { items: 50, seed: 3, ..AuctionConfig::default() }
+    }
+
+    #[test]
+    fn open_stream_has_tuple_and_punct_per_item() {
+        let w = generate_auction(&small());
+        assert_eq!(w.open.len(), 100);
+        let puncts = w.open.iter().filter(|e| e.item.is_punctuation()).count();
+        assert_eq!(puncts, 50);
+    }
+
+    #[test]
+    fn bid_stream_has_punct_per_item() {
+        let w = generate_auction(&small());
+        let puncts = w.bid.iter().filter(|e| e.item.is_punctuation()).count();
+        assert_eq!(puncts, 50);
+        assert!(w.bids > 0);
+    }
+
+    #[test]
+    fn streams_are_well_formed() {
+        let w = generate_auction(&small());
+        assert!(validate_stream(&w.open, 0).is_well_formed());
+        let bid_report = validate_stream(&w.bid, 0);
+        assert!(bid_report.is_well_formed(), "{:?}", bid_report.violations);
+    }
+
+    #[test]
+    fn streams_are_time_ordered() {
+        let w = generate_auction(&small());
+        assert!(w.open.windows(2).all(|x| x[0].ts <= x[1].ts));
+        assert!(w.bid.windows(2).all(|x| x[0].ts <= x[1].ts));
+    }
+
+    #[test]
+    fn bids_reference_open_items_only() {
+        let cfg = small();
+        let w = generate_auction(&cfg);
+        // Reconstruct lifecycle and check each bid falls in its item's
+        // open interval.
+        let opens: Vec<Timestamp> = w
+            .open
+            .iter()
+            .filter(|e| e.item.is_tuple())
+            .map(|e| e.ts)
+            .collect();
+        for e in &w.bid {
+            if let StreamElement::Tuple(t) = &e.item {
+                let item = t.get(0).unwrap().as_int().unwrap() as usize;
+                let open = opens[item];
+                let close = open.advance(cfg.auction_duration_us);
+                assert!(e.ts >= open && e.ts <= close, "bid at {} outside [{open}, {close}]", e.ts);
+            }
+        }
+    }
+
+    #[test]
+    fn schemas_validate_generated_tuples() {
+        let w = generate_auction(&small());
+        let os = open_schema();
+        let bs = bid_schema();
+        for e in &w.open {
+            if let StreamElement::Tuple(t) = &e.item {
+                os.check(t).unwrap();
+            }
+        }
+        for e in &w.bid {
+            if let StreamElement::Tuple(t) = &e.item {
+                bs.check(t).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_auction(&small());
+        let b = generate_auction(&small());
+        assert_eq!(a.bids, b.bids);
+        assert_eq!(a.bid.len(), b.bid.len());
+    }
+}

@@ -1,0 +1,138 @@
+//! Generator configuration.
+
+use punct_types::{Schema, ValueType};
+use serde::{Deserialize, Serialize};
+
+/// How the generator shapes the punctuations it embeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PunctScheme {
+    /// No punctuations at all (the degenerate stream XJoin assumes; the
+    /// paper: "when the punctuation inter-arrival reaches infinity ... the
+    /// memory requirement of PJoin becomes the same as that of XJoin").
+    None,
+    /// One constant-pattern punctuation per event, closing the oldest
+    /// active key (the paper's default granularity: "each punctuation
+    /// contains a constant pattern").
+    ConstantPerKey,
+    /// One range-pattern punctuation per `batch` closed keys: emitted every
+    /// `batch` punctuation events, covering the batch `[k, k+batch)`.
+    RangeBatch {
+        /// Number of keys covered per punctuation.
+        batch: u64,
+    },
+}
+
+/// Configuration of one generated stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Mean tuple inter-arrival time in microseconds (Poisson process).
+    /// The paper uses 2 ms for all experiments.
+    pub tuple_mean_gap_us: f64,
+    /// Mean punctuation inter-arrival measured in **tuples per
+    /// punctuation** (Poisson), e.g. 40.0 for the paper's Fig. 5. Ignored
+    /// when `punct_scheme` is [`PunctScheme::None`].
+    pub punct_mean_tuples: f64,
+    /// Punctuation shape.
+    pub punct_scheme: PunctScheme,
+    /// Number of data tuples to generate.
+    pub tuples: usize,
+    /// Width of the sliding window of active join keys: the number of keys
+    /// tuples draw from at any moment. Controls join multiplicity.
+    pub key_window: u64,
+    /// Number of non-key payload attributes (schema is
+    /// `(key: int, payload0: int, …)`).
+    pub payload_attrs: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            tuple_mean_gap_us: 2_000.0, // the paper's 2 ms
+            punct_mean_tuples: 40.0,
+            punct_scheme: PunctScheme::ConstantPerKey,
+            tuples: 10_000,
+            key_window: 10,
+            payload_attrs: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The schema of generated tuples: an integer join key followed by
+    /// `payload_attrs` integer payload attributes.
+    pub fn schema(&self) -> Schema {
+        let mut fields = vec![("key", ValueType::Int)];
+        let names: Vec<String> = (0..self.payload_attrs).map(|i| format!("payload{i}")).collect();
+        for n in &names {
+            fields.push((n.as_str(), ValueType::Int));
+        }
+        Schema::of(&fields)
+    }
+
+    /// Tuple width (key + payload).
+    pub fn width(&self) -> usize {
+        1 + self.payload_attrs
+    }
+
+    /// Builder-style: sets the punctuation inter-arrival in tuples.
+    pub fn with_punct_every(mut self, tuples: f64) -> Self {
+        self.punct_mean_tuples = tuples;
+        self
+    }
+
+    /// Builder-style: sets the number of tuples.
+    pub fn with_tuples(mut self, tuples: usize) -> Self {
+        self.tuples = tuples;
+        self
+    }
+
+    /// Builder-style: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: disables punctuations.
+    pub fn without_punctuations(mut self) -> Self {
+        self.punct_scheme = PunctScheme::None;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = StreamConfig::default();
+        assert_eq!(c.tuple_mean_gap_us, 2_000.0);
+        assert_eq!(c.punct_scheme, PunctScheme::ConstantPerKey);
+    }
+
+    #[test]
+    fn schema_shape() {
+        let c = StreamConfig { payload_attrs: 2, ..StreamConfig::default() };
+        let s = c.schema();
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.field(0).unwrap().name, "key");
+        assert_eq!(s.field(2).unwrap().name, "payload1");
+        assert_eq!(c.width(), 3);
+    }
+
+    #[test]
+    fn builders() {
+        let c = StreamConfig::default()
+            .with_punct_every(10.0)
+            .with_tuples(5)
+            .with_seed(9)
+            .without_punctuations();
+        assert_eq!(c.punct_mean_tuples, 10.0);
+        assert_eq!(c.tuples, 5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.punct_scheme, PunctScheme::None);
+    }
+}

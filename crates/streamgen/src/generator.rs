@@ -1,0 +1,304 @@
+//! The sliding-key-window stream generator.
+//!
+//! Model: join keys are the integers `0, 1, 2, …`. At any moment a stream
+//! draws tuple keys uniformly from its **active window** `[low, low + W)`.
+//! When a punctuation event fires (Poisson inter-arrival measured in
+//! tuples), the stream emits a punctuation closing key `low` — asserting
+//! it will never use that key again — and slides the window forward by
+//! one. Because the window only moves forward past punctuated keys, the
+//! generated stream is well-formed by construction.
+//!
+//! Two streams built over the same key space with the *same* punctuation
+//! rate keep overlapping windows (a steady many-to-many join); with
+//! *asymmetric* rates the faster-punctuating stream's window races ahead,
+//! reproducing the state asymmetry of the paper's §4.3.
+
+use punct_types::{
+    Pattern, Punctuation, StreamElement, Timestamp, Timestamped, Tuple, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stream_sim::ExpSampler;
+
+use crate::config::{PunctScheme, StreamConfig};
+
+/// A generated punctuated stream plus bookkeeping useful to experiments.
+#[derive(Debug, Clone)]
+pub struct GeneratedStream {
+    /// The timestamped elements, in arrival order.
+    pub elements: Vec<Timestamped<StreamElement>>,
+    /// Number of data tuples among `elements`.
+    pub tuples: usize,
+    /// Number of punctuations among `elements`.
+    pub punctuations: usize,
+    /// Exclusive upper bound of keys used (`low` after the last slide is
+    /// the lowest *open* key).
+    pub final_window_low: u64,
+    /// The configuration that produced this stream.
+    pub config: StreamConfig,
+}
+
+impl GeneratedStream {
+    /// Arrival time of the last element.
+    pub fn end_time(&self) -> Timestamp {
+        self.elements.last().map_or(Timestamp::ZERO, |e| e.ts)
+    }
+}
+
+/// Generates one stream from `config`.
+///
+/// ```
+/// use streamgen::{generate_stream, validate_stream, StreamConfig};
+/// let cfg = StreamConfig { tuples: 100, seed: 1, ..StreamConfig::default() };
+/// let s = generate_stream(&cfg);
+/// assert_eq!(s.tuples, 100);
+/// assert!(validate_stream(&s.elements, 0).is_well_formed());
+/// ```
+pub fn generate_stream(config: &StreamConfig) -> GeneratedStream {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    generate_with_rng(config, &mut rng)
+}
+
+/// Generates the A/B stream pair for a two-input join experiment.
+///
+/// The two streams share the key space but use independent RNG streams
+/// (derived from `seed`); `punct_a` / `punct_b` override the punctuation
+/// inter-arrival per side (in tuples per punctuation), enabling the
+/// asymmetric experiments of §4.3.
+pub fn generate_pair(
+    config: &StreamConfig,
+    punct_a: f64,
+    punct_b: f64,
+) -> (GeneratedStream, GeneratedStream) {
+    let a_cfg = StreamConfig {
+        punct_mean_tuples: punct_a,
+        seed: config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        ..config.clone()
+    };
+    let b_cfg = StreamConfig {
+        punct_mean_tuples: punct_b,
+        seed: config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(2),
+        ..config.clone()
+    };
+    (generate_stream(&a_cfg), generate_stream(&b_cfg))
+}
+
+fn generate_with_rng(config: &StreamConfig, rng: &mut StdRng) -> GeneratedStream {
+    assert!(config.key_window >= 1, "key window must hold at least one key");
+    let width = config.width();
+    let tuple_gap = ExpSampler::new(config.tuple_mean_gap_us);
+    let punct_gap = match config.punct_scheme {
+        PunctScheme::None => None,
+        _ => Some(ExpSampler::new(config.punct_mean_tuples)),
+    };
+
+    let mut elements = Vec::with_capacity(config.tuples + config.tuples / 8);
+    let mut now = Timestamp::ZERO;
+    let mut low: u64 = 0; // lowest open key
+    let mut punctuations = 0usize;
+    // Tuples remaining until the next punctuation event.
+    let mut until_punct = punct_gap.map(|g| g.sample_count(rng));
+    // For RangeBatch: lowest key not yet covered by an emitted range.
+    let mut range_start: u64 = 0;
+    let mut pending_range: u64 = 0; // punctuation events accumulated
+
+    for _ in 0..config.tuples {
+        now = now.advance(tuple_gap.sample_micros(rng));
+        let key = low + rng.gen_range(0..config.key_window);
+        let mut values = Vec::with_capacity(width);
+        values.push(Value::Int(key as i64));
+        for _ in 0..config.payload_attrs {
+            values.push(Value::Int(rng.gen_range(0..1_000)));
+        }
+        elements.push(Timestamped::new(now, StreamElement::Tuple(Tuple::new(values))));
+
+        if let (Some(gap), Some(left)) = (punct_gap, until_punct.as_mut()) {
+            *left -= 1;
+            while *left == 0 {
+                // Punctuation event: close key `low`, slide the window.
+                let closed = low;
+                low += 1;
+                match config.punct_scheme {
+                    PunctScheme::None => unreachable!("punct_gap is None for None scheme"),
+                    PunctScheme::ConstantPerKey => {
+                        punctuations += 1;
+                        elements.push(Timestamped::new(
+                            now,
+                            StreamElement::Punctuation(Punctuation::close_value(
+                                width,
+                                0,
+                                closed as i64,
+                            )),
+                        ));
+                    }
+                    PunctScheme::RangeBatch { batch } => {
+                        pending_range += 1;
+                        if pending_range >= batch {
+                            punctuations += 1;
+                            let pattern =
+                                Pattern::int_range(range_start as i64, (low - 1) as i64);
+                            elements.push(Timestamped::new(
+                                now,
+                                StreamElement::Punctuation(Punctuation::on_attr(
+                                    width, 0, pattern,
+                                )),
+                            ));
+                            range_start = low;
+                            pending_range = 0;
+                        }
+                    }
+                }
+                *left = gap.sample_count(rng);
+            }
+        }
+    }
+
+    GeneratedStream {
+        elements,
+        tuples: config.tuples,
+        punctuations,
+        final_window_low: low,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_stream;
+
+    fn small(scheme: PunctScheme) -> StreamConfig {
+        StreamConfig {
+            tuples: 2_000,
+            punct_mean_tuples: 10.0,
+            punct_scheme: scheme,
+            seed: 42,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_tuple_count() {
+        let s = generate_stream(&small(PunctScheme::ConstantPerKey));
+        assert_eq!(s.tuples, 2_000);
+        let tuple_count = s.elements.iter().filter(|e| e.item.is_tuple()).count();
+        assert_eq!(tuple_count, 2_000);
+        let punct_count = s.elements.iter().filter(|e| e.item.is_punctuation()).count();
+        assert_eq!(punct_count, s.punctuations);
+    }
+
+    #[test]
+    fn punctuation_rate_is_roughly_mean() {
+        let s = generate_stream(&small(PunctScheme::ConstantPerKey));
+        // 2000 tuples at ~10 tuples/punct: expect ~200, allow wide slack.
+        assert!(
+            (120..=280).contains(&s.punctuations),
+            "got {} punctuations",
+            s.punctuations
+        );
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing() {
+        let s = generate_stream(&small(PunctScheme::ConstantPerKey));
+        assert!(s.elements.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn arrival_gap_mean_close_to_config() {
+        let cfg = StreamConfig { tuples: 20_000, ..small(PunctScheme::None) };
+        let s = generate_stream(&cfg);
+        let total = s.end_time().as_micros() as f64;
+        let mean = total / 20_000.0;
+        assert!((mean - 2_000.0).abs() < 100.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn streams_are_well_formed() {
+        for scheme in [
+            PunctScheme::ConstantPerKey,
+            PunctScheme::RangeBatch { batch: 5 },
+        ] {
+            let s = generate_stream(&small(scheme));
+            let report = validate_stream(&s.elements, 0);
+            assert!(report.is_well_formed(), "{scheme:?}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn no_punctuations_when_scheme_none() {
+        let s = generate_stream(&small(PunctScheme::None));
+        assert_eq!(s.punctuations, 0);
+        assert_eq!(s.final_window_low, 0);
+    }
+
+    #[test]
+    fn keys_stay_in_current_window() {
+        let cfg = small(PunctScheme::ConstantPerKey);
+        let s = generate_stream(&cfg);
+        let mut low = 0u64;
+        for e in &s.elements {
+            match &e.item {
+                StreamElement::Punctuation(_) => low += 1,
+                StreamElement::Tuple(t) => {
+                    let k = t.get(0).unwrap().as_int().unwrap() as u64;
+                    assert!(
+                        k >= low && k < low + cfg.key_window,
+                        "key {k} outside window [{low}, {})",
+                        low + cfg.key_window
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_stream(&small(PunctScheme::ConstantPerKey));
+        let b = generate_stream(&small(PunctScheme::ConstantPerKey));
+        assert_eq!(a.elements, b.elements);
+        let c = generate_stream(&small(PunctScheme::ConstantPerKey).with_seed(7));
+        assert_ne!(a.elements, c.elements);
+    }
+
+    #[test]
+    fn pair_shares_key_space_but_differs() {
+        let cfg = small(PunctScheme::ConstantPerKey);
+        let (a, b) = generate_pair(&cfg, 10.0, 10.0);
+        assert_ne!(a.elements, b.elements);
+        // Symmetric rates: windows end near each other.
+        let diff = a.final_window_low.abs_diff(b.final_window_low);
+        assert!(diff < 60, "windows diverged by {diff}");
+    }
+
+    #[test]
+    fn asymmetric_pair_windows_diverge() {
+        let cfg = small(PunctScheme::ConstantPerKey);
+        let (a, b) = generate_pair(&cfg, 10.0, 40.0);
+        // A punctuates 4x as often: its window races ahead.
+        assert!(
+            a.final_window_low > b.final_window_low * 2,
+            "a={} b={}",
+            a.final_window_low,
+            b.final_window_low
+        );
+    }
+
+    #[test]
+    fn range_batches_cover_contiguously() {
+        let s = generate_stream(&small(PunctScheme::RangeBatch { batch: 4 }));
+        let mut expected_start = 0i64;
+        for e in &s.elements {
+            if let StreamElement::Punctuation(p) = &e.item {
+                match p.pattern(0).unwrap() {
+                    Pattern::Range { .. } | Pattern::Constant(_) => {
+                        // Each batch starts where the previous ended.
+                        assert!(p.pattern(0).unwrap().matches(&Value::Int(expected_start)));
+                        expected_start += 4;
+                    }
+                    other => panic!("unexpected pattern {other:?}"),
+                }
+            }
+        }
+    }
+}

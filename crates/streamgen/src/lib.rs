@@ -1,0 +1,32 @@
+//! # streamgen
+//!
+//! The synthetic benchmark system of the paper's §4: generates punctuated
+//! data streams "by controlling the arrival patterns and rates of the data
+//! and punctuations".
+//!
+//! * [`generator`] — the core sliding-key-window generator: tuples with
+//!   Poisson inter-arrival over a drifting window of active join keys;
+//!   punctuations with Poisson inter-arrival (measured in tuples) that
+//!   close the oldest active key. Generated streams are **well-formed by
+//!   construction**: no tuple ever follows a punctuation it matches.
+//! * [`config`] — generator configuration ([`StreamConfig`], [`PunctScheme`]).
+//! * [`auction`] — the online auction workload of §1.1/§2.1 (Open/Bid
+//!   streams with item lifecycle punctuations).
+//! * [`sensors`] — a sensor-correlation workload exercising *range*
+//!   punctuations.
+//! * [`merge`] — k-way timestamp merge of generated streams.
+//! * [`trace`] — textual record/replay of generated streams.
+//! * [`validate`] — checks stream well-formedness (used by tests and
+//!   property tests).
+
+pub mod auction;
+pub mod config;
+pub mod generator;
+pub mod merge;
+pub mod sensors;
+pub mod trace;
+pub mod validate;
+
+pub use config::{PunctScheme, StreamConfig};
+pub use generator::{generate_pair, generate_stream, GeneratedStream};
+pub use validate::{validate_stream, WellFormedness};

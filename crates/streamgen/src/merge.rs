@@ -1,0 +1,82 @@
+//! K-way timestamp merge of streams.
+
+use punct_types::{StreamElement, Timestamped};
+
+/// Merges already-sorted streams into one sorted stream. Ties preserve
+/// the input order of the streams (stable).
+pub fn merge_streams(
+    streams: &[&[Timestamped<StreamElement>]],
+) -> Vec<Timestamped<StreamElement>> {
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; streams.len()];
+    loop {
+        let mut best: Option<(usize, punct_types::Timestamp)> = None;
+        for (i, s) in streams.iter().enumerate() {
+            if let Some(e) = s.get(cursors[i]) {
+                if best.is_none_or(|(_, t)| e.ts < t) {
+                    best = Some((i, e.ts));
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                out.push(streams[i][cursors[i]].clone());
+                cursors[i] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::{Timestamp, Tuple};
+
+    fn tup(ts: u64, k: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(Timestamp(ts), StreamElement::Tuple(Tuple::of((k,))))
+    }
+
+    fn key(e: &Timestamped<StreamElement>) -> i64 {
+        e.item.as_tuple().unwrap().get(0).unwrap().as_int().unwrap()
+    }
+
+    #[test]
+    fn merges_in_time_order() {
+        let a = vec![tup(1, 10), tup(5, 11)];
+        let b = vec![tup(2, 20), tup(3, 21), tup(9, 22)];
+        let m = merge_streams(&[&a, &b]);
+        let keys: Vec<i64> = m.iter().map(key).collect();
+        assert_eq!(keys, vec![10, 20, 21, 11, 22]);
+    }
+
+    #[test]
+    fn ties_prefer_earlier_stream() {
+        let a = vec![tup(5, 1)];
+        let b = vec![tup(5, 2)];
+        let m = merge_streams(&[&a, &b]);
+        assert_eq!(key(&m[0]), 1);
+        assert_eq!(key(&m[1]), 2);
+    }
+
+    #[test]
+    fn handles_empty_inputs() {
+        let a: Vec<Timestamped<StreamElement>> = vec![];
+        let b = vec![tup(1, 1)];
+        assert_eq!(merge_streams(&[&a, &b]).len(), 1);
+        assert!(merge_streams(&[&a]).is_empty());
+        assert!(merge_streams(&[]).is_empty());
+    }
+
+    #[test]
+    fn three_way_merge() {
+        let a = vec![tup(3, 1)];
+        let b = vec![tup(1, 2)];
+        let c = vec![tup(2, 3)];
+        let m = merge_streams(&[&a, &b, &c]);
+        let keys: Vec<i64> = m.iter().map(key).collect();
+        assert_eq!(keys, vec![2, 3, 1]);
+    }
+}

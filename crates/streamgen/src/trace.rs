@@ -1,0 +1,200 @@
+//! Textual record/replay of punctuated streams.
+//!
+//! One line per element:
+//!
+//! ```text
+//! T <ts_us> (v1, v2, ...)      data tuple (Display form of Tuple)
+//! P <ts_us> <pat, pat, ...>    punctuation (the parse grammar)
+//! ```
+//!
+//! Traces make generated workloads inspectable and let experiments be
+//! replayed byte-for-byte without rerunning the generator.
+
+use punct_types::parse::parse_punctuation;
+use punct_types::{StreamElement, Timestamp, Timestamped, Tuple, TypeError, Value};
+
+/// Serializes a stream to the trace format.
+pub fn write_trace(elements: &[Timestamped<StreamElement>]) -> String {
+    let mut out = String::new();
+    for e in elements {
+        match &e.item {
+            StreamElement::Tuple(t) => {
+                out.push_str(&format!("T {} {}\n", e.ts.as_micros(), t));
+            }
+            StreamElement::Punctuation(p) => {
+                out.push_str(&format!("P {} {}\n", e.ts.as_micros(), p));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a trace produced by [`write_trace`].
+pub fn read_trace(text: &str) -> Result<Vec<Timestamped<StreamElement>>, TypeError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| TypeError::Parse {
+            offset: lineno,
+            message: format!("line {}: {msg}", lineno + 1),
+        };
+        let mut parts = line.splitn(3, ' ');
+        let kind = parts.next().ok_or_else(|| err("missing kind"))?;
+        let ts: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing timestamp"))?
+            .parse()
+            .map_err(|_| err("bad timestamp"))?;
+        let payload = parts.next().ok_or_else(|| err("missing payload"))?;
+        let item = match kind {
+            "T" => StreamElement::Tuple(parse_tuple(payload, lineno)?),
+            "P" => StreamElement::Punctuation(parse_punctuation(payload)?),
+            _ => return Err(err("kind must be T or P")),
+        };
+        out.push(Timestamped::new(Timestamp(ts), item));
+    }
+    Ok(out)
+}
+
+/// Parses the `Display` form of a tuple: `(v1, v2, ...)`.
+fn parse_tuple(text: &str, lineno: usize) -> Result<Tuple, TypeError> {
+    let err = |msg: &str| TypeError::Parse {
+        offset: lineno,
+        message: format!("line {}: {msg}", lineno + 1),
+    };
+    let inner = text
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| err("tuple must be parenthesized"))?;
+    let mut values = Vec::new();
+    for field in split_top_level(inner) {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        values.push(parse_value(field, lineno)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Splits on commas that are not inside string quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth_quote = false;
+    let mut start = 0;
+    let mut prev_escape = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' if !prev_escape => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    if start <= s.len() {
+        parts.push(&s[start..]);
+    }
+    parts
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, TypeError> {
+    let err = |msg: String| TypeError::Parse {
+        offset: lineno,
+        message: format!("line {}: {msg}", lineno + 1),
+    };
+    if text == "null" {
+        return Ok(Value::Null);
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        return Ok(Value::str(inner.replace("\\\"", "\"").replace("\\\\", "\\")));
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(err(format!("cannot parse value `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamConfig;
+    use crate::generator::generate_stream;
+    use punct_types::Punctuation;
+
+    #[test]
+    fn round_trips_simple_stream() {
+        let elements = vec![
+            Timestamped::new(Timestamp(10), StreamElement::Tuple(Tuple::of((1i64, "a", 2.5)))),
+            Timestamped::new(
+                Timestamp(20),
+                StreamElement::Punctuation(Punctuation::close_value(3, 0, 1i64)),
+            ),
+        ];
+        let text = write_trace(&elements);
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back, elements);
+    }
+
+    #[test]
+    fn round_trips_generated_stream() {
+        let cfg = StreamConfig { tuples: 500, seed: 11, ..StreamConfig::default() };
+        let s = generate_stream(&cfg);
+        let text = write_trace(&s.elements);
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back, s.elements);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\nT 5 (1)\n";
+        let back = read_trace(text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].ts, Timestamp(5));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_trace("X 5 (1)").is_err());
+        assert!(read_trace("T abc (1)").is_err());
+        assert!(read_trace("T 5").is_err());
+        assert!(read_trace("T 5 1,2").is_err()); // not parenthesized
+        assert!(read_trace("T 5 (nope)").is_err());
+    }
+
+    #[test]
+    fn strings_with_commas_round_trip() {
+        let elements = vec![Timestamped::new(
+            Timestamp(1),
+            StreamElement::Tuple(Tuple::of(("a,b", 1i64))),
+        )];
+        let text = write_trace(&elements);
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back, elements);
+    }
+
+    #[test]
+    fn null_and_bool_round_trip() {
+        let elements = vec![Timestamped::new(
+            Timestamp(1),
+            StreamElement::Tuple(Tuple::new(vec![Value::Null, Value::Bool(true)])),
+        )];
+        let back = read_trace(&write_trace(&elements)).unwrap();
+        assert_eq!(back, elements);
+    }
+}

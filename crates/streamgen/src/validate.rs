@@ -1,0 +1,127 @@
+//! Well-formedness validation of punctuated streams.
+//!
+//! A stream is well-formed when no tuple matches any punctuation that
+//! arrived before it — the defining property of punctuations (§2.2). The
+//! validator also checks the paper's join-attribute compatibility
+//! assumption: successive punctuation patterns on the join attribute are
+//! pairwise disjoint or nested.
+
+use punct_types::{Punctuation, StreamElement, Timestamped};
+
+/// The outcome of validating a stream.
+#[derive(Debug, Clone, Default)]
+pub struct WellFormedness {
+    /// Indices of tuples that violate an earlier punctuation.
+    pub violations: Vec<usize>,
+    /// Index pairs `(earlier, later)` of punctuations that violate the
+    /// disjoint-or-nested assumption on the join attribute.
+    pub incompatible_pairs: Vec<(usize, usize)>,
+    /// Total tuples seen.
+    pub tuples: usize,
+    /// Total punctuations seen.
+    pub punctuations: usize,
+}
+
+impl WellFormedness {
+    /// True when no violations of either kind were found.
+    pub fn is_well_formed(&self) -> bool {
+        self.violations.is_empty() && self.incompatible_pairs.is_empty()
+    }
+}
+
+/// Validates `elements` (in arrival order) against punctuation semantics;
+/// `join_attr` is the join attribute index used for the compatibility
+/// check.
+///
+/// Runtime is `O(elements × punctuations)` — this is a test utility, not
+/// an operator.
+pub fn validate_stream(
+    elements: &[Timestamped<StreamElement>],
+    join_attr: usize,
+) -> WellFormedness {
+    let mut seen: Vec<(usize, Punctuation)> = Vec::new();
+    let mut report = WellFormedness::default();
+
+    for (idx, e) in elements.iter().enumerate() {
+        match &e.item {
+            StreamElement::Tuple(t) => {
+                report.tuples += 1;
+                if seen.iter().any(|(_, p)| p.matches(t)) {
+                    report.violations.push(idx);
+                }
+            }
+            StreamElement::Punctuation(p) => {
+                report.punctuations += 1;
+                for (early_idx, earlier) in &seen {
+                    if !earlier.compatible_on(p, join_attr) {
+                        report.incompatible_pairs.push((*early_idx, idx));
+                    }
+                }
+                seen.push((idx, p.clone()));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::{Pattern, Timestamp, Tuple};
+
+    fn tup(ts: u64, k: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(Timestamp(ts), StreamElement::Tuple(Tuple::of((k, 0i64))))
+    }
+
+    fn punct(ts: u64, k: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(
+            Timestamp(ts),
+            StreamElement::Punctuation(Punctuation::close_value(2, 0, k)),
+        )
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let s = vec![tup(1, 1), tup(2, 2), punct(3, 1), tup(4, 2), punct(5, 2)];
+        let r = validate_stream(&s, 0);
+        assert!(r.is_well_formed());
+        assert_eq!(r.tuples, 3);
+        assert_eq!(r.punctuations, 2);
+    }
+
+    #[test]
+    fn detects_tuple_after_matching_punctuation() {
+        let s = vec![punct(1, 7), tup(2, 7)];
+        let r = validate_stream(&s, 0);
+        assert_eq!(r.violations, vec![1]);
+        assert!(!r.is_well_formed());
+    }
+
+    #[test]
+    fn detects_incompatible_punctuation_overlap() {
+        let a = Timestamped::new(
+            Timestamp(1),
+            StreamElement::Punctuation(Punctuation::on_attr(2, 0, Pattern::int_range(0, 5))),
+        );
+        let b = Timestamped::new(
+            Timestamp(2),
+            StreamElement::Punctuation(Punctuation::on_attr(2, 0, Pattern::int_range(3, 9))),
+        );
+        let r = validate_stream(&[a, b], 0);
+        assert_eq!(r.incompatible_pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn nested_punctuations_are_compatible() {
+        let narrow = Timestamped::new(
+            Timestamp(1),
+            StreamElement::Punctuation(Punctuation::on_attr(2, 0, Pattern::int_range(2, 3))),
+        );
+        let wide = Timestamped::new(
+            Timestamp(2),
+            StreamElement::Punctuation(Punctuation::on_attr(2, 0, Pattern::int_range(0, 9))),
+        );
+        let r = validate_stream(&[narrow, wide], 0);
+        assert!(r.is_well_formed());
+    }
+}

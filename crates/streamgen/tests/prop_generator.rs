@@ -1,0 +1,85 @@
+//! Property tests of the benchmark generator: every configuration must
+//! yield well-formed, time-ordered, schema-conforming streams, and the
+//! trace format must round-trip them bit-exactly.
+
+use proptest::prelude::*;
+use streamgen::trace::{read_trace, write_trace};
+use streamgen::{generate_pair, generate_stream, validate_stream, PunctScheme, StreamConfig};
+
+fn arb_scheme() -> impl Strategy<Value = PunctScheme> {
+    prop_oneof![
+        Just(PunctScheme::None),
+        Just(PunctScheme::ConstantPerKey),
+        (1u64..8).prop_map(|batch| PunctScheme::RangeBatch { batch }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = StreamConfig> {
+    (
+        1usize..400,   // tuples
+        1.0f64..60.0,  // punct inter-arrival (tuples)
+        arb_scheme(),
+        1u64..12,      // key window
+        0usize..3,     // payload attrs
+        any::<u64>(),  // seed
+    )
+        .prop_map(|(tuples, punct, scheme, window, payload, seed)| StreamConfig {
+            tuples,
+            punct_mean_tuples: punct,
+            punct_scheme: scheme,
+            key_window: window,
+            payload_attrs: payload,
+            seed,
+            ..StreamConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_streams_are_well_formed(config in arb_config()) {
+        let s = generate_stream(&config);
+        prop_assert_eq!(
+            s.elements.iter().filter(|e| e.item.is_tuple()).count(),
+            config.tuples
+        );
+        prop_assert!(s.elements.windows(2).all(|w| w[0].ts <= w[1].ts), "time-ordered");
+        let report = validate_stream(&s.elements, 0);
+        prop_assert!(report.is_well_formed(), "violations: {:?}", report.violations);
+        // Every tuple conforms to the declared schema.
+        let schema = config.schema();
+        for e in &s.elements {
+            if let Some(t) = e.item.as_tuple() {
+                prop_assert!(schema.check(t).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn traces_round_trip(config in arb_config()) {
+        let s = generate_stream(&config);
+        let back = read_trace(&write_trace(&s.elements)).unwrap();
+        prop_assert_eq!(back, s.elements);
+    }
+
+    #[test]
+    fn pairs_share_key_space(seed in any::<u64>(), pa in 2.0f64..40.0, pb in 2.0f64..40.0) {
+        let cfg = StreamConfig { tuples: 300, seed, ..StreamConfig::default() };
+        let (a, b) = generate_pair(&cfg, pa, pb);
+        prop_assert!(validate_stream(&a.elements, 0).is_well_formed());
+        prop_assert!(validate_stream(&b.elements, 0).is_well_formed());
+        // Keys start from the same origin on both sides.
+        let min_key = |s: &streamgen::GeneratedStream| {
+            s.elements
+                .iter()
+                .filter_map(|e| e.item.as_tuple())
+                .filter_map(|t| t.get(0).and_then(punct_types::Value::as_int))
+                .min()
+        };
+        let (ma, mb) = (min_key(&a), min_key(&b));
+        prop_assert!(ma.is_some() && mb.is_some());
+        prop_assert!(ma.unwrap() < cfg.key_window as i64);
+        prop_assert!(mb.unwrap() < cfg.key_window as i64);
+    }
+}

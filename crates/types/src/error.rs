@@ -1,0 +1,86 @@
+//! Error types for the punctuated-stream type system.
+
+use std::fmt;
+
+use crate::value::ValueType;
+
+/// Errors raised by schema validation, pattern evaluation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A tuple's arity does not match its schema or punctuation.
+    ArityMismatch {
+        /// Number of attributes expected (schema / punctuation width).
+        expected: usize,
+        /// Number of attributes found.
+        found: usize,
+    },
+    /// Two values of incompatible types were compared.
+    TypeMismatch {
+        /// Type expected by the schema or pattern.
+        expected: ValueType,
+        /// Type actually found.
+        found: ValueType,
+    },
+    /// An attribute name was not found in a schema.
+    UnknownAttribute(String),
+    /// An attribute index was out of range for a schema.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Schema width.
+        width: usize,
+    },
+    /// A range pattern's lower bound exceeds its upper bound.
+    InvalidRange(String),
+    /// A punctuation string failed to parse.
+    Parse {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} attributes, found {found}")
+            }
+            TypeError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            TypeError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            TypeError::IndexOutOfRange { index, width } => {
+                write!(f, "attribute index {index} out of range for schema of width {width}")
+            }
+            TypeError::InvalidRange(msg) => write!(f, "invalid range pattern: {msg}"),
+            TypeError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TypeError::ArityMismatch { expected: 3, found: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = TypeError::UnknownAttribute("item_id".into());
+        assert!(e.to_string().contains("item_id"));
+        let e = TypeError::Parse { offset: 7, message: "expected `>`".into() };
+        assert!(e.to_string().contains("byte 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypeError>();
+    }
+}

@@ -1,0 +1,386 @@
+//! A textual grammar for punctuations, used by tests, examples and
+//! configuration files.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! punctuation := '<' pattern (',' pattern)* '>'
+//! pattern     := '*'                      wildcard
+//!              | '-'                      empty
+//!              | value                    constant
+//!              | range                    e.g. [1,10] (1,10] [1,..) (..,10)
+//!              | '{' value (',' value)* '}'   enumeration list
+//! value       := integer | float | '"'string'"' | 'true' | 'false' | 'null'
+//! range       := ('['|'(') (value|'..') ',' (value|'..') (']'|')')
+//! ```
+//!
+//! `Display` on [`Punctuation`] emits the same syntax, so values round-trip:
+//!
+//! ```
+//! use punct_types::parse::parse_punctuation;
+//! let p = parse_punctuation("<*, 42, [1,10), {1,2}, ->").unwrap();
+//! assert_eq!(parse_punctuation(&p.to_string()).unwrap(), p);
+//! ```
+
+use crate::error::TypeError;
+use crate::pattern::{Bound, Pattern};
+use crate::punctuation::Punctuation;
+use crate::value::Value;
+
+/// Parses a punctuation from its textual form.
+pub fn parse_punctuation(input: &str) -> Result<Punctuation, TypeError> {
+    let mut p = Parser::new(input);
+    let punct = p.punctuation()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after punctuation"));
+    }
+    Ok(punct)
+}
+
+/// Parses a single pattern from its textual form.
+pub fn parse_pattern(input: &str) -> Result<Pattern, TypeError> {
+    let mut p = Parser::new(input);
+    let pat = p.pattern()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.error("trailing input after pattern"));
+    }
+    Ok(pat)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> TypeError {
+        TypeError::Parse { offset: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), TypeError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{c}`")))
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn punctuation(&mut self) -> Result<Punctuation, TypeError> {
+        self.expect('<')?;
+        let mut patterns = vec![self.pattern()?];
+        while self.eat(',') {
+            patterns.push(self.pattern()?);
+        }
+        self.expect('>')?;
+        Ok(Punctuation::new(patterns))
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, TypeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Ok(Pattern::Wildcard)
+            }
+            Some('{') => self.enumeration(),
+            Some('[') => self.range(),
+            Some('(') => self.range(),
+            Some('-') => {
+                // `-` alone is the empty pattern; `-3` is a negative number.
+                let after = self.rest()[1..].chars().next();
+                if after.is_some_and(|c| c.is_ascii_digit()) {
+                    Ok(Pattern::Constant(self.value()?))
+                } else {
+                    self.bump();
+                    Ok(Pattern::Empty)
+                }
+            }
+            Some(_) => Ok(Pattern::Constant(self.value()?)),
+            None => Err(self.error("expected a pattern")),
+        }
+    }
+
+    fn enumeration(&mut self) -> Result<Pattern, TypeError> {
+        self.expect('{')?;
+        let mut values = Vec::new();
+        if !self.eat('}') {
+            values.push(self.value()?);
+            while self.eat(',') {
+                values.push(self.value()?);
+            }
+            self.expect('}')?;
+        }
+        Ok(Pattern::enumeration(values))
+    }
+
+    fn range(&mut self) -> Result<Pattern, TypeError> {
+        self.skip_ws();
+        let lo_inclusive = match self.bump() {
+            Some('[') => true,
+            Some('(') => false,
+            _ => return Err(self.error("expected `[` or `(`")),
+        };
+        let lo = if self.eat_str("..") {
+            Bound::Unbounded
+        } else {
+            let v = self.value()?;
+            if lo_inclusive {
+                Bound::Inclusive(v)
+            } else {
+                Bound::Exclusive(v)
+            }
+        };
+        self.expect(',')?;
+        self.skip_ws();
+        let hi = if self.eat_str("..") {
+            Bound::Unbounded
+        } else {
+            let v = self.value()?;
+            // Bound kind decided by the closing delimiter below.
+            Bound::Inclusive(v)
+        };
+        self.skip_ws();
+        let hi = match self.bump() {
+            Some(']') => hi,
+            Some(')') => match hi {
+                Bound::Inclusive(v) => Bound::Exclusive(v),
+                other => other,
+            },
+            _ => return Err(self.error("expected `]` or `)`")),
+        };
+        Pattern::range(lo, hi)
+    }
+
+    fn value(&mut self) -> Result<Value, TypeError> {
+        self.skip_ws();
+        if self.eat_str("true") {
+            return Ok(Value::Bool(true));
+        }
+        if self.eat_str("false") {
+            return Ok(Value::Bool(false));
+        }
+        if self.eat_str("null") {
+            return Ok(Value::Null);
+        }
+        match self.peek() {
+            Some('"') => self.string(),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<Value, TypeError> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Value::str(s)),
+                Some('\\') => match self.bump() {
+                    Some(c @ ('"' | '\\')) => s.push(c),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, TypeError> {
+        let start = self.pos;
+        if matches!(self.peek(), Some('-' | '+')) {
+            self.bump();
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A `.` only belongs to the number if followed by a digit; this keeps
+        // `[1,..)`'s `..` out of the number.
+        if self.peek() == Some('.')
+            && self.rest()[1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some('-' | '+')) {
+                self.bump();
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| self.error(format!("invalid float `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| self.error(format!("invalid integer `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_wildcard_and_empty() {
+        assert_eq!(parse_pattern("*").unwrap(), Pattern::Wildcard);
+        assert_eq!(parse_pattern("-").unwrap(), Pattern::Empty);
+    }
+
+    #[test]
+    fn parses_constants() {
+        assert_eq!(parse_pattern("42").unwrap(), Pattern::Constant(Value::Int(42)));
+        assert_eq!(parse_pattern("-3").unwrap(), Pattern::Constant(Value::Int(-3)));
+        assert_eq!(parse_pattern("2.5").unwrap(), Pattern::Constant(Value::Float(2.5)));
+        assert_eq!(parse_pattern("1e3").unwrap(), Pattern::Constant(Value::Float(1000.0)));
+        assert_eq!(parse_pattern("\"abc\"").unwrap(), Pattern::Constant(Value::str("abc")));
+        assert_eq!(parse_pattern("true").unwrap(), Pattern::Constant(Value::Bool(true)));
+        assert_eq!(parse_pattern("null").unwrap(), Pattern::Constant(Value::Null));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            parse_pattern(r#""a\"b\\c\nd""#).unwrap(),
+            Pattern::Constant(Value::str("a\"b\\c\nd"))
+        );
+    }
+
+    #[test]
+    fn parses_ranges() {
+        assert_eq!(parse_pattern("[1,10]").unwrap(), Pattern::int_range(1, 10));
+        let p = parse_pattern("(1, 10]").unwrap();
+        assert!(!p.matches(&Value::Int(1)));
+        assert!(p.matches(&Value::Int(10)));
+        let p = parse_pattern("[1, 10)").unwrap();
+        assert!(p.matches(&Value::Int(1)));
+        assert!(!p.matches(&Value::Int(10)));
+    }
+
+    #[test]
+    fn parses_unbounded_ranges() {
+        let p = parse_pattern("[1, ..)").unwrap();
+        assert!(p.matches(&Value::Int(1_000_000)));
+        assert!(!p.matches(&Value::Int(0)));
+        let p = parse_pattern("(.., 10]").unwrap();
+        assert!(p.matches(&Value::Int(-5)));
+        assert!(!p.matches(&Value::Int(11)));
+    }
+
+    #[test]
+    fn parses_enumerations() {
+        assert_eq!(
+            parse_pattern("{3, 1, 2}").unwrap(),
+            Pattern::In(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(parse_pattern("{}").unwrap(), Pattern::Empty);
+        assert_eq!(parse_pattern("{7}").unwrap(), Pattern::Constant(Value::Int(7)));
+    }
+
+    #[test]
+    fn parses_full_punctuation() {
+        let p = parse_punctuation("<*, 42, [1,10), {1,2}, ->").unwrap();
+        assert_eq!(p.width(), 5);
+        assert_eq!(p.pattern(0), Some(&Pattern::Wildcard));
+        assert_eq!(p.pattern(1), Some(&Pattern::Constant(Value::Int(42))));
+        assert_eq!(p.pattern(4), Some(&Pattern::Empty));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "<*, 1, [1,10], {1,2,3}, ->",
+            "<\"auction-7\", *>",
+            "<[0,..), (..,5)>",
+            "<2.5, true, false>",
+        ] {
+            let p = parse_punctuation(text).unwrap();
+            assert_eq!(parse_punctuation(&p.to_string()).unwrap(), p, "round-trip of {text}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_punctuation("").is_err());
+        assert!(parse_punctuation("<").is_err());
+        assert!(parse_punctuation("<*>trailing").is_err());
+        assert!(parse_punctuation("<[5,1]>").is_err()); // inverted range
+        assert!(parse_pattern("\"unterminated").is_err());
+        assert!(parse_pattern("{1,").is_err());
+        assert!(parse_pattern("[1;2]").is_err());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse_punctuation("<*, !>").unwrap_err();
+        match err {
+            TypeError::Parse { offset, .. } => assert!(offset >= 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

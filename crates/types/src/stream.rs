@@ -1,0 +1,206 @@
+//! The element model of punctuated streams: tuples and punctuations, with
+//! arrival timestamps.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::punctuation::Punctuation;
+use crate::tuple::Tuple;
+
+/// A virtual-time instant, in microseconds since the start of a run.
+///
+/// All simulation components (`stream-sim`), generators and operators use
+/// this unit, so the type lives here at the bottom of the crate graph.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The origin of virtual time.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Constructs from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Timestamp {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Constructs from microseconds.
+    pub fn from_micros(us: u64) -> Timestamp {
+        Timestamp(us)
+    }
+
+    /// Microseconds since the origin.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the origin (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the origin, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition of a duration in microseconds.
+    pub fn advance(self, micros: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(micros))
+    }
+
+    /// Saturating difference in microseconds.
+    pub fn micros_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1000.0)
+    }
+}
+
+/// A payload on a punctuated stream: either a data tuple or a punctuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamElement {
+    /// A data tuple.
+    Tuple(Tuple),
+    /// A punctuation asserting no later tuple matches it.
+    Punctuation(Punctuation),
+}
+
+impl StreamElement {
+    /// True if this element is a tuple.
+    pub fn is_tuple(&self) -> bool {
+        matches!(self, StreamElement::Tuple(_))
+    }
+
+    /// True if this element is a punctuation.
+    pub fn is_punctuation(&self) -> bool {
+        matches!(self, StreamElement::Punctuation(_))
+    }
+
+    /// The tuple payload, if any.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            StreamElement::Tuple(t) => Some(t),
+            StreamElement::Punctuation(_) => None,
+        }
+    }
+
+    /// The punctuation payload, if any.
+    pub fn as_punctuation(&self) -> Option<&Punctuation> {
+        match self {
+            StreamElement::Punctuation(p) => Some(p),
+            StreamElement::Tuple(_) => None,
+        }
+    }
+}
+
+impl From<Tuple> for StreamElement {
+    fn from(t: Tuple) -> Self {
+        StreamElement::Tuple(t)
+    }
+}
+
+impl From<Punctuation> for StreamElement {
+    fn from(p: Punctuation) -> Self {
+        StreamElement::Punctuation(p)
+    }
+}
+
+impl fmt::Display for StreamElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamElement::Tuple(t) => write!(f, "{t}"),
+            StreamElement::Punctuation(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A stream element paired with its arrival timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timestamped<T = StreamElement> {
+    /// Arrival (virtual) time.
+    pub ts: Timestamp,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> Timestamped<T> {
+    /// Pairs an item with a timestamp.
+    pub fn new(ts: Timestamp, item: T) -> Timestamped<T> {
+        Timestamped { ts, item }
+    }
+
+    /// Maps the payload while keeping the timestamp.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timestamped<U> {
+        Timestamped { ts: self.ts, item: f(self.item) }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Timestamped<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {}", self.ts, self.item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_conversions() {
+        let t = Timestamp::from_millis(3);
+        assert_eq!(t.as_micros(), 3000);
+        assert_eq!(t.as_millis(), 3);
+        assert!((t.as_secs_f64() - 0.003).abs() < 1e-12);
+        assert_eq!(Timestamp::from_micros(42).as_micros(), 42);
+    }
+
+    #[test]
+    fn timestamp_advance_and_diff() {
+        let t = Timestamp(100);
+        assert_eq!(t.advance(50), Timestamp(150));
+        assert_eq!(Timestamp(150).micros_since(t), 50);
+        assert_eq!(t.micros_since(Timestamp(150)), 0); // saturating
+        assert_eq!(Timestamp(u64::MAX).advance(1), Timestamp(u64::MAX));
+    }
+
+    #[test]
+    fn timestamp_ordering() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert_eq!(Timestamp::ZERO, Timestamp(0));
+    }
+
+    #[test]
+    fn element_accessors() {
+        let t: StreamElement = Tuple::of((1i64,)).into();
+        assert!(t.is_tuple());
+        assert!(!t.is_punctuation());
+        assert!(t.as_tuple().is_some());
+        assert!(t.as_punctuation().is_none());
+
+        let p: StreamElement = Punctuation::close_value(1, 0, 1i64).into();
+        assert!(p.is_punctuation());
+        assert!(p.as_punctuation().is_some());
+        assert!(p.as_tuple().is_none());
+    }
+
+    #[test]
+    fn timestamped_map() {
+        let x = Timestamped::new(Timestamp(5), 10u32);
+        let y = x.map(|v| v * 2);
+        assert_eq!(y.ts, Timestamp(5));
+        assert_eq!(y.item, 20);
+    }
+
+    #[test]
+    fn display() {
+        let e = Timestamped::new(Timestamp::from_millis(1), StreamElement::from(Tuple::of((2i64,))));
+        assert_eq!(e.to_string(), "@1.000ms (2)");
+    }
+}

@@ -1,0 +1,200 @@
+//! Immutable, cheaply-cloneable stream tuples.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TypeError;
+use crate::value::Value;
+
+/// A row of attribute [`Value`]s.
+///
+/// Tuples are immutable and internally reference-counted, so cloning one —
+/// which join operators do for every match produced — is a pointer bump.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values: values.into() }
+    }
+
+    /// Creates a tuple from anything convertible to values.
+    ///
+    /// ```
+    /// use punct_types::Tuple;
+    /// let t = Tuple::of((1i64, "widget", 9.5));
+    /// assert_eq!(t.width(), 3);
+    /// ```
+    pub fn of(row: impl IntoTuple) -> Tuple {
+        row.into_tuple()
+    }
+
+    /// Number of attributes.
+    pub fn width(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether this tuple has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The values, in attribute order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at `index`, if in range.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// Value at `index`, with a typed error when out of range.
+    pub fn try_get(&self, index: usize) -> Result<&Value, TypeError> {
+        self.values
+            .get(index)
+            .ok_or(TypeError::IndexOutOfRange { index, width: self.values.len() })
+    }
+
+    /// Concatenates two tuples (join output construction).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.width() + other.width());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Projects the tuple onto the given attribute indices.
+    pub fn project(&self, indices: &[usize]) -> Result<Tuple, TypeError> {
+        let mut values = Vec::with_capacity(indices.len());
+        for &i in indices {
+            values.push(self.try_get(i)?.clone());
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Approximate in-memory footprint in bytes, used by spill accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let mut n = std::mem::size_of::<Tuple>();
+        for v in self.values.iter() {
+            n += std::mem::size_of::<Value>();
+            if let Value::Str(s) = v {
+                n += s.len();
+            }
+        }
+        n
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Conversion of Rust tuples into stream [`Tuple`]s, for test and example
+/// ergonomics.
+pub trait IntoTuple {
+    /// Performs the conversion.
+    fn into_tuple(self) -> Tuple;
+}
+
+macro_rules! impl_into_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Into<Value>),+> IntoTuple for ($($name,)+) {
+            fn into_tuple(self) -> Tuple {
+                Tuple::new(vec![$(self.$idx.into()),+])
+            }
+        }
+    };
+}
+
+impl_into_tuple!(A: 0);
+impl_into_tuple!(A: 0, B: 1);
+impl_into_tuple!(A: 0, B: 1, C: 2);
+impl_into_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_into_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_into_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_into_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_into_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+impl IntoTuple for Vec<Value> {
+    fn into_tuple(self) -> Tuple {
+        Tuple::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::of((7i64, "bolt", 1.25));
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.get(0), Some(&Value::Int(7)));
+        assert_eq!(t.get(1), Some(&Value::str("bolt")));
+        assert_eq!(t.get(3), None);
+        assert!(t.try_get(3).is_err());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Tuple::of((1i64, 2i64));
+        let b = Tuple::of(("x", "y"));
+        let c = a.concat(&b);
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.get(2), Some(&Value::str("x")));
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let t = Tuple::of((10i64, 20i64, 30i64));
+        let p = t.project(&[2, 0]).unwrap();
+        assert_eq!(p.values(), &[Value::Int(30), Value::Int(10)]);
+        assert!(t.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = Tuple::of((1i64, "a"));
+        let u = t.clone();
+        assert_eq!(t, u);
+        assert!(Arc::ptr_eq(&t.values, &u.values));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Tuple::of((1i64, "a"));
+        assert_eq!(t.to_string(), "(1, \"a\")");
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_strings() {
+        let small = Tuple::of((1i64,));
+        let big = Tuple::of(("a long string value that occupies real space",));
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn eq_and_hash_by_value() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Tuple::of((1i64, "a")));
+        assert!(set.contains(&Tuple::of((1i64, "a"))));
+        assert!(!set.contains(&Tuple::of((2i64, "a"))));
+    }
+}

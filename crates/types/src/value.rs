@@ -1,0 +1,371 @@
+//! Dynamically-typed values used as tuple attributes and join keys.
+//!
+//! Stream operators hash and compare attribute values, so [`Value`]
+//! implements `Eq`, `Ord` and `Hash` with a *total* order: values of
+//! different types order by their [`ValueType`] tag first, and floats use a
+//! total ordering (`f64::total_cmp`) so `NaN` is handled deterministically.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// The type tag of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// The null type (only inhabited by `Value::Null`).
+    Null,
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (totally ordered via `total_cmp`).
+    Float,
+    /// UTF-8 string (reference counted; cloning is cheap).
+    Str,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Null => "null",
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically-typed attribute value.
+///
+/// `Value` is the unit of comparison for equi-joins and pattern matching.
+/// It is cheap to clone (strings are `Arc<str>`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / unknown value. Joins never match on `Null`.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Ordered with `f64::total_cmp` so `Value` is `Ord`.
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Returns the type tag of this value.
+    pub fn type_of(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Null,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    /// True if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Constructs a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is a `Float` (does not coerce ints).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric payload as `f64`, coercing `Int` to `Float`.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compares two values for *join equality*.
+    ///
+    /// This is ordinary equality except that `Null` never equals anything
+    /// (including `Null`), matching SQL join semantics. Equality across
+    /// `Int`/`Float` coerces numerically so `Int(2)` join-equals
+    /// `Float(2.0)`.
+    pub fn join_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            _ => self == other,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b) == Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            // Cross-type numeric comparison keeps Int(2) < Float(2.5) sensible
+            // for range patterns over mixed numeric streams.
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            _ => self.type_of().cmp(&other.type_of()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash must agree with Eq: Int/Float that are numerically equal under
+        // `join_eq` are distinct under `Eq`, so hashing the tag is fine.
+        self.type_of().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            // Debug formatting keeps a decimal point (`-8.0`, not `-8`),
+            // so the punctuation grammar round-trips floats as floats.
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(Value::Null.type_of(), ValueType::Null);
+        assert_eq!(Value::Bool(true).type_of(), ValueType::Bool);
+        assert_eq!(Value::Int(1).type_of(), ValueType::Int);
+        assert_eq!(Value::Float(1.0).type_of(), ValueType::Float);
+        assert_eq!(Value::str("x").type_of(), ValueType::Str);
+    }
+
+    #[test]
+    fn equality_within_types() {
+        assert_eq!(Value::Int(7), Value::Int(7));
+        assert_ne!(Value::Int(7), Value::Int(8));
+        assert_eq!(Value::str("a"), Value::str("a"));
+        assert_ne!(Value::str("a"), Value::str("b"));
+        assert_eq!(Value::Float(1.5), Value::Float(1.5));
+    }
+
+    #[test]
+    fn equality_across_types_is_false() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_ne!(Value::Int(0), Value::Bool(false));
+        assert_ne!(Value::str("1"), Value::Int(1));
+    }
+
+    #[test]
+    fn join_eq_null_never_matches() {
+        assert!(!Value::Null.join_eq(&Value::Null));
+        assert!(!Value::Null.join_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).join_eq(&Value::Null));
+    }
+
+    #[test]
+    fn join_eq_coerces_numerics() {
+        assert!(Value::Int(2).join_eq(&Value::Float(2.0)));
+        assert!(Value::Float(2.0).join_eq(&Value::Int(2)));
+        assert!(!Value::Int(2).join_eq(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn nan_is_deterministic() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_is_total_across_types() {
+        let mut vs = [
+            Value::str("z"),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(-1.0),
+            Value::Bool(true),
+        ];
+        vs.sort();
+        // Null < Bool < numerics < Str per ValueType ordering (numerics
+        // compare cross-type numerically).
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[4], Value::str("z"));
+    }
+
+    #[test]
+    fn mixed_numeric_ordering() {
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Int(42)));
+        assert_eq!(hash_of(&Value::str("abc")), hash_of(&Value::str("abc")));
+        // Not required by the Hash contract but desirable: distinct values
+        // usually hash differently.
+        assert_ne!(hash_of(&Value::Int(1)), hash_of(&Value::Int(2)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Float(0.5).as_float(), Some(0.5));
+        assert_eq!(Value::Int(5).as_numeric(), Some(5.0));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("hi").as_int(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(0.25), Value::Float(0.25));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from("s".to_string()), Value::str("s"));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("ab").to_string(), "\"ab\"");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the pattern algebra: the punctuation
+//! semantics of the whole system rest on `Pattern::matches` and
+//! `Pattern::and` agreeing with each other, so we check the algebraic
+//! laws over randomized patterns and values.
+
+use proptest::prelude::*;
+use punct_types::parse::{parse_pattern, parse_punctuation};
+use punct_types::{Bound, Pattern, Punctuation, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::Int),
+        (-50i64..50).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        "[a-e]{0,3}".prop_map(Value::from),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_int_value() -> impl Strategy<Value = Value> {
+    (-50i64..50).prop_map(Value::Int)
+}
+
+fn arb_bound() -> impl Strategy<Value = Bound> {
+    prop_oneof![
+        Just(Bound::Unbounded),
+        arb_int_value().prop_map(Bound::Inclusive),
+        arb_int_value().prop_map(Bound::Exclusive),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::Wildcard),
+        Just(Pattern::Empty),
+        arb_value().prop_map(Pattern::Constant),
+        (arb_bound(), arb_bound()).prop_map(|(lo, hi)| {
+            Pattern::range(lo.clone(), hi.clone())
+                .unwrap_or(Pattern::Empty)
+        }),
+        proptest::collection::vec(arb_int_value(), 0..5).prop_map(Pattern::enumeration),
+    ]
+}
+
+proptest! {
+    /// `and` is the intersection of match sets.
+    #[test]
+    fn and_is_intersection(a in arb_pattern(), b in arb_pattern(), v in arb_value()) {
+        let both = a.and(&b);
+        prop_assert_eq!(both.matches(&v), a.matches(&v) && b.matches(&v));
+    }
+
+    /// `and` is commutative in match semantics.
+    #[test]
+    fn and_commutes_semantically(a in arb_pattern(), b in arb_pattern(), v in arb_value()) {
+        prop_assert_eq!(a.and(&b).matches(&v), b.and(&a).matches(&v));
+    }
+
+    /// `and` is idempotent.
+    #[test]
+    fn and_idempotent(a in arb_pattern(), v in arb_value()) {
+        prop_assert_eq!(a.and(&a).matches(&v), a.matches(&v));
+    }
+
+    /// Wildcard is the identity, Empty the annihilator.
+    #[test]
+    fn identity_and_annihilator(a in arb_pattern(), v in arb_value()) {
+        prop_assert_eq!(a.and(&Pattern::Wildcard).matches(&v), a.matches(&v));
+        prop_assert!(!a.and(&Pattern::Empty).matches(&v));
+    }
+
+    /// `is_empty` is sound: an empty pattern matches nothing.
+    #[test]
+    fn is_empty_sound(a in arb_pattern(), v in arb_value()) {
+        if a.is_empty() {
+            prop_assert!(!a.matches(&v));
+        }
+    }
+
+    /// Subsumption agrees with matching.
+    #[test]
+    fn subsumption_sound(a in arb_pattern(), b in arb_pattern(), v in arb_value()) {
+        if a.subsumed_by(&b) && a.matches(&v) {
+            prop_assert!(b.matches(&v));
+        }
+    }
+
+    /// Disjointness is sound: no common match.
+    #[test]
+    fn disjointness_sound(a in arb_pattern(), b in arb_pattern(), v in arb_value()) {
+        if a.disjoint_with(&b) {
+            prop_assert!(!(a.matches(&v) && b.matches(&v)));
+        }
+    }
+
+    /// Display → parse round-trips patterns (match-semantically).
+    #[test]
+    fn display_parse_round_trip(a in arb_pattern(), v in arb_value()) {
+        // NaN-free by construction, so parsing must succeed.
+        let back = parse_pattern(&a.to_string()).unwrap();
+        prop_assert_eq!(back.matches(&v), a.matches(&v));
+    }
+
+    /// Punctuation match is the conjunction of attribute patterns, and
+    /// punctuation `and` mirrors pattern `and`.
+    #[test]
+    fn punctuation_matches_attributewise(
+        pats in proptest::collection::vec(arb_pattern(), 1..4),
+        vals in proptest::collection::vec(arb_value(), 1..4),
+    ) {
+        let width = pats.len().min(vals.len());
+        let p = Punctuation::new(pats[..width].to_vec());
+        let t = punct_types::Tuple::new(vals[..width].to_vec());
+        let expect = pats[..width].iter().zip(t.values()).all(|(p, v)| p.matches(v));
+        prop_assert_eq!(p.matches(&t), expect);
+    }
+
+    /// Punctuation display round-trips through the parser.
+    #[test]
+    fn punctuation_display_round_trip(
+        pats in proptest::collection::vec(arb_pattern(), 1..4),
+    ) {
+        let p = Punctuation::new(pats);
+        let back = parse_punctuation(&p.to_string()).unwrap();
+        prop_assert_eq!(back.to_string(), p.to_string());
+    }
+}

@@ -1,0 +1,120 @@
+//! Stage-2 probe history for duplicate prevention.
+//!
+//! Every reactive disk-to-memory run over a bucket is logged as
+//! `(DTS_last, ProbeTS)`: *all disk-resident tuples with `dts ≤ DTS_last`
+//! were probed against the opposite memory portion at logical instant
+//! `ProbeTS`*. Later stage-2 runs and the final cleanup consult the log
+//! to skip pairs that were already produced.
+
+use crate::record::{Instant, XRecord};
+
+/// One logged stage-2 run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeEntry {
+    /// All disk tuples with `dts <= dts_last` participated.
+    pub dts_last: Instant,
+    /// The logical instant of the probe.
+    pub probe_ts: Instant,
+}
+
+/// Probe history for the buckets of one input side.
+#[derive(Debug, Clone)]
+pub struct ProbeHistory {
+    entries: Vec<Vec<ProbeEntry>>,
+}
+
+impl ProbeHistory {
+    /// Creates an empty history for `buckets` buckets.
+    pub fn new(buckets: usize) -> ProbeHistory {
+        ProbeHistory { entries: vec![Vec::new(); buckets] }
+    }
+
+    /// Logs a stage-2 run over `bucket`.
+    pub fn log(&mut self, bucket: usize, dts_last: Instant, probe_ts: Instant) {
+        self.entries[bucket].push(ProbeEntry { dts_last, probe_ts });
+    }
+
+    /// Entries for a bucket.
+    pub fn entries(&self, bucket: usize) -> &[ProbeEntry] {
+        &self.entries[bucket]
+    }
+
+    /// True if the pair (disk-resident `a` from this side's `bucket`,
+    /// opposite tuple `b`) was already produced by a logged stage-2 run:
+    /// `a` was on disk by the run (`a.dts <= dts_last`) and `b` was
+    /// memory-resident at the run (`b.ats <= probe_ts < b.dts`).
+    pub fn covers(&self, bucket: usize, a: &XRecord, b: &XRecord) -> bool {
+        self.entries[bucket]
+            .iter()
+            .any(|e| a.dts <= e.dts_last && b.ats <= e.probe_ts && b.dts > e.probe_ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::Tuple;
+
+    fn rec(ats: u64, dts: u64) -> XRecord {
+        let mut r = XRecord::arriving(Tuple::of((1i64,)), ats);
+        r.dts = dts;
+        r
+    }
+
+    #[test]
+    fn empty_history_covers_nothing() {
+        let h = ProbeHistory::new(4);
+        assert!(!h.covers(0, &rec(0, 10), &rec(5, u64::MAX)));
+        assert!(h.entries(0).is_empty());
+    }
+
+    #[test]
+    fn covers_probed_pair() {
+        let mut h = ProbeHistory::new(2);
+        // Run at instant 100 over bucket 1, covering disk tuples with
+        // dts <= 50.
+        h.log(1, 50, 100);
+        let a = rec(0, 40); // on disk by the run
+        let b = rec(60, u64::MAX); // in memory at instant 100
+        assert!(h.covers(1, &a, &b));
+        // Different bucket: not covered.
+        assert!(!h.covers(0, &a, &b));
+    }
+
+    #[test]
+    fn does_not_cover_late_disk_tuple() {
+        let mut h = ProbeHistory::new(1);
+        h.log(0, 50, 100);
+        let a = rec(0, 70); // spilled after the run's dts_last
+        let b = rec(60, u64::MAX);
+        assert!(!h.covers(0, &a, &b));
+    }
+
+    #[test]
+    fn does_not_cover_tuple_arriving_after_probe() {
+        let mut h = ProbeHistory::new(1);
+        h.log(0, 50, 100);
+        let a = rec(0, 40);
+        let b = rec(150, u64::MAX); // arrived after the probe
+        assert!(!h.covers(0, &a, &b));
+    }
+
+    #[test]
+    fn does_not_cover_tuple_already_spilled_at_probe() {
+        let mut h = ProbeHistory::new(1);
+        h.log(0, 50, 100);
+        let a = rec(0, 40);
+        let b = rec(10, 90); // left memory before the probe
+        assert!(!h.covers(0, &a, &b));
+    }
+
+    #[test]
+    fn multiple_entries_accumulate_coverage() {
+        let mut h = ProbeHistory::new(1);
+        h.log(0, 50, 100);
+        h.log(0, 80, 200);
+        let a = rec(0, 70); // covered only by the second run
+        let b = rec(60, u64::MAX);
+        assert!(h.covers(0, &a, &b));
+    }
+}

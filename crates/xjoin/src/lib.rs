@@ -1,0 +1,36 @@
+//! # xjoin
+//!
+//! The **XJoin** baseline (Urhan & Franklin): a symmetric hash equi-join
+//! for streams with a memory-overflow resolution but *no*
+//! constraint-exploiting mechanism — the operator the paper compares
+//! PJoin against in §4.1 and §4.3.
+//!
+//! The implementation follows the original three-stage design:
+//!
+//! 1. **Memory-to-memory** (per arriving tuple): probe the memory-resident
+//!    portion of the opposite state's matching bucket, emit results,
+//!    insert the tuple into its own state. When memory exceeds the
+//!    threshold, *state relocation* spills the largest bucket to disk.
+//! 2. **Reactive disk-to-memory** (while inputs are blocked): read a
+//!    spilled bucket back and probe the opposite memory portion. An
+//!    *activation threshold* (minimum disk pages) gates how aggressively
+//!    this stage runs.
+//! 3. **Cleanup** (end of streams): complete every remaining match.
+//!
+//! Duplicate results are prevented exactly as in the original: every
+//! tuple carries an arrival timestamp (ATS) and a departure timestamp
+//! (DTS, set when its bucket is relocated); stage 2/3 only emit pairs
+//! whose memory-residency intervals did **not** overlap, and each stage-2
+//! run logs a `(DTS_last, ProbeTS)` history entry so later stages skip
+//! already-probed combinations.
+//!
+//! Punctuations are consumed and discarded — XJoin has no use for them,
+//! which is precisely the contrast the experiments measure.
+
+pub mod history;
+pub mod operator;
+pub mod record;
+
+pub use history::ProbeHistory;
+pub use operator::{XJoin, XJoinConfig};
+pub use record::XRecord;

@@ -1,0 +1,58 @@
+//! Comparing state purge strategies interactively: eager (PJoin-1),
+//! lazy with several thresholds, and no purging at all, over the same
+//! punctuated workload — a miniature of the paper's §4.2.
+//!
+//! ```text
+//! cargo run --release --example purge_strategies
+//! ```
+
+use punctuated_streams::gen::{generate_pair, StreamConfig};
+use punctuated_streams::prelude::*;
+
+fn main() {
+    let cfg = StreamConfig {
+        tuples: 10_000,
+        key_window: 10,
+        seed: 11,
+        ..StreamConfig::default()
+    };
+    let (a, b) = generate_pair(&cfg, 10.0, 10.0);
+    println!(
+        "workload: {} tuples + {} punctuations per stream (inter-arrival 10)\n",
+        cfg.tuples, a.punctuations
+    );
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "strategy", "mean state", "peak", "purge runs", "scan work", "results"
+    );
+    for (name, op) in [
+        ("never", PJoinBuilder::new(2, 2).never_purge().no_propagation().build()),
+        ("PJoin-800", PJoinBuilder::new(2, 2).lazy_purge(800).no_propagation().build()),
+        ("PJoin-100", PJoinBuilder::new(2, 2).lazy_purge(100).no_propagation().build()),
+        ("PJoin-10", PJoinBuilder::new(2, 2).lazy_purge(10).no_propagation().build()),
+        ("PJoin-1", PJoinBuilder::new(2, 2).eager_purge().no_propagation().build()),
+    ] {
+        let mut op = op;
+        let driver = Driver::new(DriverConfig {
+            cost: CostModel::free(),
+            sample_every_micros: 500_000,
+            collect_outputs: false,
+        });
+        let stats = driver.run(&mut op, &a.elements, &b.elements);
+        println!(
+            "{:<12} {:>10.0} {:>10} {:>12} {:>12} {:>10}",
+            name,
+            stats.mean_state(),
+            stats.peak_state(),
+            op.stats().purge_runs,
+            stats.total_work.purge_scanned,
+            stats.total_out_tuples,
+        );
+    }
+
+    println!(
+        "\nEvery strategy produces the identical result set — punctuations \
+         change memory and scheduling, never answers."
+    );
+}

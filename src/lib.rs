@@ -1,0 +1,48 @@
+//! # punctuated-streams
+//!
+//! Umbrella crate for the reproduction of *Joining Punctuated Streams*
+//! (Ding, Mehta, Rundensteiner, Heineman; EDBT 2004): re-exports every
+//! workspace crate and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! Crate map:
+//!
+//! * [`types`] (`punct-types`) — values, tuples, schemas, patterns,
+//!   punctuations, punctuation sets, and the punctuation grammar.
+//! * [`sim`] (`stream-sim`) — the deterministic discrete-event
+//!   simulation substrate (virtual clock, Poisson arrivals, cost model,
+//!   operator driver).
+//! * [`metrics`] (`stream-metrics`) — time series, statistics, CSV
+//!   export, ASCII charts.
+//! * [`gen`] (`streamgen`) — the synthetic benchmark generator plus the
+//!   auction and sensor workloads.
+//! * [`storage`] (`spillstore`) — spillable partitioned hash storage
+//!   with memory and disk bucket portions.
+//! * [`baseline`] (`xjoin`) — the XJoin baseline operator.
+//! * [`core`] (`pjoin`) — **PJoin**, the paper's contribution.
+//! * [`query`] (`squery`) — the mini continuous-query engine (select,
+//!   project, punctuation-aware group-by) for end-to-end plans.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the experiment index.
+
+pub use pjoin as core;
+pub use punct_types as types;
+pub use spillstore as storage;
+pub use squery as query;
+pub use stream_metrics as metrics;
+pub use stream_sim as sim;
+pub use streamgen as gen;
+pub use xjoin as baseline;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use pjoin::{run_nary, NaryConfig, NaryPJoin, PJoin, PJoinBuilder, PJoinConfig};
+    pub use punct_types::{
+        Pattern, PunctId, Punctuation, Schema, StreamElement, Timestamp, Timestamped, Tuple,
+        Value,
+    };
+    pub use squery::{Aggregate, GroupBy, Pipeline, Project, Select};
+    pub use stream_sim::{BinaryStreamOp, CostModel, Driver, DriverConfig, OpOutput, Side};
+    pub use xjoin::{XJoin, XJoinConfig};
+}

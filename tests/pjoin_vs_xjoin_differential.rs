@@ -1,0 +1,104 @@
+//! Differential testing across crates: PJoin (all strategy combinations)
+//! and XJoin must produce the identical result multiset on identical
+//! punctuated inputs — punctuations are an optimization, never a
+//! semantics change. Meanwhile PJoin's state must be the smaller one.
+
+use punctuated_streams::gen::{generate_pair, PunctScheme, StreamConfig};
+use punctuated_streams::prelude::*;
+use punctuated_streams::sim::RunStats;
+
+fn run(op: &mut dyn BinaryStreamOp, left: &[Timestamped<StreamElement>], right: &[Timestamped<StreamElement>]) -> RunStats {
+    let driver = Driver::new(DriverConfig {
+        cost: CostModel::free(),
+        sample_every_micros: 1_000_000,
+        collect_outputs: true,
+    });
+    driver.run(op, left, right)
+}
+
+fn sorted_tuples(stats: &RunStats) -> Vec<Tuple> {
+    let mut v: Vec<Tuple> =
+        stats.outputs.iter().filter_map(|o| o.item.as_tuple().cloned()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn same_results_across_operators_and_seeds() {
+    for seed in [1u64, 2, 3] {
+        let cfg = StreamConfig { tuples: 1_500, key_window: 6, seed, ..StreamConfig::default() };
+        let (a, b) = generate_pair(&cfg, 15.0, 25.0);
+
+        let mut xjoin = XJoin::new(XJoinConfig::default());
+        let reference = sorted_tuples(&run(&mut xjoin, &a.elements, &b.elements));
+        assert!(!reference.is_empty());
+
+        for threshold in [1u64, 25, 400] {
+            let mut pjoin = PJoinBuilder::new(2, 2)
+                .lazy_purge(threshold)
+                .propagate_every(10)
+                .build();
+            let got = sorted_tuples(&run(&mut pjoin, &a.elements, &b.elements));
+            assert_eq!(got, reference, "seed {seed}, threshold {threshold}");
+        }
+    }
+}
+
+#[test]
+fn same_results_with_spilling_on_both_sides() {
+    let cfg = StreamConfig { tuples: 1_000, key_window: 6, seed: 4, ..StreamConfig::default() };
+    let (a, b) = generate_pair(&cfg, 20.0, 20.0);
+
+    let mut xjoin = XJoin::new(XJoinConfig {
+        buckets: 4,
+        page_tuples: 8,
+        memory_max_tuples: 64,
+        ..XJoinConfig::default()
+    });
+    let reference = sorted_tuples(&run(&mut xjoin, &a.elements, &b.elements));
+
+    let mut pjoin = PJoinBuilder::new(2, 2)
+        .buckets(4)
+        .page_tuples(8)
+        .memory_max(64)
+        .eager_purge()
+        .propagate_every(5)
+        .build();
+    let got = sorted_tuples(&run(&mut pjoin, &a.elements, &b.elements));
+    assert_eq!(got, reference);
+    assert!(pjoin.stats().relocations > 0, "PJoin must actually have spilled");
+}
+
+#[test]
+fn pjoin_state_is_smaller_under_punctuations() {
+    let cfg = StreamConfig { tuples: 5_000, key_window: 10, seed: 5, ..StreamConfig::default() };
+    let (a, b) = generate_pair(&cfg, 20.0, 20.0);
+
+    let mut pjoin = PJoinBuilder::new(2, 2).eager_purge().build();
+    let sp = run(&mut pjoin, &a.elements, &b.elements);
+    let mut xjoin = XJoin::new(XJoinConfig::default());
+    let sx = run(&mut xjoin, &a.elements, &b.elements);
+
+    assert!(sp.peak_state() * 4 < sx.peak_state());
+    assert_eq!(sp.total_out_tuples, sx.total_out_tuples);
+}
+
+#[test]
+fn without_punctuations_pjoin_degenerates_to_xjoin_state() {
+    // The paper: "when the punctuation inter-arrival reaches infinity …
+    // the memory requirement of PJoin becomes the same as that of XJoin".
+    let cfg = StreamConfig {
+        tuples: 2_000,
+        key_window: 10,
+        punct_scheme: PunctScheme::None,
+        seed: 6,
+        ..StreamConfig::default()
+    };
+    let (a, b) = generate_pair(&cfg, 1e18, 1e18);
+    let mut pjoin = PJoinBuilder::new(2, 2).eager_purge().build();
+    let sp = run(&mut pjoin, &a.elements, &b.elements);
+    let mut xjoin = XJoin::new(XJoinConfig::default());
+    let sx = run(&mut xjoin, &a.elements, &b.elements);
+    assert_eq!(sp.peak_state(), sx.peak_state());
+    assert_eq!(sorted_tuples(&sp), sorted_tuples(&sx));
+}

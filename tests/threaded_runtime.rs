@@ -1,0 +1,91 @@
+//! Cross-crate integration of the multi-threaded runtime: feeding a
+//! generated workload through `PJoinRuntime` (worker thread + channels)
+//! must produce the same result multiset as the single-threaded driver.
+
+use punctuated_streams::core::runtime::PJoinRuntime;
+use punctuated_streams::core::{PJoinBuilder, PJoinConfig, PropagationTrigger, PurgeStrategy, IndexBuildStrategy};
+use punctuated_streams::gen::{generate_pair, StreamConfig};
+use punctuated_streams::prelude::*;
+
+fn config() -> PJoinConfig {
+    PJoinConfig {
+        purge: PurgeStrategy::Eager,
+        index_build: IndexBuildStrategy::Eager,
+        propagation: PropagationTrigger::PushCount { count: 5 },
+        ..PJoinConfig::new(2, 2)
+    }
+}
+
+#[test]
+fn threaded_matches_single_threaded() {
+    let cfg = StreamConfig { tuples: 1_200, key_window: 6, seed: 31, ..StreamConfig::default() };
+    let (a, b) = generate_pair(&cfg, 15.0, 15.0);
+
+    // Single-threaded reference.
+    let mut reference_op = PJoinBuilder::new(2, 2)
+        .eager_purge()
+        .eager_index_build()
+        .propagate_every(5)
+        .build();
+    let driver = Driver::new(DriverConfig {
+        cost: CostModel::free(),
+        sample_every_micros: 1_000_000,
+        collect_outputs: true,
+    });
+    let reference = driver.run(&mut reference_op, &a.elements, &b.elements);
+    let mut want: Vec<Tuple> =
+        reference.outputs.iter().filter_map(|o| o.item.as_tuple().cloned()).collect();
+    want.sort();
+
+    // Threaded run: interleave pushes in timestamp order.
+    let rt = PJoinRuntime::spawn(config());
+    let (mut li, mut ri) = (0usize, 0usize);
+    loop {
+        match (a.elements.get(li), b.elements.get(ri)) {
+            (Some(l), Some(r)) => {
+                if l.ts <= r.ts {
+                    rt.push(Side::Left, l.clone());
+                    li += 1;
+                } else {
+                    rt.push(Side::Right, r.clone());
+                    ri += 1;
+                }
+            }
+            (Some(l), None) => {
+                rt.push(Side::Left, l.clone());
+                li += 1;
+            }
+            (None, Some(r)) => {
+                rt.push(Side::Right, r.clone());
+                ri += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    let (outputs, stats) = rt.finish();
+    let mut got: Vec<Tuple> =
+        outputs.iter().filter_map(|o| o.item.as_tuple().cloned()).collect();
+    got.sort();
+
+    assert_eq!(got, want);
+    assert!(stats.tuples_purged > 0);
+    assert!(stats.puncts_propagated > 0);
+}
+
+#[test]
+fn runtime_metrics_track_progress() {
+    let rt = PJoinRuntime::spawn(config());
+    for i in 0..50i64 {
+        rt.push(
+            Side::Left,
+            Timestamped::new(Timestamp(i as u64 * 10), StreamElement::Tuple(Tuple::of((i, 0i64)))),
+        );
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while rt.metrics().consumed < 50 {
+        assert!(std::time::Instant::now() < deadline, "worker stalled");
+        std::thread::yield_now();
+    }
+    assert_eq!(rt.metrics().state_tuples, 50);
+    let (_, _) = rt.finish();
+}

@@ -1,0 +1,49 @@
+//! Cross-crate integration: serializing a generated workload to the
+//! textual trace format and replaying it through PJoin yields the exact
+//! run the original workload produced (outputs, work, statistics).
+
+use punctuated_streams::gen::trace::{read_trace, write_trace};
+use punctuated_streams::gen::{generate_pair, StreamConfig};
+use punctuated_streams::prelude::*;
+
+#[test]
+fn replayed_trace_reproduces_the_run() {
+    let cfg = StreamConfig { tuples: 800, key_window: 5, seed: 13, ..StreamConfig::default() };
+    let (a, b) = generate_pair(&cfg, 12.0, 12.0);
+
+    // Round-trip both streams through the trace format.
+    let a2 = read_trace(&write_trace(&a.elements)).unwrap();
+    let b2 = read_trace(&write_trace(&b.elements)).unwrap();
+    assert_eq!(a2, a.elements);
+    assert_eq!(b2, b.elements);
+
+    let run = |left: &[Timestamped<StreamElement>], right: &[Timestamped<StreamElement>]| {
+        let mut op = PJoinBuilder::new(2, 2).eager_purge().propagate_every(5).build();
+        let driver = Driver::new(DriverConfig {
+            cost: CostModel::default(),
+            sample_every_micros: 500_000,
+            collect_outputs: true,
+        });
+        let stats = driver.run(&mut op, left, right);
+        (stats, *op.stats())
+    };
+
+    let (s1, op1) = run(&a.elements, &b.elements);
+    let (s2, op2) = run(&a2, &b2);
+    assert_eq!(s1.outputs, s2.outputs);
+    assert_eq!(s1.total_work, s2.total_work);
+    assert_eq!(s1.end_time, s2.end_time);
+    assert_eq!(op1, op2);
+}
+
+#[test]
+fn trace_survives_file_round_trip() {
+    let cfg = StreamConfig { tuples: 200, seed: 17, ..StreamConfig::default() };
+    let (a, _) = generate_pair(&cfg, 10.0, 10.0);
+    let path = std::env::temp_dir().join(format!("pjoin-trace-{}.txt", std::process::id()));
+    std::fs::write(&path, write_trace(&a.elements)).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let back = read_trace(&text).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, a.elements);
+}
