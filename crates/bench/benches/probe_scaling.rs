@@ -1,0 +1,169 @@
+//! Probe-path scaling: linear bucket scan vs the per-bucket key index,
+//! swept over bucket occupancy (10^2..10^5) and key skew.
+//!
+//! The claim under test is the O(matches) probe property: indexed probe
+//! time tracks the number of *matching* records, so its throughput stays
+//! flat as occupancy grows, while the linear scan degrades with bucket
+//! size. Besides the usual criterion report, a machine-readable summary
+//! lands in `BENCH_probe.json` at the repository root.
+
+use std::fmt::Write as _;
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use punct_types::{Tuple, Value};
+use spillstore::{PartitionedStore, SimDisk, StoreConfig};
+
+const OCCUPANCIES: [usize; 4] = [100, 1_000, 10_000, 100_000];
+
+#[derive(Clone, Copy, PartialEq)]
+enum Skew {
+    /// Keys cycle uniformly over a domain of occupancy/10 values, so
+    /// every key has ~10 matches regardless of occupancy.
+    Uniform,
+    /// One hot key holds 20% of the bucket; the rest cycle uniformly.
+    Hot,
+}
+
+impl Skew {
+    fn name(self) -> &'static str {
+        match self {
+            Skew::Uniform => "uniform",
+            Skew::Hot => "hot",
+        }
+    }
+}
+
+const HOT_KEY: i64 = 1_000_000;
+
+/// A single-bucket store (so occupancy is exact) holding `occupancy`
+/// records under the given skew.
+fn filled(occupancy: usize, skew: Skew) -> PartitionedStore<Tuple> {
+    let mut s = PartitionedStore::new(
+        StoreConfig { buckets: 1, page_tuples: 64, ..StoreConfig::default() },
+        Box::new(SimDisk::new()),
+    );
+    let domain = (occupancy / 10).max(10) as i64;
+    for i in 0..occupancy {
+        let key = match skew {
+            Skew::Hot if i % 5 == 0 => HOT_KEY,
+            _ => (i as i64) % domain,
+        };
+        s.insert(Tuple::of((key, i as i64)));
+    }
+    s
+}
+
+/// The key each probe looks up: mid-domain for uniform, the hot key for
+/// the skewed fill.
+fn probe_key(occupancy: usize, skew: Skew) -> Value {
+    match skew {
+        Skew::Uniform => Value::Int((occupancy / 10).max(10) as i64 / 2),
+        Skew::Hot => Value::Int(HOT_KEY),
+    }
+}
+
+fn bench_probe_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_scaling");
+    g.throughput(Throughput::Elements(1));
+    for skew in [Skew::Uniform, Skew::Hot] {
+        for occupancy in OCCUPANCIES {
+            let s = filled(occupancy, skew);
+            let key = probe_key(occupancy, skew);
+            g.bench_with_input(
+                BenchmarkId::new(format!("linear/{}", skew.name()), occupancy),
+                &occupancy,
+                |b, _| {
+                    b.iter(|| {
+                        let mut hits = 0u32;
+                        for r in s.probe_memory(black_box(&key)) {
+                            if r.get(0).is_some_and(|v| v.join_eq(&key)) {
+                                hits += 1;
+                            }
+                        }
+                        black_box(hits)
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("indexed/{}", skew.name()), occupancy),
+                &occupancy,
+                |b, _| {
+                    b.iter(|| {
+                        let mut hits = 0u32;
+                        for r in s.probe_memory_keyed(black_box(&key)) {
+                            if r.get(0).is_some_and(|v| v.join_eq(&key)) {
+                                hits += 1;
+                            }
+                        }
+                        black_box(hits)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Serializes the measurements (plus the flatness ratios the acceptance
+/// criterion asks about) into `BENCH_probe.json` at the repo root.
+fn write_summary(c: &Criterion) {
+    let mut rows = String::new();
+    for m in c.measurements() {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \"elements_per_sec\": {:.1}}}",
+            m.group,
+            m.id,
+            m.mean_ns,
+            m.per_second().unwrap_or(0.0)
+        );
+    }
+    // Degradation ratio from the smallest to the largest occupancy
+    // (mean time at 10^5 over mean time at 10^2), per path and skew.
+    let mean_of = |prefix: &str, occ: usize| {
+        c.measurements()
+            .iter()
+            .find(|m| m.id == format!("{prefix}/{occ}"))
+            .map(|m| m.mean_ns)
+    };
+    let mut ratios = String::new();
+    for path in ["linear", "indexed"] {
+        for skew in ["uniform", "hot"] {
+            let prefix = format!("{path}/{skew}");
+            if let (Some(small), Some(large)) =
+                (mean_of(&prefix, OCCUPANCIES[0]), mean_of(&prefix, OCCUPANCIES[3]))
+            {
+                if !ratios.is_empty() {
+                    ratios.push_str(",\n");
+                }
+                let _ = write!(
+                    ratios,
+                    "    {{\"path\": \"{path}\", \"skew\": \"{skew}\", \"slowdown_1e2_to_1e5\": {:.2}}}",
+                    large / small.max(1e-9)
+                );
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"probe_scaling\",\n  \"measurements\": [\n{rows}\n  ],\n  \"scaling\": [\n{ratios}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_probe.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_probe_scaling(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free; only a real bench run
+    // refreshes the summary file.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

@@ -1,9 +1,15 @@
 //! Figure 11: asymmetric punctuation inter-arrival — tuple output over
 //! time for the Fig. 10 configurations.
 //!
-//! Expected shape: the slower stream B punctuates, the (slightly) higher
-//! the tuple output rate — fewer punctuations mean fewer purge scans and
-//! hence less overhead.
+//! The paper's chart shows output rising as stream B's punctuations get
+//! rarer: fewer punctuations meant fewer purge *scans*, and each scan
+//! cost O(state). The keyed purge path removes that coupling — a
+//! constant-pattern purge examines only the records under the closed
+//! values — so the purge-frequency effect on output vanishes. What
+//! remains of the paper's mechanism is the work curve itself: tuples
+//! examined by purging still shrink monotonically as punctuations get
+//! rarer, while the output rate stays flat across the asymmetric
+//! configurations.
 
 use pjoin_bench::*;
 use stream_metrics::Recorder;
@@ -34,17 +40,19 @@ fn main() {
     for (b, rate, scans) in &rows {
         println!("{b:>15}   {rate:>17.0}   {scans:>24}");
     }
-    // The paper's claim — slower punctuations, fewer purges, higher
-    // output — holds across the asymmetric configurations. (The
-    // symmetric baseline B=10 is faster still in our workload, because
-    // its state never diverges; see EXPERIMENTS.md.)
-    let asym: Vec<_> = rows.iter().filter(|(b, _, _)| *b > 10.0).collect();
+    // The surviving half of the paper's mechanism: rarer punctuations
+    // mean monotonically less purge work…
     assert!(
-        asym.windows(2).all(|w| w[0].1 < w[1].1),
-        "output rate must grow with rarer punctuations (asymmetric range)"
+        rows.windows(2).all(|w| w[0].2 >= w[1].2),
+        "purge-scan work must shrink with rarer punctuations"
     );
+    // …but with the keyed purge that work no longer throttles output:
+    // the rate is flat across all configurations.
+    let (lo, hi) = rows
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), r| (lo.min(r.1), hi.max(r.1)));
     assert!(
-        asym.windows(2).all(|w| w[0].2 >= w[1].2),
-        "purge-scan work must shrink with rarer punctuations (asymmetric range)"
+        hi <= lo * 1.05,
+        "punctuation rarity must no longer move the output rate (got {lo:.0}..{hi:.0} t/s)"
     );
 }

@@ -9,11 +9,32 @@
 //! disk portions of the bucket), one [`DiskDiskMark`] per bucket suffices
 //! for the disk×disk combinations.
 
+use std::collections::HashMap;
+
+use punct_types::Value;
 use stream_sim::{OpOutput, Work};
 
 use crate::dedup::DiskDiskMark;
 use crate::record::{Instant, PRecord};
 use crate::state::JoinState;
+
+/// Stages records into a canonical-join-key map so the probe side pays
+/// O(candidates) per record instead of scanning everything. Records with
+/// a null/missing join attribute can never join and are left out.
+fn keyed_map<'r>(
+    attr: usize,
+    records: impl Iterator<Item = &'r PRecord>,
+    work: &mut Work,
+) -> HashMap<Value, Vec<&'r PRecord>> {
+    let mut map: HashMap<Value, Vec<&'r PRecord>> = HashMap::new();
+    for r in records {
+        if let Some(k) = r.tuple.get(attr).and_then(Value::join_key) {
+            work.hashes += 1;
+            map.entry(k).or_default().push(r);
+        }
+    }
+    map
+}
 
 /// Snapshot taken after a resolution, used by the scheduler to skip runs
 /// that cannot produce anything new.
@@ -62,46 +83,81 @@ pub fn resolve_bucket(
         }
     };
 
+    // Each disk×resident / disk×disk stage builds a hash map over one
+    // side and probes it with the other, so the stage costs
+    // O(build + probes + matches) rather than the product of the sides.
+    // The canonical key is a join_eq superset (Int/Float coercion), so
+    // every candidate still passes through `key_eq`.
+
     // A-disk × B residents (memory + purge buffer).
-    for x in &a_disk {
-        for y in b.store.bucket(bucket).memory().iter().chain(b.purge_buffer[bucket].iter()) {
-            work.probe_cmps += 1;
-            if key_eq(x, y)
-                && !x.residency_overlaps(y)
-                && !a.history.covers(bucket, x, y)
-            {
-                work.outputs += 1;
-                out.push(x.tuple.concat(&y.tuple));
+    {
+        let staged = keyed_map(
+            b.join_attr,
+            b.store.bucket(bucket).memory().iter().chain(b.purge_buffer[bucket].iter()),
+            work,
+        );
+        for x in &a_disk {
+            let Some(k) = x.tuple.get(a.join_attr).and_then(Value::join_key) else {
+                continue;
+            };
+            work.key_lookups += 1;
+            for &y in staged.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
+                work.probe_cmps += 1;
+                if key_eq(x, y)
+                    && !x.residency_overlaps(y)
+                    && !a.history.covers(bucket, x, y)
+                {
+                    work.outputs += 1;
+                    out.push(x.tuple.concat(&y.tuple));
+                }
             }
         }
     }
 
     // B-disk × A residents (memory + purge buffer).
-    for y in &b_disk {
-        for x in a.store.bucket(bucket).memory().iter().chain(a.purge_buffer[bucket].iter()) {
-            work.probe_cmps += 1;
-            if key_eq(x, y)
-                && !x.residency_overlaps(y)
-                && !b.history.covers(bucket, y, x)
-            {
-                work.outputs += 1;
-                out.push(x.tuple.concat(&y.tuple));
+    {
+        let staged = keyed_map(
+            a.join_attr,
+            a.store.bucket(bucket).memory().iter().chain(a.purge_buffer[bucket].iter()),
+            work,
+        );
+        for y in &b_disk {
+            let Some(k) = y.tuple.get(b.join_attr).and_then(Value::join_key) else {
+                continue;
+            };
+            work.key_lookups += 1;
+            for &x in staged.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
+                work.probe_cmps += 1;
+                if key_eq(x, y)
+                    && !x.residency_overlaps(y)
+                    && !b.history.covers(bucket, y, x)
+                {
+                    work.outputs += 1;
+                    out.push(x.tuple.concat(&y.tuple));
+                }
             }
         }
     }
 
     // A-disk × B-disk.
-    for x in &a_disk {
-        for y in &b_disk {
-            work.probe_cmps += 1;
-            if key_eq(x, y)
-                && !x.residency_overlaps(y)
-                && !dd_mark.is_some_and(|m| m.covers(x, y))
-                && !a.history.covers(bucket, x, y)
-                && !b.history.covers(bucket, y, x)
-            {
-                work.outputs += 1;
-                out.push(x.tuple.concat(&y.tuple));
+    {
+        let staged = keyed_map(b.join_attr, b_disk.iter(), work);
+        for x in &a_disk {
+            let Some(k) = x.tuple.get(a.join_attr).and_then(Value::join_key) else {
+                continue;
+            };
+            work.key_lookups += 1;
+            for &y in staged.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
+                work.probe_cmps += 1;
+                if key_eq(x, y)
+                    && !x.residency_overlaps(y)
+                    && !dd_mark.is_some_and(|m| m.covers(x, y))
+                    && !a.history.covers(bucket, x, y)
+                    && !b.history.covers(bucket, y, x)
+                {
+                    work.outputs += 1;
+                    out.push(x.tuple.concat(&y.tuple));
+                }
             }
         }
     }

@@ -205,9 +205,15 @@ impl PJoin {
             stats.tuples_expired += own.expire_bucket_prefix(own_bucket, cutoff, work) as u64;
         }
 
-        // Probe.
+        // Probe via the bucket's key index: only records whose canonical
+        // join key collides with ours are examined, so the probe costs
+        // O(matches) rather than O(bucket occupancy). `join_eq` still
+        // arbitrates each candidate — the canonical key is a superset
+        // filter (e.g. `-0.0` and `0.0` share a key but are not
+        // join-equal under `total_cmp`).
         let opp_attr = opp.join_attr;
-        for rec in opp.store.probe_memory(&key) {
+        work.key_lookups += 1;
+        for rec in opp.store.probe_memory_keyed(&key) {
             work.probe_cmps += 1;
             if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(&key)) {
                 work.outputs += 1;

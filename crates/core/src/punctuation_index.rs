@@ -22,6 +22,9 @@ pub struct PunctuationIndex {
     counts: Vec<u64>,
     /// Retired (already propagated) flags per pid.
     retired: Vec<bool>,
+    /// Number of unretired punctuations, maintained incrementally so
+    /// [`live`](Self::live) is O(1) rather than a scan of `retired`.
+    live: usize,
     /// Ids `< indexed_next` have been index-built against the state.
     indexed_next: u64,
 }
@@ -34,6 +37,7 @@ impl PunctuationIndex {
             set: PunctuationSet::new(join_attr),
             counts: Vec::new(),
             retired: Vec::new(),
+            live: 0,
             indexed_next: 0,
         }
     }
@@ -44,6 +48,7 @@ impl PunctuationIndex {
         debug_assert_eq!(id.0 as usize, self.counts.len(), "dense pid assignment");
         self.counts.push(0);
         self.retired.push(false);
+        self.live += 1;
         id
     }
 
@@ -54,7 +59,8 @@ impl PunctuationIndex {
 
     /// Number of punctuations not yet retired.
     pub fn live(&self) -> usize {
-        self.retired.iter().filter(|r| !**r).count()
+        debug_assert_eq!(self.live, self.retired.iter().filter(|r| !**r).count());
+        self.live
     }
 
     /// Number of punctuations received in total.
@@ -142,9 +148,12 @@ impl PunctuationIndex {
         self.set.get(id)
     }
 
-    /// Retires a punctuation after propagation.
+    /// Retires a punctuation after propagation. Idempotent.
     pub fn retire(&mut self, id: PunctId) {
-        self.retired[id.0 as usize] = true;
+        if !self.retired[id.0 as usize] {
+            self.retired[id.0 as usize] = true;
+            self.live -= 1;
+        }
     }
 
     /// True if `id` has been retired.
@@ -243,6 +252,24 @@ mod tests {
         assert_eq!(ix.live(), 0);
         // Retired punctuations still cover arriving opposite tuples.
         assert!(ix.covers_join_value(&Value::Int(9)));
+    }
+
+    #[test]
+    fn live_counter_tracks_retirement() {
+        let mut ix = PunctuationIndex::new(0);
+        let a = ix.insert(close(1));
+        let b = ix.insert(close(2));
+        assert_eq!(ix.live(), 2);
+        ix.retire(a);
+        assert_eq!(ix.live(), 1);
+        // Retiring twice must not double-count.
+        ix.retire(a);
+        assert_eq!(ix.live(), 1);
+        ix.retire(b);
+        assert_eq!(ix.live(), 0);
+        assert_eq!(ix.total(), 2);
+        ix.insert(close(3));
+        assert_eq!(ix.live(), 1);
     }
 
     #[test]

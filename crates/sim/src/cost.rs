@@ -17,6 +17,8 @@ use serde::{Deserialize, Serialize};
 pub struct Work {
     /// Hash computations over join keys.
     pub hashes: u64,
+    /// Key-index lookups (one per keyed probe or keyed purge step).
+    pub key_lookups: u64,
     /// Stored tuples examined while probing a bucket.
     pub probe_cmps: u64,
     /// Tuples inserted into the join state.
@@ -43,6 +45,7 @@ impl Work {
     /// The zero work.
     pub const ZERO: Work = Work {
         hashes: 0,
+        key_lookups: 0,
         probe_cmps: 0,
         inserts: 0,
         outputs: 0,
@@ -63,6 +66,7 @@ impl Work {
     /// Sum of all counters — a crude "operations" total used by tests.
     pub fn total_ops(&self) -> u64 {
         self.hashes
+            + self.key_lookups
             + self.probe_cmps
             + self.inserts
             + self.outputs
@@ -81,6 +85,7 @@ impl Add for Work {
     fn add(self, rhs: Work) -> Work {
         Work {
             hashes: self.hashes + rhs.hashes,
+            key_lookups: self.key_lookups + rhs.key_lookups,
             probe_cmps: self.probe_cmps + rhs.probe_cmps,
             inserts: self.inserts + rhs.inserts,
             outputs: self.outputs + rhs.outputs,
@@ -112,6 +117,8 @@ impl AddAssign for Work {
 pub struct CostModel {
     /// ns per join-key hash.
     pub hash_ns: u64,
+    /// ns per key-index lookup.
+    pub key_lookup_ns: u64,
     /// ns per stored tuple examined during a probe.
     pub probe_cmp_ns: u64,
     /// ns per tuple insert.
@@ -138,6 +145,7 @@ impl Default for CostModel {
     fn default() -> CostModel {
         CostModel {
             hash_ns: 400,
+            key_lookup_ns: 500,
             probe_cmp_ns: 1_000,
             insert_ns: 1_200,
             output_ns: 2_000,
@@ -158,6 +166,7 @@ impl CostModel {
     pub fn free() -> CostModel {
         CostModel {
             hash_ns: 0,
+            key_lookup_ns: 0,
             probe_cmp_ns: 0,
             insert_ns: 0,
             output_ns: 0,
@@ -174,6 +183,7 @@ impl CostModel {
     /// Prices `work` in nanoseconds of virtual time.
     pub fn nanos(&self, work: &Work) -> u64 {
         work.hashes * self.hash_ns
+            + work.key_lookups * self.key_lookup_ns
             + work.probe_cmps * self.probe_cmp_ns
             + work.inserts * self.insert_ns
             + work.outputs * self.output_ns
@@ -216,6 +226,15 @@ mod tests {
         let m = CostModel { probe_cmp_ns: 100, output_ns: 50, ..CostModel::free() };
         let w = Work { probe_cmps: 3, outputs: 2, ..Work::ZERO };
         assert_eq!(m.nanos(&w), 400);
+    }
+
+    #[test]
+    fn key_lookups_are_priced() {
+        let m = CostModel { key_lookup_ns: 7, ..CostModel::free() };
+        let w = Work { key_lookups: 3, ..Work::ZERO };
+        assert_eq!(m.nanos(&w), 21);
+        assert_eq!(w.total_ops(), 3);
+        assert!(!w.is_zero());
     }
 
     #[test]

@@ -1,14 +1,34 @@
 //! A hash bucket with an in-memory portion and an on-disk portion
 //! (paper §3.1: "each hash bucket has an in-memory portion and an on-disk
-//! portion").
+//! portion"), plus a secondary key index over the memory portion so
+//! probes and keyed purges touch only the records that can match.
+
+use std::collections::HashMap;
+
+use punct_types::Value;
 
 use crate::backend::PageId;
 
 /// One hash bucket of a [`PartitionedStore`](crate::PartitionedStore).
+///
+/// The key index maps a canonical join key (see `Value::join_key`) to
+/// the ascending slots of `memory` holding records with that key.
+/// Invariants:
+/// - every slot list is ascending and in bounds;
+/// - a record pushed with a key appears in exactly that key's list;
+/// - records pushed without a key (missing/null join attribute) are
+///   never listed — they can never join, so keyed probes skip them.
+///
+/// Callers that mutate `memory` through [`memory_mut`](Bucket::memory_mut)
+/// must either leave every record's join key and position unchanged
+/// (e.g. stamping timestamps) or rebuild the index afterwards via
+/// [`rebuild_index`](Bucket::rebuild_index).
 #[derive(Debug, Clone)]
 pub struct Bucket<R> {
     /// Records currently resident in memory.
     memory: Vec<R>,
+    /// Canonical join key -> ascending slots in `memory`.
+    key_index: HashMap<Value, Vec<u32>>,
     /// Pages holding the disk-resident portion, in spill order.
     disk_pages: Vec<PageId>,
     /// Number of records across `disk_pages`.
@@ -18,7 +38,12 @@ pub struct Bucket<R> {
 impl<R> Bucket<R> {
     /// Creates an empty bucket.
     pub fn new() -> Bucket<R> {
-        Bucket { memory: Vec::new(), disk_pages: Vec::new(), disk_tuples: 0 }
+        Bucket {
+            memory: Vec::new(),
+            key_index: HashMap::new(),
+            disk_pages: Vec::new(),
+            disk_tuples: 0,
+        }
     }
 
     /// The memory-resident records.
@@ -26,14 +51,97 @@ impl<R> Bucket<R> {
         &self.memory
     }
 
-    /// Mutable access to the memory-resident records (used by purge).
+    /// Mutable access to the memory-resident records (used by purge and
+    /// timestamp stamping). See the type-level invariants: mutations
+    /// that change keys or positions require a subsequent
+    /// [`rebuild_index`](Bucket::rebuild_index).
     pub fn memory_mut(&mut self) -> &mut Vec<R> {
         &mut self.memory
     }
 
-    /// Appends a record to the memory portion.
+    /// Appends a record to the memory portion without indexing it.
+    /// Keyed probes will not see it; prefer [`push_keyed`](Bucket::push_keyed)
+    /// for records with a join key.
     pub fn push(&mut self, record: R) {
         self.memory.push(record);
+    }
+
+    /// Appends a record, registering it under `key` when one exists.
+    pub fn push_keyed(&mut self, record: R, key: Option<Value>) {
+        let slot = self.memory.len() as u32;
+        self.memory.push(record);
+        if let Some(key) = key {
+            self.key_index.entry(key).or_default().push(slot);
+        }
+    }
+
+    /// The memory-resident records indexed under `key` (already
+    /// canonicalized via `Value::join_key`), in arrival order.
+    pub fn probe_keyed<'a>(&'a self, key: &Value) -> impl Iterator<Item = &'a R> + 'a {
+        self.key_slots(key).iter().map(|&slot| &self.memory[slot as usize])
+    }
+
+    /// Number of memory-resident records indexed under `key`.
+    pub fn keyed_len(&self, key: &Value) -> usize {
+        self.key_slots(key).len()
+    }
+
+    /// Distinct join keys present in the memory portion.
+    pub fn distinct_keys(&self) -> usize {
+        self.key_index.len()
+    }
+
+    fn key_slots(&self, key: &Value) -> &[u32] {
+        self.key_index.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rebuilds the key index from scratch, deriving each record's
+    /// canonical key with `key_of`. Call after any `memory_mut`
+    /// mutation that removed, reordered, or re-keyed records.
+    pub fn rebuild_index(&mut self, mut key_of: impl FnMut(&R) -> Option<Value>) {
+        self.key_index.clear();
+        for (slot, record) in self.memory.iter().enumerate() {
+            if let Some(key) = key_of(record) {
+                self.key_index.entry(key).or_default().push(slot as u32);
+            }
+        }
+    }
+
+    /// Removes and returns the memory-resident records indexed under
+    /// `key` that also satisfy `pred` (the index key is a `join_eq`
+    /// superset; `pred` applies the caller's exact semantics).
+    /// Preserves order in both partitions and re-derives the index with
+    /// `key_of`. Cheap no-op when the key is absent: only the indexed
+    /// candidates are ever examined.
+    pub fn extract_keyed(
+        &mut self,
+        key: &Value,
+        mut pred: impl FnMut(&R) -> bool,
+        key_of: impl FnMut(&R) -> Option<Value>,
+    ) -> Vec<R> {
+        let Some(slots) = self.key_index.get(key) else {
+            return Vec::new();
+        };
+        // Ascending, since the per-key slot lists are ascending.
+        let take: Vec<u32> =
+            slots.iter().copied().filter(|&s| pred(&self.memory[s as usize])).collect();
+        if take.is_empty() {
+            return Vec::new();
+        }
+        let mut extracted = Vec::with_capacity(take.len());
+        let mut kept = Vec::with_capacity(self.memory.len() - take.len());
+        let mut cursor = 0;
+        for (slot, record) in std::mem::take(&mut self.memory).into_iter().enumerate() {
+            if cursor < take.len() && take[cursor] as usize == slot {
+                extracted.push(record);
+                cursor += 1;
+            } else {
+                kept.push(record);
+            }
+        }
+        self.memory = kept;
+        self.rebuild_index(key_of);
+        extracted
     }
 
     /// Number of memory-resident records.
@@ -66,8 +174,10 @@ impl<R> Bucket<R> {
         &self.disk_pages
     }
 
-    /// Takes the whole memory portion out (state relocation).
+    /// Takes the whole memory portion out (state relocation), clearing
+    /// the key index with it.
     pub fn take_memory(&mut self) -> Vec<R> {
+        self.key_index.clear();
         std::mem::take(&mut self.memory)
     }
 
@@ -102,6 +212,7 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
         assert!(!b.has_disk_portion());
+        assert_eq!(b.distinct_keys(), 0);
     }
 
     #[test]
@@ -112,6 +223,46 @@ mod tests {
         assert_eq!(b.memory_len(), 2);
         assert_eq!(b.len(), 2);
         assert_eq!(b.memory(), &[1, 2]);
+    }
+
+    #[test]
+    fn keyed_push_indexes_and_probes_in_order() {
+        let mut b = Bucket::new();
+        b.push_keyed(10u32, Some(Value::Int(7)));
+        b.push_keyed(20, Some(Value::Int(8)));
+        b.push_keyed(30, Some(Value::Int(7)));
+        b.push_keyed(40, None); // null-keyed: stored but unindexed
+        assert_eq!(b.memory_len(), 4);
+        let hits: Vec<u32> = b.probe_keyed(&Value::Int(7)).copied().collect();
+        assert_eq!(hits, vec![10, 30]);
+        assert_eq!(b.keyed_len(&Value::Int(7)), 2);
+        assert_eq!(b.keyed_len(&Value::Int(8)), 1);
+        assert_eq!(b.keyed_len(&Value::Int(9)), 0);
+        assert_eq!(b.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn rebuild_index_tracks_mutations() {
+        let mut b = Bucket::new();
+        for v in [1u32, 2, 3, 4] {
+            b.push_keyed(v, Some(Value::Int((v % 2) as i64)));
+        }
+        b.memory_mut().retain(|v| *v != 2);
+        b.rebuild_index(|v| Some(Value::Int((*v % 2) as i64)));
+        let odds: Vec<u32> = b.probe_keyed(&Value::Int(1)).copied().collect();
+        let evens: Vec<u32> = b.probe_keyed(&Value::Int(0)).copied().collect();
+        assert_eq!(odds, vec![1, 3]);
+        assert_eq!(evens, vec![4]);
+    }
+
+    #[test]
+    fn take_memory_clears_index() {
+        let mut b = Bucket::new();
+        b.push_keyed(1u32, Some(Value::Int(1)));
+        let taken = b.take_memory();
+        assert_eq!(taken, vec![1]);
+        assert_eq!(b.keyed_len(&Value::Int(1)), 0);
+        assert_eq!(b.distinct_keys(), 0);
     }
 
     #[test]

@@ -77,11 +77,19 @@ impl<R: Record> PartitionedStore<R> {
         &self.config
     }
 
-    /// Deterministic bucket index for a join-key value.
+    /// Deterministic bucket index for a join-key value. Routing hashes
+    /// the *canonical* join key (`Value::join_key`) so values that can
+    /// `join_eq` each other — e.g. `Int(2)` and `Float(2.0)` — land in
+    /// the same bucket. Unjoinable keys (null, absent) route to bucket 0.
     pub fn bucket_index(&self, key: &Value) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() % self.config.buckets as u64) as usize
+        match key.join_key() {
+            Some(canonical) => {
+                let mut h = DefaultHasher::new();
+                canonical.hash(&mut h);
+                (h.finish() % self.config.buckets as u64) as usize
+            }
+            None => 0,
+        }
     }
 
     /// Inserts a record (hashed on its join attribute). Returns the bucket
@@ -89,18 +97,46 @@ impl<R: Record> PartitionedStore<R> {
     /// bucket 0 — they can never join, but operators may still need to
     /// retain them for punctuation accounting.
     pub fn insert(&mut self, record: R) -> usize {
-        let idx = record
-            .tuple()
-            .get(self.config.join_attr)
-            .map_or(0, |v| self.bucket_index(v));
-        self.buckets[idx].push(record);
-        self.memory_tuples += 1;
-        idx
+        let key = record.tuple().get(self.config.join_attr).and_then(Value::join_key);
+        match key {
+            Some(key) => {
+                let idx = self.bucket_index(&key);
+                self.buckets[idx].push_keyed(record, Some(key));
+                self.memory_tuples += 1;
+                idx
+            }
+            None => {
+                self.buckets[0].push_keyed(record, None);
+                self.memory_tuples += 1;
+                0
+            }
+        }
     }
 
-    /// The memory portion of the bucket a key hashes to (probe target).
+    /// The memory portion of the bucket a key hashes to (linear probe
+    /// target; prefer [`probe_memory_keyed`](Self::probe_memory_keyed)).
     pub fn probe_memory(&self, key: &Value) -> &[R] {
         self.buckets[self.bucket_index(key)].memory()
+    }
+
+    /// The memory-resident records whose join key can `join_eq` `key`,
+    /// via the bucket's secondary key index: O(1) lookup plus O(matches)
+    /// iteration instead of a scan of the whole bucket. Yields nothing
+    /// for unjoinable keys (null).
+    pub fn probe_memory_keyed<'a>(&'a self, key: &Value) -> impl Iterator<Item = &'a R> + 'a {
+        key.join_key()
+            .map(|k| self.buckets[self.bucket_index(&k)].probe_keyed(&k))
+            .into_iter()
+            .flatten()
+    }
+
+    /// Number of memory-resident records a keyed probe of `key` would
+    /// yield (the candidate count the cost model charges for).
+    pub fn probe_memory_keyed_len(&self, key: &Value) -> usize {
+        match key.join_key() {
+            Some(k) => self.buckets[self.bucket_index(&k)].keyed_len(&k),
+            None => 0,
+        }
     }
 
     /// Whether the bucket a key hashes to has a disk portion (the probe
@@ -228,6 +264,31 @@ impl<R: Record> PartitionedStore<R> {
             }
         }
         *mem = kept;
+        if !extracted.is_empty() {
+            self.rebuild_bucket_index(idx);
+        }
+        self.memory_tuples -= extracted.len();
+        extracted
+    }
+
+    /// Removes and returns the memory-resident records that the key
+    /// index lists under `key`'s canonical join key *and* that satisfy
+    /// `pred`, located without scanning unrelated records: buckets not
+    /// holding the key are untouched, and `pred` runs only on the
+    /// indexed candidates. Record order is preserved in both partitions.
+    pub fn extract_memory_keyed(
+        &mut self,
+        key: &Value,
+        pred: impl FnMut(&R) -> bool,
+    ) -> Vec<R> {
+        let Some(canonical) = key.join_key() else {
+            return Vec::new();
+        };
+        let idx = self.bucket_index(&canonical);
+        let attr = self.config.join_attr;
+        let extracted = self.buckets[idx].extract_keyed(&canonical, pred, |r| {
+            r.tuple().get(attr).and_then(Value::join_key)
+        });
         self.memory_tuples -= extracted.len();
         extracted
     }
@@ -245,6 +306,9 @@ impl<R: Record> PartitionedStore<R> {
         let mem = self.buckets[idx].memory_mut();
         let cut = mem.iter().take_while(|r| pred(r)).count();
         let drained: Vec<R> = mem.drain(..cut).collect();
+        if !drained.is_empty() {
+            self.rebuild_bucket_index(idx);
+        }
         self.memory_tuples -= drained.len();
         drained
     }
@@ -261,6 +325,9 @@ impl<R: Record> PartitionedStore<R> {
         let before = mem.len();
         mem.retain(|r| keep(r));
         let removed = before - mem.len();
+        if removed > 0 {
+            self.rebuild_bucket_index(idx);
+        }
         self.memory_tuples -= removed;
         (scanned, removed)
     }
@@ -301,6 +368,15 @@ impl<R: Record> PartitionedStore<R> {
         for r in self.buckets[idx].memory_mut() {
             f(r);
         }
+    }
+
+    /// Re-derives one bucket's key index from its current memory
+    /// contents. Called after any mutation that removed or reordered
+    /// records.
+    fn rebuild_bucket_index(&mut self, idx: usize) {
+        let attr = self.config.join_attr;
+        self.buckets[idx]
+            .rebuild_index(|r| r.tuple().get(attr).and_then(Value::join_key));
     }
 
     /// The policy's current spill victim without performing the spill.
@@ -521,5 +597,92 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_buckets_rejected() {
         let _ = store(0);
+    }
+
+    #[test]
+    fn keyed_probe_returns_exactly_matching_records() {
+        let mut s = store(8);
+        for k in 0..50 {
+            s.insert(tup(k % 10));
+        }
+        for k in 0..10 {
+            let hits: Vec<i64> = s
+                .probe_memory_keyed(&Value::Int(k))
+                .map(|r| r.get(0).unwrap().as_int().unwrap())
+                .collect();
+            assert_eq!(hits, vec![k; 5], "key {k}");
+            assert_eq!(s.probe_memory_keyed_len(&Value::Int(k)), 5);
+        }
+        assert_eq!(s.probe_memory_keyed(&Value::Int(99)).count(), 0);
+        assert_eq!(s.probe_memory_keyed(&Value::Null).count(), 0);
+    }
+
+    #[test]
+    fn keyed_probe_coerces_int_float() {
+        let mut s = store(8);
+        s.insert(tup(3));
+        s.insert(Tuple::of((3.0f64, "float payload")));
+        // Both the Int and the integral-Float key find both records.
+        assert_eq!(s.probe_memory_keyed(&Value::Int(3)).count(), 2);
+        assert_eq!(s.probe_memory_keyed(&Value::Float(3.0)).count(), 2);
+        // And they share a bucket despite differing raw hashes.
+        assert_eq!(s.bucket_index(&Value::Int(3)), s.bucket_index(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn keyed_probe_consistent_after_retain_and_spill() {
+        let mut s = store(4);
+        for k in 0..40 {
+            s.insert(tup(k % 8));
+        }
+        s.retain_memory(|r| r.get(0).unwrap().as_int().unwrap() % 2 == 0);
+        for k in 0..8 {
+            let expect = if k % 2 == 0 { 5 } else { 0 };
+            assert_eq!(s.probe_memory_keyed(&Value::Int(k)).count(), expect, "key {k}");
+        }
+        // Spilling a bucket empties its memory index.
+        let victim = s.bucket_index(&Value::Int(0));
+        s.spill_bucket(victim);
+        assert_eq!(s.probe_memory_keyed_len(&Value::Int(0)), 0);
+        assert!(s.key_has_disk_portion(&Value::Int(0)));
+    }
+
+    #[test]
+    fn extract_memory_keyed_takes_only_that_key() {
+        let mut s = store(4);
+        for k in 0..30 {
+            s.insert(tup(k % 6));
+        }
+        let got = s.extract_memory_keyed(&Value::Int(2), |_| true);
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|r| r.get(0).unwrap().as_int().unwrap() == 2));
+        assert_eq!(s.memory_tuples(), 25);
+        assert_eq!(s.probe_memory_keyed_len(&Value::Int(2)), 0);
+        // Other keys untouched and still probeable.
+        for k in [0i64, 1, 3, 4, 5] {
+            assert_eq!(s.probe_memory_keyed_len(&Value::Int(k)), 5, "key {k}");
+        }
+        // Absent key and null are no-ops.
+        assert!(s.extract_memory_keyed(&Value::Int(77), |_| true).is_empty());
+        assert!(s.extract_memory_keyed(&Value::Null, |_| true).is_empty());
+        assert_eq!(s.memory_tuples(), 25);
+        // A rejecting predicate extracts nothing and leaves the index
+        // intact.
+        assert!(s.extract_memory_keyed(&Value::Int(3), |_| false).is_empty());
+        assert_eq!(s.probe_memory_keyed_len(&Value::Int(3)), 5);
+    }
+
+    #[test]
+    fn keyed_probe_consistent_after_extract_bucket() {
+        let mut s = store(1);
+        for k in 0..12 {
+            s.insert(tup(k % 3));
+        }
+        let evens =
+            s.extract_memory_bucket(0, |r| r.get(0).unwrap().as_int().unwrap() == 0);
+        assert_eq!(evens.len(), 4);
+        assert_eq!(s.probe_memory_keyed_len(&Value::Int(0)), 0);
+        assert_eq!(s.probe_memory_keyed_len(&Value::Int(1)), 4);
+        assert_eq!(s.probe_memory_keyed_len(&Value::Int(2)), 4);
     }
 }

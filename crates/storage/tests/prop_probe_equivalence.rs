@@ -1,0 +1,141 @@
+//! Property test: the indexed probe path (`probe_memory_keyed`) must
+//! return exactly the record multiset a linear `join_eq` scan of the
+//! whole memory-resident state finds, under arbitrary interleavings of
+//! insert, keyed purge, predicate purge, window drain, spill (state
+//! relocation), and retain.
+//!
+//! Records carry a unique sequence number so the comparison is over
+//! multisets of concrete records, not just counts.
+
+use proptest::prelude::*;
+use punct_types::{Tuple, Value};
+use spillstore::{PartitionedStore, SimDisk, StoreConfig};
+
+/// The operations the walk interleaves.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a record with this join key (`None` = null key).
+    Insert(Option<i64>),
+    /// Insert the key as an equal-valued float (exercises coercion).
+    InsertFloat(i64),
+    /// Keyed extraction of every record under the key (eager purge path).
+    PurgeKey(i64),
+    /// Predicate extraction over one bucket (range-purge path).
+    PurgeEven(usize),
+    /// Prefix drain of one bucket (window-expiry path).
+    DrainOld(usize, i64),
+    /// Retain-based purge of one bucket.
+    DropKeyScan(usize, i64),
+    /// Relocate one bucket's memory portion to disk.
+    Spill(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..12).prop_map(|k| Op::Insert(Some(k))),
+        Just(Op::Insert(None)),
+        (0i64..12).prop_map(Op::InsertFloat),
+        (0i64..12).prop_map(Op::PurgeKey),
+        (0usize..4).prop_map(Op::PurgeEven),
+        ((0usize..4), (0i64..200)).prop_map(|(b, s)| Op::DrainOld(b, s)),
+        ((0usize..4), (0i64..12)).prop_map(|(b, k)| Op::DropKeyScan(b, k)),
+        (0usize..4).prop_map(Op::Spill),
+    ]
+}
+
+fn store() -> PartitionedStore<Tuple> {
+    PartitionedStore::new(
+        StoreConfig { buckets: 4, page_tuples: 4, ..StoreConfig::default() },
+        Box::new(SimDisk::new()),
+    )
+}
+
+/// Every memory-resident record whose join attribute `join_eq`s `key`,
+/// found by scanning all buckets linearly — the reference the key index
+/// must agree with.
+fn linear_probe(s: &PartitionedStore<Tuple>, key: &Value) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for b in s.buckets() {
+        for r in b.memory() {
+            if r.get(0).is_some_and(|v| v.join_eq(key)) {
+                out.push(r.clone());
+            }
+        }
+    }
+    out
+}
+
+fn sorted_seqs(records: &[Tuple]) -> Vec<i64> {
+    let mut seqs: Vec<i64> = records
+        .iter()
+        .map(|t| t.get(1).and_then(Value::as_int).expect("seq attr"))
+        .collect();
+    seqs.sort_unstable();
+    seqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn keyed_probe_equals_linear_scan(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut s = store();
+        let mut seq = 0i64;
+        for op in &ops {
+            match *op {
+                Op::Insert(key) => {
+                    let k = key.map(Value::Int).unwrap_or(Value::Null);
+                    s.insert(Tuple::of((k, Value::Int(seq))));
+                    seq += 1;
+                }
+                Op::InsertFloat(k) => {
+                    s.insert(Tuple::of((Value::Float(k as f64), Value::Int(seq))));
+                    seq += 1;
+                }
+                Op::PurgeKey(k) => {
+                    s.extract_memory_keyed(&Value::Int(k), |_| true);
+                }
+                Op::PurgeEven(b) => {
+                    s.extract_memory_bucket(b, |r| {
+                        r.get(0).and_then(Value::as_int).is_some_and(|k| k % 2 == 0)
+                    });
+                }
+                Op::DrainOld(b, horizon) => {
+                    s.drain_memory_prefix(b, |r| {
+                        r.get(1).and_then(Value::as_int).is_some_and(|t| t < horizon)
+                    });
+                }
+                Op::DropKeyScan(b, k) => {
+                    s.retain_memory_bucket(b, |r| {
+                        r.get(0).and_then(Value::as_int) != Some(k)
+                    });
+                }
+                Op::Spill(b) => {
+                    s.spill_bucket(b);
+                }
+            }
+
+            // After every step, the indexed probe must agree with the
+            // linear reference for every key in the domain — as Int and
+            // as the join_eq-equal Float.
+            for k in 0..12i64 {
+                for key in [Value::Int(k), Value::Float(k as f64)] {
+                    let indexed: Vec<Tuple> =
+                        s.probe_memory_keyed(&key).cloned().collect();
+                    let linear = linear_probe(&s, &key);
+                    prop_assert_eq!(
+                        sorted_seqs(&indexed),
+                        sorted_seqs(&linear),
+                        "key {:?} after {:?} (op trace: {:?})",
+                        key,
+                        op,
+                        ops
+                    );
+                    prop_assert_eq!(indexed.len(), s.probe_memory_keyed_len(&key));
+                }
+            }
+            // Null never probes.
+            prop_assert_eq!(s.probe_memory_keyed(&Value::Null).count(), 0);
+        }
+    }
+}

@@ -3,14 +3,17 @@
 //! The paper's purge rule (§2.2, eq. 1) tests `setMatch(t, PS(T))` — does
 //! *any* punctuation seen so far match tuple `t`? A join evaluates this for
 //! every arriving tuple (on-the-fly drop) and for every stored tuple during
-//! a purge scan, so the common case — constant patterns on the join
-//! attribute — is indexed in a hash map for O(1) lookup, while range and
-//! enumeration patterns fall back to a linear scan.
+//! a purge scan, so every pattern shape on the join attribute is indexed:
+//! constants in a hash map (O(1)), enumeration-list members in a hash map
+//! from member value to punctuation ids, and range patterns in a sorted
+//! interval list answering stabbing queries by binary search. Only
+//! wildcard (and schema-less) punctuations fall back to a linear scan.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::pattern::Pattern;
+use crate::pattern::{Bound, Pattern};
 use crate::punctuation::Punctuation;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -38,6 +41,107 @@ struct Entry {
     removed: bool,
 }
 
+/// Orders two *lower* bounds by the values they admit: `a <= b` iff the
+/// set `a` admits contains the set `b` admits. Sorting by this key gives
+/// the prefix property a stabbing query needs: once a lower bound stops
+/// admitting `v`, no later one admits it either.
+fn cmp_lower(a: &Bound, b: &Bound) -> Ordering {
+    match (a, b) {
+        (Bound::Unbounded, Bound::Unbounded) => Ordering::Equal,
+        (Bound::Unbounded, _) => Ordering::Less,
+        (_, Bound::Unbounded) => Ordering::Greater,
+        (Bound::Inclusive(x), Bound::Inclusive(y))
+        | (Bound::Exclusive(x), Bound::Exclusive(y)) => x.cmp(y),
+        // At the same value an inclusive lower bound admits more.
+        (Bound::Inclusive(x), Bound::Exclusive(y)) => x.cmp(y).then(Ordering::Less),
+        (Bound::Exclusive(x), Bound::Inclusive(y)) => x.cmp(y).then(Ordering::Greater),
+    }
+}
+
+/// Orders two *upper* bounds by looseness: `a >= b` iff `a` admits every
+/// value `b` admits. Used for the prefix-loosest array.
+fn cmp_upper(a: &Bound, b: &Bound) -> Ordering {
+    match (a, b) {
+        (Bound::Unbounded, Bound::Unbounded) => Ordering::Equal,
+        (Bound::Unbounded, _) => Ordering::Greater,
+        (_, Bound::Unbounded) => Ordering::Less,
+        (Bound::Inclusive(x), Bound::Inclusive(y))
+        | (Bound::Exclusive(x), Bound::Exclusive(y)) => x.cmp(y),
+        // At the same value an inclusive upper bound admits more.
+        (Bound::Inclusive(x), Bound::Exclusive(y)) => x.cmp(y).then(Ordering::Greater),
+        (Bound::Exclusive(x), Bound::Inclusive(y)) => x.cmp(y).then(Ordering::Less),
+    }
+}
+
+/// One range punctuation in the interval index.
+#[derive(Debug, Clone)]
+struct RangeEntry {
+    lo: Bound,
+    hi: Bound,
+    id: PunctId,
+}
+
+/// A sorted interval list answering "which range punctuations admit value
+/// `v`" stabbing queries.
+///
+/// Entries are sorted by lower bound (loosest first), and
+/// `prefix_loosest_hi[i]` holds the loosest upper bound among
+/// `entries[..=i]`. A query binary-searches the last entry whose lower
+/// bound admits `v`, then walks left collecting matches; it stops as soon
+/// as the prefix-loosest upper bound no longer admits `v` — at that point
+/// no earlier entry can match. With the disjoint-or-nested range
+/// punctuations the paper assumes, a query touches O(log n + matches)
+/// entries.
+#[derive(Debug, Clone, Default)]
+struct RangeIndex {
+    entries: Vec<RangeEntry>,
+    prefix_loosest_hi: Vec<Bound>,
+}
+
+impl RangeIndex {
+    fn insert(&mut self, lo: Bound, hi: Bound, id: PunctId) {
+        let pos = self.entries.partition_point(|e| cmp_lower(&e.lo, &lo) != Ordering::Greater);
+        self.entries.insert(pos, RangeEntry { lo, hi, id });
+        self.rebuild_prefix(pos);
+    }
+
+    /// Removes the entry for `id`. Returns true when it was present.
+    fn remove(&mut self, id: PunctId) -> bool {
+        let Some(pos) = self.entries.iter().position(|e| e.id == id) else {
+            return false;
+        };
+        self.entries.remove(pos);
+        self.rebuild_prefix(pos);
+        true
+    }
+
+    /// Recomputes `prefix_loosest_hi` from `from` onward.
+    fn rebuild_prefix(&mut self, from: usize) {
+        self.prefix_loosest_hi.truncate(from);
+        for i in from..self.entries.len() {
+            let hi = &self.entries[i].hi;
+            let loosest = match self.prefix_loosest_hi.last() {
+                Some(prev) if cmp_upper(prev, hi) == Ordering::Greater => prev.clone(),
+                _ => hi.clone(),
+            };
+            self.prefix_loosest_hi.push(loosest);
+        }
+    }
+
+    /// Calls `f` with the id of every entry whose range admits `v`.
+    fn stab(&self, v: &Value, mut f: impl FnMut(PunctId)) {
+        let end = self.entries.partition_point(|e| e.lo.admits_from_below(v));
+        for i in (0..end).rev() {
+            if !self.prefix_loosest_hi[i].admits_from_above(v) {
+                break;
+            }
+            if self.entries[i].hi.admits_from_above(v) {
+                f(self.entries[i].id);
+            }
+        }
+    }
+}
+
 /// A collection of punctuations over one stream, indexed for fast
 /// `set_match` on the stream's join attribute.
 ///
@@ -59,9 +163,14 @@ pub struct PunctuationSet {
     /// Constant-pattern fast path: join value -> id of the first
     /// punctuation closing it.
     constants: HashMap<Value, PunctId>,
-    /// Ids of punctuations whose join-attribute pattern is not a constant
-    /// (wildcard / range / enumeration / empty), scanned linearly.
-    non_constant: Vec<PunctId>,
+    /// Enumeration-list fast path: member value -> ascending ids of the
+    /// `In` punctuations listing it.
+    members: HashMap<Value, Vec<PunctId>>,
+    /// Range patterns, binary-searchable by stabbing value.
+    ranges: RangeIndex,
+    /// Ids of punctuations the value indexes cannot answer (wildcard on
+    /// the join attribute, or no pattern for it), scanned linearly.
+    unindexed: Vec<PunctId>,
     /// Number of live (non-removed) entries.
     live: usize,
 }
@@ -75,7 +184,9 @@ impl PunctuationSet {
             entries: Vec::new(),
             next_id: 0,
             constants: HashMap::new(),
-            non_constant: Vec::new(),
+            members: HashMap::new(),
+            ranges: RangeIndex::default(),
+            unindexed: Vec::new(),
             live: 0,
         }
     }
@@ -110,7 +221,19 @@ impl PunctuationSet {
                 // assignment semantics.
                 self.constants.entry(v.clone()).or_insert(id);
             }
-            _ => self.non_constant.push(id),
+            Some(Pattern::In(vs)) => {
+                for v in vs {
+                    // Ids ascend, so pushing keeps each list sorted.
+                    self.members.entry(v.clone()).or_default().push(id);
+                }
+            }
+            Some(Pattern::Range { lo, hi }) => {
+                self.ranges.insert(lo.clone(), hi.clone(), id);
+            }
+            // Empty matches nothing: not findable through any index, and
+            // nothing to scan either.
+            Some(Pattern::Empty) => {}
+            _ => self.unindexed.push(id),
         }
         self.entries.push(Entry { id, punctuation, removed: false });
         self.live += 1;
@@ -136,12 +259,27 @@ impl PunctuationSet {
         }
         entry.removed = true;
         self.live -= 1;
-        if let Some(Pattern::Constant(v)) = entry.punctuation.pattern(self.attr) {
-            if self.constants.get(v) == Some(&id) {
-                self.constants.remove(v);
+        match entry.punctuation.pattern(self.attr) {
+            Some(Pattern::Constant(v)) => {
+                if self.constants.get(v) == Some(&id) {
+                    self.constants.remove(v);
+                }
             }
-        } else {
-            self.non_constant.retain(|x| *x != id);
+            Some(Pattern::In(vs)) => {
+                for v in vs {
+                    if let Some(ids) = self.members.get_mut(v) {
+                        ids.retain(|x| *x != id);
+                        if ids.is_empty() {
+                            self.members.remove(v);
+                        }
+                    }
+                }
+            }
+            Some(Pattern::Range { .. }) => {
+                self.ranges.remove(id);
+            }
+            Some(Pattern::Empty) => {}
+            _ => self.unindexed.retain(|x| *x != id),
         }
         true
     }
@@ -149,48 +287,47 @@ impl PunctuationSet {
     /// The paper's `setMatch(t, PS)`: returns the id of the **first
     /// arrived** live punctuation matching tuple `t`, if any.
     pub fn set_match(&self, t: &Tuple) -> Option<PunctId> {
-        let mut best: Option<PunctId> = None;
-        // Fast path: constant pattern on the join attribute.
-        if let Some(v) = t.get(self.attr) {
-            if let Some(&id) = self.constants.get(v) {
-                if self.entry_matches(id, t) {
-                    best = Some(id);
-                }
-            }
-        }
-        // Non-constant punctuations may have arrived earlier; scan them.
-        for &id in &self.non_constant {
-            if best.is_some_and(|b| b <= id) {
-                break;
-            }
-            if self.entry_matches(id, t) {
-                best = Some(id);
-            }
-        }
-        best
+        self.match_above(t, None)
     }
 
     /// Like [`set_match`](Self::set_match) but only consults punctuations
     /// with `id > after`, for incremental index building.
     pub fn set_match_after(&self, t: &Tuple, after: PunctId) -> Option<PunctId> {
+        self.match_above(t, Some(after))
+    }
+
+    /// Minimum matching id above the optional floor. Every index yields
+    /// *candidates* on the join attribute alone; each is verified against
+    /// the full punctuation before it can win.
+    fn match_above(&self, t: &Tuple, after: Option<PunctId>) -> Option<PunctId> {
         let mut best: Option<PunctId> = None;
-        if let Some(v) = t.get(self.attr) {
+        let consider = |id: PunctId, best: &mut Option<PunctId>| {
+            if after.is_some_and(|a| id <= a) {
+                return;
+            }
+            if best.is_some_and(|b| b <= id) {
+                return;
+            }
+            if self.entry_matches(id, t) {
+                *best = Some(id);
+            }
+        };
+        if let Some(v) = t.get(self.attr).filter(|v| !v.is_null()) {
             if let Some(&id) = self.constants.get(v) {
-                if id > after && self.entry_matches(id, t) {
-                    best = Some(id);
+                consider(id, &mut best);
+            }
+            if let Some(ids) = self.members.get(v) {
+                for &id in ids {
+                    consider(id, &mut best);
                 }
             }
+            self.ranges.stab(v, |id| consider(id, &mut best));
         }
-        for &id in &self.non_constant {
-            if id <= after {
-                continue;
-            }
+        for &id in &self.unindexed {
             if best.is_some_and(|b| b <= id) {
                 break;
             }
-            if self.entry_matches(id, t) {
-                best = Some(id);
-            }
+            consider(id, &mut best);
         }
         best
     }
@@ -203,7 +340,17 @@ impl PunctuationSet {
         if self.constants.contains_key(v) {
             return true;
         }
-        self.non_constant.iter().any(|id| {
+        if !v.is_null() {
+            if self.members.contains_key(v) {
+                return true;
+            }
+            let mut stabbed = false;
+            self.ranges.stab(v, |_| stabbed = true);
+            if stabbed {
+                return true;
+            }
+        }
+        self.unindexed.iter().any(|id| {
             self.entries[id.0 as usize]
                 .punctuation
                 .pattern(self.attr)
@@ -354,6 +501,119 @@ mod tests {
         assert_eq!(ids, vec![a, c]);
         let ids: Vec<PunctId> = ps.iter_after(a).map(|(id, _)| id).collect();
         assert_eq!(ids, vec![c]);
+    }
+
+    #[test]
+    fn many_disjoint_ranges_stab_correctly() {
+        // 100 disjoint ranges [10k, 10k+9]; every value must find exactly
+        // its own range through the interval index.
+        let mut ps = PunctuationSet::new(0);
+        let ids: Vec<PunctId> = (0..100)
+            .map(|k| ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(10 * k, 10 * k + 9))))
+            .collect();
+        for k in 0..100 {
+            assert_eq!(ps.set_match(&tup(10 * k + 5, 0)), Some(ids[k as usize]));
+        }
+        assert_eq!(ps.set_match(&tup(1000, 0)), None);
+        assert_eq!(ps.set_match(&tup(-1, 0)), None);
+    }
+
+    #[test]
+    fn overlapping_ranges_return_first_arrived() {
+        let mut ps = PunctuationSet::new(0);
+        let wide = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(0, 100)));
+        let narrow = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(40, 60)));
+        assert_eq!(ps.set_match(&tup(50, 0)), Some(wide));
+        assert_eq!(ps.set_match_after(&tup(50, 0), wide), Some(narrow));
+        assert_eq!(ps.set_match(&tup(30, 0)), Some(wide));
+        // Nested the other way round: narrow arrives first.
+        let mut ps = PunctuationSet::new(0);
+        let narrow = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(40, 60)));
+        let _wide = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(0, 100)));
+        assert_eq!(ps.set_match(&tup(50, 0)), Some(narrow));
+    }
+
+    #[test]
+    fn exclusive_and_unbounded_range_endpoints() {
+        let mut ps = PunctuationSet::new(0);
+        let below = ps.insert(Punctuation::on_attr(
+            2,
+            0,
+            Pattern::Range { lo: Bound::Unbounded, hi: Bound::Exclusive(Value::Int(0)) },
+        ));
+        let above = ps.insert(Punctuation::on_attr(
+            2,
+            0,
+            Pattern::Range { lo: Bound::Exclusive(Value::Int(10)), hi: Bound::Unbounded },
+        ));
+        assert_eq!(ps.set_match(&tup(-5, 0)), Some(below));
+        assert_eq!(ps.set_match(&tup(0, 0)), None);
+        assert_eq!(ps.set_match(&tup(10, 0)), None);
+        assert_eq!(ps.set_match(&tup(11, 0)), Some(above));
+        assert!(ps.covers_value(&Value::Int(-100)));
+        assert!(ps.covers_value(&Value::Int(100)));
+        assert!(!ps.covers_value(&Value::Int(5)));
+    }
+
+    #[test]
+    fn removed_range_no_longer_stabs() {
+        let mut ps = PunctuationSet::new(0);
+        let a = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(0, 9)));
+        let b = ps.insert(Punctuation::on_attr(2, 0, Pattern::int_range(5, 14)));
+        assert!(ps.remove(a));
+        assert_eq!(ps.set_match(&tup(3, 0)), None);
+        assert_eq!(ps.set_match(&tup(7, 0)), Some(b));
+        assert!(!ps.covers_value(&Value::Int(3)));
+        assert!(ps.covers_value(&Value::Int(12)));
+    }
+
+    #[test]
+    fn enumeration_members_indexed() {
+        let mut ps = PunctuationSet::new(0);
+        let e1 = ps.insert(Punctuation::on_attr(
+            2,
+            0,
+            Pattern::enumeration(vec![Value::Int(1), Value::Int(3)]),
+        ));
+        let e2 = ps.insert(Punctuation::on_attr(
+            2,
+            0,
+            Pattern::enumeration(vec![Value::Int(3), Value::Int(5)]),
+        ));
+        assert_eq!(ps.set_match(&tup(1, 0)), Some(e1));
+        assert_eq!(ps.set_match(&tup(3, 0)), Some(e1), "first arrived wins on shared member");
+        assert_eq!(ps.set_match(&tup(5, 0)), Some(e2));
+        assert_eq!(ps.set_match(&tup(2, 0)), None);
+        assert_eq!(ps.set_match_after(&tup(3, 0), e1), Some(e2));
+        assert!(ps.covers_value(&Value::Int(5)));
+        ps.remove(e2);
+        assert_eq!(ps.set_match(&tup(5, 0)), None);
+        assert!(!ps.covers_value(&Value::Int(5)));
+        assert!(ps.covers_value(&Value::Int(3)));
+    }
+
+    #[test]
+    fn mixed_shapes_first_arrived_across_indexes() {
+        // Constant, enumeration, and range all covering key 5, inserted in
+        // every arrival order: set_match must always return the earliest.
+        let shapes: [fn() -> Pattern; 3] = [
+            || Pattern::Constant(Value::Int(5)),
+            || Pattern::enumeration(vec![Value::Int(5), Value::Int(6)]),
+            || Pattern::int_range(0, 9),
+        ];
+        let orders =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for order in orders {
+            let mut ps = PunctuationSet::new(0);
+            let mut first = None;
+            for (i, &s) in order.iter().enumerate() {
+                let id = ps.insert(Punctuation::on_attr(2, 0, shapes[s]()));
+                if i == 0 {
+                    first = Some(id);
+                }
+            }
+            assert_eq!(ps.set_match(&tup(5, 0)), first, "order {order:?}");
+        }
     }
 
     #[test]

@@ -136,6 +136,35 @@ impl Value {
             _ => self == other,
         }
     }
+
+    /// Canonical hash key for [`join_eq`](Value::join_eq)-based lookup
+    /// structures: values that join-equal each other map to the same key
+    /// wherever an exact key exists.
+    ///
+    /// - `Null` returns `None` — it can never satisfy `join_eq`, so
+    ///   callers skip indexing/probing it entirely.
+    /// - `Float`s holding an exactly representable `i64` (including
+    ///   `-0.0`) canonicalize to `Int`, so `Int(2)` and `Float(2.0)`
+    ///   collide as `join_eq` requires. Other floats (fractional, huge,
+    ///   `NaN`) key as themselves, matching `join_eq`'s fallback to
+    ///   bitwise (`total_cmp`) equality for same-type floats.
+    ///
+    /// One caveat inherited from `join_eq` itself: an `Int` beyond 2^53
+    /// can `join_eq` a `Float` through `as f64` rounding while their
+    /// keys differ. Such pairs were never discoverable through the
+    /// hash-partitioned store either, so keyed lookups do not regress
+    /// them.
+    pub fn join_key(&self) -> Option<Value> {
+        match self {
+            Value::Null => None,
+            Value::Float(f)
+                if f.trunc() == *f && *f >= i64::MIN as f64 && *f < i64::MAX as f64 =>
+            {
+                Some(Value::Int(*f as i64))
+            }
+            other => Some(other.clone()),
+        }
+    }
 }
 
 impl PartialEq for Value {
@@ -295,6 +324,24 @@ mod tests {
         assert!(Value::Int(2).join_eq(&Value::Float(2.0)));
         assert!(Value::Float(2.0).join_eq(&Value::Int(2)));
         assert!(!Value::Int(2).join_eq(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn join_key_canonicalizes_join_equal_values() {
+        // Values that join_eq each other share a key.
+        assert_eq!(Value::Int(2).join_key(), Value::Float(2.0).join_key());
+        assert_eq!(Value::Float(-0.0).join_key(), Some(Value::Int(0)));
+        // Unjoinable values have no key.
+        assert_eq!(Value::Null.join_key(), None);
+        // Fractional and out-of-i64-range floats key as themselves.
+        assert_eq!(Value::Float(2.5).join_key(), Some(Value::Float(2.5)));
+        assert_eq!(Value::Float(1e20).join_key(), Some(Value::Float(1e20)));
+        // NaN keys as itself: join_eq accepts same-bits NaN (total_cmp)
+        // and the bitwise hash of Float preserves exactly that.
+        assert_eq!(Value::Float(f64::NAN).join_key(), Some(Value::Float(f64::NAN)));
+        // Non-numerics pass through.
+        assert_eq!(Value::str("k").join_key(), Some(Value::str("k")));
+        assert_eq!(Value::Bool(true).join_key(), Some(Value::Bool(true)));
     }
 
     #[test]

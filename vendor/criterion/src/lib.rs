@@ -1,0 +1,341 @@
+//! Minimal API-compatible stub of `criterion` 0.5 for offline builds.
+//!
+//! Runs each benchmark with a short adaptive wall-clock measurement
+//! (warm-up, then a handful of samples under a per-benchmark time
+//! budget) and prints mean ns/iter plus derived throughput. There is no
+//! statistical analysis, no HTML report, and no saved baselines.
+//!
+//! Two extras over the real API surface this workspace uses:
+//! - [`Criterion::measurements`] exposes the collected results so a
+//!   `harness = false` bench can serialize its own summary.
+//! - When invoked with `--test` (as `cargo test` does for bench
+//!   targets), every routine runs exactly once and timing is skipped.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget for measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(120);
+/// Target duration of a single sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// Work performed per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stub runs one input per
+/// routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up.
+    SmallInput,
+    /// Inputs are expensive to set up.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// A benchmark's display identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name, empty for ungrouped benchmarks.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations actually timed.
+    pub iterations: u64,
+    /// Declared per-iteration work, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements or bytes per second implied by the mean, if declared.
+    pub fn per_second(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+        };
+        (self.mean_ns > 0.0).then(|| units * 1e9 / self.mean_ns)
+    }
+}
+
+/// Benchmark driver and result sink.
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { measurements: Vec::new(), test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: group_name.into(),
+            throughput: None,
+            _sample_size: 0,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(String::new(), id.to_string(), None, f);
+        self
+    }
+
+    /// All measurements collected so far (empty in `--test` mode).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        if !self.test_mode {
+            println!("{} benchmarks measured", self.measurements.len());
+        }
+    }
+
+    fn run<F>(&mut self, group: String, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if group.is_empty() { id.clone() } else { format!("{group}/{id}") };
+        if self.test_mode {
+            let mut bencher = Bencher { mode: Mode::TestOnce };
+            f(&mut bencher);
+            println!("test {label} ... ok");
+            return;
+        }
+
+        // Warm-up pass doubles as the per-iteration cost estimate.
+        let mut bencher = Bencher { mode: Mode::Measure { iters: 1, elapsed: Duration::ZERO } };
+        f(&mut bencher);
+        let est = bencher.elapsed().max(Duration::from_nanos(1));
+
+        let per_sample =
+            (SAMPLE_TARGET.as_nanos() / est.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < MEASURE_BUDGET {
+            let mut bencher =
+                Bencher { mode: Mode::Measure { iters: per_sample, elapsed: Duration::ZERO } };
+            f(&mut bencher);
+            total += bencher.elapsed();
+            iters += per_sample;
+        }
+        let mean_ns = total.as_nanos() as f64 / iters as f64;
+
+        let m = Measurement { group, id, mean_ns, iterations: iters, throughput };
+        match m.per_second() {
+            Some(rate) => println!("{label}: {mean_ns:.0} ns/iter ({rate:.0} units/s)"),
+            None => println!("{label}: {mean_ns:.0} ns/iter"),
+        }
+        self.measurements.push(m);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+    _sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub sizes samples by time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.criterion.run(self.group.clone(), id.id, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark that closes over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.criterion.run(self.group.clone(), id.id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// `--test`: run the routine once, skip timing.
+    TestOnce,
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::Measure { iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*iters {
+                    black_box(routine());
+                }
+                *elapsed += start.elapsed();
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match &mut self.mode {
+            Mode::TestOnce => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { iters, elapsed } => {
+                for _ in 0..*iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    *elapsed += start.elapsed();
+                }
+            }
+        }
+    }
+
+    fn elapsed(&self) -> Duration {
+        match self.mode {
+            Mode::TestOnce => Duration::ZERO,
+            Mode::Measure { elapsed, .. } => elapsed,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion { measurements: Vec::new(), test_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[1].id, "param/7");
+        assert!(c.measurements()[0].per_second().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_recording() {
+        let mut c = Criterion { measurements: Vec::new(), test_mode: true };
+        let mut calls = 0;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        assert!(c.measurements().is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal API-compatible stub of `crossbeam` 0.8 for offline builds.
+//!
+//! Only [`channel`] is provided, implemented over `std::sync::mpsc`.
+//! Unlike the real crossbeam channel this is MPSC, not MPMC — senders
+//! clone freely, receivers do not — which matches how the runtime here
+//! uses it (one consumer per channel).
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Creates a channel with a bounded buffer of `cap` messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+
+    /// Creates a channel with an unbounded buffer.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+
+    /// Sending half; clone to add producers.
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Backed by a rendezvous/bounded queue.
+        Bounded(mpsc::SyncSender<T>),
+        /// Backed by an unbounded queue.
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded buffer is full.
+        /// Errors when all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Bounded(tx) => tx.send(msg),
+                Sender::Unbounded(tx) => tx.send(msg),
+            }
+        }
+    }
+
+    /// Receiving half (single consumer in this stub).
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocks up to `timeout` for the next message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = channel::unbounded::<i32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn bounded_round_trip_and_disconnect() {
+        let (tx, rx) = channel::bounded::<i32>(4);
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv().unwrap(), 9);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = channel::unbounded::<i32>();
+        let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Timeout);
+    }
+}

@@ -1,0 +1,616 @@
+//! Minimal API-compatible stub of `proptest` 1.x for offline builds.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), `prop_assert*`,
+//! `prop_assume!`, [`strategy::Strategy`] with `prop_map`/`boxed`,
+//! `prop_oneof!`, [`Just`](strategy::Just), `any::<T>()`, numeric range
+//! strategies, tuple strategies, [`collection::vec`], `bool::weighted`,
+//! and simple `"[a-e]{0,3}"`-style string patterns.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports its seed and panics with
+//!   the assertion message; inputs are not minimized.
+//! - Deterministic seeding derived from the test name and case index,
+//!   so failures reproduce without persistence files
+//!   (`.proptest-regressions` files are ignored).
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner configuration; only `cases` is honoured by the stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Accepted for compatibility; the stub never shrinks.
+        pub max_shrink_iters: u32,
+        /// Cap on `prop_assume!` rejections before the test errors.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An input rejection.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Per-case deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for attempt `attempt` of the named test: seeded from a
+        /// hash of both so every case is reproducible in isolation.
+        pub fn for_case(test_name: &str, attempt: u64) -> TestRng {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            seed ^= attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng { inner: StdRng::seed_from_u64(seed) }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe core is [`Strategy::generate`]; the adapters require
+    /// `Self: Sized` and so stay off the vtable.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: Box::new(self) }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Box<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics on zero arms.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let pick = rng.gen_range(0..self.arms.len());
+            self.arms[pick].generate(rng)
+        }
+    }
+
+    /// `any::<T>()` strategy over the full value domain of `T`.
+    #[derive(Debug, Clone)]
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any { _marker: PhantomData }
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// String patterns like `"[a-e]{0,3}"`: a sequence of atoms, each a
+    /// literal char or a `[..]` class, optionally repeated `{n}` or
+    /// `{lo,hi}`. This is the subset of regex syntax the stub accepts;
+    /// anything else panics at generation time.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated [ in pattern {pattern:?}"));
+                let body = &chars[i + 1..i + close];
+                i += close + 1;
+                expand_class(body, pattern)
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("bad repeat lower bound"),
+                        hi.trim().parse::<usize>().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let reps = rng.gen_range(lo..=hi);
+            for _ in 0..reps {
+                out.push(class[rng.gen_range(0..class.len())]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if j + 2 < body.len() && body[j + 1] == '-' {
+                let (lo, hi) = (body[j], body[j + 2]);
+                assert!(lo <= hi, "descending range in pattern {pattern:?}");
+                for c in lo..=hi {
+                    out.push(c);
+                }
+                j += 3;
+            } else {
+                out.push(body[j]);
+                j += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty class in pattern {pattern:?}");
+        out
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count range for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// A `Vec` of values drawn from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// `true` with probability `probability`.
+    pub fn weighted(probability: f64) -> Weighted {
+        Weighted { probability }
+    }
+
+    /// Strategy returned by [`weighted`].
+    #[derive(Debug, Clone)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.probability)
+        }
+    }
+}
+
+/// `any::<T>()`: the full value domain of `T`.
+pub fn any<T: rand::Standard>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// The glob import the tests rely on.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fails the current case (returns `Err(TestCaseError::Fail)`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current inputs; the runner draws a fresh case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)*);
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            let mut __attempt: u64 = 0;
+            while __passed < __config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__test_name, __attempt);
+                #[allow(unused_variables, unused_mut)]
+                let ($($arg,)*) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                let __outcome = (move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(__why),
+                    ) => {
+                        __rejected += 1;
+                        assert!(
+                            __rejected <= __config.max_global_rejects,
+                            "{}: too many prop_assume! rejections (last: {})",
+                            __test_name,
+                            __why
+                        );
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__why),
+                    ) => {
+                        panic!(
+                            "{} failed at generated case #{} (after {} passing): {}",
+                            __test_name, __attempt, __passed, __why
+                        );
+                    }
+                }
+                __attempt += 1;
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Ranges, tuples, maps, and assume all cooperate.
+        #[test]
+        fn generated_values_respect_strategies(
+            n in -50i64..50,
+            pair in (0u8..5, any::<u8>()),
+            flag in crate::bool::weighted(0.5),
+            v in crate::collection::vec(0u32..10, 0..6),
+            s in "[a-e]{0,3}",
+        ) {
+            prop_assume!(n != 49);
+            prop_assert!((-50..50).contains(&n));
+            prop_assert!(pair.0 < 5);
+            prop_assert_eq!(flag, flag);
+            prop_assert!(v.len() < 6 && v.iter().all(|x| *x < 10));
+            prop_assert!(s.len() <= 3 && s.chars().all(|c| ('a'..='e').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_just_cover_arms(
+            choice in prop_oneof![Just(0usize), (4usize..32)],
+        ) {
+            prop_assert!(choice == 0 || (4..32).contains(&choice));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0u64..1000, "[a-z]{1,4}").prop_map(|(a, b)| format!("{a}-{b}"));
+        let mut r1 = crate::test_runner::TestRng::for_case("det", 3);
+        let mut r2 = crate::test_runner::TestRng::for_case("det", 3);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

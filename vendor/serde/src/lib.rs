@@ -1,0 +1,20 @@
+//! Marker-trait stub of serde. The derives (re-exported from the
+//! companion `serde_derive` stub) expand to nothing, and the traits are
+//! markers with blanket impls so bounds like `T: Serialize` stay
+//! satisfiable. See `vendor/README.md` for the rationale.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T> DeserializeOwned for T {}

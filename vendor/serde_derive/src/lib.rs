@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derives.
+//!
+//! Nothing in the workspace serializes through serde yet — the derives
+//! exist so type definitions keep their upstream-compatible attribute
+//! surface. Each derive expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
