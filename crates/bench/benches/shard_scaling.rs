@@ -1,0 +1,208 @@
+//! Shard-scaling of the parallel PJoin executor: end-to-end throughput
+//! and per-shard load balance over 1/2/4/8 shards.
+//!
+//! Two metrics land in `BENCH_shard.json`:
+//!
+//! * **Wall-clock throughput** (criterion): elements/sec through the
+//!   full pipeline — router, shard workers, alignment, merge. On a
+//!   multi-core host this shows parallel speedup; on the single-core
+//!   container used for committed figures it mostly shows pipeline
+//!   overhead, so it is reported alongside (not instead of)
+//! * **virtual-time speedup**: the cost-model critical path — the most
+//!   heavily loaded shard's modeled nanoseconds (`max` over shards of
+//!   `CostModel::nanos(work)`), the repo-standard simulation metric
+//!   every paper figure uses. With balanced hash partitioning this
+//!   approaches `total/N`, the speedup an N-core deployment realizes.
+//!   The `cores` field records the host parallelism so readers can tell
+//!   which regime the wall numbers came from.
+
+use std::fmt::Write as _;
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use pjoin::PJoinConfig;
+use punct_exec::{shards_from_env, ExecConfig, ExecStats, ShardedPJoin};
+use punct_types::{StreamElement, Timestamped};
+use stream_sim::{CostModel, Side};
+use streamgen::{generate_pair, PunctScheme, StreamConfig};
+
+const BASE_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const TUPLES_PER_SIDE: usize = 4_000;
+const PUSH_CHUNK: usize = 512;
+
+fn shard_counts() -> Vec<usize> {
+    let mut counts = BASE_SHARD_COUNTS.to_vec();
+    if let Some(s) = shards_from_env() {
+        if !counts.contains(&s) {
+            counts.push(s);
+            counts.sort_unstable();
+        }
+    }
+    counts
+}
+
+/// The benchmark workload: a generated punctuated pair (constant-per-key
+/// punctuations every ~20 tuples), interleaved by timestamp.
+fn workload() -> Vec<(Side, Timestamped<StreamElement>)> {
+    let config = StreamConfig {
+        tuples: TUPLES_PER_SIDE,
+        key_window: 16,
+        punct_scheme: PunctScheme::ConstantPerKey,
+        punct_mean_tuples: 20.0,
+        seed: 7,
+        ..StreamConfig::default()
+    };
+    let (left, right) = generate_pair(&config, 20.0, 20.0);
+    let mut feed = Vec::with_capacity(left.elements.len() + right.elements.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.elements.len() || j < right.elements.len() {
+        let take_left = match (left.elements.get(i), right.elements.get(j)) {
+            (Some(l), Some(r)) => l.ts <= r.ts,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_left {
+            feed.push((Side::Left, left.elements[i].clone()));
+            i += 1;
+        } else {
+            feed.push((Side::Right, right.elements[j].clone()));
+            j += 1;
+        }
+    }
+    feed
+}
+
+/// One full run: spawn, push in chunks (polling outputs to keep the
+/// pipeline flowing and sampling peak aggregate state), finish.
+fn run_once(
+    shards: usize,
+    feed: &[(Side, Timestamped<StreamElement>)],
+) -> (usize, usize, ExecStats) {
+    let exec = ShardedPJoin::spawn(ExecConfig::new(shards, PJoinConfig::new(2, 2)));
+    let mut outputs = 0usize;
+    let mut peak_state = 0usize;
+    for chunk in feed.chunks(PUSH_CHUNK) {
+        exec.push_batch(chunk.to_vec());
+        outputs += exec.poll_outputs().len();
+        peak_state = peak_state.max(exec.metrics().state_tuples);
+    }
+    let (rest, stats) = exec.finish();
+    outputs += rest.len();
+    peak_state = peak_state.max(stats.total_metrics().state_tuples);
+    (outputs, peak_state, stats)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let feed = workload();
+    let mut g = c.benchmark_group("shard_scaling");
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    for shards in shard_counts() {
+        g.bench_with_input(BenchmarkId::new("end_to_end", shards), &shards, |b, &s| {
+            b.iter(|| black_box(run_once(s, &feed)).0)
+        });
+    }
+    g.finish();
+}
+
+fn write_summary(c: &Criterion) {
+    let feed = workload();
+    let cost = CostModel::default();
+    let counts = shard_counts();
+
+    // One instrumented run per shard count for the virtual-time and
+    // state columns.
+    struct Row {
+        shards: usize,
+        outputs: usize,
+        peak_state: usize,
+        critical_ns: u64,
+        total_ns: u64,
+        max_shard_tuples: u64,
+    }
+    let rows: Vec<Row> = counts
+        .iter()
+        .map(|&shards| {
+            let (outputs, peak_state, stats) = run_once(shards, &feed);
+            Row {
+                shards,
+                outputs,
+                peak_state,
+                critical_ns: stats.critical_path_nanos(&cost),
+                total_ns: cost.nanos(&stats.total_work()),
+                max_shard_tuples: stats
+                    .shards
+                    .iter()
+                    .map(|s| s.metrics.consumed)
+                    .max()
+                    .unwrap_or(0),
+            }
+        })
+        .collect();
+    let base_ns = rows
+        .iter()
+        .find(|r| r.shards == 1)
+        .map(|r| r.critical_ns)
+        .unwrap_or(0);
+
+    let mut measurements = String::new();
+    for m in c.measurements() {
+        if !measurements.is_empty() {
+            measurements.push_str(",\n");
+        }
+        let _ = write!(
+            measurements,
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \"elements_per_sec\": {:.1}}}",
+            m.group,
+            m.id,
+            m.mean_ns,
+            m.per_second().unwrap_or(0.0)
+        );
+    }
+
+    let mut scaling = String::new();
+    for r in &rows {
+        if !scaling.is_empty() {
+            scaling.push_str(",\n");
+        }
+        let wall = c
+            .measurements()
+            .iter()
+            .find(|m| m.id == format!("end_to_end/{}", r.shards))
+            .and_then(|m| m.per_second())
+            .unwrap_or(0.0);
+        let _ = write!(
+            scaling,
+            "    {{\"shards\": {}, \"wall_elements_per_sec\": {:.1}, \"virtual_critical_path_ns\": {}, \"virtual_total_ns\": {}, \"virtual_speedup_vs_1shard\": {:.2}, \"virtual_throughput_elements_per_sec\": {:.1}, \"peak_aggregate_state_tuples\": {}, \"max_shard_consumed\": {}, \"outputs\": {}}}",
+            r.shards,
+            wall,
+            r.critical_ns,
+            r.total_ns,
+            base_ns as f64 / r.critical_ns.max(1) as f64,
+            feed.len() as f64 * 1e9 / r.critical_ns.max(1) as f64,
+            r.peak_state,
+            r.max_shard_tuples,
+            r.outputs,
+        );
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"cores\": {cores},\n  \"elements\": {},\n  \"note\": \"virtual-time speedup is the cost-model critical path (max per-shard modeled work), the repo-standard simulation metric; wall throughput on a {cores}-core host cannot show parallel speedup when cores=1\",\n  \"measurements\": [\n{measurements}\n  ],\n  \"scaling\": [\n{scaling}\n  ]\n}}\n",
+        feed.len()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_shard_scaling(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free; only a real bench run
+    // refreshes the summary file.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

@@ -1,6 +1,20 @@
 //! The monitor: watches runtime parameters and raises events when
 //! thresholds are reached (paper §3.6). Thresholds are mutable at
 //! runtime.
+//!
+//! # Per-shard isolation
+//!
+//! A sharded executor (`punct-exec`) runs one [`Monitor`] (and one
+//! [`Registry`](crate::framework::Registry)) per shard, each on its own
+//! worker thread. The framework therefore must not hold shared mutable
+//! state: monitors are plain owned values (no statics, no interior
+//! `Arc`/`Mutex` aliasing), `Clone` produces a fully independent copy,
+//! and [`EventKind::ALL`](crate::framework::EventKind::ALL) is an
+//! immutable `const`. Edge-triggered counters (punctuations since last
+//! purge/propagation, matched-pair flags) are per-instance, so each
+//! shard's thresholds fire on *its* punctuation sequence — the
+//! broadcast layer above is responsible for feeding every shard the
+//! punctuations it must observe.
 
 use punct_types::Timestamp;
 
@@ -261,6 +275,48 @@ mod tests {
         m.punctuation_arrived(true);
         assert_eq!(m.poll(&snap(0), true), vec![Event::new(EventKind::PropagateRequest)]);
         assert!(m.poll(&snap(0), true).is_empty());
+    }
+
+    #[test]
+    fn cloned_monitors_are_fully_independent() {
+        // Per-shard monitors start as clones of a template; mutating one
+        // (thresholds or edge-triggered counters) must not alias into
+        // another — the invariant sharded execution relies on.
+        let mut template = Monitor::from_config(&config(
+            PurgeStrategy::Lazy { threshold: 3 },
+            PropagationTrigger::PushCount { count: 2 },
+        ));
+        let mut shard0 = template.clone();
+        let mut shard1 = template.clone();
+
+        shard0.purge_threshold = Some(1);
+        shard0.punctuation_arrived(false);
+        assert!(!shard0.poll(&snap(0), false).is_empty());
+
+        // shard1 and the template saw nothing.
+        assert_eq!(shard1.puncts_since_purge(), 0);
+        assert!(shard1.poll(&snap(0), false).is_empty());
+        assert_eq!(template.puncts_since_purge(), 0);
+        assert!(template.poll(&snap(0), false).is_empty());
+        assert_eq!(template.purge_threshold, Some(3));
+    }
+
+    #[test]
+    fn event_kind_all_is_shareable_across_threads() {
+        // EventKind::ALL is a const lookup table, not mutable state:
+        // concurrent enumeration from many shard threads is sound.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    crate::framework::EventKind::ALL
+                        .iter()
+                        .map(|k| k.to_string().len())
+                        .sum::<usize>()
+                })
+            })
+            .collect();
+        let sums: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

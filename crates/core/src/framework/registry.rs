@@ -222,6 +222,22 @@ mod tests {
     }
 
     #[test]
+    fn cloned_registries_are_fully_independent() {
+        // Per-shard registries are clones of one template; runtime
+        // reconfiguration of a shard must not leak into its siblings.
+        let template = Registry::table1(10, 5);
+        let mut shard0 = template.clone();
+        shard0.unregister(EventKind::PurgeThresholdReach);
+        shard0.register(EventKind::StateFull, "shard-local", vec![Component::StatePurge]);
+        assert!(shard0.listeners(EventKind::PurgeThresholdReach).is_empty());
+        assert_eq!(
+            template.listeners(EventKind::PurgeThresholdReach),
+            vec![Component::StatePurge]
+        );
+        assert_eq!(template.listeners(EventKind::StateFull), vec![Component::StateRelocation]);
+    }
+
+    #[test]
     fn display_renders_table() {
         let r = Registry::table1(10, 5);
         let s = r.to_string();

@@ -40,6 +40,36 @@ pub struct PJoinStats {
     pub relocations: u64,
 }
 
+impl std::ops::Add for PJoinStats {
+    type Output = PJoinStats;
+    fn add(self, rhs: PJoinStats) -> PJoinStats {
+        PJoinStats {
+            purge_runs: self.purge_runs + rhs.purge_runs,
+            tuples_purged: self.tuples_purged + rhs.tuples_purged,
+            tuples_buffered: self.tuples_buffered + rhs.tuples_buffered,
+            dropped_on_fly: self.dropped_on_fly + rhs.dropped_on_fly,
+            tuples_expired: self.tuples_expired + rhs.tuples_expired,
+            index_builds: self.index_builds + rhs.index_builds,
+            propagation_runs: self.propagation_runs + rhs.propagation_runs,
+            puncts_propagated: self.puncts_propagated + rhs.puncts_propagated,
+            disk_join_runs: self.disk_join_runs + rhs.disk_join_runs,
+            relocations: self.relocations + rhs.relocations,
+        }
+    }
+}
+
+impl std::ops::AddAssign for PJoinStats {
+    fn add_assign(&mut self, rhs: PJoinStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for PJoinStats {
+    fn sum<I: Iterator<Item = PJoinStats>>(iter: I) -> PJoinStats {
+        iter.fold(PJoinStats::default(), |acc, s| acc + s)
+    }
+}
+
 /// End-of-stream processing phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EndPhase {

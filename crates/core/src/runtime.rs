@@ -12,7 +12,7 @@
 
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use punct_types::{StreamElement, Timestamp, Timestamped};
 use std::sync::Arc;
@@ -20,6 +20,14 @@ use stream_sim::{BinaryStreamOp, OpOutput, Side};
 
 use crate::config::PJoinConfig;
 use crate::operator::{PJoin, PJoinStats};
+
+/// Default bound of the input command channel.
+pub const DEFAULT_INPUT_CAPACITY: usize = 1024;
+
+/// Default bound of the output channel. Large enough that moderate
+/// workloads never block the worker, small enough that a result set
+/// cannot accumulate without bound when the consumer stalls.
+pub const DEFAULT_OUTPUT_CAPACITY: usize = 65_536;
 
 /// Commands accepted by the worker.
 enum Input {
@@ -40,6 +48,29 @@ pub struct RuntimeMetrics {
     pub emitted: u64,
 }
 
+impl std::ops::Add for RuntimeMetrics {
+    type Output = RuntimeMetrics;
+    fn add(self, rhs: RuntimeMetrics) -> RuntimeMetrics {
+        RuntimeMetrics {
+            consumed: self.consumed + rhs.consumed,
+            state_tuples: self.state_tuples + rhs.state_tuples,
+            emitted: self.emitted + rhs.emitted,
+        }
+    }
+}
+
+impl std::ops::AddAssign for RuntimeMetrics {
+    fn add_assign(&mut self, rhs: RuntimeMetrics) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for RuntimeMetrics {
+    fn sum<I: Iterator<Item = RuntimeMetrics>>(iter: I) -> RuntimeMetrics {
+        iter.fold(RuntimeMetrics::default(), |acc, m| acc + m)
+    }
+}
+
 /// Handle to a running threaded PJoin.
 pub struct PJoinRuntime {
     input_tx: Sender<Input>,
@@ -49,13 +80,32 @@ pub struct PJoinRuntime {
 }
 
 impl PJoinRuntime {
-    /// Spawns the worker thread.
+    /// Spawns the worker thread with the default channel capacities.
     pub fn spawn(config: PJoinConfig) -> PJoinRuntime {
-        let (input_tx, input_rx) = bounded::<Input>(1024);
-        // The output channel is unbounded: the feeding thread may push
-        // the entire input before draining any output (see `finish`), and
-        // a bounded output would deadlock it against the bounded input.
-        let (output_tx, output_rx) = unbounded::<Timestamped<StreamElement>>();
+        PJoinRuntime::spawn_with_capacities(
+            config,
+            DEFAULT_INPUT_CAPACITY,
+            DEFAULT_OUTPUT_CAPACITY,
+        )
+    }
+
+    /// Spawns the worker thread with explicit input/output channel bounds.
+    ///
+    /// Both channels are bounded: a consumer that stops polling
+    /// eventually blocks the worker, and through the full input channel
+    /// blocks the producer — backpressure instead of unbounded result
+    /// buffering. A producer that also owns the consuming end (the
+    /// single-threaded push-everything pattern) must either interleave
+    /// [`poll_outputs`](Self::poll_outputs) or size `output_capacity`
+    /// for the result volume of the feed phase; [`finish`](Self::finish)
+    /// drains while signalling and so never deadlocks.
+    pub fn spawn_with_capacities(
+        config: PJoinConfig,
+        input_capacity: usize,
+        output_capacity: usize,
+    ) -> PJoinRuntime {
+        let (input_tx, input_rx) = bounded::<Input>(input_capacity.max(1));
+        let (output_tx, output_rx) = bounded::<Timestamped<StreamElement>>(output_capacity.max(1));
         let metrics = Arc::new(Mutex::new(RuntimeMetrics::default()));
         let metrics_worker = Arc::clone(&metrics);
         let handle = std::thread::spawn(move || {
@@ -64,7 +114,8 @@ impl PJoinRuntime {
         PJoinRuntime { input_tx, output_rx, metrics, handle }
     }
 
-    /// Feeds one element.
+    /// Feeds one element, blocking while the input buffer is full
+    /// (backpressure from a stalled worker or consumer).
     pub fn push(&self, side: Side, element: Timestamped<StreamElement>) {
         self.input_tx
             .send(Input::Element(side, element))
@@ -92,10 +143,32 @@ impl PJoinRuntime {
 
     /// Signals end-of-streams, drains all remaining outputs and returns
     /// them together with the final operator statistics.
+    ///
+    /// Drain-while-feeding: the worker may be blocked on a full output
+    /// buffer (bounded channel), so outputs are consumed while the
+    /// `Finish` command waits for space in the input channel — the two
+    /// bounded channels cannot deadlock against each other.
     pub fn finish(self) -> (Vec<Timestamped<StreamElement>>, PJoinStats) {
-        let _ = self.input_tx.send(Input::Finish);
-        drop(self.input_tx);
         let mut outputs = Vec::new();
+        let mut signal = Some(Input::Finish);
+        while let Some(msg) = signal.take() {
+            match self.input_tx.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(msg)) => {
+                    signal = Some(msg);
+                    // Make room: consume the output the worker is
+                    // blocked flushing (timeout covers the race where
+                    // it is still mid-element).
+                    if let Ok(e) =
+                        self.output_rx.recv_timeout(std::time::Duration::from_millis(1))
+                    {
+                        outputs.push(e);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        drop(self.input_tx);
         // Drain until the worker closes the channel.
         while let Ok(e) = self.output_rx.recv() {
             outputs.push(e);
@@ -214,6 +287,29 @@ mod tests {
         let puncts = outputs.iter().filter(|e| e.item.is_punctuation()).count();
         assert!(puncts >= 2, "both punctuations propagate, got {puncts}");
         assert!(stats.puncts_propagated >= 2);
+    }
+
+    #[test]
+    fn tiny_output_buffer_blocks_worker_but_finish_drains() {
+        // Four stored left tuples make one right arrival emit four
+        // results at once — more than the output buffer holds, so the
+        // worker blocks mid-flush. finish() must still drain everything.
+        let rt = PJoinRuntime::spawn_with_capacities(PJoinConfig::new(2, 2), 8, 2);
+        for i in 0..4u64 {
+            rt.push(Side::Left, tup(i, 7, i as i64));
+        }
+        rt.push(Side::Right, tup(5, 7, 99));
+        let (outputs, _stats) = rt.finish();
+        let tuples = outputs.iter().filter(|e| e.item.is_tuple()).count();
+        assert_eq!(tuples, 4);
+    }
+
+    #[test]
+    fn metrics_aggregate_by_sum() {
+        let a = RuntimeMetrics { consumed: 1, state_tuples: 2, emitted: 3 };
+        let b = RuntimeMetrics { consumed: 10, state_tuples: 20, emitted: 30 };
+        let total: RuntimeMetrics = [a, b].into_iter().sum();
+        assert_eq!(total, RuntimeMetrics { consumed: 11, state_tuples: 22, emitted: 33 });
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Punctuation alignment across shards.
+//!
+//! Every punctuation ingested by the executor is forwarded to one or
+//! more shards (see [`crate::router`]). Each shard that eventually
+//! drains all matches for the punctuation propagates it on its own
+//! output — so a broadcast punctuation would surface `N` times
+//! downstream. The aligner restores the single-stream contract:
+//!
+//! * At ingest, the router **registers an expectation** — the
+//!   output-schema translation of the punctuation plus the set of shards
+//!   it was sent to — *before* the punctuation enters any shard channel.
+//! * The merger **observes** each shard-propagated punctuation and
+//!   resolves it against the oldest matching expectation. Only when
+//!   every target shard has propagated the punctuation is it emitted
+//!   downstream — exactly once, and only once all shards have purged
+//!   state behind it.
+//!
+//! Registration happens-before observation because both run under the
+//! same mutex and the router registers before sending, so the merger can
+//! never see a propagation for an unregistered punctuation (such an
+//! observation is counted as `unexpected` — an invariant violation).
+//!
+//! Identical punctuations may be in flight concurrently (a stream is a
+//! multiset of elements); expectations therefore form FIFO queues per
+//! translated punctuation, and observations resolve against the oldest
+//! incomplete entry — preserving multiplicity.
+
+use std::collections::{HashMap, VecDeque};
+
+use punct_types::{PunctSeq, Punctuation};
+
+/// Outcome of observing one shard-propagated punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOutcome {
+    /// All target shards have now propagated: emit downstream.
+    Emit,
+    /// Some target shards are still pending: suppress.
+    Pending,
+    /// No registered expectation matches (invariant violation upstream,
+    /// e.g. a shard propagated a punctuation it was never sent).
+    Unexpected,
+}
+
+#[derive(Debug)]
+struct Expectation {
+    /// Ingest sequence number, for diagnostics.
+    seq: PunctSeq,
+    /// Bitmask of target shards still to propagate.
+    waiting: u64,
+}
+
+/// Tracks in-flight punctuation expectations (one aligner per executor,
+/// shared by the router and the merger).
+#[derive(Debug, Default)]
+pub struct Aligner {
+    pending: HashMap<Punctuation, VecDeque<Expectation>>,
+    registered: u64,
+    emitted: u64,
+    unexpected: u64,
+}
+
+impl Aligner {
+    /// An empty aligner.
+    pub fn new() -> Aligner {
+        Aligner::default()
+    }
+
+    /// Registers an expectation for `translated` (the punctuation as the
+    /// shards will emit it, i.e. translated to the output schema), sent
+    /// to the shards in `targets` (a bitmask). Call *before* routing the
+    /// punctuation to any shard.
+    pub fn expect(&mut self, translated: Punctuation, seq: PunctSeq, targets: u64) {
+        debug_assert!(targets != 0, "a punctuation must target at least one shard");
+        self.registered += 1;
+        self.pending
+            .entry(translated)
+            .or_default()
+            .push_back(Expectation { seq, waiting: targets });
+    }
+
+    /// Records that `shard` propagated `punct` (already in the output
+    /// schema). Returns whether the punctuation should now be emitted
+    /// downstream.
+    pub fn observe(&mut self, shard: usize, punct: &Punctuation) -> AlignOutcome {
+        let bit = 1u64 << shard;
+        let Some(queue) = self.pending.get_mut(punct) else {
+            self.unexpected += 1;
+            return AlignOutcome::Unexpected;
+        };
+        // Oldest entry still waiting on this shard (an entry the shard
+        // already answered belongs to an *earlier* instance, so skip it).
+        let Some(pos) = queue.iter().position(|e| e.waiting & bit != 0) else {
+            self.unexpected += 1;
+            return AlignOutcome::Unexpected;
+        };
+        queue[pos].waiting &= !bit;
+        if queue[pos].waiting == 0 {
+            queue.remove(pos);
+            if queue.is_empty() {
+                self.pending.remove(punct);
+            }
+            self.emitted += 1;
+            AlignOutcome::Emit
+        } else {
+            AlignOutcome::Pending
+        }
+    }
+
+    /// Number of expectations not yet fully answered.
+    pub fn pending_len(&self) -> usize {
+        self.pending.values().map(VecDeque::len).sum()
+    }
+
+    /// Summary counters `(registered, emitted, unexpected)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.registered, self.emitted, self.unexpected)
+    }
+
+    /// Ingest sequence numbers of incomplete expectations (diagnostics
+    /// for shutdown reports), in no particular order.
+    pub fn pending_seqs(&self) -> Vec<PunctSeq> {
+        self.pending.values().flat_map(|q| q.iter().map(|e| e.seq)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: i64) -> Punctuation {
+        Punctuation::close_value(4, 0, v)
+    }
+
+    fn mask(shards: &[usize]) -> u64 {
+        shards.iter().fold(0, |m, s| m | (1 << s))
+    }
+
+    #[test]
+    fn broadcast_emits_after_all_shards() {
+        let mut a = Aligner::new();
+        a.expect(p(7), PunctSeq(0), mask(&[0, 1, 2]));
+        assert_eq!(a.observe(1, &p(7)), AlignOutcome::Pending);
+        assert_eq!(a.observe(0, &p(7)), AlignOutcome::Pending);
+        assert_eq!(a.observe(2, &p(7)), AlignOutcome::Emit);
+        assert_eq!(a.pending_len(), 0);
+        assert_eq!(a.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn single_target_emits_immediately() {
+        let mut a = Aligner::new();
+        a.expect(p(7), PunctSeq(0), mask(&[3]));
+        assert_eq!(a.observe(3, &p(7)), AlignOutcome::Emit);
+    }
+
+    #[test]
+    fn duplicate_instances_keep_multiplicity_in_fifo_order() {
+        let mut a = Aligner::new();
+        a.expect(p(7), PunctSeq(0), mask(&[0, 1]));
+        a.expect(p(7), PunctSeq(1), mask(&[0, 1]));
+        // Shard 0 answers both instances before shard 1 answers any.
+        assert_eq!(a.observe(0, &p(7)), AlignOutcome::Pending);
+        assert_eq!(a.observe(0, &p(7)), AlignOutcome::Pending);
+        assert_eq!(a.observe(1, &p(7)), AlignOutcome::Emit);
+        assert_eq!(a.observe(1, &p(7)), AlignOutcome::Emit);
+        assert_eq!(a.pending_len(), 0);
+    }
+
+    #[test]
+    fn unexpected_observation_is_flagged() {
+        let mut a = Aligner::new();
+        assert_eq!(a.observe(0, &p(9)), AlignOutcome::Unexpected);
+        a.expect(p(7), PunctSeq(0), mask(&[1]));
+        // Wrong shard for the only registered instance.
+        assert_eq!(a.observe(0, &p(7)), AlignOutcome::Unexpected);
+        assert_eq!(a.counters(), (1, 0, 2));
+        assert_eq!(a.pending_seqs(), vec![PunctSeq(0)]);
+    }
+
+    #[test]
+    fn distinct_punctuations_do_not_interfere() {
+        let mut a = Aligner::new();
+        a.expect(p(1), PunctSeq(0), mask(&[0]));
+        a.expect(p(2), PunctSeq(1), mask(&[0]));
+        assert_eq!(a.observe(0, &p(2)), AlignOutcome::Emit);
+        assert_eq!(a.pending_len(), 1);
+        assert_eq!(a.observe(0, &p(1)), AlignOutcome::Emit);
+    }
+}

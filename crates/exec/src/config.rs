@@ -1,0 +1,120 @@
+//! Configuration of the sharded executor.
+
+use pjoin::PJoinConfig;
+
+/// Upper bound on the shard count: the punctuation aligner tracks the
+/// shards that have propagated a punctuation in a `u64` bitmask.
+pub const MAX_SHARDS: usize = 64;
+
+/// Default capacity (in messages) of the caller → router channel.
+pub const DEFAULT_INPUT_CAPACITY: usize = 1024;
+
+/// Default capacity (in batches) of each router → shard channel.
+pub const DEFAULT_SHARD_CAPACITY: usize = 256;
+
+/// Default capacity (in events) of the shared shard → merger channel.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// Default capacity (in batches) of the merger → caller channel.
+pub const DEFAULT_OUTPUT_CAPACITY: usize = 4096;
+
+/// Default number of elements the router accumulates per shard before
+/// flushing a batch downstream (batches also flush whenever the router
+/// input runs dry, so idle latency stays at one scheduling quantum).
+pub const DEFAULT_ROUTER_BATCH: usize = 128;
+
+/// Configuration of a [`ShardedPJoin`](crate::ShardedPJoin).
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Number of shards (parallel PJoin instances), `1..=MAX_SHARDS`.
+    pub shards: usize,
+    /// The join configuration instantiated *per shard*. Note that
+    /// per-shard thresholds (purge threshold, `memory_max_tuples`) apply
+    /// to each shard independently, so aggregate limits scale with the
+    /// shard count.
+    pub join: PJoinConfig,
+    /// Merge shard outputs in timestamp order (watermark-based k-way
+    /// merge) instead of arrival order. Requires the caller to push
+    /// elements in non-decreasing timestamp order.
+    pub ordered_merge: bool,
+    /// Caller → router channel capacity, in messages.
+    pub input_capacity: usize,
+    /// Router → shard channel capacity, in batches (per shard).
+    pub shard_capacity: usize,
+    /// Shards → merger channel capacity, in events.
+    pub event_capacity: usize,
+    /// Merger → caller channel capacity, in output batches.
+    pub output_capacity: usize,
+    /// Elements accumulated per shard before the router flushes a batch.
+    pub router_batch: usize,
+}
+
+impl ExecConfig {
+    /// A configuration with default channel sizing.
+    ///
+    /// # Panics
+    /// If `shards` is zero or exceeds [`MAX_SHARDS`].
+    pub fn new(shards: usize, join: PJoinConfig) -> ExecConfig {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "shard count must be in 1..={MAX_SHARDS}, got {shards}"
+        );
+        ExecConfig {
+            shards,
+            join,
+            ordered_merge: false,
+            input_capacity: DEFAULT_INPUT_CAPACITY,
+            shard_capacity: DEFAULT_SHARD_CAPACITY,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
+            output_capacity: DEFAULT_OUTPUT_CAPACITY,
+            router_batch: DEFAULT_ROUTER_BATCH,
+        }
+    }
+
+    /// Enables timestamp-ordered merging of shard outputs.
+    pub fn ordered(mut self) -> ExecConfig {
+        self.ordered_merge = true;
+        self
+    }
+}
+
+/// Reads the shard count from the `PJOIN_SHARDS` environment variable,
+/// if set to a valid value in `1..=MAX_SHARDS`. Used by tests, benches
+/// and the CI shard matrix to parameterize runs without recompiling.
+pub fn shards_from_env() -> Option<usize> {
+    std::env::var("PJOIN_SHARDS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|s| (1..=MAX_SHARDS).contains(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bounded() {
+        let c = ExecConfig::new(4, PJoinConfig::new(2, 2));
+        assert_eq!(c.shards, 4);
+        assert!(!c.ordered_merge);
+        assert!(c.input_capacity > 0);
+        assert!(c.shard_capacity > 0);
+        assert!(c.event_capacity > 0);
+        assert!(c.output_capacity > 0);
+        assert!(c.ordered().ordered_merge);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        ExecConfig::new(0, PJoinConfig::new(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn too_many_shards_rejected() {
+        ExecConfig::new(MAX_SHARDS + 1, PJoinConfig::new(2, 2));
+    }
+}

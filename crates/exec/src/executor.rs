@@ -1,0 +1,294 @@
+//! The sharded executor: public handle over the router, shard workers
+//! and merger threads.
+//!
+//! # Topology
+//!
+//! ```text
+//! caller ──bounded──▶ router ──bounded×N──▶ shard₀..N₋₁ ──shared bounded──▶ merger ──bounded──▶ caller
+//!                       │                                                     ▲
+//!                       └────────── aligner (shared, mutex) ──────────────────┘
+//! ```
+//!
+//! Every channel is bounded, so state cannot grow without limit inside
+//! the pipeline — backpressure propagates from the caller's consumption
+//! rate all the way to [`ShardedPJoin::push`]. The *one* unbounded
+//! buffer is the caller-side `pending` vector that `push` drains merged
+//! outputs into when the input channel is full: a single-threaded caller
+//! that pushes an entire stream before polling must park results
+//! somewhere, and parking them caller-side (where the caller can drain
+//! them at will via [`poll_outputs`]) is the only deadlock-free option.
+//! Callers that poll concurrently keep it empty.
+//!
+//! [`poll_outputs`]: ShardedPJoin::poll_outputs
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use pjoin::runtime::RuntimeMetrics;
+use pjoin::PJoinStats;
+use punct_types::{StreamElement, Timestamped};
+use stream_sim::{Side, Work};
+
+use crate::align::Aligner;
+use crate::config::ExecConfig;
+use crate::merge::{merge_loop, MergeReport};
+use crate::router::{router_loop, RouterCounters, RouterMsg, RouterReport};
+use crate::shard::{shard_loop, ShardReport};
+
+/// Final accounting for a sharded run.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Per-shard reports, indexed by shard.
+    pub shards: Vec<ShardReport>,
+    /// Router counters.
+    pub router: RouterReport,
+    /// Merger counters (including alignment diagnostics).
+    pub merge: MergeReport,
+}
+
+impl ExecStats {
+    /// Join statistics aggregated over all shards.
+    pub fn total_stats(&self) -> PJoinStats {
+        self.shards.iter().map(|s| s.stats).sum()
+    }
+
+    /// Runtime metrics aggregated over all shards.
+    pub fn total_metrics(&self) -> RuntimeMetrics {
+        self.shards.iter().map(|s| s.metrics).sum()
+    }
+
+    /// Total modeled work over all shards.
+    pub fn total_work(&self) -> Work {
+        self.shards.iter().fold(Work::ZERO, |acc, s| acc + s.work)
+    }
+
+    /// The virtual-time critical path under `cost`: the most heavily
+    /// loaded shard's modeled nanoseconds. With perfect balance this
+    /// approaches `total / shards` — the quantity the shard-scaling
+    /// bench reports.
+    pub fn critical_path_nanos(&self, cost: &stream_sim::CostModel) -> u64 {
+        self.shards.iter().map(|s| cost.nanos(&s.work)).max().unwrap_or(0)
+    }
+}
+
+/// An N-shard parallel PJoin.
+///
+/// Tuples are hash-partitioned by join key onto `N` independent
+/// [`PJoin`](pjoin::PJoin) instances, each on its own thread;
+/// punctuations fan out to the shards they affect and are re-aligned on
+/// the way out so the merged stream carries each exactly once. See the
+/// crate docs for the full architecture.
+pub struct ShardedPJoin {
+    input: Sender<RouterMsg>,
+    output: Receiver<Vec<Timestamped<StreamElement>>>,
+    /// Outputs drained by `push` while the input channel was full.
+    pending: Mutex<Vec<Timestamped<StreamElement>>>,
+    shard_metrics: Vec<Arc<Mutex<RuntimeMetrics>>>,
+    router_counters: Arc<RouterCounters>,
+    router: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<ShardReport>>,
+    merger: Option<JoinHandle<MergeReport>>,
+    shards: usize,
+}
+
+impl ShardedPJoin {
+    /// Spawns the router, `config.shards` shard workers and the merger.
+    pub fn spawn(config: ExecConfig) -> ShardedPJoin {
+        let shards = config.shards;
+        let aligner = Arc::new(Mutex::new(Aligner::new()));
+        let router_counters = Arc::new(RouterCounters::default());
+
+        let (input_tx, input_rx) = bounded::<RouterMsg>(config.input_capacity);
+        let (event_tx, event_rx) = bounded(config.event_capacity);
+        let (output_tx, output_rx) = bounded(config.output_capacity);
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        let mut shard_metrics = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = bounded(config.shard_capacity);
+            shard_txs.push(tx);
+            let metrics = Arc::new(Mutex::new(RuntimeMetrics::default()));
+            shard_metrics.push(Arc::clone(&metrics));
+            let join_config = config.join.clone();
+            let events = event_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pjoin-shard-{shard}"))
+                    .spawn(move || shard_loop(shard, join_config, rx, events, metrics))
+                    .expect("spawn shard thread"),
+            );
+        }
+        drop(event_tx); // merger exits when router + shards are gone
+
+        let router = {
+            let join_config = config.join.clone();
+            let aligner = Arc::clone(&aligner);
+            let counters = Arc::clone(&router_counters);
+            let batch = config.router_batch.max(1);
+            let ordered = config.ordered_merge;
+            std::thread::Builder::new()
+                .name("pjoin-router".into())
+                .spawn(move || {
+                    router_loop(
+                        join_config,
+                        shards,
+                        batch,
+                        ordered,
+                        input_rx,
+                        shard_txs,
+                        aligner,
+                        counters,
+                    )
+                })
+                .expect("spawn router thread")
+        };
+
+        let merger = {
+            let aligner = Arc::clone(&aligner);
+            let ordered = config.ordered_merge;
+            std::thread::Builder::new()
+                .name("pjoin-merge".into())
+                .spawn(move || merge_loop(shards, ordered, event_rx, output_tx, aligner))
+                .expect("spawn merger thread")
+        };
+
+        ShardedPJoin {
+            input: input_tx,
+            output: output_rx,
+            pending: Mutex::new(Vec::new()),
+            shard_metrics,
+            router_counters,
+            router: Some(router),
+            workers,
+            merger: Some(merger),
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Feeds one element. Never deadlocks: if the input channel is full,
+    /// merged outputs are drained into the pending buffer (see crate
+    /// docs) until space frees up.
+    pub fn push(&self, side: Side, element: Timestamped<StreamElement>) {
+        self.feed(RouterMsg::One(side, element));
+    }
+
+    /// Feeds a batch of elements in arrival order.
+    pub fn push_batch(&self, batch: Vec<(Side, Timestamped<StreamElement>)>) {
+        if !batch.is_empty() {
+            self.feed(RouterMsg::Batch(batch));
+        }
+    }
+
+    fn feed(&self, msg: RouterMsg) {
+        let mut msg = Some(msg);
+        while let Some(m) = msg.take() {
+            match self.input.try_send(m) {
+                Ok(()) => {}
+                Err(TrySendError::Full(m)) => {
+                    msg = Some(m);
+                    // Make room by consuming pipeline output: block
+                    // briefly for one merged batch.
+                    if let Ok(batch) =
+                        self.output.recv_timeout(std::time::Duration::from_millis(1))
+                    {
+                        self.pending.lock().expect("pending lock").extend(batch);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("router thread exited while executor handle is live")
+                }
+            }
+        }
+    }
+
+    /// Drains everything the executor has produced so far, in merge
+    /// order (non-blocking).
+    pub fn poll_outputs(&self) -> Vec<Timestamped<StreamElement>> {
+        let mut drained = std::mem::take(&mut *self.pending.lock().expect("pending lock"));
+        while let Ok(batch) = self.output.try_recv() {
+            drained.extend(batch);
+        }
+        drained
+    }
+
+    /// A live snapshot of each shard's runtime metrics, indexed by shard.
+    pub fn shard_metrics(&self) -> Vec<RuntimeMetrics> {
+        self.shard_metrics
+            .iter()
+            .map(|m| *m.lock().expect("metrics lock"))
+            .collect()
+    }
+
+    /// Live metrics aggregated over all shards.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        self.shard_metrics().into_iter().sum()
+    }
+
+    /// Tuples routed so far (live router counter).
+    pub fn tuples_routed(&self) -> u64 {
+        self.router_counters.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Signals end of input, drains every channel and joins all threads.
+    /// Returns the remaining outputs (after those already polled) and
+    /// the final accounting. Deadlock-free: the finish signal is fed
+    /// with the same drain-while-feeding loop as `push`, and the output
+    /// channel is drained until the merger hangs up.
+    pub fn finish(mut self) -> (Vec<Timestamped<StreamElement>>, ExecStats) {
+        self.feed(RouterMsg::Finish);
+        // Dropping the sender lets the router exit even if the finish
+        // message were lost; it is also what terminates `recv` below
+        // once the merger finishes and drops its output sender.
+        drop(std::mem::replace(&mut self.input, {
+            // Replace with a dummy closed sender so Drop stays trivial.
+            let (tx, _rx) = bounded(1);
+            tx
+        }));
+
+        let mut outputs = std::mem::take(&mut *self.pending.lock().expect("pending lock"));
+        while let Ok(batch) = self.output.recv() {
+            outputs.extend(batch);
+        }
+
+        let router = self.router.take().expect("router handle");
+        router.join().expect("router thread panicked");
+        let mut shard_reports: Vec<ShardReport> = std::mem::take(&mut self.workers)
+            .into_iter()
+            .map(|w| w.join().expect("shard thread panicked"))
+            .collect();
+        shard_reports.sort_by_key(|r| r.shard);
+        let merger = self.merger.take().expect("merger handle");
+        let merge = merger.join().expect("merger thread panicked");
+
+        let stats = ExecStats {
+            shards: shard_reports,
+            router: self.router_counters.report(),
+            merge,
+        };
+        (outputs, stats)
+    }
+}
+
+impl Drop for ShardedPJoin {
+    fn drop(&mut self) {
+        // Finish was not called (or panicked): unblock the pipeline so
+        // the threads can exit, then detach them. Closing the input side
+        // cascades: router exits → shard channels close → shards exit →
+        // event channel closes → merger exits.
+        if self.router.is_some() {
+            let (closed_tx, _rx) = bounded(1);
+            let _ = std::mem::replace(&mut self.input, closed_tx);
+            // Drain any outputs so the merger is never wedged on a full
+            // output channel while we detach.
+            while let Ok(_batch) = self.output.try_recv() {}
+        }
+    }
+}

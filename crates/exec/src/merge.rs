@@ -1,0 +1,195 @@
+//! The merger: combines shard output streams into one downstream
+//! stream, filtering shard-propagated punctuations through the
+//! [`Aligner`](crate::align::Aligner) so each ingested punctuation is
+//! emitted exactly once — after *every* target shard has purged and
+//! propagated it.
+//!
+//! Two merge policies:
+//!
+//! * **Arrival order** (default): batches are forwarded as they arrive
+//!   from shards. Per-shard order is preserved (each shard's events are
+//!   FIFO); cross-shard interleaving is nondeterministic, which is fine
+//!   for downstream operators that treat the stream as a multiset.
+//! * **Timestamp order** (`ordered_merge`): a watermark-based k-way
+//!   merge. Each shard reports `Progress(ts)` after every batch; the
+//!   frontier is the minimum progress over unfinished shards, and
+//!   buffered elements are released only up to the frontier (ties broken
+//!   by shard id). Requires timestamp-ordered input at the executor.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crossbeam::channel::{Receiver, Sender};
+use punct_types::{StreamElement, Timestamp, Timestamped};
+
+use crate::align::{AlignOutcome, Aligner};
+use crate::shard::ShardEvent;
+
+/// Final accounting returned by the merger thread on join.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergeReport {
+    /// Result tuples forwarded downstream.
+    pub tuples: u64,
+    /// Punctuations emitted downstream (exactly-once, post-alignment).
+    pub puncts: u64,
+    /// Shard propagations suppressed while awaiting sibling shards.
+    pub puncts_held: u64,
+    /// Propagations with no registered expectation (invariant breach).
+    pub puncts_unexpected: u64,
+    /// Expectations never completed by shutdown (e.g. propagation
+    /// disabled on the shard configuration).
+    pub puncts_unaligned: u64,
+}
+
+struct Merger {
+    ordered: bool,
+    done: Vec<bool>,
+    progress: Vec<Timestamp>,
+    queues: Vec<VecDeque<Timestamped<StreamElement>>>,
+    aligner: Arc<Mutex<Aligner>>,
+    out: Sender<Vec<Timestamped<StreamElement>>>,
+    report: MergeReport,
+    caller_gone: bool,
+}
+
+impl Merger {
+    /// Passes a shard's output batch through the aligner, keeping tuples
+    /// and exactly-once punctuations.
+    fn filter(
+        &mut self,
+        shard: usize,
+        batch: Vec<Timestamped<StreamElement>>,
+    ) -> Vec<Timestamped<StreamElement>> {
+        let mut kept = Vec::with_capacity(batch.len());
+        for e in batch {
+            match &e.item {
+                StreamElement::Tuple(_) => {
+                    self.report.tuples += 1;
+                    kept.push(e);
+                }
+                StreamElement::Punctuation(p) => {
+                    match self.aligner.lock().expect("aligner lock").observe(shard, p) {
+                        AlignOutcome::Emit => {
+                            self.report.puncts += 1;
+                            kept.push(e);
+                        }
+                        AlignOutcome::Pending => self.report.puncts_held += 1,
+                        AlignOutcome::Unexpected => self.report.puncts_unexpected += 1,
+                    }
+                }
+            }
+        }
+        kept
+    }
+
+    fn send(&mut self, batch: Vec<Timestamped<StreamElement>>) {
+        if batch.is_empty() || self.caller_gone {
+            return;
+        }
+        if self.out.send(batch).is_err() {
+            // Caller dropped the output receiver: keep draining events so
+            // shards never block on a full event channel, but stop
+            // forwarding.
+            self.caller_gone = true;
+        }
+    }
+
+    /// The merge frontier: minimum progress over unfinished shards, or
+    /// `None` when every shard is done (everything may be released).
+    fn frontier(&self) -> Option<Timestamp> {
+        self.progress
+            .iter()
+            .zip(&self.done)
+            .filter(|(_, done)| !**done)
+            .map(|(ts, _)| *ts)
+            .min()
+    }
+
+    /// Releases buffered elements up to the frontier in timestamp order,
+    /// ties broken by shard id.
+    fn release_ordered(&mut self) {
+        let frontier = self.frontier();
+        let mut batch = Vec::new();
+        loop {
+            let mut best: Option<(Timestamp, usize)> = None;
+            for (shard, q) in self.queues.iter().enumerate() {
+                if let Some(head) = q.front() {
+                    if frontier.is_none_or(|f| head.ts <= f)
+                        && best.is_none_or(|(ts, s)| (head.ts, shard) < (ts, s))
+                    {
+                        best = Some((head.ts, shard));
+                    }
+                }
+            }
+            match best {
+                Some((_, shard)) => {
+                    batch.push(self.queues[shard].pop_front().expect("non-empty head"));
+                }
+                None => break,
+            }
+        }
+        self.send(batch);
+    }
+}
+
+/// The merger thread body. Returns once every shard reported `Done` (or
+/// all senders disconnected).
+pub(crate) fn merge_loop(
+    shards: usize,
+    ordered: bool,
+    rx: Receiver<ShardEvent>,
+    out: Sender<Vec<Timestamped<StreamElement>>>,
+    aligner: Arc<Mutex<Aligner>>,
+) -> MergeReport {
+    let mut m = Merger {
+        ordered,
+        done: vec![false; shards],
+        progress: vec![Timestamp::ZERO; shards],
+        queues: (0..shards).map(|_| VecDeque::new()).collect(),
+        aligner,
+        out,
+        report: MergeReport::default(),
+        caller_gone: false,
+    };
+
+    let mut remaining = shards;
+    while remaining > 0 {
+        match rx.recv() {
+            Ok(ShardEvent::Outputs(shard, batch)) => {
+                let kept = m.filter(shard, batch);
+                if m.ordered {
+                    m.queues[shard].extend(kept);
+                    m.release_ordered();
+                } else {
+                    m.send(kept);
+                }
+            }
+            Ok(ShardEvent::Progress(shard, ts)) => {
+                if ts > m.progress[shard] {
+                    m.progress[shard] = ts;
+                    if m.ordered {
+                        m.release_ordered();
+                    }
+                }
+            }
+            Ok(ShardEvent::Done(shard)) => {
+                if !m.done[shard] {
+                    m.done[shard] = true;
+                    remaining -= 1;
+                    if m.ordered {
+                        m.release_ordered();
+                    }
+                }
+            }
+            Err(_) => break, // all shard senders gone
+        }
+    }
+
+    // All shards done: release everything still buffered.
+    if m.ordered {
+        m.release_ordered();
+    }
+    m.report.puncts_unaligned =
+        m.aligner.lock().expect("aligner lock").pending_len() as u64;
+    m.report
+}

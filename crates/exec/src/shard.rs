@@ -1,0 +1,158 @@
+//! The shard worker: one thread running an independent [`PJoin`] over a
+//! key subspace, mirroring the single-threaded runtime loop
+//! (`pjoin::runtime`): batches are joined as they arrive, idle slots run
+//! background work (disk joins, time-based propagation), and finish
+//! drains the operator's end-of-stream protocol.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use pjoin::runtime::RuntimeMetrics;
+use pjoin::{PJoin, PJoinConfig, PJoinStats};
+use punct_types::{StreamElement, Timestamp, Timestamped};
+use stream_sim::{BinaryStreamOp, OpOutput, Side, Work};
+
+/// A message from the router to a shard.
+#[derive(Debug)]
+pub enum ShardMsg {
+    /// A batch of elements (possibly empty) plus the router's routing
+    /// watermark — the largest ingest timestamp routed *anywhere* when
+    /// the batch was flushed. Shards fold it into their progress so the
+    /// ordered merge advances even on shards owning no recent keys.
+    Batch {
+        /// Elements for this shard, in global arrival order.
+        elements: Vec<(Side, Timestamped<StreamElement>)>,
+        /// Router watermark at flush time.
+        watermark: Timestamp,
+    },
+    /// End of input: run the end-of-stream protocol and shut down.
+    Finish,
+}
+
+/// An event from a shard to the merger. All shards share one bounded
+/// channel; within a shard, events are emitted in order, and a shard's
+/// `Outputs` timestamps never exceed a `Progress` it already sent.
+#[derive(Debug)]
+pub enum ShardEvent {
+    /// A batch of join outputs (tuples and shard-propagated
+    /// punctuations), stamped with the shard's element clock.
+    Outputs(usize, Vec<Timestamped<StreamElement>>),
+    /// The shard has processed everything up to this timestamp.
+    Progress(usize, Timestamp),
+    /// The shard finished its end-of-stream protocol and exited.
+    Done(usize),
+}
+
+/// Final accounting returned by a shard thread on join.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// The operator's lifetime statistics.
+    pub stats: PJoinStats,
+    /// Total modeled work performed by this shard's operator — the per-
+    /// shard critical-path input for virtual-time scaling analysis.
+    pub work: Work,
+    /// Final runtime metrics (consumed / state / emitted).
+    pub metrics: RuntimeMetrics,
+}
+
+/// How often an idle shard polls for background work.
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// The shard thread body.
+pub(crate) fn shard_loop(
+    shard: usize,
+    config: PJoinConfig,
+    rx: Receiver<ShardMsg>,
+    events: Sender<ShardEvent>,
+    metrics: Arc<Mutex<RuntimeMetrics>>,
+) -> ShardReport {
+    let mut join = PJoin::new(config);
+    let mut out = OpOutput::new();
+    let mut last_ts = Timestamp::ZERO;
+    let mut consumed = 0u64;
+    let mut emitted = 0u64;
+
+    let publish = |join: &PJoin, consumed: u64, emitted: u64| {
+        let mut m = metrics.lock().expect("metrics lock");
+        m.consumed = consumed;
+        m.state_tuples = join.state_tuples();
+        m.emitted = emitted;
+    };
+
+    loop {
+        match rx.recv_timeout(IDLE_POLL) {
+            Ok(ShardMsg::Batch { elements, watermark }) => {
+                let mut outputs = Vec::new();
+                for (side, e) in elements {
+                    last_ts = last_ts.max(e.ts);
+                    join.on_element(side, e.item, e.ts, &mut out);
+                    consumed += 1;
+                    stamp_into(&mut out, last_ts, &mut outputs);
+                }
+                last_ts = last_ts.max(watermark);
+                emitted += outputs.len() as u64;
+                if !outputs.is_empty() && events.send(ShardEvent::Outputs(shard, outputs)).is_err()
+                {
+                    break; // merger gone: executor torn down
+                }
+                publish(&join, consumed, emitted);
+                if events.send(ShardEvent::Progress(shard, last_ts)).is_err() {
+                    break;
+                }
+            }
+            Ok(ShardMsg::Finish) => {
+                let mut outputs = Vec::new();
+                while join.on_end(last_ts, &mut out) {
+                    stamp_into(&mut out, last_ts, &mut outputs);
+                }
+                stamp_into(&mut out, last_ts, &mut outputs);
+                emitted += outputs.len() as u64;
+                if !outputs.is_empty() {
+                    let _ = events.send(ShardEvent::Outputs(shard, outputs));
+                }
+                publish(&join, consumed, emitted);
+                let _ = events.send(ShardEvent::Progress(shard, last_ts));
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if join.on_idle(last_ts, &mut out) {
+                    let mut outputs = Vec::new();
+                    stamp_into(&mut out, last_ts, &mut outputs);
+                    emitted += outputs.len() as u64;
+                    if !outputs.is_empty()
+                        && events.send(ShardEvent::Outputs(shard, outputs)).is_err()
+                    {
+                        break;
+                    }
+                    publish(&join, consumed, emitted);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break, // router gone
+        }
+    }
+
+    let work = join.take_work();
+    let report = ShardReport {
+        shard,
+        stats: *join.stats(),
+        work,
+        metrics: RuntimeMetrics { consumed, state_tuples: join.state_tuples(), emitted },
+    };
+    let _ = events.send(ShardEvent::Done(shard));
+    report
+}
+
+/// Moves the operator's pending outputs into `outputs`, stamped with the
+/// shard's element clock (monotone per shard).
+fn stamp_into(
+    out: &mut OpOutput,
+    ts: Timestamp,
+    outputs: &mut Vec<Timestamped<StreamElement>>,
+) {
+    for e in out.drain() {
+        outputs.push(Timestamped::new(ts, e));
+    }
+}

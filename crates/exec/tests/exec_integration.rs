@@ -1,0 +1,228 @@
+//! End-to-end tests of the sharded executor: clean shutdown under tiny
+//! channel capacities, exactly-once punctuation alignment, ordered
+//! merging, and metrics aggregation.
+
+use pjoin::PJoinConfig;
+use punct_exec::{ExecConfig, ShardedPJoin};
+use punct_types::{Punctuation, StreamElement, Timestamp, Timestamped, Tuple};
+use stream_sim::Side;
+
+fn tup(ts: u64, key: i64, payload: i64) -> Timestamped<StreamElement> {
+    Timestamped::new(Timestamp(ts), Tuple::of((key, payload)).into())
+}
+
+fn punct(ts: u64, key: i64) -> Timestamped<StreamElement> {
+    Timestamped::new(Timestamp(ts), Punctuation::close_value(2, 0, key).into())
+}
+
+/// A workload where every key appears once per side: k keys → k joined
+/// outputs, plus per-key punctuations on both sides.
+fn keyed_workload(keys: i64) -> Vec<(Side, Timestamped<StreamElement>)> {
+    let mut feed = Vec::new();
+    let mut ts = 0;
+    for k in 0..keys {
+        ts += 1;
+        feed.push((Side::Left, tup(ts, k, 10 * k)));
+        ts += 1;
+        feed.push((Side::Right, tup(ts, k, -k)));
+        ts += 1;
+        feed.push((Side::Left, punct(ts, k)));
+        ts += 1;
+        feed.push((Side::Right, punct(ts, k)));
+    }
+    feed
+}
+
+#[test]
+fn tiny_channels_finish_without_deadlock() {
+    // Capacities far smaller than the workload: every channel must back-
+    // pressure and the drain-while-feeding paths must keep it moving.
+    let mut config = ExecConfig::new(4, PJoinConfig::new(2, 2));
+    config.input_capacity = 2;
+    config.shard_capacity = 1;
+    config.event_capacity = 2;
+    config.output_capacity = 1;
+    config.router_batch = 4;
+
+    let exec = ShardedPJoin::spawn(config);
+    let keys = 500i64;
+    for (side, e) in keyed_workload(keys) {
+        exec.push(side, e);
+    }
+    let (outputs, stats) = exec.finish();
+
+    let tuples = outputs.iter().filter(|e| e.item.is_tuple()).count();
+    let puncts = outputs.iter().filter(|e| e.item.is_punctuation()).count();
+    assert_eq!(tuples as i64, keys);
+    // Every ingested punctuation aligned and emitted exactly once.
+    assert_eq!(puncts as i64, 2 * keys);
+    assert_eq!(stats.merge.puncts_unexpected, 0);
+    assert_eq!(stats.merge.puncts_unaligned, 0);
+    // Constant-key punctuations are targeted, never broadcast.
+    assert_eq!(stats.router.puncts_targeted, 2 * keys as u64);
+    assert_eq!(stats.router.puncts_broadcast, 0);
+    // Both sides fully purged by the paired punctuations.
+    assert_eq!(stats.total_stats().tuples_purged + stats.total_stats().dropped_on_fly, 2 * keys as u64);
+}
+
+#[test]
+fn broadcast_punctuation_emitted_exactly_once_after_all_shards() {
+    let shards = 8;
+    let exec = ShardedPJoin::spawn(ExecConfig::new(shards, PJoinConfig::new(2, 2)));
+    // Tuples scattered over all shards, then one wildcard-range
+    // punctuation on the left closing every key so far.
+    for k in 0..64i64 {
+        exec.push(Side::Left, tup(k as u64 + 1, k, k));
+        exec.push(Side::Right, tup(k as u64 + 1, k, -k));
+    }
+    let range = Punctuation::on_attr(
+        2,
+        0,
+        punct_types::Pattern::range(
+            punct_types::Bound::Inclusive(punct_types::Value::from(0i64)),
+            punct_types::Bound::Inclusive(punct_types::Value::from(63i64)),
+        )
+        .unwrap(),
+    );
+    exec.push(Side::Left, Timestamped::new(Timestamp(100), range.into()));
+    let (outputs, stats) = exec.finish();
+
+    assert_eq!(stats.router.puncts_broadcast, 1);
+    let puncts: Vec<_> = outputs.iter().filter(|e| e.item.is_punctuation()).collect();
+    // All `shards` copies propagated, merged into exactly one emission.
+    assert_eq!(puncts.len(), 1);
+    assert_eq!(stats.merge.puncts_held, shards as u64 - 1);
+    assert_eq!(stats.merge.puncts_unaligned, 0);
+    // The range purged the whole left state on every shard.
+    assert_eq!(stats.total_stats().tuples_purged, 64);
+}
+
+#[test]
+fn ordered_merge_emits_in_timestamp_order() {
+    let mut config = ExecConfig::new(4, PJoinConfig::new(2, 2)).ordered();
+    config.router_batch = 8;
+    let exec = ShardedPJoin::spawn(config);
+    let feed = keyed_workload(300);
+    for (side, e) in feed {
+        exec.push(side, e);
+    }
+    let (outputs, stats) = exec.finish();
+    assert_eq!(outputs.iter().filter(|e| e.item.is_tuple()).count(), 300);
+    assert!(
+        outputs.windows(2).all(|w| w[0].ts <= w[1].ts),
+        "ordered merge produced out-of-order timestamps"
+    );
+    assert_eq!(stats.merge.puncts_unexpected, 0);
+}
+
+#[test]
+fn ordered_and_arrival_merge_agree_on_the_multiset() {
+    let run = |ordered: bool| {
+        let base = ExecConfig::new(4, PJoinConfig::new(2, 2));
+        let config = if ordered { base.ordered() } else { base };
+        let exec = ShardedPJoin::spawn(config);
+        for (side, e) in keyed_workload(200) {
+            exec.push(side, e);
+        }
+        let (outputs, _) = exec.finish();
+        let mut items: Vec<String> =
+            outputs.iter().map(|e| format!("{:?}", e.item)).collect();
+        items.sort();
+        items
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn shard_metrics_aggregate_and_expose_per_shard_state() {
+    let shards = 4;
+    let exec = ShardedPJoin::spawn(ExecConfig::new(shards, PJoinConfig::new(2, 2)));
+    // Left tuples only: all state retained (no punctuations to purge).
+    for k in 0..400i64 {
+        exec.push(Side::Left, tup(k as u64 + 1, k, k));
+    }
+    // Wait until the pipeline has consumed everything so the live
+    // snapshot is meaningful.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while exec.metrics().consumed < 400 {
+        assert!(std::time::Instant::now() < deadline, "pipeline stalled");
+        std::thread::yield_now();
+    }
+    let per_shard = exec.shard_metrics();
+    assert_eq!(per_shard.len(), shards);
+    let live = exec.metrics();
+    assert_eq!(live.consumed, 400);
+    assert_eq!(live.state_tuples, 400);
+    // Hash partitioning spread the keys: no shard holds everything.
+    assert!(per_shard.iter().all(|m| m.state_tuples < 400));
+    assert_eq!(exec.tuples_routed(), 400);
+
+    let (_, stats) = exec.finish();
+    assert_eq!(stats.total_metrics().consumed, 400);
+    assert_eq!(stats.total_metrics().state_tuples, 400);
+    assert_eq!(stats.shards.len(), shards);
+    // Work accrued on several shards, so the critical path is strictly
+    // less than the total: the virtual-time parallel speedup.
+    let cost = stream_sim::CostModel::default();
+    let critical = stats.critical_path_nanos(&cost);
+    let total = cost.nanos(&stats.total_work());
+    assert!(critical > 0 && critical < total);
+}
+
+#[test]
+fn recorder_collects_per_shard_series() {
+    let exec = ShardedPJoin::spawn(ExecConfig::new(2, PJoinConfig::new(2, 2)));
+    for (side, e) in keyed_workload(50) {
+        exec.push(side, e);
+    }
+    let mut recorder = stream_metrics::Recorder::new();
+    for (shard, m) in exec.shard_metrics().into_iter().enumerate() {
+        recorder.record_shard("state_tuples", shard, 0.0, m.state_tuples as f64);
+    }
+    let (_, stats) = exec.finish();
+    for (shard, report) in stats.shards.iter().enumerate() {
+        recorder.record_shard("state_tuples", shard, 1.0, report.metrics.state_tuples as f64);
+    }
+    assert_eq!(recorder.shard_series("state_tuples").len(), 2);
+    let summed = recorder.sum_shards("state_tuples").unwrap();
+    // Everything purged by the end on both shards.
+    assert_eq!(summed.points().last().unwrap().1, 0.0);
+}
+
+#[test]
+fn drop_without_finish_does_not_hang() {
+    let exec = ShardedPJoin::spawn(ExecConfig::new(4, PJoinConfig::new(2, 2)));
+    for (side, e) in keyed_workload(100) {
+        exec.push(side, e);
+    }
+    drop(exec); // must tear the pipeline down without joining outputs
+}
+
+#[test]
+fn single_shard_matches_direct_pjoin_exactly() {
+    use stream_sim::{BinaryStreamOp, OpOutput};
+
+    let feed = keyed_workload(150);
+    let exec = ShardedPJoin::spawn(ExecConfig::new(1, PJoinConfig::new(2, 2)));
+    exec.push_batch(feed.clone());
+    let (outputs, stats) = exec.finish();
+
+    let mut reference = pjoin::PJoin::new(PJoinConfig::new(2, 2));
+    let mut out = OpOutput::new();
+    let mut expected = Vec::new();
+    let mut last = Timestamp::ZERO;
+    for (side, e) in feed {
+        last = e.ts;
+        reference.on_element(side, e.item, e.ts, &mut out);
+        expected.extend(out.drain());
+    }
+    while reference.on_end(last, &mut out) {
+        expected.extend(out.drain());
+    }
+    expected.extend(out.drain());
+
+    // One shard, FIFO channels: even the order must match.
+    let got: Vec<StreamElement> = outputs.into_iter().map(|e| e.item).collect();
+    assert_eq!(got, expected);
+    assert_eq!(stats.total_stats(), *reference.stats());
+}

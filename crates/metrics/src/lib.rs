@@ -19,6 +19,6 @@ pub mod series;
 pub mod stats;
 
 pub use ascii_chart::ChartOptions;
-pub use recorder::Recorder;
+pub use recorder::{shard_series_name, Recorder};
 pub use series::Series;
 pub use stats::Summary;

@@ -56,6 +56,66 @@ impl Recorder {
     pub fn names(&self) -> Vec<&str> {
         self.series.keys().map(String::as_str).collect()
     }
+
+    /// Appends a point to the per-shard series `base[shard=i]`, creating
+    /// it on first use. Sharded executors record each worker's samples
+    /// under the same base name so they group in charts and CSV output.
+    pub fn record_shard(&mut self, base: &str, shard: usize, x: f64, y: f64) {
+        self.record(&shard_series_name(base, shard), x, y);
+    }
+
+    /// The per-shard series recorded under `base`, in shard order
+    /// (shard 0, 1, …); stops at the first missing shard index.
+    pub fn shard_series(&self, base: &str) -> Vec<&Series> {
+        let mut found = Vec::new();
+        for shard in 0.. {
+            match self.get(&shard_series_name(base, shard)) {
+                Some(s) => found.push(s),
+                None => break,
+            }
+        }
+        found
+    }
+
+    /// Sums the per-shard series recorded under `base` into one
+    /// aggregate series named `base` — the x-axes are merged (union of
+    /// sample points) and each shard contributes its most recent value
+    /// at or before every x (step interpolation), so shards sampled at
+    /// slightly different instants still aggregate correctly.
+    pub fn sum_shards(&self, base: &str) -> Option<Series> {
+        let shards = self.shard_series(base);
+        if shards.is_empty() {
+            return None;
+        }
+        let mut xs: Vec<f64> = shards
+            .iter()
+            .flat_map(|s| s.points().iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        xs.dedup();
+        let points = xs
+            .into_iter()
+            .map(|x| {
+                let y = shards
+                    .iter()
+                    .map(|s| {
+                        s.points()
+                            .iter()
+                            .take_while(|&&(px, _)| px <= x)
+                            .last()
+                            .map_or(0.0, |&(_, py)| py)
+                    })
+                    .sum();
+                (x, y)
+            })
+            .collect();
+        Some(Series::from_points(base, points))
+    }
+}
+
+/// The canonical per-shard series name: `base[shard=i]`.
+pub fn shard_series_name(base: &str, shard: usize) -> String {
+    format!("{base}[shard={shard}]")
 }
 
 #[cfg(test)]
@@ -88,5 +148,31 @@ mod tests {
         r.record("s", 0.0, 1.0);
         r.insert(Series::from_points("s", vec![(5.0, 5.0)]));
         assert_eq!(r.get("s").unwrap().points(), &[(5.0, 5.0)]);
+    }
+
+    #[test]
+    fn shard_series_group_and_enumerate_in_order() {
+        let mut r = Recorder::new();
+        r.record_shard("state", 1, 0.0, 5.0);
+        r.record_shard("state", 0, 0.0, 3.0);
+        let shards = r.shard_series("state");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].name, "state[shard=0]");
+        assert_eq!(shards[1].name, "state[shard=1]");
+        assert!(r.shard_series("missing").is_empty());
+    }
+
+    #[test]
+    fn sum_shards_step_interpolates_misaligned_samples() {
+        let mut r = Recorder::new();
+        // Shard 0 samples at t=0,2; shard 1 at t=1.
+        r.record_shard("state", 0, 0.0, 10.0);
+        r.record_shard("state", 0, 2.0, 30.0);
+        r.record_shard("state", 1, 1.0, 5.0);
+        let sum = r.sum_shards("state").unwrap();
+        assert_eq!(sum.name, "state");
+        // t=0: 10 + (no shard-1 sample yet) 0; t=1: 10+5; t=2: 30+5.
+        assert_eq!(sum.points(), &[(0.0, 10.0), (1.0, 15.0), (2.0, 35.0)]);
+        assert!(r.sum_shards("missing").is_none());
     }
 }

@@ -29,6 +29,7 @@
 pub mod error;
 pub mod parse;
 pub mod pattern;
+pub mod punct_seq;
 pub mod punct_set;
 pub mod punctuation;
 pub mod schema;
@@ -38,6 +39,7 @@ pub mod value;
 
 pub use error::TypeError;
 pub use pattern::{Bound, Pattern};
+pub use punct_seq::{PunctSeq, PunctSeqAssigner};
 pub use punct_set::{PunctId, PunctuationSet};
 pub use punctuation::Punctuation;
 pub use schema::{Field, Schema};

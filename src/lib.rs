@@ -20,6 +20,9 @@
 //!   with memory and disk bucket portions.
 //! * [`baseline`] (`xjoin`) — the XJoin baseline operator.
 //! * [`core`] (`pjoin`) — **PJoin**, the paper's contribution.
+//! * [`exec`] (`punct-exec`) — the sharded parallel executor: hash-
+//!   partitioned PJoin shards with punctuation broadcast and
+//!   exactly-once alignment.
 //! * [`query`] (`squery`) — the mini continuous-query engine (select,
 //!   project, punctuation-aware group-by) for end-to-end plans.
 //!
@@ -27,6 +30,7 @@
 //! the experiment index.
 
 pub use pjoin as core;
+pub use punct_exec as exec;
 pub use punct_types as types;
 pub use spillstore as storage;
 pub use squery as query;
@@ -38,6 +42,7 @@ pub use xjoin as baseline;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use pjoin::{run_nary, NaryConfig, NaryPJoin, PJoin, PJoinBuilder, PJoinConfig};
+    pub use punct_exec::{ExecConfig, ShardedPJoin};
     pub use punct_types::{
         Pattern, PunctId, Punctuation, Schema, StreamElement, Timestamp, Timestamped, Tuple,
         Value,

@@ -12,6 +12,29 @@ pub mod channel {
 
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
+    /// Error of a non-blocking send, mirroring `crossbeam::channel::TrySendError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is full.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the unsent message.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+            }
+        }
+
+        /// True if the send failed because the buffer was full.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
     /// Creates a channel with a bounded buffer of `cap` messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
@@ -49,6 +72,20 @@ pub mod channel {
             match self {
                 Sender::Bounded(tx) => tx.send(msg),
                 Sender::Unbounded(tx) => tx.send(msg),
+            }
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+        /// blocking when a bounded buffer is full.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(t) => TrySendError::Full(t),
+                    mpsc::TrySendError::Disconnected(t) => TrySendError::Disconnected(t),
+                }),
+                Sender::Unbounded(tx) => {
+                    tx.send(msg).map_err(|mpsc::SendError(t)| TrySendError::Disconnected(t))
+                }
             }
         }
     }
@@ -100,6 +137,18 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 9);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<i32>(1);
+        tx.try_send(1).unwrap();
+        let err = tx.try_send(2).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        drop(rx);
+        assert!(!tx.try_send(3).unwrap_err().is_full());
     }
 
     #[test]
