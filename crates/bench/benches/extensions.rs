@@ -18,6 +18,7 @@ fn bench_window_vs_punctuation(c: &mut Criterion) {
             cost: CostModel::free(),
             sample_every_micros: 10_000_000,
             collect_outputs: false,
+            ..DriverConfig::default()
         });
         driver.run(op, &w.left, &w.right).total_out_tuples
     };

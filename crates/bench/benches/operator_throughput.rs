@@ -16,6 +16,7 @@ fn run(op: &mut dyn BinaryStreamOp, left: &[Timestamped<StreamElement>], right: 
         cost: CostModel::free(),
         sample_every_micros: 10_000_000,
         collect_outputs: false,
+        ..DriverConfig::default()
     });
     driver.run(op, left, right).total_out_tuples
 }

@@ -1,0 +1,220 @@
+//! Tracing-overhead bench: what does the observability tentpole cost on
+//! the hot path?
+//!
+//! Three modes over the shard-scaling workload (4 000 tuples per side,
+//! constant-per-key punctuations), driven through a single in-process
+//! `PJoin` so the measurement sees the per-element hook cost directly,
+//! with no thread-spawn or channel noise:
+//!
+//! * **compiled_out** — the `punct-trace` crate built with
+//!   `PJOIN_TRACE_DISABLE=1`: every hook folds to a constant-false
+//!   branch at compile time. The baseline.
+//! * **disabled** — normal build, tracing off in the config: each hook
+//!   is one predictable branch.
+//! * **enabled** — normal build, tracing on: events recorded into the
+//!   ring buffer, histograms updated.
+//!
+//! A single cargo invocation can only measure the modes its build
+//! supports, so `BENCH_trace.json` is **merged across invocations**:
+//!
+//! ```text
+//! PJOIN_TRACE_DISABLE=1 cargo bench -p pjoin-bench --bench trace_overhead
+//! cargo bench -p pjoin-bench --bench trace_overhead
+//! ```
+//!
+//! The second run preserves the first run's `compiled_out` row and adds
+//! the overhead ratios once all three modes are known.
+
+use std::fmt::Write as _;
+
+use criterion::{black_box, BatchSize, BenchmarkId, Criterion, Throughput};
+use pjoin::{PJoin, PJoinConfig};
+use punct_types::{StreamElement, Timestamp, Timestamped};
+use stream_sim::{BinaryStreamOp, OpOutput, Side};
+use streamgen::{generate_pair, PunctScheme, StreamConfig};
+
+const TUPLES_PER_SIDE: usize = 4_000;
+
+/// The shard-scaling workload: a generated punctuated pair
+/// (constant-per-key punctuations every ~20 tuples), interleaved by
+/// timestamp.
+fn workload() -> Vec<(Side, Timestamped<StreamElement>)> {
+    let config = StreamConfig {
+        tuples: TUPLES_PER_SIDE,
+        key_window: 16,
+        punct_scheme: PunctScheme::ConstantPerKey,
+        punct_mean_tuples: 20.0,
+        seed: 7,
+        ..StreamConfig::default()
+    };
+    let (left, right) = generate_pair(&config, 20.0, 20.0);
+    let mut feed = Vec::with_capacity(left.elements.len() + right.elements.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.elements.len() || j < right.elements.len() {
+        let take_left = match (left.elements.get(i), right.elements.get(j)) {
+            (Some(l), Some(r)) => l.ts <= r.ts,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_left {
+            feed.push((Side::Left, left.elements[i].clone()));
+            i += 1;
+        } else {
+            feed.push((Side::Right, right.elements[j].clone()));
+            j += 1;
+        }
+    }
+    feed
+}
+
+/// Feeds a fresh operator the whole stream; returns outputs drained.
+/// Operator construction (which pre-faults the ring buffer when tracing
+/// is on) happens in the benchmark's setup phase, excluded from timing
+/// for every mode alike — the measurement is the per-element hot path
+/// the hooks actually touch.
+fn feed_all(join: &mut PJoin, feed: &[(Side, Timestamped<StreamElement>)]) -> usize {
+    let mut out = OpOutput::new();
+    let mut last_ts = Timestamp::ZERO;
+    let mut outputs = 0usize;
+    for (side, e) in feed {
+        last_ts = last_ts.max(e.ts);
+        join.on_element(*side, e.item.clone(), e.ts, &mut out);
+        outputs += out.drain().count();
+    }
+    while join.on_end(last_ts, &mut out) {
+        outputs += out.drain().count();
+    }
+    outputs += out.drain().count();
+    outputs
+}
+
+/// The modes this build can measure: `(id, config)`.
+fn modes() -> Vec<(&'static str, PJoinConfig)> {
+    let base = PJoinConfig::new(2, 2);
+    if punct_trace::COMPILED {
+        vec![("disabled", base.clone()), ("enabled", base.with_tracing())]
+    } else {
+        // Tracing requested but compiled out: proves the hooks fold away
+        // even when the config asks for them.
+        vec![("compiled_out", base.with_tracing())]
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let feed = workload();
+    let mut g = c.benchmark_group("trace_overhead");
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    for (id, config) in modes() {
+        g.bench_with_input(BenchmarkId::new("pjoin", id), &config, |b, cfg| {
+            b.iter_batched(
+                || PJoin::new(cfg.clone()),
+                |mut join| black_box(feed_all(&mut join, &feed)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Pulls `"mean_ns": <float>` out of a serialized mode row.
+fn parse_mean_ns(row: &str) -> Option<f64> {
+    let idx = row.find("\"mean_ns\": ")?;
+    let rest = &row[idx + "\"mean_ns\": ".len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn write_summary(c: &Criterion) {
+    let feed = workload();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+
+    // Rows measured by THIS invocation, keyed by mode id.
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for m in c.measurements() {
+        let mode = m.id.strip_prefix("pjoin/").unwrap_or(&m.id).to_string();
+        let row = format!(
+            "    {{\"mode\": \"{}\", \"mean_ns\": {:.1}, \"elements_per_sec\": {:.1}}}",
+            mode,
+            m.mean_ns,
+            m.per_second().unwrap_or(0.0)
+        );
+        rows.push((mode, row));
+    }
+
+    // Merge with rows from previous invocations: adopt modes this build
+    // cannot measure, and for re-measured modes keep the faster figure —
+    // machine noise only ever adds time, so the minimum across runs is
+    // the robust estimate. Re-running the two-invocation recipe a few
+    // times converges the summary on a quiet-machine comparison.
+    if let Ok(old) = std::fs::read_to_string(path) {
+        for line in old.lines() {
+            let line = line.trim_end_matches(',');
+            if let Some(idx) = line.find("{\"mode\": \"") {
+                let mode_rest = &line[idx + "{\"mode\": \"".len()..];
+                if let Some(end) = mode_rest.find('"') {
+                    let mode = &mode_rest[..end];
+                    let old_row = line[idx - 4..].to_string();
+                    match rows.iter_mut().find(|(m, _)| m == mode) {
+                        None => rows.push((mode.to_string(), old_row)),
+                        Some((_, new_row)) => {
+                            let old_ns = parse_mean_ns(&old_row);
+                            let new_ns = parse_mean_ns(new_row);
+                            if let (Some(o), Some(n)) = (old_ns, new_ns) {
+                                if o < n {
+                                    *new_row = old_row;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Stable mode order.
+    let order = ["compiled_out", "disabled", "enabled"];
+    rows.sort_by_key(|(m, _)| order.iter().position(|o| o == m).unwrap_or(usize::MAX));
+
+    let mean = |mode: &str| -> Option<f64> {
+        rows.iter().find(|(m, _)| m == mode).and_then(|(_, r)| parse_mean_ns(r))
+    };
+    let mut overhead = String::new();
+    if let (Some(base), Some(dis), Some(en)) =
+        (mean("compiled_out"), mean("disabled"), mean("enabled"))
+    {
+        let _ = write!(
+            overhead,
+            ",\n  \"overhead\": {{\"disabled_vs_compiled_out_pct\": {:.2}, \"enabled_vs_compiled_out_pct\": {:.2}}}",
+            (dis / base - 1.0) * 100.0,
+            (en / base - 1.0) * 100.0
+        );
+    }
+
+    let mode_rows: Vec<&str> = rows.iter().map(|(_, r)| r.as_str()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"elements\": {},\n  \"note\": \"single-operator hot path over the shard-scaling workload; compiled_out requires a PJOIN_TRACE_DISABLE=1 build, so run the bench once with that env var and once without — the summary merges across invocations, keeping each mode's fastest run\",\n  \"modes\": [\n{}\n  ]{}\n}}\n",
+        feed.len(),
+        mode_rows.join(",\n"),
+        overhead
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    // The summary compares numbers across two separate builds, so each
+    // mode needs tighter confidence than the quick default budget gives.
+    if std::env::var_os("CRITERION_BUDGET_MS").is_none() {
+        std::env::set_var("CRITERION_BUDGET_MS", "3000");
+    }
+    let mut c = Criterion::default();
+    bench_trace_overhead(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free; only a real bench run
+    // refreshes the summary file.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

@@ -129,6 +129,7 @@ pub fn run_operator(op: &mut dyn BinaryStreamOp, workload: &JoinWorkload) -> Run
         cost: experiment_cost_model(),
         sample_every_micros: 500_000,
         collect_outputs: false,
+        ..DriverConfig::default()
     });
     driver.run(op, &workload.left, &workload.right)
 }

@@ -1,5 +1,6 @@
 //! PJoin configuration: the tuning options of the paper's §3.
 
+use punct_trace::TraceSettings;
 use serde::{Deserialize, Serialize};
 
 /// When the state purge component runs (paper §3.4).
@@ -108,6 +109,9 @@ pub struct PJoinConfig {
     /// keep their state bounded by construction and therefore do not
     /// support spilling (`memory_max_tuples` must stay 0).
     pub window_us: Option<u64>,
+    /// Tracing and latency-histogram recording. Off by default: every
+    /// hook is then a single-branch no-op and nothing is allocated.
+    pub trace: TraceSettings,
 }
 
 impl PJoinConfig {
@@ -130,12 +134,20 @@ impl PJoinConfig {
             propagation: PropagationTrigger::PushCount { count: 10 },
             on_the_fly_drop: true,
             window_us: None,
+            trace: TraceSettings::default(),
         }
     }
 
     /// Width of output (joined) tuples.
     pub fn output_width(&self) -> usize {
         self.width_a + self.width_b
+    }
+
+    /// The same configuration with tracing enabled (default ring
+    /// capacity).
+    pub fn with_tracing(mut self) -> PJoinConfig {
+        self.trace = TraceSettings::enabled();
+        self
     }
 }
 
@@ -159,5 +171,7 @@ mod tests {
         assert_eq!(c.memory_max_tuples, 0);
         assert_eq!(c.window_us, None);
         assert_eq!(c.purge, PurgeStrategy::Lazy { threshold: 10 });
+        assert!(!c.trace.enabled, "tracing is opt-in");
+        assert!(PJoinConfig::new(2, 2).with_tracing().trace.enabled);
     }
 }

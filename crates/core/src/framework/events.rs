@@ -39,6 +39,20 @@ impl EventKind {
         EventKind::PropagateCountReach,
         EventKind::PunctuationArrive,
     ];
+
+    /// The kind's dense index in [`EventKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::StreamEmpty => 0,
+            EventKind::PurgeThresholdReach => 1,
+            EventKind::StateFull => 2,
+            EventKind::DiskJoinActivate => 3,
+            EventKind::PropagateRequest => 4,
+            EventKind::PropagateTimeExpire => 5,
+            EventKind::PropagateCountReach => 6,
+            EventKind::PunctuationArrive => 7,
+        }
+    }
 }
 
 impl fmt::Display for EventKind {
@@ -87,6 +101,28 @@ pub enum Component {
     Propagation,
 }
 
+impl Component {
+    /// All components, for profiler enumeration.
+    pub const ALL: [Component; 5] = [
+        Component::StatePurge,
+        Component::StateRelocation,
+        Component::DiskJoin,
+        Component::IndexBuild,
+        Component::Propagation,
+    ];
+
+    /// The component's dense index in [`Component::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Component::StatePurge => 0,
+            Component::StateRelocation => 1,
+            Component::DiskJoin => 2,
+            Component::IndexBuild => 3,
+            Component::Propagation => 4,
+        }
+    }
+}
+
 impl fmt::Display for Component {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -107,8 +143,9 @@ mod tests {
     #[test]
     fn all_kinds_enumerated_and_displayed() {
         assert_eq!(EventKind::ALL.len(), 8);
-        for kind in EventKind::ALL {
+        for (i, kind) in EventKind::ALL.into_iter().enumerate() {
             assert!(kind.to_string().ends_with("Event"));
+            assert_eq!(kind.index(), i);
         }
     }
 
@@ -116,5 +153,12 @@ mod tests {
     fn component_names() {
         assert_eq!(Component::StatePurge.to_string(), "state-purge");
         assert_eq!(Component::Propagation.to_string(), "propagation");
+    }
+
+    #[test]
+    fn component_indices_are_dense() {
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
     }
 }

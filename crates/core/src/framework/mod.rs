@@ -11,8 +11,10 @@
 
 pub mod events;
 pub mod monitor;
+pub mod profile;
 pub mod registry;
 
 pub use events::{Component, Event, EventKind};
 pub use monitor::{Monitor, MonitorSnapshot};
+pub use profile::{ComponentProfile, FrameworkProfile};
 pub use registry::{Registry, RegistryEntry};

@@ -98,6 +98,12 @@ impl Monitor {
         self.puncts_since_purge
     }
 
+    /// Number of punctuations since the last propagation (for
+    /// tests/metrics).
+    pub fn puncts_since_propagation(&self) -> u64 {
+        self.puncts_since_propagation
+    }
+
     /// Evaluates the thresholds against `snapshot`, returning the raised
     /// events (in a deterministic order) and resetting edge-triggered
     /// counters.
@@ -275,6 +281,92 @@ mod tests {
         m.punctuation_arrived(true);
         assert_eq!(m.poll(&snap(0), true), vec![Event::new(EventKind::PropagateRequest)]);
         assert!(m.poll(&snap(0), true).is_empty());
+    }
+
+    #[test]
+    fn counters_reset_exactly_once_per_fired_event() {
+        // Purge and propagation each track their own punctuation count;
+        // a poll that fires both must reset each exactly once and leave
+        // the other's counter alone on partial fires.
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Lazy { threshold: 2 },
+            PropagationTrigger::PushCount { count: 3 },
+        ));
+        m.punctuation_arrived(false);
+        m.punctuation_arrived(false);
+        assert_eq!(m.puncts_since_purge(), 2);
+        assert_eq!(m.puncts_since_propagation(), 2);
+        // Purge fires (2 >= 2); propagation does not (2 < 3).
+        let events = m.poll(&snap(0), false);
+        assert_eq!(events, vec![Event::new(EventKind::PurgeThresholdReach)]);
+        assert_eq!(m.puncts_since_purge(), 0, "fired counter resets");
+        assert_eq!(m.puncts_since_propagation(), 2, "unfired counter keeps counting");
+        // A quiet poll must not reset anything again.
+        assert!(m.poll(&snap(0), false).is_empty());
+        assert_eq!(m.puncts_since_propagation(), 2);
+        // One more punctuation: propagation fires (3 >= 3), purge does
+        // not (1 < 2) — both reset exactly once each across the run.
+        m.punctuation_arrived(false);
+        let events = m.poll(&snap(0), false);
+        assert_eq!(events, vec![Event::new(EventKind::PropagateCountReach)]);
+        assert_eq!(m.puncts_since_purge(), 1);
+        assert_eq!(m.puncts_since_propagation(), 0);
+    }
+
+    #[test]
+    fn both_thresholds_firing_in_one_poll_reset_both_counters_once() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Lazy { threshold: 2 },
+            PropagationTrigger::PushCount { count: 2 },
+        ));
+        m.punctuation_arrived(false);
+        m.punctuation_arrived(false);
+        let events = m.poll(&snap(0), false);
+        assert_eq!(
+            events,
+            vec![
+                Event::new(EventKind::PurgeThresholdReach),
+                Event::new(EventKind::PropagateCountReach),
+            ]
+        );
+        assert_eq!(m.puncts_since_purge(), 0);
+        assert_eq!(m.puncts_since_propagation(), 0);
+        // Neither re-fires without new punctuations.
+        assert!(m.poll(&snap(0), false).is_empty());
+    }
+
+    #[test]
+    fn matched_pair_does_not_refire_without_a_new_pair() {
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::MatchedPair,
+        ));
+        m.punctuation_arrived(true);
+        assert_eq!(m.poll(&snap(0), true), vec![Event::new(EventKind::PropagateRequest)]);
+        // Unmatched punctuations after the fire must not re-trigger.
+        m.punctuation_arrived(false);
+        m.punctuation_arrived(false);
+        assert!(m.poll(&snap(0), true).is_empty());
+        assert!(m.poll(&snap(0), true).is_empty());
+        // A new matched pair fires again — exactly once.
+        m.punctuation_arrived(true);
+        assert_eq!(m.poll(&snap(0), true), vec![Event::new(EventKind::PropagateRequest)]);
+        assert!(m.poll(&snap(0), true).is_empty());
+    }
+
+    #[test]
+    fn matched_pair_fire_resets_propagation_count() {
+        // The matched-pair fire notes a propagation, so a count-based
+        // reading of puncts_since_propagation restarts from zero.
+        let mut m = Monitor::from_config(&config(
+            PurgeStrategy::Never,
+            PropagationTrigger::MatchedPair,
+        ));
+        m.punctuation_arrived(false);
+        m.punctuation_arrived(true);
+        assert_eq!(m.puncts_since_propagation(), 2);
+        assert_eq!(m.poll(&snap(0), true).len(), 1);
+        assert_eq!(m.puncts_since_propagation(), 0);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Profiling hooks for the event-driven framework: per-component
+//! attribution of virtual-time cost (via [`Work`]) and wall time, plus
+//! counts of every scheduling decision (monitor polls and raised
+//! events).
+//!
+//! The profile answers "where did the operator's time go, and why was
+//! each component run" — e.g. how much purge work the
+//! `PurgeThresholdReachEvent` bindings caused versus the end-of-stream
+//! `StreamEmptyEvent` ones. Recording is gated on the operator's tracer,
+//! so a non-traced run pays a single predictable branch per hook.
+
+use stream_sim::{CostModel, Work};
+
+use crate::framework::events::{Component, EventKind};
+
+/// Accumulated cost of one component across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComponentProfile {
+    /// Times the component ran.
+    pub runs: u64,
+    /// Wall-clock nanoseconds spent inside the component.
+    pub wall_ns: u64,
+    /// Work the component performed (priced to virtual time by a
+    /// [`CostModel`]).
+    pub work: Work,
+}
+
+impl ComponentProfile {
+    /// The component's virtual-time cost under `cost`, in nanoseconds.
+    pub fn virtual_nanos(&self, cost: &CostModel) -> u64 {
+        cost.nanos(&self.work)
+    }
+}
+
+/// A profile of the framework's scheduling decisions and where each
+/// component's time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameworkProfile {
+    components: [ComponentProfile; Component::ALL.len()],
+    event_counts: [u64; EventKind::ALL.len()],
+    /// Monitor polls performed.
+    pub polls: u64,
+}
+
+impl FrameworkProfile {
+    /// An empty profile.
+    pub fn new() -> FrameworkProfile {
+        FrameworkProfile::default()
+    }
+
+    /// Counts one monitor poll.
+    #[inline]
+    pub fn note_poll(&mut self) {
+        self.polls += 1;
+    }
+
+    /// Counts one raised event.
+    #[inline]
+    pub fn note_event(&mut self, kind: EventKind) {
+        self.event_counts[kind.index()] += 1;
+    }
+
+    /// Attributes one finished component run.
+    #[inline]
+    pub fn note_run(&mut self, comp: Component, wall_ns: u64, work: Work) {
+        let p = &mut self.components[comp.index()];
+        p.runs += 1;
+        p.wall_ns += wall_ns;
+        p.work += work;
+    }
+
+    /// The accumulated profile of one component.
+    pub fn component(&self, comp: Component) -> &ComponentProfile {
+        &self.components[comp.index()]
+    }
+
+    /// Times an event of the given kind was raised.
+    pub fn event_count(&self, kind: EventKind) -> u64 {
+        self.event_counts[kind.index()]
+    }
+
+    /// Total component runs.
+    pub fn total_runs(&self) -> u64 {
+        self.components.iter().map(|c| c.runs).sum()
+    }
+
+    /// Merges another profile into this one (exact: all counters add).
+    pub fn merge(&mut self, other: &FrameworkProfile) {
+        for (mine, theirs) in self.components.iter_mut().zip(other.components.iter()) {
+            mine.runs += theirs.runs;
+            mine.wall_ns += theirs.wall_ns;
+            mine.work += theirs.work;
+        }
+        for (mine, theirs) in self.event_counts.iter_mut().zip(other.event_counts.iter()) {
+            *mine += theirs;
+        }
+        self.polls += other.polls;
+    }
+
+    /// A plain-text table of the profile: one row per component with run
+    /// count, wall time and virtual-time cost, then the event counts.
+    pub fn render_table(&self, cost: &CostModel) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>14} {:>14}\n",
+            "component", "runs", "wall_us", "virtual_us"
+        ));
+        for comp in Component::ALL {
+            let p = self.component(comp);
+            out.push_str(&format!(
+                "{:<18} {:>8} {:>14.1} {:>14.1}\n",
+                comp.to_string(),
+                p.runs,
+                p.wall_ns as f64 / 1_000.0,
+                p.virtual_nanos(cost) as f64 / 1_000.0,
+            ));
+        }
+        out.push_str(&format!("monitor polls: {}\n", self.polls));
+        for kind in EventKind::ALL {
+            let n = self.event_count(kind);
+            if n > 0 {
+                out.push_str(&format!("{kind}: {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_runs_per_component() {
+        let mut p = FrameworkProfile::new();
+        p.note_poll();
+        p.note_event(EventKind::PurgeThresholdReach);
+        p.note_run(Component::StatePurge, 500, Work { purged: 3, ..Work::ZERO });
+        p.note_run(Component::StatePurge, 300, Work { purged: 1, ..Work::ZERO });
+        p.note_run(Component::Propagation, 100, Work { puncts_propagated: 2, ..Work::ZERO });
+        assert_eq!(p.polls, 1);
+        assert_eq!(p.event_count(EventKind::PurgeThresholdReach), 1);
+        assert_eq!(p.event_count(EventKind::StreamEmpty), 0);
+        assert_eq!(p.component(Component::StatePurge).runs, 2);
+        assert_eq!(p.component(Component::StatePurge).wall_ns, 800);
+        assert_eq!(p.component(Component::StatePurge).work.purged, 4);
+        assert_eq!(p.total_runs(), 3);
+        let cost = CostModel { purged_ns: 10, ..CostModel::free() };
+        assert_eq!(p.component(Component::StatePurge).virtual_nanos(&cost), 40);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = FrameworkProfile::new();
+        a.note_poll();
+        a.note_run(Component::IndexBuild, 10, Work { index_evals: 5, ..Work::ZERO });
+        let mut b = FrameworkProfile::new();
+        b.note_poll();
+        b.note_event(EventKind::PunctuationArrive);
+        b.note_run(Component::IndexBuild, 20, Work { index_evals: 7, ..Work::ZERO });
+        a.merge(&b);
+        assert_eq!(a.polls, 2);
+        assert_eq!(a.event_count(EventKind::PunctuationArrive), 1);
+        assert_eq!(a.component(Component::IndexBuild).runs, 2);
+        assert_eq!(a.component(Component::IndexBuild).wall_ns, 30);
+        assert_eq!(a.component(Component::IndexBuild).work.index_evals, 12);
+    }
+
+    #[test]
+    fn table_lists_all_components() {
+        let mut p = FrameworkProfile::new();
+        p.note_run(Component::DiskJoin, 1_000, Work::ZERO);
+        p.note_event(EventKind::DiskJoinActivate);
+        let table = p.render_table(&CostModel::default());
+        for comp in Component::ALL {
+            assert!(table.contains(&comp.to_string()));
+        }
+        assert!(table.contains("DiskJoinActivateEvent: 1"));
+        assert!(!table.contains("StreamEmptyEvent"), "zero counts are elided");
+    }
+}

@@ -2,7 +2,8 @@
 //! framework, and the purge / relocation / disk-join / index-build /
 //! propagation components.
 
-use punct_types::{Pattern, StreamElement, Timestamp, Tuple};
+use punct_trace::{JoinLatencies, SpanStart, TraceKind, TraceLog, Tracer};
+use punct_types::{Pattern, PunctId, StreamElement, Timestamp, Tuple};
 use stream_sim::{BinaryStreamOp, OpOutput, Side, Work};
 
 use crate::components::disk_join::{resolve_bucket, ResolutionMark};
@@ -10,7 +11,9 @@ use crate::components::propagation::propagate_side;
 use crate::components::purge::purge_state;
 use crate::config::{PJoinConfig, PropagationTrigger};
 use crate::dedup::DiskDiskMark;
-use crate::framework::{Component, EventKind, Monitor, MonitorSnapshot, Registry};
+use crate::framework::{
+    Component, EventKind, FrameworkProfile, Monitor, MonitorSnapshot, Registry,
+};
 use crate::record::{Instant, PRecord};
 use crate::state::JoinState;
 
@@ -79,6 +82,79 @@ enum EndPhase {
     Done,
 }
 
+/// The operator's observability state: the trace sink, the three
+/// end-to-end latency histograms, the framework profile, and the
+/// bookkeeping ledgers that turn punctuation ids into latencies. All
+/// recording is gated on the tracer, so a non-traced operator pays one
+/// predictable branch per hook and allocates none of this beyond the
+/// struct itself.
+#[derive(Debug)]
+struct OpTrace {
+    tracer: Tracer,
+    latencies: JoinLatencies,
+    profile: FrameworkProfile,
+    /// Virtual arrival time (µs) of each punctuation, dense by
+    /// [`PunctId`], one ledger per side.
+    punct_arrivals: [Vec<u64>; 2],
+    /// Arrival times of punctuations no purge run has applied yet.
+    pending_purge: Vec<u64>,
+    /// The open memory-join burst, if any: arriving tuples accumulate
+    /// here and one span is emitted when the burst closes (next
+    /// punctuation, component run, or trace drain). One wall-clock read
+    /// pair per burst keeps the per-tuple cost at counter increments.
+    mj_burst: Option<MjBurst>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MjBurst {
+    start: SpanStart,
+    tuples: u64,
+    matches: u64,
+}
+
+impl OpTrace {
+    fn new(config: &PJoinConfig) -> OpTrace {
+        OpTrace {
+            tracer: Tracer::new(config.trace),
+            latencies: JoinLatencies::new(),
+            profile: FrameworkProfile::new(),
+            punct_arrivals: [Vec::new(), Vec::new()],
+            pending_purge: Vec::new(),
+            mj_burst: None,
+        }
+    }
+
+    /// Folds one arriving tuple into the open memory-join burst,
+    /// opening one if needed.
+    #[inline]
+    fn note_memory_join(&mut self, matches: u64) {
+        if self.mj_burst.is_none() {
+            self.mj_burst = Some(MjBurst { start: self.tracer.span_start(), tuples: 0, matches: 0 });
+        }
+        let b = self.mj_burst.as_mut().expect("burst just ensured");
+        b.tuples += 1;
+        b.matches += matches;
+    }
+
+    /// Closes the open memory-join burst, emitting its span.
+    fn flush_memory_join(&mut self, now_us: u64) {
+        if let Some(b) = self.mj_burst.take() {
+            self.tracer.span_end(b.start, TraceKind::MemoryJoin, now_us, b.tuples, b.matches);
+        }
+    }
+
+    /// Records a punctuation arrival in both latency ledgers.
+    fn note_punct_arrival(&mut self, side_idx: usize, id: PunctId, now_us: u64) {
+        let ledger = &mut self.punct_arrivals[side_idx];
+        let slot = id.0 as usize;
+        if ledger.len() <= slot {
+            ledger.resize(slot + 1, now_us);
+        }
+        ledger[slot] = now_us;
+        self.pending_purge.push(now_us);
+    }
+}
+
 /// The PJoin operator. See the crate docs for the high-level design and
 /// [`PJoinBuilder`](crate::PJoinBuilder) for ergonomic construction.
 pub struct PJoin {
@@ -98,6 +174,8 @@ pub struct PJoin {
     /// Latest virtual time seen (for the monitor's time thresholds).
     now: Timestamp,
     end_phase: EndPhase,
+    /// Tracing, latency histograms and framework profiling.
+    obs: OpTrace,
 }
 
 impl PJoin {
@@ -149,6 +227,7 @@ impl PJoin {
             instant: 0,
             now: Timestamp::ZERO,
             end_phase: EndPhase::NotStarted,
+            obs: OpTrace::new(&config),
             config,
         }
     }
@@ -189,6 +268,79 @@ impl PJoin {
         self.monitor.request_propagation();
     }
 
+    /// Whether tracing is recording (false when disabled or compiled
+    /// out).
+    pub fn tracing_enabled(&self) -> bool {
+        self.obs.tracer.enabled()
+    }
+
+    /// The end-to-end latency histograms recorded so far (all empty
+    /// unless tracing is enabled).
+    pub fn latencies(&self) -> &JoinLatencies {
+        &self.obs.latencies
+    }
+
+    /// The framework profile: per-component virtual + wall cost and
+    /// scheduling-decision counts (all zero unless tracing is enabled).
+    pub fn profile(&self) -> &FrameworkProfile {
+        &self.obs.profile
+    }
+
+    /// The operator's tracer (read access: ring contents, drop counts).
+    pub fn tracer(&self) -> &Tracer {
+        &self.obs.tracer
+    }
+
+    /// The operator's tracer, e.g. to assign a shard lane.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.obs.tracer
+    }
+
+    /// Drains the recorded trace events, closing any open memory-join
+    /// burst first.
+    pub fn take_trace(&mut self) -> TraceLog {
+        self.obs.flush_memory_join(self.now.as_micros());
+        self.obs.tracer.take()
+    }
+
+    /// Starts a profiled component run: captures wall time and a work
+    /// snapshot, closing any open memory-join burst so foreground and
+    /// component spans never overlap. `None` (free) when tracing is off.
+    fn prof_begin(&mut self) -> Option<(SpanStart, Work)> {
+        if self.obs.tracer.enabled() {
+            self.obs.flush_memory_join(self.now.as_micros());
+            Some((self.obs.tracer.span_start(), self.work))
+        } else {
+            None
+        }
+    }
+
+    /// Finishes a profiled component run: attributes wall time and the
+    /// work delta to `comp`, and (optionally) records a span event.
+    fn prof_end(
+        &mut self,
+        comp: Component,
+        token: Option<(SpanStart, Work)>,
+        span: Option<(TraceKind, u64, u64)>,
+    ) {
+        let Some((start, w0)) = token else { return };
+        let wall = punct_trace::wall_now_ns().saturating_sub(start.wall_ns());
+        self.obs.profile.note_run(comp, wall, self.work - w0);
+        if let Some((kind, a, b)) = span {
+            self.obs.tracer.span_end(start, kind, self.now.as_micros(), a, b);
+        }
+    }
+
+    /// Records one punctuation's downstream release: its
+    /// arrival→propagation latency and a `PunctEmit` instant.
+    fn note_punct_emitted(&mut self, side_idx: usize, id: PunctId, now_us: u64) {
+        let arrival =
+            self.obs.punct_arrivals[side_idx].get(id.0 as usize).copied().unwrap_or(now_us);
+        let lat = now_us.saturating_sub(arrival);
+        self.obs.latencies.punct_propagate.record(lat);
+        self.obs.tracer.instant(TraceKind::PunctEmit, now_us, id.0, lat);
+    }
+
     fn next_instant(&mut self) -> Instant {
         let i = self.instant;
         self.instant += 1;
@@ -216,6 +368,9 @@ impl PJoin {
         let window_cutoff = self.config.window_us.map(|w| now_us.saturating_sub(w));
         let work = &mut self.work;
         let stats = &mut self.stats;
+        let obs = &mut self.obs;
+        let trace_on = obs.tracer.enabled();
+        let mut matches = 0u64;
         let (own, opp) = match side {
             Side::Left => (&mut self.a, &mut self.b),
             Side::Right => (&mut self.b, &mut self.a),
@@ -247,6 +402,13 @@ impl PJoin {
             work.probe_cmps += 1;
             if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(&key)) {
                 work.outputs += 1;
+                if trace_on {
+                    // The result's end-to-end latency is the age of its
+                    // *stored* partner (the arriving tuple's own latency
+                    // is zero in a symmetric hash join).
+                    matches += 1;
+                    obs.latencies.tuple_emit.record(now_us.saturating_sub(rec.arrival_us));
+                }
                 match side {
                     Side::Left => out.push(tuple.concat(&rec.tuple)),
                     Side::Right => out.push(rec.tuple.concat(&tuple)),
@@ -267,11 +429,17 @@ impl PJoin {
                 } else {
                     stats.dropped_on_fly += 1;
                 }
+                if trace_on {
+                    obs.note_memory_join(matches);
+                }
                 return;
             }
         }
         own.store.insert(PRecord::arriving_at(tuple, t, now_us));
         work.inserts += 1;
+        if trace_on {
+            obs.note_memory_join(matches);
+        }
     }
 
     /// Punctuation ingest: register in the owning side's index, run the
@@ -288,9 +456,19 @@ impl PJoin {
         let matched = matched_pair_mode
             && p.pattern(own.join_attr)
                 .is_some_and(|pat| opp.index.contains_join_pattern(pat));
-        own.index.insert(p);
+        let pid = own.index.insert(p);
+        if self.obs.tracer.enabled() {
+            let side_idx = usize::from(side == Side::Right);
+            let now_us = self.now.as_micros();
+            self.obs.flush_memory_join(now_us);
+            self.obs.note_punct_arrival(side_idx, pid, now_us);
+            self.obs.tracer.instant(TraceKind::PunctArrive, now_us, pid.0, side_idx as u64);
+        }
         self.monitor.punctuation_arrived(matched);
 
+        if self.obs.tracer.enabled() {
+            self.obs.profile.note_event(EventKind::PunctuationArrive);
+        }
         for comp in self.registry.listeners(EventKind::PunctuationArrive) {
             self.run_component(comp, out);
         }
@@ -308,8 +486,15 @@ impl PJoin {
         let snapshot = self.snapshot(disk_join_ready);
         let matched_mode = self.config.propagation == PropagationTrigger::MatchedPair;
         let events = self.monitor.poll(&snapshot, matched_mode);
+        let profiling = self.obs.tracer.enabled();
+        if profiling {
+            self.obs.profile.note_poll();
+        }
         let mut ran = false;
         for event in events {
+            if profiling {
+                self.obs.profile.note_event(event.kind);
+            }
             for comp in self.registry.listeners(event.kind) {
                 self.run_component(comp, out);
                 ran = true;
@@ -335,6 +520,8 @@ impl PJoin {
     /// State purge (§3.4): apply each side's new punctuations to the
     /// opposite state.
     fn component_purge(&mut self) {
+        let prof = self.prof_begin();
+        let mut removed = 0u64;
         self.stats.purge_runs += 1;
         let departure = self.instant;
         let buckets = self.config.buckets;
@@ -348,6 +535,7 @@ impl PJoin {
             let report = purge_state(&mut self.b, &patterns_a, &disk_a, departure, &mut self.work);
             self.stats.tuples_purged += report.removed as u64;
             self.stats.tuples_buffered += report.buffered as u64;
+            removed += report.removed as u64;
         }
 
         // B's new punctuations purge A.
@@ -359,6 +547,22 @@ impl PJoin {
             let report = purge_state(&mut self.a, &patterns_b, &disk_b, departure, &mut self.work);
             self.stats.tuples_purged += report.removed as u64;
             self.stats.tuples_buffered += report.buffered as u64;
+            removed += report.removed as u64;
+        }
+
+        // Every punctuation that arrived since the last purge run is now
+        // applied: settle its arrival→purge-complete latency.
+        if self.obs.tracer.enabled() {
+            let now_us = self.now.as_micros();
+            let applied = self.obs.pending_purge.len() as u64;
+            for vt in std::mem::take(&mut self.obs.pending_purge) {
+                self.obs.latencies.punct_purge.record(now_us.saturating_sub(vt));
+            }
+            self.prof_end(
+                Component::StatePurge,
+                prof,
+                Some((TraceKind::Purge, removed, applied)),
+            );
         }
     }
 
@@ -368,6 +572,8 @@ impl PJoin {
         if self.config.memory_max_tuples == 0 {
             return;
         }
+        let prof = self.prof_begin();
+        let now_us = self.now.as_micros();
         let departure = self.instant;
         while self.a.memory_tuples() + self.b.memory_tuples() > self.config.memory_max_tuples {
             let own = if self.a.store.memory_tuples() >= self.b.store.memory_tuples() {
@@ -379,27 +585,47 @@ impl PJoin {
             if own.store.bucket(victim).memory_len() == 0 {
                 break;
             }
-            own.spill_bucket(victim, departure, &mut self.work);
+            let spill = self.obs.tracer.span_start();
+            let pages = own.spill_bucket(victim, departure, &mut self.work);
+            self.obs.tracer.span_end(spill, TraceKind::Relocation, now_us, victim as u64, pages);
             self.stats.relocations += 1;
         }
+        // The per-spill spans carry the detail; the profile row carries
+        // the aggregate attribution.
+        self.prof_end(Component::StateRelocation, prof, None);
     }
 
     /// Index build (§3.5): incremental build on both sides.
     fn component_index_build(&mut self) {
+        let prof = self.prof_begin();
+        let evals0 = self.work.index_evals;
         self.stats.index_builds += 1;
         self.a.index_build(&mut self.work);
         self.b.index_build(&mut self.work);
+        let evals = self.work.index_evals - evals0;
+        self.prof_end(Component::IndexBuild, prof, Some((TraceKind::IndexBuild, evals, 0)));
     }
 
     /// Propagation (§3.5): release propagable punctuations of both sides
     /// in output-schema form.
     fn component_propagate(&mut self, out: &mut OpOutput) {
+        let prof = self.prof_begin();
         self.stats.propagation_runs += 1;
         let out_width = self.config.output_width();
-        let n = propagate_side(&mut self.a, 0, out_width, out, &mut self.work).len()
-            + propagate_side(&mut self.b, self.config.width_a, out_width, out, &mut self.work)
-                .len();
-        self.stats.puncts_propagated += n as u64;
+        let ids_a = propagate_side(&mut self.a, 0, out_width, out, &mut self.work);
+        let ids_b = propagate_side(&mut self.b, self.config.width_a, out_width, out, &mut self.work);
+        let n = (ids_a.len() + ids_b.len()) as u64;
+        self.stats.puncts_propagated += n;
+        if self.obs.tracer.enabled() {
+            let now_us = self.now.as_micros();
+            for id in ids_a {
+                self.note_punct_emitted(0, id, now_us);
+            }
+            for id in ids_b {
+                self.note_punct_emitted(1, id, now_us);
+            }
+            self.prof_end(Component::Propagation, prof, Some((TraceKind::Propagation, n, 0)));
+        }
     }
 
     /// Picks the next bucket worth resolving. With `force`, activation
@@ -435,6 +661,8 @@ impl PJoin {
     }
 
     fn resolve(&mut self, bucket: usize, out: &mut OpOutput) {
+        let prof = self.prof_begin();
+        let outputs0 = self.work.outputs;
         let probe_instant = self.next_instant();
         self.stats.disk_join_runs += 1;
         let mark = resolve_bucket(
@@ -447,6 +675,12 @@ impl PJoin {
             &mut self.work,
         );
         self.resolution_marks[bucket] = Some(mark);
+        let emitted = self.work.outputs - outputs0;
+        self.prof_end(
+            Component::DiskJoin,
+            prof,
+            Some((TraceKind::DiskJoin, bucket as u64, emitted)),
+        );
     }
 }
 
@@ -479,6 +713,9 @@ impl BinaryStreamOp for PJoin {
         loop {
             match self.end_phase {
                 EndPhase::NotStarted => {
+                    if self.obs.tracer.enabled() {
+                        self.obs.profile.note_event(EventKind::StreamEmpty);
+                    }
                     self.end_phase = EndPhase::DiskJoins;
                 }
                 EndPhase::DiskJoins => {
@@ -538,9 +775,11 @@ impl PJoin {
     /// valid because no further result will be produced).
     fn flush_all_punctuations(&mut self, out: &mut OpOutput) {
         let out_width = self.config.output_width();
-        for (state, offset) in [
-            (&mut self.a, 0usize),
-            (&mut self.b, self.config.width_a),
+        let now_us = self.now.as_micros();
+        let trace_on = self.obs.tracer.enabled();
+        for (state, offset, side_idx) in [
+            (&mut self.a, 0usize, 0usize),
+            (&mut self.b, self.config.width_a, 1usize),
         ] {
             for id in state.index.live_ids() {
                 let p = state.index.get(id).expect("live ids resolve");
@@ -550,6 +789,15 @@ impl PJoin {
                 state.index.retire(id);
                 self.work.puncts_propagated += 1;
                 self.stats.puncts_propagated += 1;
+                if trace_on {
+                    let arrival = self.obs.punct_arrivals[side_idx]
+                        .get(id.0 as usize)
+                        .copied()
+                        .unwrap_or(now_us);
+                    let lat = now_us.saturating_sub(arrival);
+                    self.obs.latencies.punct_propagate.record(lat);
+                    self.obs.tracer.instant(TraceKind::PunctEmit, now_us, id.0, lat);
+                }
             }
         }
     }

@@ -14,6 +14,7 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
+use punct_trace::JoinLatencies;
 use punct_types::{StreamElement, Timestamp, Timestamped};
 use std::sync::Arc;
 use stream_sim::{BinaryStreamOp, OpOutput, Side};
@@ -46,6 +47,9 @@ pub struct RuntimeMetrics {
     pub state_tuples: usize,
     /// Results emitted so far.
     pub emitted: u64,
+    /// End-to-end latency histograms (empty unless the operator was
+    /// configured with tracing; merged exactly by `+`).
+    pub latencies: JoinLatencies,
 }
 
 impl std::ops::Add for RuntimeMetrics {
@@ -55,6 +59,7 @@ impl std::ops::Add for RuntimeMetrics {
             consumed: self.consumed + rhs.consumed,
             state_tuples: self.state_tuples + rhs.state_tuples,
             emitted: self.emitted + rhs.emitted,
+            latencies: self.latencies + rhs.latencies,
         }
     }
 }
@@ -223,6 +228,9 @@ fn worker(
             m.consumed = consumed;
             m.state_tuples = join.state_tuples();
             m.emitted = emitted;
+            if join.tracing_enabled() {
+                m.latencies = *join.latencies();
+            }
         }
     }
     drop(output_tx);
@@ -306,10 +314,43 @@ mod tests {
 
     #[test]
     fn metrics_aggregate_by_sum() {
-        let a = RuntimeMetrics { consumed: 1, state_tuples: 2, emitted: 3 };
-        let b = RuntimeMetrics { consumed: 10, state_tuples: 20, emitted: 30 };
+        let a = RuntimeMetrics { consumed: 1, state_tuples: 2, emitted: 3, ..Default::default() };
+        let b =
+            RuntimeMetrics { consumed: 10, state_tuples: 20, emitted: 30, ..Default::default() };
         let total: RuntimeMetrics = [a, b].into_iter().sum();
-        assert_eq!(total, RuntimeMetrics { consumed: 11, state_tuples: 22, emitted: 33 });
+        assert_eq!(
+            total,
+            RuntimeMetrics { consumed: 11, state_tuples: 22, emitted: 33, ..Default::default() }
+        );
+    }
+
+    #[test]
+    fn latencies_flow_through_runtime_metrics() {
+        let config = PJoinConfig {
+            purge: crate::config::PurgeStrategy::Eager,
+            index_build: crate::config::IndexBuildStrategy::Eager,
+            propagation: crate::config::PropagationTrigger::PushCount { count: 1 },
+            ..PJoinConfig::new(2, 2)
+        }
+        .with_tracing();
+        let rt = PJoinRuntime::spawn(config);
+        rt.push(Side::Left, tup(1_000, 7, 0));
+        rt.push(Side::Right, tup(2_000, 7, 1));
+        rt.push(Side::Left, punct(3_000, 7));
+        rt.push(Side::Right, punct(4_000, 7));
+        // Wait until all four inputs are consumed so the metrics snapshot
+        // is final before finish() tears the runtime down.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while rt.metrics().consumed < 4 {
+            assert!(std::time::Instant::now() < deadline, "worker did not process in time");
+            std::thread::yield_now();
+        }
+        let m = rt.metrics();
+        assert_eq!(m.latencies.tuple_emit.count(), 1, "one join result");
+        // The left tuple (t=1000) was stored 1000 µs before the right
+        // arrival joined it.
+        assert_eq!(m.latencies.tuple_emit.max(), 1_000);
+        let _ = rt.finish();
     }
 
     #[test]

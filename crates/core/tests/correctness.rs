@@ -13,6 +13,7 @@ fn driver() -> Driver {
         cost: CostModel::free(),
         sample_every_micros: 1_000_000,
         collect_outputs: true,
+        ..DriverConfig::default()
     })
 }
 

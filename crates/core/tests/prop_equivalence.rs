@@ -61,7 +61,7 @@ fn arb_config() -> impl Strategy<Value = PJoinConfig> {
         ],
         any::<bool>(),
         // memory budget: 0 (unlimited) or tiny (forces spills).
-        prop_oneof![Just(0usize), (4usize..32)],
+        prop_oneof![Just(0usize), 4usize..32],
         1usize..8, // buckets
     )
         .prop_map(|(purge, index_build, propagation, otf, memory, buckets)| PJoinConfig {
@@ -112,6 +112,7 @@ proptest! {
             cost: CostModel::free(),
             sample_every_micros: 1_000_000,
             collect_outputs: true,
+            ..DriverConfig::default()
         });
         let stats = driver.run(&mut op, &left, &right);
 
@@ -145,6 +146,7 @@ proptest! {
                 cost,
                 sample_every_micros: 1_000_000,
                 collect_outputs: true,
+                ..DriverConfig::default()
             });
             let stats = driver.run(&mut op, &left, &right);
             let mut got: Vec<Tuple> =

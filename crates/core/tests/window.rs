@@ -24,6 +24,7 @@ fn run(
         cost: CostModel::free(),
         sample_every_micros: 1_000_000,
         collect_outputs: true,
+        ..DriverConfig::default()
     });
     driver.run(op, left, right)
 }

@@ -26,8 +26,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use pjoin::framework::FrameworkProfile;
 use pjoin::runtime::RuntimeMetrics;
 use pjoin::PJoinStats;
+use punct_trace::{JoinLatencies, TraceLog};
 use punct_types::{StreamElement, Timestamped};
 use stream_sim::{Side, Work};
 
@@ -46,6 +48,10 @@ pub struct ExecStats {
     pub router: RouterReport,
     /// Merger counters (including alignment diagnostics).
     pub merge: MergeReport,
+    /// The router thread's trace (empty unless tracing was enabled).
+    pub router_trace: TraceLog,
+    /// The merger thread's trace (empty unless tracing was enabled).
+    pub merge_trace: TraceLog,
 }
 
 impl ExecStats {
@@ -71,6 +77,52 @@ impl ExecStats {
     pub fn critical_path_nanos(&self, cost: &stream_sim::CostModel) -> u64 {
         self.shards.iter().map(|s| cost.nanos(&s.work)).max().unwrap_or(0)
     }
+
+    /// Latency histograms merged over all shards. Merging is exact
+    /// (element-wise bucket addition), so for a workload whose keys and
+    /// closing punctuations co-locate this equals the single-threaded
+    /// operator's histograms regardless of shard count.
+    pub fn total_latencies(&self) -> JoinLatencies {
+        let mut total = JoinLatencies::new();
+        for s in &self.shards {
+            total.merge(&s.latencies);
+        }
+        total
+    }
+
+    /// Framework profiles merged over all shards.
+    pub fn total_profile(&self) -> FrameworkProfile {
+        let mut total = FrameworkProfile::new();
+        for s in &self.shards {
+            total.merge(&s.profile);
+        }
+        total
+    }
+
+    /// Every lane's trace events (shards, router, merger) merged into
+    /// one log and sorted by wall time.
+    pub fn all_trace_events(&self) -> TraceLog {
+        let mut log = TraceLog::default();
+        for s in &self.shards {
+            log.merge(s.trace.clone());
+        }
+        log.merge(self.router_trace.clone());
+        log.merge(self.merge_trace.clone());
+        log.sort_by_wall();
+        log
+    }
+
+    /// The run's merged trace in JSON-lines form (one event per line).
+    pub fn trace_jsonl(&self) -> String {
+        punct_trace::jsonl(&self.all_trace_events().events)
+    }
+
+    /// The run's merged trace in Chrome `trace_event` form — load it in
+    /// `chrome://tracing` or Perfetto; each shard / router / merger is
+    /// its own named thread row.
+    pub fn chrome_trace(&self) -> String {
+        punct_trace::chrome_trace(&self.all_trace_events().events)
+    }
 }
 
 /// An N-shard parallel PJoin.
@@ -87,15 +139,19 @@ pub struct ShardedPJoin {
     pending: Mutex<Vec<Timestamped<StreamElement>>>,
     shard_metrics: Vec<Arc<Mutex<RuntimeMetrics>>>,
     router_counters: Arc<RouterCounters>,
-    router: Option<JoinHandle<()>>,
+    router: Option<JoinHandle<TraceLog>>,
     workers: Vec<JoinHandle<ShardReport>>,
-    merger: Option<JoinHandle<MergeReport>>,
+    merger: Option<JoinHandle<(MergeReport, TraceLog)>>,
     shards: usize,
 }
 
 impl ShardedPJoin {
     /// Spawns the router, `config.shards` shard workers and the merger.
     pub fn spawn(config: ExecConfig) -> ShardedPJoin {
+        // Pin the wall-clock trace epoch before any lane thread starts,
+        // so every lane stamps against a base that predates its first
+        // event (harmless when tracing is off).
+        punct_trace::wall_epoch();
         let shards = config.shards;
         let aligner = Arc::new(Mutex::new(Aligner::new()));
         let router_counters = Arc::new(RouterCounters::default());
@@ -149,9 +205,10 @@ impl ShardedPJoin {
         let merger = {
             let aligner = Arc::clone(&aligner);
             let ordered = config.ordered_merge;
+            let trace = config.join.trace;
             std::thread::Builder::new()
                 .name("pjoin-merge".into())
-                .spawn(move || merge_loop(shards, ordered, event_rx, output_tx, aligner))
+                .spawn(move || merge_loop(shards, ordered, trace, event_rx, output_tx, aligner))
                 .expect("spawn merger thread")
         };
 
@@ -259,19 +316,21 @@ impl ShardedPJoin {
         }
 
         let router = self.router.take().expect("router handle");
-        router.join().expect("router thread panicked");
+        let router_trace = router.join().expect("router thread panicked");
         let mut shard_reports: Vec<ShardReport> = std::mem::take(&mut self.workers)
             .into_iter()
             .map(|w| w.join().expect("shard thread panicked"))
             .collect();
         shard_reports.sort_by_key(|r| r.shard);
         let merger = self.merger.take().expect("merger handle");
-        let merge = merger.join().expect("merger thread panicked");
+        let (merge, merge_trace) = merger.join().expect("merger thread panicked");
 
         let stats = ExecStats {
             shards: shard_reports,
             router: self.router_counters.report(),
             merge,
+            router_trace,
+            merge_trace,
         };
         (outputs, stats)
     }

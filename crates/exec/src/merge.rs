@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use crossbeam::channel::{Receiver, Sender};
+use punct_trace::{TraceKind, TraceLog, TraceSettings, Tracer, LANE_MERGE};
 use punct_types::{StreamElement, Timestamp, Timestamped};
 
 use crate::align::{AlignOutcome, Aligner};
@@ -50,6 +51,7 @@ struct Merger {
     out: Sender<Vec<Timestamped<StreamElement>>>,
     report: MergeReport,
     caller_gone: bool,
+    tracer: Tracer,
 }
 
 impl Merger {
@@ -68,7 +70,22 @@ impl Merger {
                     kept.push(e);
                 }
                 StreamElement::Punctuation(p) => {
-                    match self.aligner.lock().expect("aligner lock").observe(shard, p) {
+                    let outcome =
+                        self.aligner.lock().expect("aligner lock").observe(shard, p);
+                    if self.tracer.enabled() {
+                        let code = match outcome {
+                            AlignOutcome::Emit => 0,
+                            AlignOutcome::Pending => 1,
+                            AlignOutcome::Unexpected => 2,
+                        };
+                        self.tracer.instant(
+                            TraceKind::Align,
+                            e.ts.as_micros(),
+                            code,
+                            shard as u64,
+                        );
+                    }
+                    match outcome {
                         AlignOutcome::Emit => {
                             self.report.puncts += 1;
                             kept.push(e);
@@ -85,6 +102,10 @@ impl Merger {
     fn send(&mut self, batch: Vec<Timestamped<StreamElement>>) {
         if batch.is_empty() || self.caller_gone {
             return;
+        }
+        if self.tracer.enabled() {
+            let last_ts = batch.last().map_or(0, |e| e.ts.as_micros());
+            self.tracer.instant(TraceKind::Merge, last_ts, batch.len() as u64, 0);
         }
         if self.out.send(batch).is_err() {
             // Caller dropped the output receiver: keep draining events so
@@ -133,14 +154,18 @@ impl Merger {
 }
 
 /// The merger thread body. Returns once every shard reported `Done` (or
-/// all senders disconnected).
+/// all senders disconnected), with the merge-lane trace (empty unless
+/// tracing was enabled).
 pub(crate) fn merge_loop(
     shards: usize,
     ordered: bool,
+    trace: TraceSettings,
     rx: Receiver<ShardEvent>,
     out: Sender<Vec<Timestamped<StreamElement>>>,
     aligner: Arc<Mutex<Aligner>>,
-) -> MergeReport {
+) -> (MergeReport, TraceLog) {
+    let mut tracer = Tracer::new(trace);
+    tracer.set_lane(LANE_MERGE);
     let mut m = Merger {
         ordered,
         done: vec![false; shards],
@@ -150,6 +175,7 @@ pub(crate) fn merge_loop(
         out,
         report: MergeReport::default(),
         caller_gone: false,
+        tracer,
     };
 
     let mut remaining = shards;
@@ -191,5 +217,5 @@ pub(crate) fn merge_loop(
     }
     m.report.puncts_unaligned =
         m.aligner.lock().expect("aligner lock").pending_len() as u64;
-    m.report
+    (m.report, m.tracer.take())
 }

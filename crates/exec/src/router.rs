@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use pjoin::components::propagation::translate_punctuation;
 use pjoin::PJoinConfig;
+use punct_trace::{TraceKind, TraceLog, Tracer, LANE_ROUTER};
 use punct_types::{Pattern, PunctSeqAssigner, Punctuation, StreamElement, Timestamp, Timestamped, Value};
 use stream_sim::Side;
 
@@ -208,6 +209,7 @@ struct RouterState {
     aligner: Arc<Mutex<Aligner>>,
     counters: Arc<RouterCounters>,
     shard_txs: Vec<Sender<ShardMsg>>,
+    tracer: Tracer,
 }
 
 impl RouterState {
@@ -262,6 +264,18 @@ impl RouterState {
                 counter.fetch_add(1, Ordering::Relaxed);
 
                 let seq = self.seqs[Self::side_index(side)].assign();
+                if self.tracer.enabled() {
+                    let kind = match route {
+                        Route::Broadcast => TraceKind::Broadcast,
+                        _ => TraceKind::Route,
+                    };
+                    self.tracer.instant(
+                        kind,
+                        element.ts.as_micros(),
+                        seq.0,
+                        route.mask(self.shards),
+                    );
+                }
                 let translated = translate_punctuation(
                     p,
                     self.side_offset(side),
@@ -322,7 +336,8 @@ impl RouterState {
 /// The router thread body. Consumes caller messages, batching per shard:
 /// under load, batches fill to `router_batch` before flushing; when the
 /// input runs dry (or on finish), all buffers flush immediately so idle
-/// latency stays low.
+/// latency stays low. Returns the router-lane trace (empty unless the
+/// join config enables tracing).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn router_loop(
     config: PJoinConfig,
@@ -333,7 +348,9 @@ pub(crate) fn router_loop(
     shard_txs: Vec<Sender<ShardMsg>>,
     aligner: Arc<Mutex<Aligner>>,
     counters: Arc<RouterCounters>,
-) {
+) -> TraceLog {
+    let mut tracer = Tracer::new(config.trace);
+    tracer.set_lane(LANE_ROUTER);
     let mut state = RouterState {
         config,
         shards,
@@ -345,6 +362,7 @@ pub(crate) fn router_loop(
         aligner,
         counters,
         shard_txs,
+        tracer,
     };
 
     let mut finished = false;
@@ -383,6 +401,7 @@ pub(crate) fn router_loop(
     for tx in &state.shard_txs {
         let _ = tx.send(ShardMsg::Finish);
     }
+    state.tracer.take()
 }
 
 #[cfg(test)]

@@ -8,8 +8,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use pjoin::framework::FrameworkProfile;
 use pjoin::runtime::RuntimeMetrics;
 use pjoin::{PJoin, PJoinConfig, PJoinStats};
+use punct_trace::{JoinLatencies, TraceLog};
 use punct_types::{StreamElement, Timestamp, Timestamped};
 use stream_sim::{BinaryStreamOp, OpOutput, Side, Work};
 
@@ -54,8 +56,16 @@ pub struct ShardReport {
     /// Total modeled work performed by this shard's operator — the per-
     /// shard critical-path input for virtual-time scaling analysis.
     pub work: Work,
-    /// Final runtime metrics (consumed / state / emitted).
+    /// Final runtime metrics (consumed / state / emitted / latencies).
     pub metrics: RuntimeMetrics,
+    /// The operator's latency histograms (empty unless tracing was
+    /// enabled; mergeable exactly across shards).
+    pub latencies: JoinLatencies,
+    /// The framework profile: per-component wall/virtual cost and event
+    /// counts (empty unless tracing was enabled).
+    pub profile: FrameworkProfile,
+    /// The shard's trace events (empty unless tracing was enabled).
+    pub trace: TraceLog,
 }
 
 /// How often an idle shard polls for background work.
@@ -70,6 +80,7 @@ pub(crate) fn shard_loop(
     metrics: Arc<Mutex<RuntimeMetrics>>,
 ) -> ShardReport {
     let mut join = PJoin::new(config);
+    join.tracer_mut().set_lane(shard as u32);
     let mut out = OpOutput::new();
     let mut last_ts = Timestamp::ZERO;
     let mut consumed = 0u64;
@@ -80,6 +91,9 @@ pub(crate) fn shard_loop(
         m.consumed = consumed;
         m.state_tuples = join.state_tuples();
         m.emitted = emitted;
+        if join.tracing_enabled() {
+            m.latencies = *join.latencies();
+        }
     };
 
     loop {
@@ -135,11 +149,20 @@ pub(crate) fn shard_loop(
     }
 
     let work = join.take_work();
+    let latencies = *join.latencies();
     let report = ShardReport {
         shard,
         stats: *join.stats(),
         work,
-        metrics: RuntimeMetrics { consumed, state_tuples: join.state_tuples(), emitted },
+        metrics: RuntimeMetrics {
+            consumed,
+            state_tuples: join.state_tuples(),
+            emitted,
+            latencies,
+        },
+        latencies,
+        profile: *join.profile(),
+        trace: join.take_trace(),
     };
     let _ = events.send(ShardEvent::Done(shard));
     report

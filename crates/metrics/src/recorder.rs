@@ -65,16 +65,17 @@ impl Recorder {
     }
 
     /// The per-shard series recorded under `base`, in shard order
-    /// (shard 0, 1, …); stops at the first missing shard index.
+    /// (shard 0, 1, …). Found by name, so gaps in the shard numbering
+    /// (e.g. a shard that never sampled) do not hide the shards after
+    /// them.
     pub fn shard_series(&self, base: &str) -> Vec<&Series> {
-        let mut found = Vec::new();
-        for shard in 0.. {
-            match self.get(&shard_series_name(base, shard)) {
-                Some(s) => found.push(s),
-                None => break,
-            }
-        }
-        found
+        let mut found: Vec<(usize, &Series)> = self
+            .series
+            .iter()
+            .filter_map(|(name, s)| Some((parse_shard_series_name(name, base)?, s)))
+            .collect();
+        found.sort_by_key(|&(shard, _)| shard);
+        found.into_iter().map(|(_, s)| s).collect()
     }
 
     /// Sums the per-shard series recorded under `base` into one
@@ -82,6 +83,10 @@ impl Recorder {
     /// sample points) and each shard contributes its most recent value
     /// at or before every x (step interpolation), so shards sampled at
     /// slightly different instants still aggregate correctly.
+    ///
+    /// Boundary behavior: before a shard's first sample it contributes
+    /// **0** (no extrapolation backwards); at and after its last sample
+    /// it holds that final value for the rest of the merged x-axis.
     pub fn sum_shards(&self, base: &str) -> Option<Series> {
         let shards = self.shard_series(base);
         if shards.is_empty() {
@@ -93,19 +98,24 @@ impl Recorder {
             .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
         xs.dedup();
+        // One cursor per shard: each series' points are in recording
+        // order, so a linear scan per shard replaces the quadratic
+        // take_while-per-x lookup.
+        let mut cursors = vec![(0usize, 0.0f64); shards.len()];
         let points = xs
             .into_iter()
             .map(|x| {
-                let y = shards
-                    .iter()
-                    .map(|s| {
-                        s.points()
-                            .iter()
-                            .take_while(|&&(px, _)| px <= x)
-                            .last()
-                            .map_or(0.0, |&(_, py)| py)
-                    })
-                    .sum();
+                let mut y = 0.0;
+                for (shard, s) in shards.iter().enumerate() {
+                    let (ref mut i, ref mut last) = cursors[shard];
+                    let pts = s.points();
+                    while *i < pts.len() && pts[*i].0 <= x {
+                        *last = pts[*i].1;
+                        *i += 1;
+                    }
+                    // `last` stays 0.0 until the shard's first sample.
+                    y += *last;
+                }
                 (x, y)
             })
             .collect();
@@ -116,6 +126,14 @@ impl Recorder {
 /// The canonical per-shard series name: `base[shard=i]`.
 pub fn shard_series_name(base: &str, shard: usize) -> String {
     format!("{base}[shard={shard}]")
+}
+
+/// Parses a series name of the form `base[shard=i]` back to `i`, for
+/// the given base. Returns `None` for any other name.
+fn parse_shard_series_name(name: &str, base: &str) -> Option<usize> {
+    let rest = name.strip_prefix(base)?;
+    let digits = rest.strip_prefix("[shard=")?.strip_suffix(']')?;
+    digits.parse().ok()
 }
 
 #[cfg(test)]
@@ -174,5 +192,69 @@ mod tests {
         // t=0: 10 + (no shard-1 sample yet) 0; t=1: 10+5; t=2: 30+5.
         assert_eq!(sum.points(), &[(0.0, 10.0), (1.0, 15.0), (2.0, 35.0)]);
         assert!(r.sum_shards("missing").is_none());
+    }
+
+    #[test]
+    fn shard_series_survives_gaps_in_shard_numbering() {
+        // A shard that never sampled (here shard 1) must not hide the
+        // shards after it — the old enumeration stopped at the first
+        // missing index, silently dropping shard 2+ from aggregates.
+        let mut r = Recorder::new();
+        r.record_shard("state", 0, 0.0, 1.0);
+        r.record_shard("state", 2, 0.0, 4.0);
+        r.record_shard("state", 3, 0.0, 8.0);
+        let shards = r.shard_series("state");
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].name, "state[shard=0]");
+        assert_eq!(shards[1].name, "state[shard=2]");
+        assert_eq!(shards[2].name, "state[shard=3]");
+        let sum = r.sum_shards("state").unwrap();
+        assert_eq!(sum.points(), &[(0.0, 13.0)]);
+        // A missing shard 0 must not hide everything.
+        let mut r = Recorder::new();
+        r.record_shard("q", 5, 1.0, 7.0);
+        assert_eq!(r.shard_series("q").len(), 1);
+    }
+
+    #[test]
+    fn shard_series_ignores_other_bases_and_malformed_names() {
+        let mut r = Recorder::new();
+        r.record_shard("state", 0, 0.0, 1.0);
+        r.record_shard("state2", 0, 0.0, 100.0); // prefix collision
+        r.record("state[shard=x]", 0.0, 100.0); // non-numeric index
+        r.record("state[shard=1] extra", 0.0, 100.0); // trailing garbage
+        r.record("state", 0.0, 100.0); // the base itself
+        let shards = r.shard_series("state");
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].name, "state[shard=0]");
+        assert_eq!(r.sum_shards("state").unwrap().points(), &[(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn sum_shards_boundary_no_backward_extrapolation_and_hold_last() {
+        let mut r = Recorder::new();
+        // Shard 0 covers [0, 10]; shard 1 only [4, 6].
+        r.record_shard("s", 0, 0.0, 1.0);
+        r.record_shard("s", 0, 10.0, 2.0);
+        r.record_shard("s", 1, 4.0, 100.0);
+        r.record_shard("s", 1, 6.0, 200.0);
+        let sum = r.sum_shards("s").unwrap();
+        // Before shard 1's first sample it contributes 0, never its
+        // first value; after its last sample it holds 200.
+        assert_eq!(
+            sum.points(),
+            &[(0.0, 1.0), (4.0, 101.0), (6.0, 201.0), (10.0, 202.0)]
+        );
+    }
+
+    #[test]
+    fn sum_shards_duplicate_x_takes_latest_value() {
+        // Two samples at the same instant: the cursor advances past
+        // both, so the later recording wins (step function semantics).
+        let mut r = Recorder::new();
+        r.record_shard("s", 0, 1.0, 5.0);
+        r.record_shard("s", 0, 1.0, 7.0);
+        let sum = r.sum_shards("s").unwrap();
+        assert_eq!(sum.points(), &[(1.0, 7.0)]);
     }
 }

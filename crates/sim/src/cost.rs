@@ -6,7 +6,7 @@
 //! operators free of timing policy and makes every experiment
 //! deterministic and replayable.
 
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +103,28 @@ impl Add for Work {
 impl AddAssign for Work {
     fn add_assign(&mut self, rhs: Work) {
         *self = *self + rhs;
+    }
+}
+
+/// Saturating field-wise difference — used by the profiler to attribute
+/// the work performed between two snapshots of a running accumulator.
+impl Sub for Work {
+    type Output = Work;
+    fn sub(self, rhs: Work) -> Work {
+        Work {
+            hashes: self.hashes.saturating_sub(rhs.hashes),
+            key_lookups: self.key_lookups.saturating_sub(rhs.key_lookups),
+            probe_cmps: self.probe_cmps.saturating_sub(rhs.probe_cmps),
+            inserts: self.inserts.saturating_sub(rhs.inserts),
+            outputs: self.outputs.saturating_sub(rhs.outputs),
+            purge_scanned: self.purge_scanned.saturating_sub(rhs.purge_scanned),
+            purged: self.purged.saturating_sub(rhs.purged),
+            index_evals: self.index_evals.saturating_sub(rhs.index_evals),
+            puncts_processed: self.puncts_processed.saturating_sub(rhs.puncts_processed),
+            puncts_propagated: self.puncts_propagated.saturating_sub(rhs.puncts_propagated),
+            pages_read: self.pages_read.saturating_sub(rhs.pages_read),
+            pages_written: self.pages_written.saturating_sub(rhs.pages_written),
+        }
     }
 }
 
@@ -219,6 +241,17 @@ mod tests {
         let mut d = a;
         d += b;
         assert_eq!(d, c);
+    }
+
+    #[test]
+    fn subtraction_is_saturating_fieldwise() {
+        let a = Work { hashes: 10, outputs: 5, ..Work::ZERO };
+        let b = Work { hashes: 3, outputs: 9, probe_cmps: 4, ..Work::ZERO };
+        let d = a - b;
+        assert_eq!(d.hashes, 7);
+        assert_eq!(d.outputs, 0, "saturates instead of underflowing");
+        assert_eq!(d.probe_cmps, 0);
+        assert_eq!(a - Work::ZERO, a);
     }
 
     #[test]

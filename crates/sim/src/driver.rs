@@ -8,6 +8,7 @@
 //! work (the paper's reactive *disk join*, scheduled "when the memory join
 //! cannot proceed due to the slow delivery of the data").
 
+use punct_trace::{TraceKind, TraceLog, TraceSettings, Tracer, LANE_DRIVER};
 use punct_types::{StreamElement, Timestamp, Timestamped};
 
 use crate::clock::VirtualClock;
@@ -139,6 +140,9 @@ pub struct DriverConfig {
     /// Whether to retain every output element in [`RunStats::outputs`]
     /// (memory-hungry; enable only for functional tests).
     pub collect_outputs: bool,
+    /// Tracing for the driver's own ingress stamps (one event per
+    /// consumed element, on the reserved driver lane). Off by default.
+    pub trace: TraceSettings,
 }
 
 impl Default for DriverConfig {
@@ -147,6 +151,7 @@ impl Default for DriverConfig {
             cost: CostModel::default(),
             sample_every_micros: 500_000, // 0.5 virtual seconds
             collect_outputs: false,
+            trace: TraceSettings::default(),
         }
     }
 }
@@ -166,6 +171,8 @@ pub struct RunStats {
     pub end_time: Timestamp,
     /// Total priced work of the run.
     pub total_work: Work,
+    /// The driver's ingress trace (empty unless tracing was enabled).
+    pub trace: TraceLog,
 }
 
 impl RunStats {
@@ -229,6 +236,8 @@ impl Driver {
         let mut next_sample = Timestamp(0);
         let (mut li, mut ri) = (0usize, 0usize);
         let mut consumed = 0u64;
+        let mut tracer = Tracer::new(self.config.trace);
+        tracer.set_lane(LANE_DRIVER);
 
         loop {
             // Choose the next arrival (earlier timestamp wins; ties go left).
@@ -268,6 +277,15 @@ impl Driver {
 
             // The element waits if the operator is still busy.
             clock.advance_to(elem.ts);
+            if tracer.enabled() {
+                let side_idx = if side == Side::Left { 0 } else { 1 };
+                tracer.instant(
+                    TraceKind::Ingress,
+                    elem.ts.as_micros(),
+                    side_idx,
+                    u64::from(elem.item.is_punctuation()),
+                );
+            }
             op.on_element(side, elem.item.clone(), elem.ts, &mut out);
             consumed += 1;
             self.charge(op, &mut clock, &mut stats);
@@ -287,6 +305,7 @@ impl Driver {
         self.flush(&mut out, clock.now(), &mut stats);
 
         stats.end_time = clock.now();
+        stats.trace = tracer.take();
         // Always leave a final sample at the end time.
         stats.samples.push(Sample {
             ts: clock.now(),
@@ -423,6 +442,7 @@ mod tests {
             cost: CostModel::free(),
             sample_every_micros: 10,
             collect_outputs: true,
+            ..DriverConfig::default()
         });
         let left = vec![tup_at(5, 1), tup_at(20, 2)];
         let right = vec![tup_at(10, 3)];
@@ -449,6 +469,7 @@ mod tests {
             cost: CostModel { probe_cmp_ns: 1_000_000, ..CostModel::free() },
             sample_every_micros: 1_000_000,
             collect_outputs: true,
+            ..DriverConfig::default()
         });
         let left = vec![tup_at(1, 1), tup_at(2, 2), tup_at(3, 3)];
         let mut op = Echo::new();
@@ -466,6 +487,7 @@ mod tests {
             cost: CostModel::free(),
             sample_every_micros: 1_000_000,
             collect_outputs: false,
+            ..DriverConfig::default()
         });
         let left = vec![tup_at(0, 1), tup_at(1000, 2)];
         let mut op = Echo::new();
@@ -482,6 +504,7 @@ mod tests {
             cost: CostModel::free(),
             sample_every_micros: 100,
             collect_outputs: false,
+            ..DriverConfig::default()
         });
         let left: Vec<_> = (0..50).map(|i| tup_at(i * 37, i as i64)).collect();
         let mut op = Echo::new();
@@ -496,6 +519,32 @@ mod tests {
         let last = stats.samples.last().unwrap();
         assert_eq!(last.out_tuples, 50);
         assert_eq!(last.consumed, 50);
+    }
+
+    #[test]
+    fn ingress_stamps_when_tracing_enabled() {
+        let driver = Driver::new(DriverConfig {
+            cost: CostModel::free(),
+            sample_every_micros: 1_000_000,
+            collect_outputs: false,
+            trace: TraceSettings::enabled(),
+        });
+        let left = vec![tup_at(5, 1), tup_at(20, 2)];
+        let right = vec![tup_at(10, 3)];
+        let mut op = Echo::new();
+        op.end_flushes = 0;
+        let stats = driver.run(&mut op, &left, &right);
+        let ingress: Vec<_> = stats.trace.of_kind(TraceKind::Ingress).collect();
+        assert_eq!(ingress.len(), 3);
+        assert!(ingress.iter().all(|e| e.lane == LANE_DRIVER));
+        assert_eq!(
+            ingress.iter().map(|e| (e.vt_us, e.a)).collect::<Vec<_>>(),
+            vec![(5, 0), (10, 1), (20, 0)],
+            "vt is the arrival ts; a is the side index"
+        );
+        // Off by default: no events recorded.
+        let silent = Driver::with_defaults().run(&mut Echo::new(), &left, &right);
+        assert!(silent.trace.events.is_empty());
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub use bucket::Bucket;
 pub use codec::{CodecError, Record};
 pub use file_disk::FileDisk;
 pub use page::Page;
-pub use partition::{PartitionedStore, StoreConfig};
+pub use partition::{PartitionedStore, SpillCounters, SpillReport, StoreConfig};
 pub use sim_disk::SimDisk;
 pub use spill::SpillPolicy;

@@ -47,12 +47,36 @@ pub struct SpillReport {
     pub tuples_moved: usize,
 }
 
+/// Cumulative state-relocation counters across a store's lifetime.
+/// Individual [`SpillReport`]s describe one relocation step; these
+/// totals let observability layers attribute disk pressure to a store
+/// without intercepting every report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillCounters {
+    /// Relocation steps performed ([`PartitionedStore::spill_bucket`] calls).
+    pub spill_runs: u64,
+    /// Pages written by relocations.
+    pub pages_written: u64,
+    /// Records moved to disk by relocations.
+    pub tuples_moved: u64,
+}
+
+impl SpillCounters {
+    /// Adds one relocation step's report to the totals.
+    fn note(&mut self, report: &SpillReport) {
+        self.spill_runs += 1;
+        self.pages_written += report.pages_written;
+        self.tuples_moved += report.tuples_moved as u64;
+    }
+}
+
 /// One input stream's join state.
 pub struct PartitionedStore<R> {
     config: StoreConfig,
     buckets: Vec<Bucket<R>>,
     backend: Box<dyn DiskBackend>,
     spill_state: SpillState,
+    spill_counters: SpillCounters,
     memory_tuples: usize,
     disk_tuples: usize,
 }
@@ -67,6 +91,7 @@ impl<R: Record> PartitionedStore<R> {
             buckets,
             backend,
             spill_state: SpillState::default(),
+            spill_counters: SpillCounters::default(),
             memory_tuples: 0,
             disk_tuples: 0,
         }
@@ -199,7 +224,14 @@ impl<R: Record> PartitionedStore<R> {
         }
         let pages_written = page_ids.len() as u64;
         self.buckets[idx].add_disk_pages(page_ids, moved);
-        SpillReport { bucket: idx, pages_written, tuples_moved: moved }
+        let report = SpillReport { bucket: idx, pages_written, tuples_moved: moved };
+        self.spill_counters.note(&report);
+        report
+    }
+
+    /// Cumulative relocation totals since the store was created.
+    pub fn spill_counters(&self) -> SpillCounters {
+        self.spill_counters
     }
 
     /// Reads a bucket's entire disk portion back into memory (without
@@ -459,6 +491,30 @@ mod tests {
         assert_eq!(s.disk_tuples(), report.tuples_moved);
         assert_eq!(s.total_tuples(), 40);
         assert!(s.bucket(report.bucket).has_disk_portion());
+    }
+
+    #[test]
+    fn spill_counters_accumulate_across_relocations() {
+        let mut s = store(1);
+        assert_eq!(s.spill_counters(), SpillCounters::default());
+        for k in 0..10 {
+            s.insert(tup(k));
+        }
+        let first = s.spill_bucket(0); // 10 tuples, page_tuples = 4 → 3 pages
+        for k in 10..14 {
+            s.insert(tup(k));
+        }
+        let second = s.spill_bucket(0); // 4 tuples → 1 page
+        let totals = s.spill_counters();
+        assert_eq!(totals.spill_runs, 2);
+        assert_eq!(totals.pages_written, first.pages_written + second.pages_written);
+        assert_eq!(
+            totals.tuples_moved,
+            (first.tuples_moved + second.tuples_moved) as u64
+        );
+        // rewrite_disk is a disk-join rewrite, not a relocation: not counted.
+        s.rewrite_disk(0, (0..3).map(tup).collect());
+        assert_eq!(s.spill_counters().spill_runs, 2);
     }
 
     #[test]

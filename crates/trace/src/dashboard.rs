@@ -1,0 +1,174 @@
+//! Live ASCII dashboard: latency-histogram bars plus time-series charts
+//! rendered through `stream-metrics`' terminal charting.
+//!
+//! The dashboard owns a [`Recorder`], so an experiment loop can keep
+//! sampling per-shard series (`Dashboard::sample_shard`) and re-render
+//! between batches — redrawing in place gives a live view without any
+//! terminal dependency beyond ANSI clear codes (which the caller emits).
+
+use stream_metrics::{ascii_chart, ChartOptions, Recorder};
+
+use crate::hist::{LatencyHistogram, BUCKETS};
+use crate::latency::JoinLatencies;
+
+/// Renders one histogram as horizontal bars, one line per non-empty
+/// bucket, scaled so the fullest bucket spans `width` cells.
+pub fn histogram_chart(h: &LatencyHistogram, title: &str, width: usize) -> String {
+    let width = width.max(8);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}  count={} mean={:.1} p50<={} p99<={} max={}\n",
+        h.count(),
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        h.max()
+    ));
+    let nonzero = h.nonzero_buckets();
+    if nonzero.is_empty() {
+        out.push_str("  (no samples)\n");
+        return out;
+    }
+    let peak = nonzero.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    // Cover the contiguous bucket range so gaps are visible as zeros.
+    let lo = nonzero.first().map_or(0, |&(i, _)| i);
+    let hi = nonzero.last().map_or(0, |&(i, _)| i);
+    for i in lo..=hi.min(BUCKETS - 1) {
+        let (blo, bhi) = LatencyHistogram::bucket_bounds(i);
+        let count = h.bucket(i);
+        let bar_len = if count == 0 {
+            0
+        } else {
+            (((count as f64 / peak as f64) * width as f64).round() as usize).max(1)
+        };
+        out.push_str(&format!(
+            "  [{blo:>10}, {:>10}] {:bar_width$} {count}\n",
+            if bhi == u64::MAX { "inf".to_string() } else { bhi.to_string() },
+            "#".repeat(bar_len),
+            bar_width = width,
+        ));
+    }
+    out
+}
+
+/// Renders all three latency histograms of a [`JoinLatencies`].
+pub fn latency_report(l: &JoinLatencies, width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&histogram_chart(&l.tuple_emit, "tuple ingress -> emit (vt us)", width));
+    out.push('\n');
+    out.push_str(&histogram_chart(&l.punct_purge, "punct arrival -> purge (vt us)", width));
+    out.push('\n');
+    out.push_str(&histogram_chart(
+        &l.punct_propagate,
+        "punct arrival -> propagation (vt us)",
+        width,
+    ));
+    out
+}
+
+/// A live terminal dashboard: time-series charts plus latency histograms.
+#[derive(Debug, Default)]
+pub struct Dashboard {
+    recorder: Recorder,
+    latencies: JoinLatencies,
+}
+
+impl Dashboard {
+    /// An empty dashboard.
+    pub fn new() -> Dashboard {
+        Dashboard::default()
+    }
+
+    /// Samples a global series at `(x, y)`.
+    pub fn sample(&mut self, series: &str, x: f64, y: f64) {
+        self.recorder.record(series, x, y);
+    }
+
+    /// Samples a per-shard series at `(x, y)`.
+    pub fn sample_shard(&mut self, series: &str, shard: usize, x: f64, y: f64) {
+        self.recorder.record_shard(series, shard, x, y);
+    }
+
+    /// Replaces the displayed latency histograms.
+    pub fn set_latencies(&mut self, latencies: JoinLatencies) {
+        self.latencies = latencies;
+    }
+
+    /// The underlying recorder, for direct series access or CSV export.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Renders the full dashboard: one chart with every recorded series,
+    /// then the three latency histograms.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        if !self.recorder.is_empty() {
+            let opts = ChartOptions {
+                title: title.to_string(),
+                x_label: "virtual time (us)".to_string(),
+                y_label: "value".to_string(),
+                ..ChartOptions::default()
+            };
+            out.push_str(&ascii_chart::render(&self.recorder, &opts));
+            out.push('\n');
+        }
+        if !self.latencies.is_empty() {
+            out.push_str(&latency_report(&self.latencies, 40));
+        }
+        out
+    }
+
+    /// ANSI sequence that repositions the cursor at the top-left and
+    /// clears the screen — print before [`render`](Dashboard::render) to
+    /// redraw in place.
+    pub const CLEAR: &'static str = "\x1b[2J\x1b[H";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_chart_shows_buckets_and_stats() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1000);
+        h.record(1000);
+        let chart = histogram_chart(&h, "demo", 20);
+        assert!(chart.contains("demo"));
+        assert!(chart.contains("count=3"));
+        assert!(chart.contains("[         0,          1]"));
+        assert!(chart.contains("[       512,       1023]"));
+        // Peak bucket (count 2) gets the full bar.
+        assert!(chart.contains(&"#".repeat(20)));
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder() {
+        let chart = histogram_chart(&LatencyHistogram::new(), "empty", 20);
+        assert!(chart.contains("(no samples)"));
+    }
+
+    #[test]
+    fn dashboard_renders_series_and_histograms() {
+        let mut d = Dashboard::new();
+        for i in 0..10 {
+            d.sample_shard("emitted", 0, i as f64, i as f64);
+            d.sample_shard("emitted", 1, i as f64, (2 * i) as f64);
+        }
+        let mut l = JoinLatencies::new();
+        l.tuple_emit.record(100);
+        d.set_latencies(l);
+        let out = d.render("test run");
+        assert!(out.contains("test run"));
+        assert!(out.contains("emitted[shard=0]"));
+        assert!(out.contains("tuple ingress -> emit"));
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn empty_dashboard_is_blank() {
+        assert!(Dashboard::new().render("t").is_empty());
+    }
+}

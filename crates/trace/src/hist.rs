@@ -1,0 +1,227 @@
+//! Streaming log-bucketed latency histograms.
+//!
+//! Fixed 64-bucket power-of-two layout: bucket *i* covers `[2^i, 2^(i+1))`
+//! (bucket 0 additionally covers 0). Recording is a `leading_zeros` plus
+//! three integer adds — no allocation — and two histograms merge by
+//! element-wise addition, so per-shard histograms sum exactly to the
+//! global one regardless of shard count.
+
+/// Number of buckets (one per power of two of a `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A mergeable log₂-bucketed histogram of `u64` values.
+///
+/// The total count is derived from the buckets on read rather than
+/// maintained as a separate field: recording is the hot path (once per
+/// joined result), reading happens once per report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub const fn new() -> LatencyHistogram {
+        LatencyHistogram { buckets: [0; BUCKETS], sum: 0, max: 0 }
+    }
+
+    /// The bucket a value falls into: `floor(log2(max(v, 1)))`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (63 - (v | 1).leading_zeros()) as usize
+    }
+
+    /// The `[lo, hi]` value range of bucket `i` (inclusive).
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        debug_assert!(i < BUCKETS);
+        let lo = if i == 0 { 0 } else { 1u64 << i };
+        let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+        (lo, hi)
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        // The mask is a provable no-op (bucket_index ≤ 63) that lets the
+        // compiler drop the bounds check.
+        self.buckets[Self::bucket_index(v) & (BUCKETS - 1)] += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds another histogram's contents into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// The count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// All bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&c| c == 0)
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// An upper bound on the `q`-quantile (0.0 ≤ q ≤ 1.0): the inclusive
+    /// upper edge of the bucket containing that rank. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // The top bucket's edge is u64::MAX; report the observed
+                // max instead, which is tighter and never overflows
+                // downstream arithmetic.
+                return Self::bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::ops::Add for LatencyHistogram {
+    type Output = LatencyHistogram;
+    fn add(mut self, rhs: LatencyHistogram) -> LatencyHistogram {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for LatencyHistogram {
+    fn add_assign(&mut self, rhs: LatencyHistogram) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for LatencyHistogram {
+    fn sum<I: Iterator<Item = LatencyHistogram>>(iter: I) -> LatencyHistogram {
+        iter.fold(LatencyHistogram::new(), |acc, h| acc + h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(1000), 9);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), 63);
+        assert_eq!(LatencyHistogram::bucket_bounds(0), (0, 1));
+        assert_eq!(LatencyHistogram::bucket_bounds(9), (512, 1023));
+        assert_eq!(LatencyHistogram::bucket_bounds(63), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 1000, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2003);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(9), 2);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2), (1, 1), (9, 2)]);
+        assert!((h.mean() - 400.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let mut a = LatencyHistogram::new();
+        a.record(5);
+        a.record(100);
+        let mut b = LatencyHistogram::new();
+        b.record(5);
+        b.record(4000);
+        let merged: LatencyHistogram = [a, b].into_iter().sum();
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.sum(), 4110);
+        assert_eq!(merged.max(), 4000);
+        assert_eq!(merged.bucket(2), 2); // two 5s
+        // Merging in either order gives the same histogram.
+        assert_eq!(merged, b + a);
+    }
+
+    #[test]
+    fn quantiles_bound_by_bucket_edges() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 3: [8, 15]
+        }
+        h.record(100_000); // bucket 16
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(0.99), 15);
+        // The p100 falls in the top occupied bucket, clamped to max.
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert_eq!(LatencyHistogram::new().quantile(0.5), 0);
+    }
+}

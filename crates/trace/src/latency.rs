@@ -1,0 +1,96 @@
+//! The three end-to-end latency distributions the paper's timing
+//! questions reduce to, bundled for exposure via runtime metrics.
+//!
+//! All three are measured in **microseconds of virtual time**, so they
+//! are deterministic for a deterministic feed and identical across shard
+//! counts when keys and their closing punctuations co-locate (see the
+//! `latency_equivalence` integration test in `punct-exec`).
+
+use crate::hist::LatencyHistogram;
+
+/// Latency histograms of one PJoin operator (or the merged histograms of
+/// many shards — [`merge`](JoinLatencies::merge) is exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinLatencies {
+    /// Tuple ingress → result emit: for each emitted result, the age of
+    /// the *stored* partner tuple (virtual arrival of the older input
+    /// tuple → virtual emit time). The arriving tuple's own latency is
+    /// zero by construction in a symmetric hash join.
+    pub tuple_emit: LatencyHistogram,
+    /// Punctuation arrival → purge-complete: how long a punctuation
+    /// waited before a state purge applied it.
+    pub punct_purge: LatencyHistogram,
+    /// Punctuation arrival → downstream propagation: how long until the
+    /// punctuation was released on the output stream.
+    pub punct_propagate: LatencyHistogram,
+}
+
+impl JoinLatencies {
+    /// An empty set.
+    pub const fn new() -> JoinLatencies {
+        JoinLatencies {
+            tuple_emit: LatencyHistogram::new(),
+            punct_purge: LatencyHistogram::new(),
+            punct_propagate: LatencyHistogram::new(),
+        }
+    }
+
+    /// Merges another operator's histograms into this one (exact:
+    /// element-wise bucket addition).
+    pub fn merge(&mut self, other: &JoinLatencies) {
+        self.tuple_emit.merge(&other.tuple_emit);
+        self.punct_purge.merge(&other.punct_purge);
+        self.punct_propagate.merge(&other.punct_propagate);
+    }
+
+    /// True if nothing was recorded in any histogram.
+    pub fn is_empty(&self) -> bool {
+        self.tuple_emit.is_empty()
+            && self.punct_purge.is_empty()
+            && self.punct_propagate.is_empty()
+    }
+}
+
+impl std::ops::Add for JoinLatencies {
+    type Output = JoinLatencies;
+    fn add(mut self, rhs: JoinLatencies) -> JoinLatencies {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for JoinLatencies {
+    fn add_assign(&mut self, rhs: JoinLatencies) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for JoinLatencies {
+    fn sum<I: Iterator<Item = JoinLatencies>>(iter: I) -> JoinLatencies {
+        iter.fold(JoinLatencies::new(), |acc, l| acc + l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        assert!(JoinLatencies::default().is_empty());
+    }
+
+    #[test]
+    fn merge_covers_all_three() {
+        let mut a = JoinLatencies::new();
+        a.tuple_emit.record(10);
+        let mut b = JoinLatencies::new();
+        b.punct_purge.record(20);
+        b.punct_propagate.record(30);
+        let total: JoinLatencies = [a, b].into_iter().sum();
+        assert_eq!(total.tuple_emit.count(), 1);
+        assert_eq!(total.punct_purge.count(), 1);
+        assert_eq!(total.punct_propagate.count(), 1);
+        assert!(!total.is_empty());
+    }
+}

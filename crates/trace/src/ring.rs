@@ -1,0 +1,173 @@
+//! The fixed-capacity ring-buffer event sink.
+//!
+//! All storage is allocated at construction; recording an event is a
+//! bounds-checked write plus two integer updates — no allocation, no
+//! locking, no branching on capacity growth. When full, the oldest event
+//! is overwritten and a dropped counter advances, so a hot loop can
+//! never stall or OOM on tracing.
+
+use crate::event::TraceEvent;
+
+/// A fixed-capacity overwrite-oldest ring of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+    /// Next per-lane sequence number.
+    seq: u64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding up to `capacity` events. The full capacity
+    /// is reserved **and pre-faulted** up front — filler events touch
+    /// every page so the hot path never takes a soft page fault — then
+    /// cleared; a capacity of 0 records nothing (every push counts as
+    /// dropped).
+    pub fn new(capacity: usize) -> RingBuffer {
+        let filler = TraceEvent::instant(crate::event::TraceKind::Ingress, 0, 0, 0, 0, 0);
+        let mut buf = vec![filler; capacity];
+        buf.clear();
+        RingBuffer {
+            buf,
+            capacity,
+            head: 0,
+            dropped: 0,
+            seq: 0,
+        }
+    }
+
+    /// Records an event, assigning it the next sequence number. Returns
+    /// the assigned sequence.
+    #[inline]
+    pub fn push(&mut self, mut e: TraceEvent) -> u64 {
+        e.seq = self.seq;
+        self.seq += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+        e.seq
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten (or discarded at capacity 0) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    /// Copies the held events, oldest → newest.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+
+    /// Removes and returns the held events (oldest → newest), keeping
+    /// the allocation and the sequence counter; resets the dropped count.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        let out = self.to_vec();
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+
+    fn ev(a: u64) -> TraceEvent {
+        TraceEvent::instant(TraceKind::Purge, 0, a, 0, a, 0)
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..5u64 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total(), 5);
+        let held: Vec<u64> = r.iter().map(|e| e.a).collect();
+        assert_eq!(held, vec![2, 3, 4]);
+        // Sequence numbers are global, not per-slot.
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_is_preallocated() {
+        let r = RingBuffer::new(1024);
+        assert!(r.buf.capacity() >= 1024);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_counts_drops() {
+        let mut r = RingBuffer::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total(), 2);
+    }
+
+    #[test]
+    fn drain_keeps_sequence_running() {
+        let mut r = RingBuffer::new(4);
+        r.push(ev(0));
+        r.push(ev(1));
+        let first = r.drain();
+        assert_eq!(first.len(), 2);
+        assert!(r.is_empty());
+        let seq = r.push(ev(2));
+        assert_eq!(seq, 2, "sequence continues across drains");
+    }
+
+    #[test]
+    fn wrapped_drain_is_oldest_first() {
+        let mut r = RingBuffer::new(2);
+        for i in 0..3u64 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.drain().iter().map(|e| e.a).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(r.dropped(), 0, "drain resets the dropped count");
+    }
+}

@@ -424,6 +424,7 @@ mod tests {
             cost: CostModel::free(),
             sample_every_micros: 1_000_000,
             collect_outputs: true,
+            ..DriverConfig::default()
         });
         let stats = driver.run(&mut op, left, right);
         let mut outs: Vec<Tuple> = stats
@@ -568,6 +569,7 @@ mod tests {
             cost: CostModel::free(),
             sample_every_micros: 10,
             collect_outputs: false,
+            ..DriverConfig::default()
         });
         let stats = driver.run(&mut op, &left, &right);
         for w in stats.samples.windows(2) {

@@ -60,7 +60,7 @@ proptest! {
         buckets in 1usize..6,
         page_tuples in 1usize..8,
         // 0 = never spill; small values force constant relocation.
-        memory_max in prop_oneof![Just(0usize), (2usize..24)],
+        memory_max in prop_oneof![Just(0usize), 2usize..24],
         activation in 1u64..4,
     ) {
         let left = render(&sa, 0);
@@ -76,6 +76,7 @@ proptest! {
             cost: CostModel::free(),
             sample_every_micros: 1_000_000,
             collect_outputs: true,
+            ..DriverConfig::default()
         });
         let stats = driver.run(&mut op, &left, &right);
         let mut got: Vec<Tuple> =
@@ -96,6 +97,7 @@ proptest! {
             cost: CostModel::free(),
             sample_every_micros: 1_000_000,
             collect_outputs: true,
+            ..DriverConfig::default()
         });
         let stats = driver.run(&mut op, &left, &right);
         // Every input tuple was inserted exactly once, and outputs were

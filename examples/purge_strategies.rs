@@ -38,6 +38,7 @@ fn main() {
             cost: CostModel::free(),
             sample_every_micros: 500_000,
             collect_outputs: false,
+            ..DriverConfig::default()
         });
         let stats = driver.run(&mut op, &a.elements, &b.elements);
         println!(

@@ -35,6 +35,7 @@ fn main() {
         cost: CostModel::free(),
         sample_every_micros: 200_000,
         collect_outputs: true,
+        ..DriverConfig::default()
     });
     let stats = driver.run(&mut join, &array_a, &array_b);
 

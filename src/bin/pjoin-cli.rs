@@ -191,6 +191,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         cost: CostModel::free(),
         sample_every_micros: 1_000_000,
         collect_outputs: true,
+        trace: punctuated_streams::trace::TraceSettings::default(),
     });
     let stats = driver.run(&mut op, &left, &right);
 

@@ -34,6 +34,7 @@ pub use punct_exec as exec;
 pub use punct_types as types;
 pub use spillstore as storage;
 pub use squery as query;
+pub use punct_trace as trace;
 pub use stream_metrics as metrics;
 pub use stream_sim as sim;
 pub use streamgen as gen;

@@ -46,6 +46,7 @@ fn run_join(
         cost: CostModel::free(),
         sample_every_micros: 1_000_000,
         collect_outputs: true,
+        ..DriverConfig::default()
     });
     let stats = driver.run(&mut op, left, right);
     (stats, op)

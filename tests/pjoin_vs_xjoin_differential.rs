@@ -12,6 +12,7 @@ fn run(op: &mut dyn BinaryStreamOp, left: &[Timestamped<StreamElement>], right: 
         cost: CostModel::free(),
         sample_every_micros: 1_000_000,
         collect_outputs: true,
+        ..DriverConfig::default()
     });
     driver.run(op, left, right)
 }

@@ -31,6 +31,7 @@ fn threaded_matches_single_threaded() {
         cost: CostModel::free(),
         sample_every_micros: 1_000_000,
         collect_outputs: true,
+        ..DriverConfig::default()
     });
     let reference = driver.run(&mut reference_op, &a.elements, &b.elements);
     let mut want: Vec<Tuple> =

@@ -23,6 +23,7 @@ fn replayed_trace_reproduces_the_run() {
             cost: CostModel::default(),
             sample_every_micros: 500_000,
             collect_outputs: true,
+            ..DriverConfig::default()
         });
         let stats = driver.run(&mut op, left, right);
         (stats, *op.stats())

@@ -1,8 +1,9 @@
 //! Minimal API-compatible stub of `criterion` 0.5 for offline builds.
 //!
 //! Runs each benchmark with a short adaptive wall-clock measurement
-//! (warm-up, then a handful of samples under a per-benchmark time
-//! budget) and prints mean ns/iter plus derived throughput. There is no
+//! (warm-up, then samples under a per-benchmark time budget —
+//! `CRITERION_BUDGET_MS` overrides the default 120 ms) and prints the
+//! median sample's ns/iter plus derived throughput. There is no full
 //! statistical analysis, no HTML report, and no saved baselines.
 //!
 //! Two extras over the real API surface this workspace uses:
@@ -16,10 +17,21 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Wall-clock budget for measuring one benchmark.
+/// Default wall-clock budget for measuring one benchmark; override with
+/// `CRITERION_BUDGET_MS` when a summary needs tighter confidence than a
+/// quick run gives (cross-build comparisons especially).
 const MEASURE_BUDGET: Duration = Duration::from_millis(120);
 /// Target duration of a single sample.
 const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// The per-benchmark measurement budget, env-overridable.
+fn measure_budget() -> Duration {
+    std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(MEASURE_BUDGET)
+}
 
 /// Work performed per iteration, used to derive throughput.
 #[derive(Debug, Clone, Copy)]
@@ -154,24 +166,38 @@ impl Criterion {
             return;
         }
 
-        // Warm-up pass doubles as the per-iteration cost estimate.
+        // Estimate pass sizes the samples.
         let mut bencher = Bencher { mode: Mode::Measure { iters: 1, elapsed: Duration::ZERO } };
         f(&mut bencher);
         let est = bencher.elapsed().max(Duration::from_nanos(1));
 
+        let budget = measure_budget();
         let per_sample =
             (SAMPLE_TARGET.as_nanos() / est.as_nanos()).clamp(1, 10_000) as u64;
-        let mut total = Duration::ZERO;
-        let mut iters = 0u64;
-        let started = Instant::now();
-        while started.elapsed() < MEASURE_BUDGET {
+
+        // Warm-up: let caches, page tables and CPU frequency settle
+        // before any sample is kept.
+        let warm_started = Instant::now();
+        while warm_started.elapsed() < budget / 4 {
             let mut bencher =
                 Bencher { mode: Mode::Measure { iters: per_sample, elapsed: Duration::ZERO } };
             f(&mut bencher);
-            total += bencher.elapsed();
+        }
+
+        let mut samples: Vec<f64> = Vec::new();
+        let mut iters = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < budget || samples.len() < 3 {
+            let mut bencher =
+                Bencher { mode: Mode::Measure { iters: per_sample, elapsed: Duration::ZERO } };
+            f(&mut bencher);
+            samples.push(bencher.elapsed().as_nanos() as f64 / per_sample as f64);
             iters += per_sample;
         }
-        let mean_ns = total.as_nanos() as f64 / iters as f64;
+        // Median of per-sample means: one preempted sample cannot drag
+        // the reported figure the way a mean would let it.
+        samples.sort_by(f64::total_cmp);
+        let mean_ns = samples[samples.len() / 2];
 
         let m = Measurement { group, id, mean_ns, iterations: iters, throughput };
         match m.per_second() {
