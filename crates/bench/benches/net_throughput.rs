@@ -1,0 +1,169 @@
+//! Loopback throughput of the networked transport.
+//!
+//! Measures frames/sec and bytes/sec through the full socket path —
+//! client encode → TCP loopback → ingest server decode/dedup → bounded
+//! channel — under four profiles crossing two workload shapes with the
+//! fault proxy on and off:
+//!
+//! * **tuple-heavy**: the generator's default mix (~1 punctuation per
+//!   20 tuples), the steady-state data path.
+//! * **punctuation-heavy**: 1 punctuation per 2 tuples, stressing
+//!   pattern encode/decode (punctuation payloads are pattern lists, the
+//!   most structurally complex frames on the wire).
+//! * each, again, through the in-process fault proxy injecting drops
+//!   and one forced disconnect — the price of the resume machinery.
+//!
+//! Results land in `BENCH_net.json`.
+
+use std::fmt::Write as _;
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use punct_net::{
+    encode_frame, BackoffPolicy, ClientOptions, FaultConfig, FaultProxy, Frame, IngestOptions,
+    IngestServer,
+};
+use punct_types::{StreamElement, Timestamped};
+use stream_sim::Side;
+use streamgen::{generate_stream, PunctScheme, StreamConfig};
+
+const TUPLES: usize = 3_000;
+
+struct Workload {
+    name: &'static str,
+    elements: Vec<Timestamped<StreamElement>>,
+    schema: punct_types::Schema,
+    wire_bytes: u64,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mk = |name: &'static str, punct_mean: f64| {
+        let config = StreamConfig {
+            tuples: TUPLES,
+            key_window: 16,
+            punct_scheme: PunctScheme::ConstantPerKey,
+            punct_mean_tuples: punct_mean,
+            seed: 11,
+            ..StreamConfig::default()
+        };
+        let schema = config.schema();
+        let s = generate_stream(&config);
+        let wire_bytes = s
+            .elements
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                encode_frame(&Frame::Data { seq: i as u64, element: e.clone() }).len() as u64
+            })
+            .sum();
+        Workload { name, elements: s.elements, schema, wire_bytes }
+    };
+    vec![mk("tuple_heavy", 20.0), mk("punct_heavy", 2.0)]
+}
+
+/// One full transfer over loopback; `faults` routes it through the
+/// proxy. Returns (elements delivered, reconnects).
+fn run_once(w: &Workload, faults: bool) -> (usize, u32) {
+    let (server, rx) = IngestServer::bind(&[Side::Left], IngestOptions::default()).expect("bind");
+    let proxy = if faults {
+        Some(
+            FaultProxy::spawn(
+                server.addr(),
+                FaultConfig::lossy(200, 4, 1, w.elements.len() as u64 / 2, 13),
+            )
+            .expect("proxy"),
+        )
+    } else {
+        None
+    };
+    let target = proxy.as_ref().map_or(server.addr(), |p| p.addr());
+    let opts = ClientOptions { policy: BackoffPolicy::fast(), seed: 5, ..ClientOptions::default() };
+    // Drain concurrently so server-side backpressure reflects a live
+    // consumer, not a full channel.
+    let drain = std::thread::spawn(move || {
+        let mut n = 0usize;
+        while rx.recv_timeout(std::time::Duration::from_secs(2)).is_ok() {
+            n += 1;
+        }
+        n
+    });
+    let report =
+        punct_net::send_stream(target, 0, Side::Left, &w.schema, &w.elements, &opts).expect("send");
+    assert_eq!(report.acked, w.elements.len() as u64);
+    drop(server);
+    let delivered = drain.join().expect("drain thread");
+    (delivered, report.reconnects)
+}
+
+fn bench_net(c: &mut Criterion) {
+    for w in &workloads() {
+        let mut g = c.benchmark_group(format!("net_{}", w.name));
+        g.throughput(Throughput::Elements(w.elements.len() as u64));
+        for &faults in &[false, true] {
+            let id = if faults { "faulty" } else { "clean" };
+            g.bench_with_input(BenchmarkId::new(id, w.elements.len()), &faults, |b, &f| {
+                b.iter(|| black_box(run_once(w, f)).0)
+            });
+        }
+        g.finish();
+    }
+}
+
+fn write_summary(c: &Criterion) {
+    let mut rows = String::new();
+    for w in &workloads() {
+        let (delivered, _) = run_once(w, false);
+        let (_, reconnects_faulty) = run_once(w, true);
+        for &faults in &[false, true] {
+            let id = if faults { "faulty" } else { "clean" };
+            let m = c
+                .measurements()
+                .iter()
+                .find(|m| {
+                    m.group == format!("net_{}", w.name)
+                        && m.id == format!("{id}/{}", w.elements.len())
+                })
+                .cloned();
+            let eps = m.as_ref().and_then(|m| m.per_second()).unwrap_or(0.0);
+            let mean_ns = m.as_ref().map(|m| m.mean_ns).unwrap_or(0.0);
+            // frames/s == elements/s (one Data frame per element);
+            // bytes/s scales by the workload's measured wire size.
+            let bytes_per_sec = eps * (w.wire_bytes as f64 / w.elements.len() as f64);
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                "    {{\"workload\": \"{}\", \"profile\": \"{}\", \"elements\": {}, \"wire_bytes\": {}, \"mean_ns\": {:.1}, \"frames_per_sec\": {:.1}, \"bytes_per_sec\": {:.1}, \"delivered\": {}, \"reconnects_under_faults\": {}}}",
+                w.name,
+                id,
+                w.elements.len(),
+                w.wire_bytes,
+                mean_ns,
+                eps,
+                bytes_per_sec,
+                delivered,
+                if faults { reconnects_faulty } else { 0 },
+            );
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \"cores\": {cores},\n  \"note\": \"full loopback path: client encode, TCP, ingest decode + sequence dedup, bounded channel; faulty profile adds the in-process proxy with ~1/200 data-frame drops and one forced disconnect\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_net(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free; only a real bench run
+    // refreshes the summary file.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

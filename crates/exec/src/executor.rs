@@ -276,6 +276,24 @@ impl ShardedPJoin {
         drained
     }
 
+    /// Like [`poll_outputs`](ShardedPJoin::poll_outputs), but blocks up
+    /// to `timeout` for the first batch when nothing is available yet.
+    /// Used by pull-style consumers (the networked sink publisher) to
+    /// avoid spinning on an empty pipeline.
+    pub fn recv_outputs(&self, timeout: std::time::Duration) -> Vec<Timestamped<StreamElement>> {
+        let mut drained = self.poll_outputs();
+        if drained.is_empty() {
+            if let Ok(batch) = self.output.recv_timeout(timeout) {
+                drained.extend(batch);
+                // Whatever else is already queued comes along for free.
+                while let Ok(batch) = self.output.try_recv() {
+                    drained.extend(batch);
+                }
+            }
+        }
+        drained
+    }
+
     /// A live snapshot of each shard's runtime metrics, indexed by shard.
     pub fn shard_metrics(&self) -> Vec<RuntimeMetrics> {
         self.shard_metrics

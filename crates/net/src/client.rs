@@ -1,0 +1,423 @@
+//! The source client: pushes one punctuated stream to an ingest server,
+//! surviving disconnects by reconnecting with deterministic backoff and
+//! resuming from the sequence the server acknowledged in its handshake.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use punct_trace::event::TraceKind;
+use punct_trace::{TraceLog, TraceSettings, Tracer, LANE_NET_CLIENT};
+use punct_types::{Schema, StreamElement, Timestamped};
+use stream_sim::Side;
+
+use crate::backoff::{Backoff, BackoffPolicy};
+use crate::error::NetError;
+use crate::frame::{encode_frame_into, Frame, FrameBuffer, WIRE_VERSION};
+
+/// How a source client connects and paces itself.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Reconnect schedule.
+    pub policy: BackoffPolicy,
+    /// Seed for the backoff jitter (decorrelates concurrent clients).
+    pub seed: u64,
+    /// Elements encoded per socket write (bounded above by available
+    /// credits).
+    pub batch: usize,
+    /// How long to wait for `HelloAck` / `FinAck` before treating the
+    /// connection as dead.
+    pub handshake_timeout: Duration,
+    /// Tracing for this client.
+    pub trace: TraceSettings,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            policy: BackoffPolicy::default(),
+            seed: 0,
+            batch: 64,
+            handshake_timeout: Duration::from_secs(5),
+            trace: TraceSettings::default(),
+        }
+    }
+}
+
+/// What a completed transfer looked like.
+#[derive(Debug)]
+pub struct SendReport {
+    /// Elements the server confirmed (always the full stream length on
+    /// success).
+    pub acked: u64,
+    /// Successful reconnects after the initial connection.
+    pub reconnects: u32,
+    /// `Data` frames written (repeats after a resume count again).
+    pub frames_sent: u64,
+    /// Bytes written to sockets.
+    pub bytes_sent: u64,
+    /// Times the client stalled waiting for credit.
+    pub credit_stalls: u64,
+    /// The client's trace events.
+    pub trace: TraceLog,
+}
+
+/// Sends `elements` as stream `stream` to the ingest server at `addr`,
+/// reconnecting (and resuming from the server's acknowledged sequence)
+/// until the whole stream is delivered or the retry budget is spent.
+///
+/// Delivery is exactly-once from the receiver's point of view: the
+/// server's `HelloAck` names the first unreceived sequence, the client
+/// resumes precisely there, and the server suppresses anything below it.
+pub fn send_stream(
+    addr: SocketAddr,
+    stream: u32,
+    side: Side,
+    schema: &Schema,
+    elements: &[Timestamped<StreamElement>],
+    opts: &ClientOptions,
+) -> Result<SendReport, NetError> {
+    send_stream_cancellable(addr, stream, side, schema, elements, opts, &AtomicBool::new(false))
+}
+
+/// [`send_stream`] with a cancellation flag (used by tests that kill a
+/// client mid-stream to exercise resume).
+pub fn send_stream_cancellable(
+    addr: SocketAddr,
+    stream: u32,
+    side: Side,
+    schema: &Schema,
+    elements: &[Timestamped<StreamElement>],
+    opts: &ClientOptions,
+    cancel: &AtomicBool,
+) -> Result<SendReport, NetError> {
+    let mut tracer = Tracer::new(opts.trace);
+    tracer.set_lane(LANE_NET_CLIENT);
+    let mut backoff = Backoff::new(opts.policy.clone(), opts.seed);
+    let mut report = SendReport {
+        acked: 0,
+        reconnects: 0,
+        frames_sent: 0,
+        bytes_sent: 0,
+        credit_stalls: 0,
+        trace: TraceLog::default(),
+    };
+    let mut attempt: u32 = 0;
+    loop {
+        if cancel.load(Ordering::SeqCst) {
+            report.trace = tracer.take();
+            return Err(NetError::Io(std::io::Error::new(
+                ErrorKind::Interrupted,
+                "cancelled",
+            )));
+        }
+        match session(addr, stream, side, schema, elements, opts, attempt, &mut tracer, &mut report)
+        {
+            Ok(()) => {
+                report.trace = tracer.take();
+                return Ok(report);
+            }
+            Err(e) if e.is_retryable() => match backoff.next_delay() {
+                Some(delay) => {
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                }
+                None => {
+                    report.trace = tracer.take();
+                    return Err(NetError::RetriesExhausted {
+                        attempts: backoff.attempts(),
+                        last: e.to_string(),
+                    });
+                }
+            },
+            Err(e) => {
+                report.trace = tracer.take();
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// One connection's lifetime: handshake, credit-paced send, Fin/FinAck.
+#[allow(clippy::too_many_arguments)]
+fn session(
+    addr: SocketAddr,
+    stream: u32,
+    side: Side,
+    schema: &Schema,
+    elements: &[Timestamped<StreamElement>],
+    opts: &ClientOptions,
+    attempt: u32,
+    tracer: &mut Tracer,
+    report: &mut SendReport,
+) -> Result<(), NetError> {
+    let mut sock = TcpStream::connect(addr)?;
+    sock.set_nodelay(true)?;
+    let mut conn = Conn { sock: &mut sock, fb: FrameBuffer::new() };
+
+    // Handshake.
+    let mut hello_buf = Vec::with_capacity(128);
+    encode_frame_into(
+        &Frame::Hello {
+            stream,
+            side: u8::from(side == Side::Right),
+            wire_version: WIRE_VERSION,
+            schema: schema.clone(),
+        },
+        &mut hello_buf,
+    );
+    conn.sock.write_all(&hello_buf)?;
+    report.bytes_sent += hello_buf.len() as u64;
+    let (resume_from, mut credits) =
+        match conn.read_frame_deadline(opts.handshake_timeout)? {
+            Frame::HelloAck { resume_from, credits } => (resume_from, credits),
+            Frame::Error { code, message } => return Err(NetError::Protocol { code, message }),
+            other => return Err(NetError::Handshake(format!("expected HelloAck, got {other:?}"))),
+        };
+    if resume_from > elements.len() as u64 {
+        return Err(NetError::Handshake(format!(
+            "server asks to resume from {resume_from} of a {}-element stream",
+            elements.len()
+        )));
+    }
+    if attempt > 0 {
+        report.reconnects += 1;
+        tracer.instant(TraceKind::NetReconnect, 0, attempt as u64, resume_from);
+    }
+    report.acked = report.acked.max(resume_from);
+
+    // Credit-paced send loop.
+    let mut next = resume_from as usize;
+    let mut buf = Vec::with_capacity(32 * 1024);
+    let mut progress = SessionProgress::default();
+    while next < elements.len() {
+        if credits == 0 {
+            report.credit_stalls += 1;
+            let span = tracer.span_start();
+            let deadline = Instant::now() + opts.handshake_timeout;
+            while credits == 0 {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Io(std::io::Error::new(
+                        ErrorKind::TimedOut,
+                        "no credit grant within the stall timeout",
+                    )));
+                }
+                conn.drain(Some(Duration::from_millis(20)), &mut credits, &mut progress)?;
+                progress.check()?;
+            }
+            tracer.span_end(span, TraceKind::NetStall, 0, stream as u64, 0);
+        }
+        let n = (elements.len() - next).min(opts.batch).min(credits as usize);
+        buf.clear();
+        let span = tracer.span_start();
+        for (i, el) in elements[next..next + n].iter().enumerate() {
+            encode_frame_into(&Frame::Data { seq: (next + i) as u64, element: el.clone() }, &mut buf);
+        }
+        tracer.span_end(span, TraceKind::NetEncode, elements[next].ts.as_micros(), buf.len() as u64, n as u64);
+        conn.sock.write_all(&buf)?;
+        report.frames_sent += n as u64;
+        report.bytes_sent += buf.len() as u64;
+        credits -= n as u32;
+        next += n;
+        // Opportunistically pick up credit and ack frames so the
+        // server's write side never backs up.
+        conn.drain(None, &mut credits, &mut progress)?;
+        progress.check()?;
+        report.acked = report.acked.max(progress.acked);
+    }
+
+    // Fin / FinAck. Sent once everything is *written*; the server's Fin
+    // handling acknowledges the tail, so waiting for full acks first
+    // would deadlock against its ack batching.
+    let mut fin_buf = Vec::with_capacity(16);
+    encode_frame_into(&Frame::Fin { count: elements.len() as u64 }, &mut fin_buf);
+    conn.sock.write_all(&fin_buf)?;
+    report.bytes_sent += fin_buf.len() as u64;
+    let deadline = Instant::now() + opts.handshake_timeout;
+    while !progress.fin_acked {
+        if Instant::now() >= deadline {
+            return Err(NetError::Io(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "no FinAck within the timeout",
+            )));
+        }
+        conn.drain(Some(Duration::from_millis(20)), &mut credits, &mut progress)?;
+        progress.check()?;
+        report.acked = report.acked.max(progress.acked);
+    }
+    report.acked = report.acked.max(progress.acked);
+    Ok(())
+}
+
+/// Feedback collected from server→client frames during a session.
+#[derive(Debug, Default)]
+struct SessionProgress {
+    acked: u64,
+    fin_acked: bool,
+    error: Option<(u16, String)>,
+}
+
+impl SessionProgress {
+    /// Surfaces a server-reported error as the session's failure.
+    fn check(&mut self) -> Result<(), NetError> {
+        match self.error.take() {
+            Some((code, message)) => Err(NetError::Protocol { code, message }),
+            None => Ok(()),
+        }
+    }
+}
+
+struct Conn<'a> {
+    sock: &'a mut TcpStream,
+    fb: FrameBuffer,
+}
+
+impl Conn<'_> {
+    /// Blocks until one frame arrives, bounded by `deadline`.
+    fn read_frame_deadline(&mut self, deadline: Duration) -> Result<Frame, NetError> {
+        let end = Instant::now() + deadline;
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(f) = self.fb.next_frame()? {
+                return Ok(f);
+            }
+            let now = Instant::now();
+            if now >= end {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "timed out waiting for a frame",
+                )));
+            }
+            self.sock.set_read_timeout(Some((end - now).min(Duration::from_millis(50))))?;
+            match self.sock.read(&mut buf) {
+                Ok(0) => {
+                    return Err(NetError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "peer closed during handshake",
+                    )))
+                }
+                Ok(n) => self.fb.extend(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Reads whatever the server has sent and folds it into the session
+    /// state. `wait: None` polls without blocking; `Some(d)` blocks up
+    /// to `d` for the first byte.
+    fn drain(
+        &mut self,
+        wait: Option<Duration>,
+        credits: &mut u32,
+        progress: &mut SessionProgress,
+    ) -> Result<(), NetError> {
+        let mut buf = [0u8; 4096];
+        match wait {
+            None => {
+                self.sock.set_nonblocking(true)?;
+                let res = read_available(self.sock, &mut self.fb, &mut buf);
+                self.sock.set_nonblocking(false)?;
+                res?;
+            }
+            Some(d) => {
+                self.sock.set_read_timeout(Some(d))?;
+                match self.sock.read(&mut buf) {
+                    Ok(0) => {
+                        return Err(NetError::Io(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )))
+                    }
+                    Ok(n) => {
+                        self.fb.extend(&buf[..n]);
+                        // Anything else already queued comes for free.
+                        self.sock.set_nonblocking(true)?;
+                        let res = read_available(self.sock, &mut self.fb, &mut buf);
+                        self.sock.set_nonblocking(false)?;
+                        res?;
+                    }
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock
+                            || e.kind() == ErrorKind::TimedOut => {}
+                    Err(e) => return Err(NetError::Io(e)),
+                }
+            }
+        }
+        while let Some(frame) = self.fb.next_frame()? {
+            match frame {
+                Frame::Credit { n } => *credits += n,
+                Frame::Ack { up_to } => progress.acked = progress.acked.max(up_to),
+                Frame::FinAck => progress.fin_acked = true,
+                Frame::Error { code, message } => {
+                    progress.error = Some((code, message));
+                    return Ok(()); // surfaced by the next check()
+                }
+                other => {
+                    return Err(NetError::Handshake(format!(
+                        "unexpected server frame: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads until `WouldBlock` on a non-blocking socket.
+fn read_available(
+    sock: &mut TcpStream,
+    fb: &mut FrameBuffer,
+    buf: &mut [u8],
+) -> Result<(), NetError> {
+    loop {
+        match sock.read(buf) {
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Ok(n) => fb.extend(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// Spawns a thread sending `elements` via [`send_stream`]; join the
+/// handle for the report. Used by examples and tests that drive several
+/// source clients concurrently.
+pub fn spawn_source(
+    addr: SocketAddr,
+    stream: u32,
+    side: Side,
+    schema: Schema,
+    elements: Vec<Timestamped<StreamElement>>,
+    opts: ClientOptions,
+) -> std::thread::JoinHandle<Result<SendReport, NetError>> {
+    std::thread::Builder::new()
+        .name(format!("net-source-{stream}"))
+        .spawn(move || send_stream(addr, stream, side, &schema, &elements, &opts))
+        .expect("spawn source client thread")
+}
+
+/// Like [`spawn_source`] with a shared cancellation flag.
+pub fn spawn_source_cancellable(
+    addr: SocketAddr,
+    stream: u32,
+    side: Side,
+    schema: Schema,
+    elements: Vec<Timestamped<StreamElement>>,
+    opts: ClientOptions,
+    cancel: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<Result<SendReport, NetError>> {
+    std::thread::Builder::new()
+        .name(format!("net-source-{stream}"))
+        .spawn(move || {
+            send_stream_cancellable(addr, stream, side, &schema, &elements, &opts, &cancel)
+        })
+        .expect("spawn source client thread")
+}

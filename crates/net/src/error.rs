@@ -1,0 +1,94 @@
+//! The transport's error type.
+
+use std::fmt;
+use std::io;
+
+use punct_types::WireError;
+
+/// Anything that can go wrong talking to a peer.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io(io::Error),
+    /// The peer sent bytes that do not decode.
+    Wire(WireError),
+    /// The peer reported a protocol failure (an `Error` frame).
+    Protocol {
+        /// One of [`crate::frame::error_code`]'s constants.
+        code: u16,
+        /// The peer's message.
+        message: String,
+    },
+    /// The handshake did not complete (wrong frame, version mismatch,
+    /// stream the server does not serve).
+    Handshake(String),
+    /// The reconnect budget ran out without completing the transfer.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The error that ended the final attempt.
+        last: String,
+    },
+}
+
+impl NetError {
+    /// True if reconnecting could plausibly succeed: transient socket
+    /// failures and recoverable protocol errors (a sequence gap asks the
+    /// sender to resume). Handshake rejections and exhausted retries are
+    /// final.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Io(_) | NetError::Wire(_) => true,
+            NetError::Protocol { code, .. } => *code == crate::frame::error_code::SEQUENCE_GAP,
+            NetError::Handshake(_) | NetError::RetriesExhausted { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Protocol { code, message } => {
+                write!(f, "protocol error {code}: {message}")
+            }
+            NetError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::error_code;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(NetError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "x")).is_retryable());
+        assert!(NetError::Wire(WireError::TrailingBytes { count: 1 }).is_retryable());
+        assert!(NetError::Protocol { code: error_code::SEQUENCE_GAP, message: String::new() }
+            .is_retryable());
+        assert!(!NetError::Protocol { code: error_code::UNKNOWN_STREAM, message: String::new() }
+            .is_retryable());
+        assert!(!NetError::Handshake("bad version".into()).is_retryable());
+        assert!(!NetError::RetriesExhausted { attempts: 3, last: String::new() }.is_retryable());
+    }
+}

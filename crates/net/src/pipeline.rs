@@ -1,0 +1,88 @@
+//! Glue from the ingest channel through the sharded executor to the
+//! sink server: the process-side half of a networked join deployment.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use punct_exec::{ExecConfig, ExecStats, ShardedPJoin};
+use punct_types::{StreamElement, Timestamped};
+use stream_sim::Side;
+
+use crate::server::IngestServer;
+use crate::sink::SinkServer;
+
+/// Accounting for one networked join run.
+#[derive(Debug)]
+pub struct NetJoinReport {
+    /// The joined output stream (tuples + punctuations, emission order).
+    /// Also published to the sink, when one was attached.
+    pub outputs: Vec<Timestamped<StreamElement>>,
+    /// Elements fed into the executor.
+    pub fed: u64,
+    /// The executor's final statistics.
+    pub stats: ExecStats,
+}
+
+/// Runs a sharded join fed from an [`IngestServer`]'s channel until
+/// every source stream delivered its `Fin`, streaming outputs into
+/// `sink` (when given) as they emerge. Returns the complete output and
+/// the executor's accounting; the sink (if any) is closed on return.
+///
+/// The feed loop drains outputs while feeding, so the executor's
+/// bounded channels exert backpressure on the sockets (via the ingest
+/// channel) instead of deadlocking.
+pub fn run_networked_join(
+    config: ExecConfig,
+    server: &IngestServer,
+    rx: &Receiver<(Side, Timestamped<StreamElement>)>,
+    sink: Option<&SinkServer>,
+) -> NetJoinReport {
+    let exec = ShardedPJoin::spawn(config);
+    let mut outputs: Vec<Timestamped<StreamElement>> = Vec::new();
+    let mut fed: u64 = 0;
+    let publish = |batch: Vec<Timestamped<StreamElement>>,
+                       outputs: &mut Vec<Timestamped<StreamElement>>| {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(s) = sink {
+            s.publish_batch(batch.clone());
+        }
+        outputs.extend(batch);
+    };
+    loop {
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok((side, element)) => {
+                exec.push(side, element);
+                fed += 1;
+                // Opportunistically drain whatever else is queued so the
+                // channel frees up in bursts.
+                while let Ok((side, element)) = rx.try_recv() {
+                    exec.push(side, element);
+                    fed += 1;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // A handler forwards a stream's elements before marking
+                // it finished, so once all streams are finished one
+                // final drain below empties the channel for good.
+                if server.all_finished() {
+                    while let Ok((side, element)) = rx.try_recv() {
+                        exec.push(side, element);
+                        fed += 1;
+                    }
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        publish(exec.poll_outputs(), &mut outputs);
+    }
+    publish(exec.poll_outputs(), &mut outputs);
+    let (rest, stats) = exec.finish();
+    publish(rest, &mut outputs);
+    if let Some(s) = sink {
+        s.close();
+    }
+    NetJoinReport { outputs, fed, stats }
+}

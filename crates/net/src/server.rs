@@ -1,0 +1,465 @@
+//! The TCP ingest server: accepts source clients, enforces the resume
+//! and credit protocols, and feeds received elements into one bounded
+//! channel for the executor.
+//!
+//! # Exactly-once delivery
+//!
+//! Each stream has one persistent `next_seq` counter that outlives
+//! connections. The handshake tells a (re)connecting client to resume
+//! from exactly there, so nothing the server already forwarded is ever
+//! forwarded again; a `Data` frame below `next_seq` is a duplicate and
+//! is suppressed (it still earns credit, so a resuming client cannot
+//! starve), and a frame above it is a gap — the server rejects the
+//! connection with a `SEQUENCE_GAP` error, forcing the client back
+//! through the handshake. Tuples and punctuations share the sequence,
+//! so the exactly-once guarantee covers punctuations — which is what
+//! keeps downstream purge decisions sound.
+//!
+//! # Backpressure
+//!
+//! Credits are granted only as elements are accepted by the bounded
+//! downstream channel. When the executor falls behind, the channel
+//! fills, the handler blocks (recorded as a [`TraceKind::NetStall`]
+//! span), grants stop, and the client runs out of credits and stalls —
+//! backpressure propagates socket-to-socket with no unbounded queue
+//! anywhere.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use punct_trace::{TraceLog, TraceSettings, Tracer, LANE_NET_INGEST};
+use punct_trace::event::TraceKind;
+use punct_types::{StreamElement, Timestamped};
+use stream_sim::Side;
+
+use crate::error::NetError;
+use crate::frame::{encode_frame, error_code, Frame, FrameBuffer, WIRE_VERSION};
+
+/// How the ingest server paces its clients.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Credits granted in the handshake (the client's initial window,
+    /// in `Data` frames).
+    pub initial_credits: u32,
+    /// The server acknowledges and re-grants credit after this many
+    /// received frames.
+    pub ack_every: u32,
+    /// Capacity of the bounded channel feeding the executor.
+    pub channel_capacity: usize,
+    /// Tracing for the handler threads.
+    pub trace: TraceSettings,
+}
+
+impl Default for IngestOptions {
+    fn default() -> IngestOptions {
+        IngestOptions {
+            initial_credits: 256,
+            ack_every: 64,
+            channel_capacity: 1024,
+            trace: TraceSettings::default(),
+        }
+    }
+}
+
+/// Live counters for an ingest server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Connections accepted (including reconnects).
+    pub connections: u64,
+    /// `Data` frames received.
+    pub frames_received: u64,
+    /// Payload bytes received off sockets.
+    pub bytes_received: u64,
+    /// Duplicate `Data` frames suppressed by sequence dedup.
+    pub duplicates_suppressed: u64,
+    /// Times a handler blocked on the full downstream channel.
+    pub stalls: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+    duplicates_suppressed: AtomicU64,
+    stalls: AtomicU64,
+}
+
+/// Per-stream state that must survive reconnects.
+struct StreamSlot {
+    side: Side,
+    state: Mutex<StreamState>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamState {
+    /// The next sequence number this stream expects — also the count of
+    /// elements already forwarded downstream.
+    next_seq: u64,
+    /// Set once a matching `Fin` arrived.
+    finished: bool,
+}
+
+struct Shared {
+    streams: Vec<StreamSlot>,
+    opts: IngestOptions,
+    data_tx: Sender<(Side, Timestamped<StreamElement>)>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    trace: Mutex<TraceLog>,
+}
+
+/// The channel an [`IngestServer`] feeds: received stream elements
+/// tagged with their join side.
+pub type IngestReceiver = Receiver<(Side, Timestamped<StreamElement>)>;
+
+/// A TCP server receiving punctuated streams from source clients.
+///
+/// Streams are identified by dense ids `0..sides.len()`; each carries
+/// the join side its elements belong to. All received elements funnel
+/// into the single bounded [`Receiver`] returned by [`bind`], tagged
+/// with their side — per-stream order is preserved (one sequence per
+/// stream, one connection at a time), while cross-stream interleaving
+/// follows arrival, as it would on any real network.
+///
+/// [`bind`]: IngestServer::bind
+pub struct IngestServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl IngestServer {
+    /// Binds a listener on `127.0.0.1` (ephemeral port) serving one
+    /// stream per entry of `sides`, and returns the server plus the
+    /// channel its handlers feed.
+    pub fn bind(
+        sides: &[Side],
+        opts: IngestOptions,
+    ) -> std::io::Result<(IngestServer, IngestReceiver)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (data_tx, data_rx) = bounded(opts.channel_capacity.max(1));
+        let shared = Arc::new(Shared {
+            streams: sides
+                .iter()
+                .map(|&side| StreamSlot { side, state: Mutex::new(StreamState::default()) })
+                .collect(),
+            opts,
+            data_tx,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            trace: Mutex::new(TraceLog::default()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("net-ingest-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn ingest accept thread");
+        Ok((IngestServer { addr, shared, accept: Some(accept) }, data_rx))
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once every stream has received its `Fin`. Because a handler
+    /// forwards a stream's elements before it processes that stream's
+    /// `Fin`, everything is already in the channel by the time this
+    /// turns true.
+    pub fn all_finished(&self) -> bool {
+        self.shared
+            .streams
+            .iter()
+            .all(|s| s.state.lock().expect("stream state lock").finished)
+    }
+
+    /// Elements forwarded downstream so far, per stream.
+    pub fn forwarded(&self) -> Vec<u64> {
+        self.shared
+            .streams
+            .iter()
+            .map(|s| s.state.lock().expect("stream state lock").next_seq)
+            .collect()
+    }
+
+    /// A snapshot of the live counters.
+    pub fn stats(&self) -> IngestStats {
+        let c = &self.shared.counters;
+        IngestStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            frames_received: c.frames_received.load(Ordering::Relaxed),
+            bytes_received: c.bytes_received.load(Ordering::Relaxed),
+            duplicates_suppressed: c.duplicates_suppressed.load(Ordering::Relaxed),
+            stalls: c.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the trace events recorded by finished handler threads.
+    pub fn take_trace(&self) -> TraceLog {
+        std::mem::take(&mut *self.shared.trace.lock().expect("trace lock"))
+    }
+
+    /// Stops accepting, asks live handlers to exit, and joins the accept
+    /// thread.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name("net-ingest-conn".into())
+                        .spawn(move || {
+                            let mut tracer = Tracer::new(conn_shared.opts.trace);
+                            tracer.set_lane(LANE_NET_INGEST);
+                            // Protocol and socket errors end the
+                            // connection; the client recovers by
+                            // reconnecting, so they are not fatal here.
+                            let _ = handle_conn(sock, &conn_shared, &mut tracer);
+                            conn_shared
+                                .trace
+                                .lock()
+                                .expect("trace lock")
+                                .merge(tracer.take());
+                        })
+                        .expect("spawn ingest handler"),
+                );
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Reads socket bytes into `fb` until at least one frame is decodable,
+/// honouring the shutdown flag. Returns `None` on clean EOF.
+fn read_frame(
+    sock: &mut TcpStream,
+    fb: &mut FrameBuffer,
+    shared: &Shared,
+    tracer: &mut Tracer,
+) -> Result<Option<Frame>, NetError> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let span = tracer.span_start();
+        let buffered = fb.buffered();
+        if let Some(frame) = fb.next_frame()? {
+            let consumed = (buffered - fb.buffered()) as u64;
+            tracer.span_end(span, TraceKind::NetDecode, 0, consumed, 1);
+            return Ok(Some(frame));
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(NetError::Io(std::io::Error::new(
+                ErrorKind::Interrupted,
+                "server shutting down",
+            )));
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(n) => {
+                shared.counters.bytes_received.fetch_add(n as u64, Ordering::Relaxed);
+                fb.extend(&buf[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+fn send_frames(sock: &mut TcpStream, frames: &[Frame]) -> Result<(), NetError> {
+    let mut buf = Vec::with_capacity(64);
+    for f in frames {
+        crate::frame::encode_frame_into(f, &mut buf);
+    }
+    sock.write_all(&buf)?;
+    Ok(())
+}
+
+fn reject(sock: &mut TcpStream, code: u16, message: String) -> Result<(), NetError> {
+    let _ = sock.write_all(&encode_frame(&Frame::Error { code, message: message.clone() }));
+    Err(NetError::Protocol { code, message })
+}
+
+fn handle_conn(
+    mut sock: TcpStream,
+    shared: &Shared,
+    tracer: &mut Tracer,
+) -> Result<(), NetError> {
+    sock.set_nodelay(true)?;
+    sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut fb = FrameBuffer::new();
+
+    // --- Handshake -----------------------------------------------------
+    let hello = match read_frame(&mut sock, &mut fb, shared, tracer)? {
+        Some(f) => f,
+        None => return Ok(()), // probed and closed (port scan, health check)
+    };
+    let (stream, side) = match hello {
+        Frame::Hello { stream, side, wire_version, schema: _ } => {
+            if wire_version != WIRE_VERSION {
+                return reject(
+                    &mut sock,
+                    error_code::BAD_HELLO,
+                    format!("wire version {wire_version}, server speaks {WIRE_VERSION}"),
+                );
+            }
+            let Some(slot) = shared.streams.get(stream as usize) else {
+                return reject(
+                    &mut sock,
+                    error_code::UNKNOWN_STREAM,
+                    format!("stream {stream} not served ({} streams)", shared.streams.len()),
+                );
+            };
+            let expect = u8::from(slot.side == Side::Right);
+            if side != expect {
+                return reject(
+                    &mut sock,
+                    error_code::BAD_HELLO,
+                    format!("stream {stream} is side {expect}, client said {side}"),
+                );
+            }
+            (stream as usize, slot.side)
+        }
+        other => {
+            return reject(
+                &mut sock,
+                error_code::BAD_HELLO,
+                format!("expected Hello, got {other:?}"),
+            )
+        }
+    };
+
+    let slot = &shared.streams[stream];
+    let resume_from = slot.state.lock().expect("stream state lock").next_seq;
+    send_frames(
+        &mut sock,
+        &[Frame::HelloAck { resume_from, credits: shared.opts.initial_credits }],
+    )?;
+
+    // --- Data loop -----------------------------------------------------
+    // Frames received (fresh + duplicate) since the last ack/credit
+    // grant. Duplicates earn credit too: a resuming client spent real
+    // window on them, and starving it would wedge the resume.
+    let mut since_ack: u32 = 0;
+    loop {
+        let frame = match read_frame(&mut sock, &mut fb, shared, tracer)? {
+            Some(f) => f,
+            None => return Ok(()), // client closed (after FinAck, or mid-stream crash)
+        };
+        match frame {
+            Frame::Data { seq, element } => {
+                shared.counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                let next_seq = {
+                    let st = slot.state.lock().expect("stream state lock");
+                    st.next_seq
+                };
+                if seq < next_seq {
+                    shared.counters.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+                } else if seq > next_seq {
+                    return reject(
+                        &mut sock,
+                        error_code::SEQUENCE_GAP,
+                        format!("stream {stream}: got seq {seq}, expected {next_seq}"),
+                    );
+                } else {
+                    // Forward, blocking (with a stall span) if the
+                    // executor is behind. Only after the channel accepts
+                    // the element does the sequence advance — a crash
+                    // between the two can at worst re-forward nothing,
+                    // never skip.
+                    let vt = element.ts.as_micros();
+                    match shared.data_tx.try_send((side, element)) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(el)) => {
+                            shared.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                            let span = tracer.span_start();
+                            shared
+                                .data_tx
+                                .send(el)
+                                .map_err(|_| disconnected("executor channel closed"))?;
+                            tracer.span_end(span, TraceKind::NetStall, vt, stream as u64, 1);
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            return Err(disconnected("executor channel closed"));
+                        }
+                    }
+                    slot.state.lock().expect("stream state lock").next_seq = seq + 1;
+                }
+                since_ack += 1;
+                if since_ack >= shared.opts.ack_every {
+                    let up_to = slot.state.lock().expect("stream state lock").next_seq;
+                    send_frames(&mut sock, &[Frame::Ack { up_to }, Frame::Credit { n: since_ack }])?;
+                    since_ack = 0;
+                }
+            }
+            Frame::Fin { count } => {
+                let mut st = slot.state.lock().expect("stream state lock");
+                if st.next_seq == count {
+                    st.finished = true;
+                    drop(st);
+                    send_frames(&mut sock, &[Frame::Ack { up_to: count }, Frame::FinAck])?;
+                } else if st.next_seq < count {
+                    // Frames were lost before the Fin (e.g. dropped by a
+                    // fault); make the client reconnect and resend.
+                    let have = st.next_seq;
+                    drop(st);
+                    return reject(
+                        &mut sock,
+                        error_code::SEQUENCE_GAP,
+                        format!("stream {stream}: Fin at {count} but only {have} received"),
+                    );
+                } else {
+                    let have = st.next_seq;
+                    drop(st);
+                    return reject(
+                        &mut sock,
+                        error_code::BAD_HELLO,
+                        format!("stream {stream}: Fin at {count} below received {have}"),
+                    );
+                }
+            }
+            other => {
+                return reject(
+                    &mut sock,
+                    error_code::BAD_HELLO,
+                    format!("unexpected frame on ingest connection: {other:?}"),
+                )
+            }
+        }
+    }
+}
+
+fn disconnected(what: &str) -> NetError {
+    NetError::Io(std::io::Error::new(ErrorKind::BrokenPipe, what.to_string()))
+}

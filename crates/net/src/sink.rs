@@ -1,0 +1,390 @@
+//! The sink side: a server publishing the join's output stream to TCP
+//! subscribers, and a consumer client that collects it fault-tolerantly.
+//!
+//! The sink keeps the full published history, so a subscriber that
+//! reconnects asks for `Subscribe { resume_from: <next unseen seq> }`
+//! and gets an exact replay of what it missed — the same
+//! sequence-number discipline as the ingest side, pointed the other way.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use punct_trace::event::TraceKind;
+use punct_trace::{TraceLog, TraceSettings, Tracer, LANE_NET_CLIENT, LANE_NET_SINK};
+use punct_types::{StreamElement, Timestamped};
+
+use crate::backoff::{Backoff, BackoffPolicy};
+use crate::error::NetError;
+use crate::frame::{encode_frame, encode_frame_into, Frame, FrameBuffer};
+
+/// Sink server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SinkOptions {
+    /// Elements per `Data` burst written to a subscriber.
+    pub batch: usize,
+    /// Tracing for subscriber handler threads.
+    pub trace: TraceSettings,
+}
+
+impl Default for SinkOptions {
+    fn default() -> SinkOptions {
+        SinkOptions { batch: 128, trace: TraceSettings::default() }
+    }
+}
+
+struct SinkShared {
+    history: Mutex<Vec<Timestamped<StreamElement>>>,
+    closed: AtomicBool,
+    shutdown: AtomicBool,
+    opts: SinkOptions,
+    bytes_sent: AtomicU64,
+    subscribers: AtomicU64,
+    trace: Mutex<TraceLog>,
+}
+
+/// A TCP server that publishes the joined output stream (tuples and
+/// punctuations, in emission order) to any number of subscribers.
+pub struct SinkServer {
+    addr: SocketAddr,
+    shared: Arc<SinkShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl SinkServer {
+    /// Binds on `127.0.0.1` (ephemeral port).
+    pub fn bind(opts: SinkOptions) -> std::io::Result<SinkServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(SinkShared {
+            history: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            opts,
+            bytes_sent: AtomicU64::new(0),
+            subscribers: AtomicU64::new(0),
+            trace: Mutex::new(TraceLog::default()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("net-sink-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn sink accept thread");
+        Ok(SinkServer { addr, shared, accept: Some(accept) })
+    }
+
+    /// The address subscribers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Publishes one output element (sequence = publish order).
+    pub fn publish(&self, element: Timestamped<StreamElement>) {
+        self.shared.history.lock().expect("sink history lock").push(element);
+    }
+
+    /// Publishes a batch.
+    pub fn publish_batch(&self, batch: Vec<Timestamped<StreamElement>>) {
+        self.shared.history.lock().expect("sink history lock").extend(batch);
+    }
+
+    /// Elements published so far.
+    pub fn len(&self) -> usize {
+        self.shared.history.lock().expect("sink history lock").len()
+    }
+
+    /// True if nothing was published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks the stream complete: subscribers that drain the history get
+    /// a `Fin` and their connection closes.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Bytes written to subscribers so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.shared.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Subscriber connections accepted so far.
+    pub fn subscribers(&self) -> u64 {
+        self.shared.subscribers.load(Ordering::Relaxed)
+    }
+
+    /// Drains trace events recorded by finished subscriber handlers.
+    pub fn take_trace(&self) -> TraceLog {
+        std::mem::take(&mut *self.shared.trace.lock().expect("trace lock"))
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SinkServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<SinkShared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                shared.subscribers.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                handlers.push(
+                    std::thread::Builder::new()
+                        .name("net-sink-conn".into())
+                        .spawn(move || {
+                            let mut tracer = Tracer::new(conn_shared.opts.trace);
+                            tracer.set_lane(LANE_NET_SINK);
+                            let _ = serve_subscriber(sock, &conn_shared, &mut tracer);
+                            conn_shared
+                                .trace
+                                .lock()
+                                .expect("trace lock")
+                                .merge(tracer.take());
+                        })
+                        .expect("spawn sink handler"),
+                );
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn serve_subscriber(
+    mut sock: TcpStream,
+    shared: &SinkShared,
+    tracer: &mut Tracer,
+) -> Result<(), NetError> {
+    sock.set_nodelay(true)?;
+    sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+
+    // Wait for the Subscribe frame.
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 4096];
+    let mut cursor = loop {
+        if let Some(frame) = fb.next_frame()? {
+            match frame {
+                Frame::Subscribe { resume_from } => break resume_from as usize,
+                other => {
+                    return Err(NetError::Handshake(format!(
+                        "expected Subscribe, got {other:?}"
+                    )))
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => return Ok(()),
+            Ok(n) => fb.extend(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    };
+
+    // Stream the history from the cursor, following the live tail.
+    let mut out = Vec::with_capacity(32 * 1024);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let batch: Vec<(u64, Timestamped<StreamElement>)> = {
+            let history = shared.history.lock().expect("sink history lock");
+            history[cursor.min(history.len())..]
+                .iter()
+                .take(shared.opts.batch)
+                .enumerate()
+                .map(|(i, e)| ((cursor + i) as u64, e.clone()))
+                .collect()
+        };
+        if batch.is_empty() {
+            if shared.closed.load(Ordering::SeqCst) {
+                let total = shared.history.lock().expect("sink history lock").len() as u64;
+                // Re-check: close() may race a final publish; only Fin
+                // when the cursor truly reached the end.
+                if cursor as u64 >= total {
+                    let fin = encode_frame(&Frame::Fin { count: total });
+                    sock.write_all(&fin)?;
+                    shared.bytes_sent.fetch_add(fin.len() as u64, Ordering::Relaxed);
+                    return Ok(());
+                }
+                continue;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        out.clear();
+        let span = tracer.span_start();
+        let frames = batch.len() as u64;
+        let vt = batch[0].1.ts.as_micros();
+        for (seq, element) in batch {
+            encode_frame_into(&Frame::Data { seq, element }, &mut out);
+            cursor = seq as usize + 1;
+        }
+        tracer.span_end(span, TraceKind::NetEncode, vt, out.len() as u64, frames);
+        sock.write_all(&out)?;
+        shared.bytes_sent.fetch_add(out.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// What a sink consumer observed.
+#[derive(Debug)]
+pub struct SinkReport {
+    /// Successful reconnects after the initial connection.
+    pub reconnects: u32,
+    /// Duplicate `Data` frames suppressed by sequence dedup.
+    pub duplicates_suppressed: u64,
+    /// The consumer's trace events.
+    pub trace: TraceLog,
+}
+
+/// Collects the sink's entire output stream over TCP, reconnecting with
+/// `policy` (jittered by `seed`) and resuming from the next unseen
+/// sequence after any disconnect. Returns once the server's `Fin`
+/// confirms the stream is complete.
+pub fn collect_all(
+    addr: SocketAddr,
+    policy: BackoffPolicy,
+    seed: u64,
+    trace: TraceSettings,
+) -> Result<(Vec<Timestamped<StreamElement>>, SinkReport), NetError> {
+    let mut tracer = Tracer::new(trace);
+    tracer.set_lane(LANE_NET_CLIENT);
+    let mut backoff = Backoff::new(policy, seed);
+    let mut received: Vec<Timestamped<StreamElement>> = Vec::new();
+    let mut report = SinkReport { reconnects: 0, duplicates_suppressed: 0, trace: TraceLog::default() };
+    let mut attempt: u32 = 0;
+    loop {
+        match consume_session(addr, &mut received, &mut report, attempt, &mut tracer) {
+            Ok(()) => {
+                report.trace = tracer.take();
+                return Ok((received, report));
+            }
+            Err(e) if e.is_retryable() => match backoff.next_delay() {
+                Some(delay) => {
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                }
+                None => {
+                    report.trace = tracer.take();
+                    return Err(NetError::RetriesExhausted {
+                        attempts: backoff.attempts(),
+                        last: e.to_string(),
+                    });
+                }
+            },
+            Err(e) => {
+                report.trace = tracer.take();
+                return Err(e);
+            }
+        }
+    }
+}
+
+fn consume_session(
+    addr: SocketAddr,
+    received: &mut Vec<Timestamped<StreamElement>>,
+    report: &mut SinkReport,
+    attempt: u32,
+    tracer: &mut Tracer,
+) -> Result<(), NetError> {
+    let mut sock = TcpStream::connect(addr)?;
+    sock.set_nodelay(true)?;
+    sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let resume_from = received.len() as u64;
+    sock.write_all(&encode_frame(&Frame::Subscribe { resume_from }))?;
+    if attempt > 0 {
+        report.reconnects += 1;
+        tracer.instant(TraceKind::NetReconnect, 0, attempt as u64, resume_from);
+    }
+
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 16 * 1024];
+    let idle_limit = Duration::from_secs(10);
+    let mut last_progress = Instant::now();
+    loop {
+        let span = tracer.span_start();
+        let buffered = fb.buffered();
+        if let Some(frame) = fb.next_frame()? {
+            let consumed = (buffered - fb.buffered()) as u64;
+            tracer.span_end(span, TraceKind::NetDecode, 0, consumed, 1);
+            last_progress = Instant::now();
+            match frame {
+                Frame::Data { seq, element } => {
+                    let next = received.len() as u64;
+                    if seq < next {
+                        report.duplicates_suppressed += 1;
+                    } else if seq > next {
+                        // The in-order TCP replay should make this
+                        // impossible; recover by resubscribing.
+                        return Err(NetError::Io(std::io::Error::new(
+                            ErrorKind::InvalidData,
+                            format!("sink gap: got seq {seq}, expected {next}"),
+                        )));
+                    } else {
+                        received.push(element);
+                    }
+                }
+                Frame::Fin { count } => {
+                    if received.len() as u64 == count {
+                        return Ok(());
+                    }
+                    return Err(NetError::Io(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("sink Fin at {count} with {} received", received.len()),
+                    )));
+                }
+                Frame::Error { code, message } => {
+                    return Err(NetError::Protocol { code, message })
+                }
+                other => {
+                    return Err(NetError::Handshake(format!(
+                        "unexpected sink frame: {other:?}"
+                    )))
+                }
+            }
+            continue;
+        }
+        if Instant::now().duration_since(last_progress) > idle_limit {
+            return Err(NetError::Io(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "sink subscription idle too long",
+            )));
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "sink server closed mid-stream",
+                )))
+            }
+            Ok(n) => fb.extend(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}

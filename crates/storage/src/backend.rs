@@ -17,6 +17,19 @@ pub struct IoStats {
     pub bytes_written: u64,
     /// Bytes read since creation.
     pub bytes_read: u64,
+    /// Pages freed since creation.
+    pub pages_freed: u64,
+    /// Bytes released by freed pages. `bytes_written - bytes_freed` is
+    /// the live footprint; the spill file itself only shrinks on drop,
+    /// which is what the high-water mark accessors expose.
+    pub bytes_freed: u64,
+}
+
+impl IoStats {
+    /// Bytes currently held by live (written, not freed) pages.
+    pub fn live_bytes(&self) -> u64 {
+        self.bytes_written.saturating_sub(self.bytes_freed)
+    }
 }
 
 /// Page-granular storage for spilled join state.

@@ -64,6 +64,15 @@ impl FileDisk {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The spill file's high-water mark in bytes: the furthest offset
+    /// ever written. Pages are append-only and freeing only forgets the
+    /// index entry, so this is the file's on-disk size — the peak disk
+    /// footprint a run actually required, as opposed to
+    /// [`IoStats::live_bytes`], which falls as pages are freed.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.end_offset
+    }
 }
 
 static NEXT_TEMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -93,7 +102,10 @@ impl DiskBackend for FileDisk {
     }
 
     fn free_page(&mut self, id: PageId) {
-        self.index.remove(&id);
+        if let Some((_, len)) = self.index.remove(&id) {
+            self.stats.pages_freed += 1;
+            self.stats.bytes_freed += len;
+        }
     }
 
     fn stats(&self) -> IoStats {
@@ -157,6 +169,38 @@ mod tests {
         let id = d.write_page(Bytes::from_static(b"x"));
         d.free_page(id);
         assert_eq!(d.live_pages(), 0);
+    }
+
+    #[test]
+    fn freed_bytes_and_high_water_mark() {
+        let mut d = FileDisk::temp("hwm").unwrap();
+        let a = d.write_page(Bytes::from_static(b"aaaa")); // 4 bytes
+        let b = d.write_page(Bytes::from_static(b"bbbbbb")); // 6 bytes
+        assert_eq!(d.high_water_bytes(), 10);
+        assert_eq!(d.stats().live_bytes(), 10);
+
+        d.free_page(a);
+        let s = d.stats();
+        assert_eq!(s.pages_freed, 1);
+        assert_eq!(s.bytes_freed, 4);
+        assert_eq!(s.live_bytes(), 6);
+        // Freeing reclaims no file space: the high-water mark stands.
+        assert_eq!(d.high_water_bytes(), 10);
+
+        // Double-free is a no-op in the accounting.
+        d.free_page(a);
+        assert_eq!(d.stats().pages_freed, 1);
+        assert_eq!(d.stats().bytes_freed, 4);
+
+        // New writes append beyond the mark even when earlier pages are
+        // free: the file only ever grows.
+        let c = d.write_page(Bytes::from_static(b"cc"));
+        assert_eq!(d.high_water_bytes(), 12);
+        d.free_page(b);
+        d.free_page(c);
+        assert_eq!(d.stats().live_bytes(), 0);
+        assert_eq!(d.stats().bytes_freed, 12);
+        assert_eq!(d.high_water_bytes(), 12);
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl DiskBackend for SimDisk {
     }
 
     fn free_page(&mut self, id: PageId) {
-        self.pages.remove(&id);
+        if let Some(data) = self.pages.remove(&id) {
+            self.stats.pages_freed += 1;
+            self.stats.bytes_freed += data.len() as u64;
+        }
     }
 
     fn stats(&self) -> IoStats {
@@ -83,6 +86,19 @@ mod tests {
         assert_eq!(s.pages_read, 2);
         assert_eq!(s.bytes_written, 5);
         assert_eq!(s.bytes_read, 10);
+    }
+
+    #[test]
+    fn free_accounting_matches_file_disk() {
+        let mut d = SimDisk::new();
+        let a = d.write_page(Bytes::from_static(b"12345"));
+        let _b = d.write_page(Bytes::from_static(b"678"));
+        d.free_page(a);
+        d.free_page(a); // double-free: no effect on the accounting
+        let s = d.stats();
+        assert_eq!(s.pages_freed, 1);
+        assert_eq!(s.bytes_freed, 5);
+        assert_eq!(s.live_bytes(), 3);
     }
 
     #[test]

@@ -29,4 +29,5 @@ pub mod validate;
 
 pub use config::{PunctScheme, StreamConfig};
 pub use generator::{generate_pair, generate_stream, GeneratedStream};
+pub use merge::{interleave_sides, merge_streams};
 pub use validate::{validate_stream, WellFormedness};

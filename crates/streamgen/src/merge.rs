@@ -1,6 +1,7 @@
 //! K-way timestamp merge of streams.
 
 use punct_types::{StreamElement, Timestamped};
+use stream_sim::Side;
 
 /// Merges already-sorted streams into one sorted stream. Ties preserve
 /// the input order of the streams (stable).
@@ -25,6 +26,33 @@ pub fn merge_streams(
                 cursors[i] += 1;
             }
             None => break,
+        }
+    }
+    out
+}
+
+/// Timestamp-interleaves a left/right stream pair into one arrival
+/// order, tagging each element with its side (ties prefer left). This
+/// is the canonical feed order for a two-input executor — the in-process
+/// reference that networked runs are compared against.
+pub fn interleave_sides(
+    left: &[Timestamped<StreamElement>],
+    right: &[Timestamped<StreamElement>],
+) -> Vec<(Side, Timestamped<StreamElement>)> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() || j < right.len() {
+        let take_left = match (left.get(i), right.get(j)) {
+            (Some(l), Some(r)) => l.ts <= r.ts,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_left {
+            out.push((Side::Left, left[i].clone()));
+            i += 1;
+        } else {
+            out.push((Side::Right, right[j].clone()));
+            j += 1;
         }
     }
     out
@@ -68,6 +96,18 @@ mod tests {
         assert_eq!(merge_streams(&[&a, &b]).len(), 1);
         assert!(merge_streams(&[&a]).is_empty());
         assert!(merge_streams(&[]).is_empty());
+    }
+
+    #[test]
+    fn interleave_tags_sides_and_orders_by_time() {
+        let left = vec![tup(1, 10), tup(5, 11)];
+        let right = vec![tup(2, 20), tup(5, 21)];
+        let m = interleave_sides(&left, &right);
+        let sides: Vec<Side> = m.iter().map(|(s, _)| *s).collect();
+        // Tie at ts=5 prefers left.
+        assert_eq!(sides, vec![Side::Left, Side::Right, Side::Left, Side::Right]);
+        assert!(m.windows(2).all(|w| w[0].1.ts <= w[1].1.ts));
+        assert!(interleave_sides(&[], &[]).is_empty());
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub const LANE_ROUTER: Lane = u32::MAX - 1;
 pub const LANE_MERGE: Lane = u32::MAX;
 /// Lane of the simulation driver (ingress stamps).
 pub const LANE_DRIVER: Lane = u32::MAX - 2;
+/// Lane of the networked transport's ingest server threads.
+pub const LANE_NET_INGEST: Lane = u32::MAX - 3;
+/// Lane of the networked transport's sink server threads.
+pub const LANE_NET_SINK: Lane = u32::MAX - 4;
+/// Lane of a networked source/consumer client.
+pub const LANE_NET_CLIENT: Lane = u32::MAX - 5;
 
 /// Human-readable lane name, used by the exporters.
 pub fn lane_name(lane: Lane) -> String {
@@ -25,6 +31,9 @@ pub fn lane_name(lane: Lane) -> String {
         LANE_ROUTER => "router".into(),
         LANE_MERGE => "merge".into(),
         LANE_DRIVER => "driver".into(),
+        LANE_NET_INGEST => "net-ingest".into(),
+        LANE_NET_SINK => "net-sink".into(),
+        LANE_NET_CLIENT => "net-client".into(),
         shard => format!("shard-{shard}"),
     }
 }
@@ -73,11 +82,26 @@ pub enum TraceKind {
     /// An element entered the system (`a` = side index, `b` = 1 if it
     /// was a punctuation).
     Ingress,
+    /// The networked transport encoded frames onto a socket (`a` = bytes
+    /// encoded, `b` = frames encoded).
+    NetEncode,
+    /// The networked transport decoded frames off a socket (`a` = bytes
+    /// decoded, `b` = frames decoded).
+    NetDecode,
+    /// A backpressure stall: the transport blocked because credits ran
+    /// out (client side) or the downstream channel was full (server
+    /// side). Recorded as a span covering the stall (`a` = stream id,
+    /// `b` = 0 client-credit stall / 1 server-channel stall).
+    NetStall,
+    /// A connection (re)establishment after a disconnect (`a` = attempt
+    /// number within the backoff schedule, `b` = the sequence number the
+    /// peer asked to resume from).
+    NetReconnect,
 }
 
 impl TraceKind {
     /// Every kind, for schema enumeration.
-    pub const ALL: [TraceKind; 13] = [
+    pub const ALL: [TraceKind; 17] = [
         TraceKind::MemoryJoin,
         TraceKind::DiskJoin,
         TraceKind::Relocation,
@@ -91,6 +115,10 @@ impl TraceKind {
         TraceKind::Align,
         TraceKind::Merge,
         TraceKind::Ingress,
+        TraceKind::NetEncode,
+        TraceKind::NetDecode,
+        TraceKind::NetStall,
+        TraceKind::NetReconnect,
     ];
 
     /// The stable wire name (JSONL `kind` field, Chrome trace `name`).
@@ -109,6 +137,10 @@ impl TraceKind {
             TraceKind::Align => "align",
             TraceKind::Merge => "merge",
             TraceKind::Ingress => "ingress",
+            TraceKind::NetEncode => "net_encode",
+            TraceKind::NetDecode => "net_decode",
+            TraceKind::NetStall => "net_stall",
+            TraceKind::NetReconnect => "net_reconnect",
         }
     }
 
@@ -128,6 +160,9 @@ impl TraceKind {
                 | TraceKind::Purge
                 | TraceKind::IndexBuild
                 | TraceKind::Propagation
+                | TraceKind::NetEncode
+                | TraceKind::NetDecode
+                | TraceKind::NetStall
         )
     }
 }
@@ -195,6 +230,9 @@ mod tests {
         assert_eq!(lane_name(LANE_ROUTER), "router");
         assert_eq!(lane_name(LANE_MERGE), "merge");
         assert_eq!(lane_name(LANE_DRIVER), "driver");
+        assert_eq!(lane_name(LANE_NET_INGEST), "net-ingest");
+        assert_eq!(lane_name(LANE_NET_SINK), "net-sink");
+        assert_eq!(lane_name(LANE_NET_CLIENT), "net-client");
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod ring;
 pub mod tracer;
 
 pub use dashboard::{histogram_chart, latency_report, Dashboard};
-pub use event::{lane_name, Lane, TraceEvent, TraceKind, LANE_DRIVER, LANE_MERGE, LANE_ROUTER};
+pub use event::{
+    lane_name, Lane, TraceEvent, TraceKind, LANE_DRIVER, LANE_MERGE, LANE_NET_CLIENT,
+    LANE_NET_INGEST, LANE_NET_SINK, LANE_ROUTER,
+};
 pub use export::{chrome_trace, jsonl, jsonl_line, validate_jsonl, ParsedEvent};
 pub use hist::{LatencyHistogram, BUCKETS};
 pub use latency::JoinLatencies;

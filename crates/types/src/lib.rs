@@ -25,6 +25,8 @@
 //!   punctuated stream.
 //! * a textual grammar ([`parse`]) for writing punctuations in tests,
 //!   examples and config files, e.g. `<*, 42, [10,20), {1,2,3}, ->`.
+//! * a wire-stable binary encoding ([`wire`]) of all of the above, used
+//!   by the networked transport (`punct-net`).
 
 pub mod error;
 pub mod parse;
@@ -36,6 +38,7 @@ pub mod schema;
 pub mod stream;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use error::TypeError;
 pub use pattern::{Bound, Pattern};
@@ -46,3 +49,4 @@ pub use schema::{Field, Schema};
 pub use stream::{StreamElement, Timestamp, Timestamped};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};
+pub use wire::{WireError, WireReader};

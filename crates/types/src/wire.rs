@@ -1,0 +1,589 @@
+//! Wire-stable binary encoding of the stream element model.
+//!
+//! This is the byte-level representation the networked transport
+//! (`punct-net`) frames on the wire: values, tuples, every one of the
+//! five punctuation pattern kinds, punctuations, schemas and stream
+//! elements. The encoding lives here, next to the types themselves, so
+//! that adding a `Value` or `Pattern` variant forces the wire format to
+//! be revisited in the same change.
+//!
+//! Design rules:
+//!
+//! * **Little-endian, length-prefixed, tag-discriminated.** Every
+//!   variable-length field carries a `u32` length; every enum carries a
+//!   leading tag byte. There is no padding and no alignment, so the
+//!   encoding is identical across platforms.
+//! * **Decode never panics.** Malformed input — truncation, unknown
+//!   tags, invalid UTF-8, lengths exceeding the remaining buffer —
+//!   surfaces as a typed [`WireError`]. Length fields are validated
+//!   against the bytes actually present *before* any allocation, so a
+//!   corrupt length cannot trigger a huge allocation.
+//! * **Bit-exact round trips.** Floats are encoded as their IEEE bit
+//!   pattern (`f64::to_bits`), so `NaN` payloads and `-0.0` survive
+//!   unchanged — the same totality guarantee `Value`'s `Eq` provides.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::pattern::{Bound, Pattern};
+use crate::punctuation::Punctuation;
+use crate::schema::{Field, Schema};
+use crate::stream::{StreamElement, Timestamp, Timestamped};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+
+/// Decoding failure: what was malformed and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the announced structure was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed beyond those available.
+        needed: usize,
+        /// Bytes remaining.
+        available: usize,
+    },
+    /// An enum tag byte was not a known discriminant.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A string field did not hold valid UTF-8.
+    BadUtf8 {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A length field exceeded the protocol's sanity limit.
+    TooLarge {
+        /// What was being decoded.
+        what: &'static str,
+        /// The announced length.
+        len: usize,
+        /// The maximum the decoder accepts.
+        max: usize,
+    },
+    /// Bytes remained after the outermost structure was decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed, available } => write!(
+                f,
+                "truncated {what}: needed {needed} more byte(s), {available} available"
+            ),
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            WireError::BadUtf8 { what } => write!(f, "invalid UTF-8 in {what}"),
+            WireError::TooLarge { what, len, max } => {
+                write!(f, "{what} length {len} exceeds limit {max}")
+            }
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after decoded structure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Upper bound on any single announced collection length (attributes,
+/// enumeration values, string bytes). Generous for real workloads while
+/// keeping a corrupted length from requesting a multi-gigabyte buffer.
+pub const MAX_WIRE_LEN: usize = 1 << 24;
+
+// ---------------------------------------------------------------------
+// Writer side
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the encoding of a [`Value`].
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.push(2);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            buf.push(3);
+            put_u64(buf, x.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_bound(buf: &mut Vec<u8>, b: &Bound) {
+    match b {
+        Bound::Unbounded => buf.push(0),
+        Bound::Inclusive(v) => {
+            buf.push(1);
+            put_value(buf, v);
+        }
+        Bound::Exclusive(v) => {
+            buf.push(2);
+            put_value(buf, v);
+        }
+    }
+}
+
+/// Appends the encoding of a [`Pattern`] (all five kinds).
+pub fn put_pattern(buf: &mut Vec<u8>, p: &Pattern) {
+    match p {
+        Pattern::Wildcard => buf.push(0),
+        Pattern::Constant(v) => {
+            buf.push(1);
+            put_value(buf, v);
+        }
+        Pattern::Range { lo, hi } => {
+            buf.push(2);
+            put_bound(buf, lo);
+            put_bound(buf, hi);
+        }
+        Pattern::In(vs) => {
+            buf.push(3);
+            put_u32(buf, vs.len() as u32);
+            for v in vs {
+                put_value(buf, v);
+            }
+        }
+        Pattern::Empty => buf.push(4),
+    }
+}
+
+/// Appends the encoding of a [`Tuple`].
+pub fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+    put_u32(buf, t.width() as u32);
+    for v in t.values() {
+        put_value(buf, v);
+    }
+}
+
+/// Appends the encoding of a [`Punctuation`].
+pub fn put_punctuation(buf: &mut Vec<u8>, p: &Punctuation) {
+    put_u32(buf, p.width() as u32);
+    for pat in p.patterns() {
+        put_pattern(buf, pat);
+    }
+}
+
+/// Appends the encoding of a [`StreamElement`].
+pub fn put_element(buf: &mut Vec<u8>, e: &StreamElement) {
+    match e {
+        StreamElement::Tuple(t) => {
+            buf.push(0);
+            put_tuple(buf, t);
+        }
+        StreamElement::Punctuation(p) => {
+            buf.push(1);
+            put_punctuation(buf, p);
+        }
+    }
+}
+
+/// Appends the encoding of a [`Timestamped<StreamElement>`].
+pub fn put_timestamped(buf: &mut Vec<u8>, e: &Timestamped<StreamElement>) {
+    put_u64(buf, e.ts.as_micros());
+    put_element(buf, &e.item);
+}
+
+/// Appends the encoding of a [`Schema`].
+pub fn put_schema(buf: &mut Vec<u8>, s: &Schema) {
+    put_u32(buf, s.width() as u32);
+    for f in s.fields() {
+        put_str(buf, &f.name);
+        buf.push(match f.ty {
+            ValueType::Null => 0,
+            ValueType::Bool => 1,
+            ValueType::Int => 2,
+            ValueType::Float => 3,
+            ValueType::Str => 4,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader side
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over an encoded byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset into the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Errors unless the reader consumed the buffer exactly.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            count => Err(WireError::TrailingBytes { count }),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                what,
+                needed: n - self.remaining(),
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u32` collection length, validated against both the
+    /// protocol limit and the bytes actually remaining (each entry of
+    /// any collection occupies at least `min_entry_bytes`).
+    fn len(
+        &mut self,
+        what: &'static str,
+        min_entry_bytes: usize,
+    ) -> Result<usize, WireError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_WIRE_LEN {
+            return Err(WireError::TooLarge { what, len, max: MAX_WIRE_LEN });
+        }
+        let floor = len.saturating_mul(min_entry_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(WireError::Truncated {
+                what,
+                needed: floor - self.remaining(),
+                available: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, WireError> {
+        let len = self.len(what, 1)?;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8 { what })
+    }
+}
+
+/// Decodes a [`Value`].
+pub fn get_value(r: &mut WireReader<'_>) -> Result<Value, WireError> {
+    match r.u8("value tag")? {
+        0 => Ok(Value::Null),
+        1 => match r.u8("bool value")? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            tag => Err(WireError::BadTag { what: "bool value", tag }),
+        },
+        2 => Ok(Value::Int(r.i64("int value")?)),
+        3 => Ok(Value::Float(f64::from_bits(r.u64("float value")?))),
+        4 => Ok(Value::Str(Arc::from(r.str("string value")?))),
+        tag => Err(WireError::BadTag { what: "value", tag }),
+    }
+}
+
+fn get_bound(r: &mut WireReader<'_>) -> Result<Bound, WireError> {
+    match r.u8("bound tag")? {
+        0 => Ok(Bound::Unbounded),
+        1 => Ok(Bound::Inclusive(get_value(r)?)),
+        2 => Ok(Bound::Exclusive(get_value(r)?)),
+        tag => Err(WireError::BadTag { what: "bound", tag }),
+    }
+}
+
+/// Decodes a [`Pattern`].
+///
+/// Enumeration lists are decoded verbatim — the encoder only ever emits
+/// normalized (sorted, deduplicated) lists, so a round trip is
+/// bit-exact without re-normalizing.
+pub fn get_pattern(r: &mut WireReader<'_>) -> Result<Pattern, WireError> {
+    match r.u8("pattern tag")? {
+        0 => Ok(Pattern::Wildcard),
+        1 => Ok(Pattern::Constant(get_value(r)?)),
+        2 => {
+            let lo = get_bound(r)?;
+            let hi = get_bound(r)?;
+            Ok(Pattern::Range { lo, hi })
+        }
+        3 => {
+            let len = r.len("enumeration list", 1)?;
+            let mut vs = Vec::with_capacity(len);
+            for _ in 0..len {
+                vs.push(get_value(r)?);
+            }
+            Ok(Pattern::In(vs))
+        }
+        4 => Ok(Pattern::Empty),
+        tag => Err(WireError::BadTag { what: "pattern", tag }),
+    }
+}
+
+/// Decodes a [`Tuple`].
+pub fn get_tuple(r: &mut WireReader<'_>) -> Result<Tuple, WireError> {
+    let width = r.len("tuple width", 1)?;
+    let mut values = Vec::with_capacity(width);
+    for _ in 0..width {
+        values.push(get_value(r)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Decodes a [`Punctuation`].
+pub fn get_punctuation(r: &mut WireReader<'_>) -> Result<Punctuation, WireError> {
+    let width = r.len("punctuation width", 1)?;
+    let mut patterns = Vec::with_capacity(width);
+    for _ in 0..width {
+        patterns.push(get_pattern(r)?);
+    }
+    Ok(Punctuation::new(patterns))
+}
+
+/// Decodes a [`StreamElement`].
+pub fn get_element(r: &mut WireReader<'_>) -> Result<StreamElement, WireError> {
+    match r.u8("element tag")? {
+        0 => Ok(StreamElement::Tuple(get_tuple(r)?)),
+        1 => Ok(StreamElement::Punctuation(get_punctuation(r)?)),
+        tag => Err(WireError::BadTag { what: "element", tag }),
+    }
+}
+
+/// Decodes a [`Timestamped<StreamElement>`].
+pub fn get_timestamped(
+    r: &mut WireReader<'_>,
+) -> Result<Timestamped<StreamElement>, WireError> {
+    let ts = Timestamp::from_micros(r.u64("timestamp")?);
+    let item = get_element(r)?;
+    Ok(Timestamped::new(ts, item))
+}
+
+/// Decodes a [`Schema`].
+pub fn get_schema(r: &mut WireReader<'_>) -> Result<Schema, WireError> {
+    let width = r.len("schema width", 5)?;
+    let mut fields = Vec::with_capacity(width);
+    for _ in 0..width {
+        let name = r.str("field name")?.to_string();
+        let ty = match r.u8("field type")? {
+            0 => ValueType::Null,
+            1 => ValueType::Bool,
+            2 => ValueType::Int,
+            3 => ValueType::Float,
+            4 => ValueType::Str,
+            tag => return Err(WireError::BadTag { what: "field type", tag }),
+        };
+        fields.push(Field::new(name, ty));
+    }
+    Ok(Schema::new(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_element(e: &StreamElement) {
+        let mut buf = Vec::new();
+        put_element(&mut buf, e);
+        let mut r = WireReader::new(&buf);
+        let back = get_element(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        assert_eq!(&back, e);
+    }
+
+    #[test]
+    fn values_round_trip_bit_exactly() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Int(0),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(1.5),
+            Value::str(""),
+            Value::str("héllo, wörld"),
+        ] {
+            let mut buf = Vec::new();
+            put_value(&mut buf, &v);
+            let mut r = WireReader::new(&buf);
+            let back = get_value(&mut r).expect("decode");
+            r.finish().expect("consumed");
+            // Eq on Value is total (NaN == NaN via total_cmp), and the
+            // bits encoding preserves the exact payload.
+            assert_eq!(back, v);
+            if let (Value::Float(a), Value::Float(b)) = (&v, &back) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn all_pattern_kinds_round_trip() {
+        let patterns = vec![
+            Pattern::Wildcard,
+            Pattern::Empty,
+            Pattern::Constant(Value::str("k")),
+            Pattern::Range { lo: Bound::Unbounded, hi: Bound::Exclusive(Value::Int(9)) },
+            Pattern::Range {
+                lo: Bound::Inclusive(Value::Float(0.5)),
+                hi: Bound::Unbounded,
+            },
+            Pattern::In(vec![Value::Int(1), Value::Int(3), Value::str("z")]),
+        ];
+        for p in &patterns {
+            let mut buf = Vec::new();
+            put_pattern(&mut buf, p);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(&get_pattern(&mut r).expect("decode"), p);
+            r.finish().expect("consumed");
+        }
+        roundtrip_element(&StreamElement::Punctuation(Punctuation::new(patterns)));
+    }
+
+    #[test]
+    fn tuples_and_timestamps_round_trip() {
+        roundtrip_element(&StreamElement::Tuple(Tuple::of((1i64, "a", 2.5, true))));
+        let e = Timestamped::new(
+            Timestamp::from_micros(123_456),
+            StreamElement::Tuple(Tuple::of((7i64,))),
+        );
+        let mut buf = Vec::new();
+        put_timestamped(&mut buf, &e);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(get_timestamped(&mut r).expect("decode"), e);
+        r.finish().expect("consumed");
+    }
+
+    #[test]
+    fn schemas_round_trip() {
+        let s = Schema::of(&[
+            ("item_id", ValueType::Int),
+            ("name", ValueType::Str),
+            ("price", ValueType::Float),
+            ("live", ValueType::Bool),
+        ]);
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &s);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(get_schema(&mut r).expect("decode"), s);
+        r.finish().expect("consumed");
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_element(&mut buf, &StreamElement::Tuple(Tuple::of((1i64, "abc"))));
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            assert!(get_element(&mut r).is_err(), "prefix of {cut} bytes must fail");
+        }
+    }
+
+    #[test]
+    fn bogus_tags_are_errors() {
+        let mut r = WireReader::new(&[9u8]);
+        assert!(matches!(get_value(&mut r), Err(WireError::BadTag { tag: 9, .. })));
+        let mut r = WireReader::new(&[7u8]);
+        assert!(matches!(get_pattern(&mut r), Err(WireError::BadTag { tag: 7, .. })));
+        let mut r = WireReader::new(&[3u8]);
+        assert!(matches!(get_element(&mut r), Err(WireError::BadTag { tag: 3, .. })));
+    }
+
+    #[test]
+    fn corrupt_length_cannot_request_huge_allocation() {
+        // A tuple claiming 2^32-1 attributes with no bytes behind it.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = WireReader::new(&buf);
+        match get_tuple(&mut r) {
+            Err(WireError::TooLarge { .. }) | Err(WireError::Truncated { .. }) => {}
+            other => panic!("expected length rejection, got {other:?}"),
+        }
+        // A string claiming more bytes than remain.
+        let mut buf = vec![4u8]; // Str tag
+        put_u32(&mut buf, 1000);
+        buf.extend_from_slice(b"short");
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(get_value(&mut r), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut buf = vec![4u8]; // Str tag
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(get_value(&mut r), Err(WireError::BadUtf8 { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Int(1));
+        buf.push(0xAA);
+        let mut r = WireReader::new(&buf);
+        get_value(&mut r).expect("value decodes");
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes { count: 1 }));
+    }
+}

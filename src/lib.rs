@@ -25,12 +25,16 @@
 //!   exactly-once alignment.
 //! * [`query`] (`squery`) — the mini continuous-query engine (select,
 //!   project, punctuation-aware group-by) for end-to-end plans.
+//! * [`net`] (`punct-net`) — networked transport: length-prefixed wire
+//!   codec, TCP ingest/sink servers, credit-based backpressure,
+//!   fault-tolerant resume, and an in-process fault-injection proxy.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the experiment index.
 
 pub use pjoin as core;
 pub use punct_exec as exec;
+pub use punct_net as net;
 pub use punct_types as types;
 pub use spillstore as storage;
 pub use squery as query;
