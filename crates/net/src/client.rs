@@ -30,6 +30,15 @@ pub struct ClientOptions {
     /// How long to wait for `HelloAck` / `FinAck` before treating the
     /// connection as dead.
     pub handshake_timeout: Duration,
+    /// How long to wait for a credit grant while stalled before treating
+    /// the connection as dead. `None` (the default) waits indefinitely:
+    /// a stall is backpressure — the server grants credit only as the
+    /// executor drains — and backpressure is supposed to propagate to
+    /// the source, not kill the connection. A genuinely dead peer still
+    /// surfaces as a socket error (close/reset) from the drain reads;
+    /// set a timeout only if half-open connections (no FIN, no RST)
+    /// must also be bounded.
+    pub credit_stall_timeout: Option<Duration>,
     /// Tracing for this client.
     pub trace: TraceSettings,
 }
@@ -41,6 +50,7 @@ impl Default for ClientOptions {
             seed: 0,
             batch: 64,
             handshake_timeout: Duration::from_secs(5),
+            credit_stall_timeout: None,
             trace: TraceSettings::default(),
         }
     }
@@ -113,25 +123,39 @@ pub fn send_stream_cancellable(
                 "cancelled",
             )));
         }
-        match session(addr, stream, side, schema, elements, opts, attempt, &mut tracer, &mut report)
-        {
+        // The retry budget counts *consecutive non-progressing*
+        // failures, not lifetime disconnects: a session that advanced
+        // the ack mark (including via the resume point its handshake
+        // learned from the previous session's delivery) earns a fresh
+        // budget. A long lossy transfer that keeps moving therefore
+        // completes, while a peer that accepts connections without ever
+        // making progress still exhausts the budget.
+        let acked_before = report.acked;
+        match session(
+            addr, stream, side, schema, elements, opts, attempt, cancel, &mut tracer, &mut report,
+        ) {
             Ok(()) => {
                 report.trace = tracer.take();
                 return Ok(report);
             }
-            Err(e) if e.is_retryable() => match backoff.next_delay() {
-                Some(delay) => {
-                    attempt += 1;
-                    std::thread::sleep(delay);
+            Err(e) if e.is_retryable() => {
+                if report.acked > acked_before {
+                    backoff.reset();
                 }
-                None => {
-                    report.trace = tracer.take();
-                    return Err(NetError::RetriesExhausted {
-                        attempts: backoff.attempts(),
-                        last: e.to_string(),
-                    });
+                match backoff.next_delay() {
+                    Some(delay) => {
+                        attempt += 1;
+                        std::thread::sleep(delay);
+                    }
+                    None => {
+                        report.trace = tracer.take();
+                        return Err(NetError::RetriesExhausted {
+                            attempts: backoff.attempts(),
+                            last: e.to_string(),
+                        });
+                    }
                 }
-            },
+            }
             Err(e) => {
                 report.trace = tracer.take();
                 return Err(e);
@@ -150,6 +174,7 @@ fn session(
     elements: &[Timestamped<StreamElement>],
     opts: &ClientOptions,
     attempt: u32,
+    cancel: &AtomicBool,
     tracer: &mut Tracer,
     report: &mut SendReport,
 ) -> Result<(), NetError> {
@@ -196,9 +221,20 @@ fn session(
         if credits == 0 {
             report.credit_stalls += 1;
             let span = tracer.span_start();
-            let deadline = Instant::now() + opts.handshake_timeout;
+            // A stall is backpressure, not failure: wait for credit as
+            // long as the socket stays healthy (a dead peer surfaces as
+            // an error from the drain reads), bounded only by the
+            // optional credit-stall timeout — NOT the handshake timeout,
+            // which is far too short for a slow consumer.
+            let deadline = opts.credit_stall_timeout.map(|t| Instant::now() + t);
             while credits == 0 {
-                if Instant::now() >= deadline {
+                if cancel.load(Ordering::SeqCst) {
+                    return Err(NetError::Io(std::io::Error::new(
+                        ErrorKind::Interrupted,
+                        "cancelled",
+                    )));
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
                     return Err(NetError::Io(std::io::Error::new(
                         ErrorKind::TimedOut,
                         "no credit grant within the stall timeout",

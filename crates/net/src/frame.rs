@@ -38,6 +38,12 @@ pub mod error_code {
     pub const BAD_HELLO: u16 = 3;
     /// The peer is shutting down.
     pub const SHUTDOWN: u16 = 4;
+    /// A newer connection handshook for the same stream; this (older)
+    /// connection no longer owns it and must not send.
+    pub const SUPERSEDED: u16 = 5;
+    /// The sink truncated its history below the requested resume point;
+    /// an exact replay is impossible.
+    pub const TRUNCATED: u16 = 6;
 }
 
 /// One protocol message.

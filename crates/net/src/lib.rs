@@ -71,6 +71,9 @@ pub use sink::{collect_all, SinkOptions, SinkReport, SinkServer};
 mod tests {
     use super::*;
     use punct_types::{Schema, StreamElement, Timestamp, Timestamped, Tuple, ValueType};
+    use std::io::{ErrorKind, Read, Write};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
     use stream_sim::Side;
 
     fn tup(ts: u64, k: i64) -> Timestamped<StreamElement> {
@@ -79,6 +82,26 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::of(&[("k", ValueType::Int), ("v", ValueType::Int)])
+    }
+
+    /// Reads one frame off a raw test socket, failing loudly on EOF or a
+    /// five-second silence.
+    fn read_one(sock: &mut TcpStream, fb: &mut FrameBuffer) -> Frame {
+        sock.set_read_timeout(Some(Duration::from_millis(50))).expect("set timeout");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(f) = fb.next_frame().expect("well-formed frame") {
+                return f;
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for a frame");
+            match sock.read(&mut buf) {
+                Ok(0) => panic!("peer closed while a frame was expected"),
+                Ok(n) => fb.extend(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("socket error: {e}"),
+            }
+        }
     }
 
     #[test]
@@ -150,6 +173,205 @@ mod tests {
             got.push(e);
         }
         assert_eq!(got, elements, "losses and reconnects must not reorder, drop or duplicate");
+    }
+
+    /// The REVIEW race: a handler the client abandoned (e.g. after a
+    /// stall) must not forward anything once a newer connection has
+    /// handshaken for the same stream — otherwise an element could be
+    /// delivered twice. The superseded connection is refused with
+    /// `SUPERSEDED`, and the sequence counter never regresses.
+    #[test]
+    fn superseded_connection_cannot_duplicate_delivery() {
+        let (server, rx) =
+            IngestServer::bind(&[Side::Left], IngestOptions::default()).expect("bind");
+        let hello = encode_frame(&Frame::Hello {
+            stream: 0,
+            side: 0,
+            wire_version: WIRE_VERSION,
+            schema: schema(),
+        });
+
+        // Connection A handshakes and owns the stream...
+        let mut a = TcpStream::connect(server.addr()).expect("connect a");
+        a.write_all(&hello).expect("hello a");
+        let mut fb_a = FrameBuffer::new();
+        assert!(matches!(read_one(&mut a, &mut fb_a), Frame::HelloAck { resume_from: 0, .. }));
+
+        // ...until connection B handshakes for the same stream. Reading
+        // B's HelloAck guarantees the server has transferred ownership.
+        let mut b = TcpStream::connect(server.addr()).expect("connect b");
+        b.write_all(&hello).expect("hello b");
+        let mut fb_b = FrameBuffer::new();
+        assert!(matches!(read_one(&mut b, &mut fb_b), Frame::HelloAck { resume_from: 0, .. }));
+
+        // A's in-flight element must be refused, not forwarded.
+        a.write_all(&encode_frame(&Frame::Data { seq: 0, element: tup(0, 1) }))
+            .expect("data a");
+        match read_one(&mut a, &mut fb_a) {
+            Frame::Error { code, .. } => assert_eq!(code, frame::error_code::SUPERSEDED),
+            other => panic!("expected SUPERSEDED, got {other:?}"),
+        }
+        assert_eq!(server.forwarded(), vec![0], "a superseded handler must not advance the seq");
+
+        // B delivers the same element exactly once.
+        b.write_all(&encode_frame(&Frame::Data { seq: 0, element: tup(0, 1) }))
+            .expect("data b");
+        b.write_all(&encode_frame(&Frame::Fin { count: 1 })).expect("fin b");
+        assert!(matches!(read_one(&mut b, &mut fb_b), Frame::Ack { up_to: 1 }));
+        assert!(matches!(read_one(&mut b, &mut fb_b), Frame::FinAck));
+        assert!(server.all_finished());
+
+        let mut got = Vec::new();
+        while let Ok((_, e)) = rx.try_recv() {
+            got.push(e);
+        }
+        assert_eq!(got, vec![tup(0, 1)], "exactly one copy must cross the channel");
+    }
+
+    /// The retry budget counts consecutive non-progressing failures: a
+    /// transfer that advances on every reconnect survives arbitrarily
+    /// many disconnects, even far past `max_attempts`.
+    #[test]
+    fn progress_resets_the_retry_budget() {
+        let elements: Vec<_> = (0..1500).map(|i| tup(i, i as i64)).collect();
+        // The channel must hold the whole stream: this test drains it
+        // only after the (synchronous) transfer completes, and a full
+        // channel would otherwise stall the client on credit forever.
+        let (server, rx) = IngestServer::bind(
+            &[Side::Left],
+            IngestOptions { channel_capacity: 2048, ..IngestOptions::default() },
+        )
+        .expect("bind");
+        // Kill every connection after 100 forwarded frames, 12 times —
+        // more kills than the policy's whole attempt budget, but each
+        // session lands ~99 fresh elements before dying.
+        let disconnects = 12;
+        let proxy = FaultProxy::spawn(
+            server.addr(),
+            FaultConfig {
+                disconnect_after_frames: 100,
+                max_disconnects: disconnects,
+                seed: 5,
+                ..FaultConfig::default()
+            },
+        )
+        .expect("proxy");
+        let opts = ClientOptions {
+            policy: BackoffPolicy::fast(),
+            seed: 4,
+            ..ClientOptions::default()
+        };
+        assert!(
+            opts.policy.max_attempts < disconnects,
+            "the test must disconnect more often than the raw attempt budget"
+        );
+        let report = send_stream(proxy.addr(), 0, Side::Left, &schema(), &elements, &opts)
+            .expect("a transfer progressing on every reconnect must complete");
+        assert_eq!(report.reconnects, disconnects);
+        assert_eq!(report.acked, elements.len() as u64);
+        let mut got = Vec::new();
+        while let Ok((_, e)) = rx.try_recv() {
+            got.push(e);
+        }
+        assert_eq!(got, elements);
+    }
+
+    /// A backpressure stall is not a dead connection: a consumer that
+    /// pauses for longer than the handshake timeout must stall the
+    /// client, not make it reconnect (the old behaviour reused the
+    /// handshake timeout as a stall deadline).
+    #[test]
+    fn backpressure_stall_outlives_the_handshake_timeout() {
+        let elements: Vec<_> = (0..300).map(|i| tup(i, i as i64)).collect();
+        let (server, rx) = IngestServer::bind(
+            &[Side::Left],
+            IngestOptions {
+                initial_credits: 32,
+                ack_every: 16,
+                channel_capacity: 8,
+                ..IngestOptions::default()
+            },
+        )
+        .expect("bind");
+        let opts = ClientOptions {
+            policy: BackoffPolicy::fast(),
+            handshake_timeout: Duration::from_millis(100),
+            ..ClientOptions::default()
+        };
+        let handle =
+            spawn_source(server.addr(), 0, Side::Left, schema(), elements.clone(), opts);
+        // Nobody consumes: the client burns its 32 credits, the server
+        // fills its 8-slot channel and blocks, and the client sits on
+        // the credit wall for well past the 100ms handshake timeout.
+        std::thread::sleep(Duration::from_millis(400));
+        let mut got = Vec::new();
+        while got.len() < elements.len() {
+            let (_, e) = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("the transfer must flow once the consumer drains");
+            got.push(e);
+        }
+        let report = handle.join().expect("client thread").expect("send");
+        assert!(report.credit_stalls > 0, "the consumer pause must have stalled the client");
+        assert_eq!(report.reconnects, 0, "a backpressure stall is not a dead connection");
+        assert_eq!(got, elements);
+    }
+
+    #[test]
+    fn sink_truncation_frees_history_and_refuses_stale_resume() {
+        let sink = SinkServer::bind(SinkOptions::default()).expect("bind sink");
+        for i in 0..100 {
+            sink.publish(tup(i, i as i64));
+        }
+        sink.truncate_below(60);
+        assert_eq!(sink.len(), 100, "publish sequence numbering is permanent");
+        assert_eq!(sink.retained(), 40);
+        // Truncation never moves backwards.
+        sink.truncate_below(10);
+        assert_eq!(sink.retained(), 40);
+        sink.close();
+
+        // A subscriber at or past the watermark replays the tail exactly.
+        let mut sock = TcpStream::connect(sink.addr()).expect("connect");
+        sock.write_all(&encode_frame(&Frame::Subscribe { resume_from: 60 })).expect("subscribe");
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        loop {
+            match read_one(&mut sock, &mut fb) {
+                Frame::Data { seq, element } => {
+                    assert_eq!(seq, 60 + got.len() as u64);
+                    got.push(element);
+                }
+                Frame::Fin { count } => {
+                    assert_eq!(count, 100);
+                    break;
+                }
+                other => panic!("unexpected sink frame: {other:?}"),
+            }
+        }
+        assert_eq!(got, (60..100).map(|i| tup(i, i as i64)).collect::<Vec<_>>());
+
+        // A subscriber below it is refused — a silent gap would be worse.
+        let mut sock = TcpStream::connect(sink.addr()).expect("connect");
+        sock.write_all(&encode_frame(&Frame::Subscribe { resume_from: 10 })).expect("subscribe");
+        let mut fb = FrameBuffer::new();
+        match read_one(&mut sock, &mut fb) {
+            Frame::Error { code, .. } => assert_eq!(code, frame::error_code::TRUNCATED),
+            other => panic!("expected TRUNCATED, got {other:?}"),
+        }
+
+        // And the high-level consumer surfaces it as a clean failure.
+        let err = collect_all(
+            sink.addr(),
+            BackoffPolicy::fast(),
+            1,
+            punct_trace::TraceSettings::default(),
+        )
+        .expect_err("resume below the watermark cannot succeed");
+        assert!(matches!(
+            err,
+            NetError::Protocol { code: frame::error_code::TRUNCATED, .. }
+        ));
     }
 
     #[test]

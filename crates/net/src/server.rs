@@ -15,6 +15,15 @@
 //! so the exactly-once guarantee covers punctuations — which is what
 //! keeps downstream purge decisions sound.
 //!
+//! One connection is the stream's *single writer* at a time: every
+//! handshake bumps the stream's connection epoch, and a handler whose
+//! epoch is no longer current is rejected with `SUPERSEDED` before it
+//! can forward anything. The check→forward→advance critical section is
+//! additionally serialized under a per-stream lock (with the sequence
+//! advance conditional on still being at the forwarded seq), so even a
+//! handler already blocked mid-forward when its replacement handshakes
+//! cannot deliver an element twice or move the sequence backwards.
+//!
 //! # Backpressure
 //!
 //! Credits are granted only as elements are accepted by the bounded
@@ -95,6 +104,15 @@ struct Counters {
 struct StreamSlot {
     side: Side,
     state: Mutex<StreamState>,
+    /// Serializes the check→forward→advance critical section across
+    /// handler threads. A stale handler racing a reconnect (its client
+    /// already gave up on it) must not interleave with the live one:
+    /// without this lock two handlers could both read `next_seq == N`,
+    /// both forward element `N`, and deliver a tuple or punctuation
+    /// twice downstream. Held while blocked on the full channel, so a
+    /// superseding handler waits for the in-flight element rather than
+    /// re-forwarding it.
+    forward: Mutex<()>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -102,6 +120,9 @@ struct StreamState {
     /// The next sequence number this stream expects — also the count of
     /// elements already forwarded downstream.
     next_seq: u64,
+    /// Ownership token: bumped by every successful handshake, so each
+    /// connection knows whether it is still the stream's single writer.
+    epoch: u64,
     /// Set once a matching `Fin` arrived.
     finished: bool,
 }
@@ -150,7 +171,11 @@ impl IngestServer {
         let shared = Arc::new(Shared {
             streams: sides
                 .iter()
-                .map(|&side| StreamSlot { side, state: Mutex::new(StreamState::default()) })
+                .map(|&side| StreamSlot {
+                    side,
+                    state: Mutex::new(StreamState::default()),
+                    forward: Mutex::new(()),
+                })
                 .collect(),
             opts,
             data_tx,
@@ -361,7 +386,20 @@ fn handle_conn(
     };
 
     let slot = &shared.streams[stream];
-    let resume_from = slot.state.lock().expect("stream state lock").next_seq;
+    // Take ownership of the stream: bumping the epoch makes any older
+    // handler for this stream stale, so exactly one connection may
+    // forward at a time (its client has already abandoned the old one —
+    // it is the one that just reconnected).
+    // `next_seq` is read without the forward lock deliberately: a stale
+    // handler may still be blocked mid-forward of element `next_seq`,
+    // and waiting for it here would stall the handshake behind a long
+    // backpressure stall. If it does complete that forward, the resumed
+    // client's replay of the element is suppressed as a duplicate.
+    let (my_epoch, resume_from) = {
+        let mut st = slot.state.lock().expect("stream state lock");
+        st.epoch += 1;
+        (st.epoch, st.next_seq)
+    };
     send_frames(
         &mut sock,
         &[Frame::HelloAck { resume_from, credits: shared.opts.initial_credits }],
@@ -380,13 +418,34 @@ fn handle_conn(
         match frame {
             Frame::Data { seq, element } => {
                 shared.counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                // The whole check→forward→advance sequence runs under
+                // the per-stream forward lock so no other handler can
+                // interleave; within it, losing ownership (a newer
+                // handshake bumped the epoch) aborts *before* the
+                // forward, never after — once an element is sent it
+                // must advance the counter or the successor would send
+                // it again. The lock is released before any socket
+                // write: a peer that stopped reading must not be able
+                // to wedge its successor.
+                let fwd = slot.forward.lock().expect("stream forward lock");
                 let next_seq = {
                     let st = slot.state.lock().expect("stream state lock");
+                    if st.epoch != my_epoch {
+                        drop(st);
+                        drop(fwd);
+                        return reject(
+                            &mut sock,
+                            error_code::SUPERSEDED,
+                            format!("stream {stream}: a newer connection took over"),
+                        );
+                    }
                     st.next_seq
                 };
                 if seq < next_seq {
+                    drop(fwd);
                     shared.counters.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
                 } else if seq > next_seq {
+                    drop(fwd);
                     return reject(
                         &mut sock,
                         error_code::SEQUENCE_GAP,
@@ -395,7 +454,7 @@ fn handle_conn(
                 } else {
                     // Forward, blocking (with a stall span) if the
                     // executor is behind. Only after the channel accepts
-                    // the element does the sequence advance — a crash
+                    // the element does the sequence advance — a failure
                     // between the two can at worst re-forward nothing,
                     // never skip.
                     let vt = element.ts.as_micros();
@@ -414,7 +473,17 @@ fn handle_conn(
                             return Err(disconnected("executor channel closed"));
                         }
                     }
-                    slot.state.lock().expect("stream state lock").next_seq = seq + 1;
+                    // Conditional advance: only forward motion, and only
+                    // from the seq this handler actually forwarded — an
+                    // unconditional write could drag the counter
+                    // backwards past a successor's progress.
+                    {
+                        let mut st = slot.state.lock().expect("stream state lock");
+                        if st.next_seq == seq {
+                            st.next_seq = seq + 1;
+                        }
+                    }
+                    drop(fwd);
                 }
                 since_ack += 1;
                 if since_ack >= shared.opts.ack_every {

@@ -1,10 +1,21 @@
 //! The sink side: a server publishing the join's output stream to TCP
 //! subscribers, and a consumer client that collects it fault-tolerantly.
 //!
-//! The sink keeps the full published history, so a subscriber that
-//! reconnects asks for `Subscribe { resume_from: <next unseen seq> }`
-//! and gets an exact replay of what it missed — the same
-//! sequence-number discipline as the ingest side, pointed the other way.
+//! The sink retains published history so a subscriber that reconnects
+//! asks for `Subscribe { resume_from: <next unseen seq> }` and gets an
+//! exact replay of what it missed — the same sequence-number discipline
+//! as the ingest side, pointed the other way.
+//!
+//! By default the *entire* history is retained, which is the right
+//! trade for test harnesses, benchmarks, and bounded runs (replay is
+//! always possible, memory is bounded by the run). A long-running or
+//! continuous deployment must instead call
+//! [`SinkServer::truncate_below`] once it knows every consumer has
+//! passed a watermark (this protocol has no consumer acks, so the
+//! watermark is the caller's knowledge); sequence numbering is
+//! unaffected, and a subscriber asking to resume below the truncation
+//! point is refused with a `TRUNCATED` error rather than silently
+//! handed a gap.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -19,7 +30,7 @@ use punct_types::{StreamElement, Timestamped};
 
 use crate::backoff::{Backoff, BackoffPolicy};
 use crate::error::NetError;
-use crate::frame::{encode_frame, encode_frame_into, Frame, FrameBuffer};
+use crate::frame::{encode_frame, encode_frame_into, error_code, Frame, FrameBuffer};
 
 /// Sink server configuration.
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +47,23 @@ impl Default for SinkOptions {
     }
 }
 
+/// The retained replay window: `items[i]` holds publish sequence
+/// `base + i`. Truncation advances `base` and drops the prefix; total
+/// published count (`base + items.len()`) only ever grows.
+#[derive(Default)]
+struct History {
+    base: u64,
+    items: Vec<Timestamped<StreamElement>>,
+}
+
+impl History {
+    fn total(&self) -> u64 {
+        self.base + self.items.len() as u64
+    }
+}
+
 struct SinkShared {
-    history: Mutex<Vec<Timestamped<StreamElement>>>,
+    history: Mutex<History>,
     closed: AtomicBool,
     shutdown: AtomicBool,
     opts: SinkOptions,
@@ -61,7 +87,7 @@ impl SinkServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(SinkShared {
-            history: Mutex::new(Vec::new()),
+            history: Mutex::new(History::default()),
             closed: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             opts,
@@ -84,22 +110,44 @@ impl SinkServer {
 
     /// Publishes one output element (sequence = publish order).
     pub fn publish(&self, element: Timestamped<StreamElement>) {
-        self.shared.history.lock().expect("sink history lock").push(element);
+        self.shared.history.lock().expect("sink history lock").items.push(element);
     }
 
     /// Publishes a batch.
     pub fn publish_batch(&self, batch: Vec<Timestamped<StreamElement>>) {
-        self.shared.history.lock().expect("sink history lock").extend(batch);
+        self.shared.history.lock().expect("sink history lock").items.extend(batch);
     }
 
-    /// Elements published so far.
+    /// Elements published so far (truncation does not shrink this —
+    /// publish sequence numbers are permanent).
     pub fn len(&self) -> usize {
-        self.shared.history.lock().expect("sink history lock").len()
+        self.shared.history.lock().expect("sink history lock").total() as usize
     }
 
     /// True if nothing was published yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Elements currently retained for replay (published minus
+    /// truncated).
+    pub fn retained(&self) -> usize {
+        self.shared.history.lock().expect("sink history lock").items.len()
+    }
+
+    /// Frees replay history below `watermark` (clamped to what was
+    /// published). Call once every consumer is known to have received
+    /// everything below it; a later `Subscribe { resume_from }` below
+    /// the watermark is refused with a `TRUNCATED` error, because an
+    /// exact replay is no longer possible. Never moves backwards.
+    pub fn truncate_below(&self, watermark: u64) {
+        let mut h = self.shared.history.lock().expect("sink history lock");
+        let new_base = watermark.min(h.total());
+        if new_base > h.base {
+            let drop_count = (new_base - h.base) as usize;
+            h.items.drain(..drop_count);
+            h.base = new_base;
+        }
     }
 
     /// Marks the stream complete: subscribers that drain the history get
@@ -184,10 +232,10 @@ fn serve_subscriber(
     // Wait for the Subscribe frame.
     let mut fb = FrameBuffer::new();
     let mut buf = [0u8; 4096];
-    let mut cursor = loop {
+    let mut cursor: u64 = loop {
         if let Some(frame) = fb.next_frame()? {
             match frame {
-                Frame::Subscribe { resume_from } => break resume_from as usize,
+                Frame::Subscribe { resume_from } => break resume_from,
                 other => {
                     return Err(NetError::Handshake(format!(
                         "expected Subscribe, got {other:?}"
@@ -212,21 +260,43 @@ fn serve_subscriber(
         if shared.shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let batch: Vec<(u64, Timestamped<StreamElement>)> = {
+        // `None` means the cursor fell below the retained window — the
+        // caller truncated past this subscriber's resume point, so an
+        // exact replay is impossible and the subscription must fail
+        // loudly rather than skip elements.
+        let batch: Option<Vec<(u64, Timestamped<StreamElement>)>> = {
             let history = shared.history.lock().expect("sink history lock");
-            history[cursor.min(history.len())..]
-                .iter()
-                .take(shared.opts.batch)
-                .enumerate()
-                .map(|(i, e)| ((cursor + i) as u64, e.clone()))
-                .collect()
+            if cursor < history.base {
+                None
+            } else {
+                let start = ((cursor - history.base) as usize).min(history.items.len());
+                Some(
+                    history.items[start..]
+                        .iter()
+                        .take(shared.opts.batch)
+                        .enumerate()
+                        .map(|(i, e)| (cursor + i as u64, e.clone()))
+                        .collect(),
+                )
+            }
+        };
+        let Some(batch) = batch else {
+            let base = shared.history.lock().expect("sink history lock").base;
+            let message =
+                format!("history truncated to {base}, cannot replay from {cursor}");
+            let err = encode_frame(&Frame::Error {
+                code: error_code::TRUNCATED,
+                message: message.clone(),
+            });
+            let _ = sock.write_all(&err);
+            return Err(NetError::Protocol { code: error_code::TRUNCATED, message });
         };
         if batch.is_empty() {
             if shared.closed.load(Ordering::SeqCst) {
-                let total = shared.history.lock().expect("sink history lock").len() as u64;
+                let total = shared.history.lock().expect("sink history lock").total();
                 // Re-check: close() may race a final publish; only Fin
                 // when the cursor truly reached the end.
-                if cursor as u64 >= total {
+                if cursor >= total {
                     let fin = encode_frame(&Frame::Fin { count: total });
                     sock.write_all(&fin)?;
                     shared.bytes_sent.fetch_add(fin.len() as u64, Ordering::Relaxed);
@@ -243,7 +313,7 @@ fn serve_subscriber(
         let vt = batch[0].1.ts.as_micros();
         for (seq, element) in batch {
             encode_frame_into(&Frame::Data { seq, element }, &mut out);
-            cursor = seq as usize + 1;
+            cursor = seq + 1;
         }
         tracer.span_end(span, TraceKind::NetEncode, vt, out.len() as u64, frames);
         sock.write_all(&out)?;
@@ -279,24 +349,34 @@ pub fn collect_all(
     let mut report = SinkReport { reconnects: 0, duplicates_suppressed: 0, trace: TraceLog::default() };
     let mut attempt: u32 = 0;
     loop {
+        // As on the ingest side, the retry budget counts consecutive
+        // non-progressing failures: a session that received anything
+        // new earns a fresh budget, so a long lossy subscription that
+        // keeps moving completes instead of exhausting its retries.
+        let received_before = received.len();
         match consume_session(addr, &mut received, &mut report, attempt, &mut tracer) {
             Ok(()) => {
                 report.trace = tracer.take();
                 return Ok((received, report));
             }
-            Err(e) if e.is_retryable() => match backoff.next_delay() {
-                Some(delay) => {
-                    attempt += 1;
-                    std::thread::sleep(delay);
+            Err(e) if e.is_retryable() => {
+                if received.len() > received_before {
+                    backoff.reset();
                 }
-                None => {
-                    report.trace = tracer.take();
-                    return Err(NetError::RetriesExhausted {
-                        attempts: backoff.attempts(),
-                        last: e.to_string(),
-                    });
+                match backoff.next_delay() {
+                    Some(delay) => {
+                        attempt += 1;
+                        std::thread::sleep(delay);
+                    }
+                    None => {
+                        report.trace = tracer.take();
+                        return Err(NetError::RetriesExhausted {
+                            attempts: backoff.attempts(),
+                            last: e.to_string(),
+                        });
+                    }
                 }
-            },
+            }
             Err(e) => {
                 report.trace = tracer.take();
                 return Err(e);
