@@ -1,0 +1,300 @@
+//! Batch-size scaling of the data path: how far batching amortizes the
+//! per-element costs the first reproduction paid everywhere (a channel
+//! send per tuple in the executor, a wire frame and a syscall per tuple
+//! on the network).
+//!
+//! Two lanes, each swept over `PJOIN_BATCH` ∈ {1, 16, 64, 256, 1024}
+//! (plus whatever the environment adds, so the CI batch matrix folds
+//! its leg into the sweep):
+//!
+//! * **in_process** — the sharded executor (4 shards) fed a timestamp-
+//!   interleaved generated pair; frames are router batches (channel
+//!   sends).
+//! * **networked** — the full loopback path: two TCP sources through
+//!   the ingest server into the sharded executor; frames are wire
+//!   frames (`Data` frames at batch 1, `DataBatch` frames otherwise,
+//!   counted from the client traces).
+//!
+//! Latency is reported as the punctuation round trip — from the moment
+//! a punctuation is pushed into the executor to the moment it emerges
+//! aligned — whose p99 is the bound the flush-barrier design promises
+//! to keep flat while throughput climbs. Results land in
+//! `BENCH_batch.json`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use pjoin::PJoinConfig;
+use punct_exec::{ExecConfig, ShardedPJoin};
+use punct_net::{spawn_source, BackoffPolicy, ClientOptions, IngestOptions, IngestServer};
+use punct_trace::{LatencyHistogram, TraceKind, TraceSettings};
+use punct_types::{batch_from_env, BatchConfig, StreamElement, Timestamped};
+use stream_sim::Side;
+use streamgen::{generate_pair, interleave_sides, PunctScheme, StreamConfig};
+
+const SHARDS: usize = 4;
+const INPROC_TUPLES_PER_SIDE: usize = 3_000;
+const NET_TUPLES_PER_SIDE: usize = 2_500;
+const BASE_BATCH_SIZES: [usize; 5] = [1, 16, 64, 256, 1024];
+
+/// The swept batch sizes; `PJOIN_BATCH` (the CI matrix) adds one.
+fn batch_sizes() -> Vec<usize> {
+    let mut sizes = BASE_BATCH_SIZES.to_vec();
+    if let Some(b) = batch_from_env() {
+        if !sizes.contains(&b) {
+            sizes.push(b);
+            sizes.sort_unstable();
+        }
+    }
+    sizes
+}
+
+fn stream_config(tuples: usize) -> StreamConfig {
+    StreamConfig {
+        tuples,
+        key_window: 16,
+        punct_scheme: PunctScheme::ConstantPerKey,
+        punct_mean_tuples: 20.0,
+        seed: 17,
+        ..StreamConfig::default()
+    }
+}
+
+fn inproc_feed() -> Vec<(Side, Timestamped<StreamElement>)> {
+    let (left, right) = generate_pair(&stream_config(INPROC_TUPLES_PER_SIDE), 20.0, 20.0);
+    interleave_sides(&left.elements, &right.elements)
+}
+
+fn net_workload() -> (Vec<Timestamped<StreamElement>>, Vec<Timestamped<StreamElement>>) {
+    let (left, right) = generate_pair(&stream_config(NET_TUPLES_PER_SIDE), 20.0, 20.0);
+    (left.elements, right.elements)
+}
+
+fn exec_config(batch: usize) -> ExecConfig {
+    ExecConfig::new(SHARDS, PJoinConfig::new(2, 2)).with_batch(BatchConfig::with_elems(batch))
+}
+
+struct RunStats {
+    outputs: usize,
+    /// Channel (router) or wire frames carrying data, lane-dependent.
+    frames: u64,
+    /// Punctuation push→aligned-emergence round trip, µs.
+    punct_rtt: LatencyHistogram,
+}
+
+/// One in-process run, pushing in chunks and draining concurrently.
+/// Punctuation round trips pair push instants with emergence instants
+/// FIFO — alignment can reorder distinct punctuations slightly, which
+/// perturbs individual pairings but not the distribution.
+fn run_in_process(batch: usize, feed: &[(Side, Timestamped<StreamElement>)]) -> RunStats {
+    let exec = ShardedPJoin::spawn(exec_config(batch));
+    let mut punct_in: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+    let mut punct_rtt = LatencyHistogram::new();
+    let mut outputs = 0usize;
+    let mut drain = |batch: Vec<Timestamped<StreamElement>>,
+                     punct_in: &mut std::collections::VecDeque<Instant>,
+                     punct_rtt: &mut LatencyHistogram| {
+        for e in batch {
+            if e.item.is_punctuation() {
+                if let Some(t0) = punct_in.pop_front() {
+                    punct_rtt.record(t0.elapsed().as_micros() as u64);
+                }
+            }
+            outputs += 1;
+        }
+    };
+    for chunk in feed.chunks(512) {
+        let puncts = chunk.iter().filter(|(_, e)| e.item.is_punctuation()).count();
+        exec.push_batch(chunk.to_vec());
+        let now = Instant::now();
+        for _ in 0..puncts {
+            punct_in.push_back(now);
+        }
+        drain(exec.poll_outputs(), &mut punct_in, &mut punct_rtt);
+    }
+    let (rest, stats) = exec.finish();
+    drain(rest, &mut punct_in, &mut punct_rtt);
+    RunStats { outputs, frames: stats.router.batches, punct_rtt }
+}
+
+/// One full loopback networked run: two TCP sources → ingest server →
+/// sharded executor, everything batched at `batch`. Wire frames come
+/// from the client traces (`NetBatch` instants; at batch 1 the clients
+/// emit plain per-element `Data` frames instead).
+fn run_networked(
+    batch: usize,
+    left: &[Timestamped<StreamElement>],
+    right: &[Timestamped<StreamElement>],
+) -> RunStats {
+    let schema = stream_config(NET_TUPLES_PER_SIDE).schema();
+    let (server, rx) =
+        IngestServer::bind(&[Side::Left, Side::Right], IngestOptions::default()).expect("bind");
+    let opts = |seed: u64| {
+        ClientOptions {
+            policy: BackoffPolicy::fast(),
+            seed,
+            trace: TraceSettings::enabled(),
+            ..ClientOptions::default()
+        }
+        .with_batch(BatchConfig::with_elems(batch))
+    };
+    let ls = spawn_source(server.addr(), 0, Side::Left, schema.clone(), left.to_vec(), opts(1));
+    let rs = spawn_source(server.addr(), 1, Side::Right, schema, right.to_vec(), opts(2));
+
+    let exec = ShardedPJoin::spawn(exec_config(batch));
+    let mut punct_in: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+    let mut punct_rtt = LatencyHistogram::new();
+    let mut outputs = 0usize;
+    let mut drain = |batch: Vec<Timestamped<StreamElement>>,
+                     punct_in: &mut std::collections::VecDeque<Instant>,
+                     punct_rtt: &mut LatencyHistogram| {
+        for e in batch {
+            if e.item.is_punctuation() {
+                if let Some(t0) = punct_in.pop_front() {
+                    punct_rtt.record(t0.elapsed().as_micros() as u64);
+                }
+            }
+            outputs += 1;
+        }
+    };
+    loop {
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok((side, element)) => {
+                let mut staged = vec![(side, element)];
+                while let Ok((side, element)) = rx.try_recv() {
+                    staged.push((side, element));
+                }
+                let puncts = staged.iter().filter(|(_, e)| e.item.is_punctuation()).count();
+                exec.push_batch(staged);
+                let now = Instant::now();
+                for _ in 0..puncts {
+                    punct_in.push_back(now);
+                }
+                drain(exec.poll_outputs(), &mut punct_in, &mut punct_rtt);
+            }
+            Err(_) => {
+                if server.all_finished() {
+                    let mut staged = Vec::new();
+                    while let Ok((side, element)) = rx.try_recv() {
+                        staged.push((side, element));
+                    }
+                    if !staged.is_empty() {
+                        exec.push_batch(staged);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let (rest, _stats) = exec.finish();
+    drain(rest, &mut punct_in, &mut punct_rtt);
+
+    let lr = ls.join().expect("left thread").expect("left client");
+    let rr = rs.join().expect("right thread").expect("right client");
+    let frames = if batch <= 1 {
+        (left.len() + right.len()) as u64
+    } else {
+        (lr.trace.of_kind(TraceKind::NetBatch).count()
+            + rr.trace.of_kind(TraceKind::NetBatch).count()) as u64
+    };
+    RunStats { outputs, frames, punct_rtt }
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let feed = inproc_feed();
+    let mut g = c.benchmark_group("batch_inproc");
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    for batch in batch_sizes() {
+        g.bench_with_input(BenchmarkId::new("end_to_end", batch), &batch, |b, &n| {
+            b.iter(|| black_box(run_in_process(n, &feed)).outputs)
+        });
+    }
+    g.finish();
+
+    let (left, right) = net_workload();
+    let mut g = c.benchmark_group("batch_net");
+    g.throughput(Throughput::Elements((left.len() + right.len()) as u64));
+    for batch in batch_sizes() {
+        g.bench_with_input(BenchmarkId::new("loopback", batch), &batch, |b, &n| {
+            b.iter(|| black_box(run_networked(n, &left, &right)).outputs)
+        });
+    }
+    g.finish();
+}
+
+fn write_summary(c: &Criterion) {
+    let feed = inproc_feed();
+    let (left, right) = net_workload();
+    let net_elements = left.len() + right.len();
+
+    let eps = |group: &str, id: String| {
+        c.measurements()
+            .iter()
+            .find(|m| m.group == group && m.id == id)
+            .and_then(|m| m.per_second())
+            .unwrap_or(0.0)
+    };
+
+    let mut rows = String::new();
+    let mut push_row = |lane: &str,
+                        batch: usize,
+                        elements: usize,
+                        elems_per_sec: f64,
+                        base_eps: f64,
+                        r: &RunStats| {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let frames_per_sec = elems_per_sec * r.frames as f64 / elements.max(1) as f64;
+        let _ = write!(
+            rows,
+            "    {{\"lane\": \"{}\", \"batch\": {}, \"elements\": {}, \"elements_per_sec\": {:.1}, \"speedup_vs_batch1\": {:.2}, \"data_frames\": {}, \"frames_per_sec\": {:.1}, \"punct_rtt_p50_us\": {}, \"punct_rtt_p99_us\": {}, \"punct_rtt_max_us\": {}, \"outputs\": {}}}",
+            lane,
+            batch,
+            elements,
+            elems_per_sec,
+            if base_eps > 0.0 { elems_per_sec / base_eps } else { 0.0 },
+            r.frames,
+            frames_per_sec,
+            r.punct_rtt.quantile(0.5),
+            r.punct_rtt.quantile(0.99),
+            r.punct_rtt.max(),
+            r.outputs,
+        );
+    };
+
+    let inproc_base = eps("batch_inproc", "end_to_end/1".to_string());
+    for batch in batch_sizes() {
+        let r = run_in_process(batch, &feed);
+        let e = eps("batch_inproc", format!("end_to_end/{batch}"));
+        push_row("in_process", batch, feed.len(), e, inproc_base, &r);
+    }
+    let net_base = eps("batch_net", "loopback/1".to_string());
+    for batch in batch_sizes() {
+        let r = run_networked(batch, &left, &right);
+        let e = eps("batch_net", format!("loopback/{batch}"));
+        push_row("networked", batch, net_elements, e, net_base, &r);
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"batch_scaling\",\n  \"cores\": {cores},\n  \"shards\": {SHARDS},\n  \"note\": \"in_process frames are router channel batches; networked frames are wire data frames (per-element Data at batch 1, DataBatch otherwise). punct_rtt is the punctuation push-to-aligned-emergence round trip in wall-clock microseconds — the p99 the flush-barrier design bounds: a punctuation flushes every staged buffer, so its latency tracks pipeline depth, not batch size\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_batch_scaling(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free; only a real bench run
+    // refreshes the summary file.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

@@ -155,6 +155,21 @@ impl OpTrace {
     }
 }
 
+/// Reusable scratch for the batched memory join ([`PJoin::on_tuple_batch`]):
+/// the two-phase probe collects matches here so no per-batch allocation
+/// survives past warm-up.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Probe order: batch indices sorted by destination bucket, so the
+    /// phase-1 probe walks each bucket's records while they are hot.
+    order: Vec<u32>,
+    /// Flat per-match storage: matched partner tuple + its virtual
+    /// arrival time (for the latency histogram).
+    matches: Vec<(Tuple, u64)>,
+    /// Per-batch-index `(start, end)` range into `matches`.
+    ranges: Vec<(u32, u32)>,
+}
+
 /// The PJoin operator. See the crate docs for the high-level design and
 /// [`PJoinBuilder`](crate::PJoinBuilder) for ergonomic construction.
 pub struct PJoin {
@@ -176,6 +191,8 @@ pub struct PJoin {
     end_phase: EndPhase,
     /// Tracing, latency histograms and framework profiling.
     obs: OpTrace,
+    /// Batched-probe scratch (empty unless `on_tuple_batch` is used).
+    scratch: BatchScratch,
 }
 
 impl PJoin {
@@ -228,6 +245,7 @@ impl PJoin {
             now: Timestamp::ZERO,
             end_phase: EndPhase::NotStarted,
             obs: OpTrace::new(&config),
+            scratch: BatchScratch::default(),
             config,
         }
     }
@@ -362,6 +380,27 @@ impl PJoin {
     /// "performed in combination with the state probing": the expired
     /// prefix of the probed (and insertion) bucket is dropped first.
     fn handle_tuple(&mut self, side: Side, tuple: Tuple, out: &mut OpOutput) {
+        let attr = match side {
+            Side::Left => self.a.join_attr,
+            Side::Right => self.b.join_attr,
+        };
+        // The single hashing site of the unbatched path: every bucket
+        // decision below reuses this hash via `bucket_of_hash`.
+        let hash = tuple.get(attr).and_then(punct_types::Value::join_hash);
+        self.handle_tuple_hashed(side, tuple, hash, out);
+    }
+
+    /// [`handle_tuple`](Self::handle_tuple) with the join hash already
+    /// computed ([`punct_types::Value::join_hash`] of the join attribute;
+    /// `None` for unjoinable keys). The sharded router computes it once
+    /// per tuple and carries it here — no hashing happens downstream.
+    fn handle_tuple_hashed(
+        &mut self,
+        side: Side,
+        tuple: Tuple,
+        hash: Option<u64>,
+        out: &mut OpOutput,
+    ) {
         let t = self.next_instant();
         let now_us = self.now.as_micros();
         let on_the_fly = self.config.on_the_fly_drop;
@@ -381,13 +420,14 @@ impl PJoin {
             return;
         };
         work.hashes += 1;
+        // Both stores share the bucket count, so the carried hash maps to
+        // the same bucket on either side.
+        let bucket = own.store.bucket_of_hash(hash);
 
         // Window expiry in the buckets this element touches.
         if let Some(cutoff) = window_cutoff {
-            let opp_bucket = opp.store.bucket_index(&key);
-            stats.tuples_expired += opp.expire_bucket_prefix(opp_bucket, cutoff, work) as u64;
-            let own_bucket = own.store.bucket_index(&key);
-            stats.tuples_expired += own.expire_bucket_prefix(own_bucket, cutoff, work) as u64;
+            stats.tuples_expired += opp.expire_bucket_prefix(bucket, cutoff, work) as u64;
+            stats.tuples_expired += own.expire_bucket_prefix(bucket, cutoff, work) as u64;
         }
 
         // Probe via the bucket's key index: only records whose canonical
@@ -398,20 +438,22 @@ impl PJoin {
         // join-equal under `total_cmp`).
         let opp_attr = opp.join_attr;
         work.key_lookups += 1;
-        for rec in opp.store.probe_memory_keyed(&key) {
-            work.probe_cmps += 1;
-            if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(&key)) {
-                work.outputs += 1;
-                if trace_on {
-                    // The result's end-to-end latency is the age of its
-                    // *stored* partner (the arriving tuple's own latency
-                    // is zero in a symmetric hash join).
-                    matches += 1;
-                    obs.latencies.tuple_emit.record(now_us.saturating_sub(rec.arrival_us));
-                }
-                match side {
-                    Side::Left => out.push(tuple.concat(&rec.tuple)),
-                    Side::Right => out.push(rec.tuple.concat(&tuple)),
+        if let Some(canonical) = key.join_key() {
+            for rec in opp.store.probe_bucket_keyed(bucket, &canonical) {
+                work.probe_cmps += 1;
+                if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(&key)) {
+                    work.outputs += 1;
+                    if trace_on {
+                        // The result's end-to-end latency is the age of its
+                        // *stored* partner (the arriving tuple's own latency
+                        // is zero in a symmetric hash join).
+                        matches += 1;
+                        obs.latencies.tuple_emit.record(now_us.saturating_sub(rec.arrival_us));
+                    }
+                    match side {
+                        Side::Left => out.push(tuple.concat(&rec.tuple)),
+                        Side::Right => out.push(rec.tuple.concat(&tuple)),
+                    }
                 }
             }
         }
@@ -420,7 +462,6 @@ impl PJoin {
         if on_the_fly {
             work.index_evals += 1;
             if opp.index.covers_join_value(&key) {
-                let bucket = own.store.bucket_index(&key);
                 if opp.store.bucket(bucket).has_disk_portion() {
                     // May still join the opposite disk portion: park it.
                     let rec = PRecord { tuple, ats: t, dts: t + 1, pid: None, arrival_us: now_us };
@@ -435,7 +476,7 @@ impl PJoin {
                 return;
             }
         }
-        own.store.insert(PRecord::arriving_at(tuple, t, now_us));
+        own.store.insert_hashed(PRecord::arriving_at(tuple, t, now_us), hash);
         work.inserts += 1;
         if trace_on {
             obs.note_memory_join(matches);
@@ -681,6 +722,145 @@ impl PJoin {
             prof,
             Some((TraceKind::DiskJoin, bucket as u64, emitted)),
         );
+    }
+
+    /// [`BinaryStreamOp::on_element`] with the join hash already computed
+    /// upstream (`None` for punctuations and unjoinable keys). This is
+    /// the carried-hash entry point of the sharded executor: the router
+    /// hashed each tuple once for shard selection and the store reuses
+    /// the same hash for bucketing.
+    pub fn on_element_prehashed(
+        &mut self,
+        side: Side,
+        element: StreamElement,
+        ts: Timestamp,
+        hash: Option<u64>,
+        out: &mut OpOutput,
+    ) {
+        self.now = self.now.max(ts);
+        match element {
+            StreamElement::Tuple(t) => self.handle_tuple_hashed(side, t, hash, out),
+            StreamElement::Punctuation(p) => self.handle_punctuation(side, p, out),
+        }
+        self.dispatch(false, out);
+    }
+
+    /// Batched memory join over a *same-side, punctuation-free run* of
+    /// tuples: phase 1 probes every tuple against the opposite store in
+    /// bucket-sorted order (cache locality, reusable scratch), phase 2
+    /// applies them in arrival order — emit matches, insert, dispatch —
+    /// so component scheduling cadence and output order match per-element
+    /// execution.
+    ///
+    /// Each entry carries the tuple, its timestamp, and its precomputed
+    /// join hash ([`punct_types::Value::join_hash`]; `None` = unjoinable).
+    ///
+    /// Why the two-phase split is safe: within a same-side run, inserts
+    /// go to the *own* store and probes read the *opposite* store, so
+    /// in-run inserts cannot affect in-run probes. Instants for the whole
+    /// run are assigned up front, so state relocated by a mid-run
+    /// component run departs after every tuple's arrival instant and the
+    /// disk-join dedup treats the phase-1 probes as already performed.
+    /// Sliding-window expiry and on-the-fly drops *do* read state mutated
+    /// between elements, so those configurations (and trivial batches)
+    /// fall back to per-element execution.
+    pub fn on_tuple_batch(
+        &mut self,
+        side: Side,
+        batch: &[(Tuple, Timestamp, Option<u64>)],
+        out: &mut OpOutput,
+    ) {
+        if batch.len() <= 1 || self.config.window_us.is_some() || self.config.on_the_fly_drop {
+            for (tuple, ts, hash) in batch {
+                self.now = self.now.max(*ts);
+                self.handle_tuple_hashed(side, tuple.clone(), *hash, out);
+                self.dispatch(false, out);
+            }
+            return;
+        }
+
+        let n = batch.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.order.clear();
+        scratch.matches.clear();
+        scratch.ranges.clear();
+        scratch.ranges.resize(n, (0, 0));
+
+        // Instants for the whole run, assigned up front (see above).
+        let base: Instant = self.instant;
+        self.instant += n as Instant;
+        let trace_on = self.obs.tracer.enabled();
+
+        // Phase 1: probe in bucket order.
+        {
+            let work = &mut self.work;
+            let (own, opp) = match side {
+                Side::Left => (&mut self.a, &mut self.b),
+                Side::Right => (&mut self.b, &mut self.a),
+            };
+            let own_attr = own.join_attr;
+            let opp_attr = opp.join_attr;
+            scratch.order.extend(0..n as u32);
+            let store = &opp.store;
+            scratch.order.sort_unstable_by_key(|&i| store.bucket_of_hash(batch[i as usize].2));
+            for &i in &scratch.order {
+                let (tuple, _ts, hash) = &batch[i as usize];
+                let Some(key) = tuple.get(own_attr) else { continue };
+                work.hashes += 1;
+                work.key_lookups += 1;
+                let start = scratch.matches.len() as u32;
+                if let Some(canonical) = key.join_key() {
+                    let bucket = store.bucket_of_hash(*hash);
+                    for rec in store.probe_bucket_keyed(bucket, &canonical) {
+                        work.probe_cmps += 1;
+                        if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(key)) {
+                            work.outputs += 1;
+                            scratch.matches.push((rec.tuple.clone(), rec.arrival_us));
+                        }
+                    }
+                }
+                scratch.ranges[i as usize] = (start, scratch.matches.len() as u32);
+            }
+        }
+
+        // Phase 2: apply in arrival order.
+        for (i, (tuple, ts, hash)) in batch.iter().enumerate() {
+            self.now = self.now.max(*ts);
+            let now_us = self.now.as_micros();
+            let t = base + i as Instant;
+            {
+                let work = &mut self.work;
+                let obs = &mut self.obs;
+                let own = match side {
+                    Side::Left => &mut self.a,
+                    Side::Right => &mut self.b,
+                };
+                own.newest_ats = t;
+                if tuple.get(own.join_attr).is_none() {
+                    debug_assert!(false, "tuple without join attribute");
+                } else {
+                    let (lo, hi) = scratch.ranges[i];
+                    let mut matches = 0u64;
+                    for (partner, arrival_us) in &scratch.matches[lo as usize..hi as usize] {
+                        if trace_on {
+                            matches += 1;
+                            obs.latencies.tuple_emit.record(now_us.saturating_sub(*arrival_us));
+                        }
+                        match side {
+                            Side::Left => out.push(tuple.concat(partner)),
+                            Side::Right => out.push(partner.concat(tuple)),
+                        }
+                    }
+                    own.store.insert_hashed(PRecord::arriving_at(tuple.clone(), t, now_us), *hash);
+                    work.inserts += 1;
+                    if trace_on {
+                        obs.note_memory_join(matches);
+                    }
+                }
+            }
+            self.dispatch(false, out);
+        }
+        self.scratch = scratch;
     }
 }
 

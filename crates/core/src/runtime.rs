@@ -33,6 +33,8 @@ pub const DEFAULT_OUTPUT_CAPACITY: usize = 65_536;
 /// Commands accepted by the worker.
 enum Input {
     Element(Side, Timestamped<StreamElement>),
+    /// Many elements in one channel send (see [`PJoinRuntime::push_batch`]).
+    Batch(Vec<(Side, Timestamped<StreamElement>)>),
     RequestPropagation,
     Finish,
 }
@@ -127,6 +129,35 @@ impl PJoinRuntime {
             .expect("worker alive while runtime handle exists");
     }
 
+    /// Feeds many elements with one channel send: the worker groups
+    /// same-side punctuation-free runs and joins them through the batched
+    /// probe ([`PJoin::on_tuple_batch`]), so both the channel cost and
+    /// the per-element probe overhead are amortized. Semantics are
+    /// identical to pushing the elements one by one.
+    pub fn push_batch(&self, items: Vec<(Side, Timestamped<StreamElement>)>) {
+        if items.is_empty() {
+            return;
+        }
+        self.input_tx
+            .send(Input::Batch(items))
+            .expect("worker alive while runtime handle exists");
+    }
+
+    /// Blocking drain: waits up to `max_wait` for an output, then keeps
+    /// collecting until the channel is momentarily empty. Complements the
+    /// non-blocking [`poll_outputs`](Self::poll_outputs) for consumers
+    /// that batch their reads.
+    pub fn drain(&self, max_wait: std::time::Duration) -> Vec<Timestamped<StreamElement>> {
+        let mut out = Vec::new();
+        if let Ok(e) = self.output_rx.recv_timeout(max_wait) {
+            out.push(e);
+            while let Ok(e) = self.output_rx.try_recv() {
+                out.push(e);
+            }
+        }
+        out
+    }
+
     /// Pull-mode propagation request.
     pub fn request_propagation(&self) {
         let _ = self.input_tx.send(Input::RequestPropagation);
@@ -189,8 +220,10 @@ fn worker(
     output_tx: Sender<Timestamped<StreamElement>>,
     metrics: Arc<Mutex<RuntimeMetrics>>,
 ) -> PJoinStats {
+    let join_attrs = [config.join_attr_a, config.join_attr_b];
     let mut join = PJoin::new(config);
     let mut out = OpOutput::new();
+    let mut run: Vec<(punct_types::Tuple, Timestamp, Option<u64>)> = Vec::new();
     let mut last_ts = Timestamp::ZERO;
     let mut emitted = 0u64;
     let mut consumed = 0u64;
@@ -202,6 +235,40 @@ fn worker(
                 last_ts = last_ts.max(e.ts);
                 join.on_element(side, e.item, e.ts, &mut out);
                 consumed += 1;
+            }
+            Ok(Input::Batch(items)) => {
+                consumed += items.len() as u64;
+                // Group same-side punctuation-free runs for the batched
+                // probe; punctuations flush the open run so ordering is
+                // element-for-element identical to per-element pushes.
+                let mut run_side = Side::Left;
+                for (side, e) in items {
+                    last_ts = last_ts.max(e.ts);
+                    match e.item {
+                        StreamElement::Tuple(t) => {
+                            if side != run_side && !run.is_empty() {
+                                join.on_tuple_batch(run_side, &run, &mut out);
+                                run.clear();
+                            }
+                            run_side = side;
+                            let attr = join_attrs[usize::from(side == Side::Right)];
+                            let hash =
+                                t.get(attr).and_then(punct_types::Value::join_hash);
+                            run.push((t, e.ts, hash));
+                        }
+                        punct => {
+                            if !run.is_empty() {
+                                join.on_tuple_batch(run_side, &run, &mut out);
+                                run.clear();
+                            }
+                            join.on_element_prehashed(side, punct, e.ts, None, &mut out);
+                        }
+                    }
+                }
+                if !run.is_empty() {
+                    join.on_tuple_batch(run_side, &run, &mut out);
+                    run.clear();
+                }
             }
             Ok(Input::RequestPropagation) => {
                 join.request_propagation();

@@ -1,6 +1,7 @@
 //! Configuration of the sharded executor.
 
 use pjoin::PJoinConfig;
+use punct_types::BatchConfig;
 
 /// Upper bound on the shard count: the punctuation aligner tracks the
 /// shards that have propagated a punctuation in a `u64` bitmask.
@@ -22,6 +23,38 @@ pub const DEFAULT_OUTPUT_CAPACITY: usize = 4096;
 /// flushing a batch downstream (batches also flush whenever the router
 /// input runs dry, so idle latency stays at one scheduling quantum).
 pub const DEFAULT_ROUTER_BATCH: usize = 128;
+
+/// Rejected [`ExecConfig`] construction: the shard count is outside
+/// `1..=MAX_SHARDS`. The upper bound is structural — [`Route::mask`]
+/// (crate::Route::mask) and the punctuation aligner track shards in a
+/// `u64` bitmask, so a 65th shard would shift out of the word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecConfigError {
+    /// Zero shards requested.
+    ZeroShards,
+    /// More shards than the `u64` shard bitmask can represent.
+    TooManyShards {
+        /// The requested shard count.
+        got: usize,
+        /// The structural maximum ([`MAX_SHARDS`]).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for ExecConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecConfigError::ZeroShards => {
+                write!(f, "shard count must be in 1..={MAX_SHARDS}, got 0")
+            }
+            ExecConfigError::TooManyShards { got, max } => {
+                write!(f, "shard count must be in 1..={max}, got {got} (shard bitmasks are u64)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecConfigError {}
 
 /// Configuration of a [`ShardedPJoin`](crate::ShardedPJoin).
 #[derive(Debug, Clone)]
@@ -47,19 +80,26 @@ pub struct ExecConfig {
     pub output_capacity: usize,
     /// Elements accumulated per shard before the router flushes a batch.
     pub router_batch: usize,
+    /// Batching of the whole data path (router staging, shard-side run
+    /// grouping). Defaults to [`BatchConfig::from_env`], so `PJOIN_BATCH`
+    /// tunes it without recompiling; `PJOIN_BATCH=1` reproduces
+    /// per-element execution exactly.
+    pub batch: BatchConfig,
 }
 
 impl ExecConfig {
-    /// A configuration with default channel sizing.
-    ///
-    /// # Panics
-    /// If `shards` is zero or exceeds [`MAX_SHARDS`].
-    pub fn new(shards: usize, join: PJoinConfig) -> ExecConfig {
-        assert!(
-            (1..=MAX_SHARDS).contains(&shards),
-            "shard count must be in 1..={MAX_SHARDS}, got {shards}"
-        );
-        ExecConfig {
+    /// A configuration with default channel sizing, or a typed error when
+    /// the shard count is outside `1..=MAX_SHARDS` — the bound guards
+    /// `Route::mask`'s `1u64 << shard` from shift overflow.
+    pub fn try_new(shards: usize, join: PJoinConfig) -> Result<ExecConfig, ExecConfigError> {
+        if shards == 0 {
+            return Err(ExecConfigError::ZeroShards);
+        }
+        if shards > MAX_SHARDS {
+            return Err(ExecConfigError::TooManyShards { got: shards, max: MAX_SHARDS });
+        }
+        let batch = BatchConfig::from_env();
+        Ok(ExecConfig {
             shards,
             join,
             ordered_merge: false,
@@ -67,13 +107,33 @@ impl ExecConfig {
             shard_capacity: DEFAULT_SHARD_CAPACITY,
             event_capacity: DEFAULT_EVENT_CAPACITY,
             output_capacity: DEFAULT_OUTPUT_CAPACITY,
-            router_batch: DEFAULT_ROUTER_BATCH,
+            router_batch: batch.max_elems,
+            batch,
+        })
+    }
+
+    /// A configuration with default channel sizing.
+    ///
+    /// # Panics
+    /// If `shards` is zero or exceeds [`MAX_SHARDS`]; use
+    /// [`try_new`](Self::try_new) to handle that as a value.
+    pub fn new(shards: usize, join: PJoinConfig) -> ExecConfig {
+        match ExecConfig::try_new(shards, join) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Enables timestamp-ordered merging of shard outputs.
     pub fn ordered(mut self) -> ExecConfig {
         self.ordered_merge = true;
+        self
+    }
+
+    /// Overrides the batch config (and the router's flush threshold).
+    pub fn with_batch(mut self, batch: BatchConfig) -> ExecConfig {
+        self.router_batch = batch.max_elems;
+        self.batch = batch;
         self
     }
 }
@@ -116,5 +176,35 @@ mod tests {
     #[should_panic(expected = "shard count")]
     fn too_many_shards_rejected() {
         ExecConfig::new(MAX_SHARDS + 1, PJoinConfig::new(2, 2));
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        // Regression: 65 shards used to reach `1u64 << 64` in
+        // `Route::mask` (debug panic / release wrap); now it is rejected
+        // at construction with a typed error.
+        assert_eq!(
+            ExecConfig::try_new(0, PJoinConfig::new(2, 2)).err(),
+            Some(ExecConfigError::ZeroShards)
+        );
+        assert_eq!(
+            ExecConfig::try_new(MAX_SHARDS + 1, PJoinConfig::new(2, 2)).err(),
+            Some(ExecConfigError::TooManyShards { got: MAX_SHARDS + 1, max: MAX_SHARDS })
+        );
+        assert!(ExecConfig::try_new(MAX_SHARDS, PJoinConfig::new(2, 2)).is_ok());
+        let msg = ExecConfigError::TooManyShards { got: 65, max: 64 }.to_string();
+        assert!(msg.contains("shard count"), "panic-compatible message: {msg}");
+    }
+
+    #[test]
+    fn batch_config_drives_router_batch() {
+        let c = ExecConfig::new(2, PJoinConfig::new(2, 2))
+            .with_batch(punct_types::BatchConfig::with_elems(7));
+        assert_eq!(c.router_batch, 7);
+        assert_eq!(c.batch.max_elems, 7);
+        let per_elem = ExecConfig::new(2, PJoinConfig::new(2, 2))
+            .with_batch(punct_types::BatchConfig::per_element());
+        assert_eq!(per_elem.router_batch, 1);
+        assert!(per_elem.batch.is_per_element());
     }
 }

@@ -67,8 +67,11 @@ pub mod router;
 pub mod shard;
 
 pub use align::{AlignOutcome, Aligner};
-pub use config::{shards_from_env, ExecConfig, MAX_SHARDS};
+pub use config::{shards_from_env, ExecConfig, ExecConfigError, MAX_SHARDS};
 pub use executor::{ExecStats, ShardedPJoin};
 pub use merge::MergeReport;
-pub use router::{route_punctuation, route_tuple, shard_of, Route, RouterReport};
-pub use shard::ShardReport;
+pub use router::{
+    route_punctuation, route_tuple, route_tuple_hashed, shard_of, shard_of_hash, Route,
+    RouterReport,
+};
+pub use shard::{RoutedElement, ShardReport};

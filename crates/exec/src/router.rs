@@ -5,13 +5,15 @@
 //!
 //! A tuple is routed by the canonical form of its join-attribute value
 //! ([`Value::join_key`], the same canonicalization the hash state uses
-//! for bucketing), hashed with the standard hasher. The **high 32 bits**
-//! of the hash pick the shard while the per-shard stores keep using the
-//! low bits for bucketing (`hash % buckets`) — using `hash % shards` for
-//! both would correlate the two moduli and collapse each shard's keys
-//! into a few buckets. Tuples whose join attribute is missing or null
-//! can never join and are parked on shard 0, mirroring the bucket-0
-//! convention of the partitioned store.
+//! for bucketing), hashed **once** with [`Value::join_hash`]. The
+//! **high 32 bits** of the hash pick the shard while the per-shard
+//! stores reuse the *same carried hash*'s low bits for bucketing
+//! (`hash % buckets`) — using `hash % shards` for both would correlate
+//! the two moduli and collapse each shard's keys into a few buckets,
+//! and re-hashing in the store would double the per-tuple hashing cost.
+//! Tuples whose join attribute is missing or null can never join and
+//! are parked on shard 0, mirroring the bucket-0 convention of the
+//! partitioned store.
 //!
 //! # Punctuation fan-out
 //!
@@ -28,20 +30,18 @@
 //! registers an alignment expectation (see [`crate::align`]), so the
 //! merger observes propagations only for registered punctuations.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use pjoin::components::propagation::translate_punctuation;
 use pjoin::PJoinConfig;
-use punct_trace::{TraceKind, TraceLog, Tracer, LANE_ROUTER};
+use punct_trace::{SpanStart, TraceKind, TraceLog, Tracer, LANE_ROUTER};
 use punct_types::{Pattern, PunctSeqAssigner, Punctuation, StreamElement, Timestamp, Timestamped, Value};
 use stream_sim::Side;
 
 use crate::align::Aligner;
-use crate::shard::ShardMsg;
+use crate::shard::{RoutedElement, ShardMsg};
 
 /// Where the router sends an element.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,17 +80,38 @@ impl Route {
     }
 }
 
+/// The shard owning a join hash already computed by
+/// [`Value::join_hash`]. The **high 32 bits** pick the shard; the store
+/// buckets on the low bits (`hash % buckets`), so the two decisions stay
+/// decorrelated. `None` (null / non-joinable) parks on shard 0.
+pub fn shard_of_hash(hash: Option<u64>, shards: usize) -> usize {
+    match hash {
+        Some(h) => ((h >> 32) % shards as u64) as usize,
+        None => 0,
+    }
+}
+
 /// The shard owning a join-key value (canonicalized). Null or
 /// non-joinable values park on shard 0.
 pub fn shard_of(value: &Value, shards: usize) -> usize {
-    match value.join_key() {
-        Some(canonical) => {
-            let mut h = DefaultHasher::new();
-            canonical.hash(&mut h);
-            ((h.finish() >> 32) % shards as u64) as usize
-        }
-        None => 0,
-    }
+    shard_of_hash(value.join_hash(), shards)
+}
+
+/// Routes a tuple by its join-attribute value on `side`, returning the
+/// target shard together with the join hash so it is computed exactly
+/// once per tuple and carried downstream for bucketing.
+pub fn route_tuple_hashed(
+    tuple: &punct_types::Tuple,
+    side: Side,
+    config: &PJoinConfig,
+    shards: usize,
+) -> (usize, Option<u64>) {
+    let attr = match side {
+        Side::Left => config.join_attr_a,
+        Side::Right => config.join_attr_b,
+    };
+    let hash = tuple.get(attr).and_then(Value::join_hash);
+    (shard_of_hash(hash, shards), hash)
 }
 
 /// Routes a tuple by its join-attribute value on `side`.
@@ -100,14 +121,7 @@ pub fn route_tuple(
     config: &PJoinConfig,
     shards: usize,
 ) -> usize {
-    let attr = match side {
-        Side::Left => config.join_attr_a,
-        Side::Right => config.join_attr_b,
-    };
-    match tuple.get(attr) {
-        Some(v) => shard_of(v, shards),
-        None => 0,
-    }
+    route_tuple_hashed(tuple, side, config, shards).0
 }
 
 /// Routes a punctuation by its join-attribute pattern on `side`.
@@ -203,7 +217,10 @@ struct RouterState {
     shards: usize,
     batch: usize,
     ordered: bool,
-    buffers: Vec<Vec<(Side, Timestamped<StreamElement>)>>,
+    buffers: Vec<Vec<RoutedElement>>,
+    /// Per-shard open batch span: started when the first element lands in
+    /// an empty buffer, ended at flush (one `RouterBatch` span per batch).
+    open_spans: Vec<Option<SpanStart>>,
     watermark: Timestamp,
     seqs: [PunctSeqAssigner; 2],
     aligner: Arc<Mutex<Aligner>>,
@@ -234,18 +251,30 @@ impl RouterState {
         }
     }
 
+    /// Stages one routed element in a shard buffer, opening the shard's
+    /// batch span on the first element and flushing at the batch size.
+    fn stage(&mut self, shard: usize, side: Side, element: Timestamped<StreamElement>, hash: Option<u64>) {
+        if self.buffers[shard].is_empty() && self.tracer.enabled() {
+            self.open_spans[shard] = Some(self.tracer.span_start());
+        }
+        self.buffers[shard].push(RoutedElement { side, element, hash });
+        if self.buffers[shard].len() >= self.batch {
+            self.flush_shard(shard);
+        }
+    }
+
     /// Routes one element into the per-shard buffers, flushing any
-    /// buffer that reaches the batch size.
+    /// buffer that reaches the batch size. Punctuations are **flush
+    /// barriers**: after a punctuation is staged, every shard buffer is
+    /// flushed, so no punctuation ever waits behind a partial batch and
+    /// alignment latency is bounded by one batch regardless of size.
     fn route(&mut self, side: Side, element: Timestamped<StreamElement>) {
         self.watermark = self.watermark.max(element.ts);
         match &element.item {
             StreamElement::Tuple(t) => {
-                let shard = route_tuple(t, side, &self.config, self.shards);
+                let (shard, hash) = route_tuple_hashed(t, side, &self.config, self.shards);
                 self.counters.tuples.fetch_add(1, Ordering::Relaxed);
-                self.buffers[shard].push((side, element));
-                if self.buffers[shard].len() >= self.batch {
-                    self.flush_shard(shard);
-                }
+                self.stage(shard, side, element, hash);
             }
             StreamElement::Punctuation(p) => {
                 if p.width() != self.side_width(side) {
@@ -296,11 +325,12 @@ impl RouterState {
                     Route::Broadcast => (0..self.shards).collect(),
                 };
                 for shard in targets {
-                    self.buffers[shard].push((side, element.clone()));
-                    if self.buffers[shard].len() >= self.batch {
-                        self.flush_shard(shard);
-                    }
+                    self.stage(shard, side, element.clone(), None);
                 }
+                // Flush barrier: release every staged buffer so the
+                // punctuation (and everything that arrived before it)
+                // reaches the shards immediately.
+                self.flush_barrier();
             }
         }
     }
@@ -311,10 +341,26 @@ impl RouterState {
         }
         let elements = std::mem::take(&mut self.buffers[shard]);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = self.open_spans[shard].take() {
+            self.tracer.span_end(
+                start,
+                TraceKind::RouterBatch,
+                self.watermark.as_micros(),
+                shard as u64,
+                elements.len() as u64,
+            );
+        }
         // A send error means the shard is gone (executor dropped); there
         // is nobody left to deliver to, so drop the batch.
         let _ = self.shard_txs[shard]
             .send(ShardMsg::Batch { elements, watermark: self.watermark });
+    }
+
+    /// Flushes every non-empty buffer (punctuation barrier).
+    fn flush_barrier(&mut self) {
+        for shard in 0..self.shards {
+            self.flush_shard(shard);
+        }
     }
 
     /// Flushes every non-empty buffer. In ordered-merge mode, idle
@@ -357,6 +403,7 @@ pub(crate) fn router_loop(
         batch,
         ordered,
         buffers: (0..shards).map(|_| Vec::new()).collect(),
+        open_spans: vec![None; shards],
         watermark: Timestamp::ZERO,
         seqs: [PunctSeqAssigner::new(), PunctSeqAssigner::new()],
         aligner,

@@ -12,8 +12,23 @@ use pjoin::framework::FrameworkProfile;
 use pjoin::runtime::RuntimeMetrics;
 use pjoin::{PJoin, PJoinConfig, PJoinStats};
 use punct_trace::{JoinLatencies, TraceLog};
-use punct_types::{StreamElement, Timestamp, Timestamped};
+use punct_types::{StreamElement, Timestamp, Timestamped, Tuple};
 use stream_sim::{BinaryStreamOp, OpOutput, Side, Work};
+
+/// One element routed to a shard, with the routing decision's byproducts
+/// carried along so downstream layers never recompute them.
+#[derive(Debug, Clone)]
+pub struct RoutedElement {
+    /// Which input stream the element arrived on.
+    pub side: Side,
+    /// The element and its ingest timestamp.
+    pub element: Timestamped<StreamElement>,
+    /// The join hash ([`punct_types::Value::join_hash`]) the router
+    /// computed for shard selection — reused verbatim by the shard's
+    /// store for bucketing (single-hash invariant). `None` for
+    /// punctuations and unjoinable keys.
+    pub hash: Option<u64>,
+}
 
 /// A message from the router to a shard.
 #[derive(Debug)]
@@ -24,7 +39,7 @@ pub enum ShardMsg {
     /// ordered merge advances even on shards owning no recent keys.
     Batch {
         /// Elements for this shard, in global arrival order.
-        elements: Vec<(Side, Timestamped<StreamElement>)>,
+        elements: Vec<RoutedElement>,
         /// Router watermark at flush time.
         watermark: Timestamp,
     },
@@ -82,6 +97,7 @@ pub(crate) fn shard_loop(
     let mut join = PJoin::new(config);
     join.tracer_mut().set_lane(shard as u32);
     let mut out = OpOutput::new();
+    let mut run: Vec<(Tuple, Timestamp, Option<u64>)> = Vec::new();
     let mut last_ts = Timestamp::ZERO;
     let mut consumed = 0u64;
     let mut emitted = 0u64;
@@ -100,11 +116,38 @@ pub(crate) fn shard_loop(
         match rx.recv_timeout(IDLE_POLL) {
             Ok(ShardMsg::Batch { elements, watermark }) => {
                 let mut outputs = Vec::new();
-                for (side, e) in elements {
-                    last_ts = last_ts.max(e.ts);
-                    join.on_element(side, e.item, e.ts, &mut out);
-                    consumed += 1;
-                    stamp_into(&mut out, last_ts, &mut outputs);
+                consumed += elements.len() as u64;
+                // Group same-side punctuation-free runs for the batched
+                // probe; punctuations flush the open run, so per-shard
+                // processing order is exactly the arrival order.
+                let mut run_side = Side::Left;
+                for routed in elements {
+                    let RoutedElement { side, element: e, hash } = routed;
+                    match e.item {
+                        StreamElement::Tuple(t) => {
+                            if side != run_side && !run.is_empty() {
+                                last_ts = flush_run(
+                                    &mut join, run_side, &mut run, last_ts, &mut out, &mut outputs,
+                                );
+                            }
+                            run_side = side;
+                            run.push((t, e.ts, hash));
+                        }
+                        punct => {
+                            if !run.is_empty() {
+                                last_ts = flush_run(
+                                    &mut join, run_side, &mut run, last_ts, &mut out, &mut outputs,
+                                );
+                            }
+                            last_ts = last_ts.max(e.ts);
+                            join.on_element_prehashed(side, punct, e.ts, None, &mut out);
+                            stamp_into(&mut out, last_ts, &mut outputs);
+                        }
+                    }
+                }
+                if !run.is_empty() {
+                    last_ts =
+                        flush_run(&mut join, run_side, &mut run, last_ts, &mut out, &mut outputs);
                 }
                 last_ts = last_ts.max(watermark);
                 emitted += outputs.len() as u64;
@@ -166,6 +209,27 @@ pub(crate) fn shard_loop(
     };
     let _ = events.send(ShardEvent::Done(shard));
     report
+}
+
+/// Joins a buffered same-side run through the batched probe
+/// ([`PJoin::on_tuple_batch`]), stamps its outputs with the run's latest
+/// timestamp (monotone, coarser than per-element stamping but never past
+/// the router watermark), and returns the advanced shard clock.
+fn flush_run(
+    join: &mut PJoin,
+    side: Side,
+    run: &mut Vec<(Tuple, Timestamp, Option<u64>)>,
+    mut last_ts: Timestamp,
+    out: &mut OpOutput,
+    outputs: &mut Vec<Timestamped<StreamElement>>,
+) -> Timestamp {
+    for (_, ts, _) in run.iter() {
+        last_ts = last_ts.max(*ts);
+    }
+    join.on_tuple_batch(side, run, out);
+    stamp_into(out, last_ts, outputs);
+    run.clear();
+    last_ts
 }
 
 /// Moves the operator's pending outputs into `outputs`, stamped with the

@@ -15,7 +15,7 @@ use stream_sim::Side;
 
 use crate::backoff::{Backoff, BackoffPolicy};
 use crate::error::NetError;
-use crate::frame::{encode_frame_into, Frame, FrameBuffer, WIRE_VERSION};
+use crate::frame::{encode_data_batch_into, encode_frame_into, Frame, FrameBuffer, WIRE_VERSION};
 
 /// How a source client connects and paces itself.
 #[derive(Debug, Clone)]
@@ -25,8 +25,15 @@ pub struct ClientOptions {
     /// Seed for the backoff jitter (decorrelates concurrent clients).
     pub seed: u64,
     /// Elements encoded per socket write (bounded above by available
-    /// credits).
+    /// credits). With `batch > 1` each write carries one `DataBatch`
+    /// frame; `batch == 1` sends plain `Data` frames, reproducing the
+    /// per-element wire behavior exactly.
     pub batch: usize,
+    /// Payload-byte cap per `DataBatch` frame: a batch whose encoding
+    /// would exceed this is split across frames (each still one write),
+    /// so frames stay well under [`crate::MAX_FRAME_LEN`] regardless of
+    /// tuple width.
+    pub max_batch_bytes: usize,
     /// How long to wait for `HelloAck` / `FinAck` before treating the
     /// connection as dead.
     pub handshake_timeout: Duration,
@@ -49,10 +56,23 @@ impl Default for ClientOptions {
             policy: BackoffPolicy::default(),
             seed: 0,
             batch: 64,
+            max_batch_bytes: punct_types::BatchConfig::default().max_bytes,
             handshake_timeout: Duration::from_secs(5),
             credit_stall_timeout: None,
             trace: TraceSettings::default(),
         }
+    }
+}
+
+impl ClientOptions {
+    /// Applies a [`punct_types::BatchConfig`] (e.g. from `PJOIN_BATCH`)
+    /// to the wire batching knobs: `max_elems` elements per write,
+    /// `max_bytes` per `DataBatch` frame. `PJOIN_BATCH=1` therefore
+    /// yields per-element `Data` frames.
+    pub fn with_batch(mut self, batch: punct_types::BatchConfig) -> ClientOptions {
+        self.batch = batch.max_elems.max(1);
+        self.max_batch_bytes = batch.max_bytes;
+        self
     }
 }
 
@@ -64,7 +84,8 @@ pub struct SendReport {
     pub acked: u64,
     /// Successful reconnects after the initial connection.
     pub reconnects: u32,
-    /// `Data` frames written (repeats after a resume count again).
+    /// Stream elements written inside `Data`/`DataBatch` frames (repeats
+    /// after a resume count again).
     pub frames_sent: u64,
     /// Bytes written to sockets.
     pub bytes_sent: u64,
@@ -248,8 +269,29 @@ fn session(
         let n = (elements.len() - next).min(opts.batch).min(credits as usize);
         buf.clear();
         let span = tracer.span_start();
-        for (i, el) in elements[next..next + n].iter().enumerate() {
-            encode_frame_into(&Frame::Data { seq: (next + i) as u64, element: el.clone() }, &mut buf);
+        if opts.batch <= 1 {
+            // Per-element mode: plain `Data` frames, byte-identical to
+            // the unbatched protocol.
+            for (i, el) in elements[next..next + n].iter().enumerate() {
+                encode_frame_into(
+                    &Frame::Data { seq: (next + i) as u64, element: el.clone() },
+                    &mut buf,
+                );
+            }
+        } else {
+            // One `DataBatch` frame per `max_batch_bytes` of payload —
+            // usually exactly one — all flushed in a single write below.
+            let mut off = 0usize;
+            while off < n {
+                let taken = encode_data_batch_into(
+                    (next + off) as u64,
+                    &elements[next + off..next + n],
+                    opts.max_batch_bytes,
+                    &mut buf,
+                );
+                tracer.instant(TraceKind::NetBatch, 0, stream as u64, taken as u64);
+                off += taken;
+            }
         }
         tracer.span_end(span, TraceKind::NetEncode, elements[next].ts.as_micros(), buf.len() as u64, n as u64);
         conn.sock.write_all(&buf)?;

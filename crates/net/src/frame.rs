@@ -18,8 +18,9 @@ use punct_types::wire::{get_element, get_schema, put_element, put_schema, WireEr
 use punct_types::{Schema, StreamElement, Timestamp, Timestamped};
 
 /// Protocol version carried in every `Hello`. Bumped on any frame or
-/// payload encoding change.
-pub const WIRE_VERSION: u32 = 1;
+/// payload encoding change. Version 2 added the `DataBatch` frame (many
+/// elements with consecutive sequence numbers in one frame/syscall).
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard cap on a frame's announced length (tag + payload). A corrupted
 /// length prefix can therefore never request more than this in one
@@ -122,6 +123,17 @@ pub enum Frame {
         /// First sequence number to deliver.
         resume_from: u64,
     },
+    /// Many consecutive stream elements in one frame — the batched form
+    /// of `Data`, moving a whole batch per syscall. Element `i` carries
+    /// sequence `first_seq + i`; credit accounting and resume dedup stay
+    /// per-element, so a receiver treats `DataBatch` exactly as that
+    /// many `Data` frames arriving back to back.
+    DataBatch {
+        /// Sequence number of the first element.
+        first_seq: u64,
+        /// The elements, in sequence order.
+        elements: Vec<Timestamped<StreamElement>>,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -133,12 +145,24 @@ const TAG_FIN: u8 = 5;
 const TAG_FIN_ACK: u8 = 6;
 const TAG_ERROR: u8 = 7;
 const TAG_SUBSCRIBE: u8 = 8;
+const TAG_DATA_BATCH: u8 = 9;
 
 impl Frame {
-    /// True for `Data` frames (the only kind subject to credits, and the
-    /// only kind the fault proxy drops).
+    /// True for `Data`/`DataBatch` frames (the only kinds subject to
+    /// credits, and the only kinds the fault proxy drops).
     pub fn is_data(&self) -> bool {
-        matches!(self, Frame::Data { .. })
+        matches!(self, Frame::Data { .. } | Frame::DataBatch { .. })
+    }
+
+    /// Number of stream elements the frame carries (1 for `Data`, the
+    /// batch length for `DataBatch`, 0 otherwise) — the unit of credit
+    /// accounting.
+    pub fn element_count(&self) -> usize {
+        match self {
+            Frame::Data { .. } => 1,
+            Frame::DataBatch { elements, .. } => elements.len(),
+            _ => 0,
+        }
     }
 
     /// The frame's wire tag.
@@ -153,6 +177,7 @@ impl Frame {
             Frame::FinAck => TAG_FIN_ACK,
             Frame::Error { .. } => TAG_ERROR,
             Frame::Subscribe { .. } => TAG_SUBSCRIBE,
+            Frame::DataBatch { .. } => TAG_DATA_BATCH,
         }
     }
 }
@@ -190,6 +215,14 @@ pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
         Frame::Subscribe { resume_from } => {
             buf.extend_from_slice(&resume_from.to_le_bytes())
         }
+        Frame::DataBatch { first_seq, elements } => {
+            buf.extend_from_slice(&first_seq.to_le_bytes());
+            buf.extend_from_slice(&(elements.len() as u32).to_le_bytes());
+            for element in elements {
+                buf.extend_from_slice(&element.ts.as_micros().to_le_bytes());
+                put_element(buf, &element.item);
+            }
+        }
     }
     let frame_len = (buf.len() - len_pos - 4) as u32;
     buf[len_pos..len_pos + 4].copy_from_slice(&frame_len.to_le_bytes());
@@ -200,6 +233,44 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64);
     encode_frame_into(frame, &mut buf);
     buf
+}
+
+/// Appends one `DataBatch` frame built from as many leading `elements`
+/// as fit within `max_bytes` of frame payload (always at least one, so
+/// a single oversized element still moves). Element `i` carries sequence
+/// `first_seq + i`. Returns how many elements were encoded; the caller
+/// re-invokes with the remainder. The encoding is byte-identical to
+/// [`encode_frame_into`] on the equivalent [`Frame::DataBatch`].
+pub fn encode_data_batch_into(
+    first_seq: u64,
+    elements: &[Timestamped<StreamElement>],
+    max_bytes: usize,
+    buf: &mut Vec<u8>,
+) -> usize {
+    let len_pos = buf.len();
+    buf.extend_from_slice(&0u32.to_le_bytes()); // patched below
+    buf.push(TAG_DATA_BATCH);
+    buf.extend_from_slice(&first_seq.to_le_bytes());
+    let count_pos = buf.len();
+    buf.extend_from_slice(&0u32.to_le_bytes()); // patched below
+    let mut taken = 0usize;
+    for element in elements {
+        let rollback = buf.len();
+        buf.extend_from_slice(&element.ts.as_micros().to_le_bytes());
+        put_element(buf, &element.item);
+        if taken > 0 && buf.len() - len_pos - 4 > max_bytes {
+            buf.truncate(rollback);
+            break;
+        }
+        taken += 1;
+        if buf.len() - len_pos - 4 >= max_bytes {
+            break;
+        }
+    }
+    buf[count_pos..count_pos + 4].copy_from_slice(&(taken as u32).to_le_bytes());
+    let frame_len = (buf.len() - len_pos - 4) as u32;
+    buf[len_pos..len_pos + 4].copy_from_slice(&frame_len.to_le_bytes());
+    taken
 }
 
 fn put_string(buf: &mut Vec<u8>, s: &str) {
@@ -241,6 +312,19 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
             Frame::Error { code, message }
         }
         TAG_SUBSCRIBE => Frame::Subscribe { resume_from: r.u64("subscribe resume")? },
+        TAG_DATA_BATCH => {
+            let first_seq = r.u64("batch first_seq")?;
+            let count = r.u32("batch count")? as usize;
+            // No preallocation by announced count: a corrupted count
+            // fails on the first missing element instead of allocating.
+            let mut elements = Vec::new();
+            for _ in 0..count {
+                let ts = Timestamp::from_micros(r.u64("batch timestamp")?);
+                let item = get_element(&mut r)?;
+                elements.push(Timestamped::new(ts, item));
+            }
+            Frame::DataBatch { first_seq, elements }
+        }
         tag => return Err(WireError::BadTag { what: "frame", tag }),
     };
     r.finish()?;
@@ -330,9 +414,11 @@ impl FrameBuffer {
 }
 
 /// True if a raw frame (as returned by [`FrameBuffer::next_raw`]) is a
-/// `Data` frame.
+/// `Data` or `DataBatch` frame — the kinds the fault proxy drops, so
+/// batched transfers exercise loss and resume exactly like per-element
+/// ones.
 pub fn raw_is_data(tag: u8) -> bool {
-    tag == TAG_DATA
+    tag == TAG_DATA || tag == TAG_DATA_BATCH
 }
 
 #[cfg(test)]
@@ -362,7 +448,68 @@ mod tests {
             Frame::FinAck,
             Frame::Error { code: error_code::SEQUENCE_GAP, message: "gap at 9".into() },
             Frame::Subscribe { resume_from: 5 },
+            Frame::DataBatch {
+                first_seq: 10,
+                elements: vec![
+                    Timestamped::new(
+                        Timestamp::from_micros(100),
+                        StreamElement::Tuple(Tuple::of((2i64, "y"))),
+                    ),
+                    Timestamped::new(
+                        Timestamp::from_micros(101),
+                        StreamElement::Tuple(Tuple::of((3i64, "z"))),
+                    ),
+                ],
+            },
+            Frame::DataBatch { first_seq: 0, elements: Vec::new() },
         ]
+    }
+
+    #[test]
+    fn data_batch_incremental_encoding_matches_whole_frame() {
+        let elements: Vec<Timestamped<StreamElement>> = (0..6)
+            .map(|i| {
+                Timestamped::new(
+                    Timestamp::from_micros(i),
+                    StreamElement::Tuple(Tuple::of((i as i64, "payload"))),
+                )
+            })
+            .collect();
+        // Unbounded: one call takes everything and matches encode_frame_into.
+        let mut buf = Vec::new();
+        let taken = encode_data_batch_into(7, &elements, usize::MAX, &mut buf);
+        assert_eq!(taken, elements.len());
+        let mut whole = Vec::new();
+        encode_frame_into(
+            &Frame::DataBatch { first_seq: 7, elements: elements.clone() },
+            &mut whole,
+        );
+        assert_eq!(buf, whole);
+        // Byte-capped: splits into several valid frames covering every
+        // element once, in order, with consecutive first_seqs.
+        let mut next = 0usize;
+        let mut wire = Vec::new();
+        while next < elements.len() {
+            let n = encode_data_batch_into(next as u64, &elements[next..], 40, &mut wire);
+            assert!(n >= 1, "progress even when one element exceeds the cap");
+            next += n;
+        }
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        let mut decoded = Vec::new();
+        let mut expect_seq = 0u64;
+        while let Some(f) = fb.next_frame().expect("valid frames") {
+            match f {
+                Frame::DataBatch { first_seq, elements } => {
+                    assert_eq!(first_seq, expect_seq);
+                    assert!(!elements.is_empty());
+                    expect_seq += elements.len() as u64;
+                    decoded.extend(elements);
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(decoded, elements);
     }
 
     #[test]
@@ -412,7 +559,8 @@ mod tests {
             rebuilt.extend_from_slice(&raw);
         }
         assert_eq!(rebuilt, wire);
-        assert_eq!(data_frames, 1);
+        let expected = sample_frames().iter().filter(|f| f.is_data()).count();
+        assert_eq!(data_frames, expected);
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub use client::{
 };
 pub use error::NetError;
 pub use frame::{
-    decode_frame, encode_frame, encode_frame_into, Frame, FrameBuffer, MAX_FRAME_LEN, WIRE_VERSION,
+    decode_frame, encode_data_batch_into, encode_frame, encode_frame_into, Frame, FrameBuffer,
+    MAX_FRAME_LEN, WIRE_VERSION,
 };
 pub use pipeline::{run_networked_join, NetJoinReport};
 pub use proxy::{FaultConfig, FaultProxy, ProxyStats};
@@ -151,9 +152,12 @@ mod tests {
         let elements: Vec<_> = (0..400).map(|i| tup(i, i as i64)).collect();
         let (server, rx) =
             IngestServer::bind(&[Side::Right], IngestOptions::default()).expect("bind");
-        // Drop ~1 in 40 data frames (up to 6) and force one disconnect.
+        // With the default wire batching, 400 elements move as only a
+        // handful of `DataBatch` frames — so the fault profile works in
+        // those units: drop ~1 in 4 data frames (up to 2, each losing a
+        // whole batch) and force one disconnect after 5 frames.
         let proxy =
-            FaultProxy::spawn(server.addr(), FaultConfig::lossy(40, 6, 1, 120, 7)).expect("proxy");
+            FaultProxy::spawn(server.addr(), FaultConfig::lossy(4, 2, 1, 5, 7)).expect("proxy");
         let opts = ClientOptions {
             policy: BackoffPolicy::fast(),
             seed: 11,
@@ -242,14 +246,15 @@ mod tests {
             IngestOptions { channel_capacity: 2048, ..IngestOptions::default() },
         )
         .expect("bind");
-        // Kill every connection after 100 forwarded frames, 12 times —
-        // more kills than the policy's whole attempt budget, but each
-        // session lands ~99 fresh elements before dying.
+        // Kill every connection after 3 forwarded frames (the Hello plus
+        // two 64-element `DataBatch` frames), 12 times — more kills than
+        // the policy's whole attempt budget, but each session lands ~128
+        // fresh elements before dying.
         let disconnects = 12;
         let proxy = FaultProxy::spawn(
             server.addr(),
             FaultConfig {
-                disconnect_after_frames: 100,
+                disconnect_after_frames: 3,
                 max_disconnects: disconnects,
                 seed: 5,
                 ..FaultConfig::default()
@@ -341,6 +346,10 @@ mod tests {
                 Frame::Data { seq, element } => {
                     assert_eq!(seq, 60 + got.len() as u64);
                     got.push(element);
+                }
+                Frame::DataBatch { first_seq, elements } => {
+                    assert_eq!(first_seq, 60 + got.len() as u64);
+                    got.extend(elements);
                 }
                 Frame::Fin { count } => {
                     assert_eq!(count, 100);

@@ -53,24 +53,27 @@ pub fn run_networked_join(
     loop {
         match rx.recv_timeout(Duration::from_millis(5)) {
             Ok((side, element)) => {
-                exec.push(side, element);
-                fed += 1;
                 // Opportunistically drain whatever else is queued so the
-                // channel frees up in bursts.
-                while let Ok((side, element)) = rx.try_recv() {
-                    exec.push(side, element);
-                    fed += 1;
+                // channel frees up in bursts, and hand the whole burst to
+                // the executor as one batch (one router wakeup).
+                let mut batch = vec![(side, element)];
+                while let Ok(next) = rx.try_recv() {
+                    batch.push(next);
                 }
+                fed += batch.len() as u64;
+                exec.push_batch(batch);
             }
             Err(RecvTimeoutError::Timeout) => {
                 // A handler forwards a stream's elements before marking
                 // it finished, so once all streams are finished one
                 // final drain below empties the channel for good.
                 if server.all_finished() {
-                    while let Ok((side, element)) = rx.try_recv() {
-                        exec.push(side, element);
-                        fed += 1;
+                    let mut batch = Vec::new();
+                    while let Ok(next) = rx.try_recv() {
+                        batch.push(next);
                     }
+                    fed += batch.len() as u64;
+                    exec.push_batch(batch);
                     break;
                 }
             }

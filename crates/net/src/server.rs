@@ -81,7 +81,7 @@ impl Default for IngestOptions {
 pub struct IngestStats {
     /// Connections accepted (including reconnects).
     pub connections: u64,
-    /// `Data` frames received.
+    /// Stream elements received (each `DataBatch` element counts once).
     pub frames_received: u64,
     /// Payload bytes received off sockets.
     pub bytes_received: u64,
@@ -417,75 +417,57 @@ fn handle_conn(
         };
         match frame {
             Frame::Data { seq, element } => {
-                shared.counters.frames_received.fetch_add(1, Ordering::Relaxed);
-                // The whole check→forward→advance sequence runs under
-                // the per-stream forward lock so no other handler can
-                // interleave; within it, losing ownership (a newer
-                // handshake bumped the epoch) aborts *before* the
-                // forward, never after — once an element is sent it
-                // must advance the counter or the successor would send
-                // it again. The lock is released before any socket
-                // write: a peer that stopped reading must not be able
-                // to wedge its successor.
-                let fwd = slot.forward.lock().expect("stream forward lock");
-                let next_seq = {
-                    let st = slot.state.lock().expect("stream state lock");
-                    if st.epoch != my_epoch {
-                        drop(st);
-                        drop(fwd);
+                match forward_batch(
+                    slot, shared, tracer, my_epoch, stream, side, seq,
+                    std::iter::once(element),
+                )? {
+                    ForwardOutcome::Forwarded => {}
+                    ForwardOutcome::Superseded => {
                         return reject(
                             &mut sock,
                             error_code::SUPERSEDED,
                             format!("stream {stream}: a newer connection took over"),
                         );
                     }
-                    st.next_seq
-                };
-                if seq < next_seq {
-                    drop(fwd);
-                    shared.counters.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
-                } else if seq > next_seq {
-                    drop(fwd);
-                    return reject(
-                        &mut sock,
-                        error_code::SEQUENCE_GAP,
-                        format!("stream {stream}: got seq {seq}, expected {next_seq}"),
-                    );
-                } else {
-                    // Forward, blocking (with a stall span) if the
-                    // executor is behind. Only after the channel accepts
-                    // the element does the sequence advance — a failure
-                    // between the two can at worst re-forward nothing,
-                    // never skip.
-                    let vt = element.ts.as_micros();
-                    match shared.data_tx.try_send((side, element)) {
-                        Ok(()) => {}
-                        Err(TrySendError::Full(el)) => {
-                            shared.counters.stalls.fetch_add(1, Ordering::Relaxed);
-                            let span = tracer.span_start();
-                            shared
-                                .data_tx
-                                .send(el)
-                                .map_err(|_| disconnected("executor channel closed"))?;
-                            tracer.span_end(span, TraceKind::NetStall, vt, stream as u64, 1);
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            return Err(disconnected("executor channel closed"));
-                        }
+                    ForwardOutcome::Gap { got, expected } => {
+                        return reject(
+                            &mut sock,
+                            error_code::SEQUENCE_GAP,
+                            format!("stream {stream}: got seq {got}, expected {expected}"),
+                        );
                     }
-                    // Conditional advance: only forward motion, and only
-                    // from the seq this handler actually forwarded — an
-                    // unconditional write could drag the counter
-                    // backwards past a successor's progress.
-                    {
-                        let mut st = slot.state.lock().expect("stream state lock");
-                        if st.next_seq == seq {
-                            st.next_seq = seq + 1;
-                        }
-                    }
-                    drop(fwd);
                 }
                 since_ack += 1;
+                if since_ack >= shared.opts.ack_every {
+                    let up_to = slot.state.lock().expect("stream state lock").next_seq;
+                    send_frames(&mut sock, &[Frame::Ack { up_to }, Frame::Credit { n: since_ack }])?;
+                    since_ack = 0;
+                }
+            }
+            Frame::DataBatch { first_seq, elements } => {
+                let n = elements.len() as u32;
+                tracer.instant(TraceKind::NetBatch, 0, stream as u64, n as u64);
+                match forward_batch(
+                    slot, shared, tracer, my_epoch, stream, side, first_seq,
+                    elements.into_iter(),
+                )? {
+                    ForwardOutcome::Forwarded => {}
+                    ForwardOutcome::Superseded => {
+                        return reject(
+                            &mut sock,
+                            error_code::SUPERSEDED,
+                            format!("stream {stream}: a newer connection took over"),
+                        );
+                    }
+                    ForwardOutcome::Gap { got, expected } => {
+                        return reject(
+                            &mut sock,
+                            error_code::SEQUENCE_GAP,
+                            format!("stream {stream}: got seq {got}, expected {expected}"),
+                        );
+                    }
+                }
+                since_ack += n;
                 if since_ack >= shared.opts.ack_every {
                     let up_to = slot.state.lock().expect("stream state lock").next_seq;
                     send_frames(&mut sock, &[Frame::Ack { up_to }, Frame::Credit { n: since_ack }])?;
@@ -531,4 +513,89 @@ fn handle_conn(
 
 fn disconnected(what: &str) -> NetError {
     NetError::Io(std::io::Error::new(ErrorKind::BrokenPipe, what.to_string()))
+}
+
+/// How [`forward_batch`] ended; protocol violations are returned (not
+/// rejected in place) so the caller owns the socket write.
+enum ForwardOutcome {
+    /// Every element was forwarded or duplicate-suppressed.
+    Forwarded,
+    /// A newer connection took over this stream.
+    Superseded,
+    /// An element's sequence jumped past the expected one.
+    Gap { got: u64, expected: u64 },
+}
+
+/// Forwards consecutive elements (element `i` carrying `first_seq + i`)
+/// downstream under **one** acquisition of the per-stream forward lock —
+/// the batched form of the check→forward→advance critical section.
+///
+/// Semantics per element are identical to the per-frame path: sequences
+/// below `next_seq` are suppressed as duplicates (still counted, still
+/// earning credit), a sequence above it is a gap, and the stream counter
+/// only ever advances from the sequence this handler actually forwarded.
+/// Ownership (the connection epoch) is checked once on entry: holding
+/// the forward lock for the whole batch means no successor can interleave
+/// forwards mid-batch, so the single check preserves the single-writer
+/// invariant at batch granularity. The lock is released before any
+/// socket write.
+#[allow(clippy::too_many_arguments)]
+fn forward_batch(
+    slot: &StreamSlot,
+    shared: &Shared,
+    tracer: &mut Tracer,
+    my_epoch: u64,
+    stream: usize,
+    side: Side,
+    first_seq: u64,
+    elements: impl Iterator<Item = Timestamped<StreamElement>>,
+) -> Result<ForwardOutcome, NetError> {
+    let fwd = slot.forward.lock().expect("stream forward lock");
+    let mut next_seq = {
+        let st = slot.state.lock().expect("stream state lock");
+        if st.epoch != my_epoch {
+            return Ok(ForwardOutcome::Superseded);
+        }
+        st.next_seq
+    };
+    for (i, element) in elements.enumerate() {
+        let seq = first_seq + i as u64;
+        shared.counters.frames_received.fetch_add(1, Ordering::Relaxed);
+        if seq < next_seq {
+            shared.counters.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if seq > next_seq {
+            return Ok(ForwardOutcome::Gap { got: seq, expected: next_seq });
+        }
+        // Forward, blocking (with a stall span) if the executor is
+        // behind. Only after the channel accepts the element does the
+        // sequence advance — a failure between the two can at worst
+        // re-forward nothing, never skip.
+        let vt = element.ts.as_micros();
+        match shared.data_tx.try_send((side, element)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(el)) => {
+                shared.counters.stalls.fetch_add(1, Ordering::Relaxed);
+                let span = tracer.span_start();
+                shared
+                    .data_tx
+                    .send(el)
+                    .map_err(|_| disconnected("executor channel closed"))?;
+                tracer.span_end(span, TraceKind::NetStall, vt, stream as u64, 1);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(disconnected("executor channel closed"));
+            }
+        }
+        {
+            let mut st = slot.state.lock().expect("stream state lock");
+            if st.next_seq == seq {
+                st.next_seq = seq + 1;
+            }
+        }
+        next_seq = seq + 1;
+    }
+    drop(fwd);
+    Ok(ForwardOutcome::Forwarded)
 }

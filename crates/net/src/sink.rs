@@ -30,20 +30,41 @@ use punct_types::{StreamElement, Timestamped};
 
 use crate::backoff::{Backoff, BackoffPolicy};
 use crate::error::NetError;
-use crate::frame::{encode_frame, encode_frame_into, error_code, Frame, FrameBuffer};
+use crate::frame::{
+    encode_data_batch_into, encode_frame, encode_frame_into, error_code, Frame, FrameBuffer,
+};
 
 /// Sink server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SinkOptions {
-    /// Elements per `Data` burst written to a subscriber.
+    /// Elements per burst written to a subscriber. With `batch > 1`
+    /// each burst is sent as `DataBatch` frames; `batch == 1` sends
+    /// per-element `Data` frames (the unbatched wire behavior).
     pub batch: usize,
+    /// Payload-byte cap per `DataBatch` frame (bursts whose encoding
+    /// exceeds it are split across frames).
+    pub max_batch_bytes: usize,
     /// Tracing for subscriber handler threads.
     pub trace: TraceSettings,
 }
 
 impl Default for SinkOptions {
     fn default() -> SinkOptions {
-        SinkOptions { batch: 128, trace: TraceSettings::default() }
+        SinkOptions {
+            batch: 128,
+            max_batch_bytes: punct_types::BatchConfig::default().max_bytes,
+            trace: TraceSettings::default(),
+        }
+    }
+}
+
+impl SinkOptions {
+    /// Applies a [`punct_types::BatchConfig`] (e.g. from `PJOIN_BATCH`)
+    /// to the wire batching knobs.
+    pub fn with_batch(mut self, batch: punct_types::BatchConfig) -> SinkOptions {
+        self.batch = batch.max_elems.max(1);
+        self.max_batch_bytes = batch.max_bytes;
+        self
     }
 }
 
@@ -311,9 +332,29 @@ fn serve_subscriber(
         let span = tracer.span_start();
         let frames = batch.len() as u64;
         let vt = batch[0].1.ts.as_micros();
-        for (seq, element) in batch {
-            encode_frame_into(&Frame::Data { seq, element }, &mut out);
-            cursor = seq + 1;
+        if shared.opts.batch <= 1 {
+            for (seq, element) in batch {
+                encode_frame_into(&Frame::Data { seq, element }, &mut out);
+                cursor = seq + 1;
+            }
+        } else {
+            // The burst is consecutive from the cursor, so it maps onto
+            // `DataBatch` frames directly (split only by the byte cap).
+            let first_seq = batch[0].0;
+            let elements: Vec<Timestamped<StreamElement>> =
+                batch.into_iter().map(|(_, e)| e).collect();
+            let mut off = 0usize;
+            while off < elements.len() {
+                let taken = encode_data_batch_into(
+                    first_seq + off as u64,
+                    &elements[off..],
+                    shared.opts.max_batch_bytes,
+                    &mut out,
+                );
+                tracer.instant(TraceKind::NetBatch, vt, 0, taken as u64);
+                off += taken;
+            }
+            cursor = first_seq + elements.len() as u64;
         }
         tracer.span_end(span, TraceKind::NetEncode, vt, out.len() as u64, frames);
         sock.write_all(&out)?;
@@ -385,6 +426,31 @@ pub fn collect_all(
     }
 }
 
+/// Folds one received element into the collected stream with the sink's
+/// sequence discipline: below the next expected sequence is a duplicate
+/// (suppressed, counted), above it is a gap (the in-order TCP replay
+/// should make that impossible; recover by resubscribing), exactly at it
+/// is appended.
+fn accept_element(
+    seq: u64,
+    element: Timestamped<StreamElement>,
+    received: &mut Vec<Timestamped<StreamElement>>,
+    report: &mut SinkReport,
+) -> Result<(), NetError> {
+    let next = received.len() as u64;
+    if seq < next {
+        report.duplicates_suppressed += 1;
+    } else if seq > next {
+        return Err(NetError::Io(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("sink gap: got seq {seq}, expected {next}"),
+        )));
+    } else {
+        received.push(element);
+    }
+    Ok(())
+}
+
 fn consume_session(
     addr: SocketAddr,
     received: &mut Vec<Timestamped<StreamElement>>,
@@ -415,18 +481,11 @@ fn consume_session(
             last_progress = Instant::now();
             match frame {
                 Frame::Data { seq, element } => {
-                    let next = received.len() as u64;
-                    if seq < next {
-                        report.duplicates_suppressed += 1;
-                    } else if seq > next {
-                        // The in-order TCP replay should make this
-                        // impossible; recover by resubscribing.
-                        return Err(NetError::Io(std::io::Error::new(
-                            ErrorKind::InvalidData,
-                            format!("sink gap: got seq {seq}, expected {next}"),
-                        )));
-                    } else {
-                        received.push(element);
+                    accept_element(seq, element, received, report)?;
+                }
+                Frame::DataBatch { first_seq, elements } => {
+                    for (i, element) in elements.into_iter().enumerate() {
+                        accept_element(first_seq + i as u64, element, received, report)?;
                     }
                 }
                 Frame::Fin { count } => {

@@ -101,10 +101,13 @@ fn networked_run_matches_in_process_run() {
     // drops which surface as server-detected sequence gaps.
     let (server, rx) = IngestServer::bind(&[Side::Left, Side::Right], IngestOptions::default())
         .expect("bind ingest server");
+    // Fault thresholds are in *frames*, and with the default wire
+    // batching a stream is only a few dozen `DataBatch` frames — so a
+    // drop loses a whole batch and the kill lands a few batches in.
     let faults = |i: u64| FaultConfig {
-        drop_one_in: 300,
-        max_drops: 3,
-        disconnect_after_frames: 70,
+        drop_one_in: 8,
+        max_drops: 2,
+        disconnect_after_frames: 6,
         max_disconnects: 1,
         seed: 90 + i,
         ..FaultConfig::default()
@@ -164,12 +167,13 @@ fn kill_and_resume_is_exactly_once() {
         IngestOptions { trace: TraceSettings::enabled(), ..IngestOptions::default() },
     )
     .expect("bind ingest server");
-    // Kill the connection every 120 frames, twice; no random drops, so
-    // every reconnect in this test is a clean kill-and-resume.
+    // Kill the connection every 8 frames (the Hello plus seven
+    // 64-element `DataBatch` frames), twice; no random drops, so every
+    // reconnect in this test is a clean kill-and-resume.
     let proxy = FaultProxy::spawn(
         server.addr(),
         FaultConfig {
-            disconnect_after_frames: 120,
+            disconnect_after_frames: 8,
             max_disconnects: 2,
             seed: 77,
             ..FaultConfig::default()
@@ -220,12 +224,12 @@ fn kill_and_resume_is_exactly_once() {
     assert!(*resumes.last().unwrap() <= elements.len() as u64);
     assert!(
         resumes.iter().any(|&r| r > 0),
-        "a kill after 120 frames must resume mid-stream, not from zero: {resumes:?}"
+        "a kill after 8 frames must resume mid-stream, not from zero: {resumes:?}"
     );
 
-    // Frames the kill cut in flight (written by the client, never
+    // Elements the kill cut in flight (written by the client, never
     // forwarded by the proxy) are re-sent from the server's ack mark —
-    // so the client sent at least one frame per element, usually more —
+    // so the client sent each element at least once, usually more —
     // while the server's sequence discipline keeps the channel clean.
     assert!(report.frames_sent >= elements.len() as u64);
     assert_eq!(got, elements, "channel must carry each element exactly once, in order");

@@ -110,6 +110,8 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         (any::<u16>(), "[ -~]{0,30}")
             .prop_map(|(code, message)| Frame::Error { code, message }),
         any::<u64>().prop_map(|resume_from| Frame::Subscribe { resume_from }),
+        (any::<u64>(), proptest::collection::vec(arb_timestamped(), 0..5))
+            .prop_map(|(first_seq, elements)| Frame::DataBatch { first_seq, elements }),
     ]
 }
 

@@ -1,9 +1,6 @@
 //! The partitioned hash store: fixed hash buckets over the join
 //! attribute, each with memory and disk portions, plus state relocation.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
-
 use punct_types::Value;
 
 use crate::backend::{DiskBackend, IoStats, PageId};
@@ -106,13 +103,20 @@ impl<R: Record> PartitionedStore<R> {
     /// the *canonical* join key (`Value::join_key`) so values that can
     /// `join_eq` each other — e.g. `Int(2)` and `Float(2.0)` — land in
     /// the same bucket. Unjoinable keys (null, absent) route to bucket 0.
+    /// Delegates to [`Value::join_hash`], the single hashing site shared
+    /// with the sharded router.
     pub fn bucket_index(&self, key: &Value) -> usize {
-        match key.join_key() {
-            Some(canonical) => {
-                let mut h = DefaultHasher::new();
-                canonical.hash(&mut h);
-                (h.finish() % self.config.buckets as u64) as usize
-            }
+        self.bucket_of_hash(key.join_hash())
+    }
+
+    /// Bucket index for a join hash already computed by
+    /// [`Value::join_hash`] (e.g. once in the sharded router and carried
+    /// here). Uses the *low* bits (`hash % buckets`) while the router
+    /// shards on the high 32 bits, keeping shard and bucket choice
+    /// decorrelated. `None` (unjoinable key) routes to bucket 0.
+    pub fn bucket_of_hash(&self, hash: Option<u64>) -> usize {
+        match hash {
+            Some(h) => (h % self.config.buckets as u64) as usize,
             None => 0,
         }
     }
@@ -122,20 +126,25 @@ impl<R: Record> PartitionedStore<R> {
     /// bucket 0 — they can never join, but operators may still need to
     /// retain them for punctuation accounting.
     pub fn insert(&mut self, record: R) -> usize {
-        let key = record.tuple().get(self.config.join_attr).and_then(Value::join_key);
-        match key {
-            Some(key) => {
-                let idx = self.bucket_index(&key);
-                self.buckets[idx].push_keyed(record, Some(key));
-                self.memory_tuples += 1;
-                idx
-            }
-            None => {
-                self.buckets[0].push_keyed(record, None);
-                self.memory_tuples += 1;
-                0
-            }
-        }
+        let hash = record.tuple().get(self.config.join_attr).and_then(Value::join_hash);
+        self.insert_hashed(record, hash)
+    }
+
+    /// Inserts a record whose join hash was already computed (the
+    /// carried-hash fast path: the router hashed once, the store must not
+    /// hash again). The canonical key is still extracted for the bucket's
+    /// secondary key index, but no hashing occurs here. The caller's
+    /// `hash` is trusted; a `None` hash lands in bucket 0 like an
+    /// unjoinable key.
+    pub fn insert_hashed(&mut self, record: R, hash: Option<u64>) -> usize {
+        let idx = self.bucket_of_hash(hash);
+        let key = match hash {
+            Some(_) => record.tuple().get(self.config.join_attr).and_then(Value::join_key),
+            None => None,
+        };
+        self.buckets[idx].push_keyed(record, key);
+        self.memory_tuples += 1;
+        idx
     }
 
     /// The memory portion of the bucket a key hashes to (linear probe
@@ -153,6 +162,20 @@ impl<R: Record> PartitionedStore<R> {
             .map(|k| self.buckets[self.bucket_index(&k)].probe_keyed(&k))
             .into_iter()
             .flatten()
+    }
+
+    /// Keyed probe of an already-located bucket: the memory-resident
+    /// records the bucket's key index lists under `canonical` (which must
+    /// be a canonical join key, see [`Value::join_key`]). The batched
+    /// probe path resolves buckets once from carried hashes
+    /// ([`bucket_of_hash`](Self::bucket_of_hash)) and probes here without
+    /// re-hashing.
+    pub fn probe_bucket_keyed<'a>(
+        &'a self,
+        bucket: usize,
+        canonical: &Value,
+    ) -> impl Iterator<Item = &'a R> + 'a {
+        self.buckets[bucket].probe_keyed(canonical)
     }
 
     /// Number of memory-resident records a keyed probe of `key` would
@@ -475,6 +498,51 @@ mod tests {
         let a = s.bucket_index(&Value::Int(42));
         let b = s.bucket_index(&Value::Int(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucket_of_hash_matches_bucket_index() {
+        let s = store(16);
+        for k in 0..100 {
+            let key = Value::Int(k);
+            assert_eq!(s.bucket_of_hash(key.join_hash()), s.bucket_index(&key));
+        }
+        assert_eq!(s.bucket_of_hash(None), 0);
+    }
+
+    #[test]
+    fn insert_hashed_honors_carried_hash() {
+        // The store must trust the carried hash rather than recompute it:
+        // a deliberately wrong hash lands the record in the wrong bucket,
+        // proving no second hashing site exists on this path.
+        let mut s = store(16);
+        let key = Value::Int(7);
+        let natural = s.bucket_index(&key);
+        let forced = (natural + 1) % s.bucket_count();
+        let idx = s.insert_hashed(tup(7), Some(forced as u64));
+        assert_eq!(idx, forced);
+        assert_ne!(idx, natural);
+        assert_eq!(s.bucket(forced).memory().len(), 1);
+        assert_eq!(s.bucket(natural).memory().len(), 0);
+        // With the true hash it matches insert() exactly.
+        let idx2 = s.insert_hashed(tup(7), key.join_hash());
+        assert_eq!(idx2, natural);
+    }
+
+    #[test]
+    fn probe_bucket_keyed_matches_probe_memory_keyed() {
+        let mut s = store(8);
+        for k in 0..50 {
+            s.insert(tup(k % 10));
+        }
+        for k in 0..10i64 {
+            let key = Value::Int(k);
+            let bucket = s.bucket_of_hash(key.join_hash());
+            let via_bucket: Vec<_> = s.probe_bucket_keyed(bucket, &key).collect();
+            let via_key: Vec<_> = s.probe_memory_keyed(&key).collect();
+            assert_eq!(via_bucket.len(), 5, "key {k}");
+            assert_eq!(via_bucket, via_key, "key {k}");
+        }
     }
 
     #[test]

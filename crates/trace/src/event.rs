@@ -97,11 +97,18 @@ pub enum TraceKind {
     /// number within the backoff schedule, `b` = the sequence number the
     /// peer asked to resume from).
     NetReconnect,
+    /// One router batch: the span from the first element staged in a
+    /// shard buffer to its flush (`a` = target shard, `b` = elements in
+    /// the batch). The batched analogue of the memory-join burst span.
+    RouterBatch,
+    /// One wire data batch moved as a single frame/syscall (`a` = stream
+    /// id, `b` = elements in the batch).
+    NetBatch,
 }
 
 impl TraceKind {
     /// Every kind, for schema enumeration.
-    pub const ALL: [TraceKind; 17] = [
+    pub const ALL: [TraceKind; 19] = [
         TraceKind::MemoryJoin,
         TraceKind::DiskJoin,
         TraceKind::Relocation,
@@ -119,6 +126,8 @@ impl TraceKind {
         TraceKind::NetDecode,
         TraceKind::NetStall,
         TraceKind::NetReconnect,
+        TraceKind::RouterBatch,
+        TraceKind::NetBatch,
     ];
 
     /// The stable wire name (JSONL `kind` field, Chrome trace `name`).
@@ -141,6 +150,8 @@ impl TraceKind {
             TraceKind::NetDecode => "net_decode",
             TraceKind::NetStall => "net_stall",
             TraceKind::NetReconnect => "net_reconnect",
+            TraceKind::RouterBatch => "router_batch",
+            TraceKind::NetBatch => "net_batch",
         }
     }
 
@@ -163,6 +174,7 @@ impl TraceKind {
                 | TraceKind::NetEncode
                 | TraceKind::NetDecode
                 | TraceKind::NetStall
+                | TraceKind::RouterBatch
         )
     }
 }

@@ -1,0 +1,109 @@
+//! Batched-execution configuration shared by every layer of the data
+//! path.
+//!
+//! PJoin's framework schedules components per element, and the first
+//! reproduction inherited that granularity everywhere: one channel send,
+//! one join-key hash (twice), one wire frame and one syscall per tuple.
+//! Batching amortizes all of those without changing observable
+//! semantics — punctuations act as flush barriers, so alignment and
+//! exactly-once ordering are untouched, and a batch size of `1`
+//! reproduces per-element behavior exactly.
+//!
+//! One [`BatchConfig`] value is threaded through the sharded executor
+//! (`punct-exec`: router staging and shard-side run grouping), the
+//! single-operator runtime (`pjoin::runtime`), and the networked
+//! transport (`punct-net`: elements per `DataBatch` frame / socket
+//! write). The `PJOIN_BATCH` environment variable overrides the element
+//! cap everywhere, which is how the CI batch matrix and the
+//! `batch_scaling` bench sweep it without recompiling.
+
+/// Default cap on elements per batch (matches the router's historical
+/// flush threshold, so default behavior stays familiar).
+pub const DEFAULT_BATCH_ELEMS: usize = 128;
+
+/// Default cap on encoded bytes per wire batch: one `DataBatch` frame
+/// never asks the peer for more than this in a single allocation, and a
+/// socket write stays well under typical send-buffer sizes.
+pub const DEFAULT_BATCH_BYTES: usize = 64 * 1024;
+
+/// How aggressively the data path batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum elements staged per batch (router flush threshold, shard
+    /// run-grouping cap, elements per wire frame). Clamped to at least 1.
+    pub max_elems: usize,
+    /// Maximum encoded bytes per wire batch. Only the transport layer
+    /// consults this (in-process batches move `Arc`ed tuples, not
+    /// bytes). Clamped to at least one frame.
+    pub max_bytes: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig { max_elems: DEFAULT_BATCH_ELEMS, max_bytes: DEFAULT_BATCH_BYTES }
+    }
+}
+
+impl BatchConfig {
+    /// Per-element execution: batch size 1 everywhere — the exact
+    /// pre-batching behavior.
+    pub const fn per_element() -> BatchConfig {
+        BatchConfig { max_elems: 1, max_bytes: DEFAULT_BATCH_BYTES }
+    }
+
+    /// A config with the given element cap and the default byte cap.
+    pub fn with_elems(max_elems: usize) -> BatchConfig {
+        BatchConfig { max_elems: max_elems.max(1), ..BatchConfig::default() }
+    }
+
+    /// The default config with any `PJOIN_BATCH` override applied.
+    pub fn from_env() -> BatchConfig {
+        match batch_from_env() {
+            Some(n) => BatchConfig::with_elems(n),
+            None => BatchConfig::default(),
+        }
+    }
+
+    /// True when batching is effectively off (per-element execution).
+    pub fn is_per_element(&self) -> bool {
+        self.max_elems <= 1
+    }
+}
+
+/// Reads the batch element cap from the `PJOIN_BATCH` environment
+/// variable, if set to a positive integer. Used by tests, benches and
+/// the CI batch matrix to parameterize runs without recompiling.
+pub fn batch_from_env() -> Option<usize> {
+    std::env::var("PJOIN_BATCH")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = BatchConfig::default();
+        assert_eq!(c.max_elems, DEFAULT_BATCH_ELEMS);
+        assert_eq!(c.max_bytes, DEFAULT_BATCH_BYTES);
+        assert!(!c.is_per_element());
+    }
+
+    #[test]
+    fn per_element_is_batch_one() {
+        let c = BatchConfig::per_element();
+        assert_eq!(c.max_elems, 1);
+        assert!(c.is_per_element());
+    }
+
+    #[test]
+    fn with_elems_clamps_to_one() {
+        assert_eq!(BatchConfig::with_elems(0).max_elems, 1);
+        assert_eq!(BatchConfig::with_elems(256).max_elems, 256);
+    }
+}

@@ -28,6 +28,7 @@
 //! * a wire-stable binary encoding ([`wire`]) of all of the above, used
 //!   by the networked transport (`punct-net`).
 
+pub mod batch;
 pub mod error;
 pub mod parse;
 pub mod pattern;
@@ -40,6 +41,7 @@ pub mod tuple;
 pub mod value;
 pub mod wire;
 
+pub use batch::{batch_from_env, BatchConfig};
 pub use error::TypeError;
 pub use pattern::{Bound, Pattern};
 pub use punct_seq::{PunctSeq, PunctSeqAssigner};

@@ -165,6 +165,28 @@ impl Value {
             other => Some(other.clone()),
         }
     }
+
+    /// The canonical join-key hash — the **single** hash every layer of
+    /// the partitioned data path derives its placement from: the sharded
+    /// router takes the high 32 bits for shard selection, the per-shard
+    /// store takes `hash % buckets` for bucketing (decorrelated moduli).
+    /// Computed once per tuple at the router and carried downstream so
+    /// no layer re-hashes.
+    ///
+    /// `None` mirrors [`join_key`](Value::join_key): the value can never
+    /// satisfy `join_eq`, and callers park it on shard/bucket 0.
+    ///
+    /// Hashing goes through one shared (zero-sized) `BuildHasher` whose
+    /// `DefaultHasher` keys are fixed, so the result is bit-identical to
+    /// the historical `DefaultHasher::new()` + `Hash` + `finish()`
+    /// sequence the router and store each used to run independently —
+    /// every existing shard and bucket assignment is preserved.
+    pub fn join_hash(&self) -> Option<u64> {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let canonical = self.join_key()?;
+        Some(BuildHasherDefault::<DefaultHasher>::default().hash_one(&canonical))
+    }
 }
 
 impl PartialEq for Value {

@@ -65,7 +65,10 @@ fn main() {
     let mut proxies: Vec<FaultProxy> = Vec::new();
     let mut target = |i: u64| {
         if faults {
-            let p = FaultProxy::spawn(server.addr(), FaultConfig::lossy(150, 8, 1, 900, 40 + i))
+            // Thresholds are in *frames*: with the default wire batching
+            // each stream is only ~85 `DataBatch` frames, so the kill
+            // lands mid-stream and a drop loses a whole batch.
+            let p = FaultProxy::spawn(server.addr(), FaultConfig::lossy(60, 2, 1, 10, 70 + i))
                 .expect("spawn fault proxy");
             let addr = p.addr();
             proxies.push(p);
