@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use pjoin::PJoinConfig;
 use punct_exec::{ExecConfig, ShardedPJoin};
-use punct_net::{spawn_source, BackoffPolicy, ClientOptions, IngestOptions, IngestServer};
+use punct_net::{spawn_source, BackoffPolicy, ClientOptions, IngestMsg, IngestOptions, IngestServer};
 use punct_trace::{LatencyHistogram, TraceKind, TraceSettings};
 use punct_types::{batch_from_env, BatchConfig, StreamElement, Timestamped};
 use stream_sim::Side;
@@ -158,15 +158,27 @@ fn run_networked(
             outputs += 1;
         }
     };
+    let feed = |msg: IngestMsg| -> usize {
+        match msg {
+            IngestMsg::One(side, element) => {
+                let punct = usize::from(element.item.is_punctuation());
+                exec.push(side, element);
+                punct
+            }
+            IngestMsg::Batch(side, batch) => {
+                let puncts = batch.iter().filter(|e| e.item.is_punctuation()).count();
+                exec.push_side_batch(side, batch);
+                puncts
+            }
+        }
+    };
     loop {
         match rx.recv_timeout(Duration::from_millis(1)) {
-            Ok((side, element)) => {
-                let mut staged = vec![(side, element)];
-                while let Ok((side, element)) = rx.try_recv() {
-                    staged.push((side, element));
+            Ok(msg) => {
+                let mut puncts = feed(msg);
+                while let Ok(next) = rx.try_recv() {
+                    puncts += feed(next);
                 }
-                let puncts = staged.iter().filter(|(_, e)| e.item.is_punctuation()).count();
-                exec.push_batch(staged);
                 let now = Instant::now();
                 for _ in 0..puncts {
                     punct_in.push_back(now);
@@ -175,12 +187,8 @@ fn run_networked(
             }
             Err(_) => {
                 if server.all_finished() {
-                    let mut staged = Vec::new();
-                    while let Ok((side, element)) = rx.try_recv() {
-                        staged.push((side, element));
-                    }
-                    if !staged.is_empty() {
-                        exec.push_batch(staged);
+                    while let Ok(next) = rx.try_recv() {
+                        feed(next);
                     }
                     break;
                 }

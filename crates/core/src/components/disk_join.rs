@@ -93,7 +93,7 @@ pub fn resolve_bucket(
     {
         let staged = keyed_map(
             b.join_attr,
-            b.store.bucket(bucket).memory().iter().chain(b.purge_buffer[bucket].iter()),
+            b.store.bucket(bucket).iter().chain(b.purge_buffer[bucket].iter()),
             work,
         );
         for x in &a_disk {
@@ -118,7 +118,7 @@ pub fn resolve_bucket(
     {
         let staged = keyed_map(
             a.join_attr,
-            a.store.bucket(bucket).memory().iter().chain(a.purge_buffer[bucket].iter()),
+            a.store.bucket(bucket).iter().chain(a.purge_buffer[bucket].iter()),
             work,
         );
         for y in &b_disk {

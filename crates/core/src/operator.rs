@@ -415,10 +415,10 @@ impl PJoin {
             Side::Right => (&mut self.b, &mut self.a),
         };
         own.newest_ats = t;
-        let Some(key) = tuple.get(own.join_attr).cloned() else {
+        if tuple.get(own.join_attr).is_none() {
             debug_assert!(false, "tuple without join attribute");
             return;
-        };
+        }
         work.hashes += 1;
         // Both stores share the bucket count, so the carried hash maps to
         // the same bucket on either side.
@@ -426,34 +426,32 @@ impl PJoin {
 
         // Window expiry in the buckets this element touches.
         if let Some(cutoff) = window_cutoff {
-            stats.tuples_expired += opp.expire_bucket_prefix(bucket, cutoff, work) as u64;
-            stats.tuples_expired += own.expire_bucket_prefix(bucket, cutoff, work) as u64;
+            stats.tuples_expired += opp.expire_bucket(bucket, cutoff, work) as u64;
+            stats.tuples_expired += own.expire_bucket(bucket, cutoff, work) as u64;
         }
 
-        // Probe via the bucket's key index: only records whose canonical
-        // join key collides with ours are examined, so the probe costs
-        // O(matches) rather than O(bucket occupancy). `join_eq` still
-        // arbitrates each candidate — the canonical key is a superset
-        // filter (e.g. `-0.0` and `0.0` share a key but are not
-        // join-equal under `total_cmp`).
+        // Probe by the carried hash: the slab's packed tag scan narrows
+        // to hash-equal candidates without constructing a canonical key
+        // (zero allocation). `join_eq` arbitrates each candidate — the
+        // hash is a superset filter (collisions, and e.g. `-0.0` and
+        // `0.0` share a hash but are not join-equal under `total_cmp`).
         let opp_attr = opp.join_attr;
+        let key = tuple.get(own.join_attr).expect("checked above");
         work.key_lookups += 1;
-        if let Some(canonical) = key.join_key() {
-            for rec in opp.store.probe_bucket_keyed(bucket, &canonical) {
-                work.probe_cmps += 1;
-                if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(&key)) {
-                    work.outputs += 1;
-                    if trace_on {
-                        // The result's end-to-end latency is the age of its
-                        // *stored* partner (the arriving tuple's own latency
-                        // is zero in a symmetric hash join).
-                        matches += 1;
-                        obs.latencies.tuple_emit.record(now_us.saturating_sub(rec.arrival_us));
-                    }
-                    match side {
-                        Side::Left => out.push(tuple.concat(&rec.tuple)),
-                        Side::Right => out.push(rec.tuple.concat(&tuple)),
-                    }
+        for rec in opp.store.probe_bucket_hashed(bucket, hash) {
+            work.probe_cmps += 1;
+            if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(key)) {
+                work.outputs += 1;
+                if trace_on {
+                    // The result's end-to-end latency is the age of its
+                    // *stored* partner (the arriving tuple's own latency
+                    // is zero in a symmetric hash join).
+                    matches += 1;
+                    obs.latencies.tuple_emit.record(now_us.saturating_sub(rec.arrival_us));
+                }
+                match side {
+                    Side::Left => out.push(tuple.concat(&rec.tuple)),
+                    Side::Right => out.push(rec.tuple.concat(&tuple)),
                 }
             }
         }
@@ -461,7 +459,7 @@ impl PJoin {
         // Store, unless covered by the opposite punctuation set.
         if on_the_fly {
             work.index_evals += 1;
-            if opp.index.covers_join_value(&key) {
+            if opp.index.covers_join_value(key) {
                 if opp.store.bucket(bucket).has_disk_portion() {
                     // May still join the opposite disk portion: park it.
                     let rec = PRecord { tuple, ats: t, dts: t + 1, pid: None, arrival_us: now_us };
@@ -476,7 +474,7 @@ impl PJoin {
                 return;
             }
         }
-        own.store.insert_hashed(PRecord::arriving_at(tuple, t, now_us), hash);
+        own.insert_hashed(PRecord::arriving_at(tuple, t, now_us), hash);
         work.inserts += 1;
         if trace_on {
             obs.note_memory_join(matches);
@@ -767,13 +765,13 @@ impl PJoin {
     pub fn on_tuple_batch(
         &mut self,
         side: Side,
-        batch: &[(Tuple, Timestamp, Option<u64>)],
+        batch: &mut Vec<(Tuple, Timestamp, Option<u64>)>,
         out: &mut OpOutput,
     ) {
         if batch.len() <= 1 || self.config.window_us.is_some() || self.config.on_the_fly_drop {
-            for (tuple, ts, hash) in batch {
-                self.now = self.now.max(*ts);
-                self.handle_tuple_hashed(side, tuple.clone(), *hash, out);
+            for (tuple, ts, hash) in batch.drain(..) {
+                self.now = self.now.max(ts);
+                self.handle_tuple_hashed(side, tuple, hash, out);
                 self.dispatch(false, out);
             }
             return;
@@ -809,23 +807,23 @@ impl PJoin {
                 work.hashes += 1;
                 work.key_lookups += 1;
                 let start = scratch.matches.len() as u32;
-                if let Some(canonical) = key.join_key() {
-                    let bucket = store.bucket_of_hash(*hash);
-                    for rec in store.probe_bucket_keyed(bucket, &canonical) {
-                        work.probe_cmps += 1;
-                        if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(key)) {
-                            work.outputs += 1;
-                            scratch.matches.push((rec.tuple.clone(), rec.arrival_us));
-                        }
+                let bucket = store.bucket_of_hash(*hash);
+                for rec in store.probe_bucket_hashed(bucket, *hash) {
+                    work.probe_cmps += 1;
+                    if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(key)) {
+                        work.outputs += 1;
+                        scratch.matches.push((rec.tuple.clone(), rec.arrival_us));
                     }
                 }
                 scratch.ranges[i as usize] = (start, scratch.matches.len() as u32);
             }
         }
 
-        // Phase 2: apply in arrival order.
-        for (i, (tuple, ts, hash)) in batch.iter().enumerate() {
-            self.now = self.now.max(*ts);
+        // Phase 2: apply in arrival order, *moving* each tuple into the
+        // store (the router handed the batch over by value — no clone
+        // anywhere on the router→shard→store path).
+        for (i, (tuple, ts, hash)) in batch.drain(..).enumerate() {
+            self.now = self.now.max(ts);
             let now_us = self.now.as_micros();
             let t = base + i as Instant;
             {
@@ -848,10 +846,10 @@ impl PJoin {
                         }
                         match side {
                             Side::Left => out.push(tuple.concat(partner)),
-                            Side::Right => out.push(partner.concat(tuple)),
+                            Side::Right => out.push(partner.concat(&tuple)),
                         }
                     }
-                    own.store.insert_hashed(PRecord::arriving_at(tuple.clone(), t, now_us), *hash);
+                    own.insert_hashed(PRecord::arriving_at(tuple, t, now_us), hash);
                     work.inserts += 1;
                     if trace_on {
                         obs.note_memory_join(matches);

@@ -247,8 +247,7 @@ fn worker(
                     match e.item {
                         StreamElement::Tuple(t) => {
                             if side != run_side && !run.is_empty() {
-                                join.on_tuple_batch(run_side, &run, &mut out);
-                                run.clear();
+                                join.on_tuple_batch(run_side, &mut run, &mut out);
                             }
                             run_side = side;
                             let attr = join_attrs[usize::from(side == Side::Right)];
@@ -258,16 +257,14 @@ fn worker(
                         }
                         punct => {
                             if !run.is_empty() {
-                                join.on_tuple_batch(run_side, &run, &mut out);
-                                run.clear();
+                                join.on_tuple_batch(run_side, &mut run, &mut out);
                             }
                             join.on_element_prehashed(side, punct, e.ts, None, &mut out);
                         }
                     }
                 }
                 if !run.is_empty() {
-                    join.on_tuple_batch(run_side, &run, &mut out);
-                    run.clear();
+                    join.on_tuple_batch(run_side, &mut run, &mut out);
                 }
             }
             Ok(Input::RequestPropagation) => {

@@ -41,6 +41,12 @@ pub struct JoinState {
     pub width: usize,
     /// Newest arrival instant on this side.
     pub newest_ats: Instant,
+    /// Per-bucket lower bound on the arrival time of memory-resident
+    /// records (`u64::MAX` when the bucket is empty). Lets sliding-window
+    /// expiry skip buckets with nothing old enough to expire — the slab
+    /// store recycles slots, so buckets are no longer arrival-ordered and
+    /// expiry is a predicate scan, gated by this bound.
+    oldest_alive: Vec<u64>,
 }
 
 impl JoinState {
@@ -82,7 +88,20 @@ impl JoinState {
             join_attr,
             width,
             newest_ats: 0,
+            oldest_alive: vec![u64::MAX; buckets],
         }
+    }
+
+    /// Inserts a record via the store's carried-hash fast path while
+    /// maintaining the per-bucket oldest-arrival bound that gates window
+    /// expiry. All arriving-tuple inserts go through here; direct
+    /// `store.insert*` calls are only safe for non-windowed state.
+    pub fn insert_hashed(&mut self, record: PRecord, hash: Option<u64>) -> usize {
+        let bucket = self.store.bucket_of_hash(hash);
+        if record.arrival_us < self.oldest_alive[bucket] {
+            self.oldest_alive[bucket] = record.arrival_us;
+        }
+        self.store.insert_hashed(record, hash)
     }
 
     /// Total tuples held (memory + disk + purge buffer) — the "number of
@@ -223,15 +242,31 @@ impl JoinState {
         scanned
     }
 
-    /// Sliding-window expiry (paper §6): drops the expired prefix of one
-    /// bucket's memory portion (records that arrived before `cutoff_us`),
-    /// maintaining punctuation-index counts. Returns records dropped.
+    /// Sliding-window expiry (paper §6): drops one bucket's memory
+    /// records that arrived before `cutoff_us`, maintaining
+    /// punctuation-index counts. Returns records dropped.
     ///
-    /// Buckets are append-ordered by arrival, so the scan stops at the
-    /// first time-valid tuple — the paper's suggested optimization.
-    pub fn expire_bucket_prefix(&mut self, bucket: usize, cutoff_us: u64, work: &mut Work) -> usize {
-        let expired = self.store.drain_memory_prefix(bucket, |r| r.arrival_us < cutoff_us);
-        work.purge_scanned += expired.len() as u64 + 1; // +1: the stop probe
+    /// The slab store recycles slots, so buckets are not arrival-ordered
+    /// and the paper's prefix-stop optimization does not apply; instead
+    /// the per-bucket oldest-arrival bound (maintained by
+    /// [`insert_hashed`](Self::insert_hashed)) skips the scan entirely
+    /// when nothing in the bucket is old enough to expire.
+    pub fn expire_bucket(&mut self, bucket: usize, cutoff_us: u64, work: &mut Work) -> usize {
+        if self.oldest_alive[bucket] >= cutoff_us {
+            work.purge_scanned += 1; // the bound check
+            return 0;
+        }
+        work.purge_scanned += self.store.bucket(bucket).memory_len() as u64;
+        let mut oldest_kept = u64::MAX;
+        let expired = self.store.extract_memory_bucket(bucket, |r| {
+            if r.arrival_us < cutoff_us {
+                true
+            } else {
+                oldest_kept = oldest_kept.min(r.arrival_us);
+                false
+            }
+        });
+        self.oldest_alive[bucket] = oldest_kept;
         work.purged += expired.len() as u64;
         let n = expired.len();
         for rec in expired {

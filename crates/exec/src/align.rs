@@ -26,6 +26,8 @@
 //! incomplete entry — preserving multiplicity.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use punct_types::{PunctSeq, Punctuation};
 
@@ -123,6 +125,46 @@ impl Aligner {
     }
 }
 
+/// The aligner as the executor threads share it: a mutex-wrapped
+/// [`Aligner`] plus an acquisition counter.
+///
+/// The mutex is the **only** lock shared across router, shards and
+/// merger, and the design invariant is that it is taken at *punctuation*
+/// granularity — once by the router per ingested punctuation (to
+/// register the expectation) and once by the merger per shard
+/// propagation (to resolve it). Tuples flow router → shard → merger
+/// without ever touching it. The counter makes that auditable: the
+/// executor's shutdown path debug-asserts that the total number of
+/// acquisitions is bounded by a function of the punctuation counts
+/// alone, so a per-tuple lock can never creep in unnoticed, and the
+/// multicore bench reports acquisitions-per-element from the same
+/// counter.
+#[derive(Debug, Default)]
+pub struct SharedAligner {
+    inner: Mutex<Aligner>,
+    acquisitions: AtomicU64,
+}
+
+impl SharedAligner {
+    /// A fresh aligner with a zeroed acquisition counter.
+    pub fn new() -> SharedAligner {
+        SharedAligner::default()
+    }
+
+    /// Locks the aligner, counting the acquisition. Punctuation-path
+    /// callers only — see the type-level invariant.
+    pub fn lock(&self) -> MutexGuard<'_, Aligner> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().expect("aligner lock")
+    }
+
+    /// Total lock acquisitions so far (relaxed; exact once the executor
+    /// threads have been joined).
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +227,14 @@ mod tests {
         assert_eq!(a.observe(0, &p(2)), AlignOutcome::Emit);
         assert_eq!(a.pending_len(), 1);
         assert_eq!(a.observe(0, &p(1)), AlignOutcome::Emit);
+    }
+
+    #[test]
+    fn shared_aligner_counts_acquisitions() {
+        let shared = SharedAligner::new();
+        assert_eq!(shared.acquisitions(), 0);
+        shared.lock().expect(p(7), PunctSeq(0), mask(&[0]));
+        assert_eq!(shared.lock().observe(0, &p(7)), AlignOutcome::Emit);
+        assert_eq!(shared.acquisitions(), 2);
     }
 }

@@ -24,6 +24,15 @@ pub const DEFAULT_OUTPUT_CAPACITY: usize = 4096;
 /// input runs dry, so idle latency stays at one scheduling quantum).
 pub const DEFAULT_ROUTER_BATCH: usize = 128;
 
+/// Default bound (in elements) on the caller-side pending buffer that
+/// [`push`](crate::ShardedPJoin::push) drains merged outputs into while
+/// the input channel is full. Generous — a single-threaded caller that
+/// pushes a whole stream before polling still fits typical test/bench
+/// workloads — but finite, so a caller that never polls cannot grow the
+/// buffer without limit; past the bound, `push` blocks until a
+/// concurrent consumer drains outputs (backpressure).
+pub const DEFAULT_PENDING_CAPACITY: usize = 1 << 20;
+
 /// Rejected [`ExecConfig`] construction: the shard count is outside
 /// `1..=MAX_SHARDS`. The upper bound is structural — [`Route::mask`]
 /// (crate::Route::mask) and the punctuation aligner track shards in a
@@ -80,6 +89,9 @@ pub struct ExecConfig {
     pub output_capacity: usize,
     /// Elements accumulated per shard before the router flushes a batch.
     pub router_batch: usize,
+    /// Bound (in elements) on the caller-side pending output buffer;
+    /// see [`DEFAULT_PENDING_CAPACITY`].
+    pub pending_capacity: usize,
     /// Batching of the whole data path (router staging, shard-side run
     /// grouping). Defaults to [`BatchConfig::from_env`], so `PJOIN_BATCH`
     /// tunes it without recompiling; `PJOIN_BATCH=1` reproduces
@@ -108,8 +120,17 @@ impl ExecConfig {
             event_capacity: DEFAULT_EVENT_CAPACITY,
             output_capacity: DEFAULT_OUTPUT_CAPACITY,
             router_batch: batch.max_elems,
+            pending_capacity: DEFAULT_PENDING_CAPACITY,
             batch,
         })
+    }
+
+    /// A configuration with the shard count chosen automatically: the
+    /// `PJOIN_SHARDS` environment variable when set to a valid value,
+    /// otherwise the machine's available parallelism (clamped to
+    /// [`MAX_SHARDS`]). See [`default_shards`].
+    pub fn auto(join: PJoinConfig) -> ExecConfig {
+        ExecConfig::new(default_shards(), join)
     }
 
     /// A configuration with default channel sizing.
@@ -136,6 +157,26 @@ impl ExecConfig {
         self.batch = batch;
         self
     }
+
+    /// Overrides the caller-side pending buffer bound (min 1 element).
+    pub fn with_pending_capacity(mut self, capacity: usize) -> ExecConfig {
+        self.pending_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// The shard count a configuration-less caller gets: `PJOIN_SHARDS`
+/// when set to a valid value in `1..=MAX_SHARDS` (explicit operator
+/// intent always wins), otherwise the machine's available parallelism
+/// clamped to `MAX_SHARDS` — so sharded runs scale with the hardware by
+/// default instead of defaulting to a fixed, usually-wrong constant.
+pub fn default_shards() -> usize {
+    shards_from_env().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_SHARDS)
+    })
 }
 
 /// Reads the shard count from the `PJOIN_SHARDS` environment variable,
@@ -194,6 +235,39 @@ mod tests {
         assert!(ExecConfig::try_new(MAX_SHARDS, PJoinConfig::new(2, 2)).is_ok());
         let msg = ExecConfigError::TooManyShards { got: 65, max: 64 }.to_string();
         assert!(msg.contains("shard count"), "panic-compatible message: {msg}");
+    }
+
+    #[test]
+    fn default_shards_env_beats_parallelism() {
+        // No other test in this binary touches PJOIN_SHARDS, so the
+        // process-global environment mutation is safe here.
+        std::env::remove_var("PJOIN_SHARDS");
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_SHARDS);
+        assert_eq!(default_shards(), hw, "without the env var, hardware parallelism wins");
+        assert_eq!(ExecConfig::auto(PJoinConfig::new(2, 2)).shards, hw);
+
+        std::env::set_var("PJOIN_SHARDS", "3");
+        assert_eq!(default_shards(), 3, "a valid PJOIN_SHARDS takes precedence");
+        assert_eq!(ExecConfig::auto(PJoinConfig::new(2, 2)).shards, 3);
+
+        // Invalid values fall back to hardware parallelism.
+        std::env::set_var("PJOIN_SHARDS", "0");
+        assert_eq!(default_shards(), hw);
+        std::env::set_var("PJOIN_SHARDS", "not-a-number");
+        assert_eq!(default_shards(), hw);
+        std::env::remove_var("PJOIN_SHARDS");
+    }
+
+    #[test]
+    fn pending_capacity_is_bounded_and_overridable() {
+        let c = ExecConfig::new(2, PJoinConfig::new(2, 2));
+        assert_eq!(c.pending_capacity, DEFAULT_PENDING_CAPACITY);
+        assert_eq!(c.with_pending_capacity(0).pending_capacity, 1);
+        let small = ExecConfig::new(2, PJoinConfig::new(2, 2)).with_pending_capacity(64);
+        assert_eq!(small.pending_capacity, 64);
     }
 
     #[test]

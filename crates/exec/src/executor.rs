@@ -33,11 +33,12 @@ use punct_trace::{JoinLatencies, TraceLog};
 use punct_types::{StreamElement, Timestamped};
 use stream_sim::{Side, Work};
 
-use crate::align::Aligner;
+use crate::align::SharedAligner;
 use crate::config::ExecConfig;
 use crate::merge::{merge_loop, MergeReport};
+use crate::metrics::ShardMetrics;
 use crate::router::{router_loop, RouterCounters, RouterMsg, RouterReport};
-use crate::shard::{shard_loop, ShardReport};
+use crate::shard::{shard_loop, RoutedElement, ShardReport};
 
 /// Final accounting for a sharded run.
 #[derive(Debug, Clone)]
@@ -52,6 +53,10 @@ pub struct ExecStats {
     pub router_trace: TraceLog,
     /// The merger thread's trace (empty unless tracing was enabled).
     pub merge_trace: TraceLog,
+    /// Lifetime acquisitions of the shared aligner mutex — the only
+    /// lock on the data path, taken at punctuation granularity only.
+    /// Benches divide this by the element count to report lock traffic.
+    pub aligner_acquisitions: u64,
 }
 
 impl ExecStats {
@@ -134,10 +139,18 @@ impl ExecStats {
 /// crate docs for the full architecture.
 pub struct ShardedPJoin {
     input: Sender<RouterMsg>,
-    output: Receiver<Vec<Timestamped<StreamElement>>>,
-    /// Outputs drained by `push` while the input channel was full.
+    /// The merged output stream. Guarded by a mutex so the handle is
+    /// `Sync` — the backpressure story requires a consumer thread to
+    /// drain outputs concurrently with a producer thread pushing (see
+    /// [`ExecConfig::pending_capacity`]). The lock is per merged
+    /// *batch*, never per element, so it stays off the tuple hot path.
+    output: Mutex<Receiver<Vec<Timestamped<StreamElement>>>>,
+    /// Outputs drained by `push` while the input channel was full,
+    /// bounded at `pending_capacity` elements (see [`ExecConfig`]).
     pending: Mutex<Vec<Timestamped<StreamElement>>>,
-    shard_metrics: Vec<Arc<Mutex<RuntimeMetrics>>>,
+    pending_capacity: usize,
+    shard_metrics: Vec<Arc<ShardMetrics>>,
+    aligner: Arc<SharedAligner>,
     router_counters: Arc<RouterCounters>,
     router: Option<JoinHandle<TraceLog>>,
     workers: Vec<JoinHandle<ShardReport>>,
@@ -153,12 +166,17 @@ impl ShardedPJoin {
         // event (harmless when tracing is off).
         punct_trace::wall_epoch();
         let shards = config.shards;
-        let aligner = Arc::new(Mutex::new(Aligner::new()));
+        let aligner = Arc::new(SharedAligner::new());
         let router_counters = Arc::new(RouterCounters::default());
 
         let (input_tx, input_rx) = bounded::<RouterMsg>(config.input_capacity);
         let (event_tx, event_rx) = bounded(config.event_capacity);
         let (output_tx, output_rx) = bounded(config.output_capacity);
+        // Drained batch buffers flow back from shards to the router here,
+        // so the steady-state data path cycles a fixed pool of
+        // `Vec<RoutedElement>` allocations. Sized to a few buffers per
+        // shard; overflow just drops the buffer (the router reallocates).
+        let (recycle_tx, recycle_rx) = bounded::<Vec<RoutedElement>>(shards * 4);
 
         let mut shard_txs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -166,18 +184,20 @@ impl ShardedPJoin {
         for shard in 0..shards {
             let (tx, rx) = bounded(config.shard_capacity);
             shard_txs.push(tx);
-            let metrics = Arc::new(Mutex::new(RuntimeMetrics::default()));
+            let metrics = Arc::new(ShardMetrics::new());
             shard_metrics.push(Arc::clone(&metrics));
             let join_config = config.join.clone();
             let events = event_tx.clone();
+            let recycle = recycle_tx.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pjoin-shard-{shard}"))
-                    .spawn(move || shard_loop(shard, join_config, rx, events, metrics))
+                    .spawn(move || shard_loop(shard, join_config, rx, events, recycle, metrics))
                     .expect("spawn shard thread"),
             );
         }
         drop(event_tx); // merger exits when router + shards are gone
+        drop(recycle_tx); // router's recycle pool drains once shards exit
 
         let router = {
             let join_config = config.join.clone();
@@ -195,6 +215,7 @@ impl ShardedPJoin {
                         ordered,
                         input_rx,
                         shard_txs,
+                        recycle_rx,
                         aligner,
                         counters,
                     )
@@ -202,6 +223,7 @@ impl ShardedPJoin {
                 .expect("spawn router thread")
         };
 
+        let aligner_handle = Arc::clone(&aligner);
         let merger = {
             let aligner = Arc::clone(&aligner);
             let ordered = config.ordered_merge;
@@ -214,9 +236,11 @@ impl ShardedPJoin {
 
         ShardedPJoin {
             input: input_tx,
-            output: output_rx,
+            output: Mutex::new(output_rx),
             pending: Mutex::new(Vec::new()),
+            pending_capacity: config.pending_capacity.max(1),
             shard_metrics,
+            aligner: aligner_handle,
             router_counters,
             router: Some(router),
             workers,
@@ -251,12 +275,23 @@ impl ShardedPJoin {
                 Ok(()) => {}
                 Err(TrySendError::Full(m)) => {
                     msg = Some(m);
-                    // Make room by consuming pipeline output: block
-                    // briefly for one merged batch.
-                    if let Ok(batch) =
-                        self.output.recv_timeout(std::time::Duration::from_millis(1))
-                    {
-                        self.pending.lock().expect("pending lock").extend(batch);
+                    if self.pending.lock().expect("pending lock").len() < self.pending_capacity {
+                        // Make room by consuming pipeline output: block
+                        // briefly for one merged batch.
+                        let batch = self
+                            .output
+                            .lock()
+                            .expect("output lock")
+                            .recv_timeout(std::time::Duration::from_millis(1));
+                        if let Ok(batch) = batch {
+                            self.pending.lock().expect("pending lock").extend(batch);
+                        }
+                    } else {
+                        // Pending buffer at capacity: stop absorbing
+                        // output and apply backpressure to the caller
+                        // instead, waiting for a concurrent consumer
+                        // (`poll_outputs` / `recv_outputs`) to drain.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
                     }
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -266,11 +301,36 @@ impl ShardedPJoin {
         }
     }
 
+    /// Elements currently parked in the caller-side pending buffer
+    /// (bounded by [`ExecConfig::pending_capacity`]).
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().expect("pending lock").len()
+    }
+
+    /// Feeds a batch of same-side elements in arrival order without
+    /// re-tagging each element with its side — the zero-copy entry the
+    /// networked pipeline uses to hand a decoded `DataBatch` frame's
+    /// elements straight to the router.
+    pub fn push_side_batch(&self, side: Side, batch: Vec<Timestamped<StreamElement>>) {
+        if !batch.is_empty() {
+            self.feed(RouterMsg::SideBatch(side, batch));
+        }
+    }
+
+    /// Total acquisitions of the shared aligner mutex so far — the only
+    /// lock on the router → shard → merger data path, taken only for
+    /// punctuations. Exposed so benches can report lock traffic per
+    /// element (zero for tuple-only workloads).
+    pub fn aligner_acquisitions(&self) -> u64 {
+        self.aligner.acquisitions()
+    }
+
     /// Drains everything the executor has produced so far, in merge
     /// order (non-blocking).
     pub fn poll_outputs(&self) -> Vec<Timestamped<StreamElement>> {
         let mut drained = std::mem::take(&mut *self.pending.lock().expect("pending lock"));
-        while let Ok(batch) = self.output.try_recv() {
+        let output = self.output.lock().expect("output lock");
+        while let Ok(batch) = output.try_recv() {
             drained.extend(batch);
         }
         drained
@@ -283,10 +343,11 @@ impl ShardedPJoin {
     pub fn recv_outputs(&self, timeout: std::time::Duration) -> Vec<Timestamped<StreamElement>> {
         let mut drained = self.poll_outputs();
         if drained.is_empty() {
-            if let Ok(batch) = self.output.recv_timeout(timeout) {
+            let output = self.output.lock().expect("output lock");
+            if let Ok(batch) = output.recv_timeout(timeout) {
                 drained.extend(batch);
                 // Whatever else is already queued comes along for free.
-                while let Ok(batch) = self.output.try_recv() {
+                while let Ok(batch) = output.try_recv() {
                     drained.extend(batch);
                 }
             }
@@ -294,12 +355,11 @@ impl ShardedPJoin {
         drained
     }
 
-    /// A live snapshot of each shard's runtime metrics, indexed by shard.
+    /// A live snapshot of each shard's runtime metrics, indexed by
+    /// shard. Lock-free on the shard side: the values are relaxed atomic
+    /// loads of each shard's published counters.
     pub fn shard_metrics(&self) -> Vec<RuntimeMetrics> {
-        self.shard_metrics
-            .iter()
-            .map(|m| *m.lock().expect("metrics lock"))
-            .collect()
+        self.shard_metrics.iter().map(|m| m.snapshot()).collect()
     }
 
     /// Live metrics aggregated over all shards.
@@ -329,8 +389,11 @@ impl ShardedPJoin {
         }));
 
         let mut outputs = std::mem::take(&mut *self.pending.lock().expect("pending lock"));
-        while let Ok(batch) = self.output.recv() {
-            outputs.extend(batch);
+        {
+            let output = self.output.lock().expect("output lock");
+            while let Ok(batch) = output.recv() {
+                outputs.extend(batch);
+            }
         }
 
         let router = self.router.take().expect("router handle");
@@ -349,10 +412,40 @@ impl ShardedPJoin {
             merge,
             router_trace,
             merge_trace,
+            aligner_acquisitions: self.aligner.acquisitions(),
         };
+        // Audit the lock-light invariant: the aligner mutex is the only
+        // lock shared across the pipeline, and it must be acquired at
+        // punctuation granularity only — once by the router per ingested
+        // punctuation, at most `shards` times by the merger per
+        // punctuation (one observation per target shard), plus one final
+        // shutdown audit by the merger. The bound is independent of the
+        // tuple count, so any per-tuple locking regression trips it.
+        if cfg!(debug_assertions) {
+            let puncts = stats.router.puncts_targeted
+                + stats.router.puncts_multicast
+                + stats.router.puncts_broadcast;
+            let bound = puncts * (self.shards as u64 + 1) + 1;
+            let acquisitions = stats.aligner_acquisitions;
+            debug_assert!(
+                acquisitions <= bound,
+                "aligner mutex acquired {acquisitions} times for {puncts} punctuations on \
+                 {} shards (bound {bound}): the tuple hot path must stay lock-free",
+                self.shards,
+            );
+        }
         (outputs, stats)
     }
 }
+
+/// The handle is shared across producer and consumer threads — the
+/// bounded-pending backpressure contract depends on it (a producer at
+/// the pending cap waits for a concurrent `poll_outputs`). Keep that
+/// statically true.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedPJoin>();
+};
 
 impl Drop for ShardedPJoin {
     fn drop(&mut self) {
@@ -365,7 +458,9 @@ impl Drop for ShardedPJoin {
             let _ = std::mem::replace(&mut self.input, closed_tx);
             // Drain any outputs so the merger is never wedged on a full
             // output channel while we detach.
-            while let Ok(_batch) = self.output.try_recv() {}
+            if let Ok(output) = self.output.lock() {
+                while let Ok(_batch) = output.try_recv() {}
+            }
         }
     }
 }

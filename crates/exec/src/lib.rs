@@ -63,12 +63,14 @@ pub mod align;
 pub mod config;
 pub mod executor;
 pub mod merge;
+pub mod metrics;
 pub mod router;
 pub mod shard;
 
-pub use align::{AlignOutcome, Aligner};
-pub use config::{shards_from_env, ExecConfig, ExecConfigError, MAX_SHARDS};
+pub use align::{AlignOutcome, Aligner, SharedAligner};
+pub use config::{default_shards, shards_from_env, ExecConfig, ExecConfigError, MAX_SHARDS};
 pub use executor::{ExecStats, ShardedPJoin};
+pub use metrics::ShardMetrics;
 pub use merge::MergeReport;
 pub use router::{
     route_punctuation, route_tuple, route_tuple_hashed, shard_of, shard_of_hash, Route,

@@ -17,13 +17,13 @@
 //!   by shard id). Requires timestamp-ordered input at the executor.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 use punct_trace::{TraceKind, TraceLog, TraceSettings, Tracer, LANE_MERGE};
 use punct_types::{StreamElement, Timestamp, Timestamped};
 
-use crate::align::{AlignOutcome, Aligner};
+use crate::align::{AlignOutcome, SharedAligner};
 use crate::shard::ShardEvent;
 
 /// Final accounting returned by the merger thread on join.
@@ -47,7 +47,7 @@ struct Merger {
     done: Vec<bool>,
     progress: Vec<Timestamp>,
     queues: Vec<VecDeque<Timestamped<StreamElement>>>,
-    aligner: Arc<Mutex<Aligner>>,
+    aligner: Arc<SharedAligner>,
     out: Sender<Vec<Timestamped<StreamElement>>>,
     report: MergeReport,
     caller_gone: bool,
@@ -55,14 +55,15 @@ struct Merger {
 }
 
 impl Merger {
-    /// Passes a shard's output batch through the aligner, keeping tuples
-    /// and exactly-once punctuations.
-    fn filter(
+    /// Passes a shard's output batch through the aligner, appending the
+    /// kept elements (tuples and exactly-once punctuations) to `kept`.
+    fn filter_into(
         &mut self,
         shard: usize,
         batch: Vec<Timestamped<StreamElement>>,
-    ) -> Vec<Timestamped<StreamElement>> {
-        let mut kept = Vec::with_capacity(batch.len());
+        kept: &mut Vec<Timestamped<StreamElement>>,
+    ) {
+        kept.reserve(batch.len());
         for e in batch {
             match &e.item {
                 StreamElement::Tuple(_) => {
@@ -70,8 +71,7 @@ impl Merger {
                     kept.push(e);
                 }
                 StreamElement::Punctuation(p) => {
-                    let outcome =
-                        self.aligner.lock().expect("aligner lock").observe(shard, p);
+                    let outcome = self.aligner.lock().observe(shard, p);
                     if self.tracer.enabled() {
                         let code = match outcome {
                             AlignOutcome::Emit => 0,
@@ -96,7 +96,6 @@ impl Merger {
                 }
             }
         }
-        kept
     }
 
     fn send(&mut self, batch: Vec<Timestamped<StreamElement>>) {
@@ -162,7 +161,7 @@ pub(crate) fn merge_loop(
     trace: TraceSettings,
     rx: Receiver<ShardEvent>,
     out: Sender<Vec<Timestamped<StreamElement>>>,
-    aligner: Arc<Mutex<Aligner>>,
+    aligner: Arc<SharedAligner>,
 ) -> (MergeReport, TraceLog) {
     let mut tracer = Tracer::new(trace);
     tracer.set_lane(LANE_MERGE);
@@ -179,35 +178,70 @@ pub(crate) fn merge_loop(
     };
 
     let mut remaining = shards;
-    while remaining > 0 {
-        match rx.recv() {
-            Ok(ShardEvent::Outputs(shard, batch)) => {
-                let kept = m.filter(shard, batch);
-                if m.ordered {
-                    m.queues[shard].extend(kept);
-                    m.release_ordered();
-                } else {
-                    m.send(kept);
-                }
-            }
-            Ok(ShardEvent::Progress(shard, ts)) => {
-                if ts > m.progress[shard] {
-                    m.progress[shard] = ts;
-                    if m.ordered {
-                        m.release_ordered();
-                    }
-                }
-            }
-            Ok(ShardEvent::Done(shard)) => {
-                if !m.done[shard] {
-                    m.done[shard] = true;
-                    remaining -= 1;
-                    if m.ordered {
-                        m.release_ordered();
-                    }
-                }
-            }
+    // Kept elements accumulated over one burst of events (arrival-order
+    // mode); reused across bursts so sustained merging stops allocating.
+    let mut staged: Vec<Timestamped<StreamElement>> = Vec::new();
+    'outer: while remaining > 0 {
+        // Block for the next event, then drain the queue opportunistically
+        // and forward ONE coalesced batch downstream — under load this
+        // collapses many small shard batches into a single caller-side
+        // channel send instead of one wakeup each.
+        let first = match rx.recv() {
+            Ok(event) => event,
             Err(_) => break, // all shard senders gone
+        };
+        let mut next = Some(first);
+        while let Some(event) = next.take() {
+            match event {
+                ShardEvent::Outputs { shard, outputs, progress } => {
+                    if m.ordered {
+                        let mut kept = Vec::new();
+                        m.filter_into(shard, outputs, &mut kept);
+                        m.queues[shard].extend(kept);
+                    } else {
+                        let mut kept = std::mem::take(&mut staged);
+                        m.filter_into(shard, outputs, &mut kept);
+                        staged = kept;
+                    }
+                    if progress > m.progress[shard] {
+                        m.progress[shard] = progress;
+                    }
+                }
+                ShardEvent::Progress(shard, ts) => {
+                    if ts > m.progress[shard] {
+                        m.progress[shard] = ts;
+                    }
+                }
+                ShardEvent::Done(shard) => {
+                    if !m.done[shard] {
+                        m.done[shard] = true;
+                        remaining -= 1;
+                    }
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+            match rx.try_recv() {
+                Ok(event) => next = Some(event),
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    if m.ordered {
+                        m.release_ordered();
+                    } else if !staged.is_empty() {
+                        let batch = std::mem::take(&mut staged);
+                        m.send(batch);
+                    }
+                    break 'outer;
+                }
+            }
+        }
+        // Burst drained: release what this round made available.
+        if m.ordered {
+            m.release_ordered();
+        } else if !staged.is_empty() {
+            let batch = std::mem::take(&mut staged);
+            m.send(batch);
         }
     }
 
@@ -215,7 +249,6 @@ pub(crate) fn merge_loop(
     if m.ordered {
         m.release_ordered();
     }
-    m.report.puncts_unaligned =
-        m.aligner.lock().expect("aligner lock").pending_len() as u64;
+    m.report.puncts_unaligned = m.aligner.lock().pending_len() as u64;
     (m.report, m.tracer.take())
 }

@@ -1,0 +1,98 @@
+//! Per-shard metrics published without locking.
+//!
+//! The single-threaded runtime guards its [`RuntimeMetrics`] with a
+//! mutex because one worker owns them end to end. The sharded executor
+//! used to do the same — one `Arc<Mutex<RuntimeMetrics>>` per shard,
+//! locked by the shard after every batch and by the caller on every
+//! [`shard_metrics`](crate::ShardedPJoin::shard_metrics) snapshot. That
+//! put a lock acquisition on the data path for something that is pure
+//! monitoring. [`ShardMetrics`] replaces it with relaxed atomic counters:
+//! the shard stores, the caller loads, and nobody waits. The one
+//! remaining lock — the latency histograms, which are too wide for an
+//! atomic — is taken only when tracing is enabled, so the default hot
+//! path never touches a mutex to publish metrics.
+//!
+//! Consistency: each counter is individually exact (it is the shard's
+//! own monotone tally), but a snapshot may observe counters from
+//! *different* publish points — e.g. `consumed` from a newer batch than
+//! `emitted`. The pre-existing mutex gave whole-struct snapshots, but
+//! nothing consumed that guarantee: every reader either displays the
+//! numbers (live progress meters) or reads them after `finish()`, when
+//! the shard threads have been joined and the values are final and
+//! mutually consistent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pjoin::runtime::RuntimeMetrics;
+use punct_trace::JoinLatencies;
+
+/// Lock-free live metrics for one shard. The shard thread stores after
+/// each batch; readers snapshot at will.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    consumed: AtomicU64,
+    state_tuples: AtomicU64,
+    emitted: AtomicU64,
+    /// Latency histograms are hundreds of buckets wide — published under
+    /// a mutex, but **only when tracing is enabled** (the histograms are
+    /// empty otherwise), so the untraced hot path stays lock-free.
+    latencies: Mutex<JoinLatencies>,
+}
+
+impl ShardMetrics {
+    /// A zeroed metrics cell.
+    pub fn new() -> ShardMetrics {
+        ShardMetrics::default()
+    }
+
+    /// Publishes the shard's counters (relaxed stores; the values are
+    /// monotone tallies, not synchronization).
+    pub fn publish(&self, consumed: u64, state_tuples: usize, emitted: u64) {
+        self.consumed.store(consumed, Ordering::Relaxed);
+        self.state_tuples.store(state_tuples as u64, Ordering::Relaxed);
+        self.emitted.store(emitted, Ordering::Relaxed);
+    }
+
+    /// Publishes the latency histograms. Called only when tracing is
+    /// enabled — the sole lock on the publish path, and deliberately off
+    /// the default configuration.
+    pub fn publish_latencies(&self, latencies: &JoinLatencies) {
+        *self.latencies.lock().expect("latencies lock") = *latencies;
+    }
+
+    /// A point-in-time copy in the runtime's metrics shape.
+    pub fn snapshot(&self) -> RuntimeMetrics {
+        RuntimeMetrics {
+            consumed: self.consumed.load(Ordering::Relaxed),
+            state_tuples: self.state_tuples.load(Ordering::Relaxed) as usize,
+            emitted: self.emitted.load(Ordering::Relaxed),
+            latencies: *self.latencies.lock().expect("latencies lock"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_snapshot_round_trips() {
+        let m = ShardMetrics::new();
+        assert_eq!(m.snapshot().consumed, 0);
+        m.publish(10, 7, 3);
+        let snap = m.snapshot();
+        assert_eq!(snap.consumed, 10);
+        assert_eq!(snap.state_tuples, 7);
+        assert_eq!(snap.emitted, 3);
+    }
+
+    #[test]
+    fn latencies_publish_is_separate() {
+        let m = ShardMetrics::new();
+        let mut lat = JoinLatencies::new();
+        lat.tuple_emit.record(5);
+        m.publish_latencies(&lat);
+        assert_eq!(m.snapshot().latencies, lat);
+    }
+}

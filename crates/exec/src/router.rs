@@ -31,7 +31,7 @@
 //! merger observes propagations only for registered punctuations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use pjoin::components::propagation::translate_punctuation;
@@ -40,7 +40,7 @@ use punct_trace::{SpanStart, TraceKind, TraceLog, Tracer, LANE_ROUTER};
 use punct_types::{Pattern, PunctSeqAssigner, Punctuation, StreamElement, Timestamp, Timestamped, Value};
 use stream_sim::Side;
 
-use crate::align::Aligner;
+use crate::align::SharedAligner;
 use crate::shard::{RoutedElement, ShardMsg};
 
 /// Where the router sends an element.
@@ -208,6 +208,11 @@ pub enum RouterMsg {
     One(Side, Timestamped<StreamElement>),
     /// A batch of stream elements, in arrival order.
     Batch(Vec<(Side, Timestamped<StreamElement>)>),
+    /// A batch of **same-side** elements in arrival order — the shape
+    /// network ingest produces (one decoded `DataBatch` frame per
+    /// message), routed straight into shard staging without a
+    /// per-element side tag.
+    SideBatch(Side, Vec<Timestamped<StreamElement>>),
     /// End of both inputs: flush and shut down.
     Finish,
 }
@@ -223,9 +228,14 @@ struct RouterState {
     open_spans: Vec<Option<SpanStart>>,
     watermark: Timestamp,
     seqs: [PunctSeqAssigner; 2],
-    aligner: Arc<Mutex<Aligner>>,
+    aligner: Arc<SharedAligner>,
     counters: Arc<RouterCounters>,
     shard_txs: Vec<Sender<ShardMsg>>,
+    /// Batch buffers handed back by shards after draining — reused by
+    /// [`flush_shard`](Self::flush_shard) so the steady-state data path
+    /// recycles a fixed pool of `Vec<RoutedElement>` instead of
+    /// allocating one per batch.
+    recycle: Receiver<Vec<RoutedElement>>,
     tracer: Tracer,
 }
 
@@ -264,10 +274,11 @@ impl RouterState {
     }
 
     /// Routes one element into the per-shard buffers, flushing any
-    /// buffer that reaches the batch size. Punctuations are **flush
-    /// barriers**: after a punctuation is staged, every shard buffer is
-    /// flushed, so no punctuation ever waits behind a partial batch and
-    /// alignment latency is bounded by one batch regardless of size.
+    /// buffer that reaches the batch size. Punctuations are staged in
+    /// arrival order on their target shards and ride the normal batch
+    /// cadence — alignment latency is bounded by one batch under
+    /// sustained load and by one poll cycle when the input runs dry
+    /// (the router's idle flush).
     fn route(&mut self, side: Side, element: Timestamped<StreamElement>) {
         self.watermark = self.watermark.max(element.ts);
         match &element.item {
@@ -313,24 +324,28 @@ impl RouterState {
                 // Register the expectation BEFORE the punctuation can
                 // reach any shard: the merger locks the same aligner, so
                 // it can never observe an unregistered propagation.
-                self.aligner.lock().expect("aligner lock").expect(
-                    translated,
-                    seq,
-                    route.mask(self.shards),
-                );
+                self.aligner.lock().expect(translated, seq, route.mask(self.shards));
 
-                let targets: Vec<usize> = match route {
-                    Route::Shard(s) => vec![s],
-                    Route::Shards(set) => set,
-                    Route::Broadcast => (0..self.shards).collect(),
-                };
-                for shard in targets {
-                    self.stage(shard, side, element.clone(), None);
+                // The punctuation is staged behind the tuples it covers
+                // (per-shard FIFO) and flushes with the batch it rides
+                // in — at the batch size under load, or at the router's
+                // input-dry flush otherwise. Flushing eagerly here would
+                // fragment batches: with per-key punctuations every few
+                // tuples, an eager flush collapses the effective batch
+                // size to the punctuation interval.
+                match route {
+                    Route::Shard(s) => self.stage(s, side, element, None),
+                    Route::Shards(set) => {
+                        for &s in &set {
+                            self.stage(s, side, element.clone(), None);
+                        }
+                    }
+                    Route::Broadcast => {
+                        for s in 0..self.shards {
+                            self.stage(s, side, element.clone(), None);
+                        }
+                    }
                 }
-                // Flush barrier: release every staged buffer so the
-                // punctuation (and everything that arrived before it)
-                // reaches the shards immediately.
-                self.flush_barrier();
             }
         }
     }
@@ -339,7 +354,12 @@ impl RouterState {
         if self.buffers[shard].is_empty() {
             return;
         }
-        let elements = std::mem::take(&mut self.buffers[shard]);
+        // Swap in a recycled buffer (already drained by a shard, capacity
+        // intact) so sustained routing reuses a fixed pool of allocations;
+        // only a cold start or an empty recycle pool allocates.
+        let mut fresh = self.recycle.try_recv().unwrap_or_default();
+        fresh.clear();
+        let elements = std::mem::replace(&mut self.buffers[shard], fresh);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         if let Some(start) = self.open_spans[shard].take() {
             self.tracer.span_end(
@@ -354,13 +374,6 @@ impl RouterState {
         // is nobody left to deliver to, so drop the batch.
         let _ = self.shard_txs[shard]
             .send(ShardMsg::Batch { elements, watermark: self.watermark });
-    }
-
-    /// Flushes every non-empty buffer (punctuation barrier).
-    fn flush_barrier(&mut self) {
-        for shard in 0..self.shards {
-            self.flush_shard(shard);
-        }
     }
 
     /// Flushes every non-empty buffer. In ordered-merge mode, idle
@@ -392,7 +405,8 @@ pub(crate) fn router_loop(
     ordered: bool,
     rx: Receiver<RouterMsg>,
     shard_txs: Vec<Sender<ShardMsg>>,
-    aligner: Arc<Mutex<Aligner>>,
+    recycle: Receiver<Vec<RoutedElement>>,
+    aligner: Arc<SharedAligner>,
     counters: Arc<RouterCounters>,
 ) -> TraceLog {
     let mut tracer = Tracer::new(config.trace);
@@ -409,6 +423,7 @@ pub(crate) fn router_loop(
         aligner,
         counters,
         shard_txs,
+        recycle,
         tracer,
     };
 
@@ -426,6 +441,11 @@ pub(crate) fn router_loop(
                 RouterMsg::One(side, e) => state.route(side, e),
                 RouterMsg::Batch(batch) => {
                     for (side, e) in batch {
+                        state.route(side, e);
+                    }
+                }
+                RouterMsg::SideBatch(side, batch) => {
+                    for e in batch {
                         state.route(side, e);
                     }
                 }

@@ -4,7 +4,7 @@
 //! background work (disk joins, time-based propagation), and finish
 //! drains the operator's end-of-stream protocol.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -14,6 +14,8 @@ use pjoin::{PJoin, PJoinConfig, PJoinStats};
 use punct_trace::{JoinLatencies, TraceLog};
 use punct_types::{StreamElement, Timestamp, Timestamped, Tuple};
 use stream_sim::{BinaryStreamOp, OpOutput, Side, Work};
+
+use crate::metrics::ShardMetrics;
 
 /// One element routed to a shard, with the routing decision's byproducts
 /// carried along so downstream layers never recompute them.
@@ -49,13 +51,23 @@ pub enum ShardMsg {
 
 /// An event from a shard to the merger. All shards share one bounded
 /// channel; within a shard, events are emitted in order, and a shard's
-/// `Outputs` timestamps never exceed a `Progress` it already sent.
+/// `Outputs` timestamps never exceed the progress they carry.
 #[derive(Debug)]
 pub enum ShardEvent {
     /// A batch of join outputs (tuples and shard-propagated
-    /// punctuations), stamped with the shard's element clock.
-    Outputs(usize, Vec<Timestamped<StreamElement>>),
-    /// The shard has processed everything up to this timestamp.
+    /// punctuations), stamped with the shard's element clock, plus the
+    /// shard's progress after the batch — carried together so each
+    /// processed batch costs the shard exactly one channel send.
+    Outputs {
+        /// Shard index.
+        shard: usize,
+        /// The batch of outputs, in shard order.
+        outputs: Vec<Timestamped<StreamElement>>,
+        /// The shard has processed everything up to this timestamp.
+        progress: Timestamp,
+    },
+    /// The shard has processed everything up to this timestamp (used
+    /// when a batch produced no outputs).
     Progress(usize, Timestamp),
     /// The shard finished its end-of-stream protocol and exited.
     Done(usize),
@@ -92,7 +104,8 @@ pub(crate) fn shard_loop(
     config: PJoinConfig,
     rx: Receiver<ShardMsg>,
     events: Sender<ShardEvent>,
-    metrics: Arc<Mutex<RuntimeMetrics>>,
+    recycle: Sender<Vec<RoutedElement>>,
+    metrics: Arc<ShardMetrics>,
 ) -> ShardReport {
     let mut join = PJoin::new(config);
     join.tracer_mut().set_lane(shard as u32);
@@ -103,25 +116,22 @@ pub(crate) fn shard_loop(
     let mut emitted = 0u64;
 
     let publish = |join: &PJoin, consumed: u64, emitted: u64| {
-        let mut m = metrics.lock().expect("metrics lock");
-        m.consumed = consumed;
-        m.state_tuples = join.state_tuples();
-        m.emitted = emitted;
+        metrics.publish(consumed, join.state_tuples(), emitted);
         if join.tracing_enabled() {
-            m.latencies = *join.latencies();
+            metrics.publish_latencies(join.latencies());
         }
     };
 
     loop {
         match rx.recv_timeout(IDLE_POLL) {
-            Ok(ShardMsg::Batch { elements, watermark }) => {
+            Ok(ShardMsg::Batch { mut elements, watermark }) => {
                 let mut outputs = Vec::new();
                 consumed += elements.len() as u64;
                 // Group same-side punctuation-free runs for the batched
                 // probe; punctuations flush the open run, so per-shard
                 // processing order is exactly the arrival order.
                 let mut run_side = Side::Left;
-                for routed in elements {
+                for routed in elements.drain(..) {
                     let RoutedElement { side, element: e, hash } = routed;
                     match e.item {
                         StreamElement::Tuple(t) => {
@@ -149,15 +159,25 @@ pub(crate) fn shard_loop(
                     last_ts =
                         flush_run(&mut join, run_side, &mut run, last_ts, &mut out, &mut outputs);
                 }
+                // Hand the drained batch buffer back to the router for
+                // reuse (best effort: a full recycle channel just drops
+                // the buffer and the router allocates a fresh one).
+                if elements.capacity() > 0 {
+                    let _ = recycle.try_send(elements);
+                }
                 last_ts = last_ts.max(watermark);
                 emitted += outputs.len() as u64;
-                if !outputs.is_empty() && events.send(ShardEvent::Outputs(shard, outputs)).is_err()
-                {
-                    break; // merger gone: executor torn down
-                }
                 publish(&join, consumed, emitted);
-                if events.send(ShardEvent::Progress(shard, last_ts)).is_err() {
-                    break;
+                // One send per batch: outputs and progress travel
+                // together (an output-less batch still reports progress
+                // so the ordered merge keeps advancing).
+                let event = if outputs.is_empty() {
+                    ShardEvent::Progress(shard, last_ts)
+                } else {
+                    ShardEvent::Outputs { shard, outputs, progress: last_ts }
+                };
+                if events.send(event).is_err() {
+                    break; // merger gone: executor torn down
                 }
             }
             Ok(ShardMsg::Finish) => {
@@ -167,11 +187,13 @@ pub(crate) fn shard_loop(
                 }
                 stamp_into(&mut out, last_ts, &mut outputs);
                 emitted += outputs.len() as u64;
-                if !outputs.is_empty() {
-                    let _ = events.send(ShardEvent::Outputs(shard, outputs));
-                }
                 publish(&join, consumed, emitted);
-                let _ = events.send(ShardEvent::Progress(shard, last_ts));
+                let event = if outputs.is_empty() {
+                    ShardEvent::Progress(shard, last_ts)
+                } else {
+                    ShardEvent::Outputs { shard, outputs, progress: last_ts }
+                };
+                let _ = events.send(event);
                 break;
             }
             Err(RecvTimeoutError::Timeout) => {
@@ -179,12 +201,14 @@ pub(crate) fn shard_loop(
                     let mut outputs = Vec::new();
                     stamp_into(&mut out, last_ts, &mut outputs);
                     emitted += outputs.len() as u64;
+                    publish(&join, consumed, emitted);
                     if !outputs.is_empty()
-                        && events.send(ShardEvent::Outputs(shard, outputs)).is_err()
+                        && events
+                            .send(ShardEvent::Outputs { shard, outputs, progress: last_ts })
+                            .is_err()
                     {
                         break;
                     }
-                    publish(&join, consumed, emitted);
                 }
             }
             Err(RecvTimeoutError::Disconnected) => break, // router gone
@@ -226,9 +250,12 @@ fn flush_run(
     for (_, ts, _) in run.iter() {
         last_ts = last_ts.max(*ts);
     }
+    // The batched probe drains `run` (tuples move into the join state),
+    // leaving the buffer empty but with its capacity intact for the next
+    // run — the shard never reallocates it in steady state.
     join.on_tuple_batch(side, run, out);
+    debug_assert!(run.is_empty(), "on_tuple_batch must drain the run");
     stamp_into(out, last_ts, outputs);
-    run.clear();
     last_ts
 }
 

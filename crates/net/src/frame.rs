@@ -315,9 +315,12 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         TAG_DATA_BATCH => {
             let first_seq = r.u64("batch first_seq")?;
             let count = r.u32("batch count")? as usize;
-            // No preallocation by announced count: a corrupted count
-            // fails on the first missing element instead of allocating.
-            let mut elements = Vec::new();
+            // Preallocate by the announced count — one allocation per
+            // frame on the hot path — but capped at what the remaining
+            // payload could possibly hold (>= 9 bytes per element), so a
+            // corrupted count cannot trigger a huge allocation; it still
+            // fails on the first missing element.
+            let mut elements = Vec::with_capacity(count.min(r.remaining() / 9 + 1));
             for _ in 0..count {
                 let ts = Timestamp::from_micros(r.u64("batch timestamp")?);
                 let item = get_element(&mut r)?;

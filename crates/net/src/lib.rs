@@ -65,7 +65,7 @@ pub use frame::{
 };
 pub use pipeline::{run_networked_join, NetJoinReport};
 pub use proxy::{FaultConfig, FaultProxy, ProxyStats};
-pub use server::{IngestOptions, IngestReceiver, IngestServer, IngestStats};
+pub use server::{IngestMsg, IngestOptions, IngestReceiver, IngestServer, IngestStats};
 pub use sink::{collect_all, SinkOptions, SinkReport, SinkServer};
 
 #[cfg(test)]
@@ -105,6 +105,14 @@ mod tests {
         }
     }
 
+    /// Unwraps an ingest message into its side and elements.
+    fn msg_elements(msg: IngestMsg) -> (Side, Vec<Timestamped<StreamElement>>) {
+        match msg {
+            IngestMsg::One(side, e) => (side, vec![e]),
+            IngestMsg::Batch(side, batch) => (side, batch),
+        }
+    }
+
     #[test]
     fn loopback_transfer_delivers_everything_once() {
         let elements: Vec<_> = (0..500).map(|i| tup(i, i as i64)).collect();
@@ -123,9 +131,10 @@ mod tests {
         assert_eq!(report.reconnects, 0);
         assert!(server.all_finished());
         let mut got = Vec::new();
-        while let Ok((side, e)) = rx.try_recv() {
+        while let Ok(msg) = rx.try_recv() {
+            let (side, es) = msg_elements(msg);
             assert_eq!(side, Side::Left);
-            got.push(e);
+            got.extend(es);
         }
         assert_eq!(got, elements);
         assert_eq!(server.stats().duplicates_suppressed, 0);
@@ -173,8 +182,8 @@ mod tests {
         );
         assert!(report.reconnects > 0, "faults should have forced at least one reconnect");
         let mut got = Vec::new();
-        while let Ok((_, e)) = rx.try_recv() {
-            got.push(e);
+        while let Ok(msg) = rx.try_recv() {
+            got.extend(msg_elements(msg).1);
         }
         assert_eq!(got, elements, "losses and reconnects must not reorder, drop or duplicate");
     }
@@ -226,8 +235,8 @@ mod tests {
         assert!(server.all_finished());
 
         let mut got = Vec::new();
-        while let Ok((_, e)) = rx.try_recv() {
-            got.push(e);
+        while let Ok(msg) = rx.try_recv() {
+            got.extend(msg_elements(msg).1);
         }
         assert_eq!(got, vec![tup(0, 1)], "exactly one copy must cross the channel");
     }
@@ -275,8 +284,8 @@ mod tests {
         assert_eq!(report.reconnects, disconnects);
         assert_eq!(report.acked, elements.len() as u64);
         let mut got = Vec::new();
-        while let Ok((_, e)) = rx.try_recv() {
-            got.push(e);
+        while let Ok(msg) = rx.try_recv() {
+            got.extend(msg_elements(msg).1);
         }
         assert_eq!(got, elements);
     }
@@ -311,10 +320,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(400));
         let mut got = Vec::new();
         while got.len() < elements.len() {
-            let (_, e) = rx
+            let msg = rx
                 .recv_timeout(Duration::from_secs(5))
                 .expect("the transfer must flow once the consumer drains");
-            got.push(e);
+            got.extend(msg_elements(msg).1);
         }
         let report = handle.join().expect("client thread").expect("send");
         assert!(report.credit_stalls > 0, "the consumer pause must have stalled the client");

@@ -3,12 +3,12 @@
 
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use crossbeam::channel::RecvTimeoutError;
 use punct_exec::{ExecConfig, ExecStats, ShardedPJoin};
 use punct_types::{StreamElement, Timestamped};
 use stream_sim::Side;
 
-use crate::server::IngestServer;
+use crate::server::{IngestMsg, IngestReceiver, IngestServer};
 use crate::sink::SinkServer;
 
 /// Accounting for one networked join run.
@@ -34,7 +34,7 @@ pub struct NetJoinReport {
 pub fn run_networked_join(
     config: ExecConfig,
     server: &IngestServer,
-    rx: &Receiver<(Side, Timestamped<StreamElement>)>,
+    rx: &IngestReceiver,
     sink: Option<&SinkServer>,
 ) -> NetJoinReport {
     let exec = ShardedPJoin::spawn(config);
@@ -50,30 +50,50 @@ pub fn run_networked_join(
         }
         outputs.extend(batch);
     };
+    // Feeds one ingest message at its wire granularity, preserving
+    // arrival order: single elements accumulate in `singles` (flushed
+    // before any batch), while a decoded `DataBatch` frame's vector is
+    // handed to the router whole — the elements move channel → router
+    // staging with no per-element copy or re-tagging.
+    let feed =
+        |msg: IngestMsg, singles: &mut Vec<(Side, Timestamped<StreamElement>)>, fed: &mut u64| {
+            *fed += msg.len() as u64;
+            match msg {
+                IngestMsg::One(side, element) => singles.push((side, element)),
+                IngestMsg::Batch(side, batch) => {
+                    if !singles.is_empty() {
+                        exec.push_batch(std::mem::take(singles));
+                    }
+                    exec.push_side_batch(side, batch);
+                }
+            }
+        };
+    let mut singles: Vec<(Side, Timestamped<StreamElement>)> = Vec::new();
     loop {
         match rx.recv_timeout(Duration::from_millis(5)) {
-            Ok((side, element)) => {
+            Ok(msg) => {
                 // Opportunistically drain whatever else is queued so the
-                // channel frees up in bursts, and hand the whole burst to
-                // the executor as one batch (one router wakeup).
-                let mut batch = vec![(side, element)];
+                // channel frees up in bursts (one router wakeup per
+                // message burst, not per element).
+                feed(msg, &mut singles, &mut fed);
                 while let Ok(next) = rx.try_recv() {
-                    batch.push(next);
+                    feed(next, &mut singles, &mut fed);
                 }
-                fed += batch.len() as u64;
-                exec.push_batch(batch);
+                if !singles.is_empty() {
+                    exec.push_batch(std::mem::take(&mut singles));
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 // A handler forwards a stream's elements before marking
                 // it finished, so once all streams are finished one
                 // final drain below empties the channel for good.
                 if server.all_finished() {
-                    let mut batch = Vec::new();
                     while let Ok(next) = rx.try_recv() {
-                        batch.push(next);
+                        feed(next, &mut singles, &mut fed);
                     }
-                    fed += batch.len() as u64;
-                    exec.push_batch(batch);
+                    if !singles.is_empty() {
+                        exec.push_batch(std::mem::take(&mut singles));
+                    }
                     break;
                 }
             }

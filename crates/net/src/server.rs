@@ -130,15 +130,52 @@ struct StreamState {
 struct Shared {
     streams: Vec<StreamSlot>,
     opts: IngestOptions,
-    data_tx: Sender<(Side, Timestamped<StreamElement>)>,
+    data_tx: Sender<IngestMsg>,
     counters: Counters,
     shutdown: AtomicBool,
     trace: Mutex<TraceLog>,
 }
 
-/// The channel an [`IngestServer`] feeds: received stream elements
-/// tagged with their join side.
-pub type IngestReceiver = Receiver<(Side, Timestamped<StreamElement>)>;
+/// One message from the ingest server to the executor pipeline,
+/// preserving the wire granularity: a `Data` frame forwards as
+/// [`One`](IngestMsg::One) (no allocation), a `DataBatch` frame forwards
+/// its whole decoded element vector as **one** [`Batch`](IngestMsg::Batch)
+/// message — the elements move decode → channel → router staging without
+/// per-element channel traffic or copies.
+#[derive(Debug)]
+pub enum IngestMsg {
+    /// A single element (per-element wire path).
+    One(Side, Timestamped<StreamElement>),
+    /// The fresh (non-duplicate) elements of one `DataBatch` frame, in
+    /// sequence order. Never empty.
+    Batch(Side, Vec<Timestamped<StreamElement>>),
+}
+
+impl IngestMsg {
+    /// The join side every element in this message belongs to.
+    pub fn side(&self) -> Side {
+        match self {
+            IngestMsg::One(side, _) | IngestMsg::Batch(side, _) => *side,
+        }
+    }
+
+    /// Number of elements carried.
+    pub fn len(&self) -> usize {
+        match self {
+            IngestMsg::One(..) => 1,
+            IngestMsg::Batch(_, batch) => batch.len(),
+        }
+    }
+
+    /// Always false: ingest messages carry at least one element.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The channel an [`IngestServer`] feeds: received stream elements at
+/// wire-frame granularity, tagged with their join side.
+pub type IngestReceiver = Receiver<IngestMsg>;
 
 /// A TCP server receiving punctuated streams from source clients.
 ///
@@ -417,10 +454,7 @@ fn handle_conn(
         };
         match frame {
             Frame::Data { seq, element } => {
-                match forward_batch(
-                    slot, shared, tracer, my_epoch, stream, side, seq,
-                    std::iter::once(element),
-                )? {
+                match forward_one(slot, shared, tracer, my_epoch, stream, side, seq, element)? {
                     ForwardOutcome::Forwarded => {}
                     ForwardOutcome::Superseded => {
                         return reject(
@@ -448,8 +482,7 @@ fn handle_conn(
                 let n = elements.len() as u32;
                 tracer.instant(TraceKind::NetBatch, 0, stream as u64, n as u64);
                 match forward_batch(
-                    slot, shared, tracer, my_epoch, stream, side, first_seq,
-                    elements.into_iter(),
+                    slot, shared, tracer, my_epoch, stream, side, first_seq, elements,
                 )? {
                     ForwardOutcome::Forwarded => {}
                     ForwardOutcome::Superseded => {
@@ -526,19 +559,94 @@ enum ForwardOutcome {
     Gap { got: u64, expected: u64 },
 }
 
-/// Forwards consecutive elements (element `i` carrying `first_seq + i`)
-/// downstream under **one** acquisition of the per-stream forward lock —
-/// the batched form of the check→forward→advance critical section.
+/// Sends one ingest message downstream, blocking (with a stall span)
+/// when the executor is behind.
+fn send_downstream(
+    shared: &Shared,
+    tracer: &mut Tracer,
+    stream: usize,
+    vt: u64,
+    count: u64,
+    msg: IngestMsg,
+) -> Result<(), NetError> {
+    match shared.data_tx.try_send(msg) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(msg)) => {
+            shared.counters.stalls.fetch_add(1, Ordering::Relaxed);
+            let span = tracer.span_start();
+            shared
+                .data_tx
+                .send(msg)
+                .map_err(|_| disconnected("executor channel closed"))?;
+            tracer.span_end(span, TraceKind::NetStall, vt, stream as u64, count);
+            Ok(())
+        }
+        Err(TrySendError::Disconnected(_)) => Err(disconnected("executor channel closed")),
+    }
+}
+
+/// Forwards one element (the per-frame wire path) under the per-stream
+/// forward lock: the check→forward→advance critical section. A sequence
+/// below `next_seq` is a duplicate (suppressed, still earning credit),
+/// above it a gap. The stream counter advances only after the channel
+/// accepts the element, so a failure in between can at worst re-forward
+/// nothing, never skip.
+#[allow(clippy::too_many_arguments)]
+fn forward_one(
+    slot: &StreamSlot,
+    shared: &Shared,
+    tracer: &mut Tracer,
+    my_epoch: u64,
+    stream: usize,
+    side: Side,
+    seq: u64,
+    element: Timestamped<StreamElement>,
+) -> Result<ForwardOutcome, NetError> {
+    let fwd = slot.forward.lock().expect("stream forward lock");
+    let next_seq = {
+        let st = slot.state.lock().expect("stream state lock");
+        if st.epoch != my_epoch {
+            return Ok(ForwardOutcome::Superseded);
+        }
+        st.next_seq
+    };
+    shared.counters.frames_received.fetch_add(1, Ordering::Relaxed);
+    if seq < next_seq {
+        shared.counters.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+        return Ok(ForwardOutcome::Forwarded);
+    }
+    if seq > next_seq {
+        return Ok(ForwardOutcome::Gap { got: seq, expected: next_seq });
+    }
+    let vt = element.ts.as_micros();
+    send_downstream(shared, tracer, stream, vt, 1, IngestMsg::One(side, element))?;
+    {
+        let mut st = slot.state.lock().expect("stream state lock");
+        if st.next_seq == seq {
+            st.next_seq = seq + 1;
+        }
+    }
+    drop(fwd);
+    Ok(ForwardOutcome::Forwarded)
+}
+
+/// Forwards one decoded `DataBatch` frame (element `i` carrying
+/// `first_seq + i`) downstream under **one** acquisition of the
+/// per-stream forward lock and as **one** channel message — the batched
+/// form of the check→forward→advance critical section.
 ///
-/// Semantics per element are identical to the per-frame path: sequences
-/// below `next_seq` are suppressed as duplicates (still counted, still
-/// earning credit), a sequence above it is a gap, and the stream counter
-/// only ever advances from the sequence this handler actually forwarded.
+/// Semantics match the per-frame path element-for-element. Sequences are
+/// consecutive, so duplicates can only form a prefix (below `next_seq`,
+/// suppressed and still earning credit) and a gap can only open at the
+/// first fresh element; the fresh suffix is moved downstream as a single
+/// [`IngestMsg::Batch`] and the stream counter advances past all of it
+/// only after the channel accepts the message — the channel hand-off is
+/// all-or-nothing, so a resume never sees a half-advanced batch.
 /// Ownership (the connection epoch) is checked once on entry: holding
-/// the forward lock for the whole batch means no successor can interleave
-/// forwards mid-batch, so the single check preserves the single-writer
-/// invariant at batch granularity. The lock is released before any
-/// socket write.
+/// the forward lock for the whole batch means no successor can
+/// interleave forwards mid-batch, so the single check preserves the
+/// single-writer invariant at batch granularity. The lock is released
+/// before any socket write.
 #[allow(clippy::too_many_arguments)]
 fn forward_batch(
     slot: &StreamSlot,
@@ -548,53 +656,40 @@ fn forward_batch(
     stream: usize,
     side: Side,
     first_seq: u64,
-    elements: impl Iterator<Item = Timestamped<StreamElement>>,
+    mut elements: Vec<Timestamped<StreamElement>>,
 ) -> Result<ForwardOutcome, NetError> {
+    let count = elements.len() as u64;
     let fwd = slot.forward.lock().expect("stream forward lock");
-    let mut next_seq = {
+    let next_seq = {
         let st = slot.state.lock().expect("stream state lock");
         if st.epoch != my_epoch {
             return Ok(ForwardOutcome::Superseded);
         }
         st.next_seq
     };
-    for (i, element) in elements.enumerate() {
-        let seq = first_seq + i as u64;
-        shared.counters.frames_received.fetch_add(1, Ordering::Relaxed);
-        if seq < next_seq {
-            shared.counters.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
-            continue;
+    shared.counters.frames_received.fetch_add(count, Ordering::Relaxed);
+    if first_seq > next_seq {
+        return Ok(ForwardOutcome::Gap { got: first_seq, expected: next_seq });
+    }
+    let duplicates = (next_seq - first_seq).min(count);
+    if duplicates > 0 {
+        shared
+            .counters
+            .duplicates_suppressed
+            .fetch_add(duplicates, Ordering::Relaxed);
+        elements.drain(..duplicates as usize);
+    }
+    if elements.is_empty() {
+        return Ok(ForwardOutcome::Forwarded); // fully replayed batch
+    }
+    let fresh = elements.len() as u64;
+    let vt = elements.last().expect("non-empty fresh suffix").ts.as_micros();
+    send_downstream(shared, tracer, stream, vt, fresh, IngestMsg::Batch(side, elements))?;
+    {
+        let mut st = slot.state.lock().expect("stream state lock");
+        if st.next_seq == next_seq {
+            st.next_seq = next_seq + fresh;
         }
-        if seq > next_seq {
-            return Ok(ForwardOutcome::Gap { got: seq, expected: next_seq });
-        }
-        // Forward, blocking (with a stall span) if the executor is
-        // behind. Only after the channel accepts the element does the
-        // sequence advance — a failure between the two can at worst
-        // re-forward nothing, never skip.
-        let vt = element.ts.as_micros();
-        match shared.data_tx.try_send((side, element)) {
-            Ok(()) => {}
-            Err(TrySendError::Full(el)) => {
-                shared.counters.stalls.fetch_add(1, Ordering::Relaxed);
-                let span = tracer.span_start();
-                shared
-                    .data_tx
-                    .send(el)
-                    .map_err(|_| disconnected("executor channel closed"))?;
-                tracer.span_end(span, TraceKind::NetStall, vt, stream as u64, 1);
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                return Err(disconnected("executor channel closed"));
-            }
-        }
-        {
-            let mut st = slot.state.lock().expect("stream state lock");
-            if st.next_seq == seq {
-                st.next_seq = seq + 1;
-            }
-        }
-        next_seq = seq + 1;
     }
     drop(fwd);
     Ok(ForwardOutcome::Forwarded)

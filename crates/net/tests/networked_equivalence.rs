@@ -28,7 +28,7 @@ use pjoin::PJoinConfig;
 use punct_exec::{ExecConfig, ShardedPJoin};
 use punct_net::{
     run_networked_join, spawn_source, BackoffPolicy, ClientOptions, FaultConfig, FaultProxy,
-    IngestOptions, IngestServer,
+    IngestMsg, IngestOptions, IngestServer,
 };
 use punct_trace::{TraceKind, TraceSettings};
 use punct_types::{StreamElement, Timestamped};
@@ -190,16 +190,20 @@ fn kill_and_resume_is_exactly_once() {
         spawn_source(proxy.addr(), 0, Side::Left, schema(seed), elements.clone(), opts);
 
     let mut got: Vec<Timestamped<StreamElement>> = Vec::new();
+    let take = |msg: IngestMsg, got: &mut Vec<Timestamped<StreamElement>>| {
+        assert_eq!(msg.side(), Side::Left);
+        match msg {
+            IngestMsg::One(_, e) => got.push(e),
+            IngestMsg::Batch(_, batch) => got.extend(batch),
+        }
+    };
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok((side, e)) => {
-                assert_eq!(side, Side::Left);
-                got.push(e);
-            }
+            Ok(msg) => take(msg, &mut got),
             Err(_) => {
                 if server.all_finished() {
-                    while let Ok((_, e)) = rx.try_recv() {
-                        got.push(e);
+                    while let Ok(msg) = rx.try_recv() {
+                        take(msg, &mut got);
                     }
                     break;
                 }

@@ -1,34 +1,78 @@
 //! A hash bucket with an in-memory portion and an on-disk portion
 //! (paper §3.1: "each hash bucket has an in-memory portion and an on-disk
-//! portion"), plus a secondary key index over the memory portion so
-//! probes and keyed purges touch only the records that can match.
-
-use std::collections::HashMap;
+//! portion"). The memory portion is a *slab*: records live in a
+//! contiguous slot arena with a parallel packed `Vec<u64>` tag array, so
+//! probes do a linear scan over tags (one cache line holds eight of
+//! them) and touch record data only on a tag hit. Freed slots are
+//! recycled through a free list instead of compacting or reallocating —
+//! the steady-state insert/remove cycle performs no heap allocation.
 
 use punct_types::Value;
 
 use crate::backend::PageId;
 
+/// Tag of a free (hole) slot. Never matches a probe.
+pub const TAG_FREE: u64 = u64::MAX;
+
+/// Tag of a live record with no joinable key (missing/null join
+/// attribute). Stored and scanned by full iterations, but never matched
+/// by a tag probe — such records cannot join.
+pub const TAG_UNKEYED: u64 = u64::MAX - 1;
+
+/// The probe tag for a join hash as computed by [`Value::join_hash`].
+///
+/// Real hashes that collide with the two sentinel values are remapped
+/// (`wrapping_sub(2)`) so a probe can never observe a hole or an
+/// unkeyed record; the remap is applied identically on insert and
+/// probe, so it preserves the hash-equality relation. `None` (an
+/// unjoinable key) maps to [`TAG_UNKEYED`].
+#[inline]
+pub fn tag_of_hash(hash: Option<u64>) -> u64 {
+    match hash {
+        Some(h) if h >= TAG_UNKEYED => h.wrapping_sub(2),
+        Some(h) => h,
+        None => TAG_UNKEYED,
+    }
+}
+
+/// The probe tag of a key value: its join hash through
+/// [`tag_of_hash`]. Unjoinable keys (null) yield [`TAG_UNKEYED`],
+/// which no probe matches.
+#[inline]
+pub fn tag_of_key(key: &Value) -> u64 {
+    tag_of_hash(key.join_hash())
+}
+
 /// One hash bucket of a [`PartitionedStore`](crate::PartitionedStore).
 ///
-/// The key index maps a canonical join key (see `Value::join_key`) to
-/// the ascending slots of `memory` holding records with that key.
 /// Invariants:
-/// - every slot list is ascending and in bounds;
-/// - a record pushed with a key appears in exactly that key's list;
-/// - records pushed without a key (missing/null join attribute) are
-///   never listed — they can never join, so keyed probes skip them.
+/// - `slots.len() == tags.len()`;
+/// - `slots[i].is_some()` iff `tags[i] != TAG_FREE`;
+/// - `free` holds exactly the indices with `tags[i] == TAG_FREE`;
+/// - `live` is the number of occupied slots.
 ///
-/// Callers that mutate `memory` through [`memory_mut`](Bucket::memory_mut)
-/// must either leave every record's join key and position unchanged
-/// (e.g. stamping timestamps) or rebuild the index afterwards via
-/// [`rebuild_index`](Bucket::rebuild_index).
+/// A tag probe returns the records whose join *hash* matches — a
+/// superset of the records whose join key matches, under (astronomically
+/// unlikely) 64-bit hash collisions. Callers arbitrate candidates with
+/// `Value::join_eq`, exactly as they already must for the equal-hash
+/// case.
+///
+/// Slot recycling means iteration order is slot order, **not** arrival
+/// order: a record inserted after a removal may occupy an earlier slot
+/// than older records. All equivalence gates compare multisets, and
+/// window expiry scans with a predicate rather than assuming an
+/// arrival-ordered prefix.
 #[derive(Debug, Clone)]
 pub struct Bucket<R> {
-    /// Records currently resident in memory.
-    memory: Vec<R>,
-    /// Canonical join key -> ascending slots in `memory`.
-    key_index: HashMap<Value, Vec<u32>>,
+    /// The record arena. `None` marks a hole on the free list.
+    slots: Vec<Option<R>>,
+    /// Parallel probe tags; `TAG_FREE` for holes, `TAG_UNKEYED` for
+    /// live records without a joinable key.
+    tags: Vec<u64>,
+    /// Stack of hole indices available for reuse.
+    free: Vec<u32>,
+    /// Occupied slots.
+    live: usize,
     /// Pages holding the disk-resident portion, in spill order.
     disk_pages: Vec<PageId>,
     /// Number of records across `disk_pages`.
@@ -39,114 +83,130 @@ impl<R> Bucket<R> {
     /// Creates an empty bucket.
     pub fn new() -> Bucket<R> {
         Bucket {
-            memory: Vec::new(),
-            key_index: HashMap::new(),
+            slots: Vec::new(),
+            tags: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             disk_pages: Vec::new(),
             disk_tuples: 0,
         }
     }
 
-    /// The memory-resident records.
-    pub fn memory(&self) -> &[R] {
-        &self.memory
+    /// Iterates the memory-resident records in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &R> + '_ {
+        self.slots.iter().filter_map(Option::as_ref)
     }
 
-    /// Mutable access to the memory-resident records (used by purge and
-    /// timestamp stamping). See the type-level invariants: mutations
-    /// that change keys or positions require a subsequent
-    /// [`rebuild_index`](Bucket::rebuild_index).
-    pub fn memory_mut(&mut self) -> &mut Vec<R> {
-        &mut self.memory
+    /// Mutably iterates the memory-resident records (used by purge
+    /// bookkeeping and timestamp stamping). Mutations must not change a
+    /// record's join key — the stored tag would go stale.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut R> + '_ {
+        self.slots.iter_mut().filter_map(Option::as_mut)
     }
 
-    /// Appends a record to the memory portion without indexing it.
-    /// Keyed probes will not see it; prefer [`push_keyed`](Bucket::push_keyed)
-    /// for records with a join key.
+    /// Inserts a record with no probe tag ([`TAG_UNKEYED`]). Tag probes
+    /// will not see it; prefer [`push_tagged`](Bucket::push_tagged) for
+    /// records with a joinable key.
     pub fn push(&mut self, record: R) {
-        self.memory.push(record);
+        self.insert_slot(record, TAG_UNKEYED);
     }
 
-    /// Appends a record, registering it under `key` when one exists.
-    pub fn push_keyed(&mut self, record: R, key: Option<Value>) {
-        let slot = self.memory.len() as u32;
-        self.memory.push(record);
-        if let Some(key) = key {
-            self.key_index.entry(key).or_default().push(slot);
-        }
+    /// Inserts a record under `tag` (from [`tag_of_hash`]), reusing a
+    /// free slot when one exists.
+    pub fn push_tagged(&mut self, record: R, tag: u64) {
+        debug_assert!(tag != TAG_FREE, "TAG_FREE marks holes, not records");
+        self.insert_slot(record, tag);
     }
 
-    /// The memory-resident records indexed under `key` (already
-    /// canonicalized via `Value::join_key`), in arrival order.
-    pub fn probe_keyed<'a>(&'a self, key: &Value) -> impl Iterator<Item = &'a R> + 'a {
-        self.key_slots(key).iter().map(|&slot| &self.memory[slot as usize])
-    }
-
-    /// Number of memory-resident records indexed under `key`.
-    pub fn keyed_len(&self, key: &Value) -> usize {
-        self.key_slots(key).len()
-    }
-
-    /// Distinct join keys present in the memory portion.
-    pub fn distinct_keys(&self) -> usize {
-        self.key_index.len()
-    }
-
-    fn key_slots(&self, key: &Value) -> &[u32] {
-        self.key_index.get(key).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Rebuilds the key index from scratch, deriving each record's
-    /// canonical key with `key_of`. Call after any `memory_mut`
-    /// mutation that removed, reordered, or re-keyed records.
-    pub fn rebuild_index(&mut self, mut key_of: impl FnMut(&R) -> Option<Value>) {
-        self.key_index.clear();
-        for (slot, record) in self.memory.iter().enumerate() {
-            if let Some(key) = key_of(record) {
-                self.key_index.entry(key).or_default().push(slot as u32);
+    fn insert_slot(&mut self, record: R, tag: u64) {
+        match self.free.pop() {
+            Some(slot) => {
+                let slot = slot as usize;
+                debug_assert!(self.slots[slot].is_none());
+                self.slots[slot] = Some(record);
+                self.tags[slot] = tag;
+            }
+            None => {
+                self.slots.push(Some(record));
+                self.tags.push(tag);
             }
         }
+        self.live += 1;
     }
 
-    /// Removes and returns the memory-resident records indexed under
-    /// `key` that also satisfy `pred` (the index key is a `join_eq`
-    /// superset; `pred` applies the caller's exact semantics).
-    /// Preserves order in both partitions and re-derives the index with
-    /// `key_of`. Cheap no-op when the key is absent: only the indexed
-    /// candidates are ever examined.
-    pub fn extract_keyed(
-        &mut self,
-        key: &Value,
-        mut pred: impl FnMut(&R) -> bool,
-        key_of: impl FnMut(&R) -> Option<Value>,
-    ) -> Vec<R> {
-        let Some(slots) = self.key_index.get(key) else {
-            return Vec::new();
-        };
-        // Ascending, since the per-key slot lists are ascending.
-        let take: Vec<u32> =
-            slots.iter().copied().filter(|&s| pred(&self.memory[s as usize])).collect();
-        if take.is_empty() {
+    /// The memory-resident records whose tag equals `tag`: a linear scan
+    /// of the packed tag array, touching record data only on a hit.
+    /// Sentinel tags ([`TAG_FREE`], [`TAG_UNKEYED`]) match nothing.
+    pub fn probe_tag(&self, tag: u64) -> impl Iterator<Item = &R> + '_ {
+        let live_tag = tag < TAG_UNKEYED;
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &t)| live_tag && t == tag)
+            .map(move |(i, _)| self.slots[i].as_ref().expect("tagged slot holds a record"))
+    }
+
+    /// Removes and returns the records matching `tag` that also satisfy
+    /// `pred`, freeing their slots. Only tag-matching slots have their
+    /// record examined.
+    pub fn extract_tag(&mut self, tag: u64, mut pred: impl FnMut(&R) -> bool) -> Vec<R> {
+        if tag >= TAG_UNKEYED {
             return Vec::new();
         }
-        let mut extracted = Vec::with_capacity(take.len());
-        let mut kept = Vec::with_capacity(self.memory.len() - take.len());
-        let mut cursor = 0;
-        for (slot, record) in std::mem::take(&mut self.memory).into_iter().enumerate() {
-            if cursor < take.len() && take[cursor] as usize == slot {
-                extracted.push(record);
-                cursor += 1;
-            } else {
-                kept.push(record);
+        let mut extracted = Vec::new();
+        for i in 0..self.tags.len() {
+            if self.tags[i] != tag {
+                continue;
+            }
+            let rec = self.slots[i].as_ref().expect("tagged slot holds a record");
+            if pred(rec) {
+                extracted.push(self.slots[i].take().expect("checked occupied"));
+                self.free_slot(i);
             }
         }
-        self.memory = kept;
-        self.rebuild_index(key_of);
         extracted
+    }
+
+    /// Removes and returns every record satisfying `pred`, freeing
+    /// slots.
+    pub fn extract(&mut self, mut pred: impl FnMut(&R) -> bool) -> Vec<R> {
+        let mut extracted = Vec::new();
+        for i in 0..self.slots.len() {
+            let Some(rec) = self.slots[i].as_ref() else { continue };
+            if pred(rec) {
+                extracted.push(self.slots[i].take().expect("checked occupied"));
+                self.free_slot(i);
+            }
+        }
+        extracted
+    }
+
+    /// Keeps only the records satisfying `keep`, freeing the rest.
+    /// Returns `(scanned, removed)`.
+    pub fn retain(&mut self, mut keep: impl FnMut(&R) -> bool) -> (usize, usize) {
+        let mut scanned = 0;
+        let mut removed = 0;
+        for i in 0..self.slots.len() {
+            let Some(rec) = self.slots[i].as_ref() else { continue };
+            scanned += 1;
+            if !keep(rec) {
+                self.slots[i] = None;
+                self.free_slot(i);
+                removed += 1;
+            }
+        }
+        (scanned, removed)
+    }
+
+    fn free_slot(&mut self, i: usize) {
+        self.tags[i] = TAG_FREE;
+        self.free.push(i as u32);
+        self.live -= 1;
     }
 
     /// Number of memory-resident records.
     pub fn memory_len(&self) -> usize {
-        self.memory.len()
+        self.live
     }
 
     /// Number of disk-resident records.
@@ -156,7 +216,7 @@ impl<R> Bucket<R> {
 
     /// Total records in the bucket.
     pub fn len(&self) -> usize {
-        self.memory.len() + self.disk_tuples
+        self.live + self.disk_tuples
     }
 
     /// True if the bucket holds no records at all.
@@ -174,11 +234,15 @@ impl<R> Bucket<R> {
         &self.disk_pages
     }
 
-    /// Takes the whole memory portion out (state relocation), clearing
-    /// the key index with it.
+    /// Takes the whole memory portion out (state relocation) in slot
+    /// order. Keeps the arena's capacity for refills — the slab does not
+    /// shrink.
     pub fn take_memory(&mut self) -> Vec<R> {
-        self.key_index.clear();
-        std::mem::take(&mut self.memory)
+        let taken: Vec<R> = self.slots.drain(..).flatten().collect();
+        self.tags.clear();
+        self.free.clear();
+        self.live = 0;
+        taken
     }
 
     /// Registers pages written for this bucket's disk portion.
@@ -206,13 +270,16 @@ impl<R> Default for Bucket<R> {
 mod tests {
     use super::*;
 
+    fn tag(k: i64) -> u64 {
+        tag_of_key(&Value::Int(k))
+    }
+
     #[test]
     fn starts_empty() {
         let b: Bucket<u32> = Bucket::new();
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
         assert!(!b.has_disk_portion());
-        assert_eq!(b.distinct_keys(), 0);
     }
 
     #[test]
@@ -222,47 +289,103 @@ mod tests {
         b.push(2);
         assert_eq!(b.memory_len(), 2);
         assert_eq!(b.len(), 2);
-        assert_eq!(b.memory(), &[1, 2]);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]
-    fn keyed_push_indexes_and_probes_in_order() {
+    fn tagged_push_probes_by_tag() {
         let mut b = Bucket::new();
-        b.push_keyed(10u32, Some(Value::Int(7)));
-        b.push_keyed(20, Some(Value::Int(8)));
-        b.push_keyed(30, Some(Value::Int(7)));
-        b.push_keyed(40, None); // null-keyed: stored but unindexed
+        b.push_tagged(10u32, tag(7));
+        b.push_tagged(20, tag(8));
+        b.push_tagged(30, tag(7));
+        b.push(40); // unkeyed: stored but never probed
         assert_eq!(b.memory_len(), 4);
-        let hits: Vec<u32> = b.probe_keyed(&Value::Int(7)).copied().collect();
+        let hits: Vec<u32> = b.probe_tag(tag(7)).copied().collect();
         assert_eq!(hits, vec![10, 30]);
-        assert_eq!(b.keyed_len(&Value::Int(7)), 2);
-        assert_eq!(b.keyed_len(&Value::Int(8)), 1);
-        assert_eq!(b.keyed_len(&Value::Int(9)), 0);
-        assert_eq!(b.distinct_keys(), 2);
+        assert_eq!(b.probe_tag(tag(8)).count(), 1);
+        assert_eq!(b.probe_tag(tag(9)).count(), 0);
+        assert_eq!(b.probe_tag(TAG_UNKEYED).count(), 0);
+        assert_eq!(b.probe_tag(TAG_FREE).count(), 0);
     }
 
     #[test]
-    fn rebuild_index_tracks_mutations() {
+    fn sentinel_hashes_are_remapped() {
+        // A join hash colliding with a sentinel still round-trips
+        // insert → probe.
+        for h in [u64::MAX, u64::MAX - 1, u64::MAX - 2] {
+            let t = tag_of_hash(Some(h));
+            assert!(t < TAG_UNKEYED, "hash {h:#x} must remap below sentinels");
+            let mut b = Bucket::new();
+            b.push_tagged(1u32, t);
+            assert_eq!(b.probe_tag(t).count(), 1);
+        }
+        assert_eq!(tag_of_hash(None), TAG_UNKEYED);
+    }
+
+    #[test]
+    fn freed_slots_are_recycled_without_growth() {
+        let mut b = Bucket::new();
+        for v in 0..8u32 {
+            b.push_tagged(v, tag((v % 2) as i64));
+        }
+        let evens = b.extract_tag(tag(0), |_| true);
+        assert_eq!(evens, vec![0, 2, 4, 6]);
+        assert_eq!(b.memory_len(), 4);
+        let arena = b.slots.len();
+        // Refill: the four holes are reused, the arena does not grow.
+        for v in 10..14u32 {
+            b.push_tagged(v, tag(0));
+        }
+        assert_eq!(b.slots.len(), arena);
+        assert_eq!(b.memory_len(), 8);
+        let mut hits: Vec<u32> = b.probe_tag(tag(0)).copied().collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn retain_frees_and_counts() {
         let mut b = Bucket::new();
         for v in [1u32, 2, 3, 4] {
-            b.push_keyed(v, Some(Value::Int((v % 2) as i64)));
+            b.push_tagged(v, tag((v % 2) as i64));
         }
-        b.memory_mut().retain(|v| *v != 2);
-        b.rebuild_index(|v| Some(Value::Int((*v % 2) as i64)));
-        let odds: Vec<u32> = b.probe_keyed(&Value::Int(1)).copied().collect();
-        let evens: Vec<u32> = b.probe_keyed(&Value::Int(0)).copied().collect();
+        let (scanned, removed) = b.retain(|v| *v != 2);
+        assert_eq!((scanned, removed), (4, 1));
+        assert_eq!(b.memory_len(), 3);
+        let odds: Vec<u32> = b.probe_tag(tag(1)).copied().collect();
+        let evens: Vec<u32> = b.probe_tag(tag(0)).copied().collect();
         assert_eq!(odds, vec![1, 3]);
         assert_eq!(evens, vec![4]);
     }
 
     #[test]
-    fn take_memory_clears_index() {
+    fn extract_tag_only_examines_matching_records() {
         let mut b = Bucket::new();
-        b.push_keyed(1u32, Some(Value::Int(1)));
+        b.push_tagged(1u32, tag(1));
+        b.push_tagged(2, tag(2));
+        b.push_tagged(3, tag(1));
+        let mut examined = 0;
+        let got = b.extract_tag(tag(1), |_| {
+            examined += 1;
+            true
+        });
+        assert_eq!(got, vec![1, 3]);
+        assert_eq!(examined, 2, "non-matching tags must not be examined");
+        assert_eq!(b.memory_len(), 1);
+    }
+
+    #[test]
+    fn take_memory_resets_slab() {
+        let mut b = Bucket::new();
+        b.push_tagged(1u32, tag(1));
+        b.push_tagged(2, tag(2));
+        b.extract_tag(tag(1), |_| true); // leave a hole
         let taken = b.take_memory();
-        assert_eq!(taken, vec![1]);
-        assert_eq!(b.keyed_len(&Value::Int(1)), 0);
-        assert_eq!(b.distinct_keys(), 0);
+        assert_eq!(taken, vec![2]);
+        assert_eq!(b.memory_len(), 0);
+        assert_eq!(b.probe_tag(tag(2)).count(), 0);
+        b.push_tagged(9, tag(2));
+        assert_eq!(b.probe_tag(tag(2)).count(), 1);
     }
 
     #[test]

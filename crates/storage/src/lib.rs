@@ -31,7 +31,7 @@ pub mod sim_disk;
 pub mod spill;
 
 pub use backend::{DiskBackend, IoStats, PageId};
-pub use bucket::Bucket;
+pub use bucket::{tag_of_hash, tag_of_key, Bucket, TAG_FREE, TAG_UNKEYED};
 pub use codec::{CodecError, Record};
 pub use file_disk::FileDisk;
 pub use page::Page;

@@ -4,7 +4,7 @@
 use punct_types::Value;
 
 use crate::backend::{DiskBackend, IoStats, PageId};
-use crate::bucket::Bucket;
+use crate::bucket::{tag_of_hash, Bucket};
 use crate::codec::Record;
 use crate::page::{paginate, Page};
 use crate::spill::{SpillPolicy, SpillState};
@@ -132,59 +132,71 @@ impl<R: Record> PartitionedStore<R> {
 
     /// Inserts a record whose join hash was already computed (the
     /// carried-hash fast path: the router hashed once, the store must not
-    /// hash again). The canonical key is still extracted for the bucket's
-    /// secondary key index, but no hashing occurs here. The caller's
-    /// `hash` is trusted; a `None` hash lands in bucket 0 like an
-    /// unjoinable key.
+    /// hash again). The hash becomes the record's slab probe tag directly
+    /// — no canonical-key extraction, no hashing, no allocation. The
+    /// caller's `hash` is trusted; a `None` hash lands in bucket 0 like
+    /// an unjoinable key and is never probed.
     pub fn insert_hashed(&mut self, record: R, hash: Option<u64>) -> usize {
         let idx = self.bucket_of_hash(hash);
-        let key = match hash {
-            Some(_) => record.tuple().get(self.config.join_attr).and_then(Value::join_key),
-            None => None,
-        };
-        self.buckets[idx].push_keyed(record, key);
+        self.buckets[idx].push_tagged(record, tag_of_hash(hash));
         self.memory_tuples += 1;
         idx
     }
 
-    /// The memory portion of the bucket a key hashes to (linear probe
-    /// target; prefer [`probe_memory_keyed`](Self::probe_memory_keyed)).
-    pub fn probe_memory(&self, key: &Value) -> &[R] {
-        self.buckets[self.bucket_index(key)].memory()
+    /// Linear probe of the whole memory portion of the bucket a key
+    /// hashes to (prefer [`probe_memory_keyed`](Self::probe_memory_keyed)).
+    pub fn probe_memory<'a>(&'a self, key: &Value) -> impl Iterator<Item = &'a R> + 'a {
+        self.buckets[self.bucket_index(key)].iter()
     }
 
-    /// The memory-resident records whose join key can `join_eq` `key`,
-    /// via the bucket's secondary key index: O(1) lookup plus O(matches)
-    /// iteration instead of a scan of the whole bucket. Yields nothing
-    /// for unjoinable keys (null).
-    pub fn probe_memory_keyed<'a>(&'a self, key: &Value) -> impl Iterator<Item = &'a R> + 'a {
-        key.join_key()
-            .map(|k| self.buckets[self.bucket_index(&k)].probe_keyed(&k))
-            .into_iter()
-            .flatten()
+    /// The memory-resident records whose join key can `join_eq` `key`:
+    /// a packed tag scan of the key's bucket narrows to hash-equal
+    /// candidates, then `join_eq` on the join attribute arbitrates (hash
+    /// collisions are filtered out, so the result is exactly the
+    /// `join_eq` equivalence class). Yields nothing for unjoinable keys
+    /// (null).
+    pub fn probe_memory_keyed<'a>(&'a self, key: &'a Value) -> impl Iterator<Item = &'a R> + 'a {
+        let hash = key.join_hash();
+        let idx = self.bucket_of_hash(hash);
+        let attr = self.config.join_attr;
+        self.buckets[idx]
+            .probe_tag(tag_of_hash(hash))
+            .filter(move |r| r.tuple().get(attr).is_some_and(|v| v.join_eq(key)))
     }
 
     /// Keyed probe of an already-located bucket: the memory-resident
-    /// records the bucket's key index lists under `canonical` (which must
-    /// be a canonical join key, see [`Value::join_key`]). The batched
-    /// probe path resolves buckets once from carried hashes
-    /// ([`bucket_of_hash`](Self::bucket_of_hash)) and probes here without
-    /// re-hashing.
+    /// records whose join key `join_eq`s `canonical` (which must be a
+    /// canonical join key, see [`Value::join_key`]).
     pub fn probe_bucket_keyed<'a>(
         &'a self,
         bucket: usize,
-        canonical: &Value,
+        canonical: &'a Value,
     ) -> impl Iterator<Item = &'a R> + 'a {
-        self.buckets[bucket].probe_keyed(canonical)
+        let attr = self.config.join_attr;
+        self.buckets[bucket]
+            .probe_tag(tag_of_hash(canonical.join_hash()))
+            .filter(move |r| r.tuple().get(attr).is_some_and(|v| v.join_eq(canonical)))
+    }
+
+    /// Hash probe of an already-located bucket: the memory-resident
+    /// records whose probe tag matches the carried `hash` — the
+    /// zero-allocation hot path (no canonical `Value` is constructed).
+    /// The result is a *superset* of the `join_eq` matches under 64-bit
+    /// hash collisions; callers arbitrate candidates with
+    /// `Value::join_eq`, as the join operators already do. `None` yields
+    /// nothing.
+    pub fn probe_bucket_hashed<'a>(
+        &'a self,
+        bucket: usize,
+        hash: Option<u64>,
+    ) -> impl Iterator<Item = &'a R> + 'a {
+        self.buckets[bucket].probe_tag(tag_of_hash(hash))
     }
 
     /// Number of memory-resident records a keyed probe of `key` would
     /// yield (the candidate count the cost model charges for).
     pub fn probe_memory_keyed_len(&self, key: &Value) -> usize {
-        match key.join_key() {
-            Some(k) => self.buckets[self.bucket_index(&k)].keyed_len(&k),
-            None => 0,
-        }
+        self.probe_memory_keyed(key).count()
     }
 
     /// Whether the bucket a key hashes to has a disk portion (the probe
@@ -306,66 +318,33 @@ impl<R: Record> PartitionedStore<R> {
     pub fn extract_memory_bucket(
         &mut self,
         idx: usize,
-        mut pred: impl FnMut(&R) -> bool,
+        pred: impl FnMut(&R) -> bool,
     ) -> Vec<R> {
-        let mem = self.buckets[idx].memory_mut();
-        let mut extracted = Vec::new();
-        let mut kept = Vec::with_capacity(mem.len());
-        for r in mem.drain(..) {
-            if pred(&r) {
-                extracted.push(r);
-            } else {
-                kept.push(r);
-            }
-        }
-        *mem = kept;
-        if !extracted.is_empty() {
-            self.rebuild_bucket_index(idx);
-        }
+        let extracted = self.buckets[idx].extract(pred);
         self.memory_tuples -= extracted.len();
         extracted
     }
 
-    /// Removes and returns the memory-resident records that the key
-    /// index lists under `key`'s canonical join key *and* that satisfy
-    /// `pred`, located without scanning unrelated records: buckets not
-    /// holding the key are untouched, and `pred` runs only on the
-    /// indexed candidates. Record order is preserved in both partitions.
+    /// Removes and returns the memory-resident records whose join key
+    /// `join_eq`s `key` *and* that satisfy `pred`, located without
+    /// scanning unrelated records: buckets not holding the key's hash
+    /// are untouched, and records are examined only on a tag hit —
+    /// `pred` runs only on the true `join_eq` candidates.
     pub fn extract_memory_keyed(
         &mut self,
         key: &Value,
-        pred: impl FnMut(&R) -> bool,
+        mut pred: impl FnMut(&R) -> bool,
     ) -> Vec<R> {
-        let Some(canonical) = key.join_key() else {
+        let Some(hash) = key.join_hash() else {
             return Vec::new();
         };
-        let idx = self.bucket_index(&canonical);
+        let idx = self.bucket_of_hash(Some(hash));
         let attr = self.config.join_attr;
-        let extracted = self.buckets[idx].extract_keyed(&canonical, pred, |r| {
-            r.tuple().get(attr).and_then(Value::join_key)
+        let extracted = self.buckets[idx].extract_tag(tag_of_hash(Some(hash)), |r| {
+            r.tuple().get(attr).is_some_and(|v| v.join_eq(key)) && pred(r)
         });
         self.memory_tuples -= extracted.len();
         extracted
-    }
-
-    /// Removes and returns the maximal *prefix* of one bucket's memory
-    /// portion whose records satisfy `pred`, stopping at the first
-    /// non-matching record. Used by sliding-window expiry: buckets are
-    /// append-ordered by arrival, so "drop every expired tuple" is a
-    /// prefix drain that can stop at the first still-valid tuple.
-    pub fn drain_memory_prefix(
-        &mut self,
-        idx: usize,
-        mut pred: impl FnMut(&R) -> bool,
-    ) -> Vec<R> {
-        let mem = self.buckets[idx].memory_mut();
-        let cut = mem.iter().take_while(|r| pred(r)).count();
-        let drained: Vec<R> = mem.drain(..cut).collect();
-        if !drained.is_empty() {
-            self.rebuild_bucket_index(idx);
-        }
-        self.memory_tuples -= drained.len();
-        drained
     }
 
     /// Purge scan over one bucket's memory portion: keeps records
@@ -373,16 +352,9 @@ impl<R: Record> PartitionedStore<R> {
     pub fn retain_memory_bucket(
         &mut self,
         idx: usize,
-        mut keep: impl FnMut(&R) -> bool,
+        keep: impl FnMut(&R) -> bool,
     ) -> (usize, usize) {
-        let mem = self.buckets[idx].memory_mut();
-        let scanned = mem.len();
-        let before = mem.len();
-        mem.retain(|r| keep(r));
-        let removed = before - mem.len();
-        if removed > 0 {
-            self.rebuild_bucket_index(idx);
-        }
+        let (scanned, removed) = self.buckets[idx].retain(keep);
         self.memory_tuples -= removed;
         (scanned, removed)
     }
@@ -402,16 +374,18 @@ impl<R: Record> PartitionedStore<R> {
     /// Visits every memory-resident record.
     pub fn for_each_memory(&self, mut f: impl FnMut(&R)) {
         for b in &self.buckets {
-            for r in b.memory() {
+            for r in b.iter() {
                 f(r);
             }
         }
     }
 
     /// Mutably visits every memory-resident record (index building).
+    /// Mutations must not change a record's join key — the slab's probe
+    /// tags would go stale.
     pub fn for_each_memory_mut(&mut self, mut f: impl FnMut(&mut R)) {
         for b in &mut self.buckets {
-            for r in b.memory_mut() {
+            for r in b.iter_mut() {
                 f(r);
             }
         }
@@ -420,18 +394,9 @@ impl<R: Record> PartitionedStore<R> {
     /// Mutably visits one bucket's memory-resident records — used e.g. to
     /// stamp departure timestamps immediately before relocating the bucket.
     pub fn for_each_memory_bucket_mut(&mut self, idx: usize, mut f: impl FnMut(&mut R)) {
-        for r in self.buckets[idx].memory_mut() {
+        for r in self.buckets[idx].iter_mut() {
             f(r);
         }
-    }
-
-    /// Re-derives one bucket's key index from its current memory
-    /// contents. Called after any mutation that removed or reordered
-    /// records.
-    fn rebuild_bucket_index(&mut self, idx: usize) {
-        let attr = self.config.join_attr;
-        self.buckets[idx]
-            .rebuild_index(|r| r.tuple().get(attr).and_then(Value::join_key));
     }
 
     /// The policy's current spill victim without performing the spill.
@@ -485,7 +450,6 @@ mod tests {
         for k in 0..100 {
             let hits = s
                 .probe_memory(&Value::Int(k))
-                .iter()
                 .filter(|r| r.get(0) == Some(&Value::Int(k)))
                 .count();
             assert_eq!(hits, 1, "key {k}");
@@ -522,8 +486,8 @@ mod tests {
         let idx = s.insert_hashed(tup(7), Some(forced as u64));
         assert_eq!(idx, forced);
         assert_ne!(idx, natural);
-        assert_eq!(s.bucket(forced).memory().len(), 1);
-        assert_eq!(s.bucket(natural).memory().len(), 0);
+        assert_eq!(s.bucket(forced).memory_len(), 1);
+        assert_eq!(s.bucket(natural).memory_len(), 0);
         // With the true hash it matches insert() exactly.
         let idx2 = s.insert_hashed(tup(7), key.join_hash());
         assert_eq!(idx2, natural);
@@ -710,7 +674,7 @@ mod tests {
         assert_eq!(s.memory_tuples(), 5);
         // Order preserved in both partitions.
         let kept: Vec<i64> =
-            s.bucket(0).memory().iter().map(|r| r.get(0).unwrap().as_int().unwrap()).collect();
+            s.bucket(0).iter().map(|r| r.get(0).unwrap().as_int().unwrap()).collect();
         assert_eq!(kept, vec![1, 3, 5, 7, 9]);
         let got: Vec<i64> =
             evens.iter().map(|r| r.get(0).unwrap().as_int().unwrap()).collect();

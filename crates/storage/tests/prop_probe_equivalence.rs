@@ -22,7 +22,7 @@ enum Op {
     PurgeKey(i64),
     /// Predicate extraction over one bucket (range-purge path).
     PurgeEven(usize),
-    /// Prefix drain of one bucket (window-expiry path).
+    /// Predicate drain of one bucket (window-expiry path).
     DrainOld(usize, i64),
     /// Retain-based purge of one bucket.
     DropKeyScan(usize, i64),
@@ -56,7 +56,7 @@ fn store() -> PartitionedStore<Tuple> {
 fn linear_probe(s: &PartitionedStore<Tuple>, key: &Value) -> Vec<Tuple> {
     let mut out = Vec::new();
     for b in s.buckets() {
-        for r in b.memory() {
+        for r in b.iter() {
             if r.get(0).is_some_and(|v| v.join_eq(key)) {
                 out.push(r.clone());
             }
@@ -101,7 +101,7 @@ proptest! {
                     });
                 }
                 Op::DrainOld(b, horizon) => {
-                    s.drain_memory_prefix(b, |r| {
+                    s.extract_memory_bucket(b, |r| {
                         r.get(1).and_then(Value::as_int).is_some_and(|t| t < horizon)
                     });
                 }

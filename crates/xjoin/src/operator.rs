@@ -257,7 +257,7 @@ impl XJoin {
         for a in &disk_records {
             dts_last = dts_last.max(a.dts);
             let Some(key) = a.tuple.get(attr) else { continue };
-            for b in opposite.bucket(idx).memory() {
+            for b in opposite.bucket(idx).iter() {
                 self.work.probe_cmps += 1;
                 if !b.tuple.get(opp_attr).is_some_and(|v| v.join_eq(key)) {
                     continue;
@@ -294,7 +294,7 @@ impl XJoin {
         let gather = |store: &mut PartitionedStore<XRecord>,
                       work: &mut Work|
          -> Vec<XRecord> {
-            let mut all: Vec<XRecord> = store.bucket(idx).memory().to_vec();
+            let mut all: Vec<XRecord> = store.bucket(idx).iter().cloned().collect();
             if store.bucket(idx).has_disk_portion() {
                 let (disk, pages) = store.read_disk(idx);
                 work.pages_read += pages;

@@ -24,7 +24,7 @@ use punctuated_streams::exec::{shards_from_env, ExecConfig, ShardedPJoin};
 use punctuated_streams::gen::{generate_pair, PunctScheme, StreamConfig};
 use punctuated_streams::net::{
     collect_all, spawn_source, BackoffPolicy, ClientOptions, FaultConfig, FaultProxy,
-    IngestOptions, IngestServer, SinkOptions, SinkServer,
+    IngestMsg, IngestOptions, IngestServer, SinkOptions, SinkServer,
 };
 use punctuated_streams::prelude::*;
 use punctuated_streams::trace::{Dashboard, TraceSettings};
@@ -102,21 +102,27 @@ fn main() {
     let mut outputs: Vec<Timestamped<StreamElement>> = Vec::new();
     let mut fed = 0u64;
     let mut step = 0f64;
+    // A `DataBatch` frame's elements go to the router as one batch; a
+    // single `Data` frame's element is pushed directly.
+    let feed = |msg: IngestMsg, fed: &mut u64| {
+        *fed += msg.len() as u64;
+        match msg {
+            IngestMsg::One(side, element) => exec.push(side, element),
+            IngestMsg::Batch(side, batch) => exec.push_side_batch(side, batch),
+        }
+    };
     loop {
         match rx.recv_timeout(Duration::from_millis(5)) {
-            Ok((side, element)) => {
-                exec.push(side, element);
-                fed += 1;
-                while let Ok((side, element)) = rx.try_recv() {
-                    exec.push(side, element);
-                    fed += 1;
+            Ok(msg) => {
+                feed(msg, &mut fed);
+                while let Ok(msg) = rx.try_recv() {
+                    feed(msg, &mut fed);
                 }
             }
             Err(_) => {
                 if server.all_finished() {
-                    while let Ok((side, element)) = rx.try_recv() {
-                        exec.push(side, element);
-                        fed += 1;
+                    while let Ok(msg) = rx.try_recv() {
+                        feed(msg, &mut fed);
                     }
                     break;
                 }
