@@ -1,0 +1,185 @@
+//! Cluster execution over loopback: end-to-end throughput by worker
+//! count, and the cost of an elastic repartition.
+//!
+//! Two families of measurements land in `BENCH_cluster.json`:
+//!
+//! * **throughput**: a keyed punctuated workload pushed through a full
+//!   cluster — coordinator routing, TCP loopback to every worker's
+//!   ingest server, PJoin shards, TCP back through each worker's sink —
+//!   for 1, 2, and 4 workers. Elements/sec covers assembly to final
+//!   drain, so it prices the whole distributed path, not just the join.
+//! * **migration pause**: the coordinator-observed stop-the-world window
+//!   of one mid-stream repartition (barrier in, state over the wire,
+//!   commit, punctuation re-injection) as a function of the number of
+//!   resident records at the barrier.
+//!
+//! Workers run as threads (the worker loop is identical to the
+//! `punct-worker` binary); all traffic still crosses real sockets.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use punct_cluster::{run_worker, Cluster, ClusterOptions, JoinSpec, WorkerOptions};
+use punct_net::{BackoffPolicy, ClientOptions};
+use punct_types::{Pattern, Punctuation, StreamElement, Timestamp, Timestamped, Tuple};
+use stream_sim::Side;
+
+const KEYS: i64 = 800;
+
+/// Keyed pairs with trailing per-key close punctuations and stream-end
+/// wildcards — the grammatical steady-state shape: state is purged a few
+/// keys behind the frontier, so workers stay small.
+fn workload(keys: i64) -> Vec<(Side, StreamElement)> {
+    let mut work: Vec<(Side, StreamElement)> = Vec::new();
+    for k in 0..keys {
+        work.push((Side::Left, Tuple::of((k, 10 * k)).into()));
+        work.push((Side::Right, Tuple::of((k, -k)).into()));
+        if k >= 4 {
+            let c = k - 4;
+            work.push((Side::Left, Punctuation::close_value(2, 0, c).into()));
+            work.push((Side::Right, Punctuation::close_value(2, 0, c).into()));
+        }
+    }
+    let wild = Punctuation::on_attr(2, 0, Pattern::Wildcard);
+    work.push((Side::Left, wild.clone().into()));
+    work.push((Side::Right, wild.into()));
+    work
+}
+
+fn options(workers: usize) -> ClusterOptions {
+    let mut opts = ClusterOptions::new(JoinSpec::new(2, 2), workers, workers);
+    opts.client =
+        ClientOptions { policy: BackoffPolicy::fast(), seed: 77, ..ClientOptions::default() };
+    opts
+}
+
+fn spawn_cluster(
+    opts: ClusterOptions,
+) -> (Cluster, Vec<std::thread::JoinHandle<Result<punct_cluster::WorkerReport, punct_cluster::ClusterError>>>)
+{
+    let workers = opts.workers as u32;
+    let mut cluster = Cluster::bind(opts).expect("bind coordinator");
+    let ctrl = cluster.ctrl_addr();
+    let handles: Vec<_> = (0..workers)
+        .map(|i| std::thread::spawn(move || run_worker(WorkerOptions::new(i, ctrl))))
+        .collect();
+    cluster.accept_workers().expect("assemble cluster");
+    (cluster, handles)
+}
+
+/// One full run: assemble, stream, drain, tear down. Returns elements out.
+fn run_once(workers: usize, work: &[(Side, StreamElement)]) -> usize {
+    let (mut cluster, handles) = spawn_cluster(options(workers));
+    let mut outputs = 0usize;
+    for (i, (side, el)) in work.iter().enumerate() {
+        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        if i % 128 == 0 {
+            outputs += cluster.poll_outputs().expect("poll").len();
+        }
+    }
+    let report = cluster.finish().expect("finish");
+    outputs += report.outputs.len();
+    for h in handles {
+        h.join().expect("worker thread").expect("worker");
+    }
+    outputs
+}
+
+/// One repartition with `resident` unclosed left records at the barrier.
+/// Returns (records moved, coordinator-observed pause).
+fn migrate_once(workers: usize, resident: i64) -> (u64, Duration) {
+    let (mut cluster, handles) = spawn_cluster(options(workers));
+    for k in 0..resident {
+        cluster.push_tuple(Side::Left, k as u64, Tuple::of((k, 10 * k))).expect("push");
+    }
+    let stats = cluster.repartition(workers * 2).expect("repartition");
+    // Close everything out so teardown is clean.
+    for k in 0..resident {
+        cluster
+            .push_tuple(Side::Right, (resident + k) as u64, Tuple::of((k, -k)))
+            .expect("push");
+    }
+    let wild = Punctuation::on_attr(2, 0, Pattern::Wildcard);
+    for side in [Side::Left, Side::Right] {
+        cluster
+            .push(side, Timestamped::new(Timestamp(3 * resident as u64), wild.clone().into()))
+            .expect("push punct");
+    }
+    cluster.finish().expect("finish");
+    for h in handles {
+        h.join().expect("worker thread").expect("worker");
+    }
+    (stats.records_moved, stats.pause)
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let work = workload(KEYS);
+    let mut g = c.benchmark_group("cluster_throughput");
+    g.throughput(Throughput::Elements(work.len() as u64));
+    g.sample_size(10);
+    for &workers in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_once(w, &work)))
+        });
+    }
+    g.finish();
+}
+
+fn write_summary(c: &Criterion) {
+    let work = workload(KEYS);
+    let mut rows = String::new();
+    for &workers in &[1usize, 2, 4] {
+        let m = c
+            .measurements()
+            .iter()
+            .find(|m| m.group == "cluster_throughput" && m.id == format!("workers/{workers}"))
+            .cloned();
+        let eps = m.as_ref().and_then(|m| m.per_second()).unwrap_or(0.0);
+        let mean_ns = m.as_ref().map(|m| m.mean_ns).unwrap_or(0.0);
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"kind\": \"throughput\", \"workers\": {}, \"elements\": {}, \"mean_ns\": {:.1}, \"elements_per_sec\": {:.1}}}",
+            workers,
+            work.len(),
+            mean_ns,
+            eps,
+        );
+    }
+    // Migration pause: direct coordinator-side measurement, three state
+    // sizes, two workers -> four shards.
+    for &resident in &[100i64, 400, 1600] {
+        let (moved, pause) = migrate_once(2, resident);
+        rows.push_str(",\n");
+        let _ = write!(
+            rows,
+            "    {{\"kind\": \"migration_pause\", \"workers\": 2, \"resident_records\": {}, \"records_moved\": {}, \"pause_ns\": {}}}",
+            resident,
+            moved,
+            pause.as_nanos(),
+        );
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_scaling\",\n  \"cores\": {cores},\n  \"note\": \"full distributed path over loopback: coordinator routing, per-worker TCP ingest, PJoin shards, TCP sink, exactly-once alignment; with cores <= worker count the coordinator and all workers share CPUs, so worker count prices coordination overhead, not parallel speedup; migration pause is the coordinator-observed stop-the-world window of one barrier-coordinated repartition (2 workers, 2 -> 4 shards)\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_cluster(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free; only a real bench run
+    // refreshes the summary file.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

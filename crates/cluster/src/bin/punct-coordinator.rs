@@ -1,0 +1,76 @@
+//! Cluster coordinator demo process: binds the control endpoint, prints
+//! it, waits for workers, then drives a small keyed workload with one
+//! mid-stream repartition and prints the merged output accounting.
+//!
+//! ```text
+//! punct-coordinator [workers] [shards] [keys]
+//! ```
+//!
+//! Pair it with `punct-worker`:
+//!
+//! ```text
+//! $ punct-coordinator 2 4 64          # prints "control plane at <addr>"
+//! $ punct-worker <addr> 0 & punct-worker <addr> 1 &
+//! ```
+
+use std::process::ExitCode;
+
+use punct_cluster::{Cluster, ClusterError, ClusterOptions, JoinSpec};
+use punct_types::{Punctuation, Tuple};
+use stream_sim::Side;
+
+fn run(workers: usize, shards: usize, keys: i64) -> Result<(), ClusterError> {
+    let mut cluster = Cluster::bind(ClusterOptions::new(JoinSpec::new(2, 2), workers, shards))?;
+    println!("control plane at {}", cluster.ctrl_addr());
+    println!("waiting for {workers} workers…");
+    cluster.accept_workers()?;
+    println!("cluster assembled: {shards} shards over {workers} workers");
+
+    let mut ts = 0u64;
+    let mut outputs = Vec::new();
+    for k in 0..keys {
+        cluster.push_tuple(Side::Left, ts, Tuple::of((k, 10 * k)))?;
+        cluster.push_tuple(Side::Right, ts + 1, Tuple::of((k, -k)))?;
+        cluster.push_punct(Side::Left, ts + 2, Punctuation::close_value(2, 0, k))?;
+        ts += 3;
+        if k == keys / 2 {
+            let stats = cluster.repartition(shards * 2)?;
+            println!(
+                "repartitioned {} → {} shards: {} records moved, {} punctuations \
+                 re-injected, {:?} pause",
+                shards,
+                stats.shards,
+                stats.records_moved,
+                stats.puncts_reinjected,
+                stats.pause
+            );
+        }
+        outputs.extend(cluster.poll_outputs()?);
+    }
+    let report = cluster.finish()?;
+    outputs.extend(report.outputs);
+    let tuples = outputs.iter().filter(|e| e.item.is_tuple()).count();
+    let puncts = outputs.len() - tuples;
+    println!(
+        "done: {} pushed, {tuples} joined tuples out, {puncts} punctuations propagated",
+        report.pushed
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |i: usize, default: i64| -> i64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let workers = arg(1, 2) as usize;
+    let shards = arg(2, 4) as usize;
+    let keys = arg(3, 64);
+    match run(workers, shards, keys) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("punct-coordinator: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

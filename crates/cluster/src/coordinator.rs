@@ -1,0 +1,719 @@
+//! The cluster coordinator: owner of the shard map, router of the data
+//! plane, and conductor of punctuation-coordinated repartitioning.
+//!
+//! One [`Cluster`] value is the whole control surface: it accepts worker
+//! handshakes, routes every pushed element to the worker owning its
+//! shard (through per-worker fault-tolerant [`StreamSender`]s, optionally
+//! behind a [`FaultProxy`]), merges worker sinks into one output stream,
+//! and aligns punctuation propagations across workers so the merged
+//! stream carries each ingested punctuation **exactly once** — the
+//! cluster is indistinguishable from one single-threaded PJoin to a
+//! downstream consumer, modulo output order.
+//!
+//! ## The migration state machine
+//!
+//! [`Cluster::repartition`] runs one synchronous epoch change:
+//!
+//! 1. **Arm**: `MigrateBegin { epoch, nonce }` to every worker on the
+//!    control plane.
+//! 2. **Barrier**: an Empty-pattern punctuation down *both* data streams
+//!    of *every* worker, then flush — the barrier is ordered behind all
+//!    earlier elements and delivered exactly once even through a faulty
+//!    link, because it is an ordinary sequenced element.
+//! 3. **Drain**: each worker publishes its sink marker, reports
+//!    `BarrierReached`, and exports its state; the coordinator consumes
+//!    each sink up to the marker so every pre-barrier output (and
+//!    propagation observation) lands before the new epoch exists.
+//! 4. **Rehash + install**: exported records are re-partitioned under
+//!    the new map and shipped to their new owners, followed by
+//!    `MigrateCommit`; workers echo the commit.
+//! 5. **Re-inject**: punctuations ingested before the barrier but not
+//!    yet fully propagated are re-sent through the new topology, with
+//!    fresh aligner expectations — never-dropped, never-duplicated.
+//!
+//! Pushes are rejected while a migration is in flight (single migration
+//! at a time is a cluster-v1 constraint, enforced by construction: this
+//! method is synchronous).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+use pjoin::components::propagation::translate_punctuation;
+use pjoin::PJoinConfig;
+use punct_exec::{route_punctuation, AlignOutcome, Aligner, Route};
+use punct_net::{
+    ClientOptions, FaultConfig, FaultProxy, Frame, ProxyStats, SinkSubscriber, StreamSender,
+    WIRE_VERSION,
+};
+use punct_types::{
+    partition, PunctSeq, Punctuation, ShardMap, StreamElement, Timestamp, Timestamped, Tuple,
+    Value,
+};
+use stream_sim::Side;
+
+use crate::error::ClusterError;
+use crate::protocol::{
+    barrier_punct, is_barrier, CtrlConn, JoinSpec, CTRL_TIMEOUT, MIGRATE_CHUNK,
+};
+
+/// How a cluster is assembled and driven.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// The join every shard runs.
+    pub spec: JoinSpec,
+    /// Worker processes expected to join.
+    pub workers: usize,
+    /// Initial number of global shards.
+    pub shards: usize,
+    /// Data-plane client options (per-worker stream senders).
+    pub client: ClientOptions,
+    /// When set, a [`FaultProxy`] with this configuration is spawned in
+    /// front of **each worker's ingest server**, so every data-plane
+    /// link misbehaves independently.
+    pub fault: Option<FaultConfig>,
+    /// Deadline for any single control-plane exchange.
+    pub ctrl_timeout: Duration,
+}
+
+impl ClusterOptions {
+    /// A cluster of `workers` workers serving `shards` shards of the
+    /// `spec` join, with default transport options and clean links.
+    pub fn new(spec: JoinSpec, workers: usize, shards: usize) -> ClusterOptions {
+        ClusterOptions {
+            spec,
+            workers,
+            shards,
+            client: ClientOptions::default(),
+            fault: None,
+            ctrl_timeout: CTRL_TIMEOUT,
+        }
+    }
+}
+
+/// One repartition's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// The epoch the migration activated.
+    pub epoch: u64,
+    /// Global shard count after the migration.
+    pub shards: usize,
+    /// Records moved (sum over shards and sides).
+    pub records_moved: u64,
+    /// Punctuations re-injected through the new topology.
+    pub puncts_reinjected: u64,
+    /// Wall-clock duration of the whole migration (the data-plane pause).
+    pub pause: Duration,
+}
+
+/// Final accounting for one cluster run.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// The merged output stream (tuples + punctuations, arrival order).
+    pub outputs: Vec<Timestamped<StreamElement>>,
+    /// Elements pushed into the cluster (tuples + punctuations, not
+    /// counting barriers or re-injections).
+    pub pushed: u64,
+    /// Every completed migration, in order.
+    pub migrations: Vec<MigrationStats>,
+    /// Data-plane reconnects summed over senders (fault recovery).
+    pub sender_reconnects: u32,
+    /// Per-worker fault-proxy stats, when proxies were configured.
+    pub proxy_stats: Vec<ProxyStats>,
+}
+
+struct WorkerLink {
+    ctrl: CtrlConn,
+    proxy: Option<FaultProxy>,
+    left: StreamSender,
+    right: StreamSender,
+    sink: SinkSubscriber,
+    sink_done: bool,
+}
+
+impl WorkerLink {
+    fn sender(&mut self, side: Side) -> &mut StreamSender {
+        match side {
+            Side::Left => &mut self.left,
+            Side::Right => &mut self.right,
+        }
+    }
+}
+
+/// A running cluster, from the driving process's point of view.
+pub struct Cluster {
+    opts: ClusterOptions,
+    cfg: PJoinConfig,
+    listener: TcpListener,
+    ctrl_addr: SocketAddr,
+    map: ShardMap,
+    links: Vec<WorkerLink>,
+    aligner: Aligner,
+    next_seq: u64,
+    /// Input punctuations not yet emitted downstream, by aligner
+    /// sequence — the re-injection log.
+    pending_log: HashMap<u64, (Side, Punctuation)>,
+    /// Outputs drained from worker sinks, ready for the caller.
+    ready: Vec<Timestamped<StreamElement>>,
+    clock: Timestamp,
+    pushed: u64,
+    migrations: Vec<MigrationStats>,
+}
+
+impl Cluster {
+    /// Binds the control endpoint. Workers can be launched against
+    /// [`ctrl_addr`](Cluster::ctrl_addr) as soon as this returns;
+    /// [`accept_workers`](Cluster::accept_workers) completes the
+    /// assembly.
+    pub fn bind(opts: ClusterOptions) -> Result<Cluster, ClusterError> {
+        assert!(opts.workers > 0, "a cluster needs at least one worker");
+        assert!(opts.workers <= 64, "the punctuation aligner masks at most 64 workers");
+        assert!(opts.shards >= opts.workers, "fewer shards than workers leaves workers idle");
+        assert!(opts.shards <= 64, "shard routing masks at most 64 global shards");
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let ctrl_addr = listener.local_addr()?;
+        let cfg = opts.spec.pjoin_config();
+        Ok(Cluster {
+            cfg,
+            listener,
+            ctrl_addr,
+            map: ShardMap { epoch: 0, assignment: Vec::new() },
+            links: Vec::new(),
+            aligner: Aligner::new(),
+            next_seq: 0,
+            pending_log: HashMap::new(),
+            ready: Vec::new(),
+            clock: Timestamp(0),
+            pushed: 0,
+            migrations: Vec::new(),
+            opts,
+        })
+    }
+
+    /// The control-plane address workers join through.
+    pub fn ctrl_addr(&self) -> SocketAddr {
+        self.ctrl_addr
+    }
+
+    /// The active shard map.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Accepts the configured number of worker handshakes, wires the
+    /// data plane (senders + sink subscriptions, with fault proxies when
+    /// configured), and activates the initial shard-map epoch on every
+    /// worker. Returns once all workers acknowledged the epoch.
+    pub fn accept_workers(&mut self) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+        let mut joined: Vec<Option<WorkerLink>> = Vec::new();
+        joined.resize_with(self.opts.workers, || None);
+        self.listener.set_nonblocking(true)?;
+        while joined.iter().any(Option::is_none) {
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Timeout("worker handshakes".into()));
+            }
+            let sock = match self.listener.accept() {
+                Ok((sock, _)) => sock,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(ClusterError::Io(e)),
+            };
+            let mut ctrl = CtrlConn::from_stream(sock)?;
+            let frame = ctrl.recv_deadline(deadline, "JoinCluster")?;
+            let Frame::JoinCluster { wire_version, worker, ingest_addr, sink_addr } = frame
+            else {
+                return Err(ClusterError::Protocol(format!(
+                    "expected JoinCluster, got {frame:?}"
+                )));
+            };
+            if wire_version != WIRE_VERSION {
+                ctrl.send(&Frame::Error {
+                    code: punct_net::error_code::VERSION_MISMATCH,
+                    message: format!(
+                        "coordinator speaks wire v{WIRE_VERSION}, worker spoke v{wire_version}"
+                    ),
+                })?;
+                return Err(ClusterError::Protocol(format!(
+                    "worker {worker} speaks wire v{wire_version}, expected v{WIRE_VERSION}"
+                )));
+            }
+            let idx = worker as usize;
+            if idx >= joined.len() || joined[idx].is_some() {
+                return Err(ClusterError::Protocol(format!(
+                    "unexpected or duplicate worker index {worker}"
+                )));
+            }
+            let ingest: SocketAddr = ingest_addr
+                .parse()
+                .map_err(|_| ClusterError::Protocol(format!("bad ingest addr {ingest_addr}")))?;
+            let sink: SocketAddr = sink_addr
+                .parse()
+                .map_err(|_| ClusterError::Protocol(format!("bad sink addr {sink_addr}")))?;
+            let proxy = match &self.opts.fault {
+                Some(cfg) => {
+                    // Give each link an independent fault schedule.
+                    let mut cfg = *cfg;
+                    cfg.seed = cfg.seed.wrapping_add(0x9E37_79B9 * (idx as u64 + 1));
+                    Some(FaultProxy::spawn(ingest, cfg)?)
+                }
+                None => None,
+            };
+            let data_addr = proxy.as_ref().map_or(ingest, FaultProxy::addr);
+            let left = StreamSender::new(
+                data_addr,
+                0,
+                Side::Left,
+                self.opts.spec.side_schema(Side::Left),
+                self.opts.client.clone(),
+            );
+            let right = StreamSender::new(
+                data_addr,
+                1,
+                Side::Right,
+                self.opts.spec.side_schema(Side::Right),
+                self.opts.client.clone(),
+            );
+            joined[idx] = Some(WorkerLink {
+                ctrl,
+                proxy,
+                left,
+                right,
+                sink: SinkSubscriber::new(sink),
+                sink_done: false,
+            });
+        }
+        self.links = joined.into_iter().map(|l| l.expect("all slots filled")).collect();
+
+        // Activate epoch 1 through the unified staged-install path:
+        // ShardMapUpdate stages, MigrateCommit activates and is echoed.
+        self.map = ShardMap::round_robin(1, self.opts.shards, self.opts.workers);
+        let blob = self.opts.spec.encode();
+        for (idx, link) in self.links.iter_mut().enumerate() {
+            link.ctrl.send(&Frame::ShardMapUpdate {
+                worker: idx as u32,
+                map: self.map.clone(),
+                config: blob.clone(),
+            })?;
+            link.ctrl.send(&Frame::MigrateCommit { epoch: 1 })?;
+        }
+        self.await_commits(1)?;
+        Ok(())
+    }
+
+    /// Routes one element to the worker(s) owning it under the active
+    /// map. Tuples go to exactly one worker; punctuations go to every
+    /// worker owning a shard they can close, with an aligner expectation
+    /// so the merged output carries them exactly once.
+    pub fn push(
+        &mut self,
+        side: Side,
+        element: Timestamped<StreamElement>,
+    ) -> Result<(), ClusterError> {
+        self.clock = self.clock.max(element.ts);
+        self.pushed += 1;
+        match element.item {
+            StreamElement::Tuple(ref t) => {
+                let hash = t.get(self.opts.spec.join_attr(side)).and_then(Value::join_hash);
+                let worker = self.map.worker_of(partition(hash, self.map.shards())) as usize;
+                self.links[worker].sender(side).push(element)?;
+                Ok(())
+            }
+            StreamElement::Punctuation(ref p) => {
+                if p.width() != self.opts.spec.side_width(side) {
+                    // Mirror the single-threaded operator: ignore.
+                    return Ok(());
+                }
+                if is_barrier(p, self.opts.spec.join_attr(side)) {
+                    return Err(ClusterError::Protocol(
+                        "Empty-pattern punctuations on the join attribute are reserved \
+                         for cluster barriers"
+                            .into(),
+                    ));
+                }
+                let p = p.clone();
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.route_punct(side, &p, seq, element.ts)?;
+                self.pending_log.insert(seq, (side, p));
+                Ok(())
+            }
+        }
+    }
+
+    /// Convenience: push a tuple arriving at `ts` on `side`.
+    pub fn push_tuple(&mut self, side: Side, ts: u64, tuple: Tuple) -> Result<(), ClusterError> {
+        self.push(side, Timestamped::new(Timestamp(ts), StreamElement::Tuple(tuple)))
+    }
+
+    /// Convenience: push a punctuation arriving at `ts` on `side`.
+    pub fn push_punct(
+        &mut self,
+        side: Side,
+        ts: u64,
+        punct: Punctuation,
+    ) -> Result<(), ClusterError> {
+        self.push(side, Timestamped::new(Timestamp(ts), StreamElement::Punctuation(punct)))
+    }
+
+    /// Registers the aligner expectation for punctuation `p` (sequence
+    /// `seq`) under the active map and sends it to every target worker.
+    fn route_punct(
+        &mut self,
+        side: Side,
+        p: &Punctuation,
+        seq: u64,
+        ts: Timestamp,
+    ) -> Result<(), ClusterError> {
+        let route = route_punctuation(p, side, &self.cfg, self.map.shards());
+        let workers = self.target_workers(&route);
+        debug_assert!(!workers.is_empty(), "every shard has an owner");
+        let mask = workers.iter().fold(0u64, |m, &w| m | (1 << w));
+        let translated = translate_punctuation(
+            p,
+            self.opts.spec.side_offset(side),
+            self.opts.spec.output_width(),
+        );
+        self.aligner.expect(translated, PunctSeq(seq), mask);
+        for w in workers {
+            self.links[w]
+                .sender(side)
+                .push(Timestamped::new(ts, StreamElement::Punctuation(p.clone())))?;
+        }
+        Ok(())
+    }
+
+    /// The distinct workers owning any shard of `route`, ascending.
+    fn target_workers(&self, route: &Route) -> Vec<usize> {
+        let shard_mask = route.mask(self.map.shards());
+        let mut workers: Vec<usize> = (0..self.map.shards())
+            .filter(|s| shard_mask & (1 << s) != 0)
+            .map(|s| self.map.worker_of(s) as usize)
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        workers
+    }
+
+    /// Drains whatever the worker sinks have published so far, in
+    /// arrival order per worker. Tuples pass through; punctuation
+    /// propagations are merged by the aligner (exactly one copy emitted
+    /// once every target worker propagated). Call this periodically
+    /// while pushing to keep sink buffers small.
+    pub fn poll_outputs(&mut self) -> Result<Vec<Timestamped<StreamElement>>, ClusterError> {
+        for w in 0..self.links.len() {
+            loop {
+                if self.links[w].sink_done {
+                    break;
+                }
+                match self.links[w].sink.next(Duration::from_millis(1))? {
+                    Some(element) => {
+                        self.absorb(w, element, false)?;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Folds one sink element into the merged output. `marker_ok` admits
+    /// the migration sink marker (only the repartition drain sets it).
+    /// Returns whether the element was that marker.
+    fn absorb(
+        &mut self,
+        worker: usize,
+        element: Timestamped<StreamElement>,
+        marker_ok: bool,
+    ) -> Result<bool, ClusterError> {
+        match element.item {
+            StreamElement::Tuple(_) => {
+                self.ready.push(element);
+                Ok(false)
+            }
+            StreamElement::Punctuation(ref p) => {
+                if is_barrier(p, self.opts.spec.join_attr_a) {
+                    if marker_ok {
+                        return Ok(true);
+                    }
+                    return Err(ClusterError::Protocol(format!(
+                        "worker {worker} published a sink marker outside a migration"
+                    )));
+                }
+                let (outcome, seq) = self.aligner.observe_seq(worker, p);
+                match outcome {
+                    AlignOutcome::Emit => {
+                        self.pending_log
+                            .remove(&seq.expect("emit resolves an instance").0);
+                        self.ready.push(element);
+                        Ok(false)
+                    }
+                    AlignOutcome::Pending => Ok(false),
+                    AlignOutcome::Unexpected => Err(ClusterError::Protocol(format!(
+                        "worker {worker} propagated an unregistered punctuation {p}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Elastically repartitions the cluster to `new_shards` global
+    /// shards: barrier, drain, migrate, commit, re-inject. Synchronous —
+    /// when this returns the new epoch is active everywhere and pushes
+    /// may resume. No join output is lost or duplicated across the
+    /// resize, and no punctuation is propagated twice.
+    pub fn repartition(&mut self, new_shards: usize) -> Result<MigrationStats, ClusterError> {
+        assert!(new_shards >= self.opts.workers, "fewer shards than workers");
+        assert!(new_shards <= 64, "shard routing masks at most 64 global shards");
+        let t0 = Instant::now();
+        let epoch = self.map.epoch + 1;
+        let nonce = epoch;
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+
+        // 1. Arm every worker.
+        for link in &mut self.links {
+            link.ctrl.send(&Frame::MigrateBegin { epoch, nonce })?;
+        }
+        // 2. Barrier both streams of every worker, then flush: once
+        // flushed, the barrier (and everything before it) is in each
+        // worker's ingest channel exactly once.
+        let ts = self.clock;
+        for link in &mut self.links {
+            for side in [Side::Left, Side::Right] {
+                let b = barrier_punct(&self.opts.spec, side);
+                link.sender(side).push(Timestamped::new(ts, StreamElement::Punctuation(b)))?;
+            }
+            link.left.flush()?;
+            link.right.flush()?;
+        }
+        // 3a. Workers confirm the barrier crossed both their streams.
+        for w in 0..self.links.len() {
+            let frame = self.links[w].ctrl.recv_deadline(deadline, "BarrierReached")?;
+            match frame {
+                Frame::BarrierReached { nonce: got } if got == nonce => {}
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "expected BarrierReached({nonce}) from worker {w}, got {other:?}"
+                    )))
+                }
+            }
+        }
+        // 3b. Drain each sink to its marker: every pre-barrier output
+        // and propagation observation lands before the new epoch.
+        for w in 0..self.links.len() {
+            loop {
+                match self.links[w].sink.next(Duration::from_millis(200))? {
+                    Some(element) => {
+                        if self.absorb(w, element, true)? {
+                            break;
+                        }
+                    }
+                    None => {
+                        if Instant::now() >= deadline {
+                            return Err(ClusterError::Timeout(format!(
+                                "sink marker from worker {w}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        // 3c. Collect every worker's exported state.
+        let mut moved: Vec<(Side, u64, Tuple)> = Vec::new();
+        for w in 0..self.links.len() {
+            let mut announced: Option<u64> = None;
+            let mut got: u64 = 0;
+            while announced != Some(got) {
+                let frame = self.links[w].ctrl.recv_deadline(deadline, "migration state")?;
+                match frame {
+                    Frame::MigrateState { side, records, .. } => {
+                        let side = if side == 0 { Side::Left } else { Side::Right };
+                        got += records.len() as u64;
+                        moved.extend(
+                            records.into_iter().map(|(us, t)| (side, us, t)),
+                        );
+                    }
+                    Frame::MigrateStateDone { records } => {
+                        if records < got {
+                            return Err(ClusterError::Protocol(format!(
+                                "worker {w} announced {records} records after sending {got}"
+                            )));
+                        }
+                        announced = Some(records);
+                        if records == got {
+                            break;
+                        }
+                    }
+                    other => {
+                        return Err(ClusterError::Protocol(format!(
+                            "expected migration state from worker {w}, got {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        let records_moved = moved.len() as u64;
+
+        // 4. Rehash under the new map and install.
+        let new_map = ShardMap::round_robin(epoch, new_shards, self.opts.workers);
+        // Keyed by (new global shard, side index).
+        type ShardRecords = HashMap<(u32, u8), Vec<(u64, Tuple)>>;
+        let mut per_worker: Vec<ShardRecords> = vec![HashMap::new(); self.links.len()];
+        for (side, arrival_us, tuple) in moved {
+            let hash = tuple.get(self.opts.spec.join_attr(side)).and_then(Value::join_hash);
+            let shard = partition(hash, new_shards);
+            let worker = new_map.worker_of(shard) as usize;
+            let side_idx = if side == Side::Left { 0u8 } else { 1u8 };
+            per_worker[worker]
+                .entry((shard as u32, side_idx))
+                .or_default()
+                .push((arrival_us, tuple));
+        }
+        let blob = self.opts.spec.encode();
+        for (w, groups) in per_worker.into_iter().enumerate() {
+            let link = &mut self.links[w];
+            link.ctrl.send(&Frame::ShardMapUpdate {
+                worker: w as u32,
+                map: new_map.clone(),
+                config: blob.clone(),
+            })?;
+            let mut installed: u64 = 0;
+            for ((shard, side), records) in groups {
+                installed += records.len() as u64;
+                for chunk in records.chunks(MIGRATE_CHUNK) {
+                    link.ctrl.send(&Frame::MigrateState {
+                        shard,
+                        side,
+                        records: chunk.to_vec(),
+                    })?;
+                }
+            }
+            link.ctrl.send(&Frame::MigrateStateDone { records: installed })?;
+            link.ctrl.send(&Frame::MigrateCommit { epoch })?;
+        }
+        self.await_commits(epoch)?;
+        self.map = new_map;
+
+        // 5. Re-inject not-yet-emitted punctuations through the new
+        // topology, oldest first. Their partial pre-barrier propagation
+        // observations were dropped with the old expectations, so each
+        // still emits exactly once.
+        let pending = self.aligner.drain_pending();
+        let puncts_reinjected = pending.len() as u64;
+        for (_, seq) in pending {
+            let (side, p) = self.pending_log.get(&seq.0).cloned().ok_or_else(|| {
+                ClusterError::Protocol(format!("pending punctuation {} not in log", seq.0))
+            })?;
+            self.route_punct(side, &p, seq.0, ts)?;
+        }
+
+        let stats = MigrationStats {
+            epoch,
+            shards: new_shards,
+            records_moved,
+            puncts_reinjected,
+            pause: t0.elapsed(),
+        };
+        self.migrations.push(stats);
+        Ok(stats)
+    }
+
+    /// Waits for every worker to echo `MigrateCommit { epoch }`.
+    fn await_commits(&mut self, epoch: u64) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+        for w in 0..self.links.len() {
+            let frame = self.links[w].ctrl.recv_deadline(deadline, "MigrateCommit echo")?;
+            match frame {
+                Frame::MigrateCommit { epoch: got } if got == epoch => {}
+                other => {
+                    return Err(ClusterError::Protocol(format!(
+                        "expected MigrateCommit({epoch}) echo from worker {w}, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes both streams of every worker, drains every sink to
+    /// completion, and returns the merged output with full accounting.
+    /// Every ingested punctuation has been emitted exactly once when
+    /// this returns.
+    pub fn finish(mut self) -> Result<ClusterReport, ClusterError> {
+        let mut sender_reconnects = 0;
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+        for link in &mut self.links {
+            // `StreamSender::finish` consumes the sender; swap in husks.
+            let left = std::mem::replace(
+                &mut link.left,
+                StreamSender::new(
+                    "127.0.0.1:1".parse().expect("literal addr"),
+                    0,
+                    Side::Left,
+                    self.opts.spec.side_schema(Side::Left),
+                    ClientOptions::default(),
+                ),
+            );
+            let right = std::mem::replace(
+                &mut link.right,
+                StreamSender::new(
+                    "127.0.0.1:1".parse().expect("literal addr"),
+                    1,
+                    Side::Right,
+                    self.opts.spec.side_schema(Side::Right),
+                    ClientOptions::default(),
+                ),
+            );
+            sender_reconnects += left.reconnects() + right.reconnects();
+            left.finish()?;
+            right.finish()?;
+        }
+        loop {
+            let mut all_done = true;
+            for w in 0..self.links.len() {
+                if self.links[w].sink_done {
+                    continue;
+                }
+                while let Some(element) = self.links[w].sink.next(Duration::from_millis(20))? {
+                    self.absorb(w, element, false)?;
+                }
+                if self.links[w].sink.finished() {
+                    self.links[w].sink_done = true;
+                } else {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Timeout("worker sinks to finish".into()));
+            }
+        }
+        if self.aligner.pending_len() != 0 || !self.pending_log.is_empty() {
+            return Err(ClusterError::Protocol(format!(
+                "{} punctuations never fully propagated",
+                self.aligner.pending_len().max(self.pending_log.len())
+            )));
+        }
+        let proxy_stats = self
+            .links
+            .iter()
+            .filter_map(|l| l.proxy.as_ref().map(FaultProxy::stats))
+            .collect();
+        Ok(ClusterReport {
+            outputs: std::mem::take(&mut self.ready),
+            pushed: self.pushed,
+            migrations: std::mem::take(&mut self.migrations),
+            sender_reconnects,
+            proxy_stats,
+        })
+    }
+}

@@ -1,0 +1,72 @@
+//! Cluster-layer errors.
+
+use std::fmt;
+
+use pjoin::StateExportError;
+use punct_net::NetError;
+use punct_types::WireError;
+
+/// Everything that can go wrong running a cluster: transport failures,
+/// malformed control frames, and protocol-state violations (a frame the
+/// current migration state machine cannot accept).
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An I/O error on a control or data connection.
+    Io(std::io::Error),
+    /// A data-plane transport error (sender/subscriber).
+    Net(NetError),
+    /// A control frame failed to decode.
+    Wire(WireError),
+    /// Join state could not be exported for migration (disk-resident or
+    /// purge-buffered state; cluster v1 requires memory-only eager
+    /// configurations).
+    Export(StateExportError),
+    /// A well-formed frame (or element) that violates the protocol state
+    /// machine — e.g. a punctuation propagation nobody registered, a
+    /// migration frame outside a migration, a stale epoch.
+    Protocol(String),
+    /// A peer closed its control connection mid-protocol.
+    Disconnected(String),
+    /// A peer failed to produce an expected frame in time.
+    Timeout(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "cluster i/o error: {e}"),
+            ClusterError::Net(e) => write!(f, "cluster transport error: {e}"),
+            ClusterError::Wire(e) => write!(f, "cluster control frame error: {e}"),
+            ClusterError::Export(e) => write!(f, "state export failed: {e}"),
+            ClusterError::Protocol(what) => write!(f, "cluster protocol violation: {what}"),
+            ClusterError::Disconnected(who) => write!(f, "{who} disconnected mid-protocol"),
+            ClusterError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> ClusterError {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<NetError> for ClusterError {
+    fn from(e: NetError) -> ClusterError {
+        ClusterError::Net(e)
+    }
+}
+
+impl From<WireError> for ClusterError {
+    fn from(e: WireError) -> ClusterError {
+        ClusterError::Wire(e)
+    }
+}
+
+impl From<StateExportError> for ClusterError {
+    fn from(e: StateExportError) -> ClusterError {
+        ClusterError::Export(e)
+    }
+}

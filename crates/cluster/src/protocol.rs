@@ -1,0 +1,284 @@
+//! The cluster-layer protocol: the join specification blob carried in
+//! `ShardMapUpdate`, the in-band barrier punctuations that coordinate
+//! repartitioning, and a small blocking control-plane connection over
+//! the shared [`Frame`] codec.
+//!
+//! ## Barriers are punctuations
+//!
+//! A repartition barrier is an ordinary punctuation with
+//! [`Pattern::Empty`] on the **join attribute** — a pattern that matches
+//! no value, so it closes nothing and would be inert through PJoin. It
+//! rides the data streams like any element: it is ordered behind every
+//! tuple and punctuation pushed before it, it is sequence-numbered by the
+//! transport, and it is therefore delivered **exactly once** even
+//! through a faulty link. Workers recognise it by shape and never feed
+//! it to their joins; the cluster layer reserves Empty-at-join-attr
+//! punctuations for itself.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use pjoin::{IndexBuildStrategy, PJoinConfig, PropagationTrigger, PurgeStrategy};
+use punct_net::{encode_frame, Frame, FrameBuffer};
+use punct_types::{Pattern, Punctuation, Schema, ValueType, WireReader};
+use stream_sim::Side;
+
+use crate::error::ClusterError;
+
+/// Records per `MigrateState` frame on the wire.
+pub const MIGRATE_CHUNK: usize = 4096;
+
+/// Default deadline for any single control-plane exchange.
+pub const CTRL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The cluster-wide join specification: everything a worker needs to
+/// build a PJoin identical to every other shard's.
+///
+/// Cluster v1 pins the operational strategies — **eager purge, eager
+/// index build, per-punctuation propagation, memory-only state** — so
+/// that a drained shard's state is exactly its stored tuples
+/// ([`PJoin::export_records`](pjoin::PJoin::export_records) enforces
+/// this) and every received punctuation is propagated by stream end.
+/// Only the schema-shaped knobs travel in the blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Width (attribute count) of stream A tuples.
+    pub width_a: usize,
+    /// Width of stream B tuples.
+    pub width_b: usize,
+    /// Join attribute index in stream A tuples.
+    pub join_attr_a: usize,
+    /// Join attribute index in stream B tuples.
+    pub join_attr_b: usize,
+    /// Hash buckets per input state, per shard.
+    pub buckets: usize,
+}
+
+impl JoinSpec {
+    /// A spec for `(key, payload…)` streams of the given widths, joining
+    /// on attribute 0 with the default bucket count.
+    pub fn new(width_a: usize, width_b: usize) -> JoinSpec {
+        JoinSpec { width_a, width_b, join_attr_a: 0, join_attr_b: 0, buckets: 64 }
+    }
+
+    /// Width of output (joined) tuples.
+    pub fn output_width(&self) -> usize {
+        self.width_a + self.width_b
+    }
+
+    /// Tuple width of `side`'s input.
+    pub fn side_width(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.width_a,
+            Side::Right => self.width_b,
+        }
+    }
+
+    /// Join attribute index of `side`'s input.
+    pub fn join_attr(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.join_attr_a,
+            Side::Right => self.join_attr_b,
+        }
+    }
+
+    /// Attribute offset of `side`'s input within output tuples.
+    pub fn side_offset(&self, side: Side) -> usize {
+        match side {
+            Side::Left => 0,
+            Side::Right => self.width_a,
+        }
+    }
+
+    /// The PJoin configuration every shard runs: the spec's schema knobs
+    /// with the cluster-v1 strategy pins (eager purge, eager index,
+    /// propagate on every punctuation, no spilling, no window).
+    pub fn pjoin_config(&self) -> PJoinConfig {
+        let mut cfg = PJoinConfig::new(self.width_a, self.width_b);
+        cfg.join_attr_a = self.join_attr_a;
+        cfg.join_attr_b = self.join_attr_b;
+        cfg.buckets = self.buckets.max(1);
+        cfg.purge = PurgeStrategy::Eager;
+        cfg.index_build = IndexBuildStrategy::Eager;
+        cfg.propagation = PropagationTrigger::PushCount { count: 1 };
+        cfg.memory_max_tuples = 0;
+        cfg.window_us = None;
+        cfg
+    }
+
+    /// A placeholder transport schema of `side`'s width. The ingest
+    /// handshake carries a schema for forward compatibility but does not
+    /// validate values against it, so the column types are nominal.
+    pub fn side_schema(&self, side: Side) -> Schema {
+        let fields: Vec<(String, ValueType)> =
+            (0..self.side_width(side)).map(|i| (format!("c{i}"), ValueType::Int)).collect();
+        let refs: Vec<(&str, ValueType)> =
+            fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Schema::of(&refs)
+    }
+
+    /// The configuration blob carried in `ShardMapUpdate`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(20);
+        for v in [self.width_a, self.width_b, self.join_attr_a, self.join_attr_b, self.buckets] {
+            buf.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a blob written by [`encode`](JoinSpec::encode).
+    pub fn decode(bytes: &[u8]) -> Result<JoinSpec, ClusterError> {
+        let mut r = WireReader::new(bytes);
+        let spec = JoinSpec {
+            width_a: r.u32("spec width_a")? as usize,
+            width_b: r.u32("spec width_b")? as usize,
+            join_attr_a: r.u32("spec join_attr_a")? as usize,
+            join_attr_b: r.u32("spec join_attr_b")? as usize,
+            buckets: r.u32("spec buckets")? as usize,
+        };
+        r.finish()?;
+        if spec.join_attr_a >= spec.width_a || spec.join_attr_b >= spec.width_b {
+            return Err(ClusterError::Protocol(format!(
+                "join spec attributes out of range: {spec:?}"
+            )));
+        }
+        Ok(spec)
+    }
+}
+
+/// The barrier punctuation for `side`'s input stream: Empty on the join
+/// attribute, wildcard elsewhere.
+pub fn barrier_punct(spec: &JoinSpec, side: Side) -> Punctuation {
+    Punctuation::on_attr(spec.side_width(side), spec.join_attr(side), Pattern::Empty)
+}
+
+/// Whether `p` is a cluster barrier (or sink marker): Empty on `attr`.
+pub fn is_barrier(p: &Punctuation, attr: usize) -> bool {
+    matches!(p.pattern(attr), Some(Pattern::Empty))
+}
+
+/// The sink-side barrier marker a worker publishes once both of its
+/// input streams reached the barrier: an output-schema punctuation with
+/// Empty on stream A's join attribute. Ordinary output punctuations can
+/// never collide with it — input barriers are filtered before the joins,
+/// and stream B translations fill stream A's columns with wildcards.
+pub fn sink_marker(spec: &JoinSpec) -> Punctuation {
+    Punctuation::on_attr(spec.output_width(), spec.join_attr_a, Pattern::Empty)
+}
+
+/// A blocking control-plane connection: length-delimited [`Frame`]s over
+/// plain TCP. The control plane carries only low-rate cluster frames
+/// (handshakes, shard maps, migration state), so simplicity beats
+/// throughput here — writes are synchronous, reads poll with a short
+/// socket timeout.
+#[derive(Debug)]
+pub struct CtrlConn {
+    sock: TcpStream,
+    fb: FrameBuffer,
+    peer: String,
+}
+
+impl CtrlConn {
+    /// Connects to a listening control endpoint.
+    pub fn connect(addr: SocketAddr) -> Result<CtrlConn, ClusterError> {
+        let sock = TcpStream::connect(addr)?;
+        CtrlConn::from_stream(sock)
+    }
+
+    /// Wraps an accepted control socket.
+    pub fn from_stream(sock: TcpStream) -> Result<CtrlConn, ClusterError> {
+        sock.set_nodelay(true)?;
+        sock.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let peer =
+            sock.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "<unknown>".into());
+        Ok(CtrlConn { sock, fb: FrameBuffer::new(), peer })
+    }
+
+    /// The peer's address, for diagnostics.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Writes one frame synchronously.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ClusterError> {
+        self.sock.write_all(&encode_frame(frame))?;
+        Ok(())
+    }
+
+    /// Returns a buffered frame, or polls the socket once (bounded by
+    /// the socket read timeout). `Ok(None)` means no complete frame yet.
+    pub fn try_recv(&mut self) -> Result<Option<Frame>, ClusterError> {
+        if let Some(frame) = self.fb.next_frame()? {
+            return Ok(Some(frame));
+        }
+        let mut buf = [0u8; 16 * 1024];
+        match self.sock.read(&mut buf) {
+            Ok(0) => return Err(ClusterError::Disconnected(self.peer.clone())),
+            Ok(n) => self.fb.extend(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ClusterError::Io(e)),
+        }
+        Ok(self.fb.next_frame()?)
+    }
+
+    /// Blocks until a frame arrives or `deadline` passes.
+    pub fn recv_deadline(&mut self, deadline: Instant, what: &str) -> Result<Frame, ClusterError> {
+        loop {
+            if let Some(frame) = self.try_recv()? {
+                return Ok(frame);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Timeout(format!("{what} from {}", self.peer)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_blob_round_trip() {
+        let mut spec = JoinSpec::new(3, 2);
+        spec.join_attr_a = 1;
+        spec.buckets = 16;
+        let blob = spec.encode();
+        assert_eq!(JoinSpec::decode(&blob).expect("decode"), spec);
+        // Out-of-range attributes are rejected.
+        let mut bad = JoinSpec::new(2, 2);
+        bad.join_attr_b = 5;
+        assert!(JoinSpec::decode(&bad.encode()).is_err());
+        assert!(JoinSpec::decode(&blob[..10]).is_err());
+    }
+
+    #[test]
+    fn spec_pins_cluster_strategies() {
+        let cfg = JoinSpec::new(2, 4).pjoin_config();
+        assert_eq!(cfg.purge, PurgeStrategy::Eager);
+        assert_eq!(cfg.index_build, IndexBuildStrategy::Eager);
+        assert_eq!(cfg.propagation, PropagationTrigger::PushCount { count: 1 });
+        assert_eq!(cfg.memory_max_tuples, 0);
+        assert_eq!(cfg.output_width(), 6);
+    }
+
+    #[test]
+    fn barriers_are_empty_on_the_join_attr() {
+        let mut spec = JoinSpec::new(2, 3);
+        spec.join_attr_b = 2;
+        let left = barrier_punct(&spec, Side::Left);
+        let right = barrier_punct(&spec, Side::Right);
+        assert!(is_barrier(&left, 0));
+        assert!(is_barrier(&right, 2));
+        assert!(!is_barrier(&right, 0));
+        assert_eq!(left.width(), 2);
+        assert_eq!(right.width(), 3);
+        let marker = sink_marker(&spec);
+        assert_eq!(marker.width(), 5);
+        assert!(is_barrier(&marker, 0));
+        // An ordinary closing punctuation is not a barrier.
+        assert!(!is_barrier(&Punctuation::close_value(2, 0, 7i64), 0));
+    }
+}

@@ -1,0 +1,515 @@
+//! The cluster worker: one process hosting the PJoin shards a
+//! [`ShardMap`] assigns to it.
+//!
+//! A worker is deliberately boring: it owns **no** routing policy. The
+//! coordinator routes every tuple to the worker owning its hash and
+//! every punctuation to the workers owning the shards it can close; the
+//! worker re-derives the same per-shard targets locally (the partition
+//! function is shared, [`punct_types::partition`]) and feeds its
+//! single-threaded [`PJoin`]s in arrival order. Join outputs stream out
+//! through a [`SinkServer`]; punctuation propagations from the shard
+//! joins pass through a worker-local [`Aligner`] so the sink carries
+//! each punctuation **at most once per worker** — the coordinator's
+//! aligner then merges across workers.
+//!
+//! ## Migration, from the worker's side
+//!
+//! * [`Frame::MigrateBegin`] arms a migration; the barrier itself rides
+//!   the data streams as an Empty-pattern punctuation (exactly-once,
+//!   ordered behind all earlier elements, even through a faulty link).
+//! * When **both** input streams have delivered the barrier, every
+//!   pre-barrier output is already published (the worker is
+//!   single-threaded and in-order). It publishes the sink marker, sends
+//!   [`Frame::BarrierReached`], and exports every shard's state as
+//!   [`Frame::MigrateState`] chunks.
+//! * The install path is the same for the initial epoch and for every
+//!   repartition: [`Frame::ShardMapUpdate`] stages fresh joins,
+//!   [`Frame::MigrateState`] imports records (without probing — the
+//!   pre-migration operator already emitted those results), and
+//!   [`Frame::MigrateCommit`] activates the staged epoch; the worker
+//!   echoes the commit as its acknowledgement.
+//! * Local aligner expectations pending at the barrier are dropped, not
+//!   migrated: the coordinator re-injects every not-yet-emitted
+//!   punctuation through the new topology, so each still propagates
+//!   downstream exactly once.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::RecvTimeoutError;
+use pjoin::components::propagation::translate_punctuation;
+use pjoin::{PJoin, PJoinConfig};
+use punct_exec::{route_punctuation, AlignOutcome, Aligner};
+use punct_net::{
+    Frame, IngestMsg, IngestOptions, IngestReceiver, IngestServer, SinkOptions, SinkServer,
+    WIRE_VERSION,
+};
+use punct_types::{
+    partition, PunctSeq, ShardMap, StreamElement, Timestamp, Timestamped, Value,
+};
+use stream_sim::{BinaryStreamOp, OpOutput, Side};
+
+use crate::error::ClusterError;
+use crate::protocol::{is_barrier, sink_marker, CtrlConn, JoinSpec, MIGRATE_CHUNK};
+
+/// How a worker process is wired into the cluster.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// This worker's dense index in the cluster.
+    pub worker: u32,
+    /// The coordinator's control-plane address.
+    pub coordinator: SocketAddr,
+    /// Ingest (data-plane in) server options.
+    pub ingest: IngestOptions,
+    /// Sink (data-plane out) server options.
+    pub sink: SinkOptions,
+    /// Deadline for any single control-plane exchange.
+    pub ctrl_timeout: Duration,
+}
+
+impl WorkerOptions {
+    /// Default wiring for worker `worker` joining `coordinator`.
+    pub fn new(worker: u32, coordinator: SocketAddr) -> WorkerOptions {
+        WorkerOptions {
+            worker,
+            coordinator,
+            ingest: IngestOptions::default(),
+            sink: SinkOptions::default(),
+            ctrl_timeout: crate::protocol::CTRL_TIMEOUT,
+        }
+    }
+}
+
+/// What a worker did over its lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// This worker's index.
+    pub worker: u32,
+    /// Data elements consumed from the ingest plane.
+    pub elements: u64,
+    /// Elements published to the sink (tuples + punctuations).
+    pub outputs: u64,
+    /// Records exported during migrations.
+    pub records_exported: u64,
+    /// Records imported during installs.
+    pub records_imported: u64,
+    /// Migrations completed (excluding the initial epoch install).
+    pub migrations: u64,
+    /// The shard-map epoch active at shutdown.
+    pub final_epoch: u64,
+}
+
+/// A staged-but-not-active shard map: fresh joins awaiting state
+/// imports and the activating `MigrateCommit`.
+struct Staged {
+    map: ShardMap,
+    joins: Vec<(usize, PJoin)>,
+    imported: u64,
+}
+
+struct Worker {
+    opts: WorkerOptions,
+    sink: SinkServer,
+    spec: Option<JoinSpec>,
+    cfg: Option<PJoinConfig>,
+    map: Option<ShardMap>,
+    /// `(global shard, join)`, ascending by shard; the vector position
+    /// is the local aligner's "shard" index.
+    joins: Vec<(usize, PJoin)>,
+    aligner: Aligner,
+    next_seq: u64,
+    clock: Timestamp,
+    staged: Option<Staged>,
+    /// An armed migration: `(epoch, nonce)` from `MigrateBegin`.
+    migrate: Option<(u64, u64)>,
+    /// Barrier punctuation seen on [left, right].
+    barrier: [bool; 2],
+    report: WorkerReport,
+}
+
+/// Runs a worker to completion: joins the cluster at
+/// `opts.coordinator`, serves its assigned shards through any number of
+/// repartitions, and returns once both input streams finished and every
+/// remaining output (including end-of-stream punctuation flushes) is
+/// published to the sink.
+pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, ClusterError> {
+    let (server, rx) = IngestServer::bind(&[Side::Left, Side::Right], opts.ingest)?;
+    let sink = SinkServer::bind(opts.sink)?;
+    let mut ctrl = CtrlConn::connect(opts.coordinator)?;
+    ctrl.send(&Frame::JoinCluster {
+        wire_version: WIRE_VERSION,
+        worker: opts.worker,
+        ingest_addr: server.addr().to_string(),
+        sink_addr: sink.addr().to_string(),
+    })?;
+
+    let worker_idx = opts.worker;
+    let mut w = Worker {
+        opts,
+        sink,
+        spec: None,
+        cfg: None,
+        map: None,
+        joins: Vec::new(),
+        aligner: Aligner::new(),
+        next_seq: 0,
+        clock: Timestamp(0),
+        staged: None,
+        migrate: None,
+        barrier: [false, false],
+        report: WorkerReport { worker: worker_idx, ..WorkerReport::default() },
+    };
+    w.serve(&server, &rx, &mut ctrl)?;
+    Ok(w.report)
+}
+
+impl Worker {
+    fn serve(
+        &mut self,
+        server: &IngestServer,
+        rx: &IngestReceiver,
+        ctrl: &mut CtrlConn,
+    ) -> Result<(), ClusterError> {
+        loop {
+            while let Some(frame) = ctrl.try_recv()? {
+                self.handle_ctrl(frame, ctrl)?;
+            }
+            match rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(msg) => {
+                    self.handle_msg(msg)?;
+                    while let Ok(next) = rx.try_recv() {
+                        self.handle_msg(next)?;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ClusterError::Disconnected("ingest channel".into()));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if server.all_finished() && self.migrate.is_none() {
+                        // One final drain: handlers forward a stream's
+                        // elements before marking it finished.
+                        while let Ok(next) = rx.try_recv() {
+                            self.handle_msg(next)?;
+                        }
+                        break;
+                    }
+                }
+            }
+            if self.barrier == [true, true] {
+                if let Some((_, nonce)) = self.migrate {
+                    self.run_migration(nonce, ctrl)?;
+                }
+            }
+        }
+        self.finish(ctrl)
+    }
+
+    /// Both streams finished: flush every shard's end-of-stream work
+    /// (remaining punctuation propagations, exactly once each), close
+    /// the sink, and linger until the coordinator hangs up — tearing the
+    /// sink server down earlier would strand a subscriber that has not
+    /// finished draining (or has yet to connect).
+    fn finish(&mut self, ctrl: &mut CtrlConn) -> Result<(), ClusterError> {
+        for i in 0..self.joins.len() {
+            let mut out = OpOutput::new();
+            let now = self.clock;
+            while self.joins[i].1.on_end(now, &mut out) {}
+            self.emit(i, now, out)?;
+        }
+        if self.aligner.pending_len() != 0 {
+            return Err(ClusterError::Protocol(format!(
+                "worker {}: {} punctuations still pending at end of stream",
+                self.report.worker,
+                self.aligner.pending_len()
+            )));
+        }
+        self.report.final_epoch = self.map.as_ref().map_or(0, |m| m.epoch);
+        self.sink.close();
+        // Linger: the coordinator drops the control connection only once
+        // every sink subscriber has drained to `Fin`. Exiting before that
+        // hang-up would drop the `SinkServer` (stopping its accept loop)
+        // under a subscriber that is still draining — or has yet to
+        // connect at all.
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+        loop {
+            match ctrl.try_recv() {
+                Ok(Some(frame)) => {
+                    return Err(ClusterError::Protocol(format!(
+                        "worker {}: unexpected control frame after close: {frame:?}",
+                        self.report.worker
+                    )));
+                }
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return Err(ClusterError::Timeout(
+                            "coordinator hang-up after stream end".into(),
+                        ));
+                    }
+                }
+                Err(ClusterError::Disconnected(_)) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn handle_msg(&mut self, msg: IngestMsg) -> Result<(), ClusterError> {
+        match msg {
+            IngestMsg::One(side, element) => self.handle_element(side, element),
+            IngestMsg::Batch(side, batch) => {
+                for element in batch {
+                    self.handle_element(side, element)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_element(
+        &mut self,
+        side: Side,
+        element: Timestamped<StreamElement>,
+    ) -> Result<(), ClusterError> {
+        self.clock = self.clock.max(element.ts);
+        self.report.elements += 1;
+        let (Some(spec), Some(cfg), Some(map)) = (&self.spec, &self.cfg, &self.map) else {
+            return Err(ClusterError::Protocol(
+                "data arrived before the initial shard map was activated".into(),
+            ));
+        };
+        match element.item {
+            StreamElement::Tuple(ref t) => {
+                let hash = t.get(spec.join_attr(side)).and_then(Value::join_hash);
+                let shard = partition(hash, map.shards());
+                let Some(idx) = self.joins.iter().position(|(s, _)| *s == shard) else {
+                    return Err(ClusterError::Protocol(format!(
+                        "tuple for shard {shard} routed to worker {} (epoch {})",
+                        self.report.worker,
+                        map.epoch
+                    )));
+                };
+                let ts = element.ts;
+                let mut out = OpOutput::new();
+                self.joins[idx].1.on_element(side, element.item, ts, &mut out);
+                self.emit(idx, ts, out)
+            }
+            StreamElement::Punctuation(ref p) => {
+                if p.width() != spec.side_width(side) {
+                    // The single-threaded operator ignores malformed
+                    // punctuations; so does the cluster.
+                    return Ok(());
+                }
+                if is_barrier(p, spec.join_attr(side)) {
+                    self.barrier[side_index(side)] = true;
+                    return Ok(());
+                }
+                let route = route_punctuation(p, side, cfg, map.shards());
+                let shard_mask = route.mask(map.shards());
+                let mut local_mask = 0u64;
+                let mut targets = Vec::new();
+                for (idx, (shard, _)) in self.joins.iter().enumerate() {
+                    if shard_mask & (1 << *shard) != 0 {
+                        local_mask |= 1 << idx;
+                        targets.push(idx);
+                    }
+                }
+                if targets.is_empty() {
+                    return Err(ClusterError::Protocol(format!(
+                        "punctuation routed to worker {} owning none of its target shards",
+                        self.report.worker
+                    )));
+                }
+                let translated =
+                    translate_punctuation(p, spec.side_offset(side), spec.output_width());
+                self.aligner.expect(translated, PunctSeq(self.next_seq), local_mask);
+                self.next_seq += 1;
+                let ts = element.ts;
+                for idx in targets {
+                    let mut out = OpOutput::new();
+                    self.joins[idx].1.on_element(side, element.item.clone(), ts, &mut out);
+                    self.emit(idx, ts, out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Publishes one shard's output burst: tuples directly, punctuation
+    /// propagations through the worker-local aligner so the sink carries
+    /// each punctuation once no matter how many local shards it reached.
+    fn emit(&mut self, idx: usize, ts: Timestamp, mut out: OpOutput) -> Result<(), ClusterError> {
+        for element in out.drain() {
+            match element {
+                StreamElement::Tuple(_) => {
+                    self.sink.publish(Timestamped::new(ts, element));
+                    self.report.outputs += 1;
+                }
+                StreamElement::Punctuation(ref p) => match self.aligner.observe(idx, p) {
+                    AlignOutcome::Emit => {
+                        self.sink.publish(Timestamped::new(ts, element));
+                        self.report.outputs += 1;
+                    }
+                    AlignOutcome::Pending => {}
+                    AlignOutcome::Unexpected => {
+                        return Err(ClusterError::Protocol(format!(
+                            "shard {} propagated an unregistered punctuation {p}",
+                            self.joins[idx].0
+                        )))
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Both barriers are in and a migration is armed: drain-and-export.
+    /// Every pre-barrier output is already in the sink (single-threaded,
+    /// in-order), so the marker published here cleanly separates the
+    /// epochs for the coordinator's drain.
+    fn run_migration(&mut self, nonce: u64, ctrl: &mut CtrlConn) -> Result<(), ClusterError> {
+        let Some(spec) = self.spec.clone() else {
+            return Err(ClusterError::Protocol("migration before initial shard map".into()));
+        };
+        self.sink.publish(Timestamped::new(self.clock, sink_marker(&spec).into()));
+        ctrl.send(&Frame::BarrierReached { nonce })?;
+
+        let mut exported: u64 = 0;
+        for (shard, join) in &self.joins {
+            for side in [Side::Left, Side::Right] {
+                let records = join.export_records(side)?;
+                exported += records.len() as u64;
+                for chunk in records.chunks(MIGRATE_CHUNK) {
+                    ctrl.send(&Frame::MigrateState {
+                        shard: *shard as u32,
+                        side: side_index(side) as u8,
+                        records: chunk.to_vec(),
+                    })?;
+                }
+            }
+        }
+        ctrl.send(&Frame::MigrateStateDone { records: exported })?;
+        self.report.records_exported += exported;
+
+        // Block for the install: the data plane is quiescent between the
+        // barrier and the commit (the coordinator pushes nothing until
+        // every worker acknowledged the new epoch).
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+        while self.migrate.is_some() {
+            let frame = ctrl.recv_deadline(deadline, "migration install")?;
+            self.handle_ctrl(frame, ctrl)?;
+        }
+        self.report.migrations += 1;
+        Ok(())
+    }
+
+    fn handle_ctrl(&mut self, frame: Frame, ctrl: &mut CtrlConn) -> Result<(), ClusterError> {
+        match frame {
+            Frame::ShardMapUpdate { worker, map, config } => {
+                if worker != self.report.worker {
+                    return Err(ClusterError::Protocol(format!(
+                        "shard map for worker {worker} delivered to worker {}",
+                        self.report.worker
+                    )));
+                }
+                if self.spec.is_none() {
+                    let spec = JoinSpec::decode(&config)?;
+                    self.cfg = Some(spec.pjoin_config());
+                    self.spec = Some(spec);
+                }
+                let cfg = self.cfg.as_ref().expect("spec decoded above");
+                let joins = map
+                    .shards_of(self.report.worker)
+                    .into_iter()
+                    .map(|s| (s, PJoin::new(cfg.clone())))
+                    .collect();
+                self.staged = Some(Staged { map, joins, imported: 0 });
+                Ok(())
+            }
+            Frame::MigrateState { shard, side, records } => {
+                let Some(staged) = self.staged.as_mut() else {
+                    return Err(ClusterError::Protocol(
+                        "migration state outside an install".into(),
+                    ));
+                };
+                let side = side_from_index(side)?;
+                let Some((_, join)) =
+                    staged.joins.iter_mut().find(|(s, _)| *s == shard as usize)
+                else {
+                    return Err(ClusterError::Protocol(format!(
+                        "migration state for unowned shard {shard}"
+                    )));
+                };
+                staged.imported += records.len() as u64;
+                for (arrival_us, tuple) in records {
+                    join.import_record(side, tuple, arrival_us);
+                }
+                Ok(())
+            }
+            Frame::MigrateStateDone { records } => {
+                let Some(staged) = self.staged.as_ref() else {
+                    return Err(ClusterError::Protocol(
+                        "migration state checksum outside an install".into(),
+                    ));
+                };
+                if staged.imported != records {
+                    return Err(ClusterError::Protocol(format!(
+                        "migration state checksum mismatch: imported {} of {records}",
+                        staged.imported
+                    )));
+                }
+                Ok(())
+            }
+            Frame::MigrateCommit { epoch } => {
+                let Some(staged) = self.staged.take() else {
+                    return Err(ClusterError::Protocol("commit without a staged map".into()));
+                };
+                if staged.map.epoch != epoch {
+                    return Err(ClusterError::Protocol(format!(
+                        "commit for epoch {epoch} but epoch {} is staged",
+                        staged.map.epoch
+                    )));
+                }
+                self.report.records_imported += staged.imported;
+                self.map = Some(staged.map);
+                self.joins = staged.joins;
+                // Expectations pending at the barrier die with the old
+                // joins; the coordinator re-injects those punctuations.
+                self.aligner = Aligner::new();
+                self.barrier = [false, false];
+                self.migrate = None;
+                ctrl.send(&Frame::MigrateCommit { epoch })?;
+                Ok(())
+            }
+            Frame::MigrateBegin { epoch, nonce } => {
+                if self.migrate.is_some() {
+                    return Err(ClusterError::Protocol(
+                        "overlapping migrations are not supported".into(),
+                    ));
+                }
+                self.migrate = Some((epoch, nonce));
+                Ok(())
+            }
+            Frame::Error { code, message } => Err(ClusterError::Protocol(format!(
+                "coordinator rejected worker {}: error {code} ({message})",
+                self.report.worker
+            ))),
+            other => Err(ClusterError::Protocol(format!(
+                "unexpected control frame: {other:?}"
+            ))),
+        }
+    }
+}
+
+fn side_index(side: Side) -> usize {
+    match side {
+        Side::Left => 0,
+        Side::Right => 1,
+    }
+}
+
+fn side_from_index(idx: u8) -> Result<Side, ClusterError> {
+    match idx {
+        0 => Ok(Side::Left),
+        1 => Ok(Side::Right),
+        other => Err(ClusterError::Protocol(format!("invalid side index {other}"))),
+    }
+}

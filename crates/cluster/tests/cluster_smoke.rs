@@ -1,0 +1,87 @@
+//! In-process cluster smoke tests: workers as threads (the worker loop
+//! is self-contained), small workloads, direct visibility into worker
+//! errors. The full multi-process gate lives in `cluster_equivalence`.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use punct_cluster::{
+    run_worker, Cluster, ClusterOptions, JoinSpec, WorkerOptions, WorkerReport,
+};
+use punct_types::{Punctuation, StreamElement, Tuple};
+use stream_sim::Side;
+
+fn start(
+    opts: ClusterOptions,
+) -> (Cluster, Vec<JoinHandle<Result<WorkerReport, punct_cluster::ClusterError>>>) {
+    let workers = opts.workers as u32;
+    let mut cluster = Cluster::bind(opts).expect("bind");
+    let ctrl = cluster.ctrl_addr();
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut w = WorkerOptions::new(i, ctrl);
+                w.ctrl_timeout = Duration::from_secs(20);
+                run_worker(w)
+            })
+        })
+        .collect();
+    cluster.accept_workers().expect("assemble");
+    (cluster, handles)
+}
+
+#[test]
+fn joins_across_workers_without_resize() {
+    let (mut cluster, handles) = start(ClusterOptions::new(JoinSpec::new(2, 2), 2, 4));
+    for k in 0..16i64 {
+        cluster.push_tuple(Side::Left, 2 * k as u64, Tuple::of((k, 10 * k))).expect("push");
+        cluster
+            .push_tuple(Side::Right, 2 * k as u64 + 1, Tuple::of((k, -k)))
+            .expect("push");
+    }
+    cluster
+        .push_punct(Side::Left, 40, Punctuation::close_value(2, 0, 3i64))
+        .expect("push punct");
+    let report = cluster.finish().expect("finish");
+    let tuples = report.outputs.iter().filter(|e| e.item.is_tuple()).count();
+    let puncts = report.outputs.iter().filter(|e| e.item.is_punctuation()).count();
+    assert_eq!(tuples, 16, "every key joins exactly once");
+    assert_eq!(puncts, 1, "the punctuation propagates exactly once");
+    let mut elements = 0;
+    for h in handles {
+        let wr = h.join().expect("worker thread").expect("worker ok");
+        elements += wr.elements;
+        assert_eq!(wr.final_epoch, 1);
+    }
+    // 32 tuples + 1 punctuation, each delivered to exactly one worker.
+    assert_eq!(elements, 33);
+}
+
+#[test]
+fn single_resize_preserves_state() {
+    let (mut cluster, handles) = start(ClusterOptions::new(JoinSpec::new(2, 2), 2, 2));
+    // Left state only, then resize, then the matching right tuples: every
+    // join result is produced *after* the state moved shards.
+    for k in 0..12i64 {
+        cluster.push_tuple(Side::Left, k as u64, Tuple::of((k, 10 * k))).expect("push");
+    }
+    let stats = cluster.repartition(4).expect("repartition");
+    assert_eq!(stats.records_moved, 12, "all left records migrate");
+    for k in 0..12i64 {
+        cluster
+            .push_tuple(Side::Right, 100 + k as u64, Tuple::of((k, -k)))
+            .expect("push");
+    }
+    let report = cluster.finish().expect("finish");
+    let tuples: Vec<&StreamElement> =
+        report.outputs.iter().map(|e| &e.item).filter(|e| e.is_tuple()).collect();
+    assert_eq!(tuples.len(), 12, "every migrated record joins its partner");
+    let mut imported = 0;
+    for h in handles {
+        let wr = h.join().expect("worker thread").expect("worker ok");
+        imported += wr.records_imported;
+        assert_eq!(wr.final_epoch, 2);
+        assert_eq!(wr.migrations, 1);
+    }
+    assert_eq!(imported, 12);
+}

@@ -70,7 +70,7 @@ pub mod state;
 pub use builder::PJoinBuilder;
 pub use config::{IndexBuildStrategy, PJoinConfig, PropagationTrigger, PurgeStrategy};
 pub use nary::{run_nary, NaryConfig, NaryPJoin};
-pub use operator::{PJoin, PJoinStats};
+pub use operator::{PJoin, PJoinStats, StateExportError};
 pub use punctuation_index::PunctuationIndex;
 pub use record::PRecord;
 pub use state::JoinState;

@@ -990,4 +990,87 @@ impl PJoin {
         };
         state.index.contains_join_pattern(pattern)
     }
+
+    /// Exports one side's stored records for cluster state migration:
+    /// `(arrival_us, tuple)` pairs in bucket/slot order. The join hash
+    /// is *not* shipped — [`import_record`](Self::import_record)
+    /// recomputes it, so source and destination can never disagree
+    /// about bucketing.
+    ///
+    /// Fails if the side's state cannot be reproduced by re-insertion:
+    /// a disk-resident bucket portion (page ids are meaningless to
+    /// another process) or parked purge-buffer records (their fate
+    /// depends on this process's pending disk joins). Cluster v1
+    /// restricts migratable configurations to memory-only state, and
+    /// this check is what enforces it.
+    pub fn export_records(&self, side: Side) -> Result<Vec<(u64, Tuple)>, StateExportError> {
+        let state = match side {
+            Side::Left => &self.a,
+            Side::Right => &self.b,
+        };
+        if state.purge_buffer_len > 0 {
+            return Err(StateExportError::PurgeBuffered { side, records: state.purge_buffer_len });
+        }
+        let mut out = Vec::with_capacity(state.store.memory_tuples());
+        for (bucket, b) in state.store.buckets().enumerate() {
+            if b.has_disk_portion() {
+                return Err(StateExportError::DiskResident { side, bucket });
+            }
+            for rec in b.iter() {
+                out.push((rec.arrival_us, rec.tuple.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Installs one migrated record into `side`'s state: computes the
+    /// join hash, advances the logical clock, and inserts **without
+    /// probing** — migration replays *state*, not *stream*. Every
+    /// output this record could produce with pre-migration partners was
+    /// already emitted at the source shard; probing here would
+    /// duplicate those results.
+    pub fn import_record(&mut self, side: Side, tuple: Tuple, arrival_us: u64) {
+        let t = self.next_instant();
+        let (own, _) = self.split(side);
+        let hash = tuple.get(own.join_attr).and_then(punct_types::Value::join_hash);
+        own.newest_ats = t;
+        own.insert_hashed(PRecord::arriving_at(tuple, t, arrival_us), hash);
+        self.work.inserts += 1;
+    }
 }
+
+/// Why one side's state could not be exported for migration (see
+/// [`PJoin::export_records`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateExportError {
+    /// A bucket has a disk-resident portion; its page ids cannot be
+    /// shipped to another process.
+    DiskResident {
+        /// The side whose state is disk-resident.
+        side: Side,
+        /// The offending bucket.
+        bucket: usize,
+    },
+    /// The purge buffer holds records awaiting a local disk join.
+    PurgeBuffered {
+        /// The side whose purge buffer is non-empty.
+        side: Side,
+        /// Number of parked records.
+        records: usize,
+    },
+}
+
+impl std::fmt::Display for StateExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateExportError::DiskResident { side, bucket } => {
+                write!(f, "side {side:?} bucket {bucket} has a disk-resident portion")
+            }
+            StateExportError::PurgeBuffered { side, records } => {
+                write!(f, "side {side:?} has {records} purge-buffered records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateExportError {}

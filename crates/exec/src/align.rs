@@ -84,28 +84,58 @@ impl Aligner {
     /// schema). Returns whether the punctuation should now be emitted
     /// downstream.
     pub fn observe(&mut self, shard: usize, punct: &Punctuation) -> AlignOutcome {
+        self.observe_seq(shard, punct).0
+    }
+
+    /// Like [`observe`](Aligner::observe), additionally returning the
+    /// ingest sequence number of the expectation the observation
+    /// resolved against (`None` for `Unexpected`). Cluster-level
+    /// alignment keys its pending-punctuation log by ingest sequence,
+    /// so it needs to know *which* instance an emission completed.
+    pub fn observe_seq(
+        &mut self,
+        shard: usize,
+        punct: &Punctuation,
+    ) -> (AlignOutcome, Option<PunctSeq>) {
         let bit = 1u64 << shard;
         let Some(queue) = self.pending.get_mut(punct) else {
             self.unexpected += 1;
-            return AlignOutcome::Unexpected;
+            return (AlignOutcome::Unexpected, None);
         };
         // Oldest entry still waiting on this shard (an entry the shard
         // already answered belongs to an *earlier* instance, so skip it).
         let Some(pos) = queue.iter().position(|e| e.waiting & bit != 0) else {
             self.unexpected += 1;
-            return AlignOutcome::Unexpected;
+            return (AlignOutcome::Unexpected, None);
         };
         queue[pos].waiting &= !bit;
+        let seq = queue[pos].seq;
         if queue[pos].waiting == 0 {
             queue.remove(pos);
             if queue.is_empty() {
                 self.pending.remove(punct);
             }
             self.emitted += 1;
-            AlignOutcome::Emit
+            (AlignOutcome::Emit, Some(seq))
         } else {
-            AlignOutcome::Pending
+            (AlignOutcome::Pending, Some(seq))
         }
+    }
+
+    /// Removes every incomplete expectation, returning the translated
+    /// punctuations with their ingest sequence numbers, ordered by
+    /// sequence. Cluster repartitioning drains the aligner once a
+    /// migration barrier proves all in-flight punctuations have either
+    /// fully propagated or are parked here, then re-registers the
+    /// survivors against the new shard topology.
+    pub fn drain_pending(&mut self) -> Vec<(Punctuation, PunctSeq)> {
+        let mut drained: Vec<(Punctuation, PunctSeq)> = self
+            .pending
+            .drain()
+            .flat_map(|(p, queue)| queue.into_iter().map(move |e| (p.clone(), e.seq)))
+            .collect();
+        drained.sort_by_key(|(_, seq)| seq.0);
+        drained
     }
 
     /// Number of expectations not yet fully answered.

@@ -1,0 +1,44 @@
+//! Typed failures surfaced by the sharded executor.
+//!
+//! Historically a shard thread dying mid-stream was invisible until
+//! `finish` — `push` kept accepting elements (the router silently
+//! dropped batches for the dead shard) and the failure only surfaced as
+//! a panic when `finish` joined the threads. Every lane is now wrapped
+//! so a panic is caught, converted to an [`ExecError`], and published
+//! in a failure slot the handle checks promptly: `try_push` returns the
+//! error on the next call, `push` panics with it (loud beats silent
+//! data loss), and `finish` reports it in
+//! [`ExecStats::failure`](crate::ExecStats) instead of propagating the
+//! panic.
+
+use std::fmt;
+
+/// A pipeline-lane failure inside a [`ShardedPJoin`](crate::ShardedPJoin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A shard worker thread panicked. The shard's routed elements are
+    /// no longer being processed; any output produced after the panic
+    /// is incomplete.
+    ShardPanicked {
+        /// Index of the dead shard.
+        shard: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The router thread exited (or panicked) while the executor handle
+    /// was still feeding it.
+    RouterExited,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ShardPanicked { shard, message } => {
+                write!(f, "shard {shard} panicked: {message}")
+            }
+            ExecError::RouterExited => f.write_str("router thread exited while feeding"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

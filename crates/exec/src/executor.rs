@@ -35,10 +35,52 @@ use stream_sim::{Side, Work};
 
 use crate::align::SharedAligner;
 use crate::config::ExecConfig;
+use crate::error::ExecError;
 use crate::merge::{merge_loop, MergeReport};
 use crate::metrics::ShardMetrics;
 use crate::router::{router_loop, RouterCounters, RouterMsg, RouterReport};
-use crate::shard::{shard_loop, RoutedElement, ShardReport};
+use crate::shard::{shard_loop, RoutedElement, ShardEvent, ShardMsg, ShardReport};
+
+/// The first lane failure, shared by the lane threads (writers) and the
+/// executor handle (reader). The flag makes the no-failure fast path a
+/// single relaxed-ish atomic load; the mutex is touched only to record
+/// or read an actual error.
+#[derive(Debug, Default)]
+struct FailureSlot {
+    failed: std::sync::atomic::AtomicBool,
+    error: Mutex<Option<ExecError>>,
+}
+
+impl FailureSlot {
+    /// Records the first failure (later ones are dropped — the first
+    /// cause is the one worth reporting).
+    fn record(&self, err: ExecError) {
+        let mut slot = self.error.lock().expect("failure slot");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn get(&self) -> Option<ExecError> {
+        if !self.failed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.error.lock().expect("failure slot").clone()
+    }
+}
+
+/// Stringifies a caught panic payload (the two shapes `panic!` produces,
+/// with a fallback for exotic payloads).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
 
 /// Final accounting for a sharded run.
 #[derive(Debug, Clone)]
@@ -57,6 +99,10 @@ pub struct ExecStats {
     /// lock on the data path, taken at punctuation granularity only.
     /// Benches divide this by the element count to report lock traffic.
     pub aligner_acquisitions: u64,
+    /// The first lane failure, if any. When set, `shards` omits the
+    /// report of any shard that died and the output stream is
+    /// incomplete — treat the run as failed.
+    pub failure: Option<ExecError>,
 }
 
 impl ExecStats {
@@ -152,8 +198,12 @@ pub struct ShardedPJoin {
     shard_metrics: Vec<Arc<ShardMetrics>>,
     aligner: Arc<SharedAligner>,
     router_counters: Arc<RouterCounters>,
+    failure: Arc<FailureSlot>,
+    /// Direct senders to the shard channels, kept only for the
+    /// fault-injection kill hook; the data path goes through the router.
+    shard_txs: Vec<Sender<ShardMsg>>,
     router: Option<JoinHandle<TraceLog>>,
-    workers: Vec<JoinHandle<ShardReport>>,
+    workers: Vec<JoinHandle<Option<ShardReport>>>,
     merger: Option<JoinHandle<(MergeReport, TraceLog)>>,
     shards: usize,
 }
@@ -168,6 +218,7 @@ impl ShardedPJoin {
         let shards = config.shards;
         let aligner = Arc::new(SharedAligner::new());
         let router_counters = Arc::new(RouterCounters::default());
+        let failure = Arc::new(FailureSlot::default());
 
         let (input_tx, input_rx) = bounded::<RouterMsg>(config.input_capacity);
         let (event_tx, event_rx) = bounded(config.event_capacity);
@@ -189,36 +240,65 @@ impl ShardedPJoin {
             let join_config = config.join.clone();
             let events = event_tx.clone();
             let recycle = recycle_tx.clone();
+            let slot = Arc::clone(&failure);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("pjoin-shard-{shard}"))
-                    .spawn(move || shard_loop(shard, join_config, rx, events, recycle, metrics))
+                    .spawn(move || {
+                        let done_events = events.clone();
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || shard_loop(shard, join_config, rx, events, recycle, metrics),
+                        ));
+                        match result {
+                            Ok(report) => Some(report),
+                            Err(payload) => {
+                                // Publish the failure promptly, then let
+                                // the merger finish its accounting — a
+                                // dead shard still reports Done so
+                                // `finish` cannot hang waiting on it.
+                                slot.record(ExecError::ShardPanicked {
+                                    shard,
+                                    message: panic_message(payload.as_ref()),
+                                });
+                                let _ = done_events.send(ShardEvent::Done(shard));
+                                None
+                            }
+                        }
+                    })
                     .expect("spawn shard thread"),
             );
         }
         drop(event_tx); // merger exits when router + shards are gone
         drop(recycle_tx); // router's recycle pool drains once shards exit
 
+        let kill_txs = shard_txs.clone();
         let router = {
             let join_config = config.join.clone();
             let aligner = Arc::clone(&aligner);
             let counters = Arc::clone(&router_counters);
+            let slot = Arc::clone(&failure);
             let batch = config.router_batch.max(1);
             let ordered = config.ordered_merge;
             std::thread::Builder::new()
                 .name("pjoin-router".into())
                 .spawn(move || {
-                    router_loop(
-                        join_config,
-                        shards,
-                        batch,
-                        ordered,
-                        input_rx,
-                        shard_txs,
-                        recycle_rx,
-                        aligner,
-                        counters,
-                    )
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        router_loop(
+                            join_config,
+                            shards,
+                            batch,
+                            ordered,
+                            input_rx,
+                            shard_txs,
+                            recycle_rx,
+                            aligner,
+                            counters,
+                        )
+                    }));
+                    result.unwrap_or_else(|_| {
+                        slot.record(ExecError::RouterExited);
+                        TraceLog::default()
+                    })
                 })
                 .expect("spawn router thread")
         };
@@ -242,11 +322,29 @@ impl ShardedPJoin {
             shard_metrics,
             aligner: aligner_handle,
             router_counters,
+            failure,
+            shard_txs: kill_txs,
             router: Some(router),
             workers,
             merger: Some(merger),
             shards,
         }
+    }
+
+    /// The first lane failure, if any — available the moment a shard
+    /// dies, not only at `finish`. A non-`None` result means output is
+    /// incomplete and further feeding is pointless.
+    pub fn failure(&self) -> Option<ExecError> {
+        self.failure.get()
+    }
+
+    /// Fault-injection hook: panic a shard thread. Exercises the same
+    /// failure path a real shard panic takes (operator bug, allocation
+    /// failure); used by the failure-propagation regression tests and
+    /// the cluster equivalence gate.
+    #[doc(hidden)]
+    pub fn debug_kill_shard(&self, shard: usize) {
+        let _ = self.shard_txs[shard].send(ShardMsg::Die);
     }
 
     /// Number of shards.
@@ -257,20 +355,61 @@ impl ShardedPJoin {
     /// Feeds one element. Never deadlocks: if the input channel is full,
     /// merged outputs are drained into the pending buffer (see crate
     /// docs) until space frees up.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the lane's [`ExecError`] if the pipeline has failed
+    /// (e.g. a shard thread died) — loud beats silently feeding a
+    /// pipeline that drops the dead shard's keys. Fallible callers use
+    /// [`try_push`](ShardedPJoin::try_push).
     pub fn push(&self, side: Side, element: Timestamped<StreamElement>) {
-        self.feed(RouterMsg::One(side, element));
+        self.feed_or_panic(RouterMsg::One(side, element));
     }
 
-    /// Feeds a batch of elements in arrival order.
+    /// Feeds a batch of elements in arrival order. Panics on pipeline
+    /// failure, like [`push`](ShardedPJoin::push).
     pub fn push_batch(&self, batch: Vec<(Side, Timestamped<StreamElement>)>) {
         if !batch.is_empty() {
-            self.feed(RouterMsg::Batch(batch));
+            self.feed_or_panic(RouterMsg::Batch(batch));
         }
     }
 
-    fn feed(&self, msg: RouterMsg) {
+    /// Fallible [`push`](ShardedPJoin::push): returns the lane failure
+    /// instead of panicking, as soon as one is recorded — a dead shard
+    /// surfaces on the *next* push, not at `finish`.
+    pub fn try_push(
+        &self,
+        side: Side,
+        element: Timestamped<StreamElement>,
+    ) -> Result<(), ExecError> {
+        self.feed(RouterMsg::One(side, element))
+    }
+
+    /// Fallible same-side batch push (see
+    /// [`push_side_batch`](ShardedPJoin::push_side_batch)).
+    pub fn try_push_side_batch(
+        &self,
+        side: Side,
+        batch: Vec<Timestamped<StreamElement>>,
+    ) -> Result<(), ExecError> {
+        if batch.is_empty() {
+            return self.failure.get().map_or(Ok(()), Err);
+        }
+        self.feed(RouterMsg::SideBatch(side, batch))
+    }
+
+    fn feed_or_panic(&self, msg: RouterMsg) {
+        if let Err(err) = self.feed(msg) {
+            panic!("sharded executor failed: {err}");
+        }
+    }
+
+    fn feed(&self, msg: RouterMsg) -> Result<(), ExecError> {
         let mut msg = Some(msg);
         while let Some(m) = msg.take() {
+            if let Some(err) = self.failure.get() {
+                return Err(err);
+            }
             match self.input.try_send(m) {
                 Ok(()) => {}
                 Err(TrySendError::Full(m)) => {
@@ -295,10 +434,11 @@ impl ShardedPJoin {
                     }
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    unreachable!("router thread exited while executor handle is live")
+                    return Err(self.failure.get().unwrap_or(ExecError::RouterExited));
                 }
             }
         }
+        Ok(())
     }
 
     /// Elements currently parked in the caller-side pending buffer
@@ -313,7 +453,7 @@ impl ShardedPJoin {
     /// elements straight to the router.
     pub fn push_side_batch(&self, side: Side, batch: Vec<Timestamped<StreamElement>>) {
         if !batch.is_empty() {
-            self.feed(RouterMsg::SideBatch(side, batch));
+            self.feed_or_panic(RouterMsg::SideBatch(side, batch));
         }
     }
 
@@ -378,7 +518,9 @@ impl ShardedPJoin {
     /// with the same drain-while-feeding loop as `push`, and the output
     /// channel is drained until the merger hangs up.
     pub fn finish(mut self) -> (Vec<Timestamped<StreamElement>>, ExecStats) {
-        self.feed(RouterMsg::Finish);
+        // Failure here is fine: dropping the input sender below makes
+        // the router flush and finish the shards anyway.
+        let _ = self.feed(RouterMsg::Finish);
         // Dropping the sender lets the router exit even if the finish
         // message were lost; it is also what terminates `recv` below
         // once the merger finishes and drops its output sender.
@@ -398,9 +540,11 @@ impl ShardedPJoin {
 
         let router = self.router.take().expect("router handle");
         let router_trace = router.join().expect("router thread panicked");
+        // A shard that panicked returns None (its panic was caught and
+        // recorded in the failure slot); its report is simply absent.
         let mut shard_reports: Vec<ShardReport> = std::mem::take(&mut self.workers)
             .into_iter()
-            .map(|w| w.join().expect("shard thread panicked"))
+            .filter_map(|w| w.join().expect("shard wrapper panicked"))
             .collect();
         shard_reports.sort_by_key(|r| r.shard);
         let merger = self.merger.take().expect("merger handle");
@@ -413,6 +557,7 @@ impl ShardedPJoin {
             router_trace,
             merge_trace,
             aligner_acquisitions: self.aligner.acquisitions(),
+            failure: self.failure.get(),
         };
         // Audit the lock-light invariant: the aligner mutex is the only
         // lock shared across the pipeline, and it must be acquired at

@@ -61,6 +61,7 @@
 
 pub mod align;
 pub mod config;
+pub mod error;
 pub mod executor;
 pub mod merge;
 pub mod metrics;
@@ -69,6 +70,7 @@ pub mod shard;
 
 pub use align::{AlignOutcome, Aligner, SharedAligner};
 pub use config::{default_shards, shards_from_env, ExecConfig, ExecConfigError, MAX_SHARDS};
+pub use error::ExecError;
 pub use executor::{ExecStats, ShardedPJoin};
 pub use metrics::ShardMetrics;
 pub use merge::MergeReport;

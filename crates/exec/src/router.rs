@@ -84,11 +84,13 @@ impl Route {
 /// [`Value::join_hash`]. The **high 32 bits** pick the shard; the store
 /// buckets on the low bits (`hash % buckets`), so the two decisions stay
 /// decorrelated. `None` (null / non-joinable) parks on shard 0.
+///
+/// Delegates to [`punct_types::partition`] — the cluster coordinator
+/// computes the same function when rehashing state for a migration, and
+/// sharing the definition is what guarantees the in-process router and
+/// the cross-process shard map can never disagree about key ownership.
 pub fn shard_of_hash(hash: Option<u64>, shards: usize) -> usize {
-    match hash {
-        Some(h) => ((h >> 32) % shards as u64) as usize,
-        None => 0,
-    }
+    punct_types::partition(hash, shards)
 }
 
 /// The shard owning a join-key value (canonicalized). Null or

@@ -47,6 +47,10 @@ pub enum ShardMsg {
     },
     /// End of input: run the end-of-stream protocol and shut down.
     Finish,
+    /// Panic the shard thread. Fault-injection hook for the executor's
+    /// failure-propagation tests — never sent by the router.
+    #[doc(hidden)]
+    Die,
 }
 
 /// An event from a shard to the merger. All shards share one bounded
@@ -196,6 +200,7 @@ pub(crate) fn shard_loop(
                 let _ = events.send(event);
                 break;
             }
+            Ok(ShardMsg::Die) => panic!("shard {shard} killed by test hook"),
             Err(RecvTimeoutError::Timeout) => {
                 if join.on_idle(last_ts, &mut out) {
                     let mut outputs = Vec::new();

@@ -1,0 +1,110 @@
+//! Aligner behavior under shard-set changes — the patterns cluster
+//! repartitioning leans on:
+//!
+//! * expectations registered against an old (smaller) shard mask
+//!   complete normally while new expectations register against a wider
+//!   mask mid-stream (late-registered shards);
+//! * the drain-and-reregister migration pattern: at a barrier, pending
+//!   expectations are drained in sequence order, re-registered against
+//!   the new topology, and still emit exactly once;
+//! * `observe_seq` reports which ingest instance an observation
+//!   resolved, in FIFO order per punctuation.
+
+use punct_exec::{AlignOutcome, Aligner};
+use punct_types::{PunctSeq, Punctuation};
+
+fn p(v: i64) -> Punctuation {
+    Punctuation::close_value(4, 0, v)
+}
+
+fn mask(shards: &[usize]) -> u64 {
+    shards.iter().fold(0, |m, s| m | (1 << s))
+}
+
+#[test]
+fn old_mask_expectations_complete_while_wider_masks_register() {
+    let mut a = Aligner::new();
+    // In flight before the resize: expectations over shards {0,1}.
+    a.expect(p(1), PunctSeq(0), mask(&[0, 1]));
+    a.expect(p(2), PunctSeq(1), mask(&[0, 1]));
+    assert_eq!(a.observe(0, &p(1)), AlignOutcome::Pending);
+
+    // Resize to four shards: new punctuations target {0,1,2,3} while
+    // the old two-shard expectations are still incomplete.
+    a.expect(p(3), PunctSeq(2), mask(&[0, 1, 2, 3]));
+
+    // The old expectations complete against their registered masks —
+    // the late shards 2 and 3 are not expected to answer for them.
+    assert_eq!(a.observe(1, &p(1)), AlignOutcome::Emit);
+    assert_eq!(a.observe(1, &p(2)), AlignOutcome::Pending);
+    assert_eq!(a.observe(0, &p(2)), AlignOutcome::Emit);
+
+    // The wide expectation needs all four shards.
+    assert_eq!(a.observe(0, &p(3)), AlignOutcome::Pending);
+    assert_eq!(a.observe(1, &p(3)), AlignOutcome::Pending);
+    assert_eq!(a.observe(2, &p(3)), AlignOutcome::Pending);
+    assert_eq!(a.observe(3, &p(3)), AlignOutcome::Emit);
+
+    // A late shard answering an old (two-shard) instance is an
+    // invariant breach, not a silent double-emit.
+    a.expect(p(4), PunctSeq(3), mask(&[0, 1]));
+    assert_eq!(a.observe(3, &p(4)), AlignOutcome::Unexpected);
+    assert_eq!(a.pending_len(), 1);
+}
+
+#[test]
+fn drain_and_reregister_emits_exactly_once() {
+    let mut a = Aligner::new();
+    // Three punctuations in flight on a two-shard topology; one is
+    // half-answered, two untouched.
+    a.expect(p(1), PunctSeq(0), mask(&[0, 1]));
+    a.expect(p(2), PunctSeq(1), mask(&[0, 1]));
+    a.expect(p(1), PunctSeq(2), mask(&[0, 1]));
+    assert_eq!(a.observe(0, &p(1)), AlignOutcome::Pending);
+
+    // Migration barrier: drain everything pending, ordered by ingest
+    // sequence (partial answers are discarded — after the barrier every
+    // new shard will re-propagate from scratch).
+    let drained = a.drain_pending();
+    assert_eq!(a.pending_len(), 0);
+    let seqs: Vec<u64> = drained.iter().map(|(_, s)| s.0).collect();
+    assert_eq!(seqs, vec![0, 1, 2]);
+    assert_eq!(drained[0].0, p(1));
+    assert_eq!(drained[1].0, p(2));
+    assert_eq!(drained[2].0, p(1));
+
+    // Post-barrier observations for dropped expectations are flagged,
+    // never emitted (no duplicate propagation downstream).
+    assert_eq!(a.observe(1, &p(1)), AlignOutcome::Unexpected);
+
+    // Re-register the drained punctuations against the new three-shard
+    // topology and answer them: each emits exactly once.
+    for (punct, seq) in &drained {
+        a.expect(punct.clone(), *seq, mask(&[0, 1, 2]));
+    }
+    let mut emits = 0;
+    for (punct, _) in &drained {
+        for shard in 0..3 {
+            if a.observe(shard, punct) == AlignOutcome::Emit {
+                emits += 1;
+            }
+        }
+    }
+    assert_eq!(emits, 3, "each re-registered punctuation emits exactly once");
+    assert_eq!(a.pending_len(), 0);
+}
+
+#[test]
+fn observe_seq_reports_resolved_instance_in_fifo_order() {
+    let mut a = Aligner::new();
+    a.expect(p(7), PunctSeq(10), mask(&[0, 1]));
+    a.expect(p(7), PunctSeq(11), mask(&[0, 1]));
+
+    // Shard 0 answers both instances: oldest first.
+    assert_eq!(a.observe_seq(0, &p(7)), (AlignOutcome::Pending, Some(PunctSeq(10))));
+    assert_eq!(a.observe_seq(0, &p(7)), (AlignOutcome::Pending, Some(PunctSeq(11))));
+    assert_eq!(a.observe_seq(1, &p(7)), (AlignOutcome::Emit, Some(PunctSeq(10))));
+    assert_eq!(a.observe_seq(1, &p(7)), (AlignOutcome::Emit, Some(PunctSeq(11))));
+    // Nothing left: unexpected, with no instance.
+    assert_eq!(a.observe_seq(1, &p(7)), (AlignOutcome::Unexpected, None));
+}

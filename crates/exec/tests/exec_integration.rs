@@ -226,3 +226,50 @@ fn single_shard_matches_direct_pjoin_exactly() {
     assert_eq!(got, expected);
     assert_eq!(stats.total_stats(), *reference.stats());
 }
+
+/// Regression: a shard dying mid-stream must surface promptly as a
+/// typed error — historically it was invisible until `finish`, which
+/// then panicked while the caller kept feeding a pipeline silently
+/// dropping the dead shard's keys.
+#[test]
+fn killed_shard_surfaces_promptly_and_finish_reports_it() {
+    use punct_exec::ExecError;
+
+    let exec = ShardedPJoin::spawn(ExecConfig::new(4, PJoinConfig::new(2, 2)));
+    for (side, e) in keyed_workload(20) {
+        exec.try_push(side, e).expect("healthy pipeline accepts pushes");
+    }
+    assert!(exec.failure().is_none());
+
+    exec.debug_kill_shard(2);
+
+    // The failure must surface on a subsequent push, well before finish.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let err = loop {
+        match exec.try_push(Side::Left, tup(1000, 1, 1)) {
+            Err(err) => break err,
+            Ok(()) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "shard death never surfaced through try_push"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    };
+    match &err {
+        ExecError::ShardPanicked { shard, message } => {
+            assert_eq!(*shard, 2);
+            assert!(message.contains("killed by test hook"), "message: {message}");
+        }
+        other => panic!("expected ShardPanicked, got {other:?}"),
+    }
+    assert_eq!(exec.failure(), Some(err.clone()));
+
+    // finish() must not panic; it reports the failure and omits the
+    // dead shard's report.
+    let (_outputs, stats) = exec.finish();
+    assert_eq!(stats.failure, Some(err));
+    assert_eq!(stats.shards.len(), 3);
+    assert!(stats.shards.iter().all(|r| r.shard != 2));
+}

@@ -201,7 +201,8 @@ fn session(
 ) -> Result<(), NetError> {
     let mut sock = TcpStream::connect(addr)?;
     sock.set_nodelay(true)?;
-    let mut conn = Conn { sock: &mut sock, fb: FrameBuffer::new() };
+    let mut fb = FrameBuffer::new();
+    let mut conn = Conn { sock: &mut sock, fb: &mut fb };
 
     // Handshake.
     let mut hello_buf = Vec::with_capacity(128);
@@ -218,7 +219,17 @@ fn session(
     report.bytes_sent += hello_buf.len() as u64;
     let (resume_from, mut credits) =
         match conn.read_frame_deadline(opts.handshake_timeout)? {
-            Frame::HelloAck { resume_from, credits } => (resume_from, credits),
+            Frame::HelloAck { resume_from, credits, wire_version } => {
+                if wire_version != WIRE_VERSION {
+                    return Err(NetError::Protocol {
+                        code: crate::frame::error_code::VERSION_MISMATCH,
+                        message: format!(
+                            "server speaks wire version {wire_version}, client speaks {WIRE_VERSION}"
+                        ),
+                    });
+                }
+                (resume_from, credits)
+            }
             Frame::Error { code, message } => return Err(NetError::Protocol { code, message }),
             other => return Err(NetError::Handshake(format!("expected HelloAck, got {other:?}"))),
         };
@@ -349,7 +360,7 @@ impl SessionProgress {
 
 struct Conn<'a> {
     sock: &'a mut TcpStream,
-    fb: FrameBuffer,
+    fb: &'a mut FrameBuffer,
 }
 
 impl Conn<'_> {
@@ -396,7 +407,7 @@ impl Conn<'_> {
         match wait {
             None => {
                 self.sock.set_nonblocking(true)?;
-                let res = read_available(self.sock, &mut self.fb, &mut buf);
+                let res = read_available(self.sock, self.fb, &mut buf);
                 self.sock.set_nonblocking(false)?;
                 res?;
             }
@@ -413,7 +424,7 @@ impl Conn<'_> {
                         self.fb.extend(&buf[..n]);
                         // Anything else already queued comes for free.
                         self.sock.set_nonblocking(true)?;
-                        let res = read_available(self.sock, &mut self.fb, &mut buf);
+                        let res = read_available(self.sock, self.fb, &mut buf);
                         self.sock.set_nonblocking(false)?;
                         res?;
                     }
@@ -461,6 +472,350 @@ fn read_available(
             Ok(n) => fb.extend(&buf[..n]),
             Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
             Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// A *persistent incremental* source client: unlike [`send_stream`]
+/// (which delivers a complete, known-up-front stream), a `StreamSender`
+/// accepts elements one at a time over its whole lifetime — the shape
+/// the cluster coordinator needs to feed workers while routing decisions
+/// happen element by element.
+///
+/// Delivery keeps the transport's exactly-once discipline: elements are
+/// numbered densely from 0, unacknowledged elements stay buffered, and
+/// any disconnect is absorbed by re-handshaking and resuming from the
+/// server's acknowledged sequence. [`flush`](StreamSender::flush) blocks
+/// until everything pushed so far is *acknowledged* (not merely
+/// written), which is what makes it a real barrier: after a successful
+/// flush the receiver has forwarded every element downstream. If acks
+/// stall (e.g. a fault dropped the tail), the flush forces a reconnect —
+/// the handshake's `resume_from` reveals exactly what the server is
+/// missing and the sender retransmits it.
+pub struct StreamSender {
+    addr: SocketAddr,
+    stream: u32,
+    side: Side,
+    schema: Schema,
+    opts: ClientOptions,
+    /// Unacknowledged elements; `buffer[i]` carries sequence `base + i`.
+    buffer: std::collections::VecDeque<Timestamped<StreamElement>>,
+    /// Sequence of `buffer[0]` == elements already acknowledged.
+    base: u64,
+    /// Next sequence to write on the current connection.
+    sent: u64,
+    /// Total elements pushed over the sender's lifetime.
+    pushed: u64,
+    credits: u32,
+    conn: Option<(TcpStream, FrameBuffer)>,
+    connected_once: bool,
+    reconnects: u32,
+    finished: bool,
+}
+
+impl StreamSender {
+    /// A sender for stream `stream` on the ingest server at `addr`. No
+    /// I/O happens until the first push or flush.
+    pub fn new(
+        addr: SocketAddr,
+        stream: u32,
+        side: Side,
+        schema: Schema,
+        opts: ClientOptions,
+    ) -> StreamSender {
+        StreamSender {
+            addr,
+            stream,
+            side,
+            schema,
+            opts,
+            buffer: std::collections::VecDeque::new(),
+            base: 0,
+            sent: 0,
+            pushed: 0,
+            credits: 0,
+            conn: None,
+            connected_once: false,
+            reconnects: 0,
+            finished: false,
+        }
+    }
+
+    /// Total elements pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Elements the server has acknowledged (forwarded downstream).
+    pub fn acked(&self) -> u64 {
+        self.base
+    }
+
+    /// Successful reconnects after the initial connection.
+    pub fn reconnects(&self) -> u32 {
+        self.reconnects
+    }
+
+    /// Appends one element to the stream and opportunistically writes
+    /// whatever the credit window allows. Transient connection failures
+    /// are absorbed (the element stays buffered for the next flush);
+    /// only non-retryable protocol errors surface.
+    pub fn push(&mut self, element: Timestamped<StreamElement>) -> Result<(), NetError> {
+        assert!(!self.finished, "push after finish");
+        self.buffer.push_back(element);
+        self.pushed += 1;
+        match self.pump(false) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_retryable() => {
+                self.drop_conn();
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Blocks until every element pushed so far is acknowledged by the
+    /// server. Reconnects (with the configured backoff budget) as needed;
+    /// forces a re-handshake when acks stall, so a dropped tail is
+    /// detected and retransmitted rather than waited on forever.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        let mut backoff = Backoff::new(self.opts.policy.clone(), self.opts.seed);
+        // How long to wait for ack progress before suspecting a dropped
+        // tail and re-syncing via the handshake. Generous against slow
+        // consumers (backpressure stalls release credits eventually and
+        // count as progress).
+        let ack_probe = Duration::from_millis(250);
+        let mut last_progress = Instant::now();
+        while self.base < self.pushed {
+            let before = (self.base, self.sent, self.credits);
+            match self.pump(true) {
+                Ok(()) => {}
+                Err(e) if e.is_retryable() => {
+                    self.drop_conn();
+                    match backoff.next_delay() {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => {
+                            return Err(NetError::RetriesExhausted {
+                                attempts: backoff.attempts(),
+                                last: e.to_string(),
+                            })
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            if (self.base, self.sent, self.credits) != before {
+                last_progress = Instant::now();
+                backoff.reset();
+            } else if Instant::now().duration_since(last_progress) > ack_probe {
+                // No acks, no credits, nothing left to write: the tail
+                // may have been dropped in transit. Re-handshake; the
+                // server's resume_from tells us exactly where to resend.
+                self.drop_conn();
+                last_progress = Instant::now();
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes, then completes the stream with the `Fin`/`FinAck`
+    /// exchange. Consumes the sender; afterwards the server marks the
+    /// stream finished.
+    pub fn finish(mut self) -> Result<(), NetError> {
+        self.flush()?;
+        let mut backoff = Backoff::new(self.opts.policy.clone(), self.opts.seed);
+        loop {
+            match self.try_finish() {
+                Ok(()) => {
+                    self.finished = true;
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() => {
+                    self.drop_conn();
+                    match backoff.next_delay() {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => {
+                            return Err(NetError::RetriesExhausted {
+                                attempts: backoff.attempts(),
+                                last: e.to_string(),
+                            })
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_finish(&mut self) -> Result<(), NetError> {
+        self.ensure_conn()?;
+        let (sock, _) = self.conn.as_mut().expect("connection just ensured");
+        let mut fin_buf = Vec::with_capacity(16);
+        encode_frame_into(&Frame::Fin { count: self.pushed }, &mut fin_buf);
+        sock.write_all(&fin_buf)?;
+        let deadline = Instant::now() + self.opts.handshake_timeout;
+        loop {
+            let (sock, fb) = self.conn.as_mut().expect("live connection");
+            let mut conn = Conn { sock, fb };
+            match conn.read_frame_deadline(deadline.saturating_duration_since(Instant::now()))? {
+                Frame::FinAck => return Ok(()),
+                Frame::Ack { up_to } => {
+                    if up_to > self.base {
+                        let drop_count = (up_to - self.base).min(self.buffer.len() as u64);
+                        self.buffer.drain(..drop_count as usize);
+                        self.base = up_to;
+                    }
+                }
+                Frame::Credit { n } => self.credits += n,
+                Frame::Error { code, message } => {
+                    return Err(NetError::Protocol { code, message })
+                }
+                other => {
+                    return Err(NetError::Handshake(format!(
+                        "expected FinAck, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+        self.credits = 0;
+    }
+
+    /// (Re)establishes the connection, resuming from the server's
+    /// acknowledged sequence.
+    fn ensure_conn(&mut self) -> Result<(), NetError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut sock = TcpStream::connect(self.addr)?;
+        sock.set_nodelay(true)?;
+        let mut hello_buf = Vec::with_capacity(128);
+        encode_frame_into(
+            &Frame::Hello {
+                stream: self.stream,
+                side: u8::from(self.side == Side::Right),
+                wire_version: WIRE_VERSION,
+                schema: self.schema.clone(),
+            },
+            &mut hello_buf,
+        );
+        sock.write_all(&hello_buf)?;
+        let mut fb = FrameBuffer::new();
+        let mut conn = Conn { sock: &mut sock, fb: &mut fb };
+        let (resume_from, credits) =
+            match conn.read_frame_deadline(self.opts.handshake_timeout)? {
+                Frame::HelloAck { resume_from, credits, wire_version } => {
+                    if wire_version != WIRE_VERSION {
+                        return Err(NetError::Protocol {
+                            code: crate::frame::error_code::VERSION_MISMATCH,
+                            message: format!(
+                                "server speaks wire version {wire_version}, client speaks {WIRE_VERSION}"
+                            ),
+                        });
+                    }
+                    (resume_from, credits)
+                }
+                Frame::Error { code, message } => {
+                    return Err(NetError::Protocol { code, message })
+                }
+                other => {
+                    return Err(NetError::Handshake(format!(
+                        "expected HelloAck, got {other:?}"
+                    )))
+                }
+            };
+        if resume_from < self.base || resume_from > self.pushed {
+            return Err(NetError::Handshake(format!(
+                "server resume point {resume_from} outside [{}, {}]",
+                self.base, self.pushed
+            )));
+        }
+        // Everything below resume_from is implicitly acknowledged.
+        if resume_from > self.base {
+            let drop_count = (resume_from - self.base) as usize;
+            self.buffer.drain(..drop_count);
+            self.base = resume_from;
+        }
+        self.sent = resume_from;
+        self.credits = credits;
+        if self.connected_once {
+            self.reconnects += 1;
+        }
+        self.connected_once = true;
+        self.conn = Some((sock, fb));
+        Ok(())
+    }
+
+    /// Writes what the credit window allows and folds in server frames.
+    /// With `wait`, blocks briefly for acks/credits when there is
+    /// nothing writable; without it, only picks up what is already
+    /// readable.
+    fn pump(&mut self, wait: bool) -> Result<(), NetError> {
+        self.ensure_conn()?;
+        let mut progress = SessionProgress::default();
+        loop {
+            // Write as much of the unsent suffix as credits allow.
+            let unsent_start = (self.sent - self.base) as usize;
+            let available = self.buffer.len() - unsent_start;
+            let n = available.min(self.opts.batch.max(1)).min(self.credits as usize);
+            if n > 0 {
+                let mut buf = Vec::with_capacity(4 * 1024);
+                let elements: Vec<Timestamped<StreamElement>> = self
+                    .buffer
+                    .iter()
+                    .skip(unsent_start)
+                    .take(n)
+                    .cloned()
+                    .collect();
+                if self.opts.batch <= 1 {
+                    for (i, el) in elements.iter().enumerate() {
+                        encode_frame_into(
+                            &Frame::Data { seq: self.sent + i as u64, element: el.clone() },
+                            &mut buf,
+                        );
+                    }
+                } else {
+                    let mut off = 0usize;
+                    while off < elements.len() {
+                        let taken = encode_data_batch_into(
+                            self.sent + off as u64,
+                            &elements[off..],
+                            self.opts.max_batch_bytes,
+                            &mut buf,
+                        );
+                        off += taken;
+                    }
+                }
+                let (sock, _) = self.conn.as_mut().expect("live connection");
+                sock.write_all(&buf)?;
+                self.credits -= n as u32;
+                self.sent += n as u64;
+            }
+            // Fold in acks and credit grants.
+            let more_to_write =
+                (self.sent - self.base) < self.buffer.len() as u64 && self.credits > 0;
+            let (sock, fb) = self.conn.as_mut().expect("live connection");
+            let mut conn = Conn { sock, fb };
+            let block = wait && !more_to_write;
+            conn.drain(
+                if block { Some(Duration::from_millis(20)) } else { None },
+                &mut self.credits,
+                &mut progress,
+            )?;
+            progress.check()?;
+            if progress.acked > self.base {
+                let drop_count =
+                    (progress.acked - self.base).min(self.buffer.len() as u64) as usize;
+                self.buffer.drain(..drop_count);
+                self.base = progress.acked.max(self.base);
+                self.sent = self.sent.max(self.base);
+            }
+            if !more_to_write {
+                return Ok(());
+            }
         }
     }
 }

@@ -14,13 +14,22 @@
 //! [`WireError`], never a panic, and announced lengths are validated
 //! before any allocation.
 
-use punct_types::wire::{get_element, get_schema, put_element, put_schema, WireError, WireReader};
-use punct_types::{Schema, StreamElement, Timestamp, Timestamped};
+use punct_types::wire::{
+    get_element, get_schema, get_tuple, put_element, put_schema, put_tuple, WireError, WireReader,
+};
+use punct_types::{Schema, ShardMap, StreamElement, Timestamp, Timestamped, Tuple};
 
-/// Protocol version carried in every `Hello`. Bumped on any frame or
+/// Protocol version carried in every handshake frame (`Hello`,
+/// `HelloAck`, `Subscribe`, `JoinCluster`). Bumped on any frame or
 /// payload encoding change. Version 2 added the `DataBatch` frame (many
-/// elements with consecutive sequence numbers in one frame/syscall).
-pub const WIRE_VERSION: u32 = 2;
+/// elements with consecutive sequence numbers in one frame/syscall);
+/// version 3 added the cluster control frames (`JoinCluster`,
+/// `ShardMapUpdate`, `MigrateBegin`/`State`/`StateDone`/`Commit`,
+/// `BarrierReached`) and made the version check symmetric: both
+/// directions of every handshake carry the speaker's version, and a
+/// mismatch is answered with a clean `VERSION_MISMATCH` error instead
+/// of a decode failure.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Hard cap on a frame's announced length (tag + payload). A corrupted
 /// length prefix can therefore never request more than this in one
@@ -45,6 +54,11 @@ pub mod error_code {
     /// The sink truncated its history below the requested resume point;
     /// an exact replay is impossible.
     pub const TRUNCATED: u16 = 6;
+    /// The peers speak different wire protocol versions. Unlike
+    /// `BAD_HELLO` (a malformed or misdirected handshake), this names
+    /// the one condition an operator fixes by upgrading a binary, so it
+    /// gets its own code. Never retried.
+    pub const VERSION_MISMATCH: u16 = 7;
 }
 
 /// One protocol message.
@@ -76,6 +90,9 @@ pub enum Frame {
         /// Initial credits: how many `Data` frames may be sent before
         /// waiting for a `Credit` grant.
         credits: u32,
+        /// Protocol version of the server, so the client can also
+        /// detect a mismatch (the check is symmetric).
+        wire_version: u32,
     },
     /// One stream element. `seq` numbers elements densely from 0 per
     /// stream (tuples and punctuations share the sequence), which is
@@ -122,6 +139,9 @@ pub enum Frame {
     Subscribe {
         /// First sequence number to deliver.
         resume_from: u64,
+        /// Protocol version of the subscriber; mismatches are refused
+        /// with a `VERSION_MISMATCH` error.
+        wire_version: u32,
     },
     /// Many consecutive stream elements in one frame — the batched form
     /// of `Data`, moving a whole batch per syscall. Element `i` carries
@@ -133,6 +153,74 @@ pub enum Frame {
         first_seq: u64,
         /// The elements, in sequence order.
         elements: Vec<Timestamped<StreamElement>>,
+    },
+    /// A worker announcing itself to the coordinator on the control
+    /// connection: its index, protocol version, and the loopback/LAN
+    /// addresses of its ingest and sink servers.
+    JoinCluster {
+        /// Protocol version of the worker.
+        wire_version: u32,
+        /// The worker's index in the cluster (dense from 0).
+        worker: u32,
+        /// Address of the worker's ingest server (data plane in).
+        ingest_addr: String,
+        /// Address of the worker's sink server (data plane out).
+        sink_addr: String,
+    },
+    /// Coordinator → worker: a new shard-map epoch. The worker named by
+    /// `worker` (re)builds its owned shards from the map and the opaque
+    /// operator configuration blob, then applies any `MigrateState`
+    /// that follows before `MigrateCommit` activates the epoch.
+    ShardMapUpdate {
+        /// Which worker this update addresses (workers validate it).
+        worker: u32,
+        /// The new versioned shard→worker assignment.
+        map: ShardMap,
+        /// Cluster-layer operator configuration, encoded by
+        /// `punct-cluster` (opaque at this layer).
+        config: Vec<u8>,
+    },
+    /// Coordinator → worker: a repartition toward `epoch` begins. The
+    /// worker drains to the barrier punctuation (identified by `nonce`)
+    /// on both of its input streams, then exports its join state.
+    MigrateBegin {
+        /// The epoch the migration leads to.
+        epoch: u64,
+        /// Identifies the barrier punctuation on the data streams.
+        nonce: u64,
+    },
+    /// One chunk of migrating join state: records of one side of one
+    /// global shard, each with the arrival clock that orders purge
+    /// decisions. Flows worker → coordinator (export) and coordinator →
+    /// worker (install) with the same encoding.
+    MigrateState {
+        /// Global shard the records belong to (the *new* shard id on
+        /// the install path).
+        shard: u32,
+        /// Join side: 0 = left, 1 = right.
+        side: u8,
+        /// `(arrival_us, tuple)` pairs in arrival order.
+        records: Vec<(u64, Tuple)>,
+    },
+    /// Terminates a sequence of `MigrateState` chunks; `records` is the
+    /// total record count across the chunks, as a checksum.
+    MigrateStateDone {
+        /// Total records exported/installed before this frame.
+        records: u64,
+    },
+    /// Coordinator → worker: all state for `epoch` is installed; switch
+    /// to the new shard map. The worker echoes the frame back as its
+    /// acknowledgement.
+    MigrateCommit {
+        /// The epoch now active.
+        epoch: u64,
+    },
+    /// Worker → coordinator: both input streams reached the barrier
+    /// punctuation identified by `nonce`, and every pre-barrier output
+    /// is published to the worker's sink.
+    BarrierReached {
+        /// The barrier's identifying nonce (from `MigrateBegin`).
+        nonce: u64,
     },
 }
 
@@ -146,6 +234,13 @@ const TAG_FIN_ACK: u8 = 6;
 const TAG_ERROR: u8 = 7;
 const TAG_SUBSCRIBE: u8 = 8;
 const TAG_DATA_BATCH: u8 = 9;
+const TAG_JOIN_CLUSTER: u8 = 10;
+const TAG_SHARD_MAP_UPDATE: u8 = 11;
+const TAG_MIGRATE_BEGIN: u8 = 12;
+const TAG_MIGRATE_STATE: u8 = 13;
+const TAG_MIGRATE_STATE_DONE: u8 = 14;
+const TAG_MIGRATE_COMMIT: u8 = 15;
+const TAG_BARRIER_REACHED: u8 = 16;
 
 impl Frame {
     /// True for `Data`/`DataBatch` frames (the only kinds subject to
@@ -178,6 +273,13 @@ impl Frame {
             Frame::Error { .. } => TAG_ERROR,
             Frame::Subscribe { .. } => TAG_SUBSCRIBE,
             Frame::DataBatch { .. } => TAG_DATA_BATCH,
+            Frame::JoinCluster { .. } => TAG_JOIN_CLUSTER,
+            Frame::ShardMapUpdate { .. } => TAG_SHARD_MAP_UPDATE,
+            Frame::MigrateBegin { .. } => TAG_MIGRATE_BEGIN,
+            Frame::MigrateState { .. } => TAG_MIGRATE_STATE,
+            Frame::MigrateStateDone { .. } => TAG_MIGRATE_STATE_DONE,
+            Frame::MigrateCommit { .. } => TAG_MIGRATE_COMMIT,
+            Frame::BarrierReached { .. } => TAG_BARRIER_REACHED,
         }
     }
 }
@@ -194,9 +296,10 @@ pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&wire_version.to_le_bytes());
             put_schema(buf, schema);
         }
-        Frame::HelloAck { resume_from, credits } => {
+        Frame::HelloAck { resume_from, credits, wire_version } => {
             buf.extend_from_slice(&resume_from.to_le_bytes());
             buf.extend_from_slice(&credits.to_le_bytes());
+            buf.extend_from_slice(&wire_version.to_le_bytes());
         }
         Frame::Data { seq, element } => {
             buf.extend_from_slice(&seq.to_le_bytes());
@@ -212,8 +315,9 @@ pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
             // Reuse the Value string encoding for the message.
             put_string(buf, message);
         }
-        Frame::Subscribe { resume_from } => {
-            buf.extend_from_slice(&resume_from.to_le_bytes())
+        Frame::Subscribe { resume_from, wire_version } => {
+            buf.extend_from_slice(&resume_from.to_le_bytes());
+            buf.extend_from_slice(&wire_version.to_le_bytes());
         }
         Frame::DataBatch { first_seq, elements } => {
             buf.extend_from_slice(&first_seq.to_le_bytes());
@@ -223,6 +327,36 @@ pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
                 put_element(buf, &element.item);
             }
         }
+        Frame::JoinCluster { wire_version, worker, ingest_addr, sink_addr } => {
+            buf.extend_from_slice(&wire_version.to_le_bytes());
+            buf.extend_from_slice(&worker.to_le_bytes());
+            put_string(buf, ingest_addr);
+            put_string(buf, sink_addr);
+        }
+        Frame::ShardMapUpdate { worker, map, config } => {
+            buf.extend_from_slice(&worker.to_le_bytes());
+            map.encode_into(buf);
+            buf.extend_from_slice(&(config.len() as u32).to_le_bytes());
+            buf.extend_from_slice(config);
+        }
+        Frame::MigrateBegin { epoch, nonce } => {
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Frame::MigrateState { shard, side, records } => {
+            buf.extend_from_slice(&shard.to_le_bytes());
+            buf.push(*side);
+            buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+            for (arrival_us, tuple) in records {
+                buf.extend_from_slice(&arrival_us.to_le_bytes());
+                put_tuple(buf, tuple);
+            }
+        }
+        Frame::MigrateStateDone { records } => {
+            buf.extend_from_slice(&records.to_le_bytes())
+        }
+        Frame::MigrateCommit { epoch } => buf.extend_from_slice(&epoch.to_le_bytes()),
+        Frame::BarrierReached { nonce } => buf.extend_from_slice(&nonce.to_le_bytes()),
     }
     let frame_len = (buf.len() - len_pos - 4) as u32;
     buf[len_pos..len_pos + 4].copy_from_slice(&frame_len.to_le_bytes());
@@ -295,6 +429,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         TAG_HELLO_ACK => Frame::HelloAck {
             resume_from: r.u64("helloack resume")?,
             credits: r.u32("helloack credits")?,
+            wire_version: r.u32("helloack version")?,
         },
         TAG_DATA => {
             let seq = r.u64("data seq")?;
@@ -311,7 +446,10 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
             let message = r.str("error message")?.to_string();
             Frame::Error { code, message }
         }
-        TAG_SUBSCRIBE => Frame::Subscribe { resume_from: r.u64("subscribe resume")? },
+        TAG_SUBSCRIBE => Frame::Subscribe {
+            resume_from: r.u64("subscribe resume")?,
+            wire_version: r.u32("subscribe version")?,
+        },
         TAG_DATA_BATCH => {
             let first_seq = r.u64("batch first_seq")?;
             let count = r.u32("batch count")? as usize;
@@ -328,6 +466,47 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
             }
             Frame::DataBatch { first_seq, elements }
         }
+        TAG_JOIN_CLUSTER => {
+            let wire_version = r.u32("join version")?;
+            let worker = r.u32("join worker")?;
+            let ingest_addr = r.str("join ingest addr")?.to_string();
+            let sink_addr = r.str("join sink addr")?.to_string();
+            Frame::JoinCluster { wire_version, worker, ingest_addr, sink_addr }
+        }
+        TAG_SHARD_MAP_UPDATE => {
+            let worker = r.u32("map worker")?;
+            let map = ShardMap::decode(&mut r)?;
+            let len = r.u32("map config len")? as usize;
+            let config = r.bytes("map config", len)?.to_vec();
+            Frame::ShardMapUpdate { worker, map, config }
+        }
+        TAG_MIGRATE_BEGIN => Frame::MigrateBegin {
+            epoch: r.u64("migrate epoch")?,
+            nonce: r.u64("migrate nonce")?,
+        },
+        TAG_MIGRATE_STATE => {
+            let shard = r.u32("state shard")?;
+            let side = r.u8("state side")?;
+            if side > 1 {
+                return Err(WireError::BadTag { what: "state side", tag: side });
+            }
+            let count = r.u32("state count")? as usize;
+            // Same allocation-capping discipline as DataBatch: a record
+            // needs at least 9 payload bytes, so a corrupted count can
+            // never request a huge upfront allocation.
+            let mut records = Vec::with_capacity(count.min(r.remaining() / 9 + 1));
+            for _ in 0..count {
+                let arrival_us = r.u64("state arrival")?;
+                let tuple = get_tuple(&mut r)?;
+                records.push((arrival_us, tuple));
+            }
+            Frame::MigrateState { shard, side, records }
+        }
+        TAG_MIGRATE_STATE_DONE => {
+            Frame::MigrateStateDone { records: r.u64("state done count")? }
+        }
+        TAG_MIGRATE_COMMIT => Frame::MigrateCommit { epoch: r.u64("commit epoch")? },
+        TAG_BARRIER_REACHED => Frame::BarrierReached { nonce: r.u64("barrier nonce")? },
         tag => return Err(WireError::BadTag { what: "frame", tag }),
     };
     r.finish()?;
@@ -437,7 +616,7 @@ mod tests {
                 wire_version: WIRE_VERSION,
                 schema: Schema::of(&[("k", ValueType::Int), ("v", ValueType::Str)]),
             },
-            Frame::HelloAck { resume_from: 42, credits: 128 },
+            Frame::HelloAck { resume_from: 42, credits: 128, wire_version: WIRE_VERSION },
             Frame::Data {
                 seq: 7,
                 element: Timestamped::new(
@@ -450,7 +629,7 @@ mod tests {
             Frame::Fin { count: 100 },
             Frame::FinAck,
             Frame::Error { code: error_code::SEQUENCE_GAP, message: "gap at 9".into() },
-            Frame::Subscribe { resume_from: 5 },
+            Frame::Subscribe { resume_from: 5, wire_version: WIRE_VERSION },
             Frame::DataBatch {
                 first_seq: 10,
                 elements: vec![
@@ -465,6 +644,35 @@ mod tests {
                 ],
             },
             Frame::DataBatch { first_seq: 0, elements: Vec::new() },
+            Frame::JoinCluster {
+                wire_version: WIRE_VERSION,
+                worker: 1,
+                ingest_addr: "127.0.0.1:4100".into(),
+                sink_addr: "127.0.0.1:4101".into(),
+            },
+            Frame::ShardMapUpdate {
+                worker: 1,
+                map: ShardMap { epoch: 3, assignment: vec![0, 1, 0, 1] },
+                config: vec![1, 2, 3, 4, 5],
+            },
+            Frame::ShardMapUpdate {
+                worker: 0,
+                map: ShardMap { epoch: 0, assignment: Vec::new() },
+                config: Vec::new(),
+            },
+            Frame::MigrateBegin { epoch: 4, nonce: 0xDEAD_BEEF },
+            Frame::MigrateState {
+                shard: 2,
+                side: 1,
+                records: vec![
+                    (17, Tuple::of((1i64, "a"))),
+                    (18, Tuple::of((2i64, "b"))),
+                ],
+            },
+            Frame::MigrateState { shard: 0, side: 0, records: Vec::new() },
+            Frame::MigrateStateDone { records: 2 },
+            Frame::MigrateCommit { epoch: 4 },
+            Frame::BarrierReached { nonce: 0xDEAD_BEEF },
         ]
     }
 

@@ -56,17 +56,17 @@ pub mod sink;
 pub use backoff::{Backoff, BackoffPolicy};
 pub use client::{
     send_stream, send_stream_cancellable, spawn_source, spawn_source_cancellable, ClientOptions,
-    SendReport,
+    SendReport, StreamSender,
 };
 pub use error::NetError;
 pub use frame::{
-    decode_frame, encode_data_batch_into, encode_frame, encode_frame_into, Frame, FrameBuffer,
-    MAX_FRAME_LEN, WIRE_VERSION,
+    decode_frame, encode_data_batch_into, encode_frame, encode_frame_into, error_code, Frame,
+    FrameBuffer, MAX_FRAME_LEN, WIRE_VERSION,
 };
 pub use pipeline::{run_networked_join, NetJoinReport};
 pub use proxy::{FaultConfig, FaultProxy, ProxyStats};
 pub use server::{IngestMsg, IngestOptions, IngestReceiver, IngestServer, IngestStats};
-pub use sink::{collect_all, SinkOptions, SinkReport, SinkServer};
+pub use sink::{collect_all, SinkOptions, SinkReport, SinkServer, SinkSubscriber};
 
 #[cfg(test)]
 mod tests {
@@ -347,7 +347,11 @@ mod tests {
 
         // A subscriber at or past the watermark replays the tail exactly.
         let mut sock = TcpStream::connect(sink.addr()).expect("connect");
-        sock.write_all(&encode_frame(&Frame::Subscribe { resume_from: 60 })).expect("subscribe");
+        sock.write_all(&encode_frame(&Frame::Subscribe {
+            resume_from: 60,
+            wire_version: WIRE_VERSION,
+        }))
+        .expect("subscribe");
         let mut fb = FrameBuffer::new();
         let mut got = Vec::new();
         loop {
@@ -371,7 +375,11 @@ mod tests {
 
         // A subscriber below it is refused — a silent gap would be worse.
         let mut sock = TcpStream::connect(sink.addr()).expect("connect");
-        sock.write_all(&encode_frame(&Frame::Subscribe { resume_from: 10 })).expect("subscribe");
+        sock.write_all(&encode_frame(&Frame::Subscribe {
+            resume_from: 10,
+            wire_version: WIRE_VERSION,
+        }))
+        .expect("subscribe");
         let mut fb = FrameBuffer::new();
         match read_one(&mut sock, &mut fb) {
             Frame::Error { code, .. } => assert_eq!(code, frame::error_code::TRUNCATED),
@@ -409,5 +417,155 @@ mod tests {
         assert_eq!(got.len(), 100);
         assert_eq!(report.reconnects, 0);
         assert_eq!(got, (0..100).map(|i| tup(i, i as i64)).collect::<Vec<_>>());
+    }
+
+    fn punct(ts: u64, k: i64) -> Timestamped<StreamElement> {
+        Timestamped::new(
+            Timestamp(ts),
+            StreamElement::Punctuation(punct_types::Punctuation::on_attr(
+                2,
+                0,
+                punct_types::Pattern::Constant(punct_types::Value::Int(k)),
+            )),
+        )
+    }
+
+    /// Satellite: a version mismatch gets the dedicated clean error on
+    /// both handshake directions — never a decode failure.
+    #[test]
+    fn version_mismatch_rejected_cleanly_on_both_paths() {
+        // Ingest side: a Hello speaking a future version.
+        let (server, _rx) =
+            IngestServer::bind(&[Side::Left], IngestOptions::default()).expect("bind");
+        let mut sock = TcpStream::connect(server.addr()).expect("connect");
+        sock.write_all(&encode_frame(&Frame::Hello {
+            stream: 0,
+            side: 0,
+            wire_version: WIRE_VERSION + 1,
+            schema: schema(),
+        }))
+        .expect("hello");
+        let mut fb = FrameBuffer::new();
+        match read_one(&mut sock, &mut fb) {
+            Frame::Error { code, .. } => assert_eq!(code, frame::error_code::VERSION_MISMATCH),
+            other => panic!("expected VERSION_MISMATCH, got {other:?}"),
+        }
+
+        // Sink side: a Subscribe speaking a future version.
+        let sink = SinkServer::bind(SinkOptions::default()).expect("bind sink");
+        let mut sock = TcpStream::connect(sink.addr()).expect("connect");
+        sock.write_all(&encode_frame(&Frame::Subscribe {
+            resume_from: 0,
+            wire_version: WIRE_VERSION + 1,
+        }))
+        .expect("subscribe");
+        let mut fb = FrameBuffer::new();
+        match read_one(&mut sock, &mut fb) {
+            Frame::Error { code, .. } => assert_eq!(code, frame::error_code::VERSION_MISMATCH),
+            other => panic!("expected VERSION_MISMATCH, got {other:?}"),
+        }
+    }
+
+    /// The persistent incremental sender: elements pushed one at a time
+    /// arrive exactly once, `flush` really waits for acknowledgement
+    /// (punctuations ack eagerly), and `finish` completes the stream.
+    #[test]
+    fn stream_sender_delivers_incrementally() {
+        let (server, rx) =
+            IngestServer::bind(&[Side::Left], IngestOptions::default()).expect("bind");
+        let mut sender = StreamSender::new(
+            server.addr(),
+            0,
+            Side::Left,
+            schema(),
+            ClientOptions::default(),
+        );
+        let mut expected = Vec::new();
+        for i in 0..100u64 {
+            let e = tup(i, i as i64);
+            expected.push(e.clone());
+            sender.push(e).expect("push");
+        }
+        // A punctuation acks eagerly, so this flush converges without
+        // filling the 64-frame ack window.
+        let p = punct(100, 7);
+        expected.push(p.clone());
+        sender.push(p).expect("push punct");
+        sender.flush().expect("flush");
+        assert_eq!(sender.acked(), 101, "flush means acknowledged, not just written");
+        sender.finish().expect("finish");
+        assert!(server.all_finished());
+        let mut got = Vec::new();
+        while let Ok(msg) = rx.try_recv() {
+            got.extend(msg_elements(msg).1);
+        }
+        assert_eq!(got, expected);
+    }
+
+    /// The sender's flush survives a lossy proxy: dropped tails are
+    /// detected by the ack probe and retransmitted via the resume
+    /// handshake, so every flush still means "receiver has everything".
+    #[test]
+    fn stream_sender_flush_survives_faults() {
+        let (server, rx) =
+            IngestServer::bind(&[Side::Left], IngestOptions::default()).expect("bind");
+        let proxy = FaultProxy::spawn(
+            server.addr(),
+            FaultConfig::lossy(5, 8, 2, 40, 0xC1C1),
+        )
+        .expect("spawn proxy");
+        let mut opts = ClientOptions { seed: 9, ..ClientOptions::default() };
+        opts.policy = BackoffPolicy::fast();
+        let mut sender =
+            StreamSender::new(proxy.addr(), 0, Side::Left, schema(), opts);
+        let mut expected = Vec::new();
+        for round in 0..4u64 {
+            for i in 0..50u64 {
+                let e = tup(round * 51 + i, (round * 51 + i) as i64);
+                expected.push(e.clone());
+                sender.push(e).expect("push");
+            }
+            let p = punct(round * 51 + 50, round as i64);
+            expected.push(p.clone());
+            sender.push(p).expect("push punct");
+            sender.flush().expect("flush through faults");
+            assert_eq!(sender.acked(), (round + 1) * 51);
+        }
+        sender.finish().expect("finish");
+        assert!(server.all_finished());
+        let mut got = Vec::new();
+        while let Ok(msg) = rx.try_recv() {
+            got.extend(msg_elements(msg).1);
+        }
+        assert_eq!(got, expected, "exactly-once through drops and disconnects");
+    }
+
+    /// The streaming sink consumer: elements arrive as published, a
+    /// timeout with nothing pending returns None, and Fin finishes it.
+    #[test]
+    fn sink_subscriber_streams_incrementally() {
+        let sink = SinkServer::bind(SinkOptions::default()).expect("bind sink");
+        let mut sub = SinkSubscriber::new(sink.addr());
+        sink.publish(tup(0, 0));
+        let first = sub
+            .next(Duration::from_secs(5))
+            .expect("next")
+            .expect("one element published");
+        assert_eq!(first, tup(0, 0));
+        assert!(
+            sub.next(Duration::from_millis(40)).expect("next").is_none(),
+            "nothing published yet"
+        );
+        for i in 1..50 {
+            sink.publish(tup(i, i as i64));
+        }
+        sink.close();
+        let mut got = vec![first];
+        while let Some(e) = sub.next(Duration::from_secs(5)).expect("next") {
+            got.push(e);
+        }
+        assert!(sub.finished());
+        assert_eq!(got, (0..50).map(|i| tup(i, i as i64)).collect::<Vec<_>>());
+        assert_eq!(sub.received(), 50);
     }
 }

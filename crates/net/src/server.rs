@@ -392,7 +392,7 @@ fn handle_conn(
             if wire_version != WIRE_VERSION {
                 return reject(
                     &mut sock,
-                    error_code::BAD_HELLO,
+                    error_code::VERSION_MISMATCH,
                     format!("wire version {wire_version}, server speaks {WIRE_VERSION}"),
                 );
             }
@@ -439,7 +439,11 @@ fn handle_conn(
     };
     send_frames(
         &mut sock,
-        &[Frame::HelloAck { resume_from, credits: shared.opts.initial_credits }],
+        &[Frame::HelloAck {
+            resume_from,
+            credits: shared.opts.initial_credits,
+            wire_version: WIRE_VERSION,
+        }],
     )?;
 
     // --- Data loop -----------------------------------------------------
@@ -454,6 +458,7 @@ fn handle_conn(
         };
         match frame {
             Frame::Data { seq, element } => {
+                let punct = matches!(element.item, StreamElement::Punctuation(_));
                 match forward_one(slot, shared, tracer, my_epoch, stream, side, seq, element)? {
                     ForwardOutcome::Forwarded => {}
                     ForwardOutcome::Superseded => {
@@ -476,10 +481,21 @@ fn handle_conn(
                     let up_to = slot.state.lock().expect("stream state lock").next_seq;
                     send_frames(&mut sock, &[Frame::Ack { up_to }, Frame::Credit { n: since_ack }])?;
                     since_ack = 0;
+                } else if punct {
+                    // Punctuations are progress barriers: senders that
+                    // flush to one (e.g. the cluster's repartition
+                    // barrier) wait for its acknowledgement, so ack it
+                    // immediately instead of batching — credits still
+                    // re-grant on the usual schedule.
+                    let up_to = slot.state.lock().expect("stream state lock").next_seq;
+                    send_frames(&mut sock, &[Frame::Ack { up_to }])?;
                 }
             }
             Frame::DataBatch { first_seq, elements } => {
                 let n = elements.len() as u32;
+                let punct = elements
+                    .iter()
+                    .any(|e| matches!(e.item, StreamElement::Punctuation(_)));
                 tracer.instant(TraceKind::NetBatch, 0, stream as u64, n as u64);
                 match forward_batch(
                     slot, shared, tracer, my_epoch, stream, side, first_seq, elements,
@@ -505,6 +521,9 @@ fn handle_conn(
                     let up_to = slot.state.lock().expect("stream state lock").next_seq;
                     send_frames(&mut sock, &[Frame::Ack { up_to }, Frame::Credit { n: since_ack }])?;
                     since_ack = 0;
+                } else if punct {
+                    let up_to = slot.state.lock().expect("stream state lock").next_seq;
+                    send_frames(&mut sock, &[Frame::Ack { up_to }])?;
                 }
             }
             Frame::Fin { count } => {

@@ -32,6 +32,7 @@ use crate::backoff::{Backoff, BackoffPolicy};
 use crate::error::NetError;
 use crate::frame::{
     encode_data_batch_into, encode_frame, encode_frame_into, error_code, Frame, FrameBuffer,
+    WIRE_VERSION,
 };
 
 /// Sink server configuration.
@@ -256,7 +257,23 @@ fn serve_subscriber(
     let mut cursor: u64 = loop {
         if let Some(frame) = fb.next_frame()? {
             match frame {
-                Frame::Subscribe { resume_from } => break resume_from,
+                Frame::Subscribe { resume_from, wire_version } => {
+                    if wire_version != WIRE_VERSION {
+                        let message = format!(
+                            "wire version {wire_version}, sink speaks {WIRE_VERSION}"
+                        );
+                        let err = encode_frame(&Frame::Error {
+                            code: error_code::VERSION_MISMATCH,
+                            message: message.clone(),
+                        });
+                        let _ = sock.write_all(&err);
+                        return Err(NetError::Protocol {
+                            code: error_code::VERSION_MISMATCH,
+                            message,
+                        });
+                    }
+                    break resume_from;
+                }
                 other => {
                     return Err(NetError::Handshake(format!(
                         "expected Subscribe, got {other:?}"
@@ -451,6 +468,200 @@ fn accept_element(
     Ok(())
 }
 
+/// A *streaming* sink consumer: unlike [`collect_all`] (which blocks
+/// until `Fin`), a `SinkSubscriber` hands elements to the caller as they
+/// arrive, so a long-lived consumer — the cluster coordinator pulling
+/// worker outputs while the workers are still joining — can interleave
+/// consumption with other work.
+///
+/// The exactly-once discipline matches `collect_all`: the subscriber
+/// resumes from its next unseen sequence after any disconnect and
+/// suppresses duplicates per element, so the delivered stream is exactly
+/// the sink's publish order with nothing lost or repeated.
+pub struct SinkSubscriber {
+    addr: SocketAddr,
+    conn: Option<(TcpStream, FrameBuffer)>,
+    pending: std::collections::VecDeque<Timestamped<StreamElement>>,
+    /// Next unseen publish sequence == elements delivered so far.
+    received: u64,
+    /// Set once a `Fin` confirmed the stream complete.
+    finished: bool,
+    connected_once: bool,
+    reconnects: u32,
+    duplicates_suppressed: u64,
+}
+
+impl SinkSubscriber {
+    /// A subscriber for the sink at `addr`. No I/O happens until the
+    /// first [`next`](SinkSubscriber::next) call.
+    pub fn new(addr: SocketAddr) -> SinkSubscriber {
+        SinkSubscriber {
+            addr,
+            conn: None,
+            pending: std::collections::VecDeque::new(),
+            received: 0,
+            finished: false,
+            connected_once: false,
+            reconnects: 0,
+            duplicates_suppressed: 0,
+        }
+    }
+
+    /// Elements delivered so far (the next unseen sequence).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// True once the server's `Fin` confirmed the stream complete and
+    /// every element was delivered.
+    pub fn finished(&self) -> bool {
+        self.finished && self.pending.is_empty()
+    }
+
+    /// Successful reconnects after the initial connection.
+    pub fn reconnects(&self) -> u32 {
+        self.reconnects
+    }
+
+    /// The next element, waiting up to `timeout` for one to arrive.
+    /// `Ok(None)` means no element within the timeout (or the stream is
+    /// finished — check [`finished`](SinkSubscriber::finished)).
+    /// Disconnects are absorbed by resubscribing from the next unseen
+    /// sequence; only non-retryable protocol errors surface.
+    pub fn next(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Timestamped<StreamElement>>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                self.received += 1;
+                return Ok(Some(e));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            match self.poll(deadline) {
+                Ok(()) => {}
+                Err(e) if e.is_retryable() => {
+                    // Drop the connection; the next poll resubscribes
+                    // from the next unseen sequence.
+                    self.conn = None;
+                }
+                Err(e) => return Err(e),
+            }
+            if self.pending.is_empty() && !self.finished && Instant::now() >= deadline {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Ensures a live subscription and folds whatever the server sent
+    /// into `pending`, waiting at most until `deadline` for the first
+    /// byte.
+    fn poll(&mut self, deadline: Instant) -> Result<(), NetError> {
+        if self.conn.is_none() {
+            let mut sock = TcpStream::connect(self.addr)?;
+            sock.set_nodelay(true)?;
+            sock.set_read_timeout(Some(Duration::from_millis(20)))?;
+            // Resume from past the elements already queued for the
+            // caller, not just the delivered ones.
+            let resume_from = self.received + self.pending.len() as u64;
+            sock.write_all(&encode_frame(&Frame::Subscribe {
+                resume_from,
+                wire_version: WIRE_VERSION,
+            }))?;
+            if self.connected_once {
+                self.reconnects += 1;
+            }
+            self.connected_once = true;
+            self.conn = Some((sock, FrameBuffer::new()));
+        }
+        let (sock, fb) = self.conn.as_mut().expect("connection just ensured");
+        let mut buf = [0u8; 16 * 1024];
+        let mut made_progress = false;
+        loop {
+            while let Some(frame) = fb.next_frame()? {
+                made_progress = true;
+                let queued = self.received + self.pending.len() as u64;
+                match frame {
+                    Frame::Data { seq, element } => {
+                        if seq < queued {
+                            self.duplicates_suppressed += 1;
+                        } else if seq > queued {
+                            return Err(NetError::Io(std::io::Error::new(
+                                ErrorKind::InvalidData,
+                                format!("sink gap: got seq {seq}, expected {queued}"),
+                            )));
+                        } else {
+                            self.pending.push_back(element);
+                        }
+                    }
+                    Frame::DataBatch { first_seq, elements } => {
+                        for (i, element) in elements.into_iter().enumerate() {
+                            let seq = first_seq + i as u64;
+                            let queued = self.received + self.pending.len() as u64;
+                            if seq < queued {
+                                self.duplicates_suppressed += 1;
+                            } else if seq > queued {
+                                return Err(NetError::Io(std::io::Error::new(
+                                    ErrorKind::InvalidData,
+                                    format!("sink gap: got seq {seq}, expected {queued}"),
+                                )));
+                            } else {
+                                self.pending.push_back(element);
+                            }
+                        }
+                    }
+                    Frame::Fin { count } => {
+                        let have = self.received + self.pending.len() as u64;
+                        if have == count {
+                            self.finished = true;
+                            self.conn = None;
+                            return Ok(());
+                        }
+                        return Err(NetError::Io(std::io::Error::new(
+                            ErrorKind::InvalidData,
+                            format!("sink Fin at {count} with {have} received"),
+                        )));
+                    }
+                    Frame::Error { code, message } => {
+                        return Err(NetError::Protocol { code, message })
+                    }
+                    other => {
+                        return Err(NetError::Handshake(format!(
+                            "unexpected sink frame: {other:?}"
+                        )))
+                    }
+                }
+            }
+            if made_progress || Instant::now() >= deadline {
+                return Ok(());
+            }
+            // Block no longer than the caller's deadline: a short
+            // `next(timeout)` must not pay the full 20ms default read
+            // timeout when the server has nothing to send.
+            let remaining = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(20))
+                .max(Duration::from_millis(1));
+            sock.set_read_timeout(Some(remaining))?;
+            match sock.read(&mut buf) {
+                Ok(0) => {
+                    return Err(NetError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "sink server closed mid-stream",
+                    )))
+                }
+                Ok(n) => fb.extend(&buf[..n]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+}
+
 fn consume_session(
     addr: SocketAddr,
     received: &mut Vec<Timestamped<StreamElement>>,
@@ -462,7 +673,10 @@ fn consume_session(
     sock.set_nodelay(true)?;
     sock.set_read_timeout(Some(Duration::from_millis(50)))?;
     let resume_from = received.len() as u64;
-    sock.write_all(&encode_frame(&Frame::Subscribe { resume_from }))?;
+    sock.write_all(&encode_frame(&Frame::Subscribe {
+        resume_from,
+        wire_version: WIRE_VERSION,
+    }))?;
     if attempt > 0 {
         report.reconnects += 1;
         tracer.instant(TraceKind::NetReconnect, 0, attempt as u64, resume_from);

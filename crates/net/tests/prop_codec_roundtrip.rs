@@ -99,8 +99,13 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             wire_version: WIRE_VERSION,
             schema,
         }),
-        (any::<u64>(), any::<u32>())
-            .prop_map(|(resume_from, credits)| Frame::HelloAck { resume_from, credits }),
+        (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(
+            |(resume_from, credits, wire_version)| Frame::HelloAck {
+                resume_from,
+                credits,
+                wire_version,
+            }
+        ),
         (any::<u64>(), arb_timestamped())
             .prop_map(|(seq, element)| Frame::Data { seq, element }),
         any::<u64>().prop_map(|up_to| Frame::Ack { up_to }),
@@ -109,9 +114,42 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         Just(Frame::FinAck),
         (any::<u16>(), "[ -~]{0,30}")
             .prop_map(|(code, message)| Frame::Error { code, message }),
-        any::<u64>().prop_map(|resume_from| Frame::Subscribe { resume_from }),
+        (any::<u64>(), any::<u32>()).prop_map(|(resume_from, wire_version)| Frame::Subscribe {
+            resume_from,
+            wire_version,
+        }),
         (any::<u64>(), proptest::collection::vec(arb_timestamped(), 0..5))
             .prop_map(|(first_seq, elements)| Frame::DataBatch { first_seq, elements }),
+        (any::<u32>(), "[ -~]{0,20}", "[ -~]{0,20}").prop_map(
+            |(worker, ingest_addr, sink_addr)| Frame::JoinCluster {
+                wire_version: WIRE_VERSION,
+                worker,
+                ingest_addr,
+                sink_addr,
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..8),
+            proptest::collection::vec(any::<u8>(), 0..32),
+        )
+            .prop_map(|(worker, epoch, assignment, config)| Frame::ShardMapUpdate {
+                worker,
+                map: punct_types::ShardMap { epoch, assignment },
+                config,
+            }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, nonce)| Frame::MigrateBegin { epoch, nonce }),
+        (
+            any::<u32>(),
+            0u8..2,
+            proptest::collection::vec((any::<u64>(), arb_tuple()), 0..5),
+        )
+            .prop_map(|(shard, side, records)| Frame::MigrateState { shard, side, records }),
+        any::<u64>().prop_map(|records| Frame::MigrateStateDone { records }),
+        any::<u64>().prop_map(|epoch| Frame::MigrateCommit { epoch }),
+        any::<u64>().prop_map(|nonce| Frame::BarrierReached { nonce }),
     ]
 }
 

@@ -16,6 +16,9 @@ pub enum CodecError {
     BadTag(u8),
     /// A string payload was not valid UTF-8.
     BadUtf8,
+    /// The decoded structure violates an internal invariant (e.g. a
+    /// bucket free list naming an occupied slot).
+    Corrupt(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -24,6 +27,7 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => f.write_str("unexpected end of buffer"),
             CodecError::BadTag(t) => write!(f, "unknown type tag {t:#x}"),
             CodecError::BadUtf8 => f.write_str("invalid UTF-8 in string value"),
+            CodecError::Corrupt(what) => write!(f, "corrupt encoding: {what}"),
         }
     }
 }

@@ -36,6 +36,7 @@ pub mod punct_seq;
 pub mod punct_set;
 pub mod punctuation;
 pub mod schema;
+pub mod shard_map;
 pub mod stream;
 pub mod tuple;
 pub mod value;
@@ -48,6 +49,7 @@ pub use punct_seq::{PunctSeq, PunctSeqAssigner};
 pub use punct_set::{PunctId, PunctuationSet};
 pub use punctuation::Punctuation;
 pub use schema::{Field, Schema};
+pub use shard_map::{partition, ShardMap};
 pub use stream::{StreamElement, Timestamp, Timestamped};
 pub use tuple::Tuple;
 pub use value::{Value, ValueType};

@@ -324,6 +324,12 @@ impl<'a> WireReader<'a> {
         let bytes = self.take(len, what)?;
         std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8 { what })
     }
+
+    /// Reads exactly `n` raw bytes (for opaque embedded blobs whose
+    /// length the caller already decoded).
+    pub fn bytes(&mut self, what: &'static str, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n, what)
+    }
 }
 
 /// Decodes a [`Value`].

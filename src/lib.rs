@@ -28,11 +28,16 @@
 //! * [`net`] (`punct-net`) — networked transport: length-prefixed wire
 //!   codec, TCP ingest/sink servers, credit-based backpressure,
 //!   fault-tolerant resume, and an in-process fault-injection proxy.
+//! * [`cluster`] (`punct-cluster`) — distributed execution: a
+//!   coordinator owning the versioned shard map, worker processes
+//!   hosting PJoin shards behind the net transport, and elastic
+//!   repartitioning coordinated by barrier punctuations.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the experiment index.
 
 pub use pjoin as core;
+pub use punct_cluster as cluster;
 pub use punct_exec as exec;
 pub use punct_net as net;
 pub use punct_types as types;
