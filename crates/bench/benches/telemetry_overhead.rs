@@ -1,0 +1,169 @@
+//! What the cluster telemetry plane costs: end-to-end cluster throughput
+//! with telemetry off, at the default 1 s report interval, and at an
+//! aggressive 100 ms interval — same workload, same 2-worker loopback
+//! cluster, tracing on whenever telemetry is on.
+//!
+//! Results land in `BENCH_telemetry.json`. A timed run (not `--test`)
+//! additionally asserts the default-interval overhead stays within the
+//! budget the design promises: ≤ 3% against the telemetry-off baseline.
+//! The periodic report path is off the per-element hot loop (interval
+//! checks in the worker serve loop, cumulative counters either way), so
+//! the default interval should be close to free; the 100 ms row shows
+//! how the cost scales when reports are ~10× more frequent.
+
+use std::fmt::Write as _;
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use punct_cluster::{
+    run_worker, Cluster, ClusterOptions, JoinSpec, TelemetrySettings, WorkerOptions,
+};
+use punct_net::{BackoffPolicy, ClientOptions};
+use punct_types::{Pattern, Punctuation, StreamElement, Timestamp, Timestamped, Tuple};
+use stream_sim::Side;
+
+const KEYS: i64 = 800;
+const OVERHEAD_BUDGET: f64 = 0.03;
+
+/// The cluster_scaling workload: keyed pairs, per-key close punctuations
+/// four keys behind, stream-end wildcards.
+fn workload(keys: i64) -> Vec<(Side, StreamElement)> {
+    let mut work: Vec<(Side, StreamElement)> = Vec::new();
+    for k in 0..keys {
+        work.push((Side::Left, Tuple::of((k, 10 * k)).into()));
+        work.push((Side::Right, Tuple::of((k, -k)).into()));
+        if k >= 4 {
+            let c = k - 4;
+            work.push((Side::Left, Punctuation::close_value(2, 0, c).into()));
+            work.push((Side::Right, Punctuation::close_value(2, 0, c).into()));
+        }
+    }
+    let wild = Punctuation::on_attr(2, 0, Pattern::Wildcard);
+    work.push((Side::Left, wild.clone().into()));
+    work.push((Side::Right, wild.into()));
+    work
+}
+
+/// The three telemetry postures under test.
+fn modes() -> [(&'static str, TelemetrySettings); 3] {
+    [
+        ("off", TelemetrySettings::disabled()),
+        ("interval_1s", TelemetrySettings { enabled: true, interval_ms: 1000, trace: true }),
+        ("interval_100ms", TelemetrySettings { enabled: true, interval_ms: 100, trace: true }),
+    ]
+}
+
+/// One full 2-worker run under the given telemetry posture.
+fn run_once(telemetry: TelemetrySettings, work: &[(Side, StreamElement)]) -> usize {
+    let mut opts = ClusterOptions::new(JoinSpec::new(2, 2), 2, 2);
+    opts.client =
+        ClientOptions { policy: BackoffPolicy::fast(), seed: 77, ..ClientOptions::default() };
+    opts.telemetry = telemetry;
+    let mut cluster = Cluster::bind(opts).expect("bind coordinator");
+    let ctrl = cluster.ctrl_addr();
+    let handles: Vec<_> = (0..2u32)
+        .map(|i| std::thread::spawn(move || run_worker(WorkerOptions::new(i, ctrl))))
+        .collect();
+    cluster.accept_workers().expect("assemble cluster");
+    let mut outputs = 0usize;
+    for (i, (side, el)) in work.iter().enumerate() {
+        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        if i % 128 == 0 {
+            outputs += cluster.poll_outputs().expect("poll").len();
+        }
+    }
+    let report = cluster.finish().expect("finish");
+    outputs += report.outputs.len();
+    for h in handles {
+        h.join().expect("worker thread").expect("worker");
+    }
+    outputs
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let work = workload(KEYS);
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(work.len() as u64));
+    g.sample_size(10);
+    for (name, settings) in modes() {
+        g.bench_with_input(BenchmarkId::new("mode", name), &settings, |b, &s| {
+            b.iter(|| black_box(run_once(s, &work)))
+        });
+    }
+    g.finish();
+}
+
+fn mean_ns(c: &Criterion, mode: &str) -> f64 {
+    c.measurements()
+        .iter()
+        .find(|m| m.group == "telemetry_overhead" && m.id == format!("mode/{mode}"))
+        .map(|m| m.mean_ns)
+        .unwrap_or(0.0)
+}
+
+fn write_summary(c: &Criterion) {
+    let work = workload(KEYS);
+    let baseline = mean_ns(c, "off");
+    let mut rows = String::new();
+    for (name, settings) in modes() {
+        let m = c
+            .measurements()
+            .iter()
+            .find(|m| m.group == "telemetry_overhead" && m.id == format!("mode/{name}"))
+            .cloned();
+        let eps = m.as_ref().and_then(|m| m.per_second()).unwrap_or(0.0);
+        let mean = m.as_ref().map(|m| m.mean_ns).unwrap_or(0.0);
+        let overhead = if baseline > 0.0 { mean / baseline - 1.0 } else { 0.0 };
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"kind\": \"throughput\", \"mode\": \"{}\", \"interval_ms\": {}, \"trace\": {}, \"elements\": {}, \"mean_ns\": {:.1}, \"elements_per_sec\": {:.1}, \"overhead_vs_off\": {:.4}}}",
+            name,
+            if settings.enabled { settings.interval_ms as i64 } else { -1 },
+            settings.enabled && settings.trace,
+            work.len(),
+            mean,
+            eps,
+            overhead,
+        );
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let compiled = punct_trace::COMPILED;
+    let json = format!(
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"cores\": {cores},\n  \"trace_compiled\": {compiled},\n  \"overhead_budget\": {OVERHEAD_BUDGET},\n  \"note\": \"2-worker loopback cluster, full distributed path; telemetry off vs the default 1 s report interval vs an aggressive 100 ms interval, tracing on whenever telemetry is on; overhead_vs_off is mean-time ratio minus one (negative = within noise)\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // The design-budget gate, timed runs only: the default interval must
+    // cost at most 3% against telemetry-off.
+    let default_mean = mean_ns(c, "interval_1s");
+    assert!(baseline > 0.0 && default_mean > 0.0, "missing measurements");
+    let overhead = default_mean / baseline - 1.0;
+    println!(
+        "default-interval overhead: {:.2}% (budget {:.0}%)",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+    assert!(
+        overhead <= OVERHEAD_BUDGET,
+        "telemetry at the default interval costs {:.2}%, over the {:.0}% budget",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_telemetry(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free (and un-asserted); only a
+    // real bench run refreshes the summary and enforces the budget.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

@@ -3,8 +3,12 @@
 //! mid-stream repartition and prints the merged output accounting.
 //!
 //! ```text
-//! punct-coordinator [workers] [shards] [keys]
+//! punct-coordinator [workers] [shards] [keys] [--metrics-file PATH]
 //! ```
+//!
+//! With `--metrics-file`, the merged cluster telemetry is written to
+//! `PATH` in Prometheus text exposition format when the run finishes —
+//! point a file-based scraper (or `cat`) at it.
 //!
 //! Pair it with `punct-worker`:
 //!
@@ -19,7 +23,12 @@ use punct_cluster::{Cluster, ClusterError, ClusterOptions, JoinSpec};
 use punct_types::{Punctuation, Tuple};
 use stream_sim::Side;
 
-fn run(workers: usize, shards: usize, keys: i64) -> Result<(), ClusterError> {
+fn run(
+    workers: usize,
+    shards: usize,
+    keys: i64,
+    metrics_file: Option<&str>,
+) -> Result<(), ClusterError> {
     let mut cluster = Cluster::bind(ClusterOptions::new(JoinSpec::new(2, 2), workers, shards))?;
     println!("control plane at {}", cluster.ctrl_addr());
     println!("waiting for {workers} workers…");
@@ -55,18 +64,37 @@ fn run(workers: usize, shards: usize, keys: i64) -> Result<(), ClusterError> {
         "done: {} pushed, {tuples} joined tuples out, {puncts} punctuations propagated",
         report.pushed
     );
+    if let Some(path) = metrics_file {
+        std::fs::write(path, report.telemetry.metrics_text()).map_err(ClusterError::Io)?;
+        println!("metrics written to {path}");
+    }
     Ok(())
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
+    let mut metrics_file = None;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-file" {
+            match args.next() {
+                Some(path) => metrics_file = Some(path),
+                None => {
+                    eprintln!("punct-coordinator: --metrics-file requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            positional.push(a);
+        }
+    }
     let arg = |i: usize, default: i64| -> i64 {
-        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+        positional.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
-    let workers = arg(1, 2) as usize;
-    let shards = arg(2, 4) as usize;
-    let keys = arg(3, 64);
-    match run(workers, shards, keys) {
+    let workers = arg(0, 2) as usize;
+    let shards = arg(1, 4) as usize;
+    let keys = arg(2, 64);
+    match run(workers, shards, keys, metrics_file.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("punct-coordinator: {e}");

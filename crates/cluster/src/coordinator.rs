@@ -42,6 +42,7 @@ use std::time::{Duration, Instant};
 use pjoin::components::propagation::translate_punctuation;
 use pjoin::PJoinConfig;
 use punct_exec::{route_punctuation, AlignOutcome, Aligner, Route};
+use punct_trace::{wall_now_ns, TelemetryMsg};
 use punct_net::{
     ClientOptions, FaultConfig, FaultProxy, Frame, ProxyStats, SinkSubscriber, StreamSender,
     WIRE_VERSION,
@@ -54,8 +55,15 @@ use stream_sim::Side;
 
 use crate::error::ClusterError;
 use crate::protocol::{
-    barrier_punct, is_barrier, CtrlConn, JoinSpec, CTRL_TIMEOUT, MIGRATE_CHUNK,
+    barrier_punct, encode_config, is_barrier, CtrlConn, JoinSpec, TelemetrySettings,
+    CTRL_TIMEOUT, MIGRATE_CHUNK,
 };
+use crate::telemetry::ClusterTelemetry;
+
+/// Clock probes per worker during assembly; the minimum-RTT sample wins,
+/// so a short burst over a hot loopback connection bounds the offset
+/// error to a few tens of microseconds.
+const CLOCK_PROBES: u32 = 5;
 
 /// How a cluster is assembled and driven.
 #[derive(Debug, Clone)]
@@ -74,6 +82,9 @@ pub struct ClusterOptions {
     pub fault: Option<FaultConfig>,
     /// Deadline for any single control-plane exchange.
     pub ctrl_timeout: Duration,
+    /// How the telemetry plane runs (shipped to workers in the config
+    /// blob). Default: enabled, 1 s report interval, tracing on.
+    pub telemetry: TelemetrySettings,
 }
 
 impl ClusterOptions {
@@ -87,6 +98,7 @@ impl ClusterOptions {
             client: ClientOptions::default(),
             fault: None,
             ctrl_timeout: CTRL_TIMEOUT,
+            telemetry: TelemetrySettings::default(),
         }
     }
 }
@@ -104,6 +116,16 @@ pub struct MigrationStats {
     pub puncts_reinjected: u64,
     /// Wall-clock duration of the whole migration (the data-plane pause).
     pub pause: Duration,
+    /// Pause share spent reaching the barrier and draining sinks to
+    /// their markers (phases 1–3b).
+    pub drain: Duration,
+    /// Pause share spent collecting exported state (phase 3c).
+    pub export: Duration,
+    /// Pause share spent rehashing, shipping, and committing the new
+    /// epoch (phase 4).
+    pub install: Duration,
+    /// Pause share spent re-injecting pending punctuations (phase 5).
+    pub reinject: Duration,
 }
 
 /// Final accounting for one cluster run.
@@ -120,6 +142,8 @@ pub struct ClusterReport {
     pub sender_reconnects: u32,
     /// Per-worker fault-proxy stats, when proxies were configured.
     pub proxy_stats: Vec<ProxyStats>,
+    /// The merged cluster telemetry (final worker flushes folded in).
+    pub telemetry: ClusterTelemetry,
 }
 
 struct WorkerLink {
@@ -158,6 +182,7 @@ pub struct Cluster {
     clock: Timestamp,
     pushed: u64,
     migrations: Vec<MigrationStats>,
+    telem: ClusterTelemetry,
 }
 
 impl Cluster {
@@ -186,6 +211,7 @@ impl Cluster {
             clock: Timestamp(0),
             pushed: 0,
             migrations: Vec::new(),
+            telem: ClusterTelemetry::new(opts.workers, opts.telemetry),
             opts,
         })
     }
@@ -295,7 +321,7 @@ impl Cluster {
         // Activate epoch 1 through the unified staged-install path:
         // ShardMapUpdate stages, MigrateCommit activates and is echoed.
         self.map = ShardMap::round_robin(1, self.opts.shards, self.opts.workers);
-        let blob = self.opts.spec.encode();
+        let blob = encode_config(&self.opts.spec, &self.opts.telemetry);
         for (idx, link) in self.links.iter_mut().enumerate() {
             link.ctrl.send(&Frame::ShardMapUpdate {
                 worker: idx as u32,
@@ -305,6 +331,37 @@ impl Cluster {
             link.ctrl.send(&Frame::MigrateCommit { epoch: 1 })?;
         }
         self.await_commits(1)?;
+        self.sync_clocks()?;
+        Ok(())
+    }
+
+    /// Estimates each worker's clock offset with a burst of
+    /// request-response probes over the control plane (min-RTT sample
+    /// wins). Runs after the workers enter their serve loops, so acks
+    /// return within one poll interval.
+    fn sync_clocks(&mut self) -> Result<(), ClusterError> {
+        if !self.opts.telemetry.enabled {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+        for w in 0..self.links.len() {
+            for probe in 0..CLOCK_PROBES {
+                let payload =
+                    TelemetryMsg::ClockProbe { probe, t0_ns: wall_now_ns() }.encode();
+                self.links[w].ctrl.send(&Frame::Telemetry { payload })?;
+                let want = self.telem.clock(w).samples() + 1;
+                while self.telem.clock(w).samples() < want {
+                    match self.links[w].ctrl.recv_deadline(deadline, "clock ack")? {
+                        Frame::Telemetry { payload } => self.ingest_telemetry(w, &payload)?,
+                        other => {
+                            return Err(ClusterError::Protocol(format!(
+                                "expected a clock ack from worker {w}, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -375,6 +432,10 @@ impl Cluster {
         let route = route_punctuation(p, side, &self.cfg, self.map.shards());
         let workers = self.target_workers(&route);
         debug_assert!(!workers.is_empty(), "every shard has an owner");
+        if self.opts.telemetry.enabled {
+            let side_idx = if side == Side::Left { 0u8 } else { 1u8 };
+            self.telem.note_route(seq, side_idx, p.content_hash(), wall_now_ns(), &workers);
+        }
         let mask = workers.iter().fold(0u64, |m, &w| m | (1 << w));
         let translated = translate_punctuation(
             p,
@@ -408,6 +469,7 @@ impl Cluster {
     /// once every target worker propagated). Call this periodically
     /// while pushing to keep sink buffers small.
     pub fn poll_outputs(&mut self) -> Result<Vec<Timestamped<StreamElement>>, ClusterError> {
+        self.drain_telemetry()?;
         for w in 0..self.links.len() {
             loop {
                 if self.links[w].sink_done {
@@ -448,10 +510,18 @@ impl Cluster {
                     )));
                 }
                 let (outcome, seq) = self.aligner.observe_seq(worker, p);
+                if self.opts.telemetry.enabled {
+                    if let Some(s) = seq {
+                        self.telem.note_observe(worker, s.0, wall_now_ns());
+                    }
+                }
                 match outcome {
                     AlignOutcome::Emit => {
-                        self.pending_log
-                            .remove(&seq.expect("emit resolves an instance").0);
+                        let s = seq.expect("emit resolves an instance").0;
+                        self.pending_log.remove(&s);
+                        if self.opts.telemetry.enabled {
+                            self.telem.note_merge(s, wall_now_ns());
+                        }
                         self.ready.push(element);
                         Ok(false)
                     }
@@ -462,6 +532,75 @@ impl Cluster {
                 }
             }
         }
+    }
+
+    /// Receives the next **non-telemetry** control frame from `worker`,
+    /// folding any interleaved telemetry pushes into the aggregator —
+    /// periodic reports are asynchronous to the migration protocol, so
+    /// every blocking control-plane wait must tolerate them.
+    fn recv_ctrl(
+        &mut self,
+        worker: usize,
+        deadline: Instant,
+        what: &str,
+    ) -> Result<Frame, ClusterError> {
+        loop {
+            let frame = self.links[worker].ctrl.recv_deadline(deadline, what)?;
+            match frame {
+                Frame::Telemetry { payload } => self.ingest_telemetry(worker, &payload)?,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Non-blocking drain of pending telemetry pushes on every control
+    /// link. Outside a migration, telemetry is the only frame workers
+    /// originate, so anything else is a protocol error.
+    fn drain_telemetry(&mut self) -> Result<(), ClusterError> {
+        if !self.opts.telemetry.enabled {
+            return Ok(());
+        }
+        for w in 0..self.links.len() {
+            while let Some(frame) = self.links[w].ctrl.poll_recv()? {
+                match frame {
+                    Frame::Telemetry { payload } => self.ingest_telemetry(w, &payload)?,
+                    other => {
+                        return Err(ClusterError::Protocol(format!(
+                            "unexpected control frame from worker {w}: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds one telemetry payload from `worker` into the aggregator.
+    fn ingest_telemetry(&mut self, worker: usize, payload: &[u8]) -> Result<(), ClusterError> {
+        let t1 = wall_now_ns();
+        let msg = TelemetryMsg::decode(payload).map_err(|e| {
+            ClusterError::Protocol(format!("worker {worker} sent a bad telemetry payload: {e}"))
+        })?;
+        match msg {
+            TelemetryMsg::ClockAck { t0_ns, worker_ns, .. } => {
+                self.telem.observe_clock(worker, t0_ns, worker_ns, t1);
+            }
+            TelemetryMsg::Report(report) => {
+                if report.worker as usize != worker {
+                    return Err(ClusterError::Protocol(format!(
+                        "worker {worker} sent a report claiming worker {}",
+                        report.worker
+                    )));
+                }
+                self.telem.ingest_report(worker, *report);
+            }
+            TelemetryMsg::ClockProbe { .. } => {
+                return Err(ClusterError::Protocol(format!(
+                    "worker {worker} sent a clock probe; only the coordinator probes"
+                )))
+            }
+        }
+        Ok(())
     }
 
     /// Elastically repartitions the cluster to `new_shards` global
@@ -495,7 +634,7 @@ impl Cluster {
         }
         // 3a. Workers confirm the barrier crossed both their streams.
         for w in 0..self.links.len() {
-            let frame = self.links[w].ctrl.recv_deadline(deadline, "BarrierReached")?;
+            let frame = self.recv_ctrl(w, deadline, "BarrierReached")?;
             match frame {
                 Frame::BarrierReached { nonce: got } if got == nonce => {}
                 other => {
@@ -525,13 +664,14 @@ impl Cluster {
                 }
             }
         }
+        let t_drained = Instant::now();
         // 3c. Collect every worker's exported state.
         let mut moved: Vec<(Side, u64, Tuple)> = Vec::new();
         for w in 0..self.links.len() {
             let mut announced: Option<u64> = None;
             let mut got: u64 = 0;
             while announced != Some(got) {
-                let frame = self.links[w].ctrl.recv_deadline(deadline, "migration state")?;
+                let frame = self.recv_ctrl(w, deadline, "migration state")?;
                 match frame {
                     Frame::MigrateState { side, records, .. } => {
                         let side = if side == 0 { Side::Left } else { Side::Right };
@@ -560,6 +700,7 @@ impl Cluster {
             }
         }
         let records_moved = moved.len() as u64;
+        let t_exported = Instant::now();
 
         // 4. Rehash under the new map and install.
         let new_map = ShardMap::round_robin(epoch, new_shards, self.opts.workers);
@@ -576,7 +717,7 @@ impl Cluster {
                 .or_default()
                 .push((arrival_us, tuple));
         }
-        let blob = self.opts.spec.encode();
+        let blob = encode_config(&self.opts.spec, &self.opts.telemetry);
         for (w, groups) in per_worker.into_iter().enumerate() {
             let link = &mut self.links[w];
             link.ctrl.send(&Frame::ShardMapUpdate {
@@ -600,6 +741,7 @@ impl Cluster {
         }
         self.await_commits(epoch)?;
         self.map = new_map;
+        let t_installed = Instant::now();
 
         // 5. Re-inject not-yet-emitted punctuations through the new
         // topology, oldest first. Their partial pre-barrier propagation
@@ -620,8 +762,13 @@ impl Cluster {
             records_moved,
             puncts_reinjected,
             pause: t0.elapsed(),
+            drain: t_drained.duration_since(t0),
+            export: t_exported.duration_since(t_drained),
+            install: t_installed.duration_since(t_exported),
+            reinject: t_installed.elapsed(),
         };
         self.migrations.push(stats);
+        self.telem.migrations.push(stats);
         Ok(stats)
     }
 
@@ -629,7 +776,7 @@ impl Cluster {
     fn await_commits(&mut self, epoch: u64) -> Result<(), ClusterError> {
         let deadline = Instant::now() + self.opts.ctrl_timeout;
         for w in 0..self.links.len() {
-            let frame = self.links[w].ctrl.recv_deadline(deadline, "MigrateCommit echo")?;
+            let frame = self.recv_ctrl(w, deadline, "MigrateCommit echo")?;
             match frame {
                 Frame::MigrateCommit { epoch: got } if got == epoch => {}
                 other => {
@@ -703,17 +850,67 @@ impl Cluster {
                 self.aligner.pending_len().max(self.pending_log.len())
             )));
         }
+        // Every worker flushes a final cumulative report after its
+        // streams end and before its sink closes; wait for the stragglers
+        // so the merged telemetry covers the whole run.
+        if self.opts.telemetry.enabled {
+            loop {
+                let pending = self.telem.finals_pending();
+                if pending.is_empty() {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(ClusterError::Timeout(format!(
+                        "final telemetry flush from workers {pending:?}"
+                    )));
+                }
+                for w in pending {
+                    while let Some(frame) = self.links[w].ctrl.poll_recv()? {
+                        match frame {
+                            Frame::Telemetry { payload } => self.ingest_telemetry(w, &payload)?,
+                            other => {
+                                return Err(ClusterError::Protocol(format!(
+                                    "unexpected control frame from worker {w}: {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
         let proxy_stats = self
             .links
             .iter()
             .filter_map(|l| l.proxy.as_ref().map(FaultProxy::stats))
             .collect();
+        let telemetry = std::mem::replace(
+            &mut self.telem,
+            ClusterTelemetry::new(0, TelemetrySettings::disabled()),
+        );
         Ok(ClusterReport {
             outputs: std::mem::take(&mut self.ready),
             pushed: self.pushed,
             migrations: std::mem::take(&mut self.migrations),
             sender_reconnects,
             proxy_stats,
+            telemetry,
         })
+    }
+
+    /// The live merged telemetry view (grows as reports arrive; complete
+    /// once [`finish`](Cluster::finish) returns it in the report).
+    pub fn telemetry(&self) -> &ClusterTelemetry {
+        &self.telem
+    }
+
+    /// Prometheus text exposition of the current merged cluster state.
+    pub fn metrics_text(&self) -> String {
+        self.telem.metrics_text()
+    }
+
+    /// The live ASCII cluster dashboard at `width` columns.
+    pub fn dashboard_text(&self, width: usize) -> String {
+        self.telem.dashboard_text(width)
     }
 }

@@ -81,9 +81,17 @@
 pub mod coordinator;
 pub mod error;
 pub mod protocol;
+pub mod telemetry;
 pub mod worker;
 
 pub use coordinator::{Cluster, ClusterOptions, ClusterReport, MigrationStats};
 pub use error::ClusterError;
-pub use protocol::{barrier_punct, is_barrier, sink_marker, CtrlConn, JoinSpec};
+pub use protocol::{
+    barrier_punct, decode_config, encode_config, is_barrier, sink_marker, CtrlConn, JoinSpec,
+    TelemetrySettings,
+};
+pub use telemetry::{
+    check_exactly_once, validate_cluster_jsonl, ClusterTelemetry, JsonlSummary, PunctSpan,
+    WorkerSpan,
+};
 pub use worker::{run_worker, WorkerOptions, WorkerReport};

@@ -118,7 +118,8 @@ impl JoinSpec {
         Schema::of(&refs)
     }
 
-    /// The configuration blob carried in `ShardMapUpdate`.
+    /// The bare join-spec blob (no telemetry settings); the full
+    /// `ShardMapUpdate` payload is built by [`encode_config`].
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(20);
         for v in [self.width_a, self.width_b, self.join_attr_a, self.join_attr_b, self.buckets] {
@@ -127,9 +128,9 @@ impl JoinSpec {
         buf
     }
 
-    /// Decodes a blob written by [`encode`](JoinSpec::encode).
-    pub fn decode(bytes: &[u8]) -> Result<JoinSpec, ClusterError> {
-        let mut r = WireReader::new(bytes);
+    /// Decodes the spec fields from `r` without demanding the reader be
+    /// fully consumed — the config blob may carry trailing sections.
+    fn decode_from(r: &mut WireReader<'_>) -> Result<JoinSpec, ClusterError> {
         let spec = JoinSpec {
             width_a: r.u32("spec width_a")? as usize,
             width_b: r.u32("spec width_b")? as usize,
@@ -137,7 +138,6 @@ impl JoinSpec {
             join_attr_b: r.u32("spec join_attr_b")? as usize,
             buckets: r.u32("spec buckets")? as usize,
         };
-        r.finish()?;
         if spec.join_attr_a >= spec.width_a || spec.join_attr_b >= spec.width_b {
             return Err(ClusterError::Protocol(format!(
                 "join spec attributes out of range: {spec:?}"
@@ -145,6 +145,76 @@ impl JoinSpec {
         }
         Ok(spec)
     }
+
+    /// Decodes a blob written by [`encode`](JoinSpec::encode).
+    pub fn decode(bytes: &[u8]) -> Result<JoinSpec, ClusterError> {
+        let mut r = WireReader::new(bytes);
+        let spec = JoinSpec::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+/// How the telemetry plane runs, as shipped to every worker inside the
+/// `ShardMapUpdate` config blob — workers stay boring: they receive
+/// their reporting policy with their join configuration and never make
+/// a telemetry decision of their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySettings {
+    /// Whether workers send telemetry reports at all. When false, not a
+    /// single `Telemetry` frame flows and the data path is exactly the
+    /// pre-telemetry one.
+    pub enabled: bool,
+    /// Periodic report interval in milliseconds (the final flush at
+    /// stream end is unconditional when enabled).
+    pub interval_ms: u32,
+    /// Whether shard joins run with tracing on (latency histograms,
+    /// per-kind summaries, punctuation lifecycle records). With tracing
+    /// off — or compiled out via `PJOIN_TRACE_DISABLE=1` — reports still
+    /// flow, carrying the metrics-only payload.
+    pub trace: bool,
+}
+
+impl Default for TelemetrySettings {
+    fn default() -> TelemetrySettings {
+        TelemetrySettings { enabled: true, interval_ms: 1_000, trace: true }
+    }
+}
+
+impl TelemetrySettings {
+    /// Telemetry fully off: no frames, no tracing.
+    pub fn disabled() -> TelemetrySettings {
+        TelemetrySettings { enabled: false, interval_ms: 0, trace: false }
+    }
+}
+
+/// Encodes the full `ShardMapUpdate` config blob: the join spec followed
+/// by the telemetry settings.
+pub fn encode_config(spec: &JoinSpec, telemetry: &TelemetrySettings) -> Vec<u8> {
+    let mut buf = spec.encode();
+    buf.extend_from_slice(&telemetry.interval_ms.to_le_bytes());
+    buf.push((telemetry.enabled as u8) | ((telemetry.trace as u8) << 1));
+    buf
+}
+
+/// Decodes a config blob written by [`encode_config`]. A bare join-spec
+/// blob (no telemetry section) decodes with telemetry disabled, so the
+/// two encodings cannot be confused.
+pub fn decode_config(bytes: &[u8]) -> Result<(JoinSpec, TelemetrySettings), ClusterError> {
+    let mut r = WireReader::new(bytes);
+    let spec = JoinSpec::decode_from(&mut r)?;
+    if r.remaining() == 0 {
+        return Ok((spec, TelemetrySettings::disabled()));
+    }
+    let interval_ms = r.u32("telemetry interval")?;
+    let flags = r.u8("telemetry flags")?;
+    r.finish()?;
+    let telemetry = TelemetrySettings {
+        enabled: flags & 1 != 0,
+        interval_ms,
+        trace: flags & 2 != 0,
+    };
+    Ok((spec, telemetry))
 }
 
 /// The barrier punctuation for `side`'s input stream: Empty on the join
@@ -223,6 +293,30 @@ impl CtrlConn {
         Ok(self.fb.next_frame()?)
     }
 
+    /// Returns a buffered frame, or polls the socket **without
+    /// blocking**. Unlike [`try_recv`](CtrlConn::try_recv) — which can
+    /// wait up to the 20 ms socket read timeout — this flips the socket
+    /// into non-blocking mode for a single read and restores it, so the
+    /// coordinator can drain telemetry pushes between sink polls without
+    /// stalling the data path.
+    pub fn poll_recv(&mut self) -> Result<Option<Frame>, ClusterError> {
+        if let Some(frame) = self.fb.next_frame()? {
+            return Ok(Some(frame));
+        }
+        self.sock.set_nonblocking(true)?;
+        let mut buf = [0u8; 16 * 1024];
+        let read = self.sock.read(&mut buf);
+        self.sock.set_nonblocking(false)?;
+        match read {
+            Ok(0) => return Err(ClusterError::Disconnected(self.peer.clone())),
+            Ok(n) => self.fb.extend(&buf[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ClusterError::Io(e)),
+        }
+        Ok(self.fb.next_frame()?)
+    }
+
     /// Blocks until a frame arrives or `deadline` passes.
     pub fn recv_deadline(&mut self, deadline: Instant, what: &str) -> Result<Frame, ClusterError> {
         loop {
@@ -252,6 +346,23 @@ mod tests {
         bad.join_attr_b = 5;
         assert!(JoinSpec::decode(&bad.encode()).is_err());
         assert!(JoinSpec::decode(&blob[..10]).is_err());
+    }
+
+    #[test]
+    fn config_blob_carries_telemetry_settings() {
+        let spec = JoinSpec::new(3, 2);
+        let telemetry =
+            TelemetrySettings { enabled: true, interval_ms: 250, trace: false };
+        let blob = encode_config(&spec, &telemetry);
+        let (spec2, telemetry2) = decode_config(&blob).expect("decode");
+        assert_eq!(spec2, spec);
+        assert_eq!(telemetry2, telemetry);
+        // A bare spec blob decodes with telemetry off.
+        let (spec3, telemetry3) = decode_config(&spec.encode()).expect("bare");
+        assert_eq!(spec3, spec);
+        assert_eq!(telemetry3, TelemetrySettings::disabled());
+        // Truncated telemetry sections are rejected.
+        assert!(decode_config(&blob[..blob.len() - 1]).is_err());
     }
 
     #[test]

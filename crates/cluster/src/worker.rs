@@ -33,6 +33,7 @@
 //!   punctuation through the new topology, so each still propagates
 //!   downstream exactly once.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -44,13 +45,19 @@ use punct_net::{
     Frame, IngestMsg, IngestOptions, IngestReceiver, IngestServer, SinkOptions, SinkServer,
     WIRE_VERSION,
 };
+use punct_trace::{
+    wall_now_ns, IngestCounters, JoinLatencies, KindSummary, PunctRecord, ShardSnapshot,
+    TelemetryMsg, TraceKind, WorkerTelemetry,
+};
 use punct_types::{
     partition, PunctSeq, ShardMap, StreamElement, Timestamp, Timestamped, Value,
 };
 use stream_sim::{BinaryStreamOp, OpOutput, Side};
 
 use crate::error::ClusterError;
-use crate::protocol::{is_barrier, sink_marker, CtrlConn, JoinSpec, MIGRATE_CHUNK};
+use crate::protocol::{
+    decode_config, is_barrier, sink_marker, CtrlConn, JoinSpec, TelemetrySettings, MIGRATE_CHUNK,
+};
 
 /// How a worker process is wired into the cluster.
 #[derive(Debug, Clone)]
@@ -125,6 +132,28 @@ struct Worker {
     /// Barrier punctuation seen on [left, right].
     barrier: [bool; 2],
     report: WorkerReport,
+    /// Reporting policy, shipped in the config blob (disabled until the
+    /// initial shard map arrives).
+    telemetry: TelemetrySettings,
+    /// Sequence of the next telemetry report.
+    report_seq: u64,
+    /// When the last periodic report went out.
+    last_report: Instant,
+    /// Per-punctuation lifecycle records, cumulative in creation order —
+    /// the coordinator correlates them back by `(side, key)` occurrence.
+    lifecycle: Vec<PunctRecord>,
+    /// Local aligner sequence → index into `lifecycle`, for stamping the
+    /// align/sink stages when the propagation completes.
+    life_by_seq: HashMap<u64, usize>,
+    /// Latencies of joins retired by migrations (cumulative reports must
+    /// not lose samples when `self.joins` is replaced).
+    retired: JoinLatencies,
+    /// Per-kind `(count, total span ns)` trace totals, drained from live
+    /// tracers at each report and from retiring joins at each commit.
+    kind_totals: Vec<(u64, u64)>,
+    /// Per-join `(consumed, emitted)` counters for shard snapshots,
+    /// parallel to `joins`; reset when a new epoch replaces them.
+    shard_counts: Vec<(u64, u64)>,
 }
 
 /// Runs a worker to completion: joins the cluster at
@@ -158,6 +187,14 @@ pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, ClusterError> {
         migrate: None,
         barrier: [false, false],
         report: WorkerReport { worker: worker_idx, ..WorkerReport::default() },
+        telemetry: TelemetrySettings::disabled(),
+        report_seq: 0,
+        last_report: Instant::now(),
+        lifecycle: Vec::new(),
+        life_by_seq: HashMap::new(),
+        retired: JoinLatencies::new(),
+        kind_totals: vec![(0, 0); TraceKind::ALL.len()],
+        shard_counts: Vec::new(),
     };
     w.serve(&server, &rx, &mut ctrl)?;
     Ok(w.report)
@@ -200,8 +237,16 @@ impl Worker {
                     self.run_migration(nonce, ctrl)?;
                 }
             }
+            if self.telemetry.enabled
+                && self.telemetry.interval_ms > 0
+                && self.last_report.elapsed()
+                    >= Duration::from_millis(self.telemetry.interval_ms as u64)
+            {
+                self.send_report(server, ctrl, false)?;
+                self.last_report = Instant::now();
+            }
         }
-        self.finish(ctrl)
+        self.finish(server, ctrl)
     }
 
     /// Both streams finished: flush every shard's end-of-stream work
@@ -209,7 +254,11 @@ impl Worker {
     /// the sink, and linger until the coordinator hangs up — tearing the
     /// sink server down earlier would strand a subscriber that has not
     /// finished draining (or has yet to connect).
-    fn finish(&mut self, ctrl: &mut CtrlConn) -> Result<(), ClusterError> {
+    fn finish(
+        &mut self,
+        server: &IngestServer,
+        ctrl: &mut CtrlConn,
+    ) -> Result<(), ClusterError> {
         for i in 0..self.joins.len() {
             let mut out = OpOutput::new();
             let now = self.clock;
@@ -224,6 +273,10 @@ impl Worker {
             )));
         }
         self.report.final_epoch = self.map.as_ref().map_or(0, |m| m.epoch);
+        // The final cumulative flush covers the end-of-stream
+        // propagations above; it must precede the sink close so the
+        // coordinator can await it while the control link is still up.
+        self.send_report(server, ctrl, true)?;
         self.sink.close();
         // Linger: the coordinator drops the control connection only once
         // every sink subscriber has drained to `Fin`. Exiting before that
@@ -290,6 +343,9 @@ impl Worker {
                 let ts = element.ts;
                 let mut out = OpOutput::new();
                 self.joins[idx].1.on_element(side, element.item, ts, &mut out);
+                if let Some(c) = self.shard_counts.get_mut(idx) {
+                    c.0 += 1;
+                }
                 self.emit(idx, ts, out)
             }
             StreamElement::Punctuation(ref p) => {
@@ -320,12 +376,36 @@ impl Worker {
                 }
                 let translated =
                     translate_punctuation(p, spec.side_offset(side), spec.output_width());
-                self.aligner.expect(translated, PunctSeq(self.next_seq), local_mask);
+                let seq = self.next_seq;
                 self.next_seq += 1;
+                if self.track_lifecycle() {
+                    // Hash the punctuation as routed (pre-translation) so
+                    // the key matches the coordinator's send log.
+                    self.life_by_seq.insert(seq, self.lifecycle.len());
+                    self.lifecycle.push(PunctRecord {
+                        side: side_index(side) as u8,
+                        key: p.content_hash(),
+                        ingest_ns: wall_now_ns(),
+                        purge_ns: 0,
+                        align_ns: 0,
+                        sink_ns: 0,
+                    });
+                }
+                self.aligner.expect(translated, PunctSeq(seq), local_mask);
                 let ts = element.ts;
                 for idx in targets {
                     let mut out = OpOutput::new();
                     self.joins[idx].1.on_element(side, element.item.clone(), ts, &mut out);
+                    if let Some(c) = self.shard_counts.get_mut(idx) {
+                        c.0 += 1;
+                    }
+                    if self.track_lifecycle() {
+                        // Last target wins: the purge stage ends when the
+                        // final shard finished applying the punctuation.
+                        if let Some(&ri) = self.life_by_seq.get(&seq) {
+                            self.lifecycle[ri].purge_ns = wall_now_ns();
+                        }
+                    }
                     self.emit(idx, ts, out)?;
                 }
                 Ok(())
@@ -342,23 +422,52 @@ impl Worker {
                 StreamElement::Tuple(_) => {
                     self.sink.publish(Timestamped::new(ts, element));
                     self.report.outputs += 1;
+                    if let Some(c) = self.shard_counts.get_mut(idx) {
+                        c.1 += 1;
+                    }
                 }
-                StreamElement::Punctuation(ref p) => match self.aligner.observe(idx, p) {
-                    AlignOutcome::Emit => {
-                        self.sink.publish(Timestamped::new(ts, element));
-                        self.report.outputs += 1;
+                StreamElement::Punctuation(ref p) => {
+                    let (outcome, wseq) = self.aligner.observe_seq(idx, p);
+                    if self.track_lifecycle() {
+                        if let Some(&ri) =
+                            wseq.and_then(|s| self.life_by_seq.get(&s.0))
+                        {
+                            self.lifecycle[ri].align_ns = wall_now_ns();
+                        }
                     }
-                    AlignOutcome::Pending => {}
-                    AlignOutcome::Unexpected => {
-                        return Err(ClusterError::Protocol(format!(
-                            "shard {} propagated an unregistered punctuation {p}",
-                            self.joins[idx].0
-                        )))
+                    match outcome {
+                        AlignOutcome::Emit => {
+                            self.sink.publish(Timestamped::new(ts, element));
+                            self.report.outputs += 1;
+                            if let Some(c) = self.shard_counts.get_mut(idx) {
+                                c.1 += 1;
+                            }
+                            if self.track_lifecycle() {
+                                if let Some(&ri) =
+                                    wseq.and_then(|s| self.life_by_seq.get(&s.0))
+                                {
+                                    self.lifecycle[ri].sink_ns = wall_now_ns();
+                                }
+                            }
+                        }
+                        AlignOutcome::Pending => {}
+                        AlignOutcome::Unexpected => {
+                            return Err(ClusterError::Protocol(format!(
+                                "shard {} propagated an unregistered punctuation {p}",
+                                self.joins[idx].0
+                            )))
+                        }
                     }
-                },
+                }
             }
         }
         Ok(())
+    }
+
+    /// Whether per-punctuation lifecycle stamps are recorded: requires
+    /// telemetry on, tracing requested, and the trace crate compiled in.
+    fn track_lifecycle(&self) -> bool {
+        punct_trace::COMPILED && self.telemetry.enabled && self.telemetry.trace
     }
 
     /// Both barriers are in and a migration is armed: drain-and-export.
@@ -401,6 +510,84 @@ impl Worker {
         Ok(())
     }
 
+    /// Ships one cumulative telemetry snapshot to the coordinator:
+    /// lifetime counters, merged latency histograms (live joins plus
+    /// migration-retired ones), per-shard occupancy, per-kind trace
+    /// totals, the full lifecycle log, and the ingest transport counters.
+    fn send_report(
+        &mut self,
+        server: &IngestServer,
+        ctrl: &mut CtrlConn,
+        final_flush: bool,
+    ) -> Result<(), ClusterError> {
+        if !self.telemetry.enabled {
+            return Ok(());
+        }
+        let seq = self.report_seq;
+        self.report_seq += 1;
+        let trace_on = punct_trace::COMPILED && self.telemetry.trace;
+        let mut latencies = self.retired;
+        let mut shards = Vec::with_capacity(self.joins.len());
+        for (i, (shard, join)) in self.joins.iter().enumerate() {
+            latencies.merge(join.latencies());
+            let (consumed, emitted) = self.shard_counts.get(i).copied().unwrap_or((0, 0));
+            let state_tuples =
+                (join.state_a().total_tuples() + join.state_b().total_tuples()) as u64;
+            shards.push(ShardSnapshot {
+                shard: *shard as u32,
+                consumed,
+                state_tuples,
+                emitted,
+            });
+        }
+        if trace_on {
+            for (_, join) in &mut self.joins {
+                for e in join.take_trace().events {
+                    let t = &mut self.kind_totals[e.kind.index() as usize];
+                    t.0 += 1;
+                    t.1 += e.dur_ns;
+                }
+            }
+            for e in server.take_trace().events {
+                let t = &mut self.kind_totals[e.kind.index() as usize];
+                t.0 += 1;
+                t.1 += e.dur_ns;
+            }
+        }
+        let summaries: Vec<KindSummary> = self
+            .kind_totals
+            .iter()
+            .enumerate()
+            .filter(|(_, (count, _))| *count > 0)
+            .map(|(kind, &(count, total_dur_ns))| KindSummary {
+                kind: kind as u8,
+                count,
+                total_dur_ns,
+            })
+            .collect();
+        let stats = server.stats();
+        let report = WorkerTelemetry {
+            worker: self.report.worker,
+            seq,
+            final_flush,
+            trace_compiled: trace_on,
+            elements: self.report.elements,
+            outputs: self.report.outputs,
+            latencies,
+            shards,
+            summaries,
+            lifecycle: self.lifecycle.clone(),
+            ingest: IngestCounters {
+                connections: stats.connections,
+                frames_received: stats.frames_received,
+                bytes_received: stats.bytes_received,
+                duplicates_suppressed: stats.duplicates_suppressed,
+                stalls: stats.stalls,
+            },
+        };
+        ctrl.send(&Frame::Telemetry { payload: TelemetryMsg::Report(Box::new(report)).encode() })
+    }
+
     fn handle_ctrl(&mut self, frame: Frame, ctrl: &mut CtrlConn) -> Result<(), ClusterError> {
         match frame {
             Frame::ShardMapUpdate { worker, map, config } => {
@@ -411,8 +598,13 @@ impl Worker {
                     )));
                 }
                 if self.spec.is_none() {
-                    let spec = JoinSpec::decode(&config)?;
-                    self.cfg = Some(spec.pjoin_config());
+                    let (spec, telemetry) = decode_config(&config)?;
+                    self.telemetry = telemetry;
+                    let mut cfg = spec.pjoin_config();
+                    if punct_trace::COMPILED && telemetry.enabled && telemetry.trace {
+                        cfg = cfg.with_tracing();
+                    }
+                    self.cfg = Some(cfg);
                     self.spec = Some(spec);
                 }
                 let cfg = self.cfg.as_ref().expect("spec decoded above");
@@ -469,8 +661,21 @@ impl Worker {
                     )));
                 }
                 self.report.records_imported += staged.imported;
+                // Retire the outgoing joins' telemetry before they drop:
+                // cumulative reports must keep their samples.
+                if self.telemetry.enabled {
+                    for (_, join) in &mut self.joins {
+                        self.retired.merge(join.latencies());
+                        for e in join.take_trace().events {
+                            let t = &mut self.kind_totals[e.kind.index() as usize];
+                            t.0 += 1;
+                            t.1 += e.dur_ns;
+                        }
+                    }
+                }
                 self.map = Some(staged.map);
                 self.joins = staged.joins;
+                self.shard_counts = vec![(0, 0); self.joins.len()];
                 // Expectations pending at the barrier die with the old
                 // joins; the coordinator re-injects those punctuations.
                 self.aligner = Aligner::new();
@@ -487,6 +692,22 @@ impl Worker {
                 }
                 self.migrate = Some((epoch, nonce));
                 Ok(())
+            }
+            Frame::Telemetry { payload } => {
+                let msg = TelemetryMsg::decode(&payload).map_err(|e| {
+                    ClusterError::Protocol(format!(
+                        "worker {}: bad telemetry payload: {e}",
+                        self.report.worker
+                    ))
+                })?;
+                let TelemetryMsg::ClockProbe { probe, t0_ns } = msg else {
+                    return Err(ClusterError::Protocol(format!(
+                        "worker {}: unexpected telemetry message from coordinator",
+                        self.report.worker
+                    )));
+                };
+                let ack = TelemetryMsg::ClockAck { probe, t0_ns, worker_ns: wall_now_ns() };
+                ctrl.send(&Frame::Telemetry { payload: ack.encode() })
             }
             Frame::Error { code, message } => Err(ClusterError::Protocol(format!(
                 "coordinator rejected worker {}: error {code} ({message})",

@@ -28,8 +28,10 @@ use punct_types::{Schema, ShardMap, StreamElement, Timestamp, Timestamped, Tuple
 /// `BarrierReached`) and made the version check symmetric: both
 /// directions of every handshake carry the speaker's version, and a
 /// mismatch is answered with a clean `VERSION_MISMATCH` error instead
-/// of a decode failure.
-pub const WIRE_VERSION: u32 = 3;
+/// of a decode failure; version 4 added the `Telemetry` control frame
+/// (clock probes/acks and cumulative worker telemetry reports, payload
+/// encoded by `punct-trace` and opaque at this layer).
+pub const WIRE_VERSION: u32 = 4;
 
 /// Hard cap on a frame's announced length (tag + payload). A corrupted
 /// length prefix can therefore never request more than this in one
@@ -222,6 +224,16 @@ pub enum Frame {
         /// The barrier's identifying nonce (from `MigrateBegin`).
         nonce: u64,
     },
+    /// Bidirectional telemetry-plane message on the control connection:
+    /// coordinator → worker clock probes, worker → coordinator clock
+    /// acks and cumulative telemetry reports. The payload is a
+    /// `punct_trace::telemetry::TelemetryMsg` encoding, opaque at this
+    /// layer (like `ShardMapUpdate::config`) so the transport does not
+    /// depend on the telemetry schema.
+    Telemetry {
+        /// Encoded `TelemetryMsg`.
+        payload: Vec<u8>,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -241,6 +253,7 @@ const TAG_MIGRATE_STATE: u8 = 13;
 const TAG_MIGRATE_STATE_DONE: u8 = 14;
 const TAG_MIGRATE_COMMIT: u8 = 15;
 const TAG_BARRIER_REACHED: u8 = 16;
+const TAG_TELEMETRY: u8 = 17;
 
 impl Frame {
     /// True for `Data`/`DataBatch` frames (the only kinds subject to
@@ -280,6 +293,7 @@ impl Frame {
             Frame::MigrateStateDone { .. } => TAG_MIGRATE_STATE_DONE,
             Frame::MigrateCommit { .. } => TAG_MIGRATE_COMMIT,
             Frame::BarrierReached { .. } => TAG_BARRIER_REACHED,
+            Frame::Telemetry { .. } => TAG_TELEMETRY,
         }
     }
 }
@@ -357,6 +371,10 @@ pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
         }
         Frame::MigrateCommit { epoch } => buf.extend_from_slice(&epoch.to_le_bytes()),
         Frame::BarrierReached { nonce } => buf.extend_from_slice(&nonce.to_le_bytes()),
+        Frame::Telemetry { payload } => {
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(payload);
+        }
     }
     let frame_len = (buf.len() - len_pos - 4) as u32;
     buf[len_pos..len_pos + 4].copy_from_slice(&frame_len.to_le_bytes());
@@ -507,6 +525,11 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         }
         TAG_MIGRATE_COMMIT => Frame::MigrateCommit { epoch: r.u64("commit epoch")? },
         TAG_BARRIER_REACHED => Frame::BarrierReached { nonce: r.u64("barrier nonce")? },
+        TAG_TELEMETRY => {
+            let len = r.u32("telemetry len")? as usize;
+            let payload = r.bytes("telemetry payload", len)?.to_vec();
+            Frame::Telemetry { payload }
+        }
         tag => return Err(WireError::BadTag { what: "frame", tag }),
     };
     r.finish()?;
@@ -673,6 +696,8 @@ mod tests {
             Frame::MigrateStateDone { records: 2 },
             Frame::MigrateCommit { epoch: 4 },
             Frame::BarrierReached { nonce: 0xDEAD_BEEF },
+            Frame::Telemetry { payload: vec![2, 0, 0, 0, 7, 7, 7] },
+            Frame::Telemetry { payload: Vec::new() },
         ]
     }
 

@@ -150,7 +150,107 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
         any::<u64>().prop_map(|records| Frame::MigrateStateDone { records }),
         any::<u64>().prop_map(|epoch| Frame::MigrateCommit { epoch }),
         any::<u64>().prop_map(|nonce| Frame::BarrierReached { nonce }),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|payload| Frame::Telemetry { payload }),
+        arb_worker_telemetry().prop_map(|t| Frame::Telemetry {
+            payload: TelemetryMsg::Report(Box::new(t)).encode(),
+        }),
     ]
+}
+
+// ---------------------------------------------------------------------
+// Telemetry strategies
+// ---------------------------------------------------------------------
+
+use punct_trace::telemetry::{decode_histogram, encode_histogram_into};
+use punct_trace::{
+    IngestCounters, JoinLatencies, KindSummary, LatencyHistogram, PunctRecord, ShardSnapshot,
+    TelemetryMsg, TraceKind, WorkerTelemetry,
+};
+
+/// Histograms built from raw samples, so bucket placement, saturating
+/// sums, and max tracking are all exercised by the codec round trip.
+fn arb_histogram() -> impl Strategy<Value = LatencyHistogram> {
+    proptest::collection::vec(any::<u64>(), 0..48).prop_map(|samples| {
+        let mut h = LatencyHistogram::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
+    })
+}
+
+fn arb_latencies() -> impl Strategy<Value = JoinLatencies> {
+    (arb_histogram(), arb_histogram(), arb_histogram()).prop_map(
+        |(tuple_emit, punct_purge, punct_propagate)| JoinLatencies {
+            tuple_emit,
+            punct_purge,
+            punct_propagate,
+        },
+    )
+}
+
+fn arb_worker_telemetry() -> impl Strategy<Value = WorkerTelemetry> {
+    (
+        (any::<u32>(), any::<u64>(), any::<bool>(), any::<bool>()),
+        (any::<u64>(), any::<u64>()),
+        arb_latencies(),
+        proptest::collection::vec(
+            (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>())
+                .prop_map(|(shard, consumed, state_tuples, emitted)| ShardSnapshot {
+                    shard,
+                    consumed,
+                    state_tuples,
+                    emitted,
+                }),
+            0..8,
+        ),
+        proptest::collection::vec(
+            (0u8..TraceKind::ALL.len() as u8, any::<u64>(), any::<u64>()).prop_map(
+                |(kind, count, total_dur_ns)| KindSummary { kind, count, total_dur_ns },
+            ),
+            0..6,
+        ),
+        proptest::collection::vec(
+            (0u8..2, any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+                .prop_map(|(side, key, ingest_ns, purge_ns, align_ns, sink_ns)| PunctRecord {
+                    side,
+                    key,
+                    ingest_ns,
+                    purge_ns,
+                    align_ns,
+                    sink_ns,
+                }),
+            0..10,
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(connections, frames_received, bytes_received, duplicates_suppressed, stalls)| {
+                IngestCounters {
+                    connections,
+                    frames_received,
+                    bytes_received,
+                    duplicates_suppressed,
+                    stalls,
+                }
+            },
+        ),
+    )
+        .prop_map(
+            |((worker, seq, final_flush, trace_compiled), (elements, outputs), latencies,
+              shards, summaries, lifecycle, ingest)| WorkerTelemetry {
+                worker,
+                seq,
+                final_flush,
+                trace_compiled,
+                elements,
+                outputs,
+                latencies,
+                shards,
+                summaries,
+                lifecycle,
+                ingest,
+            },
+        )
 }
 
 // ---------------------------------------------------------------------
@@ -236,6 +336,50 @@ proptest! {
         let mut fb = FrameBuffer::new();
         fb.extend(&corrupted);
         while let Ok(Some(_)) = fb.next_frame() {}
+    }
+
+    /// A latency histogram survives the telemetry codec losslessly:
+    /// every bucket, the saturating sum, and the max.
+    #[test]
+    fn histogram_round_trip_is_lossless(h in arb_histogram()) {
+        let mut buf = Vec::new();
+        encode_histogram_into(&h, &mut buf);
+        let decoded = decode_histogram(&buf).expect("well-formed histogram");
+        prop_assert_eq!(decoded, h);
+    }
+
+    /// Merging histograms that crossed the wire is bit-identical to
+    /// merging them locally — the cross-process merge is exact.
+    #[test]
+    fn wire_merge_equals_local_merge(a in arb_histogram(), b in arb_histogram()) {
+        let mut over_wire = LatencyHistogram::new();
+        for h in [&a, &b] {
+            let mut buf = Vec::new();
+            encode_histogram_into(h, &mut buf);
+            over_wire.merge(&decode_histogram(&buf).expect("decode"));
+        }
+        let mut local = a;
+        local.merge(&b);
+        prop_assert_eq!(over_wire, local);
+    }
+
+    /// A full worker report — histograms, shard snapshots, trace
+    /// summaries, lifecycle records, ingest counters — round-trips
+    /// through the telemetry payload codec bit-exactly.
+    #[test]
+    fn worker_telemetry_round_trip_is_bit_exact(t in arb_worker_telemetry()) {
+        let msg = TelemetryMsg::Report(Box::new(t));
+        let bytes = msg.encode();
+        prop_assert_eq!(TelemetryMsg::decode(&bytes).expect("decode"), msg);
+    }
+
+    /// Truncating a telemetry payload at any byte errors — never panics,
+    /// never fabricates a report.
+    #[test]
+    fn telemetry_truncations_error_cleanly(t in arb_worker_telemetry(), cut in any::<u64>()) {
+        let bytes = TelemetryMsg::Report(Box::new(t)).encode();
+        let cut = (cut as usize) % bytes.len();
+        prop_assert!(TelemetryMsg::decode(&bytes[..cut]).is_err());
     }
 }
 

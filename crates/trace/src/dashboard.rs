@@ -51,6 +51,20 @@ pub fn histogram_chart(h: &LatencyHistogram, title: &str, width: usize) -> Strin
     out
 }
 
+/// Renders a fixed-width horizontal meter: `value` filled cells out of
+/// `scale` (the largest value among the meters being compared), followed
+/// by the raw number. Used by the cluster dashboard for per-worker shard
+/// occupancy and stall bars.
+pub fn meter(value: u64, scale: u64, width: usize) -> String {
+    let width = width.max(4);
+    let filled = if scale == 0 || value == 0 {
+        0
+    } else {
+        (((value as f64 / scale as f64) * width as f64).round() as usize).clamp(1, width)
+    };
+    format!("[{}{}] {value}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
 /// Renders all three latency histograms of a [`JoinLatencies`].
 pub fn latency_report(l: &JoinLatencies, width: usize) -> String {
     let mut out = String::new();
@@ -142,6 +156,17 @@ mod tests {
         assert!(chart.contains("[       512,       1023]"));
         // Peak bucket (count 2) gets the full bar.
         assert!(chart.contains(&"#".repeat(20)));
+    }
+
+    #[test]
+    fn meter_scales_and_handles_edges() {
+        assert_eq!(meter(0, 10, 10), "[..........] 0");
+        assert_eq!(meter(10, 10, 10), "[##########] 10");
+        assert_eq!(meter(5, 10, 10), "[#####.....] 5");
+        // Tiny but non-zero values still show one cell.
+        assert!(meter(1, 1_000_000, 10).starts_with("[#."));
+        // Zero scale never divides.
+        assert_eq!(meter(7, 0, 4), "[....] 7");
     }
 
     #[test]

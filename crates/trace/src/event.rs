@@ -160,6 +160,18 @@ impl TraceKind {
         TraceKind::ALL.into_iter().find(|k| k.name() == name)
     }
 
+    /// The kind's stable position in [`ALL`](Self::ALL) — the compact
+    /// integer form used by the telemetry wire codec's per-kind
+    /// summaries.
+    pub fn index(self) -> u8 {
+        TraceKind::ALL.iter().position(|&k| k == self).expect("kind in ALL") as u8
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(i: u8) -> Option<TraceKind> {
+        TraceKind::ALL.get(i as usize).copied()
+    }
+
     /// True for kinds recorded as wall-clock spans (`dur_ns` meaningful);
     /// the rest are instants.
     pub fn is_span(self) -> bool {
@@ -225,6 +237,15 @@ mod tests {
             assert_eq!(TraceKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(TraceKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, kind) in TraceKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index() as usize, i);
+            assert_eq!(TraceKind::from_index(i as u8), Some(kind));
+        }
+        assert_eq!(TraceKind::from_index(TraceKind::ALL.len() as u8), None);
     }
 
     #[test]

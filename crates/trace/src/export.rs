@@ -167,15 +167,20 @@ pub fn validate_jsonl(input: &str) -> Result<Vec<ParsedEvent>, String> {
     Ok(events)
 }
 
+/// A value in a flat JSONL line: the schemas here (trace events, cluster
+/// telemetry) only ever carry strings and unsigned integers.
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub enum JsonValue {
+    /// A string value (no escape sequences).
     Str(String),
+    /// An unsigned integer value.
     Num(u64),
 }
 
 /// Parses a single-line flat JSON object of string / unsigned-integer
-/// values — the only shape the event schema allows.
-fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+/// values — the only shape the JSONL schemas allow. Shared by the event
+/// validator here and the cluster-telemetry validator in `punct-cluster`.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
     let mut chars = line.chars().peekable();
     let mut fields = Vec::new();
 

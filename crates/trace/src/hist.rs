@@ -33,6 +33,14 @@ impl LatencyHistogram {
         LatencyHistogram { buckets: [0; BUCKETS], sum: 0, max: 0 }
     }
 
+    /// Reconstructs a histogram from its raw parts — the inverse of
+    /// reading [`buckets`](Self::buckets), [`sum`](Self::sum) and
+    /// [`max`](Self::max), so a decoded wire copy is bit-identical to
+    /// the original and merges exactly.
+    pub const fn from_raw(buckets: [u64; BUCKETS], sum: u64, max: u64) -> LatencyHistogram {
+        LatencyHistogram { buckets, sum, max }
+    }
+
     /// The bucket a value falls into: `floor(log2(max(v, 1)))`.
     #[inline]
     pub fn bucket_index(v: u64) -> usize {

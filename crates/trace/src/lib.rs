@@ -42,17 +42,24 @@ pub mod export;
 pub mod hist;
 pub mod latency;
 pub mod ring;
+pub mod telemetry;
 pub mod tracer;
 
-pub use dashboard::{histogram_chart, latency_report, Dashboard};
+pub use dashboard::{histogram_chart, latency_report, meter, Dashboard};
 pub use event::{
     lane_name, Lane, TraceEvent, TraceKind, LANE_DRIVER, LANE_MERGE, LANE_NET_CLIENT,
     LANE_NET_INGEST, LANE_NET_SINK, LANE_ROUTER,
 };
-pub use export::{chrome_trace, jsonl, jsonl_line, validate_jsonl, ParsedEvent};
+pub use export::{
+    chrome_trace, jsonl, jsonl_line, parse_flat_object, validate_jsonl, JsonValue, ParsedEvent,
+};
 pub use hist::{LatencyHistogram, BUCKETS};
 pub use latency::JoinLatencies;
 pub use ring::RingBuffer;
+pub use telemetry::{
+    ClockSync, IngestCounters, KindSummary, PunctRecord, ShardSnapshot, TelemetryCodecError,
+    TelemetryMsg, WorkerTelemetry,
+};
 pub use tracer::{
     wall_epoch, wall_now_ns, SpanStart, TraceLog, TraceSettings, Tracer, DEFAULT_RING_CAPACITY,
 };

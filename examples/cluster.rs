@@ -14,11 +14,20 @@
 //! the fault-injection proxy (frame drops + forced disconnects); the
 //! sequenced transport resumes, and the output is still exactly the
 //! single-threaded join's output — which the example asserts.
+//!
+//! The telemetry plane runs alongside: workers push periodic snapshots,
+//! the coordinator merges them, a live cluster dashboard is rendered
+//! mid-stream and at the end, and the merged telemetry is exported to
+//! `results/cluster_telemetry.jsonl`. The example re-validates that
+//! artifact from disk alone — schema check plus an exactly-once
+//! punctuation audit recomputed purely from the JSONL — and exits
+//! nonzero if either fails.
 
 use std::time::Instant;
 
 use punctuated_streams::cluster::{
-    run_worker, Cluster, ClusterOptions, JoinSpec, WorkerOptions,
+    check_exactly_once, run_worker, validate_cluster_jsonl, Cluster, ClusterOptions, JoinSpec,
+    TelemetrySettings, WorkerOptions,
 };
 use punctuated_streams::net::{BackoffPolicy, ClientOptions, FaultConfig};
 use punctuated_streams::prelude::*;
@@ -69,6 +78,7 @@ fn main() {
     if faults {
         opts.fault = Some(FaultConfig::lossy(50, 6, 2, 80, 0xFA11));
     }
+    opts.telemetry = TelemetrySettings { enabled: true, interval_ms: 100, trace: true };
     let mut cluster = Cluster::bind(opts).expect("bind coordinator");
     let ctrl = cluster.ctrl_addr();
     println!(
@@ -103,6 +113,9 @@ fn main() {
             .expect("push");
         if i % 64 == 0 {
             outputs.extend(cluster.poll_outputs().expect("poll"));
+        }
+        if i == 3 * work.len() / 4 {
+            println!("live dashboard at element {i}:\n{}", cluster.dashboard_text(100));
         }
     }
     let report = cluster.finish().expect("finish cluster");
@@ -155,5 +168,42 @@ fn main() {
         "equivalence check: OK — output identical to the single-threaded PJoin across {} \
          repartitions",
         report.migrations.len()
+    );
+
+    // ---- the telemetry gate ----------------------------------------------
+    // The merged cluster view, rendered for a human …
+    println!("\nfinal cluster dashboard:\n{}", report.telemetry.dashboard_text(100));
+
+    // … and exported for machines. The audit below deliberately reloads
+    // the artifact from disk: everything it checks is recomputed from
+    // the JSONL alone, proving the export carries the full story.
+    let puncts_pushed =
+        work.iter().filter(|(_, el)| matches!(el, StreamElement::Punctuation(_))).count() as u64;
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/cluster_telemetry.jsonl";
+    std::fs::write(path, report.telemetry.to_jsonl()).expect("write telemetry artifact");
+    let artifact = std::fs::read_to_string(path).expect("re-read telemetry artifact");
+    let summary = match validate_cluster_jsonl(&artifact) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("telemetry artifact failed schema validation: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = check_exactly_once(&summary, puncts_pushed) {
+        eprintln!("exactly-once audit failed: {e}");
+        std::process::exit(1);
+    }
+    assert_eq!(summary.workers, workers as u64, "artifact must cover every worker");
+    assert_eq!(summary.migrations, report.migrations.len() as u64);
+    if punctuated_streams::trace::COMPILED {
+        assert_eq!(
+            summary.tuple_emit_count, joined as u64,
+            "merged ingress→emit histogram must count every joined tuple"
+        );
+    }
+    println!(
+        "telemetry check: OK — {path} schema-valid, all {puncts_pushed} punctuations traced \
+         end-to-end and merged exactly once"
     );
 }
