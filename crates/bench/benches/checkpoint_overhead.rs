@@ -1,0 +1,292 @@
+//! What the durable checkpoint plane costs, and what recovery buys.
+//!
+//! Two experiments on the same 2-worker loopback cluster:
+//!
+//! * **Throughput** with durability off, at the lazy 10 s auto-cut
+//!   interval (the shipped default posture: input logging and output
+//!   withholding on, epochs cut rarely), and at an aggressive 1 s
+//!   interval (several epochs per run). The run is sized to take over a
+//!   second, so the 1 s row really cuts mid-stream.
+//! * **Recovery time vs state size**: for growing workloads, cut one
+//!   epoch with every tuple stored (all closes still pending), "crash"
+//!   (drop the coordinator without finishing), then time a cold
+//!   [`Cluster::restore_latest`] — disk read, staged re-install into
+//!   fresh workers, pending re-injection — and verify the resumed run
+//!   completes.
+//!
+//! Results land in `BENCH_checkpoint.json`. A timed run (not `--test`)
+//! additionally asserts the default posture stays within the design
+//! budget: ≤ 5% throughput cost against durability-off.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use punct_cluster::{
+    run_worker, Cluster, ClusterOptions, DurabilityOptions, JoinSpec, WorkerOptions,
+};
+use punct_net::{BackoffPolicy, ClientOptions};
+use punct_types::{Pattern, Punctuation, StreamElement, Timestamp, Timestamped, Tuple};
+use stream_sim::Side;
+
+const KEYS: i64 = 2000;
+const OVERHEAD_BUDGET: f64 = 0.05;
+
+/// The cluster_scaling workload: keyed pairs, per-key close punctuations
+/// four keys behind, stream-end wildcards.
+fn workload(keys: i64) -> Vec<(Side, StreamElement)> {
+    let mut work: Vec<(Side, StreamElement)> = Vec::new();
+    for k in 0..keys {
+        work.push((Side::Left, Tuple::of((k, 10 * k)).into()));
+        work.push((Side::Right, Tuple::of((k, -k)).into()));
+        if k >= 4 {
+            let c = k - 4;
+            work.push((Side::Left, Punctuation::close_value(2, 0, c).into()));
+            work.push((Side::Right, Punctuation::close_value(2, 0, c).into()));
+        }
+    }
+    let wild = Punctuation::on_attr(2, 0, Pattern::Wildcard);
+    work.push((Side::Left, wild.clone().into()));
+    work.push((Side::Right, wild.into()));
+    work
+}
+
+/// The three durability postures under test: off, the lazy 10 s
+/// auto-cut interval, and an aggressive 1 s one.
+fn modes() -> [(&'static str, Option<Duration>); 3] {
+    [
+        ("off", None),
+        ("interval_10s", Some(Duration::from_secs(10))),
+        ("interval_1s", Some(Duration::from_secs(1))),
+    ]
+}
+
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pjoin_bench_ckpt_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+fn base_opts() -> ClusterOptions {
+    let mut opts = ClusterOptions::new(JoinSpec::new(2, 2), 2, 2);
+    opts.client =
+        ClientOptions { policy: BackoffPolicy::fast(), seed: 77, ..ClientOptions::default() };
+    opts
+}
+
+/// One full 2-worker run under the given checkpoint posture. Returns
+/// (outputs, epochs cut).
+fn run_once(interval: Option<Duration>, work: &[(Side, StreamElement)]) -> (usize, u64) {
+    let mut opts = base_opts();
+    let dir = interval.map(|iv| {
+        let dir = ckpt_dir("throughput");
+        opts.durability = DurabilityOptions::at(&dir);
+        opts.durability.interval = Some(iv);
+        dir
+    });
+    let mut cluster = Cluster::bind(opts).expect("bind coordinator");
+    let ctrl = cluster.ctrl_addr();
+    let handles: Vec<_> = (0..2u32)
+        .map(|i| std::thread::spawn(move || run_worker(WorkerOptions::new(i, ctrl))))
+        .collect();
+    cluster.accept_workers().expect("assemble cluster");
+    let mut outputs = 0usize;
+    for (i, (side, el)) in work.iter().enumerate() {
+        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        if i % 128 == 0 {
+            outputs += cluster.poll_outputs().expect("poll").len();
+        }
+    }
+    let report = cluster.finish().expect("finish");
+    outputs += report.outputs.len();
+    for h in handles {
+        h.join().expect("worker thread").expect("worker");
+    }
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    (outputs, report.checkpoints)
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let work = workload(KEYS);
+    let mut g = c.benchmark_group("checkpoint_overhead");
+    g.throughput(Throughput::Elements(work.len() as u64));
+    g.sample_size(10);
+    for (name, interval) in modes() {
+        g.bench_with_input(BenchmarkId::new("mode", name), &interval, |b, &iv| {
+            b.iter(|| black_box(run_once(iv, &work)))
+        });
+    }
+    g.finish();
+}
+
+/// One crash-and-restore cycle at the given workload size. Returns
+/// (epoch-file bytes on disk, records re-installed, restore wall time).
+///
+/// Unlike the throughput workload, punctuations here all trail the
+/// tuples and the epoch is cut right between the two sections — so the
+/// checkpointed state holds every tuple (2·keys records) and the restore
+/// cost actually scales with `keys`.
+fn recovery_probe(keys: i64) -> (u64, u64, Duration) {
+    let mut work: Vec<(Side, StreamElement)> = Vec::new();
+    for k in 0..keys {
+        work.push((Side::Left, Tuple::of((k, 10 * k)).into()));
+        work.push((Side::Right, Tuple::of((k, -k)).into()));
+    }
+    let cut_at = work.len();
+    for k in 0..keys {
+        work.push((Side::Left, Punctuation::close_value(2, 0, k).into()));
+        work.push((Side::Right, Punctuation::close_value(2, 0, k).into()));
+    }
+    let wild = Punctuation::on_attr(2, 0, Pattern::Wildcard);
+    work.push((Side::Left, wild.clone().into()));
+    work.push((Side::Right, wild.into()));
+    let dir = ckpt_dir(&format!("recovery_{keys}"));
+
+    // Phase 1: feed every tuple, cut one epoch, crash without finishing.
+    {
+        let mut opts = base_opts();
+        opts.durability = DurabilityOptions::at(&dir);
+        let mut cluster = Cluster::bind(opts).expect("bind coordinator");
+        let ctrl = cluster.ctrl_addr();
+        let handles: Vec<_> = (0..2u32)
+            .map(|i| std::thread::spawn(move || run_worker(WorkerOptions::new(i, ctrl))))
+            .collect();
+        cluster.accept_workers().expect("assemble cluster");
+        for (i, (side, el)) in work.iter().enumerate().take(cut_at) {
+            cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+            if i % 128 == 0 {
+                let _ = cluster.poll_outputs().expect("poll");
+            }
+        }
+        cluster.checkpoint().expect("cut the epoch");
+        drop(cluster);
+        for h in handles {
+            let _ = h.join().expect("worker thread");
+        }
+    }
+    let disk_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("read checkpoint dir")
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+
+    // Phase 2: cold restore into fresh workers, timed, then run out the
+    // stream so the restore is known-good end to end.
+    let mut opts = base_opts();
+    opts.durability = DurabilityOptions::at(&dir);
+    let mut cluster = Cluster::bind(opts).expect("rebind coordinator");
+    let ctrl = cluster.ctrl_addr();
+    let handles: Vec<_> = (0..2u32)
+        .map(|i| std::thread::spawn(move || run_worker(WorkerOptions::new(i, ctrl))))
+        .collect();
+    cluster.accept_workers().expect("reassemble cluster");
+    let started = Instant::now();
+    let cursor = cluster
+        .restore_latest()
+        .expect("restore latest epoch")
+        .expect("an epoch exists on disk") as usize;
+    let restore_time = started.elapsed();
+    assert_eq!(cursor, cut_at, "the epoch must cover exactly the fed prefix");
+    for (i, (side, el)) in work.iter().enumerate().skip(cursor) {
+        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        if i % 128 == 0 {
+            let _ = cluster.poll_outputs().expect("poll");
+        }
+    }
+    cluster.finish().expect("finish restored cluster");
+    let imported: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread").expect("worker").records_imported)
+        .sum();
+    let _ = std::fs::remove_dir_all(&dir);
+    (disk_bytes, imported, restore_time)
+}
+
+fn mean_ns(c: &Criterion, mode: &str) -> f64 {
+    c.measurements()
+        .iter()
+        .find(|m| m.group == "checkpoint_overhead" && m.id == format!("mode/{mode}"))
+        .map(|m| m.mean_ns)
+        .unwrap_or(0.0)
+}
+
+fn write_summary(c: &Criterion) {
+    let work = workload(KEYS);
+    let baseline = mean_ns(c, "off");
+    let mut rows = String::new();
+    for (name, interval) in modes() {
+        let m = c
+            .measurements()
+            .iter()
+            .find(|m| m.group == "checkpoint_overhead" && m.id == format!("mode/{name}"))
+            .cloned();
+        let eps = m.as_ref().and_then(|m| m.per_second()).unwrap_or(0.0);
+        let mean = m.as_ref().map(|m| m.mean_ns).unwrap_or(0.0);
+        let overhead = if baseline > 0.0 { mean / baseline - 1.0 } else { 0.0 };
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"kind\": \"throughput\", \"mode\": \"{}\", \"interval_ms\": {}, \"elements\": {}, \"mean_ns\": {:.1}, \"elements_per_sec\": {:.1}, \"overhead_vs_off\": {:.4}}}",
+            name,
+            interval.map(|d| d.as_millis() as i64).unwrap_or(-1),
+            work.len(),
+            mean,
+            eps,
+            overhead,
+        );
+    }
+    for keys in [200i64, 800, 3200] {
+        let (disk_bytes, records, took) = recovery_probe(keys);
+        rows.push_str(",\n");
+        let _ = write!(
+            rows,
+            "    {{\"kind\": \"recovery\", \"keys\": {}, \"epoch_bytes\": {}, \"records_reinstalled\": {}, \"restore_ms\": {:.2}}}",
+            keys,
+            disk_bytes,
+            records,
+            took.as_secs_f64() * 1e3,
+        );
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"checkpoint_overhead\",\n  \"cores\": {cores},\n  \"overhead_budget\": {OVERHEAD_BUDGET},\n  \"note\": \"2-worker loopback cluster, full distributed path; durability off vs 10 s auto-cut epochs (the lazy default posture: input logging + output withholding, rare cuts) vs 1 s epochs; overhead_vs_off is mean-time ratio minus one. recovery rows: one epoch cut with every tuple stored (2·keys records) and all closes still pending, coordinator dropped, cold restore_latest() timed (disk read + staged re-install + pending re-injection) into fresh workers\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // The design-budget gate, timed runs only: the lazy default posture
+    // must cost at most 5% against durability-off.
+    let default_mean = mean_ns(c, "interval_10s");
+    assert!(baseline > 0.0 && default_mean > 0.0, "missing measurements");
+    let overhead = default_mean / baseline - 1.0;
+    println!(
+        "default-posture overhead: {:.2}% (budget {:.0}%)",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+    assert!(
+        overhead <= OVERHEAD_BUDGET,
+        "durable checkpointing at the default posture costs {:.2}%, over the {:.0}% budget",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_checkpoint(&mut c);
+    c.final_summary();
+    // Keep `cargo test` runs side-effect free (and un-asserted); only a
+    // real bench run refreshes the summary and enforces the budget.
+    if !std::env::args().any(|a| a == "--test") {
+        write_summary(&c);
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pjoin::StateExportError;
+use punct_durable::SnapshotError;
 use punct_net::NetError;
 use punct_types::WireError;
 
@@ -29,6 +30,14 @@ pub enum ClusterError {
     Disconnected(String),
     /// A peer failed to produce an expected frame in time.
     Timeout(String),
+    /// A durable checkpoint could not be written or read back (I/O,
+    /// corruption, or no complete epoch to recover from).
+    Snapshot(SnapshotError),
+    /// A worker's control or data link failed while durability (with a
+    /// respawn hook) is enabled. Internal to the recovery machinery —
+    /// the coordinator catches it and recovers in place; callers only
+    /// see it if recovery itself was impossible mid-operation.
+    WorkerLost(usize),
 }
 
 impl fmt::Display for ClusterError {
@@ -41,6 +50,8 @@ impl fmt::Display for ClusterError {
             ClusterError::Protocol(what) => write!(f, "cluster protocol violation: {what}"),
             ClusterError::Disconnected(who) => write!(f, "{who} disconnected mid-protocol"),
             ClusterError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            ClusterError::Snapshot(e) => write!(f, "durable checkpoint error: {e}"),
+            ClusterError::WorkerLost(w) => write!(f, "worker {w} lost mid-run"),
         }
     }
 }
@@ -68,5 +79,11 @@ impl From<WireError> for ClusterError {
 impl From<StateExportError> for ClusterError {
     fn from(e: StateExportError) -> ClusterError {
         ClusterError::Export(e)
+    }
+}
+
+impl From<SnapshotError> for ClusterError {
+    fn from(e: SnapshotError) -> ClusterError {
+        ClusterError::Snapshot(e)
     }
 }

@@ -84,11 +84,13 @@ pub mod protocol;
 pub mod telemetry;
 pub mod worker;
 
-pub use coordinator::{Cluster, ClusterOptions, ClusterReport, MigrationStats};
+pub use coordinator::{
+    Cluster, ClusterOptions, ClusterReport, DurabilityOptions, MigrationStats, RespawnFn,
+};
 pub use error::ClusterError;
 pub use protocol::{
-    barrier_punct, decode_config, encode_config, is_barrier, sink_marker, CtrlConn, JoinSpec,
-    TelemetrySettings,
+    barrier_punct, decode_config, encode_config, is_barrier, sink_marker, CtrlConn,
+    HeartbeatSettings, JoinSpec, TelemetrySettings,
 };
 pub use telemetry::{
     check_exactly_once, validate_cluster_jsonl, ClusterTelemetry, JsonlSummary, PunctSpan,

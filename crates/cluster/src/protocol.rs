@@ -188,33 +188,91 @@ impl TelemetrySettings {
     }
 }
 
+/// Heartbeat liveness policy, shipped to workers inside the
+/// `ShardMapUpdate` config blob next to [`TelemetrySettings`]. When
+/// enabled, each worker sends a `Heartbeat` frame on its control
+/// connection every `interval_ms`; the coordinator declares a worker
+/// dead — and starts recovery — once `miss_limit` intervals pass with
+/// no frame of any kind from it, catching hung workers that a
+/// connection-EOF check would miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatSettings {
+    /// Beacon interval in milliseconds; 0 disables heartbeats entirely
+    /// (no frames flow, no liveness deadline is armed).
+    pub interval_ms: u32,
+    /// Consecutive silent intervals before a worker is declared dead.
+    pub miss_limit: u32,
+}
+
+impl Default for HeartbeatSettings {
+    fn default() -> HeartbeatSettings {
+        HeartbeatSettings::disabled()
+    }
+}
+
+impl HeartbeatSettings {
+    /// Heartbeats fully off: zero frames on the wire.
+    pub fn disabled() -> HeartbeatSettings {
+        HeartbeatSettings { interval_ms: 0, miss_limit: 0 }
+    }
+
+    /// Whether the beacon runs.
+    pub fn enabled(&self) -> bool {
+        self.interval_ms > 0
+    }
+
+    /// The silence window after which a worker counts as dead, if the
+    /// beacon runs.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.enabled().then(|| {
+            Duration::from_millis(self.interval_ms as u64 * self.miss_limit.max(1) as u64)
+        })
+    }
+}
+
 /// Encodes the full `ShardMapUpdate` config blob: the join spec followed
-/// by the telemetry settings.
-pub fn encode_config(spec: &JoinSpec, telemetry: &TelemetrySettings) -> Vec<u8> {
+/// by the telemetry settings and the heartbeat policy.
+pub fn encode_config(
+    spec: &JoinSpec,
+    telemetry: &TelemetrySettings,
+    heartbeat: &HeartbeatSettings,
+) -> Vec<u8> {
     let mut buf = spec.encode();
     buf.extend_from_slice(&telemetry.interval_ms.to_le_bytes());
     buf.push((telemetry.enabled as u8) | ((telemetry.trace as u8) << 1));
+    buf.extend_from_slice(&heartbeat.interval_ms.to_le_bytes());
+    buf.extend_from_slice(&heartbeat.miss_limit.to_le_bytes());
     buf
 }
 
 /// Decodes a config blob written by [`encode_config`]. A bare join-spec
 /// blob (no telemetry section) decodes with telemetry disabled, so the
-/// two encodings cannot be confused.
-pub fn decode_config(bytes: &[u8]) -> Result<(JoinSpec, TelemetrySettings), ClusterError> {
+/// two encodings cannot be confused; a blob ending at the telemetry
+/// flags (the pre-durability encoding) decodes with heartbeats disabled.
+pub fn decode_config(
+    bytes: &[u8],
+) -> Result<(JoinSpec, TelemetrySettings, HeartbeatSettings), ClusterError> {
     let mut r = WireReader::new(bytes);
     let spec = JoinSpec::decode_from(&mut r)?;
     if r.remaining() == 0 {
-        return Ok((spec, TelemetrySettings::disabled()));
+        return Ok((spec, TelemetrySettings::disabled(), HeartbeatSettings::disabled()));
     }
     let interval_ms = r.u32("telemetry interval")?;
     let flags = r.u8("telemetry flags")?;
-    r.finish()?;
     let telemetry = TelemetrySettings {
         enabled: flags & 1 != 0,
         interval_ms,
         trace: flags & 2 != 0,
     };
-    Ok((spec, telemetry))
+    if r.remaining() == 0 {
+        return Ok((spec, telemetry, HeartbeatSettings::disabled()));
+    }
+    let heartbeat = HeartbeatSettings {
+        interval_ms: r.u32("heartbeat interval")?,
+        miss_limit: r.u32("heartbeat miss limit")?,
+    };
+    r.finish()?;
+    Ok((spec, telemetry, heartbeat))
 }
 
 /// The barrier punctuation for `side`'s input stream: Empty on the join
@@ -353,16 +411,37 @@ mod tests {
         let spec = JoinSpec::new(3, 2);
         let telemetry =
             TelemetrySettings { enabled: true, interval_ms: 250, trace: false };
-        let blob = encode_config(&spec, &telemetry);
-        let (spec2, telemetry2) = decode_config(&blob).expect("decode");
+        let heartbeat = HeartbeatSettings { interval_ms: 40, miss_limit: 5 };
+        let blob = encode_config(&spec, &telemetry, &heartbeat);
+        let (spec2, telemetry2, heartbeat2) = decode_config(&blob).expect("decode");
         assert_eq!(spec2, spec);
         assert_eq!(telemetry2, telemetry);
-        // A bare spec blob decodes with telemetry off.
-        let (spec3, telemetry3) = decode_config(&spec.encode()).expect("bare");
+        assert_eq!(heartbeat2, heartbeat);
+        // A bare spec blob decodes with telemetry and heartbeats off.
+        let (spec3, telemetry3, heartbeat3) = decode_config(&spec.encode()).expect("bare");
         assert_eq!(spec3, spec);
         assert_eq!(telemetry3, TelemetrySettings::disabled());
-        // Truncated telemetry sections are rejected.
+        assert_eq!(heartbeat3, HeartbeatSettings::disabled());
+        // The pre-durability encoding (spec + telemetry, no heartbeat
+        // section) still decodes, with heartbeats off.
+        let (_, telemetry4, heartbeat4) =
+            decode_config(&blob[..blob.len() - 8]).expect("pre-durability blob");
+        assert_eq!(telemetry4, telemetry);
+        assert_eq!(heartbeat4, HeartbeatSettings::disabled());
+        // Truncated sections are rejected.
         assert!(decode_config(&blob[..blob.len() - 1]).is_err());
+        assert!(decode_config(&blob[..blob.len() - 9]).is_err());
+    }
+
+    #[test]
+    fn heartbeat_deadline_math() {
+        assert_eq!(HeartbeatSettings::disabled().deadline(), None);
+        let hb = HeartbeatSettings { interval_ms: 50, miss_limit: 4 };
+        assert!(hb.enabled());
+        assert_eq!(hb.deadline(), Some(Duration::from_millis(200)));
+        // A zero miss limit still yields one interval of grace.
+        let hb = HeartbeatSettings { interval_ms: 50, miss_limit: 0 };
+        assert_eq!(hb.deadline(), Some(Duration::from_millis(50)));
     }
 
     #[test]

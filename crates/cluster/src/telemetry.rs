@@ -205,6 +205,18 @@ impl ClusterTelemetry {
         self.reports
     }
 
+    /// Forgets everything tied to `worker`'s current incarnation: clock
+    /// sync, latest report, and final-flush marker. Called when crash
+    /// recovery adopts a replacement worker under the same index — the
+    /// replacement restarts its report sequence at zero, which the
+    /// stale-report guard in [`ingest_report`](Self::ingest_report)
+    /// would otherwise drop forever.
+    pub fn reset_worker(&mut self, worker: usize) {
+        self.clocks[worker] = ClockSync::new();
+        self.latest[worker] = None;
+        self.final_seen[worker] = false;
+    }
+
     /// Workers whose final flush has not arrived yet.
     pub fn finals_pending(&self) -> Vec<usize> {
         self.final_seen

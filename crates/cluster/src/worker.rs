@@ -56,7 +56,8 @@ use stream_sim::{BinaryStreamOp, OpOutput, Side};
 
 use crate::error::ClusterError;
 use crate::protocol::{
-    decode_config, is_barrier, sink_marker, CtrlConn, JoinSpec, TelemetrySettings, MIGRATE_CHUNK,
+    decode_config, is_barrier, sink_marker, CtrlConn, HeartbeatSettings, JoinSpec,
+    TelemetrySettings, MIGRATE_CHUNK,
 };
 
 /// How a worker process is wired into the cluster.
@@ -96,7 +97,7 @@ pub struct WorkerReport {
     pub elements: u64,
     /// Elements published to the sink (tuples + punctuations).
     pub outputs: u64,
-    /// Records exported during migrations.
+    /// Records exported during migrations and checkpoints.
     pub records_exported: u64,
     /// Records imported during installs.
     pub records_imported: u64,
@@ -129,8 +130,28 @@ struct Worker {
     staged: Option<Staged>,
     /// An armed migration: `(epoch, nonce)` from `MigrateBegin`.
     migrate: Option<(u64, u64)>,
-    /// Barrier punctuation seen on [left, right].
-    barrier: [bool; 2],
+    /// An armed checkpoint: `(epoch, nonce)` from `Checkpoint`. At the
+    /// barrier the worker exports and resumes — no install wait.
+    checkpoint: Option<(u64, u64)>,
+    /// An armed rollback: `(epoch, nonce)` from `Rollback`. At the
+    /// barrier the worker discards its live state's claim to the run
+    /// and blocks for a staged install, exporting nothing.
+    rollback: Option<(u64, u64)>,
+    /// Barrier crossings seen on [left, right], keyed by the nonce the
+    /// barrier's timestamp carries. The arm frame (ctrl plane) and the
+    /// barrier (data plane) travel on separate connections, so either
+    /// may arrive first; keying by nonce pairs each crossing with the
+    /// right protocol step, and leaves a crossing whose operation was
+    /// aborted (checkpoint superseded by a rollback) inert until the
+    /// next commit clears it.
+    barriers: HashMap<u64, [bool; 2]>,
+    /// Heartbeat policy from the config blob (disabled until it
+    /// arrives).
+    heartbeat: HeartbeatSettings,
+    /// Sequence of the next heartbeat beacon.
+    beat_seq: u64,
+    /// When the last heartbeat went out.
+    last_beat: Instant,
     report: WorkerReport,
     /// Reporting policy, shipped in the config blob (disabled until the
     /// initial shard map arrives).
@@ -185,7 +206,12 @@ pub fn run_worker(opts: WorkerOptions) -> Result<WorkerReport, ClusterError> {
         clock: Timestamp(0),
         staged: None,
         migrate: None,
-        barrier: [false, false],
+        checkpoint: None,
+        rollback: None,
+        barriers: HashMap::new(),
+        heartbeat: HeartbeatSettings::disabled(),
+        beat_seq: 0,
+        last_beat: Instant::now(),
         report: WorkerReport { worker: worker_idx, ..WorkerReport::default() },
         telemetry: TelemetrySettings::disabled(),
         report_seq: 0,
@@ -222,7 +248,11 @@ impl Worker {
                     return Err(ClusterError::Disconnected("ingest channel".into()));
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if server.all_finished() && self.migrate.is_none() {
+                    if server.all_finished()
+                        && self.migrate.is_none()
+                        && self.checkpoint.is_none()
+                        && self.rollback.is_none()
+                    {
                         // One final drain: handlers forward a stream's
                         // elements before marking it finished.
                         while let Ok(next) = rx.try_recv() {
@@ -232,10 +262,26 @@ impl Worker {
                     }
                 }
             }
-            if self.barrier == [true, true] {
-                if let Some((_, nonce)) = self.migrate {
-                    self.run_migration(nonce, ctrl)?;
-                }
+            let crossed = |b: &HashMap<u64, [bool; 2]>, armed: Option<(u64, u64)>| {
+                armed.filter(|(_, n)| b.get(n) == Some(&[true, true])).map(|(_, n)| n)
+            };
+            if let Some(nonce) = crossed(&self.barriers, self.migrate) {
+                self.barriers.remove(&nonce);
+                self.run_migration(nonce, ctrl)?;
+            } else if let Some(nonce) = crossed(&self.barriers, self.checkpoint) {
+                self.barriers.remove(&nonce);
+                self.run_checkpoint(nonce, ctrl)?;
+            } else if let Some(nonce) = crossed(&self.barriers, self.rollback) {
+                self.barriers.remove(&nonce);
+                self.run_rollback(nonce, ctrl)?;
+            }
+            if self.heartbeat.enabled()
+                && self.last_beat.elapsed()
+                    >= Duration::from_millis(self.heartbeat.interval_ms as u64)
+            {
+                ctrl.send(&Frame::Heartbeat { seq: self.beat_seq })?;
+                self.beat_seq += 1;
+                self.last_beat = Instant::now();
             }
             if self.telemetry.enabled
                 && self.telemetry.interval_ms > 0
@@ -322,6 +368,22 @@ impl Worker {
         side: Side,
         element: Timestamped<StreamElement>,
     ) -> Result<(), ClusterError> {
+        // Barriers first: their timestamp carries a protocol nonce, not
+        // a stream time, so they must not advance the worker clock.
+        let barrier_nonce = match (&element.item, &self.spec) {
+            (StreamElement::Punctuation(p), Some(spec))
+                if p.width() == spec.side_width(side)
+                    && is_barrier(p, spec.join_attr(side)) =>
+            {
+                Some(element.ts.0)
+            }
+            _ => None,
+        };
+        if let Some(nonce) = barrier_nonce {
+            self.report.elements += 1;
+            self.barriers.entry(nonce).or_insert([false, false])[side_index(side)] = true;
+            return Ok(());
+        }
         self.clock = self.clock.max(element.ts);
         self.report.elements += 1;
         let (Some(spec), Some(cfg), Some(map)) = (&self.spec, &self.cfg, &self.map) else {
@@ -352,10 +414,6 @@ impl Worker {
                 if p.width() != spec.side_width(side) {
                     // The single-threaded operator ignores malformed
                     // punctuations; so does the cluster.
-                    return Ok(());
-                }
-                if is_barrier(p, spec.join_attr(side)) {
-                    self.barrier[side_index(side)] = true;
                     return Ok(());
                 }
                 let route = route_punctuation(p, side, cfg, map.shards());
@@ -510,6 +568,57 @@ impl Worker {
         Ok(())
     }
 
+    /// Both barriers are in and a checkpoint is armed: publish the sink
+    /// marker, acknowledge the cut, export every shard's post-purge
+    /// state — and resume immediately. Unlike a migration the live
+    /// joins keep running; the snapshot is a passive copy, so local
+    /// aligner expectations pending at the cut survive untouched (the
+    /// coordinator stores its own pending log in the snapshot instead).
+    fn run_checkpoint(&mut self, nonce: u64, ctrl: &mut CtrlConn) -> Result<(), ClusterError> {
+        let Some(spec) = self.spec.clone() else {
+            return Err(ClusterError::Protocol("checkpoint before initial shard map".into()));
+        };
+        self.sink.publish(Timestamped::new(self.clock, sink_marker(&spec).into()));
+        ctrl.send(&Frame::BarrierReached { nonce })?;
+        let mut exported: u64 = 0;
+        for (shard, join) in &self.joins {
+            for side in [Side::Left, Side::Right] {
+                let records = join.export_records(side)?;
+                exported += records.len() as u64;
+                for chunk in records.chunks(MIGRATE_CHUNK) {
+                    ctrl.send(&Frame::MigrateState {
+                        shard: *shard as u32,
+                        side: side_index(side) as u8,
+                        records: chunk.to_vec(),
+                    })?;
+                }
+            }
+        }
+        ctrl.send(&Frame::MigrateStateDone { records: exported })?;
+        self.report.records_exported += exported;
+        self.checkpoint = None;
+        Ok(())
+    }
+
+    /// Both barriers are in and a rollback is armed: the live state is
+    /// condemned. Publish the marker (so the coordinator can drain the
+    /// sink to a known cut), acknowledge, and block for the staged
+    /// re-install — exporting nothing, since recovery restores every
+    /// worker from the durable store.
+    fn run_rollback(&mut self, nonce: u64, ctrl: &mut CtrlConn) -> Result<(), ClusterError> {
+        let Some(spec) = self.spec.clone() else {
+            return Err(ClusterError::Protocol("rollback before initial shard map".into()));
+        };
+        self.sink.publish(Timestamped::new(self.clock, sink_marker(&spec).into()));
+        ctrl.send(&Frame::BarrierReached { nonce })?;
+        let deadline = Instant::now() + self.opts.ctrl_timeout;
+        while self.rollback.is_some() {
+            let frame = ctrl.recv_deadline(deadline, "rollback install")?;
+            self.handle_ctrl(frame, ctrl)?;
+        }
+        Ok(())
+    }
+
     /// Ships one cumulative telemetry snapshot to the coordinator:
     /// lifetime counters, merged latency histograms (live joins plus
     /// migration-retired ones), per-shard occupancy, per-kind trace
@@ -598,8 +707,9 @@ impl Worker {
                     )));
                 }
                 if self.spec.is_none() {
-                    let (spec, telemetry) = decode_config(&config)?;
+                    let (spec, telemetry, heartbeat) = decode_config(&config)?;
                     self.telemetry = telemetry;
+                    self.heartbeat = heartbeat;
                     let mut cfg = spec.pjoin_config();
                     if punct_trace::COMPILED && telemetry.enabled && telemetry.trace {
                         cfg = cfg.with_tracing();
@@ -679,8 +789,15 @@ impl Worker {
                 // Expectations pending at the barrier die with the old
                 // joins; the coordinator re-injects those punctuations.
                 self.aligner = Aligner::new();
-                self.barrier = [false, false];
+                // Crossings recorded for superseded operations (e.g. a
+                // checkpoint aborted by the rollback this commit
+                // completes) are pre-commit history: clear them.
+                self.barriers.clear();
                 self.migrate = None;
+                // A commit also completes a rollback install, and any
+                // checkpoint armed when the worker was condemned is moot.
+                self.rollback = None;
+                self.checkpoint = None;
                 ctrl.send(&Frame::MigrateCommit { epoch })?;
                 Ok(())
             }
@@ -691,6 +808,29 @@ impl Worker {
                     ));
                 }
                 self.migrate = Some((epoch, nonce));
+                Ok(())
+            }
+            Frame::Checkpoint { epoch, nonce } => {
+                if self.migrate.is_some() {
+                    return Err(ClusterError::Protocol(
+                        "checkpoint during a migration is not supported".into(),
+                    ));
+                }
+                self.checkpoint = Some((epoch, nonce));
+                Ok(())
+            }
+            Frame::Rollback { epoch, nonce } => {
+                // A rollback condemns the live state: any checkpoint
+                // still armed ahead of it is aborted (its barrier, if
+                // already in flight, is swallowed unarmed).
+                self.checkpoint = None;
+                self.rollback = Some((epoch, nonce));
+                Ok(())
+            }
+            Frame::CheckpointDone { epoch: _, sink_watermark } => {
+                // The epoch is durable: outputs below the coordinator's
+                // acknowledged watermark can never be re-requested.
+                self.sink.truncate_below(sink_watermark);
                 Ok(())
             }
             Frame::Telemetry { payload } => {

@@ -1,0 +1,268 @@
+//! The crash-recovery equivalence gate: a multi-process cluster with
+//! durable checkpointing has one worker SIGKILLed mid-stream; the
+//! coordinator detects the death, respawns a replacement process, rolls
+//! every worker back to the last complete epoch on disk, replays its
+//! input log — and the run's joined-tuple multiset and propagated-
+//! punctuation multiset are **exactly** those of one uninterrupted
+//! single-threaded PJoin. On clean links and through seeded fault
+//! proxies on every worker's ingest path.
+//!
+//! A third test pins the inverse invariant: with durability disabled
+//! the coordinator ships zero checkpoint frames and writes nothing to
+//! disk — the cluster behaves byte-for-byte like it did before the
+//! durability plane existed.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pjoin::PJoin;
+use punct_cluster::{
+    run_worker, Cluster, ClusterOptions, DurabilityOptions, JoinSpec, WorkerOptions,
+};
+use punct_net::{BackoffPolicy, ClientOptions, FaultConfig};
+use punct_types::{Pattern, Punctuation, StreamElement, Timestamp, Timestamped, Tuple, Value};
+use stream_sim::{BinaryStreamOp, OpOutput, Side};
+
+fn spec() -> JoinSpec {
+    JoinSpec::new(2, 2)
+}
+
+/// The same grammatical punctuated workload the resize gate uses:
+/// per-key tuples on both sides trailed by closing punctuations
+/// (constants and `In` sets), with stream-end wildcards.
+fn workload(keys: i64) -> Vec<(Side, u64, StreamElement)> {
+    let mut els: Vec<(Side, u64, StreamElement)> = Vec::new();
+    let mut ts = 0u64;
+    let mut push = |els: &mut Vec<(Side, u64, StreamElement)>, side, el| {
+        els.push((side, ts, el));
+        ts += 1;
+    };
+    for k in 0..keys {
+        push(&mut els, Side::Left, Tuple::of((k, 10 * k)).into());
+        push(&mut els, Side::Right, Tuple::of((k, -k)).into());
+        if k % 3 == 0 {
+            push(&mut els, Side::Left, Tuple::of((k, 10 * k + 1)).into());
+        }
+        if k % 4 == 1 {
+            push(&mut els, Side::Right, Tuple::of((k, -k - 1000)).into());
+        }
+        if k >= 4 {
+            let c = k - 4;
+            match c % 4 {
+                0 | 1 => {
+                    push(&mut els, Side::Left, Punctuation::close_value(2, 0, c).into());
+                    push(&mut els, Side::Right, Punctuation::close_value(2, 0, c).into());
+                }
+                3 => {
+                    let pair = Pattern::In(vec![Value::Int(c - 1), Value::Int(c)]);
+                    let p = Punctuation::on_attr(2, 0, pair);
+                    push(&mut els, Side::Left, p.clone().into());
+                    push(&mut els, Side::Right, p.into());
+                }
+                _ => {}
+            }
+        }
+    }
+    let wild = Punctuation::on_attr(2, 0, Pattern::Wildcard);
+    push(&mut els, Side::Left, wild.clone().into());
+    push(&mut els, Side::Right, wild.into());
+    els
+}
+
+/// Sorted-debug-string multisets of (joined tuples, punctuations).
+fn multisets(outputs: impl IntoIterator<Item = StreamElement>) -> (Vec<String>, Vec<String>) {
+    let mut tuples = Vec::new();
+    let mut puncts = Vec::new();
+    for el in outputs {
+        match &el {
+            StreamElement::Tuple(_) => tuples.push(format!("{el:?}")),
+            StreamElement::Punctuation(_) => puncts.push(format!("{el:?}")),
+        }
+    }
+    tuples.sort();
+    puncts.sort();
+    (tuples, puncts)
+}
+
+/// The single-threaded reference: one PJoin, same elements, no crash.
+fn reference(work: &[(Side, u64, StreamElement)]) -> (Vec<String>, Vec<String>) {
+    let mut join = PJoin::new(spec().pjoin_config());
+    let mut out = OpOutput::new();
+    let mut all: Vec<StreamElement> = Vec::new();
+    let mut last = 0u64;
+    for (side, ts, el) in work {
+        join.on_element(*side, el.clone(), Timestamp(*ts), &mut out);
+        all.extend(out.drain());
+        last = *ts;
+    }
+    while join.on_end(Timestamp(last + 1), &mut out) {}
+    all.extend(out.drain());
+    multisets(all)
+}
+
+fn spawn_worker(ctrl: std::net::SocketAddr, idx: u32) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_punct-worker"))
+        .arg(ctrl.to_string())
+        .arg(idx.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn punct-worker")
+}
+
+fn wait_worker(mut child: Child, who: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match child.try_wait().expect("wait punct-worker") {
+            Some(status) => {
+                assert!(status.success(), "{who} exited with {status}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("{who} did not exit in time");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// A unique, empty checkpoint directory for one test.
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pjoin_recovery_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+/// Drives the crash gate: a 2-worker process cluster with durability on,
+/// a checkpoint cut at one third, worker 1 SIGKILLed at ~55%, a
+/// respawned replacement recovered from disk, and a second checkpoint
+/// after recovery. Compares multisets against the uninterrupted
+/// single-threaded reference.
+fn run_crash_gate(tag: &str, fault: Option<FaultConfig>) {
+    let work = workload(60);
+    let (want_tuples, want_puncts) = reference(&work);
+    let dir = ckpt_dir(tag);
+
+    let mut opts = ClusterOptions::new(spec(), 2, 2);
+    opts.client = ClientOptions {
+        policy: BackoffPolicy::fast(),
+        seed: 0xC1F0,
+        ..ClientOptions::default()
+    };
+    opts.fault = fault;
+    opts.durability = DurabilityOptions::at(&dir);
+    let respawned: Arc<Mutex<Vec<Child>>> = Arc::new(Mutex::new(Vec::new()));
+    let stash = Arc::clone(&respawned);
+    opts.durability.respawn = Some(Arc::new(move |idx, ctrl| {
+        stash.lock().unwrap().push(spawn_worker(ctrl, idx as u32));
+        Ok(())
+    }));
+    let mut cluster = Cluster::bind(opts).expect("bind coordinator");
+    let ctrl = cluster.ctrl_addr();
+    let mut children: Vec<Child> = (0..2).map(|i| spawn_worker(ctrl, i)).collect();
+    cluster.accept_workers().expect("assemble cluster");
+
+    let checkpoint_at = [work.len() / 3, 4 * work.len() / 5];
+    let kill_at = 11 * work.len() / 20;
+    let mut outputs: Vec<Timestamped<StreamElement>> = Vec::new();
+    for (i, (side, ts, el)) in work.iter().enumerate() {
+        if checkpoint_at.contains(&i) {
+            cluster.checkpoint().expect("checkpoint");
+        }
+        if i == kill_at {
+            let victim = &mut children[1];
+            victim.kill().expect("SIGKILL worker 1");
+            victim.wait().expect("reap killed worker");
+        }
+        cluster
+            .push(*side, Timestamped::new(Timestamp(*ts), el.clone()))
+            .expect("push");
+        if i % 32 == 0 {
+            outputs.extend(cluster.poll_outputs().expect("poll"));
+        }
+    }
+    let report = cluster.finish().expect("finish cluster");
+    outputs.extend(report.outputs);
+
+    assert_eq!(report.checkpoints, 2, "both explicit cuts must have committed");
+    assert_eq!(report.recoveries, 1, "exactly one crash recovery must have run");
+    let replacements = std::mem::take(&mut *respawned.lock().unwrap());
+    assert_eq!(replacements.len(), 1, "the respawn hook must have run once");
+    wait_worker(children.remove(0), "surviving worker 0");
+    for (i, child) in replacements.into_iter().enumerate() {
+        wait_worker(child, &format!("replacement worker {i}"));
+    }
+
+    let (got_tuples, got_puncts) = multisets(outputs.into_iter().map(|e| e.item));
+    assert_eq!(
+        got_tuples.len(),
+        want_tuples.len(),
+        "joined tuple count diverged from the uninterrupted reference"
+    );
+    assert_eq!(got_tuples, want_tuples, "joined tuple multiset diverged");
+    assert_eq!(got_puncts, want_puncts, "punctuation multiset diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_recovery_preserves_join_and_punctuation_multisets() {
+    run_crash_gate("clean", None);
+}
+
+#[test]
+fn sigkill_recovery_preserves_multisets_through_faulty_links() {
+    // Every worker's ingest path drops frames and forces disconnects
+    // (independently seeded per link) *on top of* the SIGKILL; the
+    // rollback barrier, the re-installed state, and the replayed data
+    // must still arrive exactly once.
+    run_crash_gate("faulty", Some(FaultConfig::lossy(7, 10, 3, 60, 0xFA11)));
+}
+
+#[test]
+fn disabled_durability_ships_no_checkpoint_frames_and_no_disk_writes() {
+    // Thread workers so their `WorkerReport`s are observable: with
+    // durability off, no worker may see a single state-export frame and
+    // the coordinator must write nothing anywhere.
+    let work = workload(40);
+    let (want_tuples, want_puncts) = reference(&work);
+
+    let opts = ClusterOptions::new(spec(), 2, 2);
+    assert!(!opts.durability.enabled(), "durability must default to off");
+    assert!(opts.durability.dir.is_none(), "no directory means no disk writes");
+    let mut cluster = Cluster::bind(opts).expect("bind coordinator");
+    let ctrl = cluster.ctrl_addr();
+    let handles: Vec<_> = (0..2u32)
+        .map(|i| std::thread::spawn(move || run_worker(WorkerOptions::new(i, ctrl))))
+        .collect();
+    cluster.accept_workers().expect("assemble cluster");
+    let mut outputs: Vec<Timestamped<StreamElement>> = Vec::new();
+    for (i, (side, ts, el)) in work.iter().enumerate() {
+        cluster
+            .push(*side, Timestamped::new(Timestamp(*ts), el.clone()))
+            .expect("push");
+        if i % 32 == 0 {
+            outputs.extend(cluster.poll_outputs().expect("poll"));
+        }
+    }
+    let report = cluster.finish().expect("finish cluster");
+    outputs.extend(report.outputs);
+    assert_eq!(report.checkpoints, 0, "no epochs may be cut with durability off");
+    assert_eq!(report.recoveries, 0);
+    for h in handles {
+        let wr = h.join().expect("worker thread").expect("worker");
+        // Zero checkpoint frames reached the workers: nothing armed a
+        // cut, nothing asked for a state export.
+        assert_eq!(
+            wr.records_exported, 0,
+            "worker {} exported state without durability or a resize",
+            wr.worker
+        );
+        assert_eq!(wr.migrations, 0);
+    }
+    let (got_tuples, got_puncts) = multisets(outputs.into_iter().map(|e| e.item));
+    assert_eq!(got_tuples, want_tuples, "joined tuple multiset diverged");
+    assert_eq!(got_puncts, want_puncts, "punctuation multiset diverged");
+}

@@ -43,7 +43,7 @@ pub enum AlignOutcome {
     Unexpected,
 }
 
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 struct Expectation {
     /// Ingest sequence number, for diagnostics.
     seq: PunctSeq,
@@ -53,7 +53,7 @@ struct Expectation {
 
 /// Tracks in-flight punctuation expectations (one aligner per executor,
 /// shared by the router and the merger).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Aligner {
     pending: HashMap<Punctuation, VecDeque<Expectation>>,
     registered: u64,
@@ -152,6 +152,40 @@ impl Aligner {
     /// for shutdown reports), in no particular order.
     pub fn pending_seqs(&self) -> Vec<PunctSeq> {
         self.pending.values().flat_map(|q| q.iter().map(|e| e.seq)).collect()
+    }
+
+    /// Non-draining snapshot for durable checkpointing: every incomplete
+    /// expectation as `(translated punctuation, ingest seq, waiting
+    /// mask)`, ordered by ingest sequence — the deterministic encoding
+    /// order; FIFO order per punctuation is seq order, so
+    /// [`restore`](Aligner::restore) rebuilds identical queues.
+    pub fn snapshot_pending(&self) -> Vec<(Punctuation, PunctSeq, u64)> {
+        let mut out: Vec<(Punctuation, PunctSeq, u64)> = self
+            .pending
+            .iter()
+            .flat_map(|(p, queue)| queue.iter().map(move |e| (p.clone(), e.seq, e.waiting)))
+            .collect();
+        out.sort_by_key(|(_, seq, _)| seq.0);
+        out
+    }
+
+    /// Rebuilds an aligner from a snapshot: pending expectations in
+    /// sequence order plus the summary counters. Inverse of
+    /// [`snapshot_pending`](Aligner::snapshot_pending) /
+    /// [`counters`](Aligner::counters); the result compares equal to the
+    /// snapshotted aligner.
+    pub fn restore(
+        pending: Vec<(Punctuation, PunctSeq, u64)>,
+        (registered, emitted, unexpected): (u64, u64, u64),
+    ) -> Aligner {
+        let mut aligner = Aligner::new();
+        for (punct, seq, waiting) in pending {
+            aligner.pending.entry(punct).or_default().push_back(Expectation { seq, waiting });
+        }
+        aligner.registered = registered;
+        aligner.emitted = emitted;
+        aligner.unexpected = unexpected;
+        aligner
     }
 }
 

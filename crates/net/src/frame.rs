@@ -30,8 +30,11 @@ use punct_types::{Schema, ShardMap, StreamElement, Timestamp, Timestamped, Tuple
 /// mismatch is answered with a clean `VERSION_MISMATCH` error instead
 /// of a decode failure; version 4 added the `Telemetry` control frame
 /// (clock probes/acks and cumulative worker telemetry reports, payload
-/// encoded by `punct-trace` and opaque at this layer).
-pub const WIRE_VERSION: u32 = 4;
+/// encoded by `punct-trace` and opaque at this layer); version 5 added
+/// the durability control frames (`Checkpoint`, `Heartbeat`, `Rollback`,
+/// `CheckpointDone`) for barrier-punctuation checkpointing, liveness,
+/// and crash recovery.
+pub const WIRE_VERSION: u32 = 5;
 
 /// Hard cap on a frame's announced length (tag + payload). A corrupted
 /// length prefix can therefore never request more than this in one
@@ -234,6 +237,48 @@ pub enum Frame {
         /// Encoded `TelemetryMsg`.
         payload: Vec<u8>,
     },
+    /// Coordinator → worker: arm a checkpoint toward `epoch`. The worker
+    /// drains to the barrier punctuation identified by `nonce` on both
+    /// input streams, publishes its sink marker, exports its state
+    /// (`MigrateState` chunks + `MigrateStateDone`), and **resumes
+    /// immediately** — unlike a migration, no install follows.
+    Checkpoint {
+        /// The checkpoint epoch being cut.
+        epoch: u64,
+        /// Identifies the barrier punctuation on the data streams.
+        nonce: u64,
+    },
+    /// Worker → coordinator liveness beacon, sent on the control
+    /// connection at the configured interval. A coordinator that misses
+    /// `miss_limit` consecutive intervals declares the worker dead and
+    /// starts recovery — catching hung (not just crashed) workers.
+    Heartbeat {
+        /// Monotone per-worker beacon counter.
+        seq: u64,
+    },
+    /// Coordinator → worker: discard current state and await a staged
+    /// re-install from checkpoint `epoch`. Like `MigrateBegin`, the
+    /// worker drains to the barrier `nonce` and publishes its sink
+    /// marker — but exports nothing; it waits for `ShardMapUpdate` /
+    /// `MigrateState` / `MigrateCommit` to rebuild it. Sent to the
+    /// surviving workers during crash recovery (global rollback).
+    Rollback {
+        /// The checkpoint epoch being rolled back to.
+        epoch: u64,
+        /// Identifies the barrier punctuation on the data streams.
+        nonce: u64,
+    },
+    /// Coordinator → worker: checkpoint `epoch` is durable on disk. The
+    /// worker may truncate its sink replay history below
+    /// `sink_watermark` — pre-checkpoint outputs can never be replayed,
+    /// so the durable watermark bounds sink memory automatically.
+    CheckpointDone {
+        /// The epoch now durable.
+        epoch: u64,
+        /// The worker's sink sequence the coordinator had fully absorbed
+        /// at the barrier cut.
+        sink_watermark: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -254,6 +299,10 @@ const TAG_MIGRATE_STATE_DONE: u8 = 14;
 const TAG_MIGRATE_COMMIT: u8 = 15;
 const TAG_BARRIER_REACHED: u8 = 16;
 const TAG_TELEMETRY: u8 = 17;
+const TAG_CHECKPOINT: u8 = 18;
+const TAG_HEARTBEAT: u8 = 19;
+const TAG_ROLLBACK: u8 = 20;
+const TAG_CHECKPOINT_DONE: u8 = 21;
 
 impl Frame {
     /// True for `Data`/`DataBatch` frames (the only kinds subject to
@@ -294,6 +343,10 @@ impl Frame {
             Frame::MigrateCommit { .. } => TAG_MIGRATE_COMMIT,
             Frame::BarrierReached { .. } => TAG_BARRIER_REACHED,
             Frame::Telemetry { .. } => TAG_TELEMETRY,
+            Frame::Checkpoint { .. } => TAG_CHECKPOINT,
+            Frame::Heartbeat { .. } => TAG_HEARTBEAT,
+            Frame::Rollback { .. } => TAG_ROLLBACK,
+            Frame::CheckpointDone { .. } => TAG_CHECKPOINT_DONE,
         }
     }
 }
@@ -374,6 +427,15 @@ pub fn encode_frame_into(frame: &Frame, buf: &mut Vec<u8>) {
         Frame::Telemetry { payload } => {
             buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             buf.extend_from_slice(payload);
+        }
+        Frame::Checkpoint { epoch, nonce } | Frame::Rollback { epoch, nonce } => {
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Frame::Heartbeat { seq } => buf.extend_from_slice(&seq.to_le_bytes()),
+        Frame::CheckpointDone { epoch, sink_watermark } => {
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&sink_watermark.to_le_bytes());
         }
     }
     let frame_len = (buf.len() - len_pos - 4) as u32;
@@ -530,6 +592,19 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
             let payload = r.bytes("telemetry payload", len)?.to_vec();
             Frame::Telemetry { payload }
         }
+        TAG_CHECKPOINT => Frame::Checkpoint {
+            epoch: r.u64("checkpoint epoch")?,
+            nonce: r.u64("checkpoint nonce")?,
+        },
+        TAG_HEARTBEAT => Frame::Heartbeat { seq: r.u64("heartbeat seq")? },
+        TAG_ROLLBACK => Frame::Rollback {
+            epoch: r.u64("rollback epoch")?,
+            nonce: r.u64("rollback nonce")?,
+        },
+        TAG_CHECKPOINT_DONE => Frame::CheckpointDone {
+            epoch: r.u64("checkpoint done epoch")?,
+            sink_watermark: r.u64("checkpoint done watermark")?,
+        },
         tag => return Err(WireError::BadTag { what: "frame", tag }),
     };
     r.finish()?;
@@ -698,6 +773,10 @@ mod tests {
             Frame::BarrierReached { nonce: 0xDEAD_BEEF },
             Frame::Telemetry { payload: vec![2, 0, 0, 0, 7, 7, 7] },
             Frame::Telemetry { payload: Vec::new() },
+            Frame::Checkpoint { epoch: 9, nonce: 0xC0FF_EE00 },
+            Frame::Heartbeat { seq: 12 },
+            Frame::Rollback { epoch: 9, nonce: 0xC0FF_EE01 },
+            Frame::CheckpointDone { epoch: 9, sink_watermark: 777 },
         ]
     }
 

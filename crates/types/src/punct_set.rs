@@ -33,7 +33,7 @@ impl fmt::Display for PunctId {
 }
 
 /// An entry in the set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Entry {
     id: PunctId,
     punctuation: Punctuation,
@@ -74,7 +74,7 @@ fn cmp_upper(a: &Bound, b: &Bound) -> Ordering {
 }
 
 /// One range punctuation in the interval index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct RangeEntry {
     lo: Bound,
     hi: Bound,
@@ -92,7 +92,7 @@ struct RangeEntry {
 /// no earlier entry can match. With the disjoint-or-nested range
 /// punctuations the paper assumes, a query touches O(log n + matches)
 /// entries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct RangeIndex {
     entries: Vec<RangeEntry>,
     prefix_loosest_hi: Vec<Bound>,
@@ -152,7 +152,7 @@ impl RangeIndex {
 /// assert_eq!(ps.set_match(&Tuple::of((7i64, 0i64))), Some(id));
 /// assert_eq!(ps.set_match(&Tuple::of((8i64, 0i64))), None);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PunctuationSet {
     /// Index of the join attribute within the stream schema.
     attr: usize,
@@ -377,6 +377,53 @@ impl PunctuationSet {
     fn entry_matches(&self, id: PunctId, t: &Tuple) -> bool {
         let entry = &self.entries[id.0 as usize];
         !entry.removed && entry.punctuation.matches(t)
+    }
+
+    /// Snapshot view for durable checkpointing: every entry ever
+    /// inserted — tombstones included — in id order. Replaying
+    /// [`insert`](Self::insert) in this order and then
+    /// [`remove`](Self::remove) for the flagged ids reproduces the
+    /// members, range, and unindexed indexes exactly (ids are dense and
+    /// arrival-ordered; removals only delete).
+    pub fn snapshot_entries(&self) -> impl Iterator<Item = (&Punctuation, bool)> {
+        self.entries.iter().map(|e| (&e.punctuation, e.removed))
+    }
+
+    /// Snapshot view of the constant-pattern index, sorted by value for
+    /// deterministic encoding. Carried explicitly because the index is
+    /// *timing*-dependent, not derivable from the final entries: a
+    /// remove interleaved between duplicate constants decides which id
+    /// (if any) the map keeps (see `duplicate_constants_keep_first_id`).
+    pub fn snapshot_constants(&self) -> Vec<(Value, PunctId)> {
+        let mut out: Vec<(Value, PunctId)> =
+            self.constants.iter().map(|(v, id)| (v.clone(), *id)).collect();
+        out.sort();
+        out
+    }
+
+    /// Rebuilds a set from its snapshot: entries (with tombstone flags)
+    /// in id order plus the constant-index image. Inverse of
+    /// [`snapshot_entries`](Self::snapshot_entries) /
+    /// [`snapshot_constants`](Self::snapshot_constants); the result
+    /// compares equal to the snapshotted set.
+    pub fn restore(
+        attr: usize,
+        entries: Vec<(Punctuation, bool)>,
+        constants: Vec<(Value, PunctId)>,
+    ) -> PunctuationSet {
+        let mut set = PunctuationSet::new(attr);
+        let mut dead = Vec::new();
+        for (punctuation, removed) in entries {
+            let id = set.insert(punctuation);
+            if removed {
+                dead.push(id);
+            }
+        }
+        for id in dead {
+            set.remove(id);
+        }
+        set.constants = constants.into_iter().collect();
+        set
     }
 }
 
