@@ -27,7 +27,9 @@ use std::time::{Duration, Instant};
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use pjoin::PJoinConfig;
 use punct_exec::{ExecConfig, ShardedPJoin};
-use punct_net::{spawn_source, BackoffPolicy, ClientOptions, IngestMsg, IngestOptions, IngestServer};
+use punct_net::{
+    spawn_source, BackoffPolicy, ClientOptions, IngestMsg, IngestOptions, IngestServer,
+};
 use punct_trace::{LatencyHistogram, TraceKind, TraceSettings};
 use punct_types::{batch_from_env, BatchConfig, StreamElement, Timestamped};
 use stream_sim::Side;
@@ -66,7 +68,10 @@ fn inproc_feed() -> Vec<(Side, Timestamped<StreamElement>)> {
     interleave_sides(&left.elements, &right.elements)
 }
 
-fn net_workload() -> (Vec<Timestamped<StreamElement>>, Vec<Timestamped<StreamElement>>) {
+fn net_workload() -> (
+    Vec<Timestamped<StreamElement>>,
+    Vec<Timestamped<StreamElement>>,
+) {
     let (left, right) = generate_pair(&stream_config(NET_TUPLES_PER_SIDE), 20.0, 20.0);
     (left.elements, right.elements)
 }
@@ -105,7 +110,10 @@ fn run_in_process(batch: usize, feed: &[(Side, Timestamped<StreamElement>)]) -> 
         }
     };
     for chunk in feed.chunks(512) {
-        let puncts = chunk.iter().filter(|(_, e)| e.item.is_punctuation()).count();
+        let puncts = chunk
+            .iter()
+            .filter(|(_, e)| e.item.is_punctuation())
+            .count();
         exec.push_batch(chunk.to_vec());
         let now = Instant::now();
         for _ in 0..puncts {
@@ -115,7 +123,11 @@ fn run_in_process(batch: usize, feed: &[(Side, Timestamped<StreamElement>)]) -> 
     }
     let (rest, stats) = exec.finish();
     drain(rest, &mut punct_in, &mut punct_rtt);
-    RunStats { outputs, frames: stats.router.batches, punct_rtt }
+    RunStats {
+        outputs,
+        frames: stats.router.batches,
+        punct_rtt,
+    }
 }
 
 /// One full loopback networked run: two TCP sources → ingest server →
@@ -139,8 +151,22 @@ fn run_networked(
         }
         .with_batch(BatchConfig::with_elems(batch))
     };
-    let ls = spawn_source(server.addr(), 0, Side::Left, schema.clone(), left.to_vec(), opts(1));
-    let rs = spawn_source(server.addr(), 1, Side::Right, schema, right.to_vec(), opts(2));
+    let ls = spawn_source(
+        server.addr(),
+        0,
+        Side::Left,
+        schema.clone(),
+        left.to_vec(),
+        opts(1),
+    );
+    let rs = spawn_source(
+        server.addr(),
+        1,
+        Side::Right,
+        schema,
+        right.to_vec(),
+        opts(2),
+    );
 
     let exec = ShardedPJoin::spawn(exec_config(batch));
     let mut punct_in: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
@@ -206,7 +232,11 @@ fn run_networked(
         (lr.trace.of_kind(TraceKind::NetBatch).count()
             + rr.trace.of_kind(TraceKind::NetBatch).count()) as u64
     };
-    RunStats { outputs, frames, punct_rtt }
+    RunStats {
+        outputs,
+        frames,
+        punct_rtt,
+    }
 }
 
 fn bench_batch_scaling(c: &mut Criterion) {
@@ -285,9 +315,9 @@ fn write_summary(c: &Criterion) {
         push_row("networked", batch, net_elements, e, net_base, &r);
     }
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = pjoin_bench::host::cores_json_fields(false);
     let json = format!(
-        "{{\n  \"bench\": \"batch_scaling\",\n  \"cores\": {cores},\n  \"shards\": {SHARDS},\n  \"note\": \"in_process frames are router channel batches; networked frames are wire data frames (per-element Data at batch 1, DataBatch otherwise). punct_rtt is the punctuation push-to-aligned-emergence round trip in wall-clock microseconds — the p99 the flush-barrier design bounds: a punctuation flushes every staged buffer, so its latency tracks pipeline depth, not batch size\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"batch_scaling\",\n  {cores}\n  \"shards\": {SHARDS},\n  \"note\": \"in_process frames are router channel batches; networked frames are wire data frames (per-element Data at batch 1, DataBatch otherwise). punct_rtt is the punctuation push-to-aligned-emergence round trip in wall-clock microseconds — the p99 the flush-barrier design bounds: a punctuation flushes every staged buffer, so its latency tracks pipeline depth, not batch size\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
     match std::fs::write(path, json) {

@@ -70,8 +70,11 @@ fn ckpt_dir(tag: &str) -> std::path::PathBuf {
 
 fn base_opts() -> ClusterOptions {
     let mut opts = ClusterOptions::new(JoinSpec::new(2, 2), 2, 2);
-    opts.client =
-        ClientOptions { policy: BackoffPolicy::fast(), seed: 77, ..ClientOptions::default() };
+    opts.client = ClientOptions {
+        policy: BackoffPolicy::fast(),
+        seed: 77,
+        ..ClientOptions::default()
+    };
     opts
 }
 
@@ -93,7 +96,9 @@ fn run_once(interval: Option<Duration>, work: &[(Side, StreamElement)]) -> (usiz
     cluster.accept_workers().expect("assemble cluster");
     let mut outputs = 0usize;
     for (i, (side, el)) in work.iter().enumerate() {
-        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        cluster
+            .push(*side, Timestamped::new(Timestamp(i as u64), el.clone()))
+            .expect("push");
         if i % 128 == 0 {
             outputs += cluster.poll_outputs().expect("poll").len();
         }
@@ -156,7 +161,9 @@ fn recovery_probe(keys: i64) -> (u64, u64, Duration) {
             .collect();
         cluster.accept_workers().expect("assemble cluster");
         for (i, (side, el)) in work.iter().enumerate().take(cut_at) {
-            cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+            cluster
+                .push(*side, Timestamped::new(Timestamp(i as u64), el.clone()))
+                .expect("push");
             if i % 128 == 0 {
                 let _ = cluster.poll_outputs().expect("poll");
             }
@@ -189,9 +196,14 @@ fn recovery_probe(keys: i64) -> (u64, u64, Duration) {
         .expect("restore latest epoch")
         .expect("an epoch exists on disk") as usize;
     let restore_time = started.elapsed();
-    assert_eq!(cursor, cut_at, "the epoch must cover exactly the fed prefix");
+    assert_eq!(
+        cursor, cut_at,
+        "the epoch must cover exactly the fed prefix"
+    );
     for (i, (side, el)) in work.iter().enumerate().skip(cursor) {
-        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        cluster
+            .push(*side, Timestamped::new(Timestamp(i as u64), el.clone()))
+            .expect("push");
         if i % 128 == 0 {
             let _ = cluster.poll_outputs().expect("poll");
         }
@@ -199,7 +211,12 @@ fn recovery_probe(keys: i64) -> (u64, u64, Duration) {
     cluster.finish().expect("finish restored cluster");
     let imported: u64 = handles
         .into_iter()
-        .map(|h| h.join().expect("worker thread").expect("worker").records_imported)
+        .map(|h| {
+            h.join()
+                .expect("worker thread")
+                .expect("worker")
+                .records_imported
+        })
         .sum();
     let _ = std::fs::remove_dir_all(&dir);
     (disk_bytes, imported, restore_time)
@@ -225,7 +242,11 @@ fn write_summary(c: &Criterion) {
             .cloned();
         let eps = m.as_ref().and_then(|m| m.per_second()).unwrap_or(0.0);
         let mean = m.as_ref().map(|m| m.mean_ns).unwrap_or(0.0);
-        let overhead = if baseline > 0.0 { mean / baseline - 1.0 } else { 0.0 };
+        let overhead = if baseline > 0.0 {
+            mean / baseline - 1.0
+        } else {
+            0.0
+        };
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
@@ -252,9 +273,9 @@ fn write_summary(c: &Criterion) {
             took.as_secs_f64() * 1e3,
         );
     }
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = pjoin_bench::host::cores_json_fields(false);
     let json = format!(
-        "{{\n  \"bench\": \"checkpoint_overhead\",\n  \"cores\": {cores},\n  \"overhead_budget\": {OVERHEAD_BUDGET},\n  \"note\": \"2-worker loopback cluster, full distributed path; durability off vs 10 s auto-cut epochs (the lazy default posture: input logging + output withholding, rare cuts) vs 1 s epochs; overhead_vs_off is mean-time ratio minus one. recovery rows: one epoch cut with every tuple stored (2·keys records) and all closes still pending, coordinator dropped, cold restore_latest() timed (disk read + staged re-install + pending re-injection) into fresh workers\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"checkpoint_overhead\",\n  {cores}\n  \"overhead_budget\": {OVERHEAD_BUDGET},\n  \"note\": \"2-worker loopback cluster, full distributed path; durability off vs 10 s auto-cut epochs (the lazy default posture: input logging + output withholding, rare cuts) vs 1 s epochs; overhead_vs_off is mean-time ratio minus one. recovery rows: one epoch cut with every tuple stored (2·keys records) and all closes still pending, coordinator dropped, cold restore_latest() timed (disk read + staged re-install + pending re-injection) into fresh workers\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");
     match std::fs::write(path, json) {

@@ -49,15 +49,20 @@ fn workload(keys: i64) -> Vec<(Side, StreamElement)> {
 
 fn options(workers: usize) -> ClusterOptions {
     let mut opts = ClusterOptions::new(JoinSpec::new(2, 2), workers, workers);
-    opts.client =
-        ClientOptions { policy: BackoffPolicy::fast(), seed: 77, ..ClientOptions::default() };
+    opts.client = ClientOptions {
+        policy: BackoffPolicy::fast(),
+        seed: 77,
+        ..ClientOptions::default()
+    };
     opts
 }
 
 fn spawn_cluster(
     opts: ClusterOptions,
-) -> (Cluster, Vec<std::thread::JoinHandle<Result<punct_cluster::WorkerReport, punct_cluster::ClusterError>>>)
-{
+) -> (
+    Cluster,
+    Vec<std::thread::JoinHandle<Result<punct_cluster::WorkerReport, punct_cluster::ClusterError>>>,
+) {
     let workers = opts.workers as u32;
     let mut cluster = Cluster::bind(opts).expect("bind coordinator");
     let ctrl = cluster.ctrl_addr();
@@ -73,7 +78,9 @@ fn run_once(workers: usize, work: &[(Side, StreamElement)]) -> usize {
     let (mut cluster, handles) = spawn_cluster(options(workers));
     let mut outputs = 0usize;
     for (i, (side, el)) in work.iter().enumerate() {
-        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        cluster
+            .push(*side, Timestamped::new(Timestamp(i as u64), el.clone()))
+            .expect("push");
         if i % 128 == 0 {
             outputs += cluster.poll_outputs().expect("poll").len();
         }
@@ -91,7 +98,9 @@ fn run_once(workers: usize, work: &[(Side, StreamElement)]) -> usize {
 fn migrate_once(workers: usize, resident: i64) -> (u64, Duration) {
     let (mut cluster, handles) = spawn_cluster(options(workers));
     for k in 0..resident {
-        cluster.push_tuple(Side::Left, k as u64, Tuple::of((k, 10 * k))).expect("push");
+        cluster
+            .push_tuple(Side::Left, k as u64, Tuple::of((k, 10 * k)))
+            .expect("push");
     }
     let stats = cluster.repartition(workers * 2).expect("repartition");
     // Close everything out so teardown is clean.
@@ -103,7 +112,10 @@ fn migrate_once(workers: usize, resident: i64) -> (u64, Duration) {
     let wild = Punctuation::on_attr(2, 0, Pattern::Wildcard);
     for side in [Side::Left, Side::Right] {
         cluster
-            .push(side, Timestamped::new(Timestamp(3 * resident as u64), wild.clone().into()))
+            .push(
+                side,
+                Timestamped::new(Timestamp(3 * resident as u64), wild.clone().into()),
+            )
             .expect("push punct");
     }
     cluster.finish().expect("finish");
@@ -162,9 +174,9 @@ fn write_summary(c: &Criterion) {
             pause.as_nanos(),
         );
     }
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = pjoin_bench::host::cores_json_fields(true);
     let json = format!(
-        "{{\n  \"bench\": \"cluster_scaling\",\n  \"cores\": {cores},\n  \"note\": \"full distributed path over loopback: coordinator routing, per-worker TCP ingest, PJoin shards, TCP sink, exactly-once alignment; with cores <= worker count the coordinator and all workers share CPUs, so worker count prices coordination overhead, not parallel speedup; migration pause is the coordinator-observed stop-the-world window of one barrier-coordinated repartition (2 workers, 2 -> 4 shards)\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"cluster_scaling\",\n  {cores}\n  \"note\": \"full distributed path over loopback: coordinator routing, per-worker TCP ingest, PJoin shards, TCP sink, exactly-once alignment; with cores <= worker count the coordinator and all workers share CPUs, so worker count prices coordination overhead, not parallel speedup; migration pause is the coordinator-observed stop-the-world window of one barrier-coordinated repartition (2 workers, 2 -> 4 shards)\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
     match std::fs::write(path, json) {
@@ -174,6 +186,7 @@ fn write_summary(c: &Criterion) {
 }
 
 fn main() {
+    pjoin_bench::host::warn_if_single_core("cluster_scaling");
     let mut c = Criterion::default();
     bench_cluster(&mut c);
     c.final_summary();

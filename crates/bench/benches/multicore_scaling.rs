@@ -16,16 +16,29 @@
 //! run by a counting allocator and the executor's aligner-acquisition
 //! counter:
 //!
-//! * **allocs/element** — heap allocations per input element. The join
-//!   emits ~9 output tuples per input here, and each output tuple is a
-//!   fresh allocation, so this floor is output-dominated; the
-//!   `hotpath_allocs` gate in `punct-exec` isolates the no-match tuple
-//!   path and holds it under 0.25.
+//! * **allocs/element** — heap allocations per input element, split
+//!   into an *output path* (one allocation per emitted result tuple —
+//!   the single-allocation concat, ~9.5 per input here and
+//!   irreducible) and a *probe path* (everything else: routing,
+//!   staging, probing, state). The probe-path share is the number the
+//!   `hotpath_allocs` gate in `punct-exec` holds under 0.25 — splitting
+//!   it out keeps the gate visible at every shard count instead of
+//!   drowning in the output-tuple floor.
 //! * **mutex acquisitions/element** — acquisitions of the shared
 //!   aligner mutex, the only lock on the data path, bounded by the
 //!   punctuation count (never the tuple count).
 //!
-//! Results land in `BENCH_multicore.json`.
+//! Two further axes ride along since the probe-kernel rework:
+//!
+//! * a **probe-threads sweep** (`PJOIN_PROBE_THREADS`-equivalent, 1/2/4
+//!   threads per shard at 2 shards) over the batched-probe fast path;
+//! * one recorded **tag-scan kernel sweep** (kernel x occupancy, from
+//!   `pjoin_bench::kernel_sweep` — shared with the `probe_kernel`
+//!   bench so this file stays the summary's single writer).
+//!
+//! Results land in `BENCH_multicore.json`. On a single-core host the
+//! summary carries a `cores_warning`: the thread sweeps then price
+//! coordination overhead, not speedup.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -33,6 +46,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use pjoin::PJoinConfig;
+use pjoin_bench::host::{cores_json_fields, warn_if_single_core};
+use pjoin_bench::kernel_sweep::{probe_kernel_sweep, sweep_json_rows};
 use punct_exec::{ExecConfig, ShardedPJoin, MAX_SHARDS};
 use punct_types::{BatchConfig, StreamElement, Timestamped};
 use stream_sim::Side;
@@ -74,7 +89,9 @@ const TUPLES_PER_SIDE: usize = 3_000;
 const BASELINE_SHARDS: usize = 4;
 
 fn cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Swept shard counts: 1 and 2 for the scaling shape, the baseline's 4,
@@ -101,34 +118,67 @@ fn feed() -> Vec<(Side, Timestamped<StreamElement>)> {
     interleave_sides(&left.elements, &right.elements)
 }
 
+/// Probe-thread counts swept at [`PROBE_SWEEP_SHARDS`] shards over the
+/// batched-probe fast path.
+const PROBE_THREADS: [usize; 3] = [1, 2, 4];
+const PROBE_SWEEP_SHARDS: usize = 2;
+
 struct RunStats {
     outputs: usize,
+    /// Result tuples among `outputs` — each one is exactly one heap
+    /// allocation (the single-allocation concat), which is how the
+    /// summary splits output-path from probe-path allocations.
+    output_tuples: usize,
     /// Heap allocations over the run (push → finish, spawn excluded).
     allocs: u64,
     /// Aligner mutex acquisitions over the whole run.
     acquisitions: u64,
 }
 
-fn run_once(shards: usize, feed: &[(Side, Timestamped<StreamElement>)], count: bool) -> RunStats {
-    let config = ExecConfig::new(shards, PJoinConfig::new(2, 2))
-        .with_batch(BatchConfig::with_elems(BATCH));
-    let exec = ShardedPJoin::spawn(config);
+/// The sharded config for one run. The probe-threads sweep disables
+/// on-the-fly dropping: that path falls back to per-element probing,
+/// which would bypass the probe pool entirely.
+fn run_config(shards: usize, probe_threads: usize) -> ExecConfig {
+    let join = PJoinConfig {
+        on_the_fly_drop: probe_threads == 1,
+        ..PJoinConfig::new(2, 2)
+    };
+    ExecConfig::new(shards, join)
+        .with_batch(BatchConfig::with_elems(BATCH))
+        .with_probe_threads(probe_threads)
+}
+
+fn run_once(
+    shards: usize,
+    probe_threads: usize,
+    feed: &[(Side, Timestamped<StreamElement>)],
+    count: bool,
+) -> RunStats {
+    let exec = ShardedPJoin::spawn(run_config(shards, probe_threads));
     if count {
         ALLOCS.store(0, Ordering::SeqCst);
         COUNTING.store(true, Ordering::SeqCst);
     }
     let mut outputs = 0usize;
+    let mut output_tuples = 0usize;
     for chunk in feed.chunks(512) {
         exec.push_batch(chunk.to_vec());
-        outputs += exec.poll_outputs().len();
+        for e in exec.poll_outputs() {
+            outputs += 1;
+            output_tuples += e.item.is_tuple() as usize;
+        }
     }
     let (rest, stats) = exec.finish();
     if count {
         COUNTING.store(false, Ordering::SeqCst);
     }
-    outputs += rest.len();
+    for e in &rest {
+        outputs += 1;
+        output_tuples += e.item.is_tuple() as usize;
+    }
     RunStats {
         outputs,
+        output_tuples,
         allocs: ALLOCS.load(Ordering::SeqCst),
         acquisitions: stats.aligner_acquisitions,
     }
@@ -140,7 +190,12 @@ fn bench_multicore(c: &mut Criterion) {
     g.throughput(Throughput::Elements(feed.len() as u64));
     for shards in shard_counts() {
         g.bench_with_input(BenchmarkId::new("wall", shards), &shards, |b, &n| {
-            b.iter(|| black_box(run_once(n, &feed, false)).outputs)
+            b.iter(|| black_box(run_once(n, 1, &feed, false)).outputs)
+        });
+    }
+    for threads in PROBE_THREADS {
+        g.bench_with_input(BenchmarkId::new("probe", threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_once(PROBE_SWEEP_SHARDS, t, &feed, false)).outputs)
         });
     }
     g.finish();
@@ -159,13 +214,32 @@ fn baseline_eps() -> Option<f64> {
     rest[..rest.find(',')?].trim().parse().ok()
 }
 
+/// One measurement row: the shared fields every sweep reports. The
+/// alloc split uses the single-allocation-concat invariant: each output
+/// tuple costs exactly one allocation, so `allocs - output_tuples` is
+/// the probe-path remainder the `hotpath_allocs` gate bounds.
+fn row_fields(r: &RunStats, elements: usize, eps: f64) -> String {
+    let output_allocs = r.output_tuples as u64;
+    let probe_allocs = r.allocs.saturating_sub(output_allocs);
+    format!(
+        "\"elements\": {}, \"elements_per_sec\": {:.1}, \"allocs_per_element\": {:.3}, \"allocs_per_element_output_path\": {:.3}, \"allocs_per_element_probe_path\": {:.3}, \"mutex_acquisitions_per_element\": {:.4}, \"outputs\": {}",
+        elements,
+        eps,
+        r.allocs as f64 / elements as f64,
+        output_allocs as f64 / elements as f64,
+        probe_allocs as f64 / elements as f64,
+        r.acquisitions as f64 / elements as f64,
+        r.outputs,
+    )
+}
+
 fn write_summary(c: &Criterion) {
     let feed = feed();
     let elements = feed.len();
-    let eps = |shards: usize| {
+    let eps = |id: String| {
         c.measurements()
             .iter()
-            .find(|m| m.group == "multicore" && m.id == format!("wall/{shards}"))
+            .find(|m| m.group == "multicore" && m.id == id)
             .and_then(|m| m.per_second())
             .unwrap_or(0.0)
     };
@@ -174,8 +248,8 @@ fn write_summary(c: &Criterion) {
     let mut rows = String::new();
     let mut baseline_row = String::new();
     for shards in shard_counts() {
-        let r = run_once(shards, &feed, true);
-        let e = eps(shards);
+        let r = run_once(shards, 1, &feed, true);
+        let e = eps(format!("wall/{shards}"));
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
@@ -192,27 +266,45 @@ fn write_summary(c: &Criterion) {
         };
         let _ = write!(
             rows,
-            "    {{\"shards\": {}, \"batch\": {}, \"elements\": {}, \"elements_per_sec\": {:.1}, \"speedup_vs_shard1\": {:.2}, \"speedup_vs_pr5_batch_bench\": {}, \"allocs_per_element\": {:.3}, \"mutex_acquisitions_per_element\": {:.4}, \"outputs\": {}}}",
+            "    {{\"shards\": {}, \"batch\": {}, \"speedup_vs_shard1\": {:.2}, \"speedup_vs_pr5_batch_bench\": {}, {}}}",
             shards,
             BATCH,
-            elements,
-            e,
-            if eps(1) > 0.0 { e / eps(1) } else { 0.0 },
+            if eps("wall/1".into()) > 0.0 { e / eps("wall/1".into()) } else { 0.0 },
             vs_baseline,
-            r.allocs as f64 / elements as f64,
-            r.acquisitions as f64 / elements as f64,
-            r.outputs,
+            row_fields(&r, elements, e),
         );
     }
+
+    let mut probe_rows = String::new();
+    for threads in PROBE_THREADS {
+        let r = run_once(PROBE_SWEEP_SHARDS, threads, &feed, true);
+        let e = eps(format!("probe/{threads}"));
+        if !probe_rows.is_empty() {
+            probe_rows.push_str(",\n");
+        }
+        let _ = write!(
+            probe_rows,
+            "    {{\"shards\": {PROBE_SWEEP_SHARDS}, \"probe_threads\": {}, \"batch\": {}, \"speedup_vs_1_thread\": {:.2}, {}}}",
+            threads,
+            BATCH,
+            if eps("probe/1".into()) > 0.0 { e / eps("probe/1".into()) } else { 0.0 },
+            row_fields(&r, elements, e),
+        );
+    }
+
+    println!("recording tag-scan kernel sweep…");
+    let kernel_rows = sweep_json_rows(&probe_kernel_sweep(20_000_000));
 
     if baseline_row.is_empty() {
         baseline_row = "BENCH_batch.json baseline unavailable".into();
     }
     let json = format!(
-        "{{\n  \"bench\": \"multicore_scaling\",\n  \"cores\": {},\n  \"batch\": {BATCH},\n  \"note\": \"wall-clock elements/s of the in-process pipeline vs shard count, same workload as BENCH_batch.json's in_process lane. Before/after at equal shards and batch, PR-5 batch bench vs this run: {}. allocs_per_element counts every heap allocation push->finish and is output-dominated here (~9 result tuples per input, each a fresh allocation); the no-match tuple path itself is gated under 0.25 allocs/element by the hotpath_allocs test. mutex_acquisitions_per_element counts the shared aligner mutex, the data path's only lock, acquired at punctuation granularity only. With cores=1 the shard sweep cannot show wall-clock speedup; the scaling shape is meaningful on multicore hosts\",\n  \"measurements\": [\n{}\n  ]\n}}\n",
-        cores(),
+        "{{\n  \"bench\": \"multicore_scaling\",\n  {}\n  \"batch\": {BATCH},\n  \"note\": \"wall-clock elements/s of the in-process pipeline vs shard count, same workload as BENCH_batch.json's in_process lane. Before/after at equal shards and batch, PR-5 batch bench vs this run: {}. allocs_per_element counts every heap allocation push->finish, split by the single-allocation-concat invariant: output_path is one allocation per result tuple (~8.7 per input here, irreducible), probe_path is everything else (routing, staging, probe, state and punctuation machinery) — the share whose no-match steady state the hotpath_allocs gate holds under 0.25 at any shard count; here it also carries purge and punctuation-alignment work, so ~1 per element on this match- and punctuation-heavy workload. mutex_acquisitions_per_element counts the shared aligner mutex, the data path's only lock, acquired at punctuation granularity only. probe_thread_measurements sweep the per-shard parallel probe over the batched fast path (on_the_fly_drop off, hence the different output count); outputs are bit-compatible across thread counts. probe_kernels is one recorded tag-scan sweep (see crates/bench/src/kernel_sweep.rs), shared with the probe_kernel bench; the acceptance bar is >= 1.5x over scalar at 10k+ occupancy for the best supported kernel. With cores=1 the thread sweeps cannot show wall-clock speedup; the scaling shape is meaningful on multicore hosts\",\n  \"measurements\": [\n{}\n  ],\n  \"probe_thread_measurements\": [\n{}\n  ],\n  \"probe_kernels\": [\n{}\n  ]\n}}\n",
+        cores_json_fields(true),
         baseline_row,
         rows,
+        probe_rows,
+        kernel_rows,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multicore.json");
     match std::fs::write(path, json) {
@@ -222,6 +314,7 @@ fn write_summary(c: &Criterion) {
 }
 
 fn main() {
+    warn_if_single_core("multicore_scaling");
     let mut c = Criterion::default();
     bench_multicore(&mut c);
     c.final_summary();

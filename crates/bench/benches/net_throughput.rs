@@ -52,10 +52,19 @@ fn workloads() -> Vec<Workload> {
             .iter()
             .enumerate()
             .map(|(i, e)| {
-                encode_frame(&Frame::Data { seq: i as u64, element: e.clone() }).len() as u64
+                encode_frame(&Frame::Data {
+                    seq: i as u64,
+                    element: e.clone(),
+                })
+                .len() as u64
             })
             .sum();
-        Workload { name, elements: s.elements, schema, wire_bytes }
+        Workload {
+            name,
+            elements: s.elements,
+            schema,
+            wire_bytes,
+        }
     };
     vec![mk("tuple_heavy", 20.0), mk("punct_heavy", 2.0)]
 }
@@ -76,7 +85,11 @@ fn run_once(w: &Workload, faults: bool) -> (usize, u32) {
         None
     };
     let target = proxy.as_ref().map_or(server.addr(), |p| p.addr());
-    let opts = ClientOptions { policy: BackoffPolicy::fast(), seed: 5, ..ClientOptions::default() };
+    let opts = ClientOptions {
+        policy: BackoffPolicy::fast(),
+        seed: 5,
+        ..ClientOptions::default()
+    };
     // Drain concurrently so server-side backpressure reflects a live
     // consumer, not a full channel.
     let drain = std::thread::spawn(move || {
@@ -146,9 +159,9 @@ fn write_summary(c: &Criterion) {
             );
         }
     }
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = pjoin_bench::host::cores_json_fields(false);
     let json = format!(
-        "{{\n  \"bench\": \"net_throughput\",\n  \"cores\": {cores},\n  \"note\": \"full loopback path: client encode, TCP, ingest decode + sequence dedup, bounded channel; faulty profile adds the in-process proxy with ~1/200 data-frame drops and one forced disconnect\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"net_throughput\",\n  {cores}\n  \"note\": \"full loopback path: client encode, TCP, ingest decode + sequence dedup, bounded channel; faulty profile adds the in-process proxy with ~1/200 data-frame drops and one forced disconnect\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
     match std::fs::write(path, json) {

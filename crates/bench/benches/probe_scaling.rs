@@ -39,7 +39,11 @@ const HOT_KEY: i64 = 1_000_000;
 /// records under the given skew.
 fn filled(occupancy: usize, skew: Skew) -> PartitionedStore<Tuple> {
     let mut s = PartitionedStore::new(
-        StoreConfig { buckets: 1, page_tuples: 64, ..StoreConfig::default() },
+        StoreConfig {
+            buckets: 1,
+            page_tuples: 64,
+            ..StoreConfig::default()
+        },
         Box::new(SimDisk::new()),
     );
     let domain = (occupancy / 10).max(10) as i64;
@@ -133,9 +137,10 @@ fn write_summary(c: &Criterion) {
     for path in ["linear", "indexed"] {
         for skew in ["uniform", "hot"] {
             let prefix = format!("{path}/{skew}");
-            if let (Some(small), Some(large)) =
-                (mean_of(&prefix, OCCUPANCIES[0]), mean_of(&prefix, OCCUPANCIES[3]))
-            {
+            if let (Some(small), Some(large)) = (
+                mean_of(&prefix, OCCUPANCIES[0]),
+                mean_of(&prefix, OCCUPANCIES[3]),
+            ) {
                 if !ratios.is_empty() {
                     ratios.push_str(",\n");
                 }
@@ -147,8 +152,9 @@ fn write_summary(c: &Criterion) {
             }
         }
     }
+    let cores = pjoin_bench::host::cores_json_fields(false);
     let json = format!(
-        "{{\n  \"bench\": \"probe_scaling\",\n  \"measurements\": [\n{rows}\n  ],\n  \"scaling\": [\n{ratios}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"probe_scaling\",\n  {cores}\n  \"measurements\": [\n{rows}\n  ],\n  \"scaling\": [\n{ratios}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_probe.json");
     match std::fs::write(path, json) {

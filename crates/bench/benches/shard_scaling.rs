@@ -184,9 +184,12 @@ fn write_summary(c: &Criterion) {
         );
     }
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cores_fields = pjoin_bench::host::cores_json_fields(true);
     let json = format!(
-        "{{\n  \"bench\": \"shard_scaling\",\n  \"cores\": {cores},\n  \"elements\": {},\n  \"note\": \"virtual-time speedup is the cost-model critical path (max per-shard modeled work), the repo-standard simulation metric; wall throughput on a {cores}-core host cannot show parallel speedup when cores=1\",\n  \"measurements\": [\n{measurements}\n  ],\n  \"scaling\": [\n{scaling}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"shard_scaling\",\n  {cores_fields}\n  \"elements\": {},\n  \"note\": \"virtual-time speedup is the cost-model critical path (max per-shard modeled work), the repo-standard simulation metric; wall throughput on a {cores}-core host cannot show parallel speedup when cores=1\",\n  \"measurements\": [\n{measurements}\n  ],\n  \"scaling\": [\n{scaling}\n  ]\n}}\n",
         feed.len()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
@@ -197,6 +200,7 @@ fn write_summary(c: &Criterion) {
 }
 
 fn main() {
+    pjoin_bench::host::warn_if_single_core("shard_scaling");
     let mut c = Criterion::default();
     bench_shard_scaling(&mut c);
     c.final_summary();

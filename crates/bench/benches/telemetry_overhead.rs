@@ -47,16 +47,33 @@ fn workload(keys: i64) -> Vec<(Side, StreamElement)> {
 fn modes() -> [(&'static str, TelemetrySettings); 3] {
     [
         ("off", TelemetrySettings::disabled()),
-        ("interval_1s", TelemetrySettings { enabled: true, interval_ms: 1000, trace: true }),
-        ("interval_100ms", TelemetrySettings { enabled: true, interval_ms: 100, trace: true }),
+        (
+            "interval_1s",
+            TelemetrySettings {
+                enabled: true,
+                interval_ms: 1000,
+                trace: true,
+            },
+        ),
+        (
+            "interval_100ms",
+            TelemetrySettings {
+                enabled: true,
+                interval_ms: 100,
+                trace: true,
+            },
+        ),
     ]
 }
 
 /// One full 2-worker run under the given telemetry posture.
 fn run_once(telemetry: TelemetrySettings, work: &[(Side, StreamElement)]) -> usize {
     let mut opts = ClusterOptions::new(JoinSpec::new(2, 2), 2, 2);
-    opts.client =
-        ClientOptions { policy: BackoffPolicy::fast(), seed: 77, ..ClientOptions::default() };
+    opts.client = ClientOptions {
+        policy: BackoffPolicy::fast(),
+        seed: 77,
+        ..ClientOptions::default()
+    };
     opts.telemetry = telemetry;
     let mut cluster = Cluster::bind(opts).expect("bind coordinator");
     let ctrl = cluster.ctrl_addr();
@@ -66,7 +83,9 @@ fn run_once(telemetry: TelemetrySettings, work: &[(Side, StreamElement)]) -> usi
     cluster.accept_workers().expect("assemble cluster");
     let mut outputs = 0usize;
     for (i, (side, el)) in work.iter().enumerate() {
-        cluster.push(*side, Timestamped::new(Timestamp(i as u64), el.clone())).expect("push");
+        cluster
+            .push(*side, Timestamped::new(Timestamp(i as u64), el.clone()))
+            .expect("push");
         if i % 128 == 0 {
             outputs += cluster.poll_outputs().expect("poll").len();
         }
@@ -112,7 +131,11 @@ fn write_summary(c: &Criterion) {
             .cloned();
         let eps = m.as_ref().and_then(|m| m.per_second()).unwrap_or(0.0);
         let mean = m.as_ref().map(|m| m.mean_ns).unwrap_or(0.0);
-        let overhead = if baseline > 0.0 { mean / baseline - 1.0 } else { 0.0 };
+        let overhead = if baseline > 0.0 {
+            mean / baseline - 1.0
+        } else {
+            0.0
+        };
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
@@ -128,10 +151,10 @@ fn write_summary(c: &Criterion) {
             overhead,
         );
     }
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = pjoin_bench::host::cores_json_fields(false);
     let compiled = punct_trace::COMPILED;
     let json = format!(
-        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"cores\": {cores},\n  \"trace_compiled\": {compiled},\n  \"overhead_budget\": {OVERHEAD_BUDGET},\n  \"note\": \"2-worker loopback cluster, full distributed path; telemetry off vs the default 1 s report interval vs an aggressive 100 ms interval, tracing on whenever telemetry is on; overhead_vs_off is mean-time ratio minus one (negative = within noise)\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"telemetry_overhead\",\n  {cores}\n  \"trace_compiled\": {compiled},\n  \"overhead_budget\": {OVERHEAD_BUDGET},\n  \"note\": \"2-worker loopback cluster, full distributed path; telemetry off vs the default 1 s report interval vs an aggressive 100 ms interval, tracing on whenever telemetry is on; overhead_vs_off is mean-time ratio minus one (negative = within noise)\",\n  \"measurements\": [\n{rows}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
     match std::fs::write(path, json) {

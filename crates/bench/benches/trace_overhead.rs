@@ -176,7 +176,9 @@ fn write_summary(c: &Criterion) {
     rows.sort_by_key(|(m, _)| order.iter().position(|o| o == m).unwrap_or(usize::MAX));
 
     let mean = |mode: &str| -> Option<f64> {
-        rows.iter().find(|(m, _)| m == mode).and_then(|(_, r)| parse_mean_ns(r))
+        rows.iter()
+            .find(|(m, _)| m == mode)
+            .and_then(|(_, r)| parse_mean_ns(r))
     };
     let mut overhead = String::new();
     if let (Some(base), Some(dis), Some(en)) =
@@ -191,8 +193,9 @@ fn write_summary(c: &Criterion) {
     }
 
     let mode_rows: Vec<&str> = rows.iter().map(|(_, r)| r.as_str()).collect();
+    let cores = pjoin_bench::host::cores_json_fields(false);
     let json = format!(
-        "{{\n  \"bench\": \"trace_overhead\",\n  \"elements\": {},\n  \"note\": \"single-operator hot path over the shard-scaling workload; compiled_out requires a PJOIN_TRACE_DISABLE=1 build, so run the bench once with that env var and once without — the summary merges across invocations, keeping each mode's fastest run\",\n  \"modes\": [\n{}\n  ]{}\n}}\n",
+        "{{\n  \"bench\": \"trace_overhead\",\n  {cores}\n  \"elements\": {},\n  \"note\": \"single-operator hot path over the shard-scaling workload; compiled_out requires a PJOIN_TRACE_DISABLE=1 build, so run the bench once with that env var and once without — the summary merges across invocations, keeping each mode's fastest run\",\n  \"modes\": [\n{}\n  ]{}\n}}\n",
         feed.len(),
         mode_rows.join(",\n"),
         overhead

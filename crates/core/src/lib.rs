@@ -62,6 +62,7 @@ pub mod dedup;
 pub mod framework;
 pub mod nary;
 pub mod operator;
+pub(crate) mod probe_pool;
 pub mod punctuation_index;
 pub mod record;
 pub mod runtime;

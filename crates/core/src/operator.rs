@@ -14,6 +14,7 @@ use crate::dedup::DiskDiskMark;
 use crate::framework::{
     Component, EventKind, FrameworkProfile, Monitor, MonitorSnapshot, Registry,
 };
+use crate::probe_pool::{probe_slice, ProbePool, ProbeScratch};
 use crate::record::{Instant, PRecord};
 use crate::state::JoinState;
 
@@ -129,7 +130,11 @@ impl OpTrace {
     #[inline]
     fn note_memory_join(&mut self, matches: u64) {
         if self.mj_burst.is_none() {
-            self.mj_burst = Some(MjBurst { start: self.tracer.span_start(), tuples: 0, matches: 0 });
+            self.mj_burst = Some(MjBurst {
+                start: self.tracer.span_start(),
+                tuples: 0,
+                matches: 0,
+            });
         }
         let b = self.mj_burst.as_mut().expect("burst just ensured");
         b.tuples += 1;
@@ -139,7 +144,8 @@ impl OpTrace {
     /// Closes the open memory-join burst, emitting its span.
     fn flush_memory_join(&mut self, now_us: u64) {
         if let Some(b) = self.mj_burst.take() {
-            self.tracer.span_end(b.start, TraceKind::MemoryJoin, now_us, b.tuples, b.matches);
+            self.tracer
+                .span_end(b.start, TraceKind::MemoryJoin, now_us, b.tuples, b.matches);
         }
     }
 
@@ -163,10 +169,11 @@ struct BatchScratch {
     /// Probe order: batch indices sorted by destination bucket, so the
     /// phase-1 probe walks each bucket's records while they are hot.
     order: Vec<u32>,
-    /// Flat per-match storage: matched partner tuple + its virtual
-    /// arrival time (for the latency histogram).
-    matches: Vec<(Tuple, u64)>,
-    /// Per-batch-index `(start, end)` range into `matches`.
+    /// Phase-1 probe results (flat matches + per-index triples into
+    /// them), shared with the probe pool's workers.
+    probe: ProbeScratch,
+    /// Per-batch-index `(start, end)` range into `probe.matches`,
+    /// rebuilt from the triples after phase 1.
     ranges: Vec<(u32, u32)>,
 }
 
@@ -193,6 +200,9 @@ pub struct PJoin {
     obs: OpTrace,
     /// Batched-probe scratch (empty unless `on_tuple_batch` is used).
     scratch: BatchScratch,
+    /// Long-lived phase-1 probe workers (`config.probe_threads - 1`
+    /// threads; `None` when the configuration is serial).
+    probe_pool: Option<ProbePool>,
 }
 
 impl PJoin {
@@ -233,8 +243,18 @@ impl PJoin {
     /// reconfiguration experiments).
     pub fn with_registry(config: PJoinConfig, registry: Registry) -> PJoin {
         PJoin {
-            a: JoinState::new(config.width_a, config.join_attr_a, config.buckets, config.page_tuples),
-            b: JoinState::new(config.width_b, config.join_attr_b, config.buckets, config.page_tuples),
+            a: JoinState::new(
+                config.width_a,
+                config.join_attr_a,
+                config.buckets,
+                config.page_tuples,
+            ),
+            b: JoinState::new(
+                config.width_b,
+                config.join_attr_b,
+                config.buckets,
+                config.page_tuples,
+            ),
             dd_marks: vec![None; config.buckets],
             resolution_marks: vec![None; config.buckets],
             monitor: Monitor::from_config(&config),
@@ -246,6 +266,8 @@ impl PJoin {
             end_phase: EndPhase::NotStarted,
             obs: OpTrace::new(&config),
             scratch: BatchScratch::default(),
+            probe_pool: (config.probe_threads > 1)
+                .then(|| ProbePool::new(config.probe_threads - 1)),
             config,
         }
     }
@@ -345,18 +367,24 @@ impl PJoin {
         let wall = punct_trace::wall_now_ns().saturating_sub(start.wall_ns());
         self.obs.profile.note_run(comp, wall, self.work - w0);
         if let Some((kind, a, b)) = span {
-            self.obs.tracer.span_end(start, kind, self.now.as_micros(), a, b);
+            self.obs
+                .tracer
+                .span_end(start, kind, self.now.as_micros(), a, b);
         }
     }
 
     /// Records one punctuation's downstream release: its
     /// arrival→propagation latency and a `PunctEmit` instant.
     fn note_punct_emitted(&mut self, side_idx: usize, id: PunctId, now_us: u64) {
-        let arrival =
-            self.obs.punct_arrivals[side_idx].get(id.0 as usize).copied().unwrap_or(now_us);
+        let arrival = self.obs.punct_arrivals[side_idx]
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(now_us);
         let lat = now_us.saturating_sub(arrival);
         self.obs.latencies.punct_propagate.record(lat);
-        self.obs.tracer.instant(TraceKind::PunctEmit, now_us, id.0, lat);
+        self.obs
+            .tracer
+            .instant(TraceKind::PunctEmit, now_us, id.0, lat);
     }
 
     fn next_instant(&mut self) -> Instant {
@@ -447,7 +475,9 @@ impl PJoin {
                     // *stored* partner (the arriving tuple's own latency
                     // is zero in a symmetric hash join).
                     matches += 1;
-                    obs.latencies.tuple_emit.record(now_us.saturating_sub(rec.arrival_us));
+                    obs.latencies
+                        .tuple_emit
+                        .record(now_us.saturating_sub(rec.arrival_us));
                 }
                 match side {
                     Side::Left => out.push(tuple.concat(&rec.tuple)),
@@ -462,7 +492,13 @@ impl PJoin {
             if opp.index.covers_join_value(key) {
                 if opp.store.bucket(bucket).has_disk_portion() {
                     // May still join the opposite disk portion: park it.
-                    let rec = PRecord { tuple, ats: t, dts: t + 1, pid: None, arrival_us: now_us };
+                    let rec = PRecord {
+                        tuple,
+                        ats: t,
+                        dts: t + 1,
+                        pid: None,
+                        arrival_us: now_us,
+                    };
                     own.buffer_record(bucket, rec, work);
                     stats.tuples_buffered += 1;
                 } else {
@@ -489,7 +525,12 @@ impl PJoin {
         let matched_pair_mode = self.config.propagation == PropagationTrigger::MatchedPair;
         let (own, opp) = self.split(side);
         if p.width() != own.width {
-            debug_assert!(false, "punctuation width {} != stream width {}", p.width(), own.width);
+            debug_assert!(
+                false,
+                "punctuation width {} != stream width {}",
+                p.width(),
+                own.width
+            );
             return;
         }
         let matched = matched_pair_mode
@@ -501,7 +542,9 @@ impl PJoin {
             let now_us = self.now.as_micros();
             self.obs.flush_memory_join(now_us);
             self.obs.note_punct_arrival(side_idx, pid, now_us);
-            self.obs.tracer.instant(TraceKind::PunctArrive, now_us, pid.0, side_idx as u64);
+            self.obs
+                .tracer
+                .instant(TraceKind::PunctArrive, now_us, pid.0, side_idx as u64);
         }
         self.monitor.punctuation_arrived(matched);
 
@@ -569,8 +612,9 @@ impl PJoin {
         let patterns_a = self.a.index.join_patterns_since(self.a.applied_up_to);
         self.a.applied_up_to = self.a.index.next_id();
         if !patterns_a.is_empty() {
-            let disk_a: Vec<bool> =
-                (0..buckets).map(|i| self.a.store.bucket(i).has_disk_portion()).collect();
+            let disk_a: Vec<bool> = (0..buckets)
+                .map(|i| self.a.store.bucket(i).has_disk_portion())
+                .collect();
             let report = purge_state(&mut self.b, &patterns_a, &disk_a, departure, &mut self.work);
             self.stats.tuples_purged += report.removed as u64;
             self.stats.tuples_buffered += report.buffered as u64;
@@ -581,8 +625,9 @@ impl PJoin {
         let patterns_b = self.b.index.join_patterns_since(self.b.applied_up_to);
         self.b.applied_up_to = self.b.index.next_id();
         if !patterns_b.is_empty() {
-            let disk_b: Vec<bool> =
-                (0..buckets).map(|i| self.b.store.bucket(i).has_disk_portion()).collect();
+            let disk_b: Vec<bool> = (0..buckets)
+                .map(|i| self.b.store.bucket(i).has_disk_portion())
+                .collect();
             let report = purge_state(&mut self.a, &patterns_b, &disk_b, departure, &mut self.work);
             self.stats.tuples_purged += report.removed as u64;
             self.stats.tuples_buffered += report.buffered as u64;
@@ -595,7 +640,10 @@ impl PJoin {
             let now_us = self.now.as_micros();
             let applied = self.obs.pending_purge.len() as u64;
             for vt in std::mem::take(&mut self.obs.pending_purge) {
-                self.obs.latencies.punct_purge.record(now_us.saturating_sub(vt));
+                self.obs
+                    .latencies
+                    .punct_purge
+                    .record(now_us.saturating_sub(vt));
             }
             self.prof_end(
                 Component::StatePurge,
@@ -620,13 +668,17 @@ impl PJoin {
             } else {
                 &mut self.b
             };
-            let Some(victim) = own.store.peek_spill_victim() else { break };
+            let Some(victim) = own.store.peek_spill_victim() else {
+                break;
+            };
             if own.store.bucket(victim).memory_len() == 0 {
                 break;
             }
             let spill = self.obs.tracer.span_start();
             let pages = own.spill_bucket(victim, departure, &mut self.work);
-            self.obs.tracer.span_end(spill, TraceKind::Relocation, now_us, victim as u64, pages);
+            self.obs
+                .tracer
+                .span_end(spill, TraceKind::Relocation, now_us, victim as u64, pages);
             self.stats.relocations += 1;
         }
         // The per-spill spans carry the detail; the profile row carries
@@ -642,7 +694,11 @@ impl PJoin {
         self.a.index_build(&mut self.work);
         self.b.index_build(&mut self.work);
         let evals = self.work.index_evals - evals0;
-        self.prof_end(Component::IndexBuild, prof, Some((TraceKind::IndexBuild, evals, 0)));
+        self.prof_end(
+            Component::IndexBuild,
+            prof,
+            Some((TraceKind::IndexBuild, evals, 0)),
+        );
     }
 
     /// Propagation (§3.5): release propagable punctuations of both sides
@@ -652,7 +708,13 @@ impl PJoin {
         self.stats.propagation_runs += 1;
         let out_width = self.config.output_width();
         let ids_a = propagate_side(&mut self.a, 0, out_width, out, &mut self.work);
-        let ids_b = propagate_side(&mut self.b, self.config.width_a, out_width, out, &mut self.work);
+        let ids_b = propagate_side(
+            &mut self.b,
+            self.config.width_a,
+            out_width,
+            out,
+            &mut self.work,
+        );
         let n = (ids_a.len() + ids_b.len()) as u64;
         self.stats.puncts_propagated += n;
         if self.obs.tracer.enabled() {
@@ -663,7 +725,11 @@ impl PJoin {
             for id in ids_b {
                 self.note_punct_emitted(1, id, now_us);
             }
-            self.prof_end(Component::Propagation, prof, Some((TraceKind::Propagation, n, 0)));
+            self.prof_end(
+                Component::Propagation,
+                prof,
+                Some((TraceKind::Propagation, n, 0)),
+            );
         }
     }
 
@@ -673,8 +739,8 @@ impl PJoin {
         for bucket in 0..self.config.buckets {
             let ab = self.a.store.bucket(bucket);
             let bb = self.b.store.bucket(bucket);
-            let buffers = !self.a.purge_buffer[bucket].is_empty()
-                || !self.b.purge_buffer[bucket].is_empty();
+            let buffers =
+                !self.a.purge_buffer[bucket].is_empty() || !self.b.purge_buffer[bucket].is_empty();
             let has_disk = ab.has_disk_portion() || bb.has_disk_portion();
             if !has_disk && !buffers {
                 continue;
@@ -780,7 +846,7 @@ impl PJoin {
         let n = batch.len();
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.order.clear();
-        scratch.matches.clear();
+        scratch.probe.clear();
         scratch.ranges.clear();
         scratch.ranges.resize(n, (0, 0));
 
@@ -789,34 +855,60 @@ impl PJoin {
         self.instant += n as Instant;
         let trace_on = self.obs.tracer.enabled();
 
-        // Phase 1: probe in bucket order.
-        {
-            let work = &mut self.work;
+        // Phase 1: probe in bucket order — serially, or split across the
+        // probe pool (bit-compatible either way; see `probe_pool`).
+        let probe_span = trace_on.then(|| self.obs.tracer.span_start());
+        let probe_threads = {
             let (own, opp) = match side {
-                Side::Left => (&mut self.a, &mut self.b),
-                Side::Right => (&mut self.b, &mut self.a),
+                Side::Left => (&self.a, &self.b),
+                Side::Right => (&self.b, &self.a),
             };
             let own_attr = own.join_attr;
             let opp_attr = opp.join_attr;
             scratch.order.extend(0..n as u32);
             let store = &opp.store;
-            scratch.order.sort_unstable_by_key(|&i| store.bucket_of_hash(batch[i as usize].2));
-            for &i in &scratch.order {
-                let (tuple, _ts, hash) = &batch[i as usize];
-                let Some(key) = tuple.get(own_attr) else { continue };
-                work.hashes += 1;
-                work.key_lookups += 1;
-                let start = scratch.matches.len() as u32;
-                let bucket = store.bucket_of_hash(*hash);
-                for rec in store.probe_bucket_hashed(bucket, *hash) {
-                    work.probe_cmps += 1;
-                    if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(key)) {
-                        work.outputs += 1;
-                        scratch.matches.push((rec.tuple.clone(), rec.arrival_us));
-                    }
+            scratch
+                .order
+                .sort_unstable_by_key(|&i| store.bucket_of_hash(batch[i as usize].2));
+            let threads = match &mut self.probe_pool {
+                Some(pool) => pool.probe(
+                    store,
+                    batch,
+                    &scratch.order,
+                    own_attr,
+                    opp_attr,
+                    &mut scratch.probe,
+                ),
+                None => {
+                    probe_slice(
+                        store,
+                        batch,
+                        &scratch.order,
+                        own_attr,
+                        opp_attr,
+                        &mut scratch.probe,
+                    );
+                    1
                 }
-                scratch.ranges[i as usize] = (start, scratch.matches.len() as u32);
+            };
+            let c = &scratch.probe.counters;
+            self.work.hashes += c.keyed;
+            self.work.key_lookups += c.keyed;
+            self.work.probe_cmps += c.probe_cmps;
+            self.work.outputs += c.outputs;
+            for &(i, lo, hi) in &scratch.probe.triples {
+                scratch.ranges[i as usize] = (lo, hi);
             }
+            threads
+        };
+        if let Some(start) = probe_span {
+            self.obs.tracer.span_end(
+                start,
+                TraceKind::ProbePhase,
+                self.now.as_micros(),
+                n as u64,
+                probe_threads as u64,
+            );
         }
 
         // Phase 2: apply in arrival order, *moving* each tuple into the
@@ -839,10 +931,12 @@ impl PJoin {
                 } else {
                     let (lo, hi) = scratch.ranges[i];
                     let mut matches = 0u64;
-                    for (partner, arrival_us) in &scratch.matches[lo as usize..hi as usize] {
+                    for (partner, arrival_us) in &scratch.probe.matches[lo as usize..hi as usize] {
                         if trace_on {
                             matches += 1;
-                            obs.latencies.tuple_emit.record(now_us.saturating_sub(*arrival_us));
+                            obs.latencies
+                                .tuple_emit
+                                .record(now_us.saturating_sub(*arrival_us));
                         }
                         match side {
                             Side::Left => out.push(tuple.concat(partner)),
@@ -974,7 +1068,9 @@ impl PJoin {
                         .unwrap_or(now_us);
                     let lat = now_us.saturating_sub(arrival);
                     self.obs.latencies.punct_propagate.record(lat);
-                    self.obs.tracer.instant(TraceKind::PunctEmit, now_us, id.0, lat);
+                    self.obs
+                        .tracer
+                        .instant(TraceKind::PunctEmit, now_us, id.0, lat);
                 }
             }
         }
@@ -1009,7 +1105,10 @@ impl PJoin {
             Side::Right => &self.b,
         };
         if state.purge_buffer_len > 0 {
-            return Err(StateExportError::PurgeBuffered { side, records: state.purge_buffer_len });
+            return Err(StateExportError::PurgeBuffered {
+                side,
+                records: state.purge_buffer_len,
+            });
         }
         let mut out = Vec::with_capacity(state.store.memory_tuples());
         for (bucket, b) in state.store.buckets().enumerate() {
@@ -1032,7 +1131,9 @@ impl PJoin {
     pub fn import_record(&mut self, side: Side, tuple: Tuple, arrival_us: u64) {
         let t = self.next_instant();
         let (own, _) = self.split(side);
-        let hash = tuple.get(own.join_attr).and_then(punct_types::Value::join_hash);
+        let hash = tuple
+            .get(own.join_attr)
+            .and_then(punct_types::Value::join_hash);
         own.newest_ats = t;
         own.insert_hashed(PRecord::arriving_at(tuple, t, arrival_us), hash);
         self.work.inserts += 1;
@@ -1064,7 +1165,10 @@ impl std::fmt::Display for StateExportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StateExportError::DiskResident { side, bucket } => {
-                write!(f, "side {side:?} bucket {bucket} has a disk-resident portion")
+                write!(
+                    f,
+                    "side {side:?} bucket {bucket} has a disk-resident portion"
+                )
             }
             StateExportError::PurgeBuffered { side, records } => {
                 write!(f, "side {side:?} has {records} purge-buffered records")

@@ -1,0 +1,419 @@
+//! Intra-shard parallel probe: a pool of long-lived worker threads that
+//! split the **read-only phase 1** of the batched memory join
+//! ([`PJoin::on_tuple_batch`](crate::PJoin::on_tuple_batch)) across
+//! contiguous slices of the bucket-sorted probe order.
+//!
+//! ## Ordering invariant (why parallel == serial, bit for bit)
+//!
+//! Phase 1 walks `order` (batch indices sorted by destination bucket)
+//! and appends matches to a flat vector, recording each index's
+//! `(start, end)` range. The pool splits `order` into `threads`
+//! contiguous chunks — the calling thread probes chunk 0 while workers
+//! probe the rest — and then merges the per-worker scratch **in chunk
+//! order**, rebasing each worker's match ranges by the match count
+//! accumulated before it. Since chunk concatenation in chunk order *is*
+//! the original `order` sequence, the merged match vector and range
+//! table are identical to what a serial walk produces, and phase 2
+//! (apply in arrival order) is untouched — so output sequences, not
+//! just multisets, are bit-compatible with `probe_threads = 1`.
+//!
+//! ## Hot-path discipline
+//!
+//! Workers are spawned once at operator construction (no per-batch
+//! spawn) and their scratch buffers are pre-faulted and recycled: a
+//! scratch travels main → worker → main inside the job and is parked
+//! between batches, so a warm pool performs no steady-state allocation.
+//! Jobs and results move over rendezvous channels whose send/recv pair
+//! establishes the happens-before edges that make the borrowed
+//! pointers race-free.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use punct_types::{Timestamp, Tuple};
+use spillstore::PartitionedStore;
+
+use crate::record::PRecord;
+
+/// A batch entry as staged by the shard loop: tuple, ingest timestamp,
+/// precomputed join hash (`None` = unjoinable key).
+pub(crate) type BatchEntry = (Tuple, Timestamp, Option<u64>);
+
+/// Don't split a batch whose per-thread slice would be smaller than
+/// this — the channel round-trip would cost more than the probes.
+/// Purely a performance threshold: results are identical either way.
+const MIN_SLICE: usize = 16;
+
+/// Work counters accumulated during a probe slice, merged into
+/// [`Work`](stream_sim::Work) by the operator. Kept separate so worker
+/// threads never touch the operator's own accounting.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ProbeCounters {
+    /// Tuples whose join key existed (each costs one hash + one key
+    /// lookup, mirroring the serial path's accounting).
+    pub keyed: u64,
+    /// Tag-hit records compared with `join_eq`.
+    pub probe_cmps: u64,
+    /// Comparisons that matched.
+    pub outputs: u64,
+}
+
+impl ProbeCounters {
+    fn add(&mut self, other: &ProbeCounters) {
+        self.keyed += other.keyed;
+        self.probe_cmps += other.probe_cmps;
+        self.outputs += other.outputs;
+    }
+}
+
+/// Recyclable per-worker scratch: flat matches plus per-batch-index
+/// `(index, start, end)` triples into them (local until the merge
+/// rebases `start`/`end`).
+#[derive(Debug, Default)]
+pub(crate) struct ProbeScratch {
+    pub matches: Vec<(Tuple, u64)>,
+    pub triples: Vec<(u32, u32, u32)>,
+    pub counters: ProbeCounters,
+}
+
+impl ProbeScratch {
+    fn with_capacity() -> ProbeScratch {
+        // Pre-fault the buffers so a fresh pool's first batches do not
+        // allocate on the hot path.
+        ProbeScratch {
+            matches: Vec::with_capacity(1024),
+            triples: Vec::with_capacity(512),
+            counters: ProbeCounters::default(),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.matches.clear();
+        self.triples.clear();
+        self.counters = ProbeCounters::default();
+    }
+}
+
+/// Probes `order`'s batch entries against `store`, appending matches
+/// and `(index, start, end)` triples. This is the one probe body both
+/// the serial path and every pool worker run — the accounting and probe
+/// semantics (missing keys skipped, `join_eq` arbitration of tag hits)
+/// cannot drift between them.
+pub(crate) fn probe_slice(
+    store: &PartitionedStore<PRecord>,
+    batch: &[BatchEntry],
+    order: &[u32],
+    own_attr: usize,
+    opp_attr: usize,
+    scratch: &mut ProbeScratch,
+) {
+    for &i in order {
+        let (tuple, _ts, hash) = &batch[i as usize];
+        let Some(key) = tuple.get(own_attr) else {
+            continue;
+        };
+        scratch.counters.keyed += 1;
+        let start = scratch.matches.len() as u32;
+        let bucket = store.bucket_of_hash(*hash);
+        for rec in store.probe_bucket_hashed(bucket, *hash) {
+            scratch.counters.probe_cmps += 1;
+            if rec.tuple.get(opp_attr).is_some_and(|v| v.join_eq(key)) {
+                scratch.counters.outputs += 1;
+                scratch.matches.push((rec.tuple.clone(), rec.arrival_us));
+            }
+        }
+        scratch
+            .triples
+            .push((i, start, scratch.matches.len() as u32));
+    }
+}
+
+/// One phase-1 probe job: borrowed views of the store, the batch and
+/// this worker's slice of the probe order, shipped as raw pointers.
+///
+/// # Safety
+/// The submitting thread keeps `store`, `batch` and `order` alive and
+/// **unmodified** until it has received this job's result — it blocks in
+/// [`ProbePool::probe`] collecting every outstanding result before
+/// phase 1 returns, and the store/batch borrows it holds span that call.
+/// Workers only *read* through the pointers (the probe path touches the
+/// memory-resident slab only, never the disk backend), so concurrent
+/// slices race on nothing; the channel send/recv pairs order the
+/// pointer writes before the reads and the scratch writes before the
+/// merge.
+struct ProbeJob {
+    store: *const PartitionedStore<PRecord>,
+    batch: *const BatchEntry,
+    batch_len: usize,
+    order: *const u32,
+    order_len: usize,
+    own_attr: usize,
+    opp_attr: usize,
+    scratch: ProbeScratch,
+}
+
+// SAFETY: see `ProbeJob` — the pointed-to data is only read, and the
+// submitting thread outlives the job round-trip. Tuples are
+// `Arc<[Value]>`, safe to clone across threads.
+unsafe impl Send for ProbeJob {}
+
+struct Worker {
+    jobs: Option<Sender<ProbeJob>>,
+    results: Receiver<ProbeScratch>,
+    /// Scratch parked between batches (travels inside the job while one
+    /// is in flight).
+    parked: Option<ProbeScratch>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Closing the job channel is the shutdown signal.
+        self.jobs.take();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The per-operator probe worker pool: `probe_threads - 1` long-lived
+/// threads (the operator's own thread is the remaining one).
+pub(crate) struct ProbePool {
+    workers: Vec<Worker>,
+}
+
+impl ProbePool {
+    /// Spawns `workers` probe threads. Threads idle on a rendezvous
+    /// channel between batches; they hold no state besides their
+    /// recycled scratch.
+    pub fn new(workers: usize) -> ProbePool {
+        let workers = (0..workers)
+            .map(|w| {
+                let (job_tx, job_rx) = channel::bounded::<ProbeJob>(1);
+                let (res_tx, res_rx) = channel::bounded::<ProbeScratch>(1);
+                let thread = std::thread::Builder::new()
+                    .name(format!("pjoin-probe-{w}"))
+                    .spawn(move || worker_loop(job_rx, res_tx))
+                    .expect("spawn probe worker");
+                Worker {
+                    jobs: Some(job_tx),
+                    results: res_rx,
+                    parked: Some(ProbeScratch::with_capacity()),
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        ProbePool { workers }
+    }
+
+    /// Runs phase 1 over `order`, split across the pool plus the calling
+    /// thread, appending to `scratch` exactly what a serial
+    /// [`probe_slice`] over the whole `order` would append (see the
+    /// module docs for the merge-order argument). Small batches run
+    /// serially — the split threshold affects timing only, never
+    /// results.
+    pub fn probe(
+        &mut self,
+        store: &PartitionedStore<PRecord>,
+        batch: &[BatchEntry],
+        order: &[u32],
+        own_attr: usize,
+        opp_attr: usize,
+        scratch: &mut ProbeScratch,
+    ) -> usize {
+        let parts = self.workers.len() + 1;
+        let chunk = order.len().div_ceil(parts);
+        if chunk < MIN_SLICE {
+            probe_slice(store, batch, order, own_attr, opp_attr, scratch);
+            return 1;
+        }
+
+        // Offload chunks 1.. to the workers (their slices may be empty
+        // only if order.len() < parts, excluded above).
+        let mut in_flight = 0;
+        for (w, slice) in self.workers.iter_mut().zip(order[chunk..].chunks(chunk)) {
+            let mut job_scratch = w.parked.take().expect("scratch parked between batches");
+            job_scratch.clear();
+            let job = ProbeJob {
+                store,
+                batch: batch.as_ptr(),
+                batch_len: batch.len(),
+                order: slice.as_ptr(),
+                order_len: slice.len(),
+                own_attr,
+                opp_attr,
+                scratch: job_scratch,
+            };
+            w.jobs
+                .as_ref()
+                .expect("pool alive")
+                .send(job)
+                .expect("probe worker alive");
+            in_flight += 1;
+        }
+
+        // Probe chunk 0 here while the workers run.
+        probe_slice(store, batch, &order[..chunk], own_attr, opp_attr, scratch);
+
+        // Merge in chunk order: rebase each worker's ranges by the
+        // matches accumulated so far, then park its scratch for reuse.
+        for w in self.workers[..in_flight].iter_mut() {
+            let mut result = w.results.recv().expect("probe worker alive");
+            let base = scratch.matches.len() as u32;
+            scratch.matches.append(&mut result.matches);
+            for &(i, lo, hi) in &result.triples {
+                scratch.triples.push((i, base + lo, base + hi));
+            }
+            scratch.counters.add(&result.counters);
+            w.parked = Some(result);
+        }
+        in_flight + 1
+    }
+}
+
+fn worker_loop(jobs: Receiver<ProbeJob>, results: Sender<ProbeScratch>) {
+    while let Ok(mut job) = jobs.recv() {
+        // SAFETY: the submitter keeps these alive and unmodified until
+        // it receives our result (see `ProbeJob`).
+        let (store, batch, order) = unsafe {
+            (
+                &*job.store,
+                std::slice::from_raw_parts(job.batch, job.batch_len),
+                std::slice::from_raw_parts(job.order, job.order_len),
+            )
+        };
+        probe_slice(
+            store,
+            batch,
+            order,
+            job.own_attr,
+            job.opp_attr,
+            &mut job.scratch,
+        );
+        if results.send(job.scratch).is_err() {
+            break; // pool dropped mid-flight
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use punct_types::Value;
+    use spillstore::{SimDisk, StoreConfig};
+
+    fn store_with(keys: &[i64]) -> PartitionedStore<PRecord> {
+        let mut s = PartitionedStore::new(
+            StoreConfig {
+                buckets: 4,
+                page_tuples: 16,
+                ..StoreConfig::default()
+            },
+            Box::new(SimDisk::new()),
+        );
+        for (n, &k) in keys.iter().enumerate() {
+            let t = Tuple::of((k, n as i64));
+            let h = t.get(0).and_then(Value::join_hash);
+            s.insert_hashed(PRecord::arriving_at(t, n as u64, n as u64), h);
+        }
+        s
+    }
+
+    fn batch_of(keys: &[i64]) -> Vec<BatchEntry> {
+        keys.iter()
+            .enumerate()
+            .map(|(n, &k)| {
+                let t = Tuple::of((k, 100 + n as i64));
+                let h = t.get(0).and_then(Value::join_hash);
+                (t, Timestamp::from_micros(n as u64), h)
+            })
+            .collect()
+    }
+
+    fn sorted_order(store: &PartitionedStore<PRecord>, batch: &[BatchEntry]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..batch.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| store.bucket_of_hash(batch[i as usize].2));
+        order
+    }
+
+    /// The pool merge must reproduce the serial probe exactly — same
+    /// match sequence, same triples, same counters — for worker counts
+    /// that divide the batch unevenly.
+    #[test]
+    fn pool_probe_is_bit_identical_to_serial() {
+        let stored: Vec<i64> = (0..40).map(|i| i % 7).collect();
+        let probes: Vec<i64> = (0..100).map(|i| (i * 3) % 9).collect();
+        let store = store_with(&stored);
+        let batch = batch_of(&probes);
+        let order = sorted_order(&store, &batch);
+
+        let mut serial = ProbeScratch::default();
+        probe_slice(&store, &batch, &order, 0, 0, &mut serial);
+
+        for workers in [1usize, 2, 3, 5] {
+            let mut pool = ProbePool::new(workers);
+            let mut parallel = ProbeScratch::default();
+            let used = pool.probe(&store, &batch, &order, 0, 0, &mut parallel);
+            assert!(used >= 1 && used <= workers + 1);
+            assert_eq!(parallel.matches, serial.matches, "workers={workers}");
+            assert_eq!(parallel.triples, serial.triples, "workers={workers}");
+            assert_eq!(parallel.counters.keyed, serial.counters.keyed);
+            assert_eq!(parallel.counters.probe_cmps, serial.counters.probe_cmps);
+            assert_eq!(parallel.counters.outputs, serial.counters.outputs);
+        }
+    }
+
+    /// Tiny batches skip the pool (threshold) but still produce the
+    /// serial result; a null join key is present (so it is counted as
+    /// keyed, exactly like the serial path) but its `None` hash probes
+    /// the unkeyed sentinel and matches nothing.
+    #[test]
+    fn small_batches_and_null_keys() {
+        let store = store_with(&[1, 2, 3]);
+        let mut batch = batch_of(&[1, 3]);
+        batch.push((
+            Tuple::of((Value::Null, Value::Int(0))),
+            Timestamp::from_micros(9),
+            None,
+        ));
+        let order = sorted_order(&store, &batch);
+
+        let mut serial = ProbeScratch::default();
+        probe_slice(&store, &batch, &order, 0, 0, &mut serial);
+        assert_eq!(
+            serial.counters.keyed, 3,
+            "a null key is present, just unjoinable"
+        );
+        assert_eq!(serial.triples.len(), 3);
+        assert_eq!(serial.counters.outputs, 2, "the null key matched nothing");
+
+        let mut pool = ProbePool::new(2);
+        let mut parallel = ProbeScratch::default();
+        let used = pool.probe(&store, &batch, &order, 0, 0, &mut parallel);
+        assert_eq!(used, 1, "below the split threshold the pool stays idle");
+        assert_eq!(parallel.matches, serial.matches);
+        assert_eq!(parallel.triples, serial.triples);
+    }
+
+    /// Scratch recycling: after the first batch, repeated probes reuse
+    /// the parked buffers (capacities only ever grow).
+    #[test]
+    fn scratch_is_recycled_across_batches() {
+        let stored: Vec<i64> = (0..64).map(|i| i % 5).collect();
+        let probes: Vec<i64> = (0..200).map(|i| i % 5).collect();
+        let store = store_with(&stored);
+        let batch = batch_of(&probes);
+        let order = sorted_order(&store, &batch);
+
+        let mut pool = ProbePool::new(2);
+        let mut scratch = ProbeScratch::default();
+        pool.probe(&store, &batch, &order, 0, 0, &mut scratch);
+        let first = scratch.matches.clone();
+        for _ in 0..5 {
+            scratch.clear();
+            pool.probe(&store, &batch, &order, 0, 0, &mut scratch);
+            assert_eq!(
+                scratch.matches, first,
+                "recycled scratch must not leak state"
+            );
+        }
+    }
+}

@@ -7,6 +7,11 @@ use punct_types::BatchConfig;
 /// shards that have propagated a punctuation in a `u64` bitmask.
 pub const MAX_SHARDS: usize = 64;
 
+/// Upper bound on per-shard probe threads — a sanity rail (64 threads
+/// *per shard* already oversubscribes any machine this runs on), not a
+/// structural limit like [`MAX_SHARDS`].
+pub const MAX_PROBE_THREADS: usize = 64;
+
 /// Default capacity (in messages) of the caller → router channel.
 pub const DEFAULT_INPUT_CAPACITY: usize = 1024;
 
@@ -57,7 +62,10 @@ impl std::fmt::Display for ExecConfigError {
                 write!(f, "shard count must be in 1..={MAX_SHARDS}, got 0")
             }
             ExecConfigError::TooManyShards { got, max } => {
-                write!(f, "shard count must be in 1..={max}, got {got} (shard bitmasks are u64)")
+                write!(
+                    f,
+                    "shard count must be in 1..={max}, got {got} (shard bitmasks are u64)"
+                )
             }
         }
     }
@@ -97,6 +105,14 @@ pub struct ExecConfig {
     /// tunes it without recompiling; `PJOIN_BATCH=1` reproduces
     /// per-element execution exactly.
     pub batch: BatchConfig,
+    /// Threads the batched probe phase runs on **per shard** (the shard
+    /// thread plus `probe_threads - 1` long-lived workers). Default 1 =
+    /// today's serial behavior; `PJOIN_PROBE_THREADS` overrides it at
+    /// construction, and [`with_probe_threads`](Self::with_probe_threads)
+    /// overrides both. Applied to each shard's
+    /// [`PJoinConfig::probe_threads`] at spawn; outputs are
+    /// bit-compatible with the serial path at any setting.
+    pub probe_threads: usize,
 }
 
 impl ExecConfig {
@@ -108,9 +124,15 @@ impl ExecConfig {
             return Err(ExecConfigError::ZeroShards);
         }
         if shards > MAX_SHARDS {
-            return Err(ExecConfigError::TooManyShards { got: shards, max: MAX_SHARDS });
+            return Err(ExecConfigError::TooManyShards {
+                got: shards,
+                max: MAX_SHARDS,
+            });
         }
         let batch = BatchConfig::from_env();
+        // Priority: PJOIN_PROBE_THREADS > the join config's own setting
+        // (default 1 = serial).
+        let probe_threads = probe_threads_from_env().unwrap_or_else(|| join.probe_threads.max(1));
         Ok(ExecConfig {
             shards,
             join,
@@ -122,6 +144,7 @@ impl ExecConfig {
             router_batch: batch.max_elems,
             pending_capacity: DEFAULT_PENDING_CAPACITY,
             batch,
+            probe_threads,
         })
     }
 
@@ -163,6 +186,13 @@ impl ExecConfig {
         self.pending_capacity = capacity.max(1);
         self
     }
+
+    /// Overrides the per-shard probe thread count (clamped to
+    /// `1..=MAX_PROBE_THREADS`), beating `PJOIN_PROBE_THREADS`.
+    pub fn with_probe_threads(mut self, threads: usize) -> ExecConfig {
+        self.probe_threads = threads.clamp(1, MAX_PROBE_THREADS);
+        self
+    }
 }
 
 /// The shard count a configuration-less caller gets: `PJOIN_SHARDS`
@@ -189,6 +219,19 @@ pub fn shards_from_env() -> Option<usize> {
         .parse::<usize>()
         .ok()
         .filter(|s| (1..=MAX_SHARDS).contains(s))
+}
+
+/// Reads the per-shard probe thread count from `PJOIN_PROBE_THREADS`,
+/// if set to a valid value in `1..=MAX_PROBE_THREADS`. Used by tests,
+/// benches and the CI probe matrix to parameterize runs without
+/// recompiling; `1` (and unset) is the serial probe path.
+pub fn probe_threads_from_env() -> Option<usize> {
+    std::env::var("PJOIN_PROBE_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|t| (1..=MAX_PROBE_THREADS).contains(t))
 }
 
 #[cfg(test)]
@@ -230,11 +273,17 @@ mod tests {
         );
         assert_eq!(
             ExecConfig::try_new(MAX_SHARDS + 1, PJoinConfig::new(2, 2)).err(),
-            Some(ExecConfigError::TooManyShards { got: MAX_SHARDS + 1, max: MAX_SHARDS })
+            Some(ExecConfigError::TooManyShards {
+                got: MAX_SHARDS + 1,
+                max: MAX_SHARDS
+            })
         );
         assert!(ExecConfig::try_new(MAX_SHARDS, PJoinConfig::new(2, 2)).is_ok());
         let msg = ExecConfigError::TooManyShards { got: 65, max: 64 }.to_string();
-        assert!(msg.contains("shard count"), "panic-compatible message: {msg}");
+        assert!(
+            msg.contains("shard count"),
+            "panic-compatible message: {msg}"
+        );
     }
 
     #[test]
@@ -246,7 +295,11 @@ mod tests {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
             .min(MAX_SHARDS);
-        assert_eq!(default_shards(), hw, "without the env var, hardware parallelism wins");
+        assert_eq!(
+            default_shards(),
+            hw,
+            "without the env var, hardware parallelism wins"
+        );
         assert_eq!(ExecConfig::auto(PJoinConfig::new(2, 2)).shards, hw);
 
         std::env::set_var("PJOIN_SHARDS", "3");
@@ -259,6 +312,43 @@ mod tests {
         std::env::set_var("PJOIN_SHARDS", "not-a-number");
         assert_eq!(default_shards(), hw);
         std::env::remove_var("PJOIN_SHARDS");
+    }
+
+    #[test]
+    fn probe_threads_env_and_builder_precedence() {
+        // No other test in this binary touches PJOIN_PROBE_THREADS, so
+        // the process-global environment mutation is safe here.
+        std::env::remove_var("PJOIN_PROBE_THREADS");
+        let c = ExecConfig::new(2, PJoinConfig::new(2, 2));
+        assert_eq!(c.probe_threads, 1, "serial probe is the default");
+
+        // The join config's own setting seeds the executor-level knob.
+        let seeded = ExecConfig::new(2, PJoinConfig::new(2, 2).with_probe_threads(3));
+        assert_eq!(seeded.probe_threads, 3);
+
+        std::env::set_var("PJOIN_PROBE_THREADS", "4");
+        assert_eq!(probe_threads_from_env(), Some(4));
+        let from_env = ExecConfig::new(2, PJoinConfig::new(2, 2).with_probe_threads(3));
+        assert_eq!(from_env.probe_threads, 4, "env beats the join config");
+        assert_eq!(
+            from_env.with_probe_threads(2).probe_threads,
+            2,
+            "the builder beats the env"
+        );
+
+        // Invalid values are ignored (fall back to the join config).
+        std::env::set_var("PJOIN_PROBE_THREADS", "0");
+        assert_eq!(probe_threads_from_env(), None);
+        std::env::set_var("PJOIN_PROBE_THREADS", "not-a-number");
+        assert_eq!(probe_threads_from_env(), None);
+        assert_eq!(ExecConfig::new(2, PJoinConfig::new(2, 2)).probe_threads, 1);
+        std::env::remove_var("PJOIN_PROBE_THREADS");
+
+        // The builder clamps to the sanity rail.
+        let c = ExecConfig::new(2, PJoinConfig::new(2, 2)).with_probe_threads(0);
+        assert_eq!(c.probe_threads, 1);
+        let c = ExecConfig::new(2, PJoinConfig::new(2, 2)).with_probe_threads(1000);
+        assert_eq!(c.probe_threads, MAX_PROBE_THREADS);
     }
 
     #[test]

@@ -126,7 +126,11 @@ impl ExecStats {
     /// approaches `total / shards` — the quantity the shard-scaling
     /// bench reports.
     pub fn critical_path_nanos(&self, cost: &stream_sim::CostModel) -> u64 {
-        self.shards.iter().map(|s| cost.nanos(&s.work)).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| cost.nanos(&s.work))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Latency histograms merged over all shards. Merging is exact
@@ -237,7 +241,10 @@ impl ShardedPJoin {
             shard_txs.push(tx);
             let metrics = Arc::new(ShardMetrics::new());
             shard_metrics.push(Arc::clone(&metrics));
-            let join_config = config.join.clone();
+            // Each shard builds its own probe pool from the executor-level
+            // setting; the router's clone below keeps the default (it never
+            // probes).
+            let join_config = config.join.clone().with_probe_threads(config.probe_threads);
             let events = event_tx.clone();
             let recycle = recycle_tx.clone();
             let slot = Arc::clone(&failure);
@@ -246,9 +253,9 @@ impl ShardedPJoin {
                     .name(format!("pjoin-shard-{shard}"))
                     .spawn(move || {
                         let done_events = events.clone();
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                            || shard_loop(shard, join_config, rx, events, recycle, metrics),
-                        ));
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            shard_loop(shard, join_config, rx, events, recycle, metrics)
+                        }));
                         match result {
                             Ok(report) => Some(report),
                             Err(payload) => {

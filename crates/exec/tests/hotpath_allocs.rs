@@ -85,15 +85,47 @@ fn build_batches(n: usize, first_key: i64) -> Vec<Vec<(Side, Timestamped<StreamE
 fn wait_consumed(exec: &ShardedPJoin, target: u64) {
     let deadline = Instant::now() + Duration::from_secs(30);
     while exec.metrics().consumed < target {
-        assert!(Instant::now() < deadline, "executor did not consume {target} elements in time");
+        assert!(
+            Instant::now() < deadline,
+            "executor did not consume {target} elements in time"
+        );
         std::thread::sleep(Duration::from_micros(500));
     }
 }
 
+/// Serializes the two gate tests: they share the process-global
+/// counting allocator, so running them concurrently would attribute
+/// one run's allocations to the other.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn steady_state_hot_path_is_allocation_free_per_element() {
-    let config = ExecConfig::new(SHARDS, PJoinConfig::new(2, 2))
-        .with_batch(BatchConfig::with_elems(BATCH));
+    run_gate(1);
+}
+
+/// The probe pool must not reintroduce per-element allocations: jobs
+/// ship borrowed slices over pre-sized rendezvous channels and the
+/// per-worker scratch is recycled batch to batch, so the steady state
+/// costs a constant handful of channel operations per *batch*. The
+/// pool only engages on the two-phase batched probe, so this variant
+/// disables on-the-fly dropping (whose per-element fallback would
+/// bypass the pool entirely).
+#[test]
+fn steady_state_hot_path_is_allocation_free_with_probe_pool() {
+    run_gate(3);
+}
+
+fn run_gate(probe_threads: usize) {
+    let _gate = GATE.lock().unwrap();
+    let join = PJoinConfig {
+        // `on_the_fly_drop` routes batches through the per-element
+        // fallback; the pool variant must exercise the batched probe.
+        on_the_fly_drop: probe_threads == 1,
+        ..PJoinConfig::new(2, 2)
+    };
+    let config = ExecConfig::new(SHARDS, join)
+        .with_batch(BatchConfig::with_elems(BATCH))
+        .with_probe_threads(probe_threads);
     let exec = ShardedPJoin::spawn(config);
 
     // Warm up: grow channel blocks, router staging buffers, the recycle
@@ -104,7 +136,10 @@ fn steady_state_hot_path_is_allocation_free_per_element() {
         exec.push_batch(batch);
     }
     wait_consumed(&exec, warmed);
-    assert!(exec.poll_outputs().is_empty(), "no-match workload must produce no outputs");
+    assert!(
+        exec.poll_outputs().is_empty(),
+        "no-match workload must produce no outputs"
+    );
 
     // Build the measured inputs *before* counting starts.
     let measured = build_batches(MEASURED_BATCHES, (warmed + 1) as i64);
@@ -128,7 +163,10 @@ fn steady_state_hot_path_is_allocation_free_per_element() {
     );
 
     let per_element = allocs as f64 / elements as f64;
-    eprintln!("hot path: {allocs} allocs / {elements} elements = {per_element:.4} per element");
+    eprintln!(
+        "hot path ({probe_threads} probe threads): {allocs} allocs / {elements} elements \
+         = {per_element:.4} per element"
+    );
     assert!(
         allocs <= elements / 4,
         "hot path allocated {allocs} times for {elements} elements \
@@ -136,6 +174,9 @@ fn steady_state_hot_path_is_allocation_free_per_element() {
     );
 
     let (rest, stats) = exec.finish();
-    assert!(rest.iter().all(|e| !e.item.is_tuple()), "no-match workload must emit no tuples");
+    assert!(
+        rest.iter().all(|e| !e.item.is_tuple()),
+        "no-match workload must emit no tuples"
+    );
     assert_eq!(stats.total_metrics().consumed, warmed + elements);
 }

@@ -21,7 +21,9 @@ use std::time::Duration;
 
 use pjoin::{IndexBuildStrategy, PJoinConfig, PropagationTrigger, PurgeStrategy};
 use proptest::prelude::*;
-use punct_exec::{shard_of_hash, shards_from_env, ExecConfig, ShardedPJoin};
+use punct_exec::{
+    probe_threads_from_env, shard_of_hash, shards_from_env, ExecConfig, ShardedPJoin,
+};
 use punct_types::{
     batch_from_env, BatchConfig, Punctuation, StreamElement, Timestamp, Timestamped, Tuple, Value,
 };
@@ -92,15 +94,20 @@ fn canonical(elements: &[StreamElement]) -> (Vec<String>, Vec<String>) {
     (tuples, puncts)
 }
 
-/// One full executor run at the given shard count and batch size.
+/// One full executor run at the given shard count, batch size and
+/// per-shard probe thread count.
 fn exec_run(
     shards: usize,
     batch: BatchConfig,
+    probe_threads: usize,
     join_config: &PJoinConfig,
     feed: &[(Side, Timestamped<StreamElement>)],
 ) -> (Vec<StreamElement>, punct_exec::ExecStats) {
-    let exec =
-        ShardedPJoin::spawn(ExecConfig::new(shards, join_config.clone()).with_batch(batch));
+    let exec = ShardedPJoin::spawn(
+        ExecConfig::new(shards, join_config.clone())
+            .with_batch(batch)
+            .with_probe_threads(probe_threads),
+    );
     exec.push_batch(feed.to_vec());
     let (outputs, stats) = exec.finish();
     (outputs.into_iter().map(|e| e.item).collect(), stats)
@@ -128,6 +135,18 @@ fn shard_counts() -> Vec<usize> {
     counts
 }
 
+/// The per-shard probe thread counts under test; `PJOIN_PROBE_THREADS`
+/// (the CI probe matrix) adds one.
+fn probe_thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Some(t) = probe_threads_from_env() {
+        if !counts.contains(&t) {
+            counts.push(t);
+        }
+    }
+    counts
+}
+
 /// Join configs crossing the batched-probe fast path (`on_the_fly_drop:
 /// false`, no window) with the per-element fallback, plus purge and
 /// propagation variation — batching must be invisible on both paths.
@@ -148,14 +167,16 @@ fn join_config_strategy() -> impl Strategy<Value = PJoinConfig> {
         any::<bool>(),
         1usize..6,
     )
-        .prop_map(|(purge, index_build, propagation, on_the_fly_drop, buckets)| PJoinConfig {
-            purge,
-            index_build,
-            propagation,
-            on_the_fly_drop,
-            buckets: buckets * 4,
-            ..PJoinConfig::new(2, 2)
-        })
+        .prop_map(
+            |(purge, index_build, propagation, on_the_fly_drop, buckets)| PJoinConfig {
+                purge,
+                index_build,
+                propagation,
+                on_the_fly_drop,
+                buckets: buckets * 4,
+                ..PJoinConfig::new(2, 2)
+            },
+        )
 }
 
 fn workload_strategy() -> impl Strategy<Value = StreamConfig> {
@@ -169,15 +190,17 @@ fn workload_strategy() -> impl Strategy<Value = StreamConfig> {
         ],
         4f64..40.0,
     )
-        .prop_map(|(seed, tuples, key_window, punct_scheme, punct_mean)| StreamConfig {
-            seed,
-            tuples,
-            key_window,
-            punct_scheme,
-            punct_mean_tuples: punct_mean,
-            payload_attrs: 1,
-            ..StreamConfig::default()
-        })
+        .prop_map(
+            |(seed, tuples, key_window, punct_scheme, punct_mean)| StreamConfig {
+                seed,
+                tuples,
+                key_window,
+                punct_scheme,
+                punct_mean_tuples: punct_mean,
+                payload_attrs: 1,
+                ..StreamConfig::default()
+            },
+        )
 }
 
 proptest! {
@@ -197,7 +220,7 @@ proptest! {
             // batched run must reproduce — and it must itself agree with
             // the single-threaded operator.
             let (base_items, _) =
-                exec_run(shards, BatchConfig::per_element(), &join_config, &feed);
+                exec_run(shards, BatchConfig::per_element(), 1, &join_config, &feed);
             let expected = canonical(&base_items);
             prop_assert_eq!(
                 &expected.0, &anchor.0,
@@ -210,7 +233,7 @@ proptest! {
                     continue;
                 }
                 let (items, stats) =
-                    exec_run(shards, BatchConfig::with_elems(batch), &join_config, &feed);
+                    exec_run(shards, BatchConfig::with_elems(batch), 1, &join_config, &feed);
                 let got = canonical(&items);
                 prop_assert_eq!(
                     &got.0, &expected.0,
@@ -219,6 +242,29 @@ proptest! {
                 prop_assert_eq!(
                     &got.1, &expected.1,
                     "punctuation multiset diverged at {} shards, batch {}", shards, batch
+                );
+                prop_assert_eq!(stats.merge.puncts_unexpected, 0);
+            }
+
+            // The intra-shard parallel probe must be just as invisible:
+            // at a batch size large enough to exercise the probe pool,
+            // every probe thread count reproduces the anchor multiset.
+            for probe_threads in probe_thread_counts() {
+                if probe_threads == 1 {
+                    continue; // covered by the batch loop above
+                }
+                let (items, stats) = exec_run(
+                    shards, BatchConfig::with_elems(64), probe_threads, &join_config, &feed,
+                );
+                let got = canonical(&items);
+                prop_assert_eq!(
+                    &got.0, &expected.0,
+                    "tuple multiset diverged at {} shards, {} probe threads", shards, probe_threads
+                );
+                prop_assert_eq!(
+                    &got.1, &expected.1,
+                    "punctuation multiset diverged at {} shards, {} probe threads",
+                    shards, probe_threads
                 );
                 prop_assert_eq!(stats.merge.puncts_unexpected, 0);
             }
@@ -271,26 +317,37 @@ fn fast_path_config() -> PJoinConfig {
 /// One shard, FIFO channels: batching must preserve the exact output
 /// *sequence*, not merely the multiset — the two-phase probe emits
 /// results in arrival order and punctuation barriers keep ordering.
+/// The parallel probe merges per-worker scratch back in probe order, so
+/// the guarantee holds bit-for-bit at every probe thread count too.
 #[test]
 fn single_shard_sequence_is_identical_across_batch_sizes() {
     let feed = run_heavy_feed(150);
     let config = fast_path_config();
-    let (baseline, base_stats) = exec_run(1, BatchConfig::per_element(), &config, &feed);
+    let (baseline, base_stats) = exec_run(1, BatchConfig::per_element(), 1, &config, &feed);
     assert!(baseline.iter().any(|e| e.is_tuple()) && baseline.iter().any(|e| e.is_punctuation()));
     for batch in [7usize, 64, 256] {
-        let (items, stats) = exec_run(1, BatchConfig::with_elems(batch), &config, &feed);
-        assert_eq!(
-            items, baseline,
-            "output sequence diverged at one shard with batch {batch}"
-        );
-        // The whole point of batching: far fewer channel sends than the
-        // per-element run for the same answer.
-        assert!(
-            stats.router.batches < base_stats.router.batches,
-            "batch {batch} sent {} batches, per-element sent {}",
-            stats.router.batches,
-            base_stats.router.batches
-        );
+        for probe_threads in [1usize, 2, 4] {
+            let (items, stats) = exec_run(
+                1,
+                BatchConfig::with_elems(batch),
+                probe_threads,
+                &config,
+                &feed,
+            );
+            assert_eq!(
+                items, baseline,
+                "output sequence diverged at one shard with batch {batch}, \
+                 {probe_threads} probe threads"
+            );
+            // The whole point of batching: far fewer channel sends than
+            // the per-element run for the same answer.
+            assert!(
+                stats.router.batches < base_stats.router.batches,
+                "batch {batch} sent {} batches, per-element sent {}",
+                stats.router.batches,
+                base_stats.router.batches
+            );
+        }
     }
 }
 

@@ -12,7 +12,7 @@
 
 use pjoin::{IndexBuildStrategy, PJoinConfig, PropagationTrigger, PurgeStrategy};
 use proptest::prelude::*;
-use punct_exec::{shards_from_env, ExecConfig, ShardedPJoin};
+use punct_exec::{probe_threads_from_env, shards_from_env, ExecConfig, ShardedPJoin};
 use punct_types::{StreamElement, Timestamp, Timestamped};
 use stream_sim::{BinaryStreamOp, OpOutput, Side};
 use streamgen::{generate_pair, PunctScheme, StreamConfig};
@@ -91,6 +91,19 @@ fn shard_counts() -> Vec<usize> {
     counts
 }
 
+/// The per-shard probe thread counts under test; `PJOIN_PROBE_THREADS`
+/// (the CI probe matrix) adds one. 1 is the serial probe path; the
+/// parallel probe must be invisible at every setting.
+fn probe_thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Some(t) = probe_threads_from_env() {
+        if !counts.contains(&t) {
+            counts.push(t);
+        }
+    }
+    counts
+}
+
 fn join_config_strategy() -> impl Strategy<Value = PJoinConfig> {
     (
         prop_oneof![
@@ -110,14 +123,16 @@ fn join_config_strategy() -> impl Strategy<Value = PJoinConfig> {
         any::<bool>(),
         1usize..6,
     )
-        .prop_map(|(purge, index_build, propagation, on_the_fly_drop, buckets)| PJoinConfig {
-            purge,
-            index_build,
-            propagation,
-            on_the_fly_drop,
-            buckets: buckets * 4,
-            ..PJoinConfig::new(2, 2)
-        })
+        .prop_map(
+            |(purge, index_build, propagation, on_the_fly_drop, buckets)| PJoinConfig {
+                purge,
+                index_build,
+                propagation,
+                on_the_fly_drop,
+                buckets: buckets * 4,
+                ..PJoinConfig::new(2, 2)
+            },
+        )
 }
 
 fn workload_strategy() -> impl Strategy<Value = StreamConfig> {
@@ -131,15 +146,17 @@ fn workload_strategy() -> impl Strategy<Value = StreamConfig> {
         ],
         4f64..40.0,
     )
-        .prop_map(|(seed, tuples, key_window, punct_scheme, punct_mean)| StreamConfig {
-            seed,
-            tuples,
-            key_window,
-            punct_scheme,
-            punct_mean_tuples: punct_mean,
-            payload_attrs: 1,
-            ..StreamConfig::default()
-        })
+        .prop_map(
+            |(seed, tuples, key_window, punct_scheme, punct_mean)| StreamConfig {
+                seed,
+                tuples,
+                key_window,
+                punct_scheme,
+                punct_mean_tuples: punct_mean,
+                payload_attrs: 1,
+                ..StreamConfig::default()
+            },
+        )
 }
 
 proptest! {
@@ -156,7 +173,10 @@ proptest! {
         let ingested_puncts = feed.iter().filter(|(_, e)| e.item.is_punctuation()).count();
 
         for shards in shard_counts() {
-            let exec = ShardedPJoin::spawn(ExecConfig::new(shards, join_config.clone()));
+            for probe_threads in probe_thread_counts() {
+            let exec = ShardedPJoin::spawn(
+                ExecConfig::new(shards, join_config.clone()).with_probe_threads(probe_threads),
+            );
             exec.push_batch(feed.clone());
             let (outputs, stats) = exec.finish();
             let items: Vec<StreamElement> = outputs.into_iter().map(|e| e.item).collect();
@@ -164,11 +184,12 @@ proptest! {
 
             prop_assert_eq!(
                 &got.0, &expected.0,
-                "tuple multiset diverged at {} shards", shards
+                "tuple multiset diverged at {} shards, {} probe threads", shards, probe_threads
             );
             prop_assert_eq!(
                 &got.1, &expected.1,
-                "punctuation multiset diverged at {} shards", shards
+                "punctuation multiset diverged at {} shards, {} probe threads",
+                shards, probe_threads
             );
             prop_assert_eq!(stats.merge.puncts_unexpected, 0);
             // Every registered expectation either completed or (with
@@ -182,6 +203,7 @@ proptest! {
             );
             prop_assert!(emitted <= registered);
             prop_assert!(registered as usize <= ingested_puncts);
+            }
         }
     }
 }

@@ -12,6 +12,7 @@ use punct_types::Value;
 
 use crate::backend::PageId;
 use crate::codec::{CodecError, Record};
+use crate::kernel::{ProbeKernel, WINDOW};
 
 /// Tag of a free (hole) slot. Never matches a probe.
 pub const TAG_FREE: u64 = u64::MAX;
@@ -136,30 +137,40 @@ impl<R> Bucket<R> {
         self.live += 1;
     }
 
-    /// The memory-resident records whose tag equals `tag`: a linear scan
-    /// of the packed tag array, touching record data only on a hit.
-    /// Sentinel tags ([`TAG_FREE`], [`TAG_UNKEYED`]) match nothing.
+    /// The memory-resident records whose tag equals `tag`: a kernelized
+    /// scan of the packed tag array ([`ProbeKernel`]) — one match
+    /// bitmask per 64-tag window, record data touched only on a hit,
+    /// no allocation. Sentinel tags ([`TAG_FREE`], [`TAG_UNKEYED`])
+    /// match nothing.
     pub fn probe_tag(&self, tag: u64) -> impl Iterator<Item = &R> + '_ {
-        let live_tag = tag < TAG_UNKEYED;
-        self.tags
-            .iter()
-            .enumerate()
-            .filter(move |&(_, &t)| live_tag && t == tag)
-            .map(move |(i, _)| self.slots[i].as_ref().expect("tagged slot holds a record"))
+        TagScan {
+            tags: &self.tags,
+            slots: &self.slots,
+            kernel: ProbeKernel::selected(),
+            tag,
+            base: 0,
+            // A sentinel probe scans nothing (the old loop's `live_tag`
+            // guard); real tags start at window 0.
+            next: if tag < TAG_UNKEYED {
+                0
+            } else {
+                self.tags.len()
+            },
+            mask: 0,
+        }
     }
 
     /// Removes and returns the records matching `tag` that also satisfy
     /// `pred`, freeing their slots. Only tag-matching slots have their
-    /// record examined.
+    /// record examined; the hit indices come from the kernel's
+    /// [`scan_tags`](ProbeKernel::scan_tags) primitive, in ascending
+    /// slot order like the pre-kernel loop.
     pub fn extract_tag(&mut self, tag: u64, mut pred: impl FnMut(&R) -> bool) -> Vec<R> {
-        if tag >= TAG_UNKEYED {
-            return Vec::new();
-        }
+        let mut hits = Vec::new();
+        ProbeKernel::selected().scan_tags(&self.tags, tag, &mut hits);
         let mut extracted = Vec::new();
-        for i in 0..self.tags.len() {
-            if self.tags[i] != tag {
-                continue;
-            }
+        for i in hits {
+            let i = i as usize;
             let rec = self.slots[i].as_ref().expect("tagged slot holds a record");
             if pred(rec) {
                 extracted.push(self.slots[i].take().expect("checked occupied"));
@@ -170,32 +181,56 @@ impl<R> Bucket<R> {
     }
 
     /// Removes and returns every record satisfying `pred`, freeing
-    /// slots.
+    /// slots. Occupied slots are found by kernel occupancy masks, so
+    /// hole-heavy slabs skip whole windows of free slots.
     pub fn extract(&mut self, mut pred: impl FnMut(&R) -> bool) -> Vec<R> {
+        let kernel = ProbeKernel::selected();
         let mut extracted = Vec::new();
-        for i in 0..self.slots.len() {
-            let Some(rec) = self.slots[i].as_ref() else { continue };
-            if pred(rec) {
-                extracted.push(self.slots[i].take().expect("checked occupied"));
-                self.free_slot(i);
+        let mut base = 0;
+        while base < self.slots.len() {
+            let end = (base + WINDOW).min(self.slots.len());
+            let mut m = kernel.occupied_mask(&self.tags[base..end]);
+            while m != 0 {
+                let i = base + m.trailing_zeros() as usize;
+                m &= m - 1;
+                let rec = self.slots[i]
+                    .as_ref()
+                    .expect("occupied slot holds a record");
+                if pred(rec) {
+                    extracted.push(self.slots[i].take().expect("checked occupied"));
+                    self.free_slot(i);
+                }
             }
+            base = end;
         }
         extracted
     }
 
     /// Keeps only the records satisfying `keep`, freeing the rest.
-    /// Returns `(scanned, removed)`.
+    /// Returns `(scanned, removed)`. Scans occupancy masks like
+    /// [`extract`](Bucket::extract).
     pub fn retain(&mut self, mut keep: impl FnMut(&R) -> bool) -> (usize, usize) {
+        let kernel = ProbeKernel::selected();
         let mut scanned = 0;
         let mut removed = 0;
-        for i in 0..self.slots.len() {
-            let Some(rec) = self.slots[i].as_ref() else { continue };
-            scanned += 1;
-            if !keep(rec) {
-                self.slots[i] = None;
-                self.free_slot(i);
-                removed += 1;
+        let mut base = 0;
+        while base < self.slots.len() {
+            let end = (base + WINDOW).min(self.slots.len());
+            let mut m = kernel.occupied_mask(&self.tags[base..end]);
+            while m != 0 {
+                let i = base + m.trailing_zeros() as usize;
+                m &= m - 1;
+                scanned += 1;
+                let rec = self.slots[i]
+                    .as_ref()
+                    .expect("occupied slot holds a record");
+                if !keep(rec) {
+                    self.slots[i] = None;
+                    self.free_slot(i);
+                    removed += 1;
+                }
             }
+            base = end;
         }
         (scanned, removed)
     }
@@ -366,6 +401,44 @@ impl<R: Record> Bucket<R> {
 impl<R> Default for Bucket<R> {
     fn default() -> Self {
         Bucket::new()
+    }
+}
+
+/// Lazy kernelized probe: computes one 64-tag window's match bitmask at
+/// a time and pops hits off it with `trailing_zeros` — the iterator
+/// analogue of [`ProbeKernel::scan_tags`], allocation-free so the
+/// executor's hot-path budget is unaffected by probe volume.
+struct TagScan<'a, R> {
+    tags: &'a [u64],
+    slots: &'a [Option<R>],
+    kernel: ProbeKernel,
+    tag: u64,
+    /// Start index of the window `mask` covers.
+    base: usize,
+    /// Start index of the next window to scan (`tags.len()` = done).
+    next: usize,
+    /// Remaining hits in the current window.
+    mask: u64,
+}
+
+impl<'a, R> Iterator for TagScan<'a, R> {
+    type Item = &'a R;
+
+    fn next(&mut self) -> Option<&'a R> {
+        loop {
+            if self.mask != 0 {
+                let i = self.base + self.mask.trailing_zeros() as usize;
+                self.mask &= self.mask - 1;
+                return Some(self.slots[i].as_ref().expect("tagged slot holds a record"));
+            }
+            if self.next >= self.tags.len() {
+                return None;
+            }
+            let end = (self.next + WINDOW).min(self.tags.len());
+            self.base = self.next;
+            self.mask = self.kernel.match_mask(&self.tags[self.next..end], self.tag);
+            self.next = end;
+        }
     }
 }
 

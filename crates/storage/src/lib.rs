@@ -19,12 +19,15 @@
 //!   deterministic simulations) and [`file_disk::FileDisk`]
 //!   (real files, validating the page format end-to-end).
 //! * [`bucket`] / [`partition`] — buckets and the partitioned store.
+//! * [`kernel`] — data-parallel tag-scan kernels (scalar / SWAR / AVX2)
+//!   the bucket's probe, extract and retain scans run on.
 //! * [`spill`] — victim-selection policies for state relocation.
 
 pub mod backend;
 pub mod bucket;
 pub mod codec;
 pub mod file_disk;
+pub mod kernel;
 pub mod page;
 pub mod partition;
 pub mod sim_disk;
@@ -34,6 +37,7 @@ pub use backend::{DiskBackend, IoStats, PageId};
 pub use bucket::{tag_of_hash, tag_of_key, Bucket, TAG_FREE, TAG_UNKEYED};
 pub use codec::{CodecError, Record};
 pub use file_disk::FileDisk;
+pub use kernel::ProbeKernel;
 pub use page::Page;
 pub use partition::{PartitionedStore, SpillCounters, SpillReport, StoreConfig};
 pub use sim_disk::SimDisk;

@@ -1,0 +1,130 @@
+//! Property test: every tag-scan kernel the host supports produces
+//! results identical to the reference scalar loop, over adversarial tag
+//! arrays — all-sentinel slabs, duplicate tags, lengths straddling the
+//! 64-tag window boundary (0, 63, 64, 65, …), and hash-collision tags
+//! that `tag_of_hash` remaps from the sentinel range.
+//!
+//! This is the correctness gate under the kernelized `Bucket` scans:
+//! if SWAR or AVX2 ever diverges from scalar on any mask bit, probes
+//! and purges silently return wrong records, so the comparison here is
+//! exact index sequences, not counts.
+
+use proptest::prelude::*;
+use spillstore::kernel::{ProbeKernel, WINDOW};
+use spillstore::{tag_of_hash, TAG_FREE, TAG_UNKEYED};
+
+/// The reference: the pre-kernel scalar loop over the whole array.
+fn reference_scan(tags: &[u64], tag: u64) -> Vec<u32> {
+    if tag >= TAG_UNKEYED {
+        return Vec::new();
+    }
+    tags.iter()
+        .enumerate()
+        .filter(|&(_, &t)| t == tag)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+fn reference_occupied(tags: &[u64]) -> Vec<u32> {
+    tags.iter()
+        .enumerate()
+        .filter(|&(_, &t)| t != TAG_FREE)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Tag values skewed toward the adversarial cases: the two sentinels,
+/// a tiny duplicate-heavy live set, sentinel-adjacent values (including
+/// what `tag_of_hash` remaps colliding hashes to), and arbitrary bits.
+fn tag_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(TAG_FREE),
+        Just(TAG_UNKEYED),
+        0u64..4,
+        Just(tag_of_hash(Some(u64::MAX))),
+        Just(tag_of_hash(Some(u64::MAX - 1))),
+        Just(u64::MAX - 2),
+        any::<u64>(),
+    ]
+}
+
+/// Lengths covering empty, sub-window, exact-window and window±remainder
+/// shapes (WINDOW = 64).
+fn tag_array() -> impl Strategy<Value = Vec<u64>> {
+    prop_oneof![
+        proptest::collection::vec(tag_value(), 0..(WINDOW - 1)),
+        proptest::collection::vec(tag_value(), (WINDOW - 2)..(WINDOW + 3)),
+        proptest::collection::vec(tag_value(), (2 * WINDOW - 2)..(2 * WINDOW + 3)),
+    ]
+}
+
+/// Probe tags: mostly values likely present in the array (so matches
+/// actually occur), plus both sentinels (which must match nothing).
+fn probe_tag() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..4,
+        0u64..4,
+        Just(TAG_FREE),
+        Just(TAG_UNKEYED),
+        Just(tag_of_hash(Some(u64::MAX))),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kernels_match_scalar_reference(tags in tag_array(), tag in probe_tag()) {
+        let want = reference_scan(&tags, tag);
+        let want_occ = reference_occupied(&tags);
+        for kernel in ProbeKernel::supported() {
+            let mut hits = Vec::new();
+            kernel.scan_tags(&tags, tag, &mut hits);
+            prop_assert_eq!(
+                &hits, &want,
+                "{} scan_tags diverged from scalar (len {}, tag {:#x})",
+                kernel, tags.len(), tag
+            );
+            let mut occ = Vec::new();
+            kernel.scan_occupied(&tags, &mut occ);
+            prop_assert_eq!(
+                &occ, &want_occ,
+                "{} scan_occupied diverged from scalar (len {})",
+                kernel, tags.len()
+            );
+        }
+    }
+}
+
+/// Deterministic boundary sweep: all-sentinel and all-match arrays at
+/// every length around the window boundary — the remainder paths that a
+/// random sweep might leave under-covered.
+#[test]
+fn boundary_lengths_all_sentinel_and_all_match() {
+    for len in 0..=(2 * WINDOW + 2) {
+        let holes = vec![TAG_FREE; len];
+        let unkeyed = vec![TAG_UNKEYED; len];
+        let live = vec![7u64; len];
+        for kernel in ProbeKernel::supported() {
+            for (tags, tag) in [(&holes, 7u64), (&unkeyed, 7), (&live, 7), (&live, 8)] {
+                let mut hits = Vec::new();
+                kernel.scan_tags(tags, tag, &mut hits);
+                assert_eq!(hits, reference_scan(tags, tag), "{kernel} len {len}");
+            }
+            let mut occ = Vec::new();
+            kernel.scan_occupied(&live, &mut occ);
+            assert_eq!(
+                occ.len(),
+                len,
+                "{kernel} len {len}: all live slots occupied"
+            );
+            let mut none = Vec::new();
+            kernel.scan_occupied(&holes, &mut none);
+            assert!(
+                none.is_empty(),
+                "{kernel} len {len}: holes are not occupied"
+            );
+        }
+    }
+}

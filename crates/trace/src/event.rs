@@ -104,11 +104,17 @@ pub enum TraceKind {
     /// One wire data batch moved as a single frame/syscall (`a` = stream
     /// id, `b` = elements in the batch).
     NetBatch,
+    /// The read-only probe phase of one batched memory join (`a` =
+    /// tuples probed, `b` = probe workers incl. the shard thread; 1 =
+    /// serial). Spans phase 1 of the two-phase batched probe, so probe
+    /// time and apply time are separable in the trace.
+    ProbePhase,
 }
 
 impl TraceKind {
-    /// Every kind, for schema enumeration.
-    pub const ALL: [TraceKind; 19] = [
+    /// Every kind, for schema enumeration. Append-only: the telemetry
+    /// wire codec encodes kinds by their position here.
+    pub const ALL: [TraceKind; 20] = [
         TraceKind::MemoryJoin,
         TraceKind::DiskJoin,
         TraceKind::Relocation,
@@ -128,6 +134,7 @@ impl TraceKind {
         TraceKind::NetReconnect,
         TraceKind::RouterBatch,
         TraceKind::NetBatch,
+        TraceKind::ProbePhase,
     ];
 
     /// The stable wire name (JSONL `kind` field, Chrome trace `name`).
@@ -152,6 +159,7 @@ impl TraceKind {
             TraceKind::NetReconnect => "net_reconnect",
             TraceKind::RouterBatch => "router_batch",
             TraceKind::NetBatch => "net_batch",
+            TraceKind::ProbePhase => "probe_phase",
         }
     }
 
@@ -164,7 +172,10 @@ impl TraceKind {
     /// integer form used by the telemetry wire codec's per-kind
     /// summaries.
     pub fn index(self) -> u8 {
-        TraceKind::ALL.iter().position(|&k| k == self).expect("kind in ALL") as u8
+        TraceKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL") as u8
     }
 
     /// Inverse of [`index`](Self::index).
@@ -187,6 +198,7 @@ impl TraceKind {
                 | TraceKind::NetDecode
                 | TraceKind::NetStall
                 | TraceKind::RouterBatch
+                | TraceKind::ProbePhase
         )
     }
 }
@@ -222,8 +234,24 @@ pub struct TraceEvent {
 
 impl TraceEvent {
     /// An instant event (no duration) at the given times.
-    pub fn instant(kind: TraceKind, lane: Lane, vt_us: u64, wall_ns: u64, a: u64, b: u64) -> TraceEvent {
-        TraceEvent { kind, lane, seq: 0, vt_us, wall_ns, dur_ns: 0, a, b }
+    pub fn instant(
+        kind: TraceKind,
+        lane: Lane,
+        vt_us: u64,
+        wall_ns: u64,
+        a: u64,
+        b: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            kind,
+            lane,
+            seq: 0,
+            vt_us,
+            wall_ns,
+            dur_ns: 0,
+            a,
+            b,
+        }
     }
 }
 

@@ -69,6 +69,9 @@ mod tests {
     #[test]
     fn compiled_flag_reflects_env() {
         // The test binary itself is built under the same setting.
-        assert_eq!(crate::COMPILED, option_env!("PJOIN_TRACE_DISABLE").is_none());
+        assert_eq!(
+            crate::COMPILED,
+            option_env!("PJOIN_TRACE_DISABLE").is_none()
+        );
     }
 }
